@@ -1,0 +1,115 @@
+//! Criterion benchmarks for the dataflow substrate: shard I/O, the
+//! parallel map engine, and the shuffle with/without map-side combining
+//! (the combiner on/off ablation DESIGN.md calls out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drybell_dataflow::{
+    map_reduce, par_map_shards, read_all, write_all, CounterHandle, DataflowError, JobConfig,
+    ShardSpec,
+};
+use std::hint::black_box;
+
+type Rec = (u64, String);
+type CountSink<'a> = &'a mut dyn FnMut(&(String, i64)) -> Result<(), DataflowError>;
+
+fn make_records(n: usize) -> Vec<Rec> {
+    (0..n as u64)
+        .map(|i| (i, format!("record body {} {} {}", i, i % 97, i % 13)))
+        .collect()
+}
+
+fn bench_shard_io(c: &mut Criterion) {
+    let records = make_records(50_000);
+    let mut group = c.benchmark_group("shard_io");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("write_50k", |b| {
+        b.iter(|| {
+            let dir = tempfile::tempdir().unwrap();
+            let spec = ShardSpec::new(dir.path(), "bench", 8);
+            black_box(write_all(&spec, &records).unwrap());
+        })
+    });
+    let dir = tempfile::tempdir().unwrap();
+    let spec = ShardSpec::new(dir.path(), "bench", 8);
+    write_all(&spec, &records).unwrap();
+    group.bench_function("read_50k", |b| {
+        b.iter(|| {
+            let back: Vec<Rec> = read_all(&spec).unwrap();
+            black_box(back.len());
+        })
+    });
+    group.finish();
+}
+
+fn bench_par_map_workers(c: &mut Criterion) {
+    let records = make_records(40_000);
+    let mut group = c.benchmark_group("par_map_workers");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    for workers in [1usize, 4, 8] {
+        let dir = tempfile::tempdir().unwrap();
+        let input = ShardSpec::new(dir.path(), "in", 16);
+        write_all(&input, &records).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                let output = input.derive("out");
+                let stats = par_map_shards(
+                    &input,
+                    &output,
+                    &JobConfig::new("bench").with_workers(w),
+                    |_| Ok(()),
+                    |_s: &mut (), (k, v): Rec, emit, _c: &mut CounterHandle| {
+                        emit.emit(&(k.wrapping_mul(31), v))
+                    },
+                )
+                .unwrap();
+                black_box(stats.records_out);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_shuffle_combiner(c: &mut Criterion) {
+    // Word-count style shuffle with heavy key repetition, where the
+    // combiner pays off.
+    let records: Vec<Rec> = (0..20_000u64)
+        .map(|i| (i, format!("w{} w{} w{} w{}", i % 50, i % 7, i % 50, i % 3)))
+        .collect();
+    let map = |(_, text): Rec, emit: &mut dyn FnMut(String, i64)| {
+        for w in text.split_whitespace() {
+            emit(w.to_owned(), 1);
+        }
+        Ok(())
+    };
+    let reduce = |k: &String, vs: Vec<i64>, sink: CountSink<'_>| {
+        sink(&(k.clone(), vs.into_iter().sum()))
+    };
+    let mut group = c.benchmark_group("shuffle");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    for combine in [false, true] {
+        let name = if combine { "with_combiner" } else { "no_combiner" };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let dir = tempfile::tempdir().unwrap();
+                let input = ShardSpec::new(dir.path(), "in", 8);
+                write_all(&input, &records).unwrap();
+                let output = ShardSpec::new(dir.path(), "out", 4);
+                let mut cfg = JobConfig::new("wc").with_workers(4);
+                cfg.spill_buffer = 1024;
+                let combiner =
+                    combine.then_some(|_k: &String, vs: Vec<i64>| vs.into_iter().sum::<i64>());
+                let stats =
+                    map_reduce(&input, &output, dir.path(), &cfg, map, combiner, reduce).unwrap();
+                black_box(stats.records_out);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_shard_io, bench_par_map_workers, bench_shuffle_combiner
+}
+criterion_main!(benches);

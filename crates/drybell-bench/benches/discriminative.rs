@@ -1,0 +1,122 @@
+//! Criterion benchmarks for the discriminative stage: FTRL logistic
+//! regression at the paper's hyperparameters, the events DNN, and the
+//! servable featurization.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use drybell_features::FeatureHasher;
+use drybell_ml::{FtrlConfig, LogisticRegression, Mlp, MlpConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn sparse_dataset(n: usize, seed: u64) -> Vec<(drybell_features::SparseVector, f64)> {
+    let h = FeatureHasher::new(1 << 18);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let y = rng.gen_bool(0.5);
+            let mut toks: Vec<String> = (0..40)
+                .map(|_| format!("w{}", rng.gen_range(0..5_000)))
+                .collect();
+            toks.push(if y { "signal_pos".into() } else { "signal_neg".into() });
+            (h.bag_of_words(&toks).l2_normalized(), f64::from(u8::from(y)))
+        })
+        .collect()
+}
+
+fn bench_ftrl(c: &mut Criterion) {
+    let data = sparse_dataset(10_000, 1);
+    let mut group = c.benchmark_group("ftrl");
+    // 500 iterations × batch 64 = 32K example updates per sample.
+    group.throughput(Throughput::Elements(500 * 64));
+    group.bench_function("train_500_iters_b64", |b| {
+        b.iter(|| {
+            let mut m = LogisticRegression::new(
+                1 << 18,
+                FtrlConfig {
+                    iterations: 500,
+                    ..FtrlConfig::default()
+                },
+            );
+            m.fit(&data);
+            black_box(m.bias());
+        })
+    });
+    let mut model = LogisticRegression::new(
+        1 << 18,
+        FtrlConfig {
+            iterations: 200,
+            ..FtrlConfig::default()
+        },
+    );
+    model.fit(&data);
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("predict_10k", |b| {
+        b.iter(|| {
+            let s: f64 = data.iter().map(|(x, _)| model.predict_proba(x)).sum();
+            black_box(s);
+        })
+    });
+    group.finish();
+}
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let data: Vec<(Vec<f64>, f64)> = (0..5_000)
+        .map(|_| {
+            let y = rng.gen_bool(0.5);
+            let x: Vec<f64> = (0..16)
+                .map(|d| if y && d % 2 == 0 { 1.0 } else { 0.0 } + rng.gen::<f64>())
+                .collect();
+            (x, f64::from(u8::from(y)))
+        })
+        .collect();
+    let mut group = c.benchmark_group("mlp");
+    group.throughput(Throughput::Elements(100 * 64));
+    group.bench_function("train_100_iters_b64_32x16", |b| {
+        b.iter(|| {
+            let mut net = Mlp::new(
+                16,
+                MlpConfig {
+                    iterations: 100,
+                    ..MlpConfig::default()
+                },
+            );
+            net.fit(&data);
+            black_box(net.predict_proba(&data[0].0));
+        })
+    });
+    group.finish();
+}
+
+fn bench_featurize(c: &mut Criterion) {
+    let cfg = drybell_datagen::topic::TopicTaskConfig {
+        num_unlabeled: 2_000,
+        num_dev: 10,
+        num_test: 10,
+        pos_rate: 0.05,
+        seed: 3,
+    };
+    let ds = drybell_datagen::topic::generate(&cfg);
+    let hasher = FeatureHasher::new(1 << 18);
+    let mut group = c.benchmark_group("featurize");
+    group.throughput(Throughput::Elements(ds.unlabeled.len() as u64));
+    group.bench_function("topic_2k_docs", |b| {
+        b.iter(|| {
+            let total: usize = ds
+                .unlabeled
+                .iter()
+                .map(|d| drybell_datagen::topic::featurize(d, &hasher).nnz())
+                .sum();
+            black_box(total);
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ftrl, bench_mlp, bench_featurize
+}
+criterion_main!(benches);

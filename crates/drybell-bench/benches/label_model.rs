@@ -1,0 +1,175 @@
+//! Criterion benchmarks for the label model — the §5.2 measurements.
+//!
+//! * `sampling_free_step`: one mini-batch gradient step at the paper's
+//!   benchmark setting (10 LFs, batch 64). The paper reports >100 such
+//!   steps/s on Google hardware.
+//! * `gibbs_step`: the OSS-Snorkel-style Gibbs step on the same matrix
+//!   (the paper reports <50 examples/s, i.e. <1 batch-64 step/s).
+//! * `posterior_inference`: converting votes to probabilistic labels.
+//! * Ablations: LF count scaling and the categorical variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drybell_core::categorical::{CatLabelMatrix, CatTrainConfig, CategoricalModel};
+use drybell_core::generative::{GenerativeModel, TrainConfig};
+use drybell_core::gibbs::{GibbsConfig, GibbsTrainer};
+use drybell_core::vote::CatVote;
+use drybell_core::LabelMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn planted(examples: usize, lfs: usize, seed: u64) -> LabelMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let accs: Vec<f64> = (0..lfs).map(|_| rng.gen_range(0.6..0.95)).collect();
+    let props: Vec<f64> = (0..lfs).map(|_| rng.gen_range(0.3..0.9)).collect();
+    let mut m = LabelMatrix::with_capacity(lfs, examples);
+    for _ in 0..examples {
+        let y: i8 = if rng.gen_bool(0.5) { 1 } else { -1 };
+        let row: Vec<i8> = (0..lfs)
+            .map(|j| {
+                if !rng.gen_bool(props[j]) {
+                    0
+                } else if rng.gen_bool(accs[j]) {
+                    y
+                } else {
+                    -y
+                }
+            })
+            .collect();
+        m.push_raw_row(&row).unwrap();
+    }
+    m
+}
+
+fn bench_training_steps(c: &mut Criterion) {
+    let matrix = planted(50_000, 10, 1);
+    let mut group = c.benchmark_group("label_model_training");
+    // Steps per iteration so criterion measures per-step cost: run 50
+    // steps per sample.
+    let steps = 50usize;
+    group.throughput(Throughput::Elements(steps as u64));
+    group.bench_function("sampling_free_50_steps_b64", |b| {
+        b.iter(|| {
+            let mut model = GenerativeModel::new(10, 0.7);
+            model
+                .fit(
+                    &matrix,
+                    &TrainConfig {
+                        steps,
+                        batch_size: 64,
+                        ..TrainConfig::default()
+                    },
+                )
+                .unwrap();
+            black_box(model.alphas()[0]);
+        })
+    });
+    group.bench_function("gibbs_50_steps_b64", |b| {
+        b.iter(|| {
+            let mut trainer = GibbsTrainer::new(10);
+            trainer
+                .fit(
+                    &matrix,
+                    &GibbsConfig {
+                        steps,
+                        batch_size: 64,
+                        ..GibbsConfig::default()
+                    },
+                )
+                .unwrap();
+            black_box(trainer.model().alphas()[0]);
+        })
+    });
+    group.finish();
+}
+
+fn bench_lf_count_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling_free_lf_scaling");
+    for lfs in [10usize, 40, 140] {
+        let matrix = planted(20_000, lfs, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(lfs), &lfs, |b, &lfs| {
+            b.iter(|| {
+                let mut model = GenerativeModel::new(lfs, 0.7);
+                model
+                    .fit(
+                        &matrix,
+                        &TrainConfig {
+                            steps: 20,
+                            batch_size: 64,
+                            ..TrainConfig::default()
+                        },
+                    )
+                    .unwrap();
+                black_box(model.alphas()[0]);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_posterior_inference(c: &mut Criterion) {
+    let matrix = planted(100_000, 10, 3);
+    let mut model = GenerativeModel::new(10, 0.7);
+    model
+        .fit(
+            &matrix,
+            &TrainConfig {
+                steps: 200,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+    let mut group = c.benchmark_group("posterior_inference");
+    group.throughput(Throughput::Elements(matrix.num_examples() as u64));
+    group.bench_function("predict_proba_100k_x10lfs", |b| {
+        b.iter(|| black_box(model.predict_proba(&matrix)))
+    });
+    group.finish();
+}
+
+fn bench_categorical(c: &mut Criterion) {
+    let k = 5u32;
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut matrix = CatLabelMatrix::new(8, k).unwrap();
+    for _ in 0..20_000 {
+        let y = rng.gen_range(1..=k);
+        let row: Vec<CatVote> = (0..8)
+            .map(|_| {
+                if !rng.gen_bool(0.7) {
+                    CatVote::ABSTAIN
+                } else if rng.gen_bool(0.85) {
+                    CatVote(y)
+                } else {
+                    let mut w = rng.gen_range(1..=k - 1);
+                    if w >= y {
+                        w += 1;
+                    }
+                    CatVote(w)
+                }
+            })
+            .collect();
+        matrix.push_row(&row).unwrap();
+    }
+    c.bench_function("categorical_fit_k5_50steps", |b| {
+        b.iter(|| {
+            let mut model = CategoricalModel::new(8, k, 0.7).unwrap();
+            model
+                .fit(
+                    &matrix,
+                    &CatTrainConfig {
+                        steps: 50,
+                        ..CatTrainConfig::default()
+                    },
+                )
+                .unwrap();
+            black_box(model.learned_accuracies()[0]);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_training_steps, bench_lf_count_scaling, bench_posterior_inference, bench_categorical
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion benchmarks for labeling-function execution — the engine
+//! behind the §1 scaling claim (6M+ examples in tens of minutes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drybell_datagen::{events, product, topic};
+use drybell_lf::executor::execute_in_memory;
+use drybell_nlp::NlpServer;
+use std::hint::black_box;
+
+fn bench_topic_lfs(c: &mut Criterion) {
+    let cfg = topic::TopicTaskConfig {
+        num_unlabeled: 5_000,
+        num_dev: 10,
+        num_test: 10,
+        pos_rate: 0.05,
+        seed: 1,
+    };
+    let ds = topic::generate(&cfg);
+    let set = topic::lf_set(ds.crawl_table.clone());
+    let ext = topic::text_extractor();
+    let mut group = c.benchmark_group("lf_execution");
+    group.throughput(Throughput::Elements(ds.unlabeled.len() as u64));
+    for workers in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("topic_10lfs_5k_docs", workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| {
+                    let (m, _) = execute_in_memory(&set, Some(&ext), &ds.unlabeled, w).unwrap();
+                    black_box(m.num_examples());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_product_lfs(c: &mut Criterion) {
+    let cfg = product::ProductTaskConfig {
+        num_unlabeled: 5_000,
+        num_dev: 10,
+        num_test: 10,
+        pos_rate: 0.05,
+        english_rate: 0.55,
+        seed: 1,
+    };
+    let ds = product::generate(&cfg);
+    let set = product::lf_set(ds.kg.clone());
+    let ext = product::text_extractor();
+    let mut group = c.benchmark_group("lf_execution");
+    group.throughput(Throughput::Elements(ds.unlabeled.len() as u64));
+    group.bench_function("product_8lfs_5k_docs", |b| {
+        b.iter(|| {
+            let (m, _) = execute_in_memory(&set, Some(&ext), &ds.unlabeled, 8).unwrap();
+            black_box(m.num_examples());
+        })
+    });
+    group.finish();
+}
+
+fn bench_events_lfs(c: &mut Criterion) {
+    let cfg = events::EventTaskConfig {
+        num_unlabeled: 5_000,
+        num_test: 10,
+        pos_rate: 0.05,
+        num_lfs: 140,
+        seed: 1,
+    };
+    let ds = events::generate(&cfg);
+    let set = events::lf_set(cfg.num_lfs, cfg.seed);
+    let mut group = c.benchmark_group("lf_execution");
+    group.throughput(Throughput::Elements(ds.unlabeled.len() as u64));
+    group.bench_function("events_140lfs_5k_events", |b| {
+        b.iter(|| {
+            let (m, _) = execute_in_memory(&set, None, &ds.unlabeled, 8).unwrap();
+            black_box(m.num_examples());
+        })
+    });
+    group.finish();
+}
+
+fn bench_nlp_annotate(c: &mut Criterion) {
+    let server = NlpServer::new();
+    let text = "Alice Johnson reveals her favorite camera and lens while the \
+                market watches the new premiere with great interest in Springfield";
+    c.bench_function("nlp_annotate_one_doc", |b| {
+        b.iter(|| black_box(server.annotate(text)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_topic_lfs, bench_product_lfs, bench_events_lfs, bench_nlp_annotate
+}
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+//!
+//! Hand-rolled (two flags) to avoid pulling a CLI dependency into the
+//! reproduction.
+
+/// Options common to every experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpArgs {
+    /// Dataset scale factor relative to the paper's sizes (default 0.1).
+    pub scale: f64,
+    /// Master seed override (default: each task's preset seed).
+    pub seed: Option<u64>,
+    /// Worker threads (default: available parallelism).
+    pub workers: usize,
+}
+
+impl Default for ExpArgs {
+    fn default() -> ExpArgs {
+        ExpArgs {
+            scale: 0.1,
+            seed: None,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parse from an iterator of arguments (without the program name).
+    /// Unknown flags abort with a usage message.
+    pub fn parse_from<I: Iterator<Item = String>>(mut args: I) -> Result<ExpArgs, String> {
+        let mut out = ExpArgs::default();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = args.next().ok_or("--scale needs a value")?;
+                    out.scale = v
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad --scale {v:?}: {e}"))?;
+                    if out.scale <= 0.0 {
+                        return Err("--scale must be positive".into());
+                    }
+                }
+                "--seed" => {
+                    let v = args.next().ok_or("--seed needs a value")?;
+                    out.seed =
+                        Some(v.parse::<u64>().map_err(|e| format!("bad --seed {v:?}: {e}"))?);
+                }
+                "--workers" => {
+                    let v = args.next().ok_or("--workers needs a value")?;
+                    out.workers = v
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad --workers {v:?}: {e}"))?
+                        .max(1);
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: exp_* [--scale <f>] [--seed <n>] [--workers <n>]".into(),
+                    )
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse from `std::env::args()`, exiting with the usage message on
+    /// error.
+    pub fn parse() -> ExpArgs {
+        match ExpArgs::parse_from(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ExpArgs, String> {
+        ExpArgs::parse_from(args.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, 0.1);
+        assert_eq!(a.seed, None);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let a = parse(&["--scale", "1.0", "--seed", "7", "--workers", "3"]).unwrap();
+        assert_eq!(a.scale, 1.0);
+        assert_eq!(a.seed, Some(7));
+        assert_eq!(a.workers, 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "abc"]).is_err());
+        assert!(parse(&["--scale", "-1"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 2: distribution of weak-supervision categories, counted by
+//! number of labeling functions, for the three applications.
+
+use drybell_bench::args::ExpArgs;
+use drybell_bench::harness::ContentTask;
+use drybell_datagen::events;
+use drybell_lf::LfCategory;
+
+fn print_row(app: &str, dist: &[(LfCategory, usize)], total: usize) {
+    println!("{app}:");
+    for (cat, count) in dist {
+        let frac = *count as f64 / total.max(1) as f64;
+        let bar = "#".repeat((frac * 40.0).round() as usize);
+        println!("  {:<18} {:>4} ({:>5.1}%) {}", cat.to_string(), count, frac * 100.0, bar);
+    }
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!("== Figure 2: LF category distribution ==");
+    {
+        let t = ContentTask::topic(0.001_f64.max(args.scale * 0.01), args.seed, args.workers);
+        print_row("Topic Classification", &t.lf_set.category_distribution(), t.lf_set.len());
+    }
+    {
+        let t = ContentTask::product(0.001_f64.max(args.scale * 0.01), args.seed, args.workers);
+        print_row("Product Classification", &t.lf_set.category_distribution(), t.lf_set.len());
+    }
+    {
+        let set = events::lf_set(140, args.seed.unwrap_or(20190702));
+        print_row("Real-Time Events", &set.category_distribution(), set.len());
+    }
+    println!();
+    println!("Paper: content apps mix content/model/graph/source heuristics; the");
+    println!("events app is dominated by source heuristics and model/graph signals.");
+}

@@ -1,0 +1,63 @@
+//! §6.4 + Figure 6: the real-time events application.
+//!
+//! Compares a DNN trained on Snorkel DryBell's probabilistic labels
+//! against the same DNN trained on a Logical-OR combination of the same
+//! 140 weak supervision sources. Reports the §6.4 headline numbers
+//! (events of interest identified within a fixed review budget, and a
+//! quality metric) and prints Figure 6's score histograms.
+
+use drybell_bench::args::ExpArgs;
+use drybell_bench::harness::run_events;
+use drybell_datagen::events::EventTaskConfig;
+use drybell_ml::metrics::{histogram_entropy, render_histogram};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut cfg = EventTaskConfig::scaled(args.scale);
+    if let Some(s) = args.seed {
+        cfg.seed = s;
+    }
+    println!(
+        "== §6.4: real-time events — DryBell vs Logical-OR ({} events, {} LFs) ==\n",
+        cfg.num_unlabeled, cfg.num_lfs
+    );
+    let dnn_iterations = ((cfg.num_unlabeled / 64) * 8).clamp(500, 20_000);
+    let report = run_events(&cfg, args.workers, dnn_iterations);
+
+    println!(
+        "events of interest in review budget:  DryBell {}  vs  Logical-OR {}  ({:+.0}%)",
+        report.drybell_tp_at_k,
+        report.or_tp_at_k,
+        report.more_events_frac() * 100.0
+    );
+    println!(
+        "quality (precision@budget):           DryBell {:.3}  vs  Logical-OR {:.3}  ({:+.1}%)",
+        report.drybell_quality,
+        report.or_quality,
+        report.quality_improvement() * 100.0
+    );
+    println!(
+        "threshold-0.5 F1:                     DryBell {:.3}  vs  Logical-OR {:.3}",
+        report.drybell.f1(),
+        report.logical_or.f1()
+    );
+    println!(
+        "ranking (PR-AUC):                     DryBell {:.3}  vs  Logical-OR {:.3}",
+        report.drybell_pr_auc, report.or_pr_auc
+    );
+    println!(
+        "calibration error (ECE, lower=better): DryBell {:.3}  vs  Logical-OR {:.3}",
+        report.drybell_ece, report.or_ece
+    );
+
+    println!("\nFigure 6 — score histogram, Logical-OR model (entropy {:.2}):",
+        histogram_entropy(&report.or_hist));
+    print!("{}", render_histogram(&report.or_hist, 40));
+    println!("\nFigure 6 — score histogram, Snorkel DryBell model (entropy {:.2}):",
+        histogram_entropy(&report.drybell_hist));
+    print!("{}", render_histogram(&report.drybell_hist, 40));
+
+    println!("\nPaper: DryBell identifies 58% more events of interest, with a 4.5%");
+    println!("quality improvement, and a far smoother score distribution than the");
+    println!("Logical-OR baseline (which piles scores at the extremes).");
+}

@@ -1,0 +1,101 @@
+//! Baseline vote combiners the paper evaluates against.
+//!
+//! * **Equal weights** (Table 4): the probabilistic label is the unweighted
+//!   average of the non-abstain votes, i.e. the generative model with all
+//!   accuracies tied.
+//! * **Logical OR** (§6.4, Figure 6): an example is positive if *any* LF
+//!   votes positive — the pre-DryBell combination used for the real-time
+//!   events application, which over-estimates scores.
+//! * **Majority vote**: the classic tie-broken baseline, included for
+//!   completeness and used by tests as a sanity reference.
+
+use crate::matrix::LabelMatrix;
+
+/// Equal-weight soft labels: `(1 + mean(active votes)) / 2`, or the given
+/// `prior` where every LF abstained (Table 4's "Equal Weights" ablation).
+pub fn equal_weight_labels(m: &LabelMatrix, prior: f64) -> Vec<f64> {
+    m.rows()
+        .map(|row| {
+            let mut sum = 0i64;
+            let mut active = 0i64;
+            for &v in row {
+                if v != 0 {
+                    sum += i64::from(v);
+                    active += 1;
+                }
+            }
+            if active == 0 {
+                prior
+            } else {
+                (1.0 + sum as f64 / active as f64) / 2.0
+            }
+        })
+        .collect()
+}
+
+/// Logical-OR labels: `1.0` if any LF votes positive, else `0.0`
+/// (§6.4's baseline weak supervision for the real-time events task).
+pub fn logical_or_labels(m: &LabelMatrix) -> Vec<f64> {
+    m.rows()
+        .map(|row| {
+            if row.contains(&1) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Hard majority-vote labels in `{-1, 0, +1}`; `0` means tie or all-abstain.
+pub fn majority_vote(m: &LabelMatrix) -> Vec<i8> {
+    m.rows()
+        .map(|row| {
+            let s: i64 = row.iter().map(|&v| i64::from(v)).sum();
+            match s.cmp(&0) {
+                std::cmp::Ordering::Greater => 1,
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat() -> LabelMatrix {
+        LabelMatrix::from_raw(
+            3,
+            vec![
+                1, 1, -1, // mean 1/3 -> 2/3
+                0, 0, 0, // all abstain
+                -1, -1, 0, // mean -1 -> 0
+                1, 0, 0, // mean 1 -> 1
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equal_weights_average_active_votes() {
+        let labels = equal_weight_labels(&mat(), 0.25);
+        assert!((labels[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((labels[1] - 0.25).abs() < 1e-12, "abstain row uses prior");
+        assert!((labels[2] - 0.0).abs() < 1e-12);
+        assert!((labels[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logical_or_fires_on_any_positive() {
+        let labels = logical_or_labels(&mat());
+        assert_eq!(labels, vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn majority_vote_breaks_ties_to_zero() {
+        let m = LabelMatrix::from_raw(2, vec![1, -1, 1, 0, -1, -1]).unwrap();
+        assert_eq!(majority_vote(&m), vec![0, 1, -1]);
+    }
+}

@@ -1,0 +1,660 @@
+//! The sampling-free generative label model (paper §5.2).
+//!
+//! DryBell models each labeling function `j` with two log-space parameters:
+//!
+//! * `α_j` — unnormalized log-probability that the LF is *correct* given
+//!   that it did not abstain, and
+//! * `β_j` — unnormalized log-probability that it did *not abstain*,
+//!
+//! under the conditionally independent model
+//! `P_w(Λ, Y) = Π_i P(Y_i) Π_j P(λ_j(X_i) | Y_i)`.
+//!
+//! With `A_j = e^{α_j+β_j}`, `B_j = e^{-α_j+β_j}` and the per-LF log
+//! normalizer `Z_j = log(A_j + B_j + 1)`, the per-example joint scores are
+//! exactly the paper's:
+//!
+//! ```text
+//! log P(Λ_i, Y=+1) = log π₊ + Σ_j ( λ_ij·α_j + 1[λ_ij≠0]·β_j − Z_j )
+//! log P(Λ_i, Y=−1) = log π₋ + Σ_j ( −λ_ij·α_j + 1[λ_ij≠0]·β_j − Z_j )
+//! ```
+//!
+//! and the training objective is the negative marginal log-likelihood
+//! `−Σ_i logsumexp(s_i⁺, s_i⁻)`, with `Y` marginalized out — no ground
+//! truth is ever consulted. Unlike the open-source Snorkel's Gibbs sampler
+//! (see [`crate::gibbs`]), the gradient here is **analytic**:
+//!
+//! ```text
+//! ∂NLL_i/∂α_j = ∂Z_j/∂α − (2p_i − 1)·λ_ij      ∂Z/∂α = (A−B)/(A+B+1)
+//! ∂NLL_i/∂β_j = ∂Z_j/∂β − 1[λ_ij ≠ 0]          ∂Z/∂β = (A+B)/(A+B+1)
+//! ∂NLL_i/∂η   = σ(η) − p_i                     (learned class prior)
+//! ```
+//!
+//! where `p_i = σ(s_i⁺ − s_i⁻)` is the posterior — which doubles as the
+//! probabilistic training label `Ỹ_i` once training finishes.
+
+use crate::error::CoreError;
+use crate::matrix::LabelMatrix;
+use crate::optim::{OptimState, Optimizer};
+use crate::{logsumexp2, sigmoid};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Training hyperparameters for [`GenerativeModel::fit`].
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of gradient steps (mini-batches).
+    pub steps: usize,
+    /// Mini-batch size. The paper benchmarks with 64.
+    pub batch_size: usize,
+    /// Update rule; the paper's TF implementation uses first-order methods.
+    pub optimizer: Optimizer,
+    /// L2 penalty toward 0 on `α` and `β` (a weak prior keeping accuracies
+    /// finite when LFs rarely overlap).
+    pub l2: f64,
+    /// Learn the class prior `P(Y)` (§5.2: "we assume that `P(Y_i)` is
+    /// uniform, but we can also learn this distribution").
+    pub learn_class_prior: bool,
+    /// Fixed class prior `P(Y=+1)` used when `learn_class_prior` is false.
+    pub class_prior: f64,
+    /// Initial `α` (a mildly optimistic prior that LFs are better than
+    /// chance, as in Snorkel).
+    pub init_alpha: f64,
+    /// RNG seed for batch shuffling.
+    pub seed: u64,
+    /// Record the full-data NLL every `record_every` steps (0 = never);
+    /// recording costs a full pass, so keep it sparse for big matrices.
+    pub record_every: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> TrainConfig {
+        TrainConfig {
+            steps: 1000,
+            batch_size: 64,
+            optimizer: Optimizer::adam(0.05),
+            l2: 1e-3,
+            learn_class_prior: false,
+            class_prior: 0.5,
+            init_alpha: 0.7,
+            seed: 0,
+            record_every: 0,
+        }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Gradient steps actually taken.
+    pub steps: usize,
+    /// Mean per-example NLL on the full matrix after training.
+    pub final_nll: f64,
+    /// Wall-clock training time in seconds.
+    pub seconds: f64,
+    /// Gradient steps per second (the §5.2 headline metric).
+    pub steps_per_sec: f64,
+    /// `(step, mean NLL)` samples if `record_every > 0`.
+    pub loss_history: Vec<(usize, f64)>,
+}
+
+/// The conditionally-independent generative label model with sampling-free
+/// maximum-marginal-likelihood training.
+#[derive(Debug, Clone)]
+pub struct GenerativeModel {
+    alpha: Vec<f64>,
+    beta: Vec<f64>,
+    /// Class-prior log-odds; `P(Y=+1) = σ(η)`.
+    eta: f64,
+    learn_prior: bool,
+}
+
+/// Per-LF cached quantities for one parameter setting.
+struct LfCache {
+    dz_da: Vec<f64>,
+    dz_db: Vec<f64>,
+    sum_z: f64,
+}
+
+impl GenerativeModel {
+    /// Create a model for `num_lfs` labeling functions with the given
+    /// initial accuracy parameter and a uniform class prior.
+    pub fn new(num_lfs: usize, init_alpha: f64) -> GenerativeModel {
+        GenerativeModel {
+            alpha: vec![init_alpha; num_lfs],
+            beta: vec![0.0; num_lfs],
+            eta: 0.0,
+            learn_prior: false,
+        }
+    }
+
+    /// Number of labeling functions.
+    pub fn num_lfs(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// Raw accuracy parameters `α`.
+    pub fn alphas(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// Raw propensity parameters `β`.
+    pub fn betas(&self) -> &[f64] {
+        &self.beta
+    }
+
+    /// Directly set the parameters (used by tests and by the Gibbs trainer
+    /// which shares this model family).
+    pub fn set_params(&mut self, alpha: Vec<f64>, beta: Vec<f64>, eta: f64) {
+        assert_eq!(alpha.len(), beta.len());
+        self.alpha = alpha;
+        self.beta = beta;
+        self.eta = eta;
+    }
+
+    /// Learned accuracy of each LF: `P(λ_j correct | λ_j ≠ 0) = σ(2α_j)`.
+    ///
+    /// §3.3 reports these estimates were "independently useful for
+    /// identifying previously unknown low-quality sources".
+    pub fn learned_accuracies(&self) -> Vec<f64> {
+        self.alpha.iter().map(|&a| sigmoid(2.0 * a)).collect()
+    }
+
+    /// Learned non-abstain propensity of each LF:
+    /// `P(λ_j ≠ 0) = (A + B) / (A + B + 1)`.
+    pub fn learned_propensities(&self) -> Vec<f64> {
+        self.alpha
+            .iter()
+            .zip(&self.beta)
+            .map(|(&a, &b)| {
+                let ab = (a + b).exp() + (-a + b).exp();
+                ab / (ab + 1.0)
+            })
+            .collect()
+    }
+
+    /// The class prior `P(Y = +1)` currently in effect.
+    pub fn class_prior(&self) -> f64 {
+        sigmoid(self.eta)
+    }
+
+    fn cache(&self) -> LfCache {
+        let n = self.alpha.len();
+        let mut dz_da = Vec::with_capacity(n);
+        let mut dz_db = Vec::with_capacity(n);
+        let mut sum_z = 0.0;
+        for j in 0..n {
+            let a = (self.alpha[j] + self.beta[j]).exp();
+            let b = (-self.alpha[j] + self.beta[j]).exp();
+            let d = a + b + 1.0;
+            dz_da.push((a - b) / d);
+            dz_db.push((a + b) / d);
+            sum_z += d.ln();
+        }
+        LfCache {
+            dz_da,
+            dz_db,
+            sum_z,
+        }
+    }
+
+    /// Joint log-scores `(log P(Λ_i, Y=+1), log P(Λ_i, Y=−1))` for one row.
+    fn joint_scores(&self, row: &[i8], cache: &LfCache) -> (f64, f64) {
+        let log_pi_pos = sigmoid(self.eta).ln();
+        let log_pi_neg = sigmoid(-self.eta).ln();
+        let mut margin = 0.0; // Σ_{active} λ·α
+        let mut active_beta = 0.0; // Σ_{active} β
+        for (j, &l) in row.iter().enumerate() {
+            if l != 0 {
+                margin += f64::from(l) * self.alpha[j];
+                active_beta += self.beta[j];
+            }
+        }
+        let base = active_beta - cache.sum_z;
+        (log_pi_pos + margin + base, log_pi_neg - margin + base)
+    }
+
+    /// Posterior `P(Y_i = +1 | Λ_i)` for one vote row.
+    pub fn posterior(&self, row: &[i8]) -> f64 {
+        let cache = self.cache();
+        let (sp, sm) = self.joint_scores(row, &cache);
+        sigmoid(sp - sm)
+    }
+
+    /// Posterior probabilities for every row of the matrix — these are the
+    /// probabilistic training labels `Ỹ` handed to the discriminative model.
+    pub fn predict_proba(&self, m: &LabelMatrix) -> Vec<f64> {
+        let cache = self.cache();
+        m.rows()
+            .map(|row| {
+                let (sp, sm) = self.joint_scores(row, &cache);
+                sigmoid(sp - sm)
+            })
+            .collect()
+    }
+
+    /// Mean per-example negative marginal log-likelihood `−log P(Λ)/m`.
+    pub fn nll(&self, m: &LabelMatrix) -> Result<f64, CoreError> {
+        if m.is_empty() {
+            return Err(CoreError::EmptyMatrix);
+        }
+        let cache = self.cache();
+        let total: f64 = m
+            .rows()
+            .map(|row| {
+                let (sp, sm) = self.joint_scores(row, &cache);
+                -logsumexp2(sp, sm)
+            })
+            .sum();
+        Ok(total / m.num_examples() as f64)
+    }
+
+    /// Accumulate the mean gradient of the NLL over the given row indices.
+    ///
+    /// Layout of `grad`: `[∂α_0..∂α_n, ∂β_0..∂β_n, ∂η]`.
+    fn grad_batch(&self, m: &LabelMatrix, batch: &[usize], l2: f64, grad: &mut [f64]) {
+        let n = self.alpha.len();
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        let cache = self.cache();
+        let pi = sigmoid(self.eta);
+        for &i in batch {
+            let row = m.row(i);
+            let (sp, sm) = self.joint_scores(row, &cache);
+            let p = sigmoid(sp - sm);
+            for (j, &l) in row.iter().enumerate() {
+                if l != 0 {
+                    grad[j] -= (2.0 * p - 1.0) * f64::from(l);
+                    grad[n + j] -= 1.0;
+                }
+            }
+            grad[2 * n] += pi - p;
+        }
+        // Batch-constant ∂Z terms (every example contributes ∂Z_j regardless
+        // of abstention).
+        let bsz = batch.len() as f64;
+        for j in 0..n {
+            grad[j] += bsz * cache.dz_da[j];
+            grad[n + j] += bsz * cache.dz_db[j];
+        }
+        // Mean over the batch plus L2 toward zero.
+        for g in grad.iter_mut() {
+            *g /= bsz;
+        }
+        for j in 0..n {
+            grad[j] += l2 * self.alpha[j];
+            grad[n + j] += l2 * self.beta[j];
+        }
+        if !self.learn_prior {
+            grad[2 * n] = 0.0;
+        }
+    }
+
+    /// Mean NLL gradient over the whole matrix (exposed for gradient checks
+    /// and for full-batch training in tests).
+    pub fn full_gradient(&self, m: &LabelMatrix, l2: f64) -> Vec<f64> {
+        let idx: Vec<usize> = (0..m.num_examples()).collect();
+        let mut grad = vec![0.0; 2 * self.alpha.len() + 1];
+        self.grad_batch(m, &idx, l2, &mut grad);
+        grad
+    }
+
+    /// Fit the model to the observed label matrix by mini-batch gradient
+    /// descent on `−log P(Λ)` — the sampling-free procedure of §5.2.
+    pub fn fit(&mut self, m: &LabelMatrix, cfg: &TrainConfig) -> Result<TrainReport, CoreError> {
+        if m.is_empty() {
+            return Err(CoreError::EmptyMatrix);
+        }
+        if m.num_lfs() != self.alpha.len() {
+            return Err(CoreError::LengthMismatch {
+                left: m.num_lfs(),
+                right: self.alpha.len(),
+            });
+        }
+        if cfg.batch_size == 0 {
+            return Err(CoreError::BadConfig("batch_size must be > 0".into()));
+        }
+        if !(0.0..=1.0).contains(&cfg.class_prior) || cfg.class_prior == 0.0 || cfg.class_prior == 1.0 {
+            return Err(CoreError::BadConfig(
+                "class_prior must be in the open interval (0, 1)".into(),
+            ));
+        }
+        self.learn_prior = cfg.learn_class_prior;
+        self.eta = (cfg.class_prior / (1.0 - cfg.class_prior)).ln();
+        self.alpha.iter_mut().for_each(|a| *a = cfg.init_alpha);
+        self.beta.iter_mut().for_each(|b| *b = 0.0);
+
+        let n = self.alpha.len();
+        let dim = 2 * n + 1;
+        let mut params = vec![0.0; dim];
+        let mut grad = vec![0.0; dim];
+        let mut opt = OptimState::new(cfg.optimizer, dim);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut order: Vec<usize> = (0..m.num_examples()).collect();
+        order.shuffle(&mut rng);
+        let mut cursor = 0usize;
+        let mut history = Vec::new();
+
+        let start = Instant::now();
+        for step in 0..cfg.steps {
+            // Draw the next mini-batch from the shuffled epoch order.
+            let mut batch = Vec::with_capacity(cfg.batch_size);
+            for _ in 0..cfg.batch_size.min(order.len()) {
+                if cursor == order.len() {
+                    order.shuffle(&mut rng);
+                    cursor = 0;
+                }
+                batch.push(order[cursor]);
+                cursor += 1;
+            }
+            self.grad_batch(m, &batch, cfg.l2, &mut grad);
+            params[..n].copy_from_slice(&self.alpha);
+            params[n..2 * n].copy_from_slice(&self.beta);
+            params[2 * n] = self.eta;
+            opt.step(&mut params, &grad);
+            if params.iter().any(|p| !p.is_finite()) {
+                return Err(CoreError::Diverged { step });
+            }
+            self.alpha.copy_from_slice(&params[..n]);
+            self.beta.copy_from_slice(&params[n..2 * n]);
+            if self.learn_prior {
+                self.eta = params[2 * n];
+            }
+            if cfg.record_every > 0 && (step % cfg.record_every == 0 || step + 1 == cfg.steps) {
+                history.push((step, self.nll(m)?));
+            }
+        }
+        let seconds = start.elapsed().as_secs_f64();
+        Ok(TrainReport {
+            steps: cfg.steps,
+            final_nll: self.nll(m)?,
+            seconds,
+            steps_per_sec: cfg.steps as f64 / seconds.max(1e-12),
+            loss_history: history,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vote::Label;
+    use rand::Rng;
+
+    /// Brute-force marginal NLL computed directly from the probabilistic
+    /// definition of the model, without any of the log-space shortcuts.
+    fn brute_force_nll(m: &LabelMatrix, alpha: &[f64], beta: &[f64], eta: f64) -> f64 {
+        let pi_pos = sigmoid(eta);
+        let mut total = 0.0;
+        for row in m.rows() {
+            let mut marginal = 0.0;
+            for (y, pi) in [(1i8, pi_pos), (-1i8, 1.0 - pi_pos)] {
+                let mut p = pi;
+                for (j, &l) in row.iter().enumerate() {
+                    let a = (alpha[j] + beta[j]).exp();
+                    let b = (-alpha[j] + beta[j]).exp();
+                    let d = a + b + 1.0;
+                    p *= match l {
+                        0 => 1.0 / d,
+                        l if l == y => a / d,
+                        _ => b / d,
+                    };
+                }
+                marginal += p;
+            }
+            total -= marginal.ln();
+        }
+        total / m.num_examples() as f64
+    }
+
+    fn random_matrix(m: usize, n: usize, seed: u64) -> LabelMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(m * n);
+        for _ in 0..m * n {
+            data.push([-1i8, 0, 0, 1][rng.gen_range(0..4)]);
+        }
+        LabelMatrix::from_raw(n, data).unwrap()
+    }
+
+    #[test]
+    fn nll_matches_brute_force_marginalization() {
+        let m = random_matrix(40, 5, 7);
+        let mut model = GenerativeModel::new(5, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let alpha: Vec<f64> = (0..5).map(|_| rng.gen_range(-1.0..1.5)).collect();
+        let beta: Vec<f64> = (0..5).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let eta = 0.3;
+        model.set_params(alpha.clone(), beta.clone(), eta);
+        let fast = model.nll(&m).unwrap();
+        let slow = brute_force_nll(&m, &alpha, &beta, eta);
+        assert!((fast - slow).abs() < 1e-10, "fast={fast} slow={slow}");
+    }
+
+    #[test]
+    fn analytic_gradient_matches_finite_differences() {
+        let m = random_matrix(25, 4, 3);
+        let mut model = GenerativeModel::new(4, 0.0);
+        let alpha = vec![0.4, -0.2, 0.9, 0.1];
+        let beta = vec![0.2, -0.5, 0.0, 0.7];
+        let eta = -0.4;
+        model.set_params(alpha.clone(), beta.clone(), eta);
+        model.learn_prior = true;
+        let l2 = 0.01;
+        let grad = model.full_gradient(&m, l2);
+        let h = 1e-6;
+        let f = |al: &[f64], be: &[f64], et: f64| {
+            let l2_term: f64 = al.iter().chain(be).map(|p| 0.5 * l2 * p * p).sum();
+            brute_force_nll(&m, al, be, et) + l2_term
+        };
+        for j in 0..4 {
+            let mut ap = alpha.clone();
+            ap[j] += h;
+            let mut am = alpha.clone();
+            am[j] -= h;
+            let fd = (f(&ap, &beta, eta) - f(&am, &beta, eta)) / (2.0 * h);
+            assert!((grad[j] - fd).abs() < 1e-5, "alpha[{j}]: {} vs {fd}", grad[j]);
+
+            let mut bp = beta.clone();
+            bp[j] += h;
+            let mut bm = beta.clone();
+            bm[j] -= h;
+            let fd = (f(&alpha, &bp, eta) - f(&alpha, &bm, eta)) / (2.0 * h);
+            assert!(
+                (grad[4 + j] - fd).abs() < 1e-5,
+                "beta[{j}]: {} vs {fd}",
+                grad[4 + j]
+            );
+        }
+        let fd = (f(&alpha, &beta, eta + h) - f(&alpha, &beta, eta - h)) / (2.0 * h);
+        assert!((grad[8] - fd).abs() < 1e-5, "eta: {} vs {fd}", grad[8]);
+    }
+
+    /// Generate a planted-truth dataset: true labels Y, then each LF votes
+    /// with its own propensity and accuracy.
+    fn planted(
+        m: usize,
+        accs: &[f64],
+        props: &[f64],
+        pos_rate: f64,
+        seed: u64,
+    ) -> (LabelMatrix, Vec<Label>) {
+        let n = accs.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mat = LabelMatrix::with_capacity(n, m);
+        let mut gold = Vec::with_capacity(m);
+        for _ in 0..m {
+            let y = if rng.gen_bool(pos_rate) {
+                Label::Positive
+            } else {
+                Label::Negative
+            };
+            let mut row = Vec::with_capacity(n);
+            for j in 0..n {
+                let v = if !rng.gen_bool(props[j]) {
+                    0
+                } else if rng.gen_bool(accs[j]) {
+                    y.as_i8()
+                } else {
+                    -y.as_i8()
+                };
+                row.push(v);
+            }
+            mat.push_raw_row(&row).unwrap();
+            gold.push(y);
+        }
+        (mat, gold)
+    }
+
+    #[test]
+    fn recovers_planted_accuracies_without_gold_labels() {
+        let accs = [0.9, 0.75, 0.6, 0.85, 0.95];
+        let props = [0.8, 0.5, 0.9, 0.4, 0.6];
+        let (mat, _gold) = planted(16000, &accs, &props, 0.5, 42);
+        let mut model = GenerativeModel::new(5, 0.7);
+        let cfg = TrainConfig {
+            steps: 6000,
+            batch_size: 128,
+            optimizer: Optimizer::adam(0.05),
+            ..TrainConfig::default()
+        };
+        model.fit(&mat, &cfg).unwrap();
+        let learned = model.learned_accuracies();
+        for (j, (&la, &ta)) in learned.iter().zip(&accs).enumerate() {
+            assert!(
+                (la - ta).abs() < 0.12,
+                "LF {j}: learned {la:.3} vs true {ta:.3}"
+            );
+        }
+        let lp = model.learned_propensities();
+        for (j, (&l, &t)) in lp.iter().zip(&props).enumerate() {
+            assert!((l - t).abs() < 0.05, "prop {j}: {l:.3} vs {t:.3}");
+        }
+    }
+
+    #[test]
+    fn posteriors_beat_majority_vote_on_skewed_accuracies() {
+        // One excellent LF vs three weak ones that often gang up on it:
+        // majority vote follows the mob, the generative model learns to
+        // trust the good source.
+        let accs = [0.95, 0.58, 0.58, 0.58];
+        let props = [0.9, 0.9, 0.9, 0.9];
+        let (mat, gold) = planted(6000, &accs, &props, 0.5, 9);
+        let mut model = GenerativeModel::new(4, 0.7);
+        model
+            .fit(
+                &mat,
+                &TrainConfig {
+                    steps: 2500,
+                    ..TrainConfig::default()
+                },
+            )
+            .unwrap();
+        let post = model.predict_proba(&mat);
+        let model_acc = post
+            .iter()
+            .zip(&gold)
+            .filter(|(p, y)| Label::from_prob(**p) == **y)
+            .count() as f64
+            / gold.len() as f64;
+        let mv_acc = mat
+            .rows()
+            .zip(&gold)
+            .filter(|(row, y)| {
+                let s: i32 = row.iter().map(|&v| i32::from(v)).sum();
+                s != 0 && (s > 0) == (**y == Label::Positive)
+            })
+            .count() as f64
+            / gold.len() as f64;
+        assert!(
+            model_acc > mv_acc + 0.02,
+            "model {model_acc:.3} should beat majority vote {mv_acc:.3}"
+        );
+    }
+
+    #[test]
+    fn abstain_only_row_returns_prior() {
+        let mut model = GenerativeModel::new(3, 0.5);
+        model.set_params(vec![0.5; 3], vec![0.0; 3], 0.0);
+        assert!((model.posterior(&[0, 0, 0]) - 0.5).abs() < 1e-12);
+        model.set_params(vec![0.5; 3], vec![0.0; 3], 1.2);
+        assert!((model.posterior(&[0, 0, 0]) - sigmoid(1.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn posterior_flips_with_votes_under_uniform_prior() {
+        let mut model = GenerativeModel::new(3, 0.0);
+        model.set_params(vec![0.9, 0.3, 0.6], vec![0.1, -0.2, 0.0], 0.0);
+        let rows: [[i8; 3]; 3] = [[1, -1, 0], [1, 1, 1], [0, -1, 1]];
+        for row in rows {
+            let flipped: Vec<i8> = row.iter().map(|v| -v).collect();
+            let p = model.posterior(&row);
+            let q = model.posterior(&flipped);
+            assert!((p + q - 1.0).abs() < 1e-10, "p={p} q={q}");
+        }
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let mat = random_matrix(10, 3, 0);
+        let mut model = GenerativeModel::new(4, 0.7);
+        assert!(matches!(
+            model.fit(&mat, &TrainConfig::default()),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+        let mut model = GenerativeModel::new(3, 0.7);
+        let bad = TrainConfig {
+            batch_size: 0,
+            ..TrainConfig::default()
+        };
+        assert!(matches!(model.fit(&mat, &bad), Err(CoreError::BadConfig(_))));
+        let bad = TrainConfig {
+            class_prior: 1.0,
+            ..TrainConfig::default()
+        };
+        assert!(matches!(model.fit(&mat, &bad), Err(CoreError::BadConfig(_))));
+        let empty = LabelMatrix::new(3);
+        assert!(matches!(
+            model.fit(&empty, &TrainConfig::default()),
+            Err(CoreError::EmptyMatrix)
+        ));
+    }
+
+    #[test]
+    fn learned_class_prior_tracks_skew() {
+        let accs = [0.85, 0.8, 0.8];
+        let props = [0.9, 0.9, 0.9];
+        let (mat, _) = planted(6000, &accs, &props, 0.2, 11);
+        let mut model = GenerativeModel::new(3, 0.7);
+        let cfg = TrainConfig {
+            steps: 3000,
+            learn_class_prior: true,
+            ..TrainConfig::default()
+        };
+        model.fit(&mat, &cfg).unwrap();
+        let prior = model.class_prior();
+        assert!(
+            (prior - 0.2).abs() < 0.1,
+            "learned prior {prior:.3}, planted 0.2"
+        );
+    }
+
+    #[test]
+    fn loss_history_is_decreasing_overall() {
+        let accs = [0.8, 0.7, 0.9];
+        let props = [0.7, 0.7, 0.7];
+        let (mat, _) = planted(2000, &accs, &props, 0.5, 5);
+        let mut model = GenerativeModel::new(3, 0.2);
+        let cfg = TrainConfig {
+            steps: 800,
+            record_every: 100,
+            ..TrainConfig::default()
+        };
+        let report = model.fit(&mat, &cfg).unwrap();
+        assert!(report.loss_history.len() >= 2);
+        let first = report.loss_history.first().unwrap().1;
+        let last = report.loss_history.last().unwrap().1;
+        assert!(last < first, "NLL should drop: {first} -> {last}");
+        assert!(report.final_nll.is_finite());
+        assert!(report.steps_per_sec > 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Named job counters, in the spirit of MapReduce counters.
+//!
+//! Workers increment counters cheaply through a [`CounterHandle`]; the
+//! engine merges per-worker tallies into a [`CounterSnapshot`] attached to
+//! the job's final stats. Counters are how LF pipelines report vote
+//! distributions, service cache hits, skipped records, etc. without
+//! funneling everything through return values.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared counter registry for one job.
+#[derive(Debug, Default, Clone)]
+pub struct Counters {
+    inner: Arc<Mutex<HashMap<String, u64>>>,
+}
+
+impl Counters {
+    /// Create an empty registry.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Add `n` to the counter `name`, creating it at zero if absent.
+    pub fn add(&self, name: &str, n: u64) {
+        let mut map = self.inner.lock();
+        *map.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Increment the counter `name` by one.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot all counters, sorted by name.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let map = self.inner.lock();
+        let mut entries: Vec<(String, u64)> =
+            map.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        entries.sort();
+        CounterSnapshot { entries }
+    }
+
+    /// Merge a local tally into the registry in one lock acquisition.
+    pub fn merge(&self, local: &HashMap<String, u64>) {
+        let mut map = self.inner.lock();
+        for (k, v) in local {
+            *map.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+}
+
+/// A worker-local counter buffer that batches increments and flushes them
+/// to the shared [`Counters`] on drop (avoiding per-record lock traffic).
+pub struct CounterHandle {
+    shared: Counters,
+    local: HashMap<String, u64>,
+}
+
+impl CounterHandle {
+    /// Create a handle feeding `shared`.
+    pub fn new(shared: Counters) -> CounterHandle {
+        CounterHandle {
+            shared,
+            local: HashMap::new(),
+        }
+    }
+
+    /// Add `n` to the local tally of `name`.
+    pub fn add(&mut self, name: &str, n: u64) {
+        // Fast path: the counter usually already exists locally.
+        if let Some(slot) = self.local.get_mut(name) {
+            *slot += n;
+        } else {
+            self.local.insert(name.to_owned(), n);
+        }
+    }
+
+    /// Increment the local tally by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Flush the local tally into the shared registry immediately.
+    pub fn flush(&mut self) {
+        if !self.local.is_empty() {
+            self.shared.merge(&self.local);
+            self.local.clear();
+        }
+    }
+}
+
+impl Drop for CounterHandle {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// An immutable, sorted snapshot of the counters after a job.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    entries: Vec<(String, u64)>,
+}
+
+impl CounterSnapshot {
+    /// Counter value by name (zero if absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0)
+    }
+
+    /// All `(name, value)` pairs, sorted by name.
+    pub fn entries(&self) -> &[(String, u64)] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = Counters::new();
+        c.inc("a");
+        c.add("a", 4);
+        c.inc("b");
+        assert_eq!(c.get("a"), 5);
+        assert_eq!(c.get("b"), 1);
+        assert_eq!(c.get("missing"), 0);
+        let snap = c.snapshot();
+        assert_eq!(snap.get("a"), 5);
+        assert_eq!(snap.entries().len(), 2);
+        // Sorted order.
+        assert_eq!(snap.entries()[0].0, "a");
+    }
+
+    #[test]
+    fn handle_batches_and_flushes_on_drop() {
+        let c = Counters::new();
+        {
+            let mut h = CounterHandle::new(c.clone());
+            h.inc("x");
+            h.add("x", 9);
+            // Not yet visible.
+            assert_eq!(c.get("x"), 0);
+        }
+        assert_eq!(c.get("x"), 10);
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let c = Counters::new();
+        thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    let mut h = CounterHandle::new(c);
+                    for _ in 0..1000 {
+                        h.inc("hits");
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get("hits"), 8000);
+    }
+}

@@ -1,0 +1,665 @@
+//! The MapReduce-style execution engine.
+//!
+//! Snorkel DryBell executes every labeling function as a MapReduce pipeline
+//! over Google's distributed compute environment (§5.1). This module is the
+//! local substitute: a thread-per-worker engine over [`crate::shard`]
+//! datasets that preserves the architectural properties the paper relies
+//! on —
+//!
+//! * workers process whole shards and may hold per-worker state (the hook
+//!   used to "launch a model server on each compute node"),
+//! * jobs expose named counters and wall-clock stats,
+//! * a full shuffle ([`map_reduce`]) with optional map-side combining is
+//!   available for aggregation pipelines,
+//! * worker panics and user errors abort the job and surface as
+//!   [`DataflowError`]s rather than hanging.
+
+use crate::counters::{CounterHandle, Counters, CounterSnapshot};
+use crate::error::DataflowError;
+use crate::shard::{ShardReader, ShardSpec, ShardWriter};
+use crate::Record;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Configuration shared by all job types.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Job name used in stats and error messages.
+    pub name: String,
+    /// Number of worker threads (both map and reduce phases).
+    pub workers: usize,
+    /// Map-side buffer size (in key-value pairs) before a spill flush;
+    /// only used by [`map_reduce`].
+    pub spill_buffer: usize,
+}
+
+impl JobConfig {
+    /// A job named `name` using all available parallelism.
+    pub fn new(name: impl Into<String>) -> JobConfig {
+        JobConfig {
+            name: name.into(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            spill_buffer: 64 * 1024,
+        }
+    }
+
+    /// Override the worker count.
+    pub fn with_workers(mut self, workers: usize) -> JobConfig {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// Wall-clock and throughput accounting for a finished job.
+#[derive(Debug, Clone)]
+pub struct JobStats {
+    /// Job name.
+    pub name: String,
+    /// Records read from the input dataset.
+    pub records_in: u64,
+    /// Records written to the output dataset.
+    pub records_out: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Final counter values.
+    pub counters: CounterSnapshot,
+}
+
+impl JobStats {
+    /// Input records per second.
+    pub fn throughput(&self) -> f64 {
+        self.records_in as f64 / self.seconds.max(1e-12)
+    }
+}
+
+/// Per-worker context passed to worker-state initializers.
+pub struct WorkerContext {
+    /// Worker index in `0..workers`.
+    pub worker_id: usize,
+    /// Batched counter handle for this worker.
+    pub counters: CounterHandle,
+}
+
+/// Long-lived per-worker helper (e.g. an NLP model server) that jobs can
+/// start once per worker and reuse across every record the worker maps —
+/// the paper's "launch a model server on each compute node" pattern.
+pub trait Service: Send {
+    /// Service name for logging and counters.
+    fn name(&self) -> &str;
+    /// One-time startup (load models, open sockets, ...).
+    fn warm_up(&mut self) -> Result<(), DataflowError> {
+        Ok(())
+    }
+}
+
+/// Emits output records from a map function into the worker's output shard.
+pub struct Emit<'a, O: Record> {
+    writer: &'a mut ShardWriter<O>,
+    emitted: u64,
+}
+
+impl<'a, O: Record> Emit<'a, O> {
+    /// Write one output record.
+    pub fn emit(&mut self, record: &O) -> Result<(), DataflowError> {
+        self.writer.write(record)?;
+        self.emitted += 1;
+        Ok(())
+    }
+}
+
+fn render_panic(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Shared abort/error state for a running job.
+struct JobState {
+    failed: AtomicBool,
+    first_error: Mutex<Option<DataflowError>>,
+    records_in: AtomicU64,
+    records_out: AtomicU64,
+}
+
+impl JobState {
+    fn new() -> JobState {
+        JobState {
+            failed: AtomicBool::new(false),
+            first_error: Mutex::new(None),
+            records_in: AtomicU64::new(0),
+            records_out: AtomicU64::new(0),
+        }
+    }
+
+    fn fail(&self, err: DataflowError) {
+        let mut slot = self.first_error.lock();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        self.failed.store(true, Ordering::SeqCst);
+    }
+
+    fn into_result(self, stats: JobStats) -> Result<JobStats, DataflowError> {
+        match self.first_error.into_inner() {
+            Some(err) => Err(err),
+            None => Ok(stats),
+        }
+    }
+}
+
+/// Run a shard-parallel map: each input shard `i` is transformed into
+/// output shard `i` by a user function, with per-worker state created by
+/// `init` (the model-server hook).
+///
+/// Requires `output.num_shards() == input.num_shards()`.
+pub fn par_map_shards<I, O, S, Init, F>(
+    input: &ShardSpec,
+    output: &ShardSpec,
+    cfg: &JobConfig,
+    init: Init,
+    f: F,
+) -> Result<JobStats, DataflowError>
+where
+    I: Record,
+    O: Record,
+    S: Send,
+    Init: Fn(&mut WorkerContext) -> Result<S, DataflowError> + Sync,
+    F: Fn(&mut S, I, &mut Emit<'_, O>, &mut CounterHandle) -> Result<(), DataflowError> + Sync,
+{
+    if output.num_shards() != input.num_shards() {
+        return Err(DataflowError::BadJob(format!(
+            "par_map_shards needs matching shard counts: {} in vs {} out",
+            input.num_shards(),
+            output.num_shards()
+        )));
+    }
+    let counters = Counters::new();
+    let state = JobState::new();
+    let (tx, rx) = crossbeam::channel::unbounded::<usize>();
+    for i in 0..input.num_shards() {
+        tx.send(i).expect("queue send");
+    }
+    drop(tx);
+    let start = Instant::now();
+    let workers = cfg.workers.max(1);
+    std::thread::scope(|scope| {
+        for worker_id in 0..workers {
+            let rx = rx.clone();
+            let counters = counters.clone();
+            let state = &state;
+            let init = &init;
+            let f = &f;
+            scope.spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let mut ctx = WorkerContext {
+                        worker_id,
+                        counters: CounterHandle::new(counters.clone()),
+                    };
+                    let mut user_state = match init(&mut ctx) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            state.fail(e);
+                            return;
+                        }
+                    };
+                    let mut handle = CounterHandle::new(counters.clone());
+                    while let Ok(shard) = rx.recv() {
+                        if state.failed.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        if let Err(e) = run_one_shard(
+                            input,
+                            output,
+                            shard,
+                            &mut user_state,
+                            f,
+                            state,
+                            &mut handle,
+                        ) {
+                            state.fail(e);
+                            return;
+                        }
+                    }
+                }));
+                if let Err(payload) = result {
+                    state.fail(DataflowError::WorkerPanicked {
+                        worker: worker_id,
+                        message: render_panic(payload),
+                    });
+                }
+            });
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let stats = JobStats {
+        name: cfg.name.clone(),
+        records_in: state.records_in.load(Ordering::SeqCst),
+        records_out: state.records_out.load(Ordering::SeqCst),
+        seconds,
+        workers,
+        counters: counters.snapshot(),
+    };
+    state.into_result(stats)
+}
+
+fn run_one_shard<I, O, S, F>(
+    input: &ShardSpec,
+    output: &ShardSpec,
+    shard: usize,
+    user_state: &mut S,
+    f: &F,
+    state: &JobState,
+    handle: &mut CounterHandle,
+) -> Result<(), DataflowError>
+where
+    I: Record,
+    O: Record,
+    F: Fn(&mut S, I, &mut Emit<'_, O>, &mut CounterHandle) -> Result<(), DataflowError> + Sync,
+{
+    let reader = ShardReader::<I>::open(&input.shard_path(shard))?;
+    let mut writer = ShardWriter::<O>::create(&output.shard_path(shard))?;
+    let mut read = 0u64;
+    let mut emit = Emit {
+        writer: &mut writer,
+        emitted: 0,
+    };
+    for record in reader {
+        let record = record?;
+        read += 1;
+        f(user_state, record, &mut emit, handle)?;
+    }
+    let emitted = emit.emitted;
+    writer.finish()?;
+    state.records_in.fetch_add(read, Ordering::SeqCst);
+    state.records_out.fetch_add(emitted, Ordering::SeqCst);
+    Ok(())
+}
+
+fn hash_key<K: Hash>(k: &K) -> u64 {
+    let mut h = DefaultHasher::new();
+    k.hash(&mut h);
+    h.finish()
+}
+
+/// Run a full map-shuffle-reduce over sharded datasets.
+///
+/// * `map` emits `(K, V)` pairs per input record;
+/// * pairs are hash-partitioned into `output.num_shards()` partitions and
+///   spilled under `tmp_dir`, with optional map-side combining;
+/// * `reduce` folds each key's values (presented in key order) and emits
+///   output records to its partition's shard.
+pub fn map_reduce<I, K, V, O, M, C, R>(
+    input: &ShardSpec,
+    output: &ShardSpec,
+    tmp_dir: &Path,
+    cfg: &JobConfig,
+    map: M,
+    combiner: Option<C>,
+    reduce: R,
+) -> Result<JobStats, DataflowError>
+where
+    I: Record,
+    O: Record,
+    K: Record + Ord + Clone + Hash + Eq,
+    V: Record,
+    M: Fn(I, &mut dyn FnMut(K, V)) -> Result<(), DataflowError> + Sync,
+    C: Fn(&K, Vec<V>) -> V + Sync,
+    R: Fn(&K, Vec<V>, &mut dyn FnMut(&O) -> Result<(), DataflowError>) -> Result<(), DataflowError>
+        + Sync,
+{
+    let partitions = output.num_shards();
+    let workers = cfg.workers.max(1);
+    let counters = Counters::new();
+    let state = JobState::new();
+    let start = Instant::now();
+
+    // ---- Map phase -------------------------------------------------------
+    let spill = |w: usize, p: usize| ShardSpec::new(tmp_dir, format!("spill-{w:03}-{p:03}"), 1);
+    {
+        let (tx, rx) = crossbeam::channel::unbounded::<usize>();
+        for i in 0..input.num_shards() {
+            tx.send(i).expect("queue send");
+        }
+        drop(tx);
+        std::thread::scope(|scope| {
+            for worker_id in 0..workers {
+                let rx = rx.clone();
+                let state = &state;
+                let map = &map;
+                let combiner = combiner.as_ref();
+                let spill = &spill;
+                scope.spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        if let Err(e) = map_worker::<I, K, V, _, _>(
+                            input,
+                            worker_id,
+                            partitions,
+                            cfg.spill_buffer,
+                            &rx,
+                            map,
+                            combiner,
+                            spill,
+                            state,
+                        ) {
+                            state.fail(e);
+                        }
+                    }));
+                    if let Err(payload) = result {
+                        state.fail(DataflowError::WorkerPanicked {
+                            worker: worker_id,
+                            message: render_panic(payload),
+                        });
+                    }
+                });
+            }
+        });
+    }
+    if state.failed.load(Ordering::SeqCst) {
+        let stats = empty_stats(cfg, workers, &counters);
+        return state.into_result(stats);
+    }
+
+    // ---- Reduce phase ----------------------------------------------------
+    {
+        let (tx, rx) = crossbeam::channel::unbounded::<usize>();
+        for p in 0..partitions {
+            tx.send(p).expect("queue send");
+        }
+        drop(tx);
+        std::thread::scope(|scope| {
+            for worker_id in 0..workers.min(partitions) {
+                let rx = rx.clone();
+                let state = &state;
+                let reduce = &reduce;
+                let spill = &spill;
+                scope.spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        while let Ok(p) = rx.recv() {
+                            if state.failed.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            if let Err(e) = reduce_partition::<K, V, O, _>(
+                                output, p, workers, reduce, spill, state,
+                            ) {
+                                state.fail(e);
+                                return;
+                            }
+                        }
+                    }));
+                    if let Err(payload) = result {
+                        state.fail(DataflowError::WorkerPanicked {
+                            worker: worker_id,
+                            message: render_panic(payload),
+                        });
+                    }
+                });
+            }
+        });
+    }
+    // Clean up spills regardless of outcome.
+    for w in 0..workers {
+        for p in 0..partitions {
+            let _ = spill(w, p).remove();
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let stats = JobStats {
+        name: cfg.name.clone(),
+        records_in: state.records_in.load(Ordering::SeqCst),
+        records_out: state.records_out.load(Ordering::SeqCst),
+        seconds,
+        workers,
+        counters: counters.snapshot(),
+    };
+    state.into_result(stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn map_worker<I, K, V, M, C>(
+    input: &ShardSpec,
+    worker_id: usize,
+    partitions: usize,
+    spill_buffer: usize,
+    rx: &crossbeam::channel::Receiver<usize>,
+    map: &M,
+    combiner: Option<&C>,
+    spill: &dyn Fn(usize, usize) -> ShardSpec,
+    state: &JobState,
+) -> Result<(), DataflowError>
+where
+    I: Record,
+    K: Record + Ord + Clone + Hash + Eq,
+    V: Record,
+    M: Fn(I, &mut dyn FnMut(K, V)) -> Result<(), DataflowError> + Sync,
+    C: Fn(&K, Vec<V>) -> V + Sync,
+{
+    let mut writers: Vec<ShardWriter<(K, V)>> = (0..partitions)
+        .map(|p| ShardWriter::create(&spill(worker_id, p).shard_path(0)))
+        .collect::<Result<_, _>>()?;
+    let mut buffer: HashMap<K, Vec<V>> = HashMap::new();
+    let mut buffered = 0usize;
+    let mut read = 0u64;
+
+    let flush = |buffer: &mut HashMap<K, Vec<V>>,
+                     writers: &mut Vec<ShardWriter<(K, V)>>|
+     -> Result<(), DataflowError> {
+        for (k, vs) in buffer.drain() {
+            let p = (hash_key(&k) % partitions as u64) as usize;
+            match combiner {
+                Some(c) if vs.len() > 1 => {
+                    let combined = c(&k, vs);
+                    writers[p].write(&(k, combined))?;
+                }
+                _ => {
+                    for v in vs {
+                        writers[p].write(&(k.clone(), v))?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    };
+
+    while let Ok(shard) = rx.recv() {
+        if state.failed.load(Ordering::SeqCst) {
+            break;
+        }
+        let reader = ShardReader::<I>::open(&input.shard_path(shard))?;
+        for record in reader {
+            let record = record?;
+            read += 1;
+            let mut map_err: Option<DataflowError> = None;
+            let mut emit = |k: K, v: V| {
+                buffer.entry(k).or_default().push(v);
+                buffered += 1;
+            };
+            if let Err(e) = map(record, &mut emit) {
+                map_err = Some(e);
+            }
+            if let Some(e) = map_err {
+                return Err(e);
+            }
+            if buffered >= spill_buffer {
+                flush(&mut buffer, &mut writers)?;
+                buffered = 0;
+            }
+        }
+    }
+    flush(&mut buffer, &mut writers)?;
+    for w in writers {
+        w.finish()?;
+    }
+    state.records_in.fetch_add(read, Ordering::SeqCst);
+    Ok(())
+}
+
+fn reduce_partition<K, V, O, R>(
+    output: &ShardSpec,
+    partition: usize,
+    map_workers: usize,
+    reduce: &R,
+    spill: &dyn Fn(usize, usize) -> ShardSpec,
+    state: &JobState,
+) -> Result<(), DataflowError>
+where
+    K: Record + Ord + Clone + Hash + Eq,
+    V: Record,
+    O: Record,
+    R: Fn(&K, Vec<V>, &mut dyn FnMut(&O) -> Result<(), DataflowError>) -> Result<(), DataflowError>
+        + Sync,
+{
+    let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+    for w in 0..map_workers {
+        let path = spill(w, partition).shard_path(0);
+        if !path.exists() {
+            continue;
+        }
+        for rec in ShardReader::<(K, V)>::open(&path)? {
+            let (k, v) = rec?;
+            groups.entry(k).or_default().push(v);
+        }
+    }
+    let mut writer = ShardWriter::<O>::create(&output.shard_path(partition))?;
+    let mut emitted = 0u64;
+    for (k, vs) in groups {
+        let mut sink = |o: &O| -> Result<(), DataflowError> {
+            writer.write(o)?;
+            emitted += 1;
+            Ok(())
+        };
+        reduce(&k, vs, &mut sink)?;
+    }
+    writer.finish()?;
+    state.records_out.fetch_add(emitted, Ordering::SeqCst);
+    Ok(())
+}
+
+fn empty_stats(cfg: &JobConfig, workers: usize, counters: &Counters) -> JobStats {
+    JobStats {
+        name: cfg.name.clone(),
+        records_in: 0,
+        records_out: 0,
+        seconds: 0.0,
+        workers,
+        counters: counters.snapshot(),
+    }
+}
+
+/// Single-threaded in-memory reference MapReduce, used by tests to verify
+/// the distributed engine produces identical results.
+pub fn reference_map_reduce<I, K, V, O, M, R>(
+    inputs: &[I],
+    map: M,
+    reduce: R,
+) -> Result<Vec<O>, DataflowError>
+where
+    I: Clone,
+    K: Ord + Clone,
+    M: Fn(I, &mut dyn FnMut(K, V)) -> Result<(), DataflowError>,
+    R: Fn(&K, Vec<V>, &mut dyn FnMut(&O) -> Result<(), DataflowError>) -> Result<(), DataflowError>,
+    O: Clone,
+{
+    let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+    for input in inputs {
+        let mut emit = |k: K, v: V| {
+            groups.entry(k).or_default().push(v);
+        };
+        map(input.clone(), &mut emit)?;
+    }
+    let mut out = Vec::new();
+    for (k, vs) in groups {
+        let mut sink = |o: &O| -> Result<(), DataflowError> {
+            out.push(o.clone());
+            Ok(())
+        };
+        reduce(&k, vs, &mut sink)?;
+    }
+    Ok(out)
+}
+
+/// Parallel in-memory map preserving input order, with per-worker state.
+///
+/// This is the fast path used when a dataset already fits in memory (the
+/// experiment harness' default); the shard-based [`par_map_shards`] is the
+/// faithful pipeline for on-disk datasets.
+pub fn par_map_vec<T, U, S, Init, F>(
+    items: &[T],
+    workers: usize,
+    init: Init,
+    f: F,
+) -> Result<Vec<U>, DataflowError>
+where
+    T: Sync,
+    U: Send,
+    S: Send,
+    Init: Fn(usize) -> Result<S, DataflowError> + Sync,
+    F: Fn(&mut S, &T) -> Result<U, DataflowError> + Sync,
+{
+    let workers = workers.max(1);
+    let chunk = items.len().div_ceil(workers).max(1);
+    let state = JobState::new();
+    let mut results: Vec<Mutex<Vec<U>>> = Vec::new();
+    for _ in 0..workers {
+        results.push(Mutex::new(Vec::new()));
+    }
+    std::thread::scope(|scope| {
+        for (worker_id, (slot, block)) in results.iter().zip(items.chunks(chunk)).enumerate() {
+            let state = &state;
+            let init = &init;
+            let f = &f;
+            scope.spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let mut s = match init(worker_id) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            state.fail(e);
+                            return;
+                        }
+                    };
+                    let mut out = Vec::with_capacity(block.len());
+                    for item in block {
+                        if state.failed.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        match f(&mut s, item) {
+                            Ok(u) => out.push(u),
+                            Err(e) => {
+                                state.fail(e);
+                                return;
+                            }
+                        }
+                    }
+                    *slot.lock() = out;
+                }));
+                if let Err(payload) = result {
+                    state.fail(DataflowError::WorkerPanicked {
+                        worker: worker_id,
+                        message: render_panic(payload),
+                    });
+                }
+            });
+        }
+    });
+    if let Some(err) = state.first_error.into_inner() {
+        return Err(err);
+    }
+    let mut out = Vec::with_capacity(items.len());
+    for slot in results {
+        out.extend(slot.into_inner());
+    }
+    Ok(out)
+}

@@ -1,0 +1,224 @@
+//! Multi-stage pipeline orchestration.
+//!
+//! Figure 4 of the paper shows labeling-function binaries as "custom
+//! MapReduce pipelines" — several shard-to-shard stages chained through
+//! the distributed filesystem, with per-stage accounting. [`Pipeline`]
+//! is that thin orchestration layer: each stage is a shard-parallel map
+//! whose output dataset feeds the next stage, every stage's
+//! [`JobStats`] is retained, and intermediate datasets can be cleaned up
+//! at the end.
+
+use crate::counters::CounterHandle;
+use crate::error::DataflowError;
+use crate::mapreduce::{par_map_shards, Emit, JobConfig, JobStats, WorkerContext};
+use crate::shard::ShardSpec;
+use crate::Record;
+use std::path::{Path, PathBuf};
+
+/// Accounting for one finished pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// Per-stage job statistics, in execution order.
+    pub stages: Vec<JobStats>,
+}
+
+impl PipelineRun {
+    /// Total wall-clock seconds across stages.
+    pub fn total_seconds(&self) -> f64 {
+        self.stages.iter().map(|s| s.seconds).sum()
+    }
+
+    /// Render a per-stage summary table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "{:<24} {:>10} {:>10} {:>9} {:>12}\n",
+            "stage", "in", "out", "seconds", "records/s"
+        );
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<24} {:>10} {:>10} {:>9.2} {:>12.0}\n",
+                s.name,
+                s.records_in,
+                s.records_out,
+                s.seconds,
+                s.throughput()
+            ));
+        }
+        out.push_str(&format!("total: {:.2}s\n", self.total_seconds()));
+        out
+    }
+}
+
+/// Chains shard-parallel map stages through datasets in one directory.
+pub struct Pipeline {
+    dir: PathBuf,
+    workers: usize,
+    stages: Vec<JobStats>,
+    intermediates: Vec<ShardSpec>,
+}
+
+impl Pipeline {
+    /// Create a pipeline writing its stage outputs under `dir`.
+    pub fn new(dir: impl Into<PathBuf>, workers: usize) -> Pipeline {
+        Pipeline {
+            dir: dir.into(),
+            workers: workers.max(1),
+            stages: Vec::new(),
+            intermediates: Vec::new(),
+        }
+    }
+
+    /// The pipeline's working directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Run one shard-parallel map stage: `input` → a new dataset named
+    /// after `name` (same shard count), returning the output spec for the
+    /// next stage. Worker state comes from `init` (the model-server
+    /// hook), exactly as in [`par_map_shards`].
+    pub fn map_stage<I, O, S, Init, F>(
+        &mut self,
+        name: &str,
+        input: &ShardSpec,
+        init: Init,
+        f: F,
+    ) -> Result<ShardSpec, DataflowError>
+    where
+        I: Record,
+        O: Record,
+        S: Send,
+        Init: Fn(&mut WorkerContext) -> Result<S, DataflowError> + Sync,
+        F: Fn(&mut S, I, &mut Emit<'_, O>, &mut CounterHandle) -> Result<(), DataflowError> + Sync,
+    {
+        let output = ShardSpec::new(&self.dir, name, input.num_shards());
+        let cfg = JobConfig::new(name).with_workers(self.workers);
+        let stats = par_map_shards(input, &output, &cfg, init, f)?;
+        self.stages.push(stats);
+        self.intermediates.push(output.clone());
+        Ok(output)
+    }
+
+    /// Stage stats accumulated so far.
+    pub fn stats(&self) -> &[JobStats] {
+        &self.stages
+    }
+
+    /// Finish, optionally deleting every intermediate dataset except the
+    /// final stage's output.
+    pub fn finish(mut self, clean_intermediates: bool) -> Result<PipelineRun, DataflowError> {
+        if clean_intermediates && !self.intermediates.is_empty() {
+            let last = self.intermediates.pop();
+            for spec in &self.intermediates {
+                spec.remove()?;
+            }
+            drop(last);
+        }
+        Ok(PipelineRun {
+            stages: self.stages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::{read_all, write_all};
+
+    type Rec = (u64, String);
+
+    fn seed_input(dir: &Path) -> ShardSpec {
+        let records: Vec<Rec> = (0..200).map(|i| (i, format!("text {i}"))).collect();
+        let spec = ShardSpec::new(dir, "input", 4);
+        write_all(&spec, &records).unwrap();
+        spec
+    }
+
+    #[test]
+    fn stages_chain_through_datasets() {
+        let dir = tempfile::tempdir().unwrap();
+        let input = seed_input(dir.path());
+        let mut pipeline = Pipeline::new(dir.path(), 2);
+        // Stage 1: double the key.
+        let doubled = pipeline
+            .map_stage(
+                "doubled",
+                &input,
+                |_ctx| Ok(()),
+                |_s: &mut (), (k, v): Rec, emit, _c: &mut CounterHandle| emit.emit(&(k * 2, v)),
+            )
+            .unwrap();
+        // Stage 2: keep multiples of four.
+        let filtered = pipeline
+            .map_stage(
+                "filtered",
+                &doubled,
+                |_ctx| Ok(()),
+                |_s: &mut (), rec: Rec, emit, _c: &mut CounterHandle| {
+                    if rec.0 % 4 == 0 {
+                        emit.emit(&rec)?;
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+        let run = pipeline.finish(false).unwrap();
+        assert_eq!(run.stages.len(), 2);
+        assert_eq!(run.stages[0].records_in, 200);
+        assert_eq!(run.stages[0].records_out, 200);
+        assert_eq!(run.stages[1].records_out, 100);
+        assert!(run.total_seconds() >= 0.0);
+        let table = run.to_table();
+        assert!(table.contains("doubled") && table.contains("filtered"));
+        let out: Vec<Rec> = read_all(&filtered).unwrap();
+        assert_eq!(out.len(), 100);
+        assert!(out.iter().all(|(k, _)| k % 4 == 0));
+    }
+
+    #[test]
+    fn finish_cleans_intermediates_but_keeps_final() {
+        let dir = tempfile::tempdir().unwrap();
+        let input = seed_input(dir.path());
+        let mut pipeline = Pipeline::new(dir.path(), 2);
+        let a = pipeline
+            .map_stage(
+                "a",
+                &input,
+                |_ctx| Ok(()),
+                |_s: &mut (), rec: Rec, emit, _c: &mut CounterHandle| emit.emit(&rec),
+            )
+            .unwrap();
+        let b = pipeline
+            .map_stage(
+                "b",
+                &a,
+                |_ctx| Ok(()),
+                |_s: &mut (), rec: Rec, emit, _c: &mut CounterHandle| emit.emit(&rec),
+            )
+            .unwrap();
+        pipeline.finish(true).unwrap();
+        assert!(!a.exists(), "intermediate dataset must be removed");
+        assert!(b.exists(), "final dataset must survive");
+        assert!(input.exists(), "caller-owned input is untouched");
+    }
+
+    #[test]
+    fn stage_errors_propagate() {
+        let dir = tempfile::tempdir().unwrap();
+        let input = seed_input(dir.path());
+        let mut pipeline = Pipeline::new(dir.path(), 2);
+        let err = pipeline.map_stage(
+            "boom",
+            &input,
+            |_ctx| Ok(()),
+            |_s: &mut (), (k, _): Rec, _emit: &mut Emit<'_, Rec>, _c: &mut CounterHandle| {
+                if k == 7 {
+                    Err(DataflowError::user("stage failure"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert!(matches!(err, Err(DataflowError::User(_))));
+    }
+}

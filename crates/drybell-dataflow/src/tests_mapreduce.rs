@@ -1,0 +1,384 @@
+//! Tests for the MapReduce engine (kept in a separate module to keep
+//! `mapreduce.rs` focused on the engine itself).
+
+use crate::codec::Record;
+use crate::counters::CounterHandle;
+use crate::error::DataflowError;
+use crate::mapreduce::{
+    map_reduce, par_map_shards, par_map_vec, reference_map_reduce, JobConfig,
+};
+use crate::shard::{read_all, write_all, ShardSpec};
+use proptest::prelude::*;
+
+type WordRec = (u64, String);
+type CountSink<'a> = &'a mut dyn FnMut(&(String, i64)) -> Result<(), DataflowError>;
+
+fn write_input(dir: &std::path::Path, shards: usize, records: &[WordRec]) -> ShardSpec {
+    let spec = ShardSpec::new(dir, "input", shards);
+    write_all(&spec, records).unwrap();
+    spec
+}
+
+#[test]
+fn par_map_transforms_every_record() {
+    let dir = tempfile::tempdir().unwrap();
+    let records: Vec<WordRec> = (0..500).map(|i| (i, format!("doc {i}"))).collect();
+    let input = write_input(dir.path(), 8, &records);
+    let output = input.derive("mapped");
+    let cfg = JobConfig::new("double").with_workers(4);
+    let stats = par_map_shards(
+        &input,
+        &output,
+        &cfg,
+        |_ctx| Ok(()),
+        |_s: &mut (), (k, v): WordRec, emit, counters: &mut CounterHandle| {
+            counters.inc("seen");
+            emit.emit(&(k * 2, v))
+        },
+    )
+    .unwrap();
+    assert_eq!(stats.records_in, 500);
+    assert_eq!(stats.records_out, 500);
+    assert_eq!(stats.counters.get("seen"), 500);
+    assert!(stats.throughput() > 0.0);
+    let mut back: Vec<WordRec> = read_all(&output).unwrap();
+    back.sort();
+    let mut want: Vec<WordRec> = records.iter().map(|(k, v)| (k * 2, v.clone())).collect();
+    want.sort();
+    assert_eq!(back, want);
+}
+
+#[test]
+fn par_map_filters_via_emit() {
+    let dir = tempfile::tempdir().unwrap();
+    let records: Vec<WordRec> = (0..100).map(|i| (i, String::new())).collect();
+    let input = write_input(dir.path(), 4, &records);
+    let output = input.derive("evens");
+    let stats = par_map_shards(
+        &input,
+        &output,
+        &JobConfig::new("filter").with_workers(2),
+        |_ctx| Ok(()),
+        |_s: &mut (), rec: WordRec, emit, _c: &mut CounterHandle| {
+            if rec.0.is_multiple_of(2) {
+                emit.emit(&rec)?;
+            }
+            Ok(())
+        },
+    )
+    .unwrap();
+    assert_eq!(stats.records_in, 100);
+    assert_eq!(stats.records_out, 50);
+}
+
+#[test]
+fn par_map_worker_state_is_per_worker() {
+    // Each worker's init gets a distinct id; all ids must be < workers.
+    let dir = tempfile::tempdir().unwrap();
+    let records: Vec<WordRec> = (0..64).map(|i| (i, String::new())).collect();
+    let input = write_input(dir.path(), 8, &records);
+    let output = input.derive("ids");
+    par_map_shards(
+        &input,
+        &output,
+        &JobConfig::new("ids").with_workers(3),
+        |ctx| {
+            assert!(ctx.worker_id < 3);
+            Ok(ctx.worker_id as u64)
+        },
+        |wid: &mut u64, (k, _): WordRec, emit, _c: &mut CounterHandle| {
+            emit.emit(&(k, format!("worker-{wid}")))
+        },
+    )
+    .unwrap();
+    let back: Vec<WordRec> = read_all(&output).unwrap();
+    assert_eq!(back.len(), 64);
+    for (_, v) in back {
+        assert!(v.starts_with("worker-"));
+    }
+}
+
+#[test]
+fn par_map_user_error_aborts_job() {
+    let dir = tempfile::tempdir().unwrap();
+    let records: Vec<WordRec> = (0..50).map(|i| (i, String::new())).collect();
+    let input = write_input(dir.path(), 4, &records);
+    let output = input.derive("err");
+    let result = par_map_shards(
+        &input,
+        &output,
+        &JobConfig::new("fail").with_workers(2),
+        |_ctx| Ok(()),
+        |_s: &mut (), (k, _): WordRec, _emit: &mut crate::mapreduce::Emit<'_, WordRec>, _c| {
+            if k == 13 {
+                Err(DataflowError::user("unlucky record"))
+            } else {
+                Ok(())
+            }
+        },
+    );
+    assert!(matches!(result, Err(DataflowError::User(_))));
+}
+
+#[test]
+fn par_map_worker_panic_is_reported() {
+    let dir = tempfile::tempdir().unwrap();
+    let records: Vec<WordRec> = (0..50).map(|i| (i, String::new())).collect();
+    let input = write_input(dir.path(), 4, &records);
+    let output = input.derive("panic");
+    let result = par_map_shards(
+        &input,
+        &output,
+        &JobConfig::new("panic").with_workers(2),
+        |_ctx| Ok(()),
+        |_s: &mut (), (k, _): WordRec, emit: &mut crate::mapreduce::Emit<'_, WordRec>, _c| {
+            if k == 7 {
+                panic!("boom at {k}");
+            }
+            emit.emit(&(k, String::new()))
+        },
+    );
+    match result {
+        Err(DataflowError::WorkerPanicked { message, .. }) => {
+            assert!(message.contains("boom"), "got: {message}");
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+}
+
+#[test]
+fn par_map_shard_count_mismatch_rejected() {
+    let dir = tempfile::tempdir().unwrap();
+    let input = write_input(dir.path(), 4, &[]);
+    let output = ShardSpec::new(dir.path(), "out", 2);
+    let result = par_map_shards(
+        &input,
+        &output,
+        &JobConfig::new("bad"),
+        |_ctx| Ok(()),
+        |_s: &mut (), rec: WordRec, emit, _c: &mut CounterHandle| emit.emit(&rec),
+    );
+    assert!(matches!(result, Err(DataflowError::BadJob(_))));
+}
+
+/// Word count: the canonical MapReduce correctness check, verified against
+/// the single-threaded reference implementation.
+#[test]
+fn word_count_matches_reference() {
+    let docs: Vec<WordRec> = vec![
+        (0, "the quick brown fox".into()),
+        (1, "the lazy dog".into()),
+        (2, "the quick dog jumps".into()),
+        (3, "brown dog brown fox".into()),
+    ];
+    let map = |(_, text): WordRec, emit: &mut dyn FnMut(String, i64)| {
+        for word in text.split_whitespace() {
+            emit(word.to_owned(), 1);
+        }
+        Ok(())
+    };
+    let reduce = |k: &String, vs: Vec<i64>, sink: CountSink<'_>| {
+        sink(&(k.clone(), vs.into_iter().sum()))
+    };
+    let want: Vec<(String, i64)> = reference_map_reduce(&docs, map, reduce).unwrap();
+
+    let dir = tempfile::tempdir().unwrap();
+    let input = write_input(dir.path(), 2, &docs);
+    let output = ShardSpec::new(dir.path(), "counts", 3);
+    let stats = map_reduce(
+        &input,
+        &output,
+        dir.path(),
+        &JobConfig::new("wordcount").with_workers(2),
+        map,
+        None::<fn(&String, Vec<i64>) -> i64>,
+        reduce,
+    )
+    .unwrap();
+    assert_eq!(stats.records_in, 4);
+    let mut got: Vec<(String, i64)> = read_all(&output).unwrap();
+    got.sort();
+    let mut want_sorted = want;
+    want_sorted.sort();
+    assert_eq!(got, want_sorted);
+    // Spot-check a value.
+    assert!(got.contains(&("the".to_string(), 3)));
+}
+
+#[test]
+fn combiner_does_not_change_results() {
+    let docs: Vec<WordRec> = (0..200)
+        .map(|i| (i, format!("w{} w{} w{}", i % 7, i % 3, i % 7)))
+        .collect();
+    let map = |(_, text): WordRec, emit: &mut dyn FnMut(String, i64)| {
+        for w in text.split_whitespace() {
+            emit(w.to_owned(), 1);
+        }
+        Ok(())
+    };
+    let reduce = |k: &String, vs: Vec<i64>, sink: CountSink<'_>| {
+        sink(&(k.clone(), vs.into_iter().sum()))
+    };
+    let run = |combine: bool, dir: &std::path::Path| -> Vec<(String, i64)> {
+        let input = write_input(dir, 4, &docs);
+        let output = ShardSpec::new(dir, "out", 2);
+        let combiner = combine.then_some(|_k: &String, vs: Vec<i64>| vs.into_iter().sum::<i64>());
+        let mut cfg = JobConfig::new("wc").with_workers(3);
+        cfg.spill_buffer = 16; // force frequent spills so combining matters
+        map_reduce(&input, &output, dir, &cfg, map, combiner, reduce).unwrap();
+        let mut got: Vec<(String, i64)> = read_all(&output).unwrap();
+        got.sort();
+        got
+    };
+    let d1 = tempfile::tempdir().unwrap();
+    let d2 = tempfile::tempdir().unwrap();
+    assert_eq!(run(false, d1.path()), run(true, d2.path()));
+}
+
+#[test]
+fn map_reduce_cleans_spill_files() {
+    let dir = tempfile::tempdir().unwrap();
+    let docs: Vec<WordRec> = (0..20).map(|i| (i, format!("x{}", i % 3))).collect();
+    let input = write_input(dir.path(), 2, &docs);
+    let output = ShardSpec::new(dir.path(), "out", 2);
+    map_reduce(
+        &input,
+        &output,
+        dir.path(),
+        &JobConfig::new("wc").with_workers(2),
+        |(_, t): WordRec, emit: &mut dyn FnMut(String, i64)| {
+            emit(t, 1);
+            Ok(())
+        },
+        None::<fn(&String, Vec<i64>) -> i64>,
+        |k: &String, vs: Vec<i64>, sink: CountSink<'_>| {
+            sink(&(k.clone(), vs.len() as i64))
+        },
+    )
+    .unwrap();
+    let leftover = std::fs::read_dir(dir.path())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("spill-"))
+        .count();
+    assert_eq!(leftover, 0, "spill files must be removed");
+}
+
+#[test]
+fn par_map_vec_preserves_order() {
+    let items: Vec<u64> = (0..1000).collect();
+    let out = par_map_vec(
+        &items,
+        7,
+        |_wid| Ok(()),
+        |_s: &mut (), &x| Ok(x * x),
+    )
+    .unwrap();
+    assert_eq!(out.len(), 1000);
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(*v, (i * i) as u64);
+    }
+}
+
+#[test]
+fn par_map_vec_propagates_errors_and_panics() {
+    let items: Vec<u64> = (0..100).collect();
+    let err = par_map_vec(
+        &items,
+        4,
+        |_wid| Ok(()),
+        |_s: &mut (), &x| {
+            if x == 42 {
+                Err(DataflowError::user("bad"))
+            } else {
+                Ok(x)
+            }
+        },
+    );
+    assert!(matches!(err, Err(DataflowError::User(_))));
+    let err = par_map_vec(
+        &items,
+        4,
+        |_wid| Ok(()),
+        |_s: &mut (), &x: &u64| -> Result<u64, DataflowError> {
+            if x == 55 {
+                panic!("dead worker");
+            }
+            Ok(x)
+        },
+    );
+    assert!(matches!(err, Err(DataflowError::WorkerPanicked { .. })));
+}
+
+#[test]
+fn par_map_vec_empty_input() {
+    let items: Vec<u64> = Vec::new();
+    let out = par_map_vec(&items, 4, |_| Ok(()), |_s: &mut (), &x| Ok(x)).unwrap();
+    assert!(out.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The distributed engine must agree with the reference fold for
+    /// arbitrary inputs, shard counts, worker counts, and buffer sizes.
+    #[test]
+    fn prop_map_reduce_equals_reference(
+        docs in proptest::collection::vec((any::<u64>(), "[a-d ]{0,12}"), 0..60),
+        shards in 1usize..5,
+        partitions in 1usize..4,
+        workers in 1usize..5,
+        spill in 1usize..40,
+    ) {
+        let docs: Vec<WordRec> = docs;
+        let map = |(_, text): WordRec, emit: &mut dyn FnMut(String, i64)| {
+            for w in text.split_whitespace() {
+                emit(w.to_owned(), 1);
+            }
+            Ok(())
+        };
+        let reduce = |k: &String, vs: Vec<i64>, sink: CountSink<'_>| {
+            sink(&(k.clone(), vs.into_iter().sum()))
+        };
+        let mut want: Vec<(String, i64)> = reference_map_reduce(&docs, map, reduce).unwrap();
+        want.sort();
+
+        let dir = tempfile::tempdir().unwrap();
+        let input = write_input(dir.path(), shards, &docs);
+        let output = ShardSpec::new(dir.path(), "out", partitions);
+        let mut cfg = JobConfig::new("prop").with_workers(workers);
+        cfg.spill_buffer = spill;
+        map_reduce(
+            &input, &output, dir.path(), &cfg, map,
+            Some(|_k: &String, vs: Vec<i64>| vs.into_iter().sum::<i64>()),
+            reduce,
+        ).unwrap();
+        let mut got: Vec<(String, i64)> = read_all(&output).unwrap();
+        got.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn prop_par_map_vec_matches_sequential(
+        items in proptest::collection::vec(any::<i64>(), 0..300),
+        workers in 1usize..9,
+    ) {
+        let out = par_map_vec(
+            &items, workers,
+            |_| Ok(()),
+            |_s: &mut (), &x| Ok(x.wrapping_mul(3).wrapping_add(1)),
+        ).unwrap();
+        let want: Vec<i64> = items.iter().map(|&x| x.wrapping_mul(3).wrapping_add(1)).collect();
+        prop_assert_eq!(out, want);
+    }
+}
+
+/// `Record` impl sanity for the key types the engine shuffles.
+#[test]
+fn shuffle_key_roundtrip() {
+    let mut buf = Vec::new();
+    ("key".to_string(), 42i64).encode(&mut buf);
+    let mut s = buf.as_slice();
+    let back = <(String, i64)>::decode(&mut s).unwrap();
+    assert_eq!(back, ("key".to_string(), 42));
+}

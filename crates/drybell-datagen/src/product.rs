@@ -1,0 +1,672 @@
+//! The product-classification application (§3.2).
+//!
+//! An existing classifier detected content referencing products in a
+//! category of interest; a strategic decision *expanded* the category to
+//! include "many types of accessories and parts", instantly depreciating
+//! the old training labels. One developer writes eight labeling functions:
+//! keyword rules, Knowledge-Graph translations of those keywords in ten
+//! languages (for coverage across locales), the coarse topic model, and
+//! the depreciated legacy classifier used only on the side it is still
+//! right about.
+//!
+//! The generator emits documents in ten languages referencing products
+//! from the `drybell-kg` commerce graph. Ground truth: the content
+//! references the *photography* subtree (cameras, drones, and — after the
+//! expansion — their accessories and parts).
+
+use crate::common::{draw_label, gaussian, pick, scaled_counts, FILLER_WORDS};
+use drybell_core::vote::{Label, Vote};
+use drybell_dataflow::codec::{self, CodecError, Record};
+use drybell_features::{FeatureHasher, SparseVector};
+use drybell_kg::commerce::{CommerceGraph, LANGS, OTHER_TRANSLATIONS, PHOTO_TRANSLATIONS};
+use drybell_lf::executor::TextExtractor;
+use drybell_lf::{Lf, LfCategory, LfSet};
+use drybell_nlp::langid::Lang;
+use drybell_nlp::topic_model::Topic;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// One piece of product-referencing (or not) content.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductDoc {
+    /// Unique id.
+    pub id: u64,
+    /// Content text, possibly non-English (servable).
+    pub text: String,
+    /// Locale the content was served in (servable metadata).
+    pub lang: String,
+    /// Depreciated legacy classifier's score, attached offline
+    /// (non-servable; §3.2's "existing classifier").
+    pub legacy_score: f64,
+}
+
+impl Record for ProductDoc {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        codec::put_varint(buf, self.id);
+        codec::put_string(buf, &self.text);
+        codec::put_string(buf, &self.lang);
+        codec::put_f64(buf, self.legacy_score);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<ProductDoc, CodecError> {
+        Ok(ProductDoc {
+            id: codec::get_varint(buf)?,
+            text: codec::get_string(buf)?,
+            lang: codec::get_string(buf)?,
+            legacy_score: codec::get_f64(buf)?,
+        })
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct ProductTaskConfig {
+    /// Unlabeled pool size (paper: 6.5M).
+    pub num_unlabeled: usize,
+    /// Development set size (paper: 14K).
+    pub num_dev: usize,
+    /// Test set size (paper: 13K).
+    pub num_test: usize,
+    /// Positive rate (paper: 1.48%).
+    pub pos_rate: f64,
+    /// Fraction of documents in English; the rest spread uniformly over
+    /// the other nine languages.
+    pub english_rate: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ProductTaskConfig {
+    /// Table 1 preset: 6.5M unlabeled, 14K dev, 13K test, 1.48% positive.
+    pub fn paper() -> ProductTaskConfig {
+        ProductTaskConfig {
+            num_unlabeled: 6_500_000,
+            num_dev: 14_000,
+            num_test: 13_000,
+            pos_rate: 0.0148,
+            english_rate: 0.55,
+            seed: 20190701,
+        }
+    }
+
+    /// The paper preset with all split sizes scaled by `f`.
+    pub fn scaled(f: f64) -> ProductTaskConfig {
+        let base = ProductTaskConfig::paper();
+        let (u, d, t) = scaled_counts(base.num_unlabeled, base.num_dev, base.num_test, f);
+        ProductTaskConfig {
+            num_unlabeled: u,
+            num_dev: d,
+            num_test: t,
+            ..base
+        }
+    }
+}
+
+/// The generated product task.
+#[derive(Debug, Clone)]
+pub struct ProductDataset {
+    /// Unlabeled pool.
+    pub unlabeled: Vec<ProductDoc>,
+    /// Hidden gold for the unlabeled pool (evaluation harnesses only).
+    pub unlabeled_gold: Vec<Label>,
+    /// Development split.
+    pub dev: Vec<ProductDoc>,
+    /// Development labels.
+    pub dev_gold: Vec<Label>,
+    /// Test split.
+    pub test: Vec<ProductDoc>,
+    /// Test labels.
+    pub test_gold: Vec<Label>,
+    /// The commerce knowledge graph the KG LFs query.
+    pub kg: Arc<CommerceGraph>,
+}
+
+/// Alias of `word` in `lang` according to the translation tables (falls
+/// back to the English word for untranslated vocabulary).
+fn alias_for<'a>(word: &'a str, lang: &str) -> &'a str {
+    let col = LANGS.iter().position(|l| *l == lang).unwrap_or(0);
+    for (w, row) in PHOTO_TRANSLATIONS.iter().chain(OTHER_TRANSLATIONS) {
+        if *w == word {
+            return row[col];
+        }
+    }
+    word
+}
+
+const PHOTO_CORE: &[&str] = &["camera", "drone"];
+const PHOTO_ACCESSORIES: &[&str] = &[
+    "lens", "tripod", "flash", "battery", "charger", "filter", "strap", "gimbal",
+];
+const OTHER_PRODUCTS: &[&str] = &[
+    "phone", "tablet", "laptop", "monitor", "printer", "router", "console",
+];
+const OTHER_ACCESSORIES: &[&str] = &["headphones", "speaker", "keyboard"];
+
+/// Photography-context vocabulary that is *not* in the knowledge graph:
+/// no labeling function knows these words, but they co-occur with the
+/// KG-visible product terms in positives — the "more subtle or synonymous
+/// features" §2 says the discriminative classifier learns to exploit
+/// beyond the labeling functions.
+const PHOTO_CONTEXT: &[&str] = &[
+    "zoom", "aperture", "shutter", "bokeh", "megapixel", "viewfinder", "exposure", "portrait",
+    "timelapse", "autofocus",
+];
+
+fn lang_filler(rng: &mut StdRng, lang: Lang) -> String {
+    let words: Vec<&str> = lang.seed_text().split_whitespace().collect();
+    words[rng.gen_range(0..words.len())].to_owned()
+}
+
+fn generate_doc(rng: &mut StdRng, id: u64, label: Label, english_rate: f64) -> ProductDoc {
+    let lang = if rng.gen_bool(english_rate) {
+        Lang::En
+    } else {
+        Lang::ALL[rng.gen_range(1..Lang::ALL.len())]
+    };
+    let lang_code = lang.code();
+    let len = rng.gen_range(20..50);
+    let mut words: Vec<String> = Vec::with_capacity(len + 6);
+
+    // Product mentions.
+    let mut product_free = false;
+    match label {
+        Label::Positive => {
+            // 1–3 photography-subtree terms in the document's language.
+            // Roughly 55% of positives are about accessories/parts — the
+            // expanded part of the category. 8% of positives use only
+            // photography jargon with no catalog term at all; labeling
+            // functions are blind to them, the discriminative model is
+            // not.
+            let jargon_only = rng.gen_bool(0.08);
+            if !jargon_only {
+                let about_accessory = rng.gen_bool(0.55);
+                let n_mentions = rng.gen_range(1..=3);
+                for _ in 0..n_mentions {
+                    let word = if about_accessory {
+                        pick(rng, PHOTO_ACCESSORIES)
+                    } else {
+                        pick(rng, PHOTO_CORE)
+                    };
+                    words.push(alias_for(word, lang_code).to_owned());
+                }
+                // Accessory docs usually also name the core product.
+                if about_accessory && rng.gen_bool(0.5) {
+                    words.push(alias_for(pick(rng, PHOTO_CORE), lang_code).to_owned());
+                }
+            }
+            // Photography jargon (KG-invisible, feature-visible).
+            for _ in 0..rng.gen_range(1..=3) {
+                words.push((*pick(rng, PHOTO_CONTEXT)).to_owned());
+            }
+        }
+        Label::Negative => {
+            // Most negatives reference other products or accessories;
+            // some are product-free chatter.
+            let r: f64 = rng.gen();
+            if r < 0.45 {
+                for _ in 0..rng.gen_range(1..=3) {
+                    words.push(alias_for(pick(rng, OTHER_PRODUCTS), lang_code).to_owned());
+                }
+            } else if r < 0.75 {
+                for _ in 0..rng.gen_range(1..=2) {
+                    words.push(alias_for(pick(rng, OTHER_ACCESSORIES), lang_code).to_owned());
+                }
+                // "phone charger", "laptop battery": shared accessory
+                // vocabulary creates genuine ambiguity with photography
+                // accessories. Kept rare — with a 1.48% positive rate,
+                // even a 1% false-fire rate would swamp the positive
+                // keyword LFs' precision.
+                if rng.gen_bool(0.008) {
+                    words.push(alias_for("charger", lang_code).to_owned());
+                }
+            } else {
+                // No product mention at all: off-topic chatter that
+                // slipped through the keyword filter.
+                product_free = true;
+            }
+        }
+    }
+
+    // Background vocabulary. Product content is commerce-flavored;
+    // product-free chatter talks about something else entirely (which is
+    // exactly what lets the coarse topic model flag it, §3.2). A slice of
+    // the product-mentioning negatives is also off-topic ("my trip, plus
+    // my phone died") — those docs are where the topic-model LF overlaps
+    // the keyword LFs, tying all the negative evidence into one agreement
+    // component.
+    let offtopic_background =
+        product_free || (label == Label::Negative && rng.gen_bool(0.15));
+    let offtopic = *pick(
+        rng,
+        &[&Topic::Travel, &Topic::Sports, &Topic::Health, &Topic::Politics],
+    );
+    for _ in 0..len {
+        let r: f64 = rng.gen();
+        if offtopic_background {
+            if r < 0.30 {
+                words.push((*pick(rng, offtopic.seed_keywords())).to_owned());
+            } else if r < 0.33 {
+                words.push((*pick(rng, Topic::Commerce.seed_keywords())).to_owned());
+            } else if lang == Lang::En {
+                words.push((*pick(rng, FILLER_WORDS)).to_owned());
+            } else {
+                words.push(lang_filler(rng, lang));
+            }
+        } else if r < 0.18 {
+            words.push((*pick(rng, Topic::Commerce.seed_keywords())).to_owned());
+        } else if r < 0.22 {
+            words.push((*pick(rng, Topic::Technology.seed_keywords())).to_owned());
+        } else if r < 0.223 && label == Label::Negative {
+            // A sprinkle of photography jargon in negatives ("phone with
+            // great zoom") keeps the jargon features imperfect.
+            words.push((*pick(rng, PHOTO_CONTEXT)).to_owned());
+        } else if lang == Lang::En {
+            words.push((*pick(rng, FILLER_WORDS)).to_owned());
+        } else {
+            words.push(lang_filler(rng, lang));
+        }
+    }
+    // Shuffle mentions into the text (Fisher–Yates).
+    for i in (1..words.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        words.swap(i, j);
+    }
+
+    // Legacy classifier: trained on the *old* category (cameras/drones
+    // only, English market). Still precise on core-product positives,
+    // blind to the accessory expansion, slightly noisy overall.
+    let mentions_core = words
+        .iter()
+        .any(|w| PHOTO_CORE.iter().any(|c| w == alias_for(c, lang_code)));
+    let high_side = if mentions_core && lang == Lang::En {
+        rng.gen_bool(0.93)
+    } else {
+        rng.gen_bool(0.002)
+    };
+    let center = if high_side { 0.85 } else { 0.12 };
+    let legacy_score = (center + 0.15 * gaussian(rng)).clamp(0.0, 1.0);
+
+    ProductDoc {
+        id,
+        text: words.join(" "),
+        lang: lang_code.to_owned(),
+        legacy_score,
+    }
+}
+
+/// Generate the full task.
+pub fn generate(cfg: &ProductTaskConfig) -> ProductDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut make_split = |n: usize, id_base: u64| {
+        let mut docs = Vec::with_capacity(n);
+        let mut gold = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = draw_label(&mut rng, cfg.pos_rate);
+            docs.push(generate_doc(
+                &mut rng,
+                id_base + i as u64,
+                label,
+                cfg.english_rate,
+            ));
+            gold.push(label);
+        }
+        (docs, gold)
+    };
+    let (unlabeled, unlabeled_gold) = make_split(cfg.num_unlabeled, 0);
+    let (dev, dev_gold) = make_split(cfg.num_dev, 1_000_000_000);
+    let (test, test_gold) = make_split(cfg.num_test, 2_000_000_000);
+    ProductDataset {
+        unlabeled,
+        unlabeled_gold,
+        dev,
+        dev_gold,
+        test,
+        test_gold,
+        kg: Arc::new(drybell_kg::commerce::commerce_graph()),
+    }
+}
+
+/// Text extractor for the NLP LFs.
+pub fn text_extractor() -> TextExtractor<ProductDoc> {
+    Arc::new(|d: &ProductDoc| d.text.clone())
+}
+
+/// Build the eight labeling functions of §3.2.
+pub fn lf_set(cg: Arc<CommerceGraph>) -> LfSet<ProductDoc> {
+    let kg_arc = Arc::new(cg.graph.clone());
+    let cg_pos = cg.clone();
+    let cg_neg = cg.clone();
+    let cg_combo = cg.clone();
+    let cg_none = cg.clone();
+
+    LfSet::new()
+        .with_knowledge_graph(kg_arc)
+        // --- Keyword-based, English, bipolar — §3.2: "Keywords in the
+        // --- content indicated either products and accessories in the
+        // --- category of interest, or other accessories not of
+        // --- interest". Bipolar LFs are what make the label model
+        // --- identifiable: an LF voting on both sides cannot be
+        // --- explained away as "always wrong when it fires".
+        .with(Lf::plain(
+            "kw_en",
+            LfCategory::ContentHeuristic,
+            true,
+            {
+                let cg = cg.clone();
+                move |d: &ProductDoc| {
+                    // One embedded keyword-table rule (§3.2's keyword LF):
+                    // photography terms → positive; other products → negative;
+                    // *no* catalog term at all → negative (product content
+                    // always names a product). The table is exported from the
+                    // KG at build time, so the rule itself is servable.
+                    let mut photo = false;
+                    let mut other = false;
+                    let mut any_alias = false;
+                    for w in d.text.split_whitespace() {
+                        photo |= PHOTO_CORE.contains(&w) || PHOTO_ACCESSORIES.contains(&w);
+                        other |= OTHER_ACCESSORIES.contains(&w) || OTHER_PRODUCTS.contains(&w);
+                        any_alias |= cg.graph.resolve_alias(w).is_some();
+                    }
+                    match (photo, other, any_alias) {
+                        (true, _, _) => Vote::Positive,
+                        (false, true, _) => Vote::Negative,
+                        (false, false, false) => Vote::Negative,
+                        (false, false, true) => Vote::Abstain,
+                    }
+                }
+            },
+        ))
+        .with(Lf::plain(
+            "kw_photo_strict_en",
+            LfCategory::ContentHeuristic,
+            true,
+            |d: &ProductDoc| {
+                // Two distinct photography terms: high-precision English
+                // positive rule.
+                let mut seen = std::collections::HashSet::new();
+                for w in d.text.split_whitespace() {
+                    if PHOTO_CORE.contains(&w) || PHOTO_ACCESSORIES.contains(&w) {
+                        seen.insert(w);
+                    }
+                }
+                if seen.len() >= 2 {
+                    Vote::Positive
+                } else {
+                    Vote::Abstain
+                }
+            },
+        ))
+        // --- Knowledge-Graph translations in ten languages (§3.2),
+        // --- bipolar like the keyword rule it generalizes. The live
+        // --- graph is an offline resource → non-servable.
+        .with(Lf::graph(
+            "kg_multilang",
+            false,
+            move |d: &ProductDoc, _kg| {
+                let mut photo = false;
+                let mut foreign = false;
+                for w in d.text.split_whitespace() {
+                    photo |= cg_pos.alias_in_photography(w);
+                    foreign |= cg_pos.alias_is_foreign_accessory(w);
+                }
+                match (photo, foreign) {
+                    (true, _) => Vote::Positive,
+                    (false, true) => Vote::Negative,
+                    (false, false) => Vote::Abstain,
+                }
+            },
+        ))
+        .with(Lf::graph(
+            "kg_foreign_product",
+            false,
+            move |d: &ProductDoc, _kg| {
+                // Any-language mention of a *non-photography product*
+                // (phones, laptops, ...) without photography terms.
+                let mut photo = false;
+                let mut foreign_product = false;
+                for w in d.text.split_whitespace() {
+                    photo |= cg_neg.alias_in_photography(w);
+                    if let Some((_, id)) = cg_neg.graph.resolve_alias(w) {
+                        foreign_product |= cg_neg.graph.entity(id).kind
+                            == drybell_kg::NodeKind::Product
+                            && !cg_neg.graph.in_category_subtree(id, cg_neg.photography);
+                    }
+                }
+                if foreign_product && !photo {
+                    Vote::Negative
+                } else {
+                    Vote::Abstain
+                }
+            },
+        ))
+        // --- Topic-model-based negative heuristic ("content obviously
+        // --- unrelated to the category of products of interest", §3.2).
+        .with(Lf::nlp("topic_noncommerce", |_d: &ProductDoc, nlp| {
+            let commerce = nlp.topic_probs[Topic::Commerce.index()]
+                + nlp.topic_probs[Topic::Technology.index()];
+            if commerce < 0.15 {
+                Vote::Negative
+            } else {
+                Vote::Abstain
+            }
+        }))
+        // --- A second graph signal: a core product named alongside an
+        // --- accessory term implies the photography sense of ambiguous
+        // --- accessory words like "charger".
+        .with(Lf::graph("kg_core_plus_accessory", false, move |d: &ProductDoc, kg| {
+            let mut saw_core = false;
+            let mut saw_acc = false;
+            for w in d.text.split_whitespace() {
+                if let Some((_, id)) = kg.resolve_alias(w) {
+                    if kg.in_category_subtree(id, cg_combo.cameras) {
+                        saw_core = true;
+                    } else if kg.in_category_subtree(id, cg_combo.camera_accessories) {
+                        saw_acc = true;
+                    }
+                }
+            }
+            if saw_core && saw_acc {
+                Vote::Positive
+            } else {
+                Vote::Abstain
+            }
+        }))
+        // --- The depreciated legacy classifier (§3.2): only its positive
+        // --- side survived the category expansion.
+        .with(
+            Lf::plain(
+                "legacy_positive_side",
+                LfCategory::ModelBased,
+                false,
+                |d: &ProductDoc| {
+                    if d.legacy_score > 0.75 {
+                        Vote::Positive
+                    } else {
+                        Vote::Abstain
+                    }
+                },
+            )
+            .with_feature_spaces(&["legacy-classifier"]),
+        )
+        // --- Product-free chatter is not product content. Servable: the
+        // --- alias table is a static keyword list exported from the KG
+        // --- once at build time and embedded in the serving binary — the
+        // --- live graph is not queried.
+        .with(Lf::plain(
+            "no_product_terms",
+            LfCategory::ContentHeuristic,
+            true,
+            move |d: &ProductDoc| {
+                let any_product = d.text.split_whitespace().any(|w| {
+                    cg_none
+                        .graph
+                        .resolve_alias(w)
+                        .map(|(_, id)| {
+                            matches!(
+                                cg_none.graph.entity(id).kind,
+                                drybell_kg::NodeKind::Product | drybell_kg::NodeKind::Accessory
+                            )
+                        })
+                        .unwrap_or(false)
+                });
+                if any_product {
+                    Vote::Abstain
+                } else {
+                    Vote::Negative
+                }
+            },
+        ))
+}
+
+/// Servable featurization: hashed unigrams plus the locale.
+pub fn featurize(doc: &ProductDoc, hasher: &FeatureHasher) -> SparseVector {
+    let toks = drybell_nlp::tokenizer::lower_tokens(&doc.text);
+    let parts = [
+        hasher.namespaced_bag("text", &toks),
+        hasher.weighted(&[(format!("lang={}", doc.lang), 1.0)]),
+    ];
+    drybell_features::hashing::concat(&parts).l2_normalized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drybell_lf::executor::execute_in_memory;
+
+    fn small() -> ProductDataset {
+        generate(&ProductTaskConfig {
+            num_unlabeled: 5000,
+            num_dev: 500,
+            num_test: 500,
+            pos_rate: 0.05,
+            english_rate: 0.55,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn paper_preset_matches_table_1() {
+        let cfg = ProductTaskConfig::paper();
+        assert_eq!(cfg.num_unlabeled, 6_500_000);
+        assert_eq!(cfg.num_dev, 14_000);
+        assert_eq!(cfg.num_test, 13_000);
+        assert!((cfg.pos_rate - 0.0148).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lf_set_matches_table_1() {
+        let ds = small();
+        let set = lf_set(ds.kg.clone());
+        assert_eq!(set.len(), 8, "Table 1: eight LFs for product classification");
+        let mask = set.servable_mask();
+        assert!(mask.iter().any(|&s| s));
+        assert!(mask.iter().any(|&s| !s));
+    }
+
+    #[test]
+    fn documents_span_ten_languages() {
+        let ds = small();
+        let langs: std::collections::HashSet<&str> =
+            ds.unlabeled.iter().map(|d| d.lang.as_str()).collect();
+        assert_eq!(langs.len(), 10, "got {langs:?}");
+        let en = ds.unlabeled.iter().filter(|d| d.lang == "en").count();
+        assert!((en as f64 / ds.unlabeled.len() as f64 - 0.55).abs() < 0.05);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let ds = small();
+        let buf = codec::encode_record(&ds.unlabeled[1]);
+        let back: ProductDoc = codec::decode_record(&buf).unwrap();
+        assert_eq!(back, ds.unlabeled[1]);
+    }
+
+    #[test]
+    fn lfs_are_informative_on_generated_data() {
+        let ds = small();
+        let set = lf_set(ds.kg.clone());
+        let ext = text_extractor();
+        let (matrix, _) = execute_in_memory(&set, Some(&ext), &ds.unlabeled, 4).unwrap();
+        for (j, name) in set.names().iter().enumerate() {
+            let acc = matrix
+                .empirical_accuracy(j, &ds.unlabeled_gold)
+                .unwrap()
+                .unwrap_or_else(|| panic!("LF {name} never voted"));
+            let cov = matrix.coverage(j);
+            assert!(acc > 0.55, "LF {name}: accuracy {acc:.3} (coverage {cov:.3})");
+            assert!(cov > 0.002, "LF {name}: coverage {cov:.4}");
+        }
+        assert!(matrix.label_density() > 0.7);
+    }
+
+    /// The KG LF must catch non-English positives the English keyword LF
+    /// misses — the reason the paper queried translations at all.
+    #[test]
+    fn kg_lf_covers_non_english_positives() {
+        let ds = small();
+        let set = lf_set(ds.kg.clone());
+        let ext = text_extractor();
+        let (matrix, _) = execute_in_memory(&set, Some(&ext), &ds.unlabeled, 4).unwrap();
+        let names = set.names();
+        let kw = names.iter().position(|n| n == "kw_en").unwrap();
+        let kg = names.iter().position(|n| n == "kg_multilang").unwrap();
+        let mut kw_hits = 0u64;
+        let mut kg_hits = 0u64;
+        for ((doc, gold), row) in ds
+            .unlabeled
+            .iter()
+            .zip(&ds.unlabeled_gold)
+            .zip(matrix.rows())
+        {
+            if *gold == Label::Positive && doc.lang != "en" {
+                if row[kw] == 1 {
+                    kw_hits += 1;
+                }
+                if row[kg] == 1 {
+                    kg_hits += 1;
+                }
+            }
+        }
+        assert!(
+            kg_hits > kw_hits.max(1) * 2,
+            "KG translations must dominate on non-English positives: kg={kg_hits} kw={kw_hits}"
+        );
+    }
+
+    #[test]
+    fn legacy_classifier_is_blind_to_accessories() {
+        // Positives that mention only accessories (the expanded category)
+        // should rarely get a high legacy score.
+        let ds = small();
+        let mut acc_high = 0u64;
+        let mut acc_total = 0u64;
+        for (doc, gold) in ds.unlabeled.iter().zip(&ds.unlabeled_gold) {
+            if *gold == Label::Positive && doc.lang == "en" {
+                let has_core = doc
+                    .text
+                    .split_whitespace()
+                    .any(|w| PHOTO_CORE.contains(&w));
+                if !has_core {
+                    acc_total += 1;
+                    if doc.legacy_score > 0.75 {
+                        acc_high += 1;
+                    }
+                }
+            }
+        }
+        assert!(acc_total > 0);
+        assert!(
+            (acc_high as f64) < 0.2 * acc_total as f64,
+            "legacy model should miss accessory-only positives: {acc_high}/{acc_total}"
+        );
+    }
+
+    #[test]
+    fn alias_for_translates_and_falls_back() {
+        assert_eq!(alias_for("camera", "es"), "camara");
+        assert_eq!(alias_for("camera", "en"), "camera");
+        assert_eq!(alias_for("headphones", "de"), "kopfhoerer");
+        assert_eq!(alias_for("unknown-word", "fr"), "unknown-word");
+    }
+}

@@ -1,0 +1,372 @@
+//! Executing labeling-function sets over corpora.
+//!
+//! Two execution paths, mirroring the deployment spectrum in §5:
+//!
+//! * [`execute_in_memory`] — worker threads over an in-memory slice, the
+//!   fast path for experimentation and the default for the benchmark
+//!   harness. Each worker gets its own NLP model server (warmed up once),
+//!   the direct analog of "launch a model server on each compute node".
+//! * [`execute_sharded`] — the faithful pipeline: examples stream from
+//!   sharded record files through `drybell-dataflow`'s `par_map_shards`,
+//!   vote rows stream out to shards keyed by example id, and the label
+//!   matrix is assembled from the output dataset. This is the path the
+//!   scaling experiment (§1's "6M+ data points with sub-30min execution")
+//!   measures.
+
+use crate::LfSet;
+use drybell_core::{CoreError, LabelMatrix};
+use drybell_dataflow::codec::{self, CodecError, Record};
+use drybell_dataflow::{
+    par_map_shards, par_map_vec, CounterHandle, DataflowError, JobConfig, JobStats, Service,
+    ShardSpec,
+};
+use drybell_nlp::NlpServer;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-example text extractor used to feed the NLP model server (the
+/// paper's `GetText`, shared across the set's NLP LFs).
+pub type TextExtractor<X> = Arc<dyn Fn(&X) -> String + Send + Sync>;
+
+/// Wall-clock statistics from an in-memory execution.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutionStats {
+    /// Examples labeled.
+    pub examples: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// NLP model-server calls issued (0 when no LF needed the server).
+    pub nlp_calls: u64,
+}
+
+impl ExecutionStats {
+    /// Examples labeled per second.
+    pub fn throughput(&self) -> f64 {
+        self.examples as f64 / self.seconds.max(1e-12)
+    }
+}
+
+/// Run every LF over every example with `workers` threads, producing the
+/// label matrix `Λ` with rows in example order.
+///
+/// Returns an error if an NLP LF is present but the set has no text
+/// extractor, or if a worker fails.
+pub fn execute_in_memory<X: Sync>(
+    set: &LfSet<X>,
+    text: Option<&TextExtractor<X>>,
+    examples: &[X],
+    workers: usize,
+) -> Result<(LabelMatrix, ExecutionStats), DataflowError> {
+    if set.needs_nlp() && text.is_none() {
+        return Err(DataflowError::BadJob(
+            "LF set contains NLP labeling functions but no text extractor was provided".into(),
+        ));
+    }
+    let kg = set.knowledge_graph().cloned();
+    let start = Instant::now();
+    let nlp_calls = std::sync::atomic::AtomicU64::new(0);
+    let rows: Vec<Vec<i8>> = par_map_vec(
+        examples,
+        workers,
+        |_worker| {
+            // One model server per worker, warmed up before any record.
+            let mut server = NlpServer::new();
+            if set.needs_nlp() {
+                server.warm_up()?;
+            }
+            Ok(server)
+        },
+        |server: &mut NlpServer, x: &X| {
+            let annotation = match (set.needs_nlp(), text) {
+                (true, Some(t)) => {
+                    nlp_calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    Some(server.annotate(&t(x)))
+                }
+                _ => None,
+            };
+            let row: Vec<i8> = set
+                .lfs()
+                .iter()
+                .map(|lf| lf.vote(x, annotation.as_ref(), kg.as_deref()).as_i8())
+                .collect();
+            Ok(row)
+        },
+    )?;
+    let mut matrix = LabelMatrix::with_capacity(set.len(), rows.len());
+    for row in &rows {
+        matrix
+            .push_raw_row(row)
+            .map_err(|e: CoreError| DataflowError::user(e.to_string()))?;
+    }
+    let stats = ExecutionStats {
+        examples: examples.len(),
+        seconds: start.elapsed().as_secs_f64(),
+        nlp_calls: nlp_calls.into_inner(),
+    };
+    Ok((matrix, stats))
+}
+
+/// One labeled example flowing out of the sharded pipeline: the example's
+/// id and its vote row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoteRow {
+    /// Caller-assigned example id (used to restore global order).
+    pub id: u64,
+    /// One vote per LF, in LF-set column order.
+    pub votes: Vec<i8>,
+}
+
+impl Record for VoteRow {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        codec::put_varint(buf, self.id);
+        codec::put_varint(buf, self.votes.len() as u64);
+        // Bias i8 {-1,0,1} into u8 {0,1,2} for compact single bytes.
+        buf.extend(self.votes.iter().map(|&v| (v + 1) as u8));
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<VoteRow, CodecError> {
+        let id = codec::get_varint(buf)?;
+        let len = codec::get_varint(buf)? as usize;
+        if buf.len() < len {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let mut votes = Vec::with_capacity(len);
+        for &b in &buf[..len] {
+            if b > 2 {
+                return Err(CodecError::InvalidTag(b));
+            }
+            votes.push(b as i8 - 1);
+        }
+        *buf = &buf[len..];
+        Ok(VoteRow { id, votes })
+    }
+}
+
+/// Run an LF set shard-to-shard over the dataflow engine.
+///
+/// `id_of` assigns each input record a unique id so the returned matrix's
+/// rows can be ordered by id regardless of shard layout. The votes are
+/// also durably written to `output` as [`VoteRow`] records — downstream
+/// stages (the generative model, audits) read them from there, matching
+/// the paper's file-based decoupling of pipeline stages.
+pub fn execute_sharded<X>(
+    set: &LfSet<X>,
+    text: Option<&TextExtractor<X>>,
+    input: &ShardSpec,
+    output: &ShardSpec,
+    cfg: &JobConfig,
+    id_of: impl Fn(&X) -> u64 + Sync,
+) -> Result<(LabelMatrix, JobStats), DataflowError>
+where
+    X: Record + Sync,
+{
+    if set.needs_nlp() && text.is_none() {
+        return Err(DataflowError::BadJob(
+            "LF set contains NLP labeling functions but no text extractor was provided".into(),
+        ));
+    }
+    let kg = set.knowledge_graph().cloned();
+    let stats = par_map_shards(
+        input,
+        output,
+        cfg,
+        |_ctx| {
+            let mut server = NlpServer::new();
+            if set.needs_nlp() {
+                server.warm_up()?;
+            }
+            Ok(server)
+        },
+        |server: &mut NlpServer, x: X, emit, counters: &mut CounterHandle| {
+            let annotation = match (set.needs_nlp(), text) {
+                (true, Some(t)) => {
+                    counters.inc("nlp_calls");
+                    Some(server.annotate(&t(&x)))
+                }
+                _ => None,
+            };
+            let votes: Vec<i8> = set
+                .lfs()
+                .iter()
+                .map(|lf| lf.vote(&x, annotation.as_ref(), kg.as_deref()).as_i8())
+                .collect();
+            for (lf, &v) in set.lfs().iter().zip(&votes) {
+                if v != 0 {
+                    counters.inc(&format!("votes/{}", lf.metadata().name));
+                }
+            }
+            emit.emit(&VoteRow {
+                id: id_of(&x),
+                votes,
+            })
+        },
+    )?;
+    // Assemble the matrix in id order.
+    let mut rows: Vec<VoteRow> = drybell_dataflow::read_all(output)?;
+    rows.sort_by_key(|r| r.id);
+    let mut matrix = LabelMatrix::with_capacity(set.len(), rows.len());
+    for row in &rows {
+        matrix
+            .push_raw_row(&row.votes)
+            .map_err(|e| DataflowError::user(e.to_string()))?;
+    }
+    Ok((matrix, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lf, LfCategory};
+    use drybell_core::Vote;
+    use drybell_dataflow::write_all;
+    use proptest::prelude::*;
+
+    type Doc = (u64, String);
+
+    fn doc_set() -> LfSet<Doc> {
+        LfSet::new()
+            .with(Lf::plain(
+                "has_good",
+                LfCategory::ContentHeuristic,
+                true,
+                |d: &Doc| {
+                    if d.1.contains("good") {
+                        Vote::Positive
+                    } else {
+                        Vote::Abstain
+                    }
+                },
+            ))
+            .with(Lf::plain(
+                "has_bad",
+                LfCategory::ContentHeuristic,
+                true,
+                |d: &Doc| {
+                    if d.1.contains("bad") {
+                        Vote::Negative
+                    } else {
+                        Vote::Abstain
+                    }
+                },
+            ))
+            .with(Lf::nlp("mentions_person", |_d: &Doc, nlp| {
+                if nlp.people().is_empty() {
+                    Vote::Negative
+                } else {
+                    Vote::Positive
+                }
+            }))
+    }
+
+    fn extractor() -> TextExtractor<Doc> {
+        Arc::new(|d: &Doc| d.1.clone())
+    }
+
+    fn docs() -> Vec<Doc> {
+        vec![
+            (0, "a good day with Alice Johnson".into()),
+            (1, "a bad day".into()),
+            (2, "nothing notable".into()),
+            (3, "good and bad together".into()),
+        ]
+    }
+
+    #[test]
+    fn in_memory_matches_expected_votes() {
+        let set = doc_set();
+        let ext = extractor();
+        let (matrix, stats) = execute_in_memory(&set, Some(&ext), &docs(), 3).unwrap();
+        assert_eq!(matrix.num_examples(), 4);
+        assert_eq!(matrix.num_lfs(), 3);
+        assert_eq!(matrix.row(0), &[1, 0, 1]); // good + Alice Johnson
+        assert_eq!(matrix.row(1), &[0, -1, -1]);
+        assert_eq!(matrix.row(2), &[0, 0, -1]);
+        assert_eq!(matrix.row(3), &[1, -1, -1]);
+        assert_eq!(stats.examples, 4);
+        assert_eq!(stats.nlp_calls, 4);
+        assert!(stats.throughput() > 0.0);
+    }
+
+    #[test]
+    fn in_memory_requires_extractor_for_nlp() {
+        let set = doc_set();
+        let err = execute_in_memory(&set, None, &docs(), 2);
+        assert!(matches!(err, Err(DataflowError::BadJob(_))));
+    }
+
+    #[test]
+    fn plain_only_set_skips_nlp() {
+        let mut set: LfSet<Doc> = LfSet::new();
+        set.push(Lf::plain("always_pos", LfCategory::SourceHeuristic, true, |_| {
+            Vote::Positive
+        }));
+        let (matrix, stats) = execute_in_memory(&set, None, &docs(), 2).unwrap();
+        assert_eq!(stats.nlp_calls, 0);
+        assert!(matrix.rows().all(|r| r == [1]));
+    }
+
+    #[test]
+    fn sharded_matches_in_memory() {
+        let set = doc_set();
+        let ext = extractor();
+        let corpus = docs();
+        let (mem_matrix, _) = execute_in_memory(&set, Some(&ext), &corpus, 2).unwrap();
+
+        let dir = tempfile::tempdir().unwrap();
+        let input = ShardSpec::new(dir.path(), "docs", 2);
+        write_all(&input, &corpus).unwrap();
+        let output = input.derive("votes");
+        let cfg = JobConfig::new("lf-exec").with_workers(2);
+        let (shard_matrix, stats) =
+            execute_sharded(&set, Some(&ext), &input, &output, &cfg, |d| d.0).unwrap();
+        assert_eq!(shard_matrix, mem_matrix);
+        assert_eq!(stats.records_in, 4);
+        assert_eq!(stats.counters.get("nlp_calls"), 4);
+        assert_eq!(stats.counters.get("votes/has_good"), 2);
+    }
+
+    #[test]
+    fn vote_row_record_roundtrip() {
+        let row = VoteRow {
+            id: 77,
+            votes: vec![-1, 0, 1, 1, -1],
+        };
+        let buf = codec::encode_record(&row);
+        let back: VoteRow = codec::decode_record(&buf).unwrap();
+        assert_eq!(back, row);
+    }
+
+    #[test]
+    fn vote_row_rejects_bad_bytes() {
+        let row = VoteRow {
+            id: 1,
+            votes: vec![0],
+        };
+        let mut buf = codec::encode_record(&row);
+        let idx = buf.len() - 1;
+        buf[idx] = 9; // invalid vote byte
+        assert!(matches!(
+            codec::decode_record::<VoteRow>(&buf),
+            Err(CodecError::InvalidTag(9))
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+        #[test]
+        fn prop_vote_row_roundtrip(id in any::<u64>(), votes in proptest::collection::vec(-1i8..=1, 0..40)) {
+            let row = VoteRow { id, votes };
+            let buf = codec::encode_record(&row);
+            prop_assert_eq!(codec::decode_record::<VoteRow>(&buf).unwrap(), row);
+        }
+
+        #[test]
+        fn prop_workers_do_not_change_results(workers in 1usize..8) {
+            let set = doc_set();
+            let ext = extractor();
+            let (matrix, _) = execute_in_memory(&set, Some(&ext), &docs(), workers).unwrap();
+            let (reference, _) = execute_in_memory(&set, Some(&ext), &docs(), 1).unwrap();
+            prop_assert_eq!(matrix, reference);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # drybell-ml
+//!
+//! Discriminative models and evaluation — the stand-in for TFX (§5.3).
+//!
+//! * [`logreg`] — sparse logistic regression trained with the
+//!   **FTRL-Proximal** optimizer of McMahan et al. (KDD 2013), "a variant
+//!   of stochastic gradient descent that tunes per-coordinate learning
+//!   rates", which §6.1 names as the trainer for both content tasks
+//!   (initial step 0.2, batch size 64).
+//! * [`mlp`] — a small feed-forward network with ReLU hidden layers, used
+//!   for the real-time events application (§6.4 trains "a deep neural
+//!   network over the servable features").
+//! * [`loss`] — the noise-aware loss: the expected loss under the
+//!   probabilistic labels `Ỹ`, which for logistic loss is cross-entropy
+//!   against soft targets.
+//! * [`metrics`] — precision/recall/F1, score histograms (Figure 6), and
+//!   the relative-to-baseline normalization the paper reports.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod loss;
+pub mod logreg;
+pub mod metrics;
+pub mod mlp;
+pub mod ranking;
+
+pub use logreg::{FtrlConfig, LogisticRegression, LrAlgorithm};
+pub use metrics::{score_histogram, BinaryMetrics, RelativeMetrics};
+pub use ranking::{average_precision, expected_calibration_error, precision_at_k, roc_auc};
+pub use mlp::{Mlp, MlpConfig};

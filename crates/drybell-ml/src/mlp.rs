@@ -1,0 +1,423 @@
+//! A small feed-forward network (the "DNN" of the real-time events task).
+//!
+//! §6.4 trains "a deep neural network over the servable features" from the
+//! probabilistic labels. This is a dense-input MLP with ReLU hidden layers
+//! and a single sigmoid output, trained with Adam on the noise-aware
+//! logistic loss. Implemented from scratch (manual backprop) because the
+//! reproduction environment has no deep-learning framework — and none is
+//! needed at this scale.
+
+use crate::loss::{noise_aware_logistic_grad, noise_aware_logistic_loss, sigmoid};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Network and training hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Hidden layer widths, e.g. `[32, 16]`.
+    pub hidden: Vec<usize>,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Number of mini-batch steps.
+    pub iterations: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// L2 weight decay.
+    pub l2: f64,
+    /// Seed for init and batch order.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> MlpConfig {
+        MlpConfig {
+            hidden: vec![32, 16],
+            lr: 1e-2,
+            iterations: 2000,
+            batch_size: 64,
+            l2: 1e-5,
+            seed: 0,
+        }
+    }
+}
+
+/// One dense layer's parameters and Adam state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Layer {
+    /// Row-major `out × in` weights.
+    w: Vec<f64>,
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+    // Adam moments.
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Layer {
+    fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Layer {
+        // He initialization for ReLU nets.
+        let scale = (2.0 / n_in as f64).sqrt();
+        let w = (0..n_in * n_out)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
+        Layer {
+            w,
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+            mw: vec![0.0; n_in * n_out],
+            vw: vec![0.0; n_in * n_out],
+            mb: vec![0.0; n_out],
+            vb: vec![0.0; n_out],
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.n_out);
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let mut s = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                s += wi * xi;
+            }
+            out.push(s);
+        }
+    }
+}
+
+/// The multi-layer perceptron.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    cfg: MlpConfig,
+    input_dim: usize,
+    adam_t: u64,
+}
+
+impl Mlp {
+    /// Create an untrained network for `input_dim` dense features.
+    pub fn new(input_dim: usize, cfg: MlpConfig) -> Mlp {
+        assert!(input_dim > 0, "input dimension must be positive");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut dims = vec![input_dim];
+        dims.extend_from_slice(&cfg.hidden);
+        dims.push(1);
+        let layers = dims
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+        Mlp {
+            layers,
+            cfg,
+            input_dim,
+            adam_t: 0,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Raw pre-sigmoid score.
+    pub fn score(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.input_dim, "input dimension mismatch");
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, &mut next);
+            if li + 1 < self.layers.len() {
+                for v in next.iter_mut() {
+                    *v = v.max(0.0); // ReLU
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur[0]
+    }
+
+    /// Predicted `P(y = +1 | x)`.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        sigmoid(self.score(x))
+    }
+
+    /// Predicted probabilities for many inputs.
+    pub fn predict_all(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict_proba(x)).collect()
+    }
+
+    /// Mean noise-aware loss over a dataset.
+    pub fn mean_loss(&self, data: &[(Vec<f64>, f64)]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        data.iter()
+            .map(|(x, p)| noise_aware_logistic_loss(self.score(x), *p))
+            .sum::<f64>()
+            / data.len() as f64
+    }
+
+    /// Forward pass keeping post-activation values per layer, then
+    /// backprop one example's gradient into `grads` (same shapes as the
+    /// layers' `w`/`b`).
+    fn accumulate_grad(
+        &self,
+        x: &[f64],
+        target: f64,
+        grads: &mut [(Vec<f64>, Vec<f64>)],
+    ) -> f64 {
+        // Forward with cached activations: acts[0] = input, acts[l+1] =
+        // activation after layer l (ReLU for hidden, identity for output).
+        let mut acts: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.to_vec());
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut out = Vec::new();
+            layer.forward(acts.last().expect("non-empty"), &mut out);
+            if li + 1 < self.layers.len() {
+                for v in out.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            acts.push(out);
+        }
+        let score = acts.last().expect("output layer")[0];
+        let loss = noise_aware_logistic_loss(score, target);
+        // Backward.
+        let mut delta = vec![noise_aware_logistic_grad(score, target)];
+        for li in (0..self.layers.len()).rev() {
+            let layer = &self.layers[li];
+            let input = &acts[li];
+            let (gw, gb) = &mut grads[li];
+            for (o, &d) in delta.iter().enumerate() {
+                gb[o] += d;
+                let row = &mut gw[o * layer.n_in..(o + 1) * layer.n_in];
+                for (g, &xi) in row.iter_mut().zip(input) {
+                    *g += d * xi;
+                }
+            }
+            if li > 0 {
+                // Propagate through weights and the ReLU of the previous
+                // layer (derivative 1 where the activation is positive).
+                let mut prev = vec![0.0; layer.n_in];
+                for (o, &d) in delta.iter().enumerate() {
+                    let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
+                    for (p, &wi) in prev.iter_mut().zip(row) {
+                        *p += d * wi;
+                    }
+                }
+                for (p, &a) in prev.iter_mut().zip(&acts[li]) {
+                    if a <= 0.0 {
+                        *p = 0.0;
+                    }
+                }
+                delta = prev;
+            }
+        }
+        loss
+    }
+
+    /// Train on `(dense features, soft target)` pairs with Adam.
+    ///
+    /// Panics if `data` is empty or any input has the wrong dimension.
+    pub fn fit(&mut self, data: &[(Vec<f64>, f64)]) {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        for (x, _) in data {
+            assert_eq!(x.len(), self.input_dim, "input dimension mismatch");
+        }
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        order.shuffle(&mut rng);
+        let mut cursor = 0usize;
+        let (beta1, beta2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+        let mut grads: Vec<(Vec<f64>, Vec<f64>)> = self
+            .layers
+            .iter()
+            .map(|l| (vec![0.0; l.w.len()], vec![0.0; l.b.len()]))
+            .collect();
+        for _ in 0..self.cfg.iterations {
+            for (gw, gb) in grads.iter_mut() {
+                gw.iter_mut().for_each(|g| *g = 0.0);
+                gb.iter_mut().for_each(|g| *g = 0.0);
+            }
+            let bsz = self.cfg.batch_size.min(data.len());
+            for _ in 0..bsz {
+                if cursor == order.len() {
+                    order.shuffle(&mut rng);
+                    cursor = 0;
+                }
+                let (x, p) = &data[order[cursor]];
+                cursor += 1;
+                self.accumulate_grad(x, *p, &mut grads);
+            }
+            self.adam_t += 1;
+            let bc1 = 1.0 - beta1.powi(self.adam_t as i32);
+            let bc2 = 1.0 - beta2.powi(self.adam_t as i32);
+            let scale = 1.0 / bsz as f64;
+            #[allow(clippy::needless_range_loop)] // i indexes four parallel arrays
+            for (layer, (gw, gb)) in self.layers.iter_mut().zip(&grads) {
+                for i in 0..layer.w.len() {
+                    let g = gw[i] * scale + self.cfg.l2 * layer.w[i];
+                    layer.mw[i] = beta1 * layer.mw[i] + (1.0 - beta1) * g;
+                    layer.vw[i] = beta2 * layer.vw[i] + (1.0 - beta2) * g * g;
+                    layer.w[i] -=
+                        self.cfg.lr * (layer.mw[i] / bc1) / ((layer.vw[i] / bc2).sqrt() + eps);
+                }
+                for i in 0..layer.b.len() {
+                    let g = gb[i] * scale;
+                    layer.mb[i] = beta1 * layer.mb[i] + (1.0 - beta1) * g;
+                    layer.vb[i] = beta2 * layer.vb[i] + (1.0 - beta2) * g * g;
+                    layer.b[i] -=
+                        self.cfg.lr * (layer.mb[i] / bc1) / ((layer.vb[i] / bc2).sqrt() + eps);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_xor() {
+        // The classic non-linear task a linear model cannot solve.
+        let data: Vec<(Vec<f64>, f64)> = vec![
+            (vec![0.0, 0.0], 0.0),
+            (vec![0.0, 1.0], 1.0),
+            (vec![1.0, 0.0], 1.0),
+            (vec![1.0, 1.0], 0.0),
+        ];
+        let mut net = Mlp::new(
+            2,
+            MlpConfig {
+                hidden: vec![8],
+                iterations: 3000,
+                lr: 0.02,
+                batch_size: 4,
+                seed: 2,
+                ..MlpConfig::default()
+            },
+        );
+        net.fit(&data);
+        for (x, y) in &data {
+            let p = net.predict_proba(x);
+            assert!(
+                (p - y).abs() < 0.2,
+                "XOR({:?}) predicted {p:.3}, want {y}",
+                x
+            );
+        }
+    }
+
+    #[test]
+    fn soft_targets_calibrate() {
+        let data: Vec<(Vec<f64>, f64)> = (0..200).map(|_| (vec![1.0], 0.3)).collect();
+        let mut net = Mlp::new(
+            1,
+            MlpConfig {
+                hidden: vec![4],
+                iterations: 1500,
+                ..MlpConfig::default()
+            },
+        );
+        net.fit(&data);
+        let p = net.predict_proba(&[1.0]);
+        assert!((p - 0.3).abs() < 0.05, "p = {p}");
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let data: Vec<(Vec<f64>, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64 / 100.0;
+                (vec![x, 1.0 - x], if x > 0.5 { 1.0 } else { 0.0 })
+            })
+            .collect();
+        let mut net = Mlp::new(
+            2,
+            MlpConfig {
+                iterations: 500,
+                ..MlpConfig::default()
+            },
+        );
+        let before = net.mean_loss(&data);
+        net.fit(&data);
+        assert!(net.mean_loss(&data) < before);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let cfg = MlpConfig {
+            hidden: vec![3],
+            seed: 11,
+            ..MlpConfig::default()
+        };
+        let mut net = Mlp::new(2, cfg);
+        let x = vec![0.4, -0.7];
+        let target = 0.8;
+        let mut grads: Vec<(Vec<f64>, Vec<f64>)> = net
+            .layers
+            .iter()
+            .map(|l| (vec![0.0; l.w.len()], vec![0.0; l.b.len()]))
+            .collect();
+        net.accumulate_grad(&x, target, &mut grads);
+        let h = 1e-6;
+        #[allow(clippy::needless_range_loop)] // li indexes both net and grads
+        for li in 0..net.layers.len() {
+            for wi in 0..net.layers[li].w.len() {
+                let orig = net.layers[li].w[wi];
+                net.layers[li].w[wi] = orig + h;
+                let lp = noise_aware_logistic_loss(net.score(&x), target);
+                net.layers[li].w[wi] = orig - h;
+                let lm = noise_aware_logistic_loss(net.score(&x), target);
+                net.layers[li].w[wi] = orig;
+                let fd = (lp - lm) / (2.0 * h);
+                assert!(
+                    (grads[li].0[wi] - fd).abs() < 1e-5,
+                    "layer {li} w[{wi}]: {} vs {fd}",
+                    grads[li].0[wi]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data: Vec<(Vec<f64>, f64)> = (0..50)
+            .map(|i| (vec![(i % 5) as f64], f64::from(u8::from(i % 2 == 0))))
+            .collect();
+        let run = || {
+            let mut net = Mlp::new(
+                1,
+                MlpConfig {
+                    iterations: 100,
+                    seed: 3,
+                    ..MlpConfig::default()
+                },
+            );
+            net.fit(&data);
+            net.predict_proba(&[2.0])
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_input_dim_panics() {
+        let net = Mlp::new(3, MlpConfig::default());
+        let _ = net.score(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_fit_panics() {
+        let mut net = Mlp::new(2, MlpConfig::default());
+        net.fit(&[]);
+    }
+}

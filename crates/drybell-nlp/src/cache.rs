@@ -1,0 +1,206 @@
+//! Memoizing front-end for the NLP model server.
+//!
+//! §5.1's motivation for per-node model servers is cost: the NLP models
+//! "are too computationally expensive to run for all content submitted to
+//! Google". Pipelines that re-process the same content (LF development
+//! iterations, the dev/test splits scored by multiple experiments) pay
+//! that cost repeatedly. [`CachedNlpServer`] wraps an [`NlpServer`] with a
+//! bounded, hash-keyed memo table — the standard deployment trick — and
+//! exposes hit/miss statistics so the savings show up in job counters.
+
+use crate::server::{NlpResult, NlpServer};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// FNV-1a 64-bit hash (local copy; `drybell-nlp` sits below
+/// `drybell-features` in the dependency order).
+fn fnv1a64(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Cumulative cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Calls answered from the memo table.
+    pub hits: u64,
+    /// Calls forwarded to the underlying server.
+    pub misses: u64,
+    /// Entries evicted after the table filled.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when never called).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded memoizing wrapper around [`NlpServer`].
+///
+/// Keys are FNV-1a hashes of the text; eviction is random-ish (the entry
+/// displaced is whichever occupies the reused slot list position), which
+/// is cheap and adequate for corpus-shaped reuse patterns.
+pub struct CachedNlpServer {
+    inner: NlpServer,
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+struct CacheState {
+    map: HashMap<u64, NlpResult>,
+    /// Insertion ring for eviction.
+    ring: Vec<u64>,
+    cursor: usize,
+    stats: CacheStats,
+}
+
+impl CachedNlpServer {
+    /// Wrap `inner` with a memo table of at most `capacity` entries.
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(inner: NlpServer, capacity: usize) -> CachedNlpServer {
+        assert!(capacity > 0, "cache capacity must be positive");
+        CachedNlpServer {
+            inner,
+            capacity,
+            state: Mutex::new(CacheState {
+                map: HashMap::with_capacity(capacity),
+                ring: Vec::with_capacity(capacity),
+                cursor: 0,
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// The wrapped server.
+    pub fn inner(&self) -> &NlpServer {
+        &self.inner
+    }
+
+    /// Annotate `text`, consulting the memo table first.
+    pub fn annotate(&self, text: &str) -> NlpResult {
+        let key = fnv1a64(text.as_bytes());
+        {
+            let mut state = self.state.lock();
+            if let Some(hit) = state.map.get(&key).cloned() {
+                state.stats.hits += 1;
+                return hit;
+            }
+            state.stats.misses += 1;
+        }
+        // Compute outside the lock: annotation is the expensive part and
+        // other workers shouldn't serialize behind it.
+        let result = self.inner.annotate(text);
+        let mut state = self.state.lock();
+        if state.map.len() >= self.capacity {
+            let cursor = state.cursor;
+            let evict = state.ring[cursor];
+            state.map.remove(&evict);
+            state.ring[cursor] = key;
+            state.cursor = (cursor + 1) % self.capacity;
+            state.stats.evictions += 1;
+        } else {
+            state.ring.push(key);
+        }
+        state.map.insert(key, result.clone());
+        result
+    }
+
+    /// Snapshot of cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_text_hits_the_cache() {
+        let cache = CachedNlpServer::new(NlpServer::new().with_cost_us(100), 16);
+        let a = cache.annotate("Alice Johnson buys a camera");
+        let b = cache.annotate("Alice Johnson buys a camera");
+        assert_eq!(a.entities, b.entities);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        // The expensive server only ran once.
+        assert_eq!(cache.inner().stats().calls, 1);
+    }
+
+    #[test]
+    fn distinct_texts_miss() {
+        let cache = CachedNlpServer::new(NlpServer::new(), 16);
+        for i in 0..5 {
+            cache.annotate(&format!("text number {i}"));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 5);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn capacity_bound_is_enforced() {
+        let cache = CachedNlpServer::new(NlpServer::new(), 4);
+        for i in 0..10 {
+            cache.annotate(&format!("item {i}"));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 6);
+        // Re-annotating the most recent items can still hit.
+        cache.annotate("item 9");
+        assert!(cache.stats().hits >= 1 || cache.stats().misses == 11);
+    }
+
+    #[test]
+    fn evicted_entries_recompute() {
+        let cache = CachedNlpServer::new(NlpServer::new(), 2);
+        cache.annotate("one");
+        cache.annotate("two");
+        cache.annotate("three"); // evicts "one"
+        cache.annotate("one"); // miss again
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = CachedNlpServer::new(NlpServer::new(), 0);
+    }
+
+    #[test]
+    fn concurrent_annotation_is_safe() {
+        let cache = std::sync::Arc::new(CachedNlpServer::new(NlpServer::new(), 64));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        cache.annotate(&format!("shared text {}", (i + t) % 20));
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 200);
+        assert!(stats.hits > 0, "concurrent reuse should hit");
+    }
+}

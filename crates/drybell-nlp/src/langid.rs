@@ -1,0 +1,248 @@
+//! Character-trigram language identification.
+//!
+//! The product-classification application queries the Knowledge Graph "for
+//! translations of keywords in ten languages" (§3.2); content arrives in
+//! any of them. This detector scores character trigrams against per-language
+//! profiles built from small seed texts, mirroring how lightweight
+//! production language-ID models work.
+
+use std::collections::HashMap;
+
+/// The ten languages the product task covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lang {
+    /// English
+    En,
+    /// Spanish
+    Es,
+    /// French
+    Fr,
+    /// German
+    De,
+    /// Italian
+    It,
+    /// Portuguese
+    Pt,
+    /// Dutch
+    Nl,
+    /// Swedish
+    Sv,
+    /// Polish
+    Pl,
+    /// Turkish
+    Tr,
+}
+
+impl Lang {
+    /// Every supported language, in a stable order.
+    pub const ALL: [Lang; 10] = [
+        Lang::En,
+        Lang::Es,
+        Lang::Fr,
+        Lang::De,
+        Lang::It,
+        Lang::Pt,
+        Lang::Nl,
+        Lang::Sv,
+        Lang::Pl,
+        Lang::Tr,
+    ];
+
+    /// ISO-639-1 style code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Lang::En => "en",
+            Lang::Es => "es",
+            Lang::Fr => "fr",
+            Lang::De => "de",
+            Lang::It => "it",
+            Lang::Pt => "pt",
+            Lang::Nl => "nl",
+            Lang::Sv => "sv",
+            Lang::Pl => "pl",
+            Lang::Tr => "tr",
+        }
+    }
+
+    /// Parse an ISO code.
+    pub fn from_code(code: &str) -> Option<Lang> {
+        Lang::ALL.iter().copied().find(|l| l.code() == code)
+    }
+
+    /// Seed text used to build this language's trigram profile. Also used
+    /// by `drybell-datagen` as filler text for non-English documents, so
+    /// detection on synthetic corpora is realistic.
+    pub fn seed_text(self) -> &'static str {
+        match self {
+            Lang::En => {
+                "the quick brown fox jumps over the lazy dog and the people of the town watch \
+                 with great interest while they share their thoughts about the weather this is \
+                 what everyone wants to know about the thing that they have seen"
+            }
+            Lang::Es => {
+                "el rapido zorro marron salta sobre el perro perezoso y la gente del pueblo \
+                 mira con gran interes mientras comparten sus pensamientos sobre el tiempo esto \
+                 es lo que todos quieren saber sobre la cosa que han visto"
+            }
+            Lang::Fr => {
+                "le rapide renard brun saute par dessus le chien paresseux et les gens de la \
+                 ville regardent avec beaucoup d'interet pendant qu'ils partagent leurs pensees \
+                 sur le temps c'est ce que tout le monde veut savoir sur la chose qu'ils ont vue"
+            }
+            Lang::De => {
+                "der schnelle braune fuchs springt ueber den faulen hund und die leute der \
+                 stadt schauen mit grossem interesse zu waehrend sie ihre gedanken ueber das \
+                 wetter teilen das ist was alle ueber die sache wissen wollen die sie gesehen haben"
+            }
+            Lang::It => {
+                "la rapida volpe marrone salta sopra il cane pigro e la gente della citta \
+                 guarda con grande interesse mentre condividono i loro pensieri sul tempo questo \
+                 e cio che tutti vogliono sapere sulla cosa che hanno visto"
+            }
+            Lang::Pt => {
+                "a rapida raposa marrom pula sobre o cachorro preguicoso e as pessoas da cidade \
+                 observam com grande interesse enquanto compartilham seus pensamentos sobre o \
+                 tempo isso e o que todos querem saber sobre a coisa que viram"
+            }
+            Lang::Nl => {
+                "de snelle bruine vos springt over de luie hond en de mensen van de stad kijken \
+                 met grote belangstelling toe terwijl ze hun gedachten over het weer delen dit \
+                 is wat iedereen wil weten over het ding dat ze hebben gezien"
+            }
+            Lang::Sv => {
+                "den snabba bruna raven hoppar over den lata hunden och folket i staden tittar \
+                 med stort intresse medan de delar sina tankar om vadret detta ar vad alla vill \
+                 veta om saken som de har sett"
+            }
+            Lang::Pl => {
+                "szybki brazowy lis przeskakuje nad leniwym psem a ludzie z miasta patrza z \
+                 wielkim zainteresowaniem podczas gdy dziela sie swoimi myslami o pogodzie to \
+                 jest to co wszyscy chca wiedziec o rzeczy ktora widzieli"
+            }
+            Lang::Tr => {
+                "hizli kahverengi tilki tembel kopegin uzerinden atlar ve kasabanin insanlari \
+                 hava hakkinda dusuncelerini paylasirken buyuk bir ilgiyle izler bu herkesin \
+                 gordukleri sey hakkinda bilmek istedigi seydir"
+            }
+        }
+    }
+}
+
+/// Trigram-profile language detector.
+#[derive(Debug, Clone)]
+pub struct LangDetector {
+    /// Per-language trigram relative frequencies.
+    profiles: Vec<(Lang, HashMap<[u8; 3], f64>)>,
+}
+
+fn trigrams(text: &str) -> HashMap<[u8; 3], f64> {
+    let normalized: Vec<u8> = text
+        .to_lowercase()
+        .bytes()
+        .map(|b| if b.is_ascii_alphabetic() { b } else { b' ' })
+        .collect();
+    let mut counts: HashMap<[u8; 3], f64> = HashMap::new();
+    let mut total = 0.0;
+    for w in normalized.windows(3) {
+        let tri = [w[0], w[1], w[2]];
+        if tri.iter().all(|&b| b == b' ') {
+            continue;
+        }
+        *counts.entry(tri).or_insert(0.0) += 1.0;
+        total += 1.0;
+    }
+    if total > 0.0 {
+        for v in counts.values_mut() {
+            *v /= total;
+        }
+    }
+    counts
+}
+
+impl Default for LangDetector {
+    fn default() -> LangDetector {
+        LangDetector::new()
+    }
+}
+
+impl LangDetector {
+    /// Build the detector from the built-in seed texts.
+    pub fn new() -> LangDetector {
+        LangDetector {
+            profiles: Lang::ALL
+                .iter()
+                .map(|&l| (l, trigrams(l.seed_text())))
+                .collect(),
+        }
+    }
+
+    /// Cosine-style similarity score of `text` against each language.
+    pub fn scores(&self, text: &str) -> Vec<(Lang, f64)> {
+        let target = trigrams(text);
+        self.profiles
+            .iter()
+            .map(|(lang, profile)| {
+                let mut dot = 0.0;
+                for (tri, w) in &target {
+                    if let Some(pw) = profile.get(tri) {
+                        dot += w * pw;
+                    }
+                }
+                (*lang, dot)
+            })
+            .collect()
+    }
+
+    /// The most likely language, or `None` if no trigram matched at all
+    /// (e.g. empty or non-alphabetic text).
+    pub fn detect(&self, text: &str) -> Option<Lang> {
+        let scores = self.scores(text);
+        let (lang, best) = scores
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))?;
+        (best > 0.0).then_some(lang)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_each_seed_language() {
+        let det = LangDetector::new();
+        for lang in Lang::ALL {
+            let detected = det.detect(lang.seed_text());
+            assert_eq!(detected, Some(lang), "seed text for {:?}", lang);
+        }
+    }
+
+    #[test]
+    fn detects_short_phrases() {
+        let det = LangDetector::new();
+        assert_eq!(det.detect("the people want to know what they have seen"), Some(Lang::En));
+        assert_eq!(det.detect("la gente del pueblo quiere saber sobre el perro"), Some(Lang::Es));
+    }
+
+    #[test]
+    fn empty_or_nonalpha_is_none() {
+        let det = LangDetector::new();
+        assert_eq!(det.detect(""), None);
+        assert_eq!(det.detect("12345 !!! ???"), None);
+    }
+
+    #[test]
+    fn codes_roundtrip() {
+        for lang in Lang::ALL {
+            assert_eq!(Lang::from_code(lang.code()), Some(lang));
+        }
+        assert_eq!(Lang::from_code("xx"), None);
+    }
+
+    #[test]
+    fn scores_cover_all_languages() {
+        let det = LangDetector::new();
+        let scores = det.scores("hello world");
+        assert_eq!(scores.len(), 10);
+    }
+}

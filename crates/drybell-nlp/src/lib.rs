@@ -1,0 +1,42 @@
+//! # drybell-nlp
+//!
+//! Simulated organizational NLP services, standing in for the
+//! "general-purpose natural language processing models" that Snorkel
+//! DryBell labeling functions call through per-node model servers (§5.1).
+//!
+//! The paper treats these models as black boxes maintained by other teams:
+//! LFs only see their *signatures* (`text → entities`, `text → topics`).
+//! This crate provides the same signatures with controllable quality:
+//!
+//! * [`tokenizer`] — word tokenizer with span tracking.
+//! * [`ner`] — gazetteer- and heuristic-based named entity recognition
+//!   (the "custom named entity recognition models maintained internally"
+//!   used by the topic-classification LFs).
+//! * [`topic_model`] — a multinomial naive-Bayes semantic categorizer:
+//!   deliberately *coarse-grained*, like the paper's internal topic model
+//!   that is "far too coarse-grained for the targeted task" yet useful as
+//!   a negative labeling heuristic.
+//! * [`langid`] — character-trigram language identification over the ten
+//!   languages the product-classification task covers.
+//! * [`sentiment`] — a small lexicon scorer (an extra organizational
+//!   resource for tests and examples).
+//! * [`server`] — bundles everything behind an [`server::NlpServer`] that
+//!   implements the dataflow `Service` pattern and tracks simulated cost,
+//!   making these models *non-servable* resources in the sense of §4.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cache;
+pub mod langid;
+pub mod ner;
+pub mod sentiment;
+pub mod server;
+pub mod tokenizer;
+pub mod topic_model;
+
+pub use cache::{CacheStats, CachedNlpServer};
+pub use ner::{Entity, EntityKind, NerTagger};
+pub use server::{NlpResult, NlpServer};
+pub use tokenizer::{tokenize, Token};
+pub use topic_model::{SemanticCategorizer, Topic};

@@ -1,0 +1,305 @@
+//! Named entity recognition.
+//!
+//! A gazetteer- and heuristic-based tagger playing the role of the "custom
+//! named entity recognition (NER) models maintained internally at Google"
+//! that the topic-classification labeling functions query (§3.1). The
+//! built-in gazetteers are shared with `drybell-datagen`, which mentions
+//! the same entities when synthesizing corpora — so the tagger has real
+//! signal to find, with heuristics (capitalization, titles, corporate
+//! suffixes) providing recall beyond the gazetteer and a controlled amount
+//! of noise.
+
+use crate::tokenizer::{tokenize, Token};
+use std::collections::HashSet;
+
+/// The kind of a recognized entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntityKind {
+    /// A person's proper name.
+    Person,
+    /// A company or institution.
+    Organization,
+    /// A geographic location.
+    Location,
+    /// A commercial product.
+    Product,
+}
+
+/// One recognized entity mention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entity {
+    /// Surface text of the mention.
+    pub text: String,
+    /// What kind of entity.
+    pub kind: EntityKind,
+    /// Byte span start in the source text.
+    pub start: usize,
+    /// Byte span end in the source text.
+    pub end: usize,
+}
+
+/// First names known to the person gazetteer (shared with datagen).
+pub const PERSON_FIRST_NAMES: &[&str] = &[
+    "alice", "robert", "maria", "james", "elena", "david", "sofia", "michael", "laura", "carlos",
+    "nina", "peter", "amara", "kenji", "fatima", "oliver", "priya", "lucas", "ingrid", "tomas",
+];
+
+/// Last names known to the person gazetteer (shared with datagen).
+pub const PERSON_LAST_NAMES: &[&str] = &[
+    "johnson", "garcia", "smith", "tanaka", "mueller", "rossi", "kim", "patel", "novak", "silva",
+    "brown", "ivanov", "dubois", "larsen", "costa", "okafor", "haddad", "lindqvist", "moreau",
+    "fischer",
+];
+
+/// Organization names known to the gazetteer (shared with datagen).
+pub const ORGANIZATIONS: &[&str] = &[
+    "acme", "globex", "initech", "umbrella", "vandelay", "wonka", "stark", "wayne", "tyrell",
+    "cyberdyne", "aperture", "hooli", "dunder", "sterling", "oscorp",
+];
+
+/// Location names known to the gazetteer (shared with datagen).
+pub const LOCATIONS: &[&str] = &[
+    "springfield", "rivertown", "lakeside", "hillview", "northport", "eastfield", "westbrook",
+    "southgate", "maplewood", "cedarville", "stonebridge", "fairhaven",
+];
+
+/// Product words known to the gazetteer (shared with datagen and the
+/// knowledge graph).
+pub const PRODUCT_WORDS: &[&str] = &[
+    "camera", "lens", "tripod", "flash", "battery", "charger", "drone", "gimbal", "filter",
+    "strap", "phone", "laptop", "tablet", "headphones", "speaker", "monitor", "keyboard",
+    "printer", "router", "console",
+];
+
+/// Honorific titles that signal a following person name.
+const TITLES: &[&str] = &["mr", "mrs", "ms", "dr", "prof", "sir"];
+
+/// Corporate suffixes that signal a preceding organization name.
+const ORG_SUFFIXES: &[&str] = &["inc", "corp", "ltd", "llc", "gmbh", "co"];
+
+/// The gazetteer-plus-heuristics NER tagger.
+#[derive(Debug, Clone)]
+pub struct NerTagger {
+    persons_first: HashSet<&'static str>,
+    persons_last: HashSet<&'static str>,
+    orgs: HashSet<&'static str>,
+    locations: HashSet<&'static str>,
+    products: HashSet<&'static str>,
+}
+
+impl Default for NerTagger {
+    fn default() -> NerTagger {
+        NerTagger::new()
+    }
+}
+
+impl NerTagger {
+    /// Build the tagger with the built-in gazetteers.
+    pub fn new() -> NerTagger {
+        NerTagger {
+            persons_first: PERSON_FIRST_NAMES.iter().copied().collect(),
+            persons_last: PERSON_LAST_NAMES.iter().copied().collect(),
+            orgs: ORGANIZATIONS.iter().copied().collect(),
+            locations: LOCATIONS.iter().copied().collect(),
+            products: PRODUCT_WORDS.iter().copied().collect(),
+        }
+    }
+
+    /// Tag all entity mentions in `text`.
+    pub fn tag(&self, text: &str) -> Vec<Entity> {
+        let tokens = tokenize(text);
+        let mut entities = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            if let Some((entity, consumed)) = self.match_at(&tokens, i) {
+                entities.push(entity);
+                i += consumed;
+            } else {
+                i += 1;
+            }
+        }
+        entities
+    }
+
+    /// People mentioned in `text` (the signature the celebrity-LF example
+    /// in §5.1 consumes: `nlp.entities.people`).
+    pub fn people(&self, text: &str) -> Vec<Entity> {
+        self.tag(text)
+            .into_iter()
+            .filter(|e| e.kind == EntityKind::Person)
+            .collect()
+    }
+
+    fn match_at(&self, tokens: &[Token], i: usize) -> Option<(Entity, usize)> {
+        let tok = &tokens[i];
+        let low = tok.lower();
+
+        // Title + capitalized word → person ("Dr. Chen").
+        if TITLES.contains(&low.as_str()) {
+            if let Some(next) = tokens.get(i + 1) {
+                if next.is_capitalized() {
+                    return Some((
+                        Entity {
+                            text: format!("{} {}", tok.text, next.text),
+                            kind: EntityKind::Person,
+                            start: tok.start,
+                            end: next.end,
+                        },
+                        2,
+                    ));
+                }
+            }
+        }
+
+        // Gazetteer first name (capitalized), optionally followed by a
+        // capitalized last name.
+        if tok.is_capitalized() && self.persons_first.contains(low.as_str()) {
+            if let Some(next) = tokens.get(i + 1) {
+                if next.is_capitalized() && self.persons_last.contains(next.lower().as_str()) {
+                    return Some((
+                        Entity {
+                            text: format!("{} {}", tok.text, next.text),
+                            kind: EntityKind::Person,
+                            start: tok.start,
+                            end: next.end,
+                        },
+                        2,
+                    ));
+                }
+            }
+            return Some((
+                Entity {
+                    text: tok.text.clone(),
+                    kind: EntityKind::Person,
+                    start: tok.start,
+                    end: tok.end,
+                },
+                1,
+            ));
+        }
+
+        // Capitalized gazetteer last name alone → person.
+        if tok.is_capitalized() && self.persons_last.contains(low.as_str()) {
+            return Some((self.single(tok, EntityKind::Person), 1));
+        }
+
+        // Organization gazetteer, or any capitalized word followed by a
+        // corporate suffix ("Figment Inc").
+        if self.orgs.contains(low.as_str()) && tok.is_capitalized() {
+            return Some((self.single(tok, EntityKind::Organization), 1));
+        }
+        if tok.is_capitalized() {
+            if let Some(next) = tokens.get(i + 1) {
+                if ORG_SUFFIXES.contains(&next.lower().as_str()) {
+                    return Some((
+                        Entity {
+                            text: format!("{} {}", tok.text, next.text),
+                            kind: EntityKind::Organization,
+                            start: tok.start,
+                            end: next.end,
+                        },
+                        2,
+                    ));
+                }
+            }
+        }
+
+        // Location gazetteer (capitalized).
+        if tok.is_capitalized() && self.locations.contains(low.as_str()) {
+            return Some((self.single(tok, EntityKind::Location), 1));
+        }
+
+        // Product gazetteer (any case — product words appear in running
+        // text).
+        if self.products.contains(low.as_str()) {
+            return Some((self.single(tok, EntityKind::Product), 1));
+        }
+
+        None
+    }
+
+    fn single(&self, tok: &Token, kind: EntityKind) -> Entity {
+        Entity {
+            text: tok.text.clone(),
+            kind,
+            start: tok.start,
+            end: tok.end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<(String, EntityKind)> {
+        NerTagger::new()
+            .tag(text)
+            .into_iter()
+            .map(|e| (e.text, e.kind))
+            .collect()
+    }
+
+    #[test]
+    fn finds_gazetteer_persons() {
+        let found = kinds("Alice Johnson met Robert in Springfield.");
+        assert!(found.contains(&("Alice Johnson".into(), EntityKind::Person)));
+        assert!(found.contains(&("Robert".into(), EntityKind::Person)));
+        assert!(found.contains(&("Springfield".into(), EntityKind::Location)));
+    }
+
+    #[test]
+    fn title_heuristic_tags_unknown_names() {
+        let found = kinds("Dr Chen presented the findings.");
+        assert!(found.contains(&("Dr Chen".into(), EntityKind::Person)));
+    }
+
+    #[test]
+    fn org_suffix_heuristic() {
+        let found = kinds("Figment Inc shipped a new camera.");
+        assert!(found.contains(&("Figment Inc".into(), EntityKind::Organization)));
+        assert!(found.contains(&("camera".into(), EntityKind::Product)));
+    }
+
+    #[test]
+    fn lowercase_names_are_not_persons() {
+        // Gazetteer words in lowercase running text must not fire the
+        // person rule ("alice blue is a color").
+        let found = kinds("the alice pattern and the robert protocol");
+        assert!(found.iter().all(|(_, k)| *k != EntityKind::Person));
+    }
+
+    #[test]
+    fn products_fire_in_any_case() {
+        let found = kinds("I bought a Tripod and a charger");
+        assert_eq!(
+            found,
+            vec![
+                ("Tripod".into(), EntityKind::Product),
+                ("charger".into(), EntityKind::Product)
+            ]
+        );
+    }
+
+    #[test]
+    fn people_helper_filters() {
+        let tagger = NerTagger::new();
+        let people = tagger.people("Maria Garcia visited Acme to buy a lens.");
+        assert_eq!(people.len(), 1);
+        assert_eq!(people[0].text, "Maria Garcia");
+        assert!(tagger.people("a lens and a tripod").is_empty());
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let text = "Say hi to Alice Johnson today";
+        let tagger = NerTagger::new();
+        let ents = tagger.tag(text);
+        assert_eq!(&text[ents[0].start..ents[0].end], "Alice Johnson");
+    }
+
+    #[test]
+    fn empty_text_no_entities() {
+        assert!(NerTagger::new().tag("").is_empty());
+    }
+}

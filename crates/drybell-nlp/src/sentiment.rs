@@ -1,0 +1,98 @@
+//! Lexicon-based sentiment scoring.
+//!
+//! A small valence lexicon with negation handling — the kind of
+//! "previously developed heuristic classifier" (§3.3) that becomes one
+//! more weak supervision source. Scores are in `[-1, 1]`.
+
+use crate::tokenizer::lower_tokens;
+
+const POSITIVE: &[&str] = &[
+    "great", "excellent", "amazing", "love", "best", "wonderful", "fantastic", "happy",
+    "perfect", "good", "awesome", "superb", "delightful", "brilliant", "enjoy",
+];
+
+const NEGATIVE: &[&str] = &[
+    "terrible", "awful", "hate", "worst", "bad", "horrible", "poor", "disappointing",
+    "broken", "useless", "sad", "angry", "defective", "refund", "scam",
+];
+
+const NEGATORS: &[&str] = &["not", "no", "never", "hardly", "don't", "doesn't", "isn't"];
+
+/// Lexicon sentiment scorer.
+#[derive(Debug, Clone, Default)]
+pub struct SentimentScorer;
+
+impl SentimentScorer {
+    /// Create the scorer.
+    pub fn new() -> SentimentScorer {
+        SentimentScorer
+    }
+
+    /// Score `text` in `[-1, 1]`: the mean valence of matched words, with
+    /// a preceding negator flipping a word's sign. Returns `0.0` when no
+    /// lexicon word matches.
+    pub fn score(&self, text: &str) -> f64 {
+        let tokens = lower_tokens(text);
+        let mut total = 0.0;
+        let mut hits = 0usize;
+        for (i, tok) in tokens.iter().enumerate() {
+            let valence = if POSITIVE.contains(&tok.as_str()) {
+                1.0
+            } else if NEGATIVE.contains(&tok.as_str()) {
+                -1.0
+            } else {
+                continue;
+            };
+            let negated = i > 0 && NEGATORS.contains(&tokens[i - 1].as_str());
+            total += if negated { -valence } else { valence };
+            hits += 1;
+        }
+        if hits == 0 {
+            0.0
+        } else {
+            total / hits as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_and_negative_words() {
+        let s = SentimentScorer::new();
+        assert!(s.score("what a great and wonderful day") > 0.9);
+        assert!(s.score("terrible awful broken thing") < -0.9);
+    }
+
+    #[test]
+    fn negation_flips() {
+        let s = SentimentScorer::new();
+        assert!(s.score("not great") < 0.0);
+        assert!(s.score("never bad") > 0.0);
+    }
+
+    #[test]
+    fn mixed_text_averages() {
+        let s = SentimentScorer::new();
+        let v = s.score("great product but terrible shipping");
+        assert!((v - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_lexicon_words_is_neutral() {
+        let s = SentimentScorer::new();
+        assert_eq!(s.score("the quick brown fox"), 0.0);
+        assert_eq!(s.score(""), 0.0);
+    }
+
+    #[test]
+    fn score_is_bounded() {
+        let s = SentimentScorer::new();
+        for text in ["great great great", "bad bad not good awful", "not not good"] {
+            let v = s.score(text);
+            assert!((-1.0..=1.0).contains(&v), "{text}: {v}");
+        }
+    }
+}

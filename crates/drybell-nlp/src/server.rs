@@ -1,0 +1,220 @@
+//! The per-worker NLP model server.
+//!
+//! §5.1: "these NLP models are too computationally expensive to run for all
+//! content submitted to Google. Snorkel DryBell therefore ... uses Google's
+//! MapReduce framework to launch a model server on each compute node."
+//!
+//! [`NlpServer`] bundles every model in this crate behind one `annotate`
+//! call, tracks per-call statistics, and carries a *declared cost* per call
+//! (simulated microseconds). The cost is what makes these models
+//! non-servable in the sense of §4: the serving layer (`drybell-serving`)
+//! refuses to stage models whose feature dependencies exceed the production
+//! latency budget, which forces the cross-feature transfer the paper
+//! describes.
+
+use crate::langid::{Lang, LangDetector};
+use crate::ner::{Entity, EntityKind, NerTagger};
+use crate::sentiment::SentimentScorer;
+use crate::tokenizer::{tokenize, Token};
+use crate::topic_model::{SemanticCategorizer, Topic};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Everything the NLP service knows about one piece of text — the
+/// `NLPResult` of the paper's `NLPLabelingFunction` example.
+#[derive(Debug, Clone)]
+pub struct NlpResult {
+    /// Tokenization with spans.
+    pub tokens: Vec<Token>,
+    /// All entity mentions.
+    pub entities: Vec<Entity>,
+    /// Coarse topic posterior over [`Topic::ALL`].
+    pub topic_probs: [f64; 8],
+    /// Most likely coarse topic.
+    pub top_topic: Topic,
+    /// Detected language, if any.
+    pub language: Option<Lang>,
+    /// Lexicon sentiment in `[-1, 1]`.
+    pub sentiment: f64,
+}
+
+impl NlpResult {
+    /// Entity mentions of a given kind (e.g. `people` in the §5.1 code
+    /// sample).
+    pub fn entities_of(&self, kind: EntityKind) -> impl Iterator<Item = &Entity> {
+        self.entities.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Convenience: the person mentions.
+    pub fn people(&self) -> Vec<&Entity> {
+        self.entities_of(EntityKind::Person).collect()
+    }
+}
+
+/// Cumulative call statistics for one server instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServerStats {
+    /// Number of `annotate` calls served.
+    pub calls: u64,
+    /// Total simulated cost in microseconds (`calls × cost_per_call`).
+    pub simulated_cost_us: u64,
+}
+
+/// The bundled NLP model server.
+#[derive(Debug, Clone)]
+pub struct NlpServer {
+    ner: NerTagger,
+    topics: SemanticCategorizer,
+    langid: LangDetector,
+    sentiment: SentimentScorer,
+    /// Declared cost of one `annotate` call, in simulated microseconds.
+    cost_per_call_us: u64,
+    stats: Arc<Mutex<ServerStats>>,
+    warmed_up: bool,
+}
+
+impl Default for NlpServer {
+    fn default() -> NlpServer {
+        NlpServer::new()
+    }
+}
+
+impl NlpServer {
+    /// Declared per-call cost of the default server: 50 ms. Far beyond any
+    /// real-time serving budget — exactly why these models are
+    /// *non-servable* and must be transferred into servable classifiers.
+    pub const DEFAULT_COST_US: u64 = 50_000;
+
+    /// Build a server with all default models.
+    pub fn new() -> NlpServer {
+        NlpServer {
+            ner: NerTagger::new(),
+            topics: SemanticCategorizer::from_seeds(),
+            langid: LangDetector::new(),
+            sentiment: SentimentScorer::new(),
+            cost_per_call_us: Self::DEFAULT_COST_US,
+            stats: Arc::new(Mutex::new(ServerStats::default())),
+            warmed_up: false,
+        }
+    }
+
+    /// Override the declared per-call cost (tests and ablations).
+    pub fn with_cost_us(mut self, cost: u64) -> NlpServer {
+        self.cost_per_call_us = cost;
+        self
+    }
+
+    /// The declared per-call cost in microseconds.
+    pub fn cost_per_call_us(&self) -> u64 {
+        self.cost_per_call_us
+    }
+
+    /// `true` once `warm_up` has run.
+    pub fn is_warm(&self) -> bool {
+        self.warmed_up
+    }
+
+    /// Run all models over `text`.
+    pub fn annotate(&self, text: &str) -> NlpResult {
+        {
+            let mut stats = self.stats.lock();
+            stats.calls += 1;
+            stats.simulated_cost_us += self.cost_per_call_us;
+        }
+        let tokens = tokenize(text);
+        let lower: Vec<String> = tokens.iter().map(|t| t.lower()).collect();
+        let topic_probs = self.topics.classify(&lower);
+        let (top_topic, _) = self.topics.top_topic(&lower);
+        NlpResult {
+            entities: self.ner.tag(text),
+            topic_probs,
+            top_topic,
+            language: self.langid.detect(text),
+            sentiment: self.sentiment.score(text),
+            tokens,
+        }
+    }
+
+    /// Snapshot of cumulative stats (shared across clones of this server,
+    /// as clones share one underlying instance per worker).
+    pub fn stats(&self) -> ServerStats {
+        *self.stats.lock()
+    }
+}
+
+impl drybell_dataflow::Service for NlpServer {
+    fn name(&self) -> &str {
+        "nlp-model-server"
+    }
+
+    fn warm_up(&mut self) -> Result<(), drybell_dataflow::DataflowError> {
+        // Exercise every model once so first-call latency is paid at
+        // worker startup, as a real model server would load weights here.
+        let _ = self.annotate("warm up Alice Johnson buys a camera");
+        {
+            let mut stats = self.stats.lock();
+            stats.calls = 0;
+            stats.simulated_cost_us = 0;
+        }
+        self.warmed_up = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drybell_dataflow::Service;
+
+    #[test]
+    fn annotate_runs_every_model() {
+        let server = NlpServer::new();
+        let r = server.annotate(
+            "Alice Johnson loves her great new camera and wants to show the people of the town what she has seen",
+        );
+        assert!(!r.tokens.is_empty());
+        assert!(!r.people().is_empty());
+        assert!(r
+            .entities_of(EntityKind::Product)
+            .any(|e| e.text == "camera"));
+        assert_eq!(r.language, Some(Lang::En));
+        assert!(r.sentiment > 0.0);
+        let sum: f64 = r.topic_probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_accumulate_cost() {
+        let server = NlpServer::new().with_cost_us(100);
+        server.annotate("one");
+        server.annotate("two");
+        let stats = server.stats();
+        assert_eq!(stats.calls, 2);
+        assert_eq!(stats.simulated_cost_us, 200);
+    }
+
+    #[test]
+    fn warm_up_resets_stats_and_marks_warm() {
+        let mut server = NlpServer::new();
+        assert!(!server.is_warm());
+        server.warm_up().unwrap();
+        assert!(server.is_warm());
+        assert_eq!(server.stats().calls, 0);
+        assert_eq!(server.name(), "nlp-model-server");
+    }
+
+    #[test]
+    fn default_cost_is_non_servable_scale() {
+        // The declared cost must be comfortably above any realistic
+        // real-time latency budget (which serving sets at ~10 ms).
+        assert!(NlpServer::new().cost_per_call_us() > 10_000);
+    }
+
+    #[test]
+    fn clones_share_stats() {
+        let server = NlpServer::new();
+        let clone = server.clone();
+        clone.annotate("text");
+        assert_eq!(server.stats().calls, 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Word tokenization with source spans.
+//!
+//! Splits on whitespace and punctuation while keeping byte spans so that
+//! downstream annotators (NER, sentiment) can refer back to the original
+//! text. Intentionally simple — the paper's pipelines treat tokenization
+//! as a solved component of the NLP service.
+
+/// One token with its span in the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text as it appeared.
+    pub text: String,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// Lowercased token text.
+    pub fn lower(&self) -> String {
+        self.text.to_lowercase()
+    }
+
+    /// `true` if the first character is uppercase.
+    pub fn is_capitalized(&self) -> bool {
+        self.text.chars().next().is_some_and(|c| c.is_uppercase())
+    }
+
+    /// `true` if every alphabetic character is uppercase and the token has
+    /// at least two characters (an acronym like "NASA").
+    pub fn is_acronym(&self) -> bool {
+        self.text.chars().count() >= 2
+            && self.text.chars().all(|c| !c.is_alphabetic() || c.is_uppercase())
+            && self.text.chars().any(|c| c.is_alphabetic())
+    }
+
+    /// `true` if the token is all digits.
+    pub fn is_numeric(&self) -> bool {
+        !self.text.is_empty() && self.text.chars().all(|c| c.is_ascii_digit())
+    }
+}
+
+/// Tokenize `text` into alphanumeric runs (plus internal hyphens and
+/// apostrophes, so "state-of-the-art" and "don't" stay single tokens).
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let bytes = text.char_indices().collect::<Vec<_>>();
+    let mut i = 0;
+    while i < bytes.len() {
+        let (start_byte, c) = bytes[i];
+        if c.is_alphanumeric() {
+            let mut j = i + 1;
+            while j < bytes.len() {
+                let (_, cj) = bytes[j];
+                let keep = cj.is_alphanumeric()
+                    || ((cj == '-' || cj == '\'')
+                        && j + 1 < bytes.len()
+                        && bytes[j + 1].1.is_alphanumeric());
+                if keep {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let end_byte = if j < bytes.len() {
+                bytes[j].0
+            } else {
+                text.len()
+            };
+            tokens.push(Token {
+                text: text[start_byte..end_byte].to_owned(),
+                start: start_byte,
+                end: end_byte,
+            });
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Lowercased token strings (a common convenience for featurizers).
+pub fn lower_tokens(text: &str) -> Vec<String> {
+    tokenize(text).into_iter().map(|t| t.lower()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn splits_on_whitespace_and_punct() {
+        let toks = tokenize("Hello, world! 42 times.");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["Hello", "world", "42", "times"]);
+    }
+
+    #[test]
+    fn keeps_internal_hyphens_and_apostrophes() {
+        let texts: Vec<String> = tokenize("state-of-the-art don't -start end-")
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(texts, vec!["state-of-the-art", "don't", "start", "end"]);
+    }
+
+    #[test]
+    fn spans_slice_back_to_source() {
+        let text = "Ärger über große Häuser";
+        for t in tokenize(text) {
+            assert_eq!(&text[t.start..t.end], t.text);
+        }
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let toks = tokenize("NASA Alice runs 500 miles");
+        assert!(toks[0].is_acronym());
+        assert!(toks[0].is_capitalized());
+        assert!(toks[1].is_capitalized());
+        assert!(!toks[1].is_acronym());
+        assert!(toks[3].is_numeric());
+        assert!(!toks[4].is_capitalized());
+    }
+
+    #[test]
+    fn empty_and_punct_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! ... ---").is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_spans_always_valid(text in ".{0,200}") {
+            for t in tokenize(&text) {
+                prop_assert!(t.start < t.end);
+                prop_assert!(t.end <= text.len());
+                prop_assert_eq!(&text[t.start..t.end], t.text.as_str());
+                prop_assert!(!t.text.is_empty());
+            }
+        }
+
+        #[test]
+        fn prop_tokens_are_ordered_and_disjoint(text in ".{0,200}") {
+            let toks = tokenize(&text);
+            for pair in toks.windows(2) {
+                prop_assert!(pair[0].end <= pair[1].start);
+            }
+        }
+    }
+}

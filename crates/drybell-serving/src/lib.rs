@@ -1,0 +1,578 @@
+//! # drybell-serving
+//!
+//! The TFX analog (§5.3): model export, staged deployment, and — the part
+//! that makes §4's cross-feature story enforceable — **servability
+//! checks**. A model declares the feature spaces it reads; the registry
+//! refuses to stage any model that touches a non-servable or private
+//! space, or whose total declared feature cost exceeds the production
+//! latency budget. Labeling functions face no such check (they run
+//! offline), which is exactly the asymmetry that lets DryBell transfer
+//! knowledge from non-servable resources into servable models.
+//!
+//! Models are exported to JSON files with a manifest, mimicking how TFX
+//! "automatically stage[s] a model for serving" once trained.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod shadow;
+
+pub use shadow::{ShadowEval, ShadowReport};
+
+use drybell_features::{FeatureSpaceId, SpaceRegistry, SparseVector};
+use drybell_ml::{LogisticRegression, Mlp};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+
+/// Errors from staging, promoting, or scoring models.
+#[derive(Debug)]
+pub enum ServingError {
+    /// The model reads feature spaces that cannot be served.
+    NotServable {
+        /// Model name.
+        model: String,
+        /// The offending space names.
+        blocking: Vec<String>,
+    },
+    /// The model's declared feature cost exceeds the latency budget.
+    OverBudget {
+        /// Model name.
+        model: String,
+        /// Declared per-example cost in microseconds.
+        cost_us: u64,
+        /// The registry's budget in microseconds.
+        budget_us: u64,
+    },
+    /// No model with the given name/stage.
+    UnknownModel(String),
+    /// A model with this name and version is already registered.
+    DuplicateVersion {
+        /// Model name.
+        model: String,
+        /// Duplicated version.
+        version: u32,
+    },
+    /// Input kind does not match the model (sparse vs dense).
+    WrongInputKind {
+        /// Model name.
+        model: String,
+        /// What the model expects.
+        expected: &'static str,
+    },
+    /// Filesystem or serialization failure during export/load.
+    Io(String),
+}
+
+impl fmt::Display for ServingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServingError::NotServable { model, blocking } => write!(
+                f,
+                "model {model:?} reads non-servable feature spaces: {}",
+                blocking.join(", ")
+            ),
+            ServingError::OverBudget {
+                model,
+                cost_us,
+                budget_us,
+            } => write!(
+                f,
+                "model {model:?} needs {cost_us}us of features, budget is {budget_us}us"
+            ),
+            ServingError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
+            ServingError::DuplicateVersion { model, version } => {
+                write!(f, "model {model:?} version {version} already registered")
+            }
+            ServingError::WrongInputKind { model, expected } => {
+                write!(f, "model {model:?} expects {expected} input")
+            }
+            ServingError::Io(msg) => write!(f, "serving I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
+
+/// A trained model in exportable form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ExportedModel {
+    /// Sparse logistic regression (content tasks).
+    LogReg(LogisticRegression),
+    /// Dense MLP (real-time events task).
+    Mlp(Mlp),
+}
+
+impl ExportedModel {
+    /// Human-readable model family.
+    pub fn family(&self) -> &'static str {
+        match self {
+            ExportedModel::LogReg(_) => "logistic-regression",
+            ExportedModel::Mlp(_) => "mlp",
+        }
+    }
+}
+
+/// A model plus everything serving needs to know about it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Model name (one serving slot per name).
+    pub name: String,
+    /// Monotonically increasing version.
+    pub version: u32,
+    /// The feature spaces the model reads at serving time.
+    pub feature_spaces: Vec<FeatureSpaceId>,
+    /// The trained model.
+    pub model: ExportedModel,
+}
+
+/// Lifecycle stage of a registered model version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stage {
+    /// Validated and waiting for promotion.
+    Staged,
+    /// Live in production.
+    Serving,
+}
+
+/// Scoring input: sparse (logistic regression) or dense (MLP).
+pub enum ScoreInput<'a> {
+    /// Hashed sparse features.
+    Sparse(&'a SparseVector),
+    /// Dense feature vector.
+    Dense(&'a [f64]),
+}
+
+/// The model registry: validates, stages, promotes, and serves models.
+pub struct ServingRegistry {
+    spaces: SpaceRegistry,
+    /// Production latency budget per example, in microseconds.
+    budget_us: u64,
+    models: Mutex<HashMap<String, Vec<(ModelSpec, Stage)>>>,
+}
+
+impl ServingRegistry {
+    /// Create a registry over the given feature spaces with a per-example
+    /// latency budget (microseconds).
+    pub fn new(spaces: SpaceRegistry, budget_us: u64) -> ServingRegistry {
+        ServingRegistry {
+            spaces,
+            budget_us,
+            models: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The latency budget.
+    pub fn budget_us(&self) -> u64 {
+        self.budget_us
+    }
+
+    /// The feature-space registry.
+    pub fn spaces(&self) -> &SpaceRegistry {
+        &self.spaces
+    }
+
+    /// Validate a model spec against servability and the latency budget.
+    pub fn validate(&self, spec: &ModelSpec) -> Result<(), ServingError> {
+        let blocking = self.spaces.blocking_spaces(&spec.feature_spaces);
+        if !blocking.is_empty() {
+            return Err(ServingError::NotServable {
+                model: spec.name.clone(),
+                blocking: blocking.into_iter().map(str::to_owned).collect(),
+            });
+        }
+        let cost = self.spaces.total_cost_us(&spec.feature_spaces);
+        if cost > self.budget_us {
+            return Err(ServingError::OverBudget {
+                model: spec.name.clone(),
+                cost_us: cost,
+                budget_us: self.budget_us,
+            });
+        }
+        Ok(())
+    }
+
+    /// Stage a model for serving (validation included).
+    pub fn stage(&self, spec: ModelSpec) -> Result<(), ServingError> {
+        self.validate(&spec)?;
+        let mut models = self.models.lock();
+        let versions = models.entry(spec.name.clone()).or_default();
+        if versions.iter().any(|(s, _)| s.version == spec.version) {
+            return Err(ServingError::DuplicateVersion {
+                model: spec.name,
+                version: spec.version,
+            });
+        }
+        versions.push((spec, Stage::Staged));
+        Ok(())
+    }
+
+    /// Promote a staged version to serving (demoting any currently
+    /// serving version of the same name back to staged).
+    pub fn promote(&self, name: &str, version: u32) -> Result<(), ServingError> {
+        let mut models = self.models.lock();
+        let versions = models
+            .get_mut(name)
+            .ok_or_else(|| ServingError::UnknownModel(name.to_owned()))?;
+        if !versions.iter().any(|(s, _)| s.version == version) {
+            return Err(ServingError::UnknownModel(format!("{name} v{version}")));
+        }
+        for (spec, stage) in versions.iter_mut() {
+            *stage = if spec.version == version {
+                Stage::Serving
+            } else if *stage == Stage::Serving {
+                Stage::Staged
+            } else {
+                *stage
+            };
+        }
+        Ok(())
+    }
+
+    /// The serving version of `name`, if promoted.
+    pub fn serving_version(&self, name: &str) -> Option<u32> {
+        let models = self.models.lock();
+        models.get(name).and_then(|versions| {
+            versions
+                .iter()
+                .find(|(_, st)| *st == Stage::Serving)
+                .map(|(s, _)| s.version)
+        })
+    }
+
+    /// `true` if `name` has a registered `version` (any stage).
+    pub fn has_version(&self, name: &str, version: u32) -> bool {
+        let models = self.models.lock();
+        models
+            .get(name)
+            .is_some_and(|versions| versions.iter().any(|(s, _)| s.version == version))
+    }
+
+    /// Score one example with both the serving version and a specific
+    /// registered version (shadow evaluation). Returns
+    /// `(serving score, candidate score)`.
+    pub fn score_both(
+        &self,
+        name: &str,
+        candidate_version: u32,
+        input: ScoreInput<'_>,
+    ) -> Result<(f64, f64), ServingError> {
+        let models = self.models.lock();
+        let versions = models
+            .get(name)
+            .ok_or_else(|| ServingError::UnknownModel(name.to_owned()))?;
+        let (serving_spec, _) = versions
+            .iter()
+            .find(|(_, st)| *st == Stage::Serving)
+            .ok_or_else(|| ServingError::UnknownModel(format!("{name} (no serving version)")))?;
+        let (candidate_spec, _) = versions
+            .iter()
+            .find(|(s, _)| s.version == candidate_version)
+            .ok_or_else(|| ServingError::UnknownModel(format!("{name} v{candidate_version}")))?;
+        let score_with = |spec: &ModelSpec, input: &ScoreInput<'_>| -> Result<f64, ServingError> {
+            match (&spec.model, input) {
+                (ExportedModel::LogReg(m), ScoreInput::Sparse(x)) => Ok(m.predict_proba(x)),
+                (ExportedModel::Mlp(m), ScoreInput::Dense(x)) => Ok(m.predict_proba(x)),
+                (ExportedModel::LogReg(_), _) => Err(ServingError::WrongInputKind {
+                    model: name.to_owned(),
+                    expected: "sparse",
+                }),
+                (ExportedModel::Mlp(_), _) => Err(ServingError::WrongInputKind {
+                    model: name.to_owned(),
+                    expected: "dense",
+                }),
+            }
+        };
+        Ok((
+            score_with(serving_spec, &input)?,
+            score_with(candidate_spec, &input)?,
+        ))
+    }
+
+    /// Score one example with the serving version of `name`.
+    pub fn score(&self, name: &str, input: ScoreInput<'_>) -> Result<f64, ServingError> {
+        let models = self.models.lock();
+        let versions = models
+            .get(name)
+            .ok_or_else(|| ServingError::UnknownModel(name.to_owned()))?;
+        let (spec, _) = versions
+            .iter()
+            .find(|(_, st)| *st == Stage::Serving)
+            .ok_or_else(|| ServingError::UnknownModel(format!("{name} (no serving version)")))?;
+        match (&spec.model, input) {
+            (ExportedModel::LogReg(m), ScoreInput::Sparse(x)) => Ok(m.predict_proba(x)),
+            (ExportedModel::Mlp(m), ScoreInput::Dense(x)) => Ok(m.predict_proba(x)),
+            (ExportedModel::LogReg(_), _) => Err(ServingError::WrongInputKind {
+                model: name.to_owned(),
+                expected: "sparse",
+            }),
+            (ExportedModel::Mlp(_), _) => Err(ServingError::WrongInputKind {
+                model: name.to_owned(),
+                expected: "dense",
+            }),
+        }
+    }
+
+    /// Export every registered model version to `dir` as JSON, plus a
+    /// `manifest.json` describing stages.
+    pub fn export_to_dir(&self, dir: &Path) -> Result<(), ServingError> {
+        std::fs::create_dir_all(dir).map_err(|e| ServingError::Io(e.to_string()))?;
+        let models = self.models.lock();
+        let mut manifest: Vec<ManifestEntry> = Vec::new();
+        for versions in models.values() {
+            for (spec, stage) in versions {
+                let file = format!("{}-v{}.json", spec.name, spec.version);
+                let body =
+                    serde_json::to_string(spec).map_err(|e| ServingError::Io(e.to_string()))?;
+                std::fs::write(dir.join(&file), body)
+                    .map_err(|e| ServingError::Io(e.to_string()))?;
+                manifest.push(ManifestEntry {
+                    name: spec.name.clone(),
+                    version: spec.version,
+                    stage: *stage,
+                    file,
+                    family: spec.model.family().to_owned(),
+                });
+            }
+        }
+        manifest.sort_by(|a, b| (&a.name, a.version).cmp(&(&b.name, b.version)));
+        let body =
+            serde_json::to_string_pretty(&manifest).map_err(|e| ServingError::Io(e.to_string()))?;
+        std::fs::write(dir.join("manifest.json"), body)
+            .map_err(|e| ServingError::Io(e.to_string()))
+    }
+
+    /// Load a registry previously written by [`ServingRegistry::export_to_dir`].
+    pub fn load_from_dir(
+        spaces: SpaceRegistry,
+        budget_us: u64,
+        dir: &Path,
+    ) -> Result<ServingRegistry, ServingError> {
+        let manifest_body = std::fs::read_to_string(dir.join("manifest.json"))
+            .map_err(|e| ServingError::Io(e.to_string()))?;
+        let manifest: Vec<ManifestEntry> =
+            serde_json::from_str(&manifest_body).map_err(|e| ServingError::Io(e.to_string()))?;
+        let registry = ServingRegistry::new(spaces, budget_us);
+        {
+            let mut models = registry.models.lock();
+            for entry in manifest {
+                let body = std::fs::read_to_string(dir.join(&entry.file))
+                    .map_err(|e| ServingError::Io(e.to_string()))?;
+                let spec: ModelSpec =
+                    serde_json::from_str(&body).map_err(|e| ServingError::Io(e.to_string()))?;
+                models
+                    .entry(spec.name.clone())
+                    .or_default()
+                    .push((spec, entry.stage));
+            }
+        }
+        Ok(registry)
+    }
+}
+
+/// One line of the export manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ManifestEntry {
+    name: String,
+    version: u32,
+    stage: Stage,
+    file: String,
+    family: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drybell_features::{FeatureHasher, FeatureSpace};
+    use drybell_ml::{FtrlConfig, MlpConfig};
+
+    fn spaces() -> (SpaceRegistry, FeatureSpaceId, FeatureSpaceId, FeatureSpaceId) {
+        let mut r = SpaceRegistry::new();
+        let text = r.register(FeatureSpace::servable("hashed-unigrams", 40)).unwrap();
+        let event = r.register(FeatureSpace::servable("event-signals", 10)).unwrap();
+        let nlp = r
+            .register(FeatureSpace::non_servable("nlp-model-server", 50_000))
+            .unwrap();
+        (r, text, event, nlp)
+    }
+
+    fn trained_logreg() -> LogisticRegression {
+        let h = FeatureHasher::new(1 << 10);
+        let data = vec![
+            (h.bag_of_words(&["yes"]), 1.0),
+            (h.bag_of_words(&["no"]), 0.0),
+        ];
+        let mut m = LogisticRegression::new(
+            1 << 10,
+            FtrlConfig {
+                iterations: 100,
+                ..FtrlConfig::default()
+            },
+        );
+        m.fit(&data);
+        m
+    }
+
+    #[test]
+    fn staging_rejects_non_servable_models() {
+        let (r, text, _, nlp) = spaces();
+        let reg = ServingRegistry::new(r, 10_000);
+        let bad = ModelSpec {
+            name: "topic".into(),
+            version: 1,
+            feature_spaces: vec![text, nlp],
+            model: ExportedModel::LogReg(trained_logreg()),
+        };
+        match reg.stage(bad) {
+            Err(ServingError::NotServable { blocking, .. }) => {
+                assert_eq!(blocking, vec!["nlp-model-server"]);
+            }
+            other => panic!("expected NotServable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn staging_enforces_latency_budget() {
+        let (mut r, text, _, _) = spaces();
+        let slow = r
+            .register(FeatureSpace::servable("slow-but-servable", 9_999))
+            .unwrap();
+        let reg = ServingRegistry::new(r, 10_000);
+        let spec = ModelSpec {
+            name: "m".into(),
+            version: 1,
+            feature_spaces: vec![text, slow],
+            model: ExportedModel::LogReg(trained_logreg()),
+        };
+        assert!(matches!(
+            reg.stage(spec),
+            Err(ServingError::OverBudget { cost_us: 10_039, .. })
+        ));
+    }
+
+    #[test]
+    fn stage_promote_score_roundtrip() {
+        let (r, text, _, _) = spaces();
+        let reg = ServingRegistry::new(r, 10_000);
+        let model = trained_logreg();
+        let h = FeatureHasher::new(1 << 10);
+        reg.stage(ModelSpec {
+            name: "topic".into(),
+            version: 1,
+            feature_spaces: vec![text],
+            model: ExportedModel::LogReg(model),
+        })
+        .unwrap();
+        // Not yet serving.
+        assert_eq!(reg.serving_version("topic"), None);
+        assert!(reg
+            .score("topic", ScoreInput::Sparse(&h.bag_of_words(&["yes"])))
+            .is_err());
+        reg.promote("topic", 1).unwrap();
+        assert_eq!(reg.serving_version("topic"), Some(1));
+        let p = reg
+            .score("topic", ScoreInput::Sparse(&h.bag_of_words(&["yes"])))
+            .unwrap();
+        assert!(p > 0.8);
+    }
+
+    #[test]
+    fn promotion_swaps_versions() {
+        let (r, text, _, _) = spaces();
+        let reg = ServingRegistry::new(r, 10_000);
+        for v in [1, 2] {
+            reg.stage(ModelSpec {
+                name: "m".into(),
+                version: v,
+                feature_spaces: vec![text],
+                model: ExportedModel::LogReg(trained_logreg()),
+            })
+            .unwrap();
+        }
+        reg.promote("m", 1).unwrap();
+        reg.promote("m", 2).unwrap();
+        assert_eq!(reg.serving_version("m"), Some(2));
+        // Duplicate version rejected.
+        assert!(matches!(
+            reg.stage(ModelSpec {
+                name: "m".into(),
+                version: 2,
+                feature_spaces: vec![text],
+                model: ExportedModel::LogReg(trained_logreg()),
+            }),
+            Err(ServingError::DuplicateVersion { version: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn input_kind_mismatch_is_rejected() {
+        let (r, _, event, _) = spaces();
+        let reg = ServingRegistry::new(r, 10_000);
+        let mlp = Mlp::new(
+            3,
+            MlpConfig {
+                iterations: 1,
+                ..MlpConfig::default()
+            },
+        );
+        reg.stage(ModelSpec {
+            name: "events".into(),
+            version: 1,
+            feature_spaces: vec![event],
+            model: ExportedModel::Mlp(mlp),
+        })
+        .unwrap();
+        reg.promote("events", 1).unwrap();
+        let h = FeatureHasher::new(8);
+        assert!(matches!(
+            reg.score("events", ScoreInput::Sparse(&h.bag_of_words(&["x"]))),
+            Err(ServingError::WrongInputKind { expected: "dense", .. })
+        ));
+        assert!(reg
+            .score("events", ScoreInput::Dense(&[0.0, 1.0, 0.5]))
+            .is_ok());
+    }
+
+    #[test]
+    fn export_and_load_roundtrip() {
+        let (r, text, _, _) = spaces();
+        let reg = ServingRegistry::new(r.clone(), 10_000);
+        let h = FeatureHasher::new(1 << 10);
+        reg.stage(ModelSpec {
+            name: "topic".into(),
+            version: 3,
+            feature_spaces: vec![text],
+            model: ExportedModel::LogReg(trained_logreg()),
+        })
+        .unwrap();
+        reg.promote("topic", 3).unwrap();
+        let dir = tempfile::tempdir().unwrap();
+        reg.export_to_dir(dir.path()).unwrap();
+        assert!(dir.path().join("manifest.json").exists());
+        assert!(dir.path().join("topic-v3.json").exists());
+
+        let loaded = ServingRegistry::load_from_dir(r, 10_000, dir.path()).unwrap();
+        assert_eq!(loaded.serving_version("topic"), Some(3));
+        let x = h.bag_of_words(&["yes"]);
+        let p0 = reg.score("topic", ScoreInput::Sparse(&x)).unwrap();
+        let p1 = loaded.score("topic", ScoreInput::Sparse(&x)).unwrap();
+        assert!((p0 - p1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_model_errors() {
+        let (r, _, _, _) = spaces();
+        let reg = ServingRegistry::new(r, 10_000);
+        assert!(matches!(
+            reg.promote("ghost", 1),
+            Err(ServingError::UnknownModel(_))
+        ));
+        let h = FeatureHasher::new(8);
+        assert!(matches!(
+            reg.score("ghost", ScoreInput::Sparse(&h.bag_of_words(&["x"]))),
+            Err(ServingError::UnknownModel(_))
+        ));
+    }
+}

@@ -1,0 +1,214 @@
+//! Shadow evaluation: comparing a staged model against the serving one.
+//!
+//! §7 closes with the observation that teams will manage "large networks
+//! of classifiers" whose training data shifts under them. Before
+//! promoting a retrained DryBell model, production practice is to run it
+//! in *shadow*: score live traffic with both the serving version and the
+//! staged candidate, record how often and how much they disagree, and
+//! only promote when the disagreement profile looks like an intentional
+//! improvement rather than a regression. This module implements that
+//! accounting on top of [`crate::ServingRegistry`].
+
+use crate::{ScoreInput, ServingError, ServingRegistry};
+
+/// Accumulated comparison between the serving model and a staged
+/// candidate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShadowReport {
+    /// Examples scored by both versions.
+    pub examples: u64,
+    /// Examples where the thresholded (0.5) decisions differ.
+    pub decision_flips: u64,
+    /// Examples the candidate newly marks positive.
+    pub new_positives: u64,
+    /// Examples the candidate newly marks negative.
+    pub new_negatives: u64,
+    /// Sum of |candidate − serving| score gaps.
+    sum_abs_gap: f64,
+    /// Largest single score gap seen.
+    pub max_abs_gap: f64,
+}
+
+impl ShadowReport {
+    /// Fraction of examples whose decision flips.
+    pub fn flip_rate(&self) -> f64 {
+        if self.examples == 0 {
+            0.0
+        } else {
+            self.decision_flips as f64 / self.examples as f64
+        }
+    }
+
+    /// Mean absolute score gap.
+    pub fn mean_abs_gap(&self) -> f64 {
+        if self.examples == 0 {
+            0.0
+        } else {
+            self.sum_abs_gap / self.examples as f64
+        }
+    }
+
+    /// A conservative promotion gate: enough traffic observed and the
+    /// decision-flip rate under `max_flip_rate`.
+    pub fn recommend_promotion(&self, min_examples: u64, max_flip_rate: f64) -> bool {
+        self.examples >= min_examples && self.flip_rate() <= max_flip_rate
+    }
+}
+
+/// Runs a staged candidate in shadow against the serving version.
+pub struct ShadowEval<'a> {
+    registry: &'a ServingRegistry,
+    model: String,
+    candidate_version: u32,
+    report: ShadowReport,
+}
+
+impl<'a> ShadowEval<'a> {
+    /// Start shadowing `candidate_version` of `model`. The model must
+    /// have a serving version (the incumbent) and the candidate must be
+    /// registered.
+    pub fn new(
+        registry: &'a ServingRegistry,
+        model: &str,
+        candidate_version: u32,
+    ) -> Result<ShadowEval<'a>, ServingError> {
+        if registry.serving_version(model).is_none() {
+            return Err(ServingError::UnknownModel(format!(
+                "{model} (no serving incumbent to shadow against)"
+            )));
+        }
+        // Probe the candidate exists by asking for its stage.
+        if !registry.has_version(model, candidate_version) {
+            return Err(ServingError::UnknownModel(format!(
+                "{model} v{candidate_version}"
+            )));
+        }
+        Ok(ShadowEval {
+            registry,
+            model: model.to_owned(),
+            candidate_version,
+            report: ShadowReport::default(),
+        })
+    }
+
+    /// Score one example with both versions, returning the *serving*
+    /// model's score (shadow mode must not change production behaviour)
+    /// while recording the comparison.
+    pub fn observe(&mut self, input: ScoreInput<'_>) -> Result<f64, ServingError> {
+        let (serving, candidate) =
+            self.registry
+                .score_both(&self.model, self.candidate_version, input)?;
+        let r = &mut self.report;
+        r.examples += 1;
+        let gap = (candidate - serving).abs();
+        r.sum_abs_gap += gap;
+        r.max_abs_gap = r.max_abs_gap.max(gap);
+        let s_pos = serving >= 0.5;
+        let c_pos = candidate >= 0.5;
+        if s_pos != c_pos {
+            r.decision_flips += 1;
+            if c_pos {
+                r.new_positives += 1;
+            } else {
+                r.new_negatives += 1;
+            }
+        }
+        Ok(serving)
+    }
+
+    /// The accumulated report.
+    pub fn report(&self) -> &ShadowReport {
+        &self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExportedModel, ModelSpec, ServingRegistry};
+    use drybell_features::{FeatureHasher, FeatureSpace, SpaceRegistry};
+    use drybell_ml::{FtrlConfig, LogisticRegression};
+
+    fn registry_with_two_versions() -> (ServingRegistry, FeatureHasher) {
+        let mut spaces = SpaceRegistry::new();
+        let hashed = spaces.register(FeatureSpace::servable("hashed", 10)).unwrap();
+        let registry = ServingRegistry::new(spaces, 1_000);
+        let h = FeatureHasher::new(1 << 10);
+        let train = |pos_token: &str| {
+            let data = vec![
+                (h.bag_of_words(&[pos_token]), 1.0),
+                (h.bag_of_words(&["nothing"]), 0.0),
+            ];
+            let mut m = LogisticRegression::new(
+                1 << 10,
+                FtrlConfig {
+                    iterations: 150,
+                    ..FtrlConfig::default()
+                },
+            );
+            m.fit(&data);
+            m
+        };
+        for (version, token) in [(1, "yes"), (2, "maybe")] {
+            registry
+                .stage(ModelSpec {
+                    name: "m".into(),
+                    version,
+                    feature_spaces: vec![hashed],
+                    model: ExportedModel::LogReg(train(token)),
+                })
+                .unwrap();
+        }
+        registry.promote("m", 1).unwrap();
+        (registry, h)
+    }
+
+    #[test]
+    fn shadow_returns_serving_scores_and_counts_flips() {
+        let (registry, h) = registry_with_two_versions();
+        let mut shadow = ShadowEval::new(&registry, "m", 2).unwrap();
+        // "yes": v1 positive, v2 (trained on "maybe") negative → flip.
+        let x = h.bag_of_words(&["yes"]);
+        let served = shadow.observe(ScoreInput::Sparse(&x)).unwrap();
+        assert!(served > 0.8, "shadow must return the incumbent's score");
+        // "maybe": v1 negative, v2 positive → flip the other way.
+        let x = h.bag_of_words(&["maybe"]);
+        shadow.observe(ScoreInput::Sparse(&x)).unwrap();
+        // "nothing": both negative → no flip.
+        let x = h.bag_of_words(&["nothing"]);
+        shadow.observe(ScoreInput::Sparse(&x)).unwrap();
+        let r = shadow.report();
+        assert_eq!(r.examples, 3);
+        assert_eq!(r.decision_flips, 2);
+        assert_eq!(r.new_positives, 1);
+        assert_eq!(r.new_negatives, 1);
+        assert!(r.mean_abs_gap() > 0.0);
+        assert!(r.max_abs_gap <= 1.0);
+    }
+
+    #[test]
+    fn promotion_gate() {
+        let (registry, h) = registry_with_two_versions();
+        let mut shadow = ShadowEval::new(&registry, "m", 2).unwrap();
+        for _ in 0..10 {
+            let x = h.bag_of_words(&["nothing"]);
+            shadow.observe(ScoreInput::Sparse(&x)).unwrap();
+        }
+        // No flips on this traffic → promotable once volume suffices.
+        assert!(shadow.report().recommend_promotion(10, 0.05));
+        assert!(!shadow.report().recommend_promotion(100, 0.05));
+    }
+
+    #[test]
+    fn shadow_requires_incumbent_and_candidate() {
+        let (registry, _) = registry_with_two_versions();
+        assert!(matches!(
+            ShadowEval::new(&registry, "m", 9),
+            Err(ServingError::UnknownModel(_))
+        ));
+        assert!(matches!(
+            ShadowEval::new(&registry, "ghost", 1),
+            Err(ServingError::UnknownModel(_))
+        ));
+    }
+}

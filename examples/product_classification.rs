@@ -1,0 +1,40 @@
+//! The product-classification case study (§3.2) end to end at small
+//! scale, highlighting the multilingual Knowledge-Graph labeling
+//! functions and the depreciated legacy classifier.
+//!
+//! ```bash
+//! cargo run --release --example product_classification
+//! ```
+
+use drybell::core::vote::Label;
+use drybell_bench::harness::ContentTask;
+
+fn main() {
+    let scale = 0.01; // ~65K unlabeled docs; try 1.0 for the paper's 6.5M
+    println!("building product task at scale {scale}...");
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let task = ContentTask::product(scale, None, workers);
+
+    // Show what the KG translations buy: a few non-English positives.
+    println!("\nsample non-English positive documents:");
+    let mut shown = 0;
+    for (doc, gold) in task.unlabeled.iter().zip(&task.unlabeled_gold) {
+        if *gold == Label::Positive && doc.lang != "en" && shown < 3 {
+            let preview: String = doc.text.split_whitespace().take(10).collect::<Vec<_>>().join(" ");
+            println!("  [{}] {preview} ...", doc.lang);
+            shown += 1;
+        }
+    }
+
+    let report = task.run_full();
+    let (gen_rel, db_rel) = report.table2_rows();
+    println!("\nrelative to the dev-set-trained baseline (P / R / F1):");
+    println!("  generative model only : {}", gen_rel.row());
+    println!("  Snorkel DryBell       : {}", db_rel.row());
+    println!(
+        "\nDryBell matched the expanded product category with zero new hand labels\n\
+         ({:+.1}% F1 over the {}-example dev baseline).",
+        db_rel.lift() * 100.0,
+        task.dev.len()
+    );
+}

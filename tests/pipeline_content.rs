@@ -1,0 +1,139 @@
+//! Integration tests: the full content-classification pipelines
+//! (§6.1's methodology) across every crate — datagen → LF execution →
+//! generative model → noise-aware discriminative training → evaluation.
+
+use drybell::core::vote::Label;
+use drybell_bench::harness::ContentTask;
+
+fn workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[test]
+fn topic_drybell_beats_dev_baseline() {
+    let mut task = ContentTask::topic(0.02, Some(1), workers());
+    task.lr_iterations = 2_000;
+    let report = task.run_full();
+    assert!(
+        report.drybell.f1() > report.baseline.f1(),
+        "DryBell F1 {:.3} must beat baseline {:.3}",
+        report.drybell.f1(),
+        report.baseline.f1()
+    );
+    // The paper's recall story: weak supervision over a large pool finds
+    // more positives than a small hand-labeled set.
+    assert!(
+        report.drybell.recall() > report.baseline.recall(),
+        "recall {:.3} vs {:.3}",
+        report.drybell.recall(),
+        report.baseline.recall()
+    );
+}
+
+#[test]
+fn product_drybell_beats_dev_baseline() {
+    let mut task = ContentTask::product(0.012, Some(2), workers());
+    task.lr_iterations = 20_000;
+    let report = task.run_full();
+    assert!(
+        report.drybell.f1() > report.baseline.f1(),
+        "DryBell F1 {:.3} must beat baseline {:.3}",
+        report.drybell.f1(),
+        report.baseline.f1()
+    );
+}
+
+#[test]
+fn topic_label_model_recovers_lf_quality_without_gold() {
+    let task = ContentTask::topic(0.02, Some(3), workers());
+    let (matrix, _) = task.run_lfs();
+    let model = task.fit_label_model(&matrix);
+    let learned = model.learned_accuracies();
+    for (j, name) in task.lf_set.names().iter().enumerate() {
+        let emp = matrix
+            .empirical_accuracy(j, &task.unlabeled_gold)
+            .unwrap()
+            .unwrap_or_else(|| panic!("{name} never voted"));
+        // High-coverage LFs should be pinned tightly; the rare keyword
+        // LFs more loosely. A 0.25 tolerance catches inversions (which
+        // land near 1 - emp) without flaking on estimation noise.
+        assert!(
+            (learned[j] - emp).abs() < 0.25,
+            "{name}: learned {:.3} vs empirical {emp:.3}",
+            learned[j]
+        );
+    }
+}
+
+#[test]
+fn table3_shape_non_servable_resources_add_value() {
+    let mut task = ContentTask::product(0.004, Some(4), workers());
+    task.lr_iterations = 20_000;
+    let servable_only = task.run_servable_only();
+    let full = task.run_full().drybell;
+    assert!(
+        full.f1() > servable_only.f1(),
+        "full {:.3} must beat servable-only {:.3}",
+        full.f1(),
+        servable_only.f1()
+    );
+}
+
+#[test]
+fn table4_shape_generative_weighting_beats_equal_weights() {
+    let mut task = ContentTask::topic(0.015, Some(5), workers());
+    task.lr_iterations = 2_000;
+    let equal = task.run_equal_weights();
+    let full = task.run_full().drybell;
+    // Equal weights must not *beat* the generative model; (ties are
+    // possible at small scale, the paper's lift is a few percent).
+    assert!(
+        full.f1() >= equal.f1() * 0.98,
+        "generative {:.3} vs equal-weights {:.3}",
+        full.f1(),
+        equal.f1()
+    );
+}
+
+#[test]
+fn figure5_shape_more_hand_labels_help() {
+    let mut task = ContentTask::topic(0.02, Some(6), workers());
+    task.lr_iterations = 1_500;
+    let small = task.supervised_with_n_labels(1_000);
+    let large = task.supervised_with_n_labels(13_000);
+    assert!(
+        large.f1() > small.f1(),
+        "13K labels {:.3} must beat 1K labels {:.3}",
+        large.f1(),
+        small.f1()
+    );
+}
+
+#[test]
+fn pipelines_are_deterministic_given_seed() {
+    let run = || {
+        let mut task = ContentTask::topic(0.005, Some(7), workers());
+        task.lr_iterations = 300;
+        let report = task.run_full();
+        (
+            report.posteriors.clone(),
+            report.drybell.tp,
+            report.drybell.fp,
+        )
+    };
+    let (p1, tp1, fp1) = run();
+    let (p2, tp2, fp2) = run();
+    assert_eq!(p1, p2, "posteriors must be bit-identical across runs");
+    assert_eq!((tp1, fp1), (tp2, fp2));
+}
+
+#[test]
+fn dev_and_test_splits_have_expected_positive_rates() {
+    let task = ContentTask::topic(0.01, Some(8), workers());
+    let rate = |gold: &[Label]| {
+        gold.iter().filter(|&&l| l == Label::Positive).count() as f64 / gold.len() as f64
+    };
+    // 11K-example splits at 0.86%: expect within ±0.4pp.
+    assert!((rate(&task.dev_gold) - 0.0086).abs() < 0.004);
+    assert!((rate(&task.test_gold) - 0.0086).abs() < 0.004);
+}

@@ -1,0 +1,68 @@
+//! Integration tests: the real-time events pipeline (§6.4, Figure 6).
+
+use drybell::ml::metrics::histogram_entropy;
+use drybell_bench::harness::run_events;
+use drybell_datagen::events::EventTaskConfig;
+
+fn workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+fn small_cfg(seed: u64) -> EventTaskConfig {
+    EventTaskConfig {
+        num_unlabeled: 6_000,
+        num_test: 3_000,
+        pos_rate: 0.05,
+        num_lfs: 140,
+        seed,
+    }
+}
+
+#[test]
+fn drybell_finds_more_events_than_logical_or() {
+    let report = run_events(&small_cfg(1), workers(), 1_500);
+    assert!(
+        report.drybell_tp_at_k > report.or_tp_at_k,
+        "DryBell {} must beat OR {} within the review budget",
+        report.drybell_tp_at_k,
+        report.or_tp_at_k
+    );
+    assert!(report.quality_improvement() > 0.0);
+}
+
+#[test]
+fn figure6_shape_or_scores_pile_at_extremes() {
+    let report = run_events(&small_cfg(2), workers(), 1_500);
+    // The OR model piles mass into the top bins; DryBell's distribution
+    // is smoother. Entropy is the scalar summary of Figure 6.
+    let or_top: u64 = report.or_hist.iter().rev().take(2).sum();
+    let db_top: u64 = report.drybell_hist.iter().rev().take(2).sum();
+    assert!(
+        or_top > db_top,
+        "OR should put more mass in the top bins: {or_top} vs {db_top}"
+    );
+    // "Greatly over-estimating the score of events": the OR model's
+    // top-bin mass far exceeds the number of events that are actually of
+    // interest, while DryBell's stays in its vicinity.
+    let true_events = (3_000.0 * 0.05) as u64;
+    assert!(
+        or_top > true_events,
+        "OR top bins {or_top} should exceed the {true_events} true events"
+    );
+    // Both histograms account for every test event.
+    assert_eq!(report.or_hist.iter().sum::<u64>(), 3_000);
+    assert!(histogram_entropy(&report.or_hist) > 0.0);
+}
+
+#[test]
+fn or_baseline_overpredicts_positives() {
+    let report = run_events(&small_cfg(3), workers(), 1_500);
+    assert!(
+        report.logical_or.predicted_positives() > report.drybell.predicted_positives(),
+        "OR-trained net predicts positive too often: {} vs {}",
+        report.logical_or.predicted_positives(),
+        report.drybell.predicted_positives()
+    );
+    // And its precision suffers for it.
+    assert!(report.drybell.precision() > report.logical_or.precision());
+}

@@ -1,0 +1,133 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! inputs, spanning the label model, the codec'd document types, and the
+//! vote-matrix algebra.
+
+use drybell::core::generative::{GenerativeModel, TrainConfig};
+use drybell::core::{LabelMatrix, Vote};
+use drybell::dataflow::codec::{decode_record, encode_record};
+use drybell::lf::executor::VoteRow;
+use drybell_datagen::{product::ProductDoc, topic::TopicDoc};
+use proptest::prelude::*;
+
+/// Strategy for a small random label matrix.
+fn matrix_strategy(max_rows: usize, lfs: usize) -> impl Strategy<Value = LabelMatrix> {
+    proptest::collection::vec(
+        proptest::collection::vec(-1i8..=1, lfs),
+        1..max_rows,
+    )
+    .prop_map(move |rows| {
+        let mut m = LabelMatrix::with_capacity(lfs, rows.len());
+        for row in rows {
+            m.push_raw_row(&row).expect("valid votes");
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Posteriors are probabilities, and the model's NLL is non-negative
+    /// (it is a negative log of a discrete probability).
+    #[test]
+    fn label_model_outputs_are_well_formed(m in matrix_strategy(60, 4)) {
+        let mut model = GenerativeModel::new(4, 0.7);
+        let cfg = TrainConfig { steps: 60, batch_size: 16, ..TrainConfig::default() };
+        model.fit(&m, &cfg).unwrap();
+        let nll = model.nll(&m).unwrap();
+        prop_assert!(nll >= -1e-9, "NLL {nll} must be non-negative");
+        for p in model.predict_proba(&m) {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+        for a in model.learned_accuracies() {
+            prop_assert!((0.0..=1.0).contains(&a));
+        }
+        for pr in model.learned_propensities() {
+            prop_assert!((0.0..=1.0).contains(&pr));
+        }
+    }
+
+    /// Flipping every vote in the matrix flips the posterior around 0.5
+    /// for a model with a uniform prior and re-fit parameters: the label
+    /// semantics are symmetric.
+    #[test]
+    fn posterior_is_label_symmetric(m in matrix_strategy(50, 3)) {
+        let flipped_rows: Vec<Vec<i8>> = m.rows().map(|r| r.iter().map(|&v| -v).collect()).collect();
+        let mut flipped = LabelMatrix::with_capacity(3, flipped_rows.len());
+        for r in &flipped_rows {
+            flipped.push_raw_row(r).unwrap();
+        }
+        let mut model = GenerativeModel::new(3, 0.7);
+        model.fit(&m, &TrainConfig { steps: 120, batch_size: 16, ..TrainConfig::default() }).unwrap();
+        // The *same parameters* applied to flipped votes must mirror the
+        // posterior (per-row flip symmetry of the CI model).
+        for (row, frow) in m.rows().zip(flipped.rows()) {
+            let p = model.posterior(row);
+            let q = model.posterior(frow);
+            prop_assert!((p + q - 1.0).abs() < 1e-9, "{p} + {q} != 1");
+        }
+    }
+
+    /// Column selection preserves the votes of the kept columns exactly.
+    #[test]
+    fn select_columns_is_a_projection(
+        m in matrix_strategy(40, 5),
+        keep in proptest::collection::vec(any::<bool>(), 5),
+    ) {
+        let sub = m.select_columns(&keep).unwrap();
+        let kept: Vec<usize> = keep.iter().enumerate().filter_map(|(j, &k)| k.then_some(j)).collect();
+        prop_assert_eq!(sub.num_lfs(), kept.len());
+        prop_assert_eq!(sub.num_examples(), m.num_examples());
+        for (i, row) in sub.rows().enumerate() {
+            for (jj, &j) in kept.iter().enumerate() {
+                prop_assert_eq!(row[jj], m.get(i, j));
+            }
+        }
+    }
+
+    /// Application document types survive the shard codec bit-exactly.
+    #[test]
+    fn topic_doc_codec_roundtrip(
+        id in any::<u64>(),
+        title in ".{0,50}",
+        body in ".{0,200}",
+        url in "[a-z./:]{0,40}",
+        score in 0.0..=1.0f64,
+    ) {
+        let doc = TopicDoc { id, title, body, url, related_model_score: score };
+        let back: TopicDoc = decode_record(&encode_record(&doc)).unwrap();
+        prop_assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn product_doc_codec_roundtrip(
+        id in any::<u64>(),
+        text in ".{0,200}",
+        lang in "[a-z]{2}",
+        score in 0.0..=1.0f64,
+    ) {
+        let doc = ProductDoc { id, text, lang, legacy_score: score };
+        let back: ProductDoc = decode_record(&encode_record(&doc)).unwrap();
+        prop_assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn vote_row_codec_roundtrip(
+        id in any::<u64>(),
+        votes in proptest::collection::vec(-1i8..=1, 0..200),
+    ) {
+        let row = VoteRow { id, votes };
+        let back: VoteRow = decode_record(&encode_record(&row)).unwrap();
+        prop_assert_eq!(back, row);
+    }
+
+    /// Vote encoding round-trips and flipping is an involution for any
+    /// valid vote value.
+    #[test]
+    fn vote_algebra(v in -1i8..=1) {
+        let vote = Vote::from_i8(v).unwrap();
+        prop_assert_eq!(vote.as_i8(), v);
+        prop_assert_eq!(vote.flipped().flipped(), vote);
+        prop_assert_eq!(vote.flipped().as_i8(), -v);
+    }
+}
