@@ -81,13 +81,16 @@ fn bench_shuffle_combiner(c: &mut Criterion) {
         }
         Ok(())
     };
-    let reduce = |k: &String, vs: Vec<i64>, sink: CountSink<'_>| {
-        sink(&(k.clone(), vs.into_iter().sum()))
-    };
+    let reduce =
+        |k: &String, vs: Vec<i64>, sink: CountSink<'_>| sink(&(k.clone(), vs.into_iter().sum()));
     let mut group = c.benchmark_group("shuffle");
     group.throughput(Throughput::Elements(records.len() as u64));
     for combine in [false, true] {
-        let name = if combine { "with_combiner" } else { "no_combiner" };
+        let name = if combine {
+            "with_combiner"
+        } else {
+            "no_combiner"
+        };
         group.bench_function(name, |b| {
             b.iter(|| {
                 let dir = tempfile::tempdir().unwrap();

@@ -18,8 +18,15 @@ fn sparse_dataset(n: usize, seed: u64) -> Vec<(drybell_features::SparseVector, f
             let mut toks: Vec<String> = (0..40)
                 .map(|_| format!("w{}", rng.gen_range(0..5_000)))
                 .collect();
-            toks.push(if y { "signal_pos".into() } else { "signal_neg".into() });
-            (h.bag_of_words(&toks).l2_normalized(), f64::from(u8::from(y)))
+            toks.push(if y {
+                "signal_pos".into()
+            } else {
+                "signal_neg".into()
+            });
+            (
+                h.bag_of_words(&toks).l2_normalized(),
+                f64::from(u8::from(y)),
+            )
         })
         .collect()
 }

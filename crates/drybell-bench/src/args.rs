@@ -1,10 +1,12 @@
 //! Minimal command-line parsing shared by the experiment binaries.
 //!
-//! Hand-rolled (two flags) to avoid pulling a CLI dependency into the
-//! reproduction.
+//! Hand-rolled (a handful of flags) to avoid pulling a CLI dependency
+//! into the reproduction.
+
+use std::path::PathBuf;
 
 /// Options common to every experiment binary.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExpArgs {
     /// Dataset scale factor relative to the paper's sizes (default 0.1).
     pub scale: f64,
@@ -12,6 +14,10 @@ pub struct ExpArgs {
     pub seed: Option<u64>,
     /// Worker threads (default: available parallelism).
     pub workers: usize,
+    /// Render the report as JSON instead of text tables.
+    pub json: bool,
+    /// Write a JSONL run journal to this path.
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for ExpArgs {
@@ -22,6 +28,8 @@ impl Default for ExpArgs {
             workers: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            json: false,
+            journal: None,
         }
     }
 }
@@ -44,8 +52,10 @@ impl ExpArgs {
                 }
                 "--seed" => {
                     let v = args.next().ok_or("--seed needs a value")?;
-                    out.seed =
-                        Some(v.parse::<u64>().map_err(|e| format!("bad --seed {v:?}: {e}"))?);
+                    out.seed = Some(
+                        v.parse::<u64>()
+                            .map_err(|e| format!("bad --seed {v:?}: {e}"))?,
+                    );
                 }
                 "--workers" => {
                     let v = args.next().ok_or("--workers needs a value")?;
@@ -54,10 +64,15 @@ impl ExpArgs {
                         .map_err(|e| format!("bad --workers {v:?}: {e}"))?
                         .max(1);
                 }
+                "--json" => out.json = true,
+                "--journal" => {
+                    let v = args.next().ok_or("--journal needs a path")?;
+                    out.journal = Some(PathBuf::from(v));
+                }
                 "--help" | "-h" => {
-                    return Err(
-                        "usage: exp_* [--scale <f>] [--seed <n>] [--workers <n>]".into(),
-                    )
+                    return Err("usage: exp_* [--scale <f>] [--seed <n>] [--workers <n>] \
+                         [--json] [--journal <path>]"
+                        .into())
                 }
                 other => return Err(format!("unknown flag {other:?}")),
             }
@@ -72,6 +87,35 @@ impl ExpArgs {
             Ok(a) => a,
             Err(msg) => {
                 eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Build the telemetry bundle these flags ask for: `--journal <path>`
+    /// attaches a JSONL [`drybell_obs::RunJournal`] at that path, `--json`
+    /// alone still collects metrics and spans for the final report.
+    /// `None` when neither flag was given, so the default invocation keeps
+    /// the un-instrumented fast path.
+    pub fn telemetry(&self) -> std::io::Result<Option<drybell_obs::Telemetry>> {
+        match &self.journal {
+            Some(path) => {
+                let journal = drybell_obs::RunJournal::to_path(path)?;
+                Ok(Some(drybell_obs::Telemetry::with_journal(journal)))
+            }
+            None if self.json => Ok(Some(drybell_obs::Telemetry::new())),
+            None => Ok(None),
+        }
+    }
+
+    /// [`ExpArgs::telemetry`], exiting with a usage-style message when the
+    /// `--journal` path cannot be opened.
+    pub fn telemetry_or_exit(&self) -> Option<drybell_obs::Telemetry> {
+        match self.telemetry() {
+            Ok(t) => t,
+            Err(e) => {
+                let path = self.journal.as_deref().unwrap_or_else(|| "".as_ref());
+                eprintln!("cannot open --journal {}: {e}", path.display());
                 std::process::exit(2);
             }
         }
@@ -91,6 +135,8 @@ mod tests {
         let a = parse(&[]).unwrap();
         assert_eq!(a.scale, 0.1);
         assert_eq!(a.seed, None);
+        assert!(!a.json);
+        assert_eq!(a.journal, None);
     }
 
     #[test]
@@ -102,11 +148,39 @@ mod tests {
     }
 
     #[test]
+    fn observability_flags_parse() {
+        let a = parse(&["--json", "--journal", "/tmp/run.jsonl"]).unwrap();
+        assert!(a.json);
+        assert_eq!(
+            a.journal.as_deref(),
+            Some(std::path::Path::new("/tmp/run.jsonl"))
+        );
+    }
+
+    #[test]
     fn errors() {
         assert!(parse(&["--scale"]).is_err());
         assert!(parse(&["--scale", "abc"]).is_err());
         assert!(parse(&["--scale", "-1"]).is_err());
+        assert!(parse(&["--journal"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn telemetry_matches_the_flags() {
+        assert!(parse(&[]).unwrap().telemetry().unwrap().is_none());
+        let t = parse(&["--json"]).unwrap().telemetry().unwrap().unwrap();
+        assert!(t.journal().is_none());
+        let dir = std::env::temp_dir().join(format!("bench-args-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let args = parse(&["--journal", path.to_str().unwrap()]).unwrap();
+        let t = args.telemetry().unwrap().unwrap();
+        assert!(t.journal().is_some());
+        t.emit(drybell_obs::Event::new("probe"));
+        t.journal().unwrap().flush().unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().contains("probe"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -17,11 +17,7 @@ use drybell_ml::metrics::BinaryMetrics;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn unipolar_matrix(
-    examples: usize,
-    pos_rate: f64,
-    seed: u64,
-) -> (LabelMatrix, Vec<bool>) {
+fn unipolar_matrix(examples: usize, pos_rate: f64, seed: u64) -> (LabelMatrix, Vec<bool>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut matrix = LabelMatrix::with_capacity(6, examples);
     let mut gold = Vec::with_capacity(examples);
@@ -80,7 +76,11 @@ fn main() {
         },
     )
     .expect("ci fit");
-    report("conditionally independent", &ci.predict_proba(&matrix), &gold);
+    report(
+        "conditionally independent",
+        &ci.predict_proba(&matrix),
+        &gold,
+    );
 
     let mut cc = ClassConditionalModel::new(6);
     cc.fit(
@@ -91,7 +91,11 @@ fn main() {
         },
     )
     .expect("cc fit");
-    report("class-conditional (MeTaL)", &cc.predict_proba(&matrix), &gold);
+    report(
+        "class-conditional (MeTaL)",
+        &cc.predict_proba(&matrix),
+        &gold,
+    );
 
     println!("\nlearned vote tables (class-conditional), LF 0 (positive-only, 70%/0.5%):");
     let c = cc.confusion(0);

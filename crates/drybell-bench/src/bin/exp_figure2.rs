@@ -11,7 +11,13 @@ fn print_row(app: &str, dist: &[(LfCategory, usize)], total: usize) {
     for (cat, count) in dist {
         let frac = *count as f64 / total.max(1) as f64;
         let bar = "#".repeat((frac * 40.0).round() as usize);
-        println!("  {:<18} {:>4} ({:>5.1}%) {}", cat.to_string(), count, frac * 100.0, bar);
+        println!(
+            "  {:<18} {:>4} ({:>5.1}%) {}",
+            cat.to_string(),
+            count,
+            frac * 100.0,
+            bar
+        );
     }
 }
 
@@ -20,11 +26,19 @@ fn main() {
     println!("== Figure 2: LF category distribution ==");
     {
         let t = ContentTask::topic(0.001_f64.max(args.scale * 0.01), args.seed, args.workers);
-        print_row("Topic Classification", &t.lf_set.category_distribution(), t.lf_set.len());
+        print_row(
+            "Topic Classification",
+            &t.lf_set.category_distribution(),
+            t.lf_set.len(),
+        );
     }
     {
         let t = ContentTask::product(0.001_f64.max(args.scale * 0.01), args.seed, args.workers);
-        print_row("Product Classification", &t.lf_set.category_distribution(), t.lf_set.len());
+        print_row(
+            "Product Classification",
+            &t.lf_set.category_distribution(),
+            t.lf_set.len(),
+        );
     }
     {
         let set = events::lf_set(140, args.seed.unwrap_or(20190702));

@@ -51,7 +51,9 @@ fn main() {
     // Sweep points as fractions of the unlabeled pool, so the crossover is
     // findable at any --scale. At --scale 1.0 the absolute counts cover
     // the paper's axes (25K–145K topic, 7K–17K product).
-    let fractions = [0.002, 0.01, 0.03, 0.06, 0.1, 0.15, 0.21, 0.3, 0.5, 0.75, 1.0];
+    let fractions = [
+        0.002, 0.01, 0.03, 0.06, 0.1, 0.15, 0.21, 0.3, 0.5, 0.75, 1.0,
+    ];
     let points = |pool: usize| -> Vec<usize> {
         fractions
             .iter()

@@ -50,11 +50,15 @@ fn main() {
         report.drybell_ece, report.or_ece
     );
 
-    println!("\nFigure 6 — score histogram, Logical-OR model (entropy {:.2}):",
-        histogram_entropy(&report.or_hist));
+    println!(
+        "\nFigure 6 — score histogram, Logical-OR model (entropy {:.2}):",
+        histogram_entropy(&report.or_hist)
+    );
     print!("{}", render_histogram(&report.or_hist, 40));
-    println!("\nFigure 6 — score histogram, Snorkel DryBell model (entropy {:.2}):",
-        histogram_entropy(&report.drybell_hist));
+    println!(
+        "\nFigure 6 — score histogram, Snorkel DryBell model (entropy {:.2}):",
+        histogram_entropy(&report.drybell_hist)
+    );
     print!("{}", render_histogram(&report.drybell_hist, 40));
 
     println!("\nPaper: DryBell identifies 58% more events of interest, with a 4.5%");

@@ -19,7 +19,10 @@ fn print_task(name: &str, report: &ContentReport) {
         report.baseline.recall(),
         report.baseline.f1()
     );
-    println!("  {:<28} {:>8} {:>8} {:>8} {:>8}", "relative:", "P", "R", "F1", "Lift");
+    println!(
+        "  {:<28} {:>8} {:>8} {:>8} {:>8}",
+        "relative:", "P", "R", "F1", "Lift"
+    );
     println!(
         "  {:<28} {} {:>+7.1}%",
         "Generative Model Only",
@@ -43,11 +46,20 @@ fn print_task(name: &str, report: &ContentReport) {
 
 fn main() {
     let args = ExpArgs::parse();
-    println!("== Table 2: relative P/R/F1 vs dev-set baseline (scale {}) ==\n", args.scale);
+    // `--journal <path>`: both tasks append to one JSONL journal
+    // (`lf_execution`, `train_epoch`, `train`, `content_report` events).
+    let telemetry = args.telemetry_or_exit();
+    println!(
+        "== Table 2: relative P/R/F1 vs dev-set baseline (scale {}) ==\n",
+        args.scale
+    );
     let topic = ContentTask::topic(args.scale, args.seed, args.workers);
-    print_task(topic.name, &topic.run_full());
+    print_task(topic.name, &topic.run_full_observed(telemetry.as_ref()));
     let product = ContentTask::product(args.scale, args.seed, args.workers);
-    print_task(product.name, &product.run_full());
+    print_task(product.name, &product.run_full_observed(telemetry.as_ref()));
+    if let Some(journal) = telemetry.as_ref().and_then(|t| t.journal()) {
+        journal.flush().expect("flush journal");
+    }
     println!("Paper: Topic  gen-only 84.4/101.7/93.9 (-6.1%), DryBell 100.6/132.1/117.5 (+17.5%)");
     println!("       Product gen-only 103.8/102.0/102.7 (+2.7%), DryBell 99.2/110.1/105.2 (+5.2%)");
 }

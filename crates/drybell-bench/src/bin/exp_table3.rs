@@ -11,7 +11,9 @@ use drybell_bench::args::ExpArgs;
 use drybell_bench::harness::ContentTask;
 use drybell_ml::metrics::{BinaryMetrics, RelativeMetrics};
 
-fn run<X: Sync + Send>(task: &ContentTask<X>) -> (f64, BinaryMetrics, BinaryMetrics, BinaryMetrics) {
+fn run<X: Sync + Send>(
+    task: &ContentTask<X>,
+) -> (f64, BinaryMetrics, BinaryMetrics, BinaryMetrics) {
     let baseline = task.baseline();
     let servable_only = task.run_servable_only();
     let full = task.run_full().drybell;
@@ -24,7 +26,10 @@ fn print_task<X: Sync + Send>(task: &ContentTask<X>) -> f64 {
     let servable_rel = RelativeMetrics::versus(&servable, &baseline);
     let full_rel = RelativeMetrics::versus(&full, &baseline);
     println!("{}", task.name);
-    println!("  {:<24} {:>8} {:>8} {:>8} {:>8}", "relative:", "P", "R", "F1", "Lift");
+    println!(
+        "  {:<24} {:>8} {:>8} {:>8} {:>8}",
+        "relative:", "P", "R", "F1", "Lift"
+    );
     println!("  {:<24} {}", "Servable LFs", servable_rel.row());
     println!(
         "  {:<24} {} {:>+7.1}%",
@@ -38,12 +43,18 @@ fn print_task<X: Sync + Send>(task: &ContentTask<X>) -> f64 {
 
 fn main() {
     let args = ExpArgs::parse();
-    println!("== Table 3: servable-only vs +non-servable LFs (scale {}) ==\n", args.scale);
+    println!(
+        "== Table 3: servable-only vs +non-servable LFs (scale {}) ==\n",
+        args.scale
+    );
     let topic = ContentTask::topic(args.scale, args.seed, args.workers);
     let l1 = print_task(&topic);
     let product = ContentTask::product(args.scale, args.seed, args.workers);
     let l2 = print_task(&product);
-    println!("Average lift from non-servable resources: {:+.1}%", 50.0 * (l1 + l2));
+    println!(
+        "Average lift from non-servable resources: {:+.1}%",
+        50.0 * (l1 + l2)
+    );
     println!();
     println!("Paper: Topic servable 50.9/159.2/86.1 -> full 100.6/132.1/117.5 (+36.4%)");
     println!("       Product servable 38.0/119.2/62.5 -> full 99.2/110.1/105.2 (+68.2%)");

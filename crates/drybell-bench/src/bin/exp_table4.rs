@@ -18,7 +18,10 @@ fn print_task<X: Sync + Send>(task: &ContentTask<X>) -> f64 {
     let equal_rel = RelativeMetrics::versus(&equal, &baseline);
     let full_rel = RelativeMetrics::versus(&full, &baseline);
     println!("{}", task.name);
-    println!("  {:<24} {:>8} {:>8} {:>8} {:>8}", "relative:", "P", "R", "F1", "Lift");
+    println!(
+        "  {:<24} {:>8} {:>8} {:>8} {:>8}",
+        "relative:", "P", "R", "F1", "Lift"
+    );
     println!("  {:<24} {}", "Equal Weights", equal_rel.row());
     println!(
         "  {:<24} {} {:>+7.1}%",
@@ -32,12 +35,18 @@ fn print_task<X: Sync + Send>(task: &ContentTask<X>) -> f64 {
 
 fn main() {
     let args = ExpArgs::parse();
-    println!("== Table 4: equal weights vs generative model (scale {}) ==\n", args.scale);
+    println!(
+        "== Table 4: equal weights vs generative model (scale {}) ==\n",
+        args.scale
+    );
     let topic = ContentTask::topic(args.scale, args.seed, args.workers);
     let l1 = print_task(&topic);
     let product = ContentTask::product(args.scale, args.seed, args.workers);
     let l2 = print_task(&product);
-    println!("Average lift from generative weighting: {:+.1}%", 50.0 * (l1 + l2));
+    println!(
+        "Average lift from generative weighting: {:+.1}%",
+        50.0 * (l1 + l2)
+    );
     println!();
     println!("Paper: Topic equal 54.1/163.7/109.0 -> gen 100.6/132.1/117.5 (+7.7%)");
     println!("       Product equal 94.3/110.9/103.2 -> gen 99.2/110.1/105.2 (+1.9%)");

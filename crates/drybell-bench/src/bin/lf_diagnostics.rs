@@ -5,65 +5,123 @@
 //! the empirical accuracy on the dev split — the report the paper
 //! describes as "independently useful for identifying previously unknown
 //! low-quality sources (which were then either fixed or removed)".
+//!
+//! `--json` renders the same diagnostics as one machine-readable JSON
+//! document instead of text tables.
 
 use drybell_bench::args::ExpArgs;
 use drybell_bench::harness::ContentTask;
-use drybell_core::analysis::LfReport;
+use drybell_core::analysis::{LfReport, LfSummary};
 use drybell_datagen::events;
 use drybell_lf::executor::execute_in_memory;
+use drybell_obs::Json;
 
 fn main() {
     let args = ExpArgs::parse();
+    if args.journal.is_some() {
+        eprintln!("note: lf_diagnostics is a one-shot report; --journal has no effect here");
+    }
 
-    println!("== LF diagnostics: topic classification ==");
+    // Topic classification diagnostics, against the dev split.
     let t = ContentTask::topic(args.scale, args.seed, args.workers);
     let (matrix, _) = t.run_lfs();
     let model = t.fit_label_model(&matrix);
     let dev_matrix = t.run_lfs_on(&t.dev);
-    let report = LfReport::build(
+    let topic_report = LfReport::build(
         &matrix,
         &model,
         &t.lf_set.names(),
         Some((&dev_matrix, &t.dev_gold)),
     )
     .expect("report");
-    print!("{}", report.to_table());
-    let low = report.low_quality(0.6);
-    if low.is_empty() {
+    let topic_low = topic_report.low_quality(0.6);
+
+    // Real-time events diagnostics (no dev split; 140 synthetic LFs).
+    let cfg = events::EventTaskConfig::scaled(args.scale.min(0.02));
+    let ds = events::generate(&cfg);
+    let set = events::lf_set(cfg.num_lfs, cfg.seed);
+    let (ev_matrix, _) = execute_in_memory(&set, None, &ds.unlabeled, args.workers).expect("exec");
+    let mut ev_model = drybell_core::GenerativeModel::new(ev_matrix.num_lfs(), 0.7);
+    ev_model
+        .fit(&ev_matrix, &drybell_core::TrainConfig::default())
+        .expect("fit");
+    let events_report = LfReport::build(&ev_matrix, &ev_model, &set.names(), None).expect("report");
+    let events_low = events_report.low_quality(0.55);
+
+    // Dependency screening (Bach et al. 2017-style): nested graph rules
+    // should surface as the top excess-agreement pairs.
+    let deps = drybell_core::DependencyReport::build(&ev_matrix, 100).expect("deps");
+    let names = set.names();
+
+    if args.json {
+        let flagged = |low: &[&LfSummary]| {
+            Json::Arr(low.iter().map(|s| Json::from(s.name.as_str())).collect())
+        };
+        let doc = Json::obj(vec![
+            (
+                "topic",
+                Json::obj(vec![
+                    ("report", topic_report.to_json()),
+                    ("low_quality", flagged(&topic_low)),
+                ]),
+            ),
+            (
+                "events",
+                Json::obj(vec![
+                    ("report", events_report.to_json()),
+                    ("low_quality", flagged(&events_low)),
+                ]),
+            ),
+            (
+                "dependencies",
+                Json::Arr(
+                    deps.pairs
+                        .iter()
+                        .take(5)
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("a", Json::from(names[p.j].as_str())),
+                                ("b", Json::from(names[p.k].as_str())),
+                                ("observed_agreement", Json::from(p.observed_agreement)),
+                                ("expected_agreement", Json::from(p.expected_agreement)),
+                                ("excess", Json::from(p.excess())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{}", doc.to_pretty());
+        return;
+    }
+
+    println!("== LF diagnostics: topic classification ==");
+    print!("{}", topic_report.to_table());
+    if topic_low.is_empty() {
         println!("no low-quality sources flagged (threshold 0.6)\n");
     } else {
         println!(
             "low-quality sources flagged (threshold 0.6): {}\n",
-            low.iter().map(|s| s.name.as_str()).collect::<Vec<_>>().join(", ")
+            topic_low
+                .iter()
+                .map(|s| s.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
 
     println!("== LF diagnostics: real-time events (first 20 of 140 LFs) ==");
-    let cfg = events::EventTaskConfig::scaled(args.scale.min(0.02));
-    let ds = events::generate(&cfg);
-    let set = events::lf_set(cfg.num_lfs, cfg.seed);
-    let (matrix, _) = execute_in_memory(&set, None, &ds.unlabeled, args.workers).expect("exec");
-    let mut model = drybell_core::GenerativeModel::new(matrix.num_lfs(), 0.7);
-    model
-        .fit(&matrix, &drybell_core::TrainConfig::default())
-        .expect("fit");
-    let report = LfReport::build(&matrix, &model, &set.names(), None).expect("report");
-    for line in report.to_table().lines().take(21) {
+    for line in events_report.to_table().lines().take(21) {
         println!("{line}");
     }
-    let low = report.low_quality(0.55);
     println!(
         "\n{} of {} sources flagged below accuracy 0.55 — §3.3's 'previously",
-        low.len(),
+        events_low.len(),
         set.len()
     );
     println!("unknown low-quality sources' workflow (fix or remove them).");
 
-    // Dependency screening (Bach et al. 2017-style): nested graph rules
-    // should surface as the top excess-agreement pairs.
-    let deps = drybell_core::DependencyReport::build(&matrix, 100).expect("deps");
     println!("\ntop 5 dependency candidates (excess agreement over CI expectation):");
-    let names = set.names();
     for p in deps.pairs.iter().take(5) {
         println!(
             "  {:<18} ~ {:<18} observed {:.3} expected {:.3} excess {:+.3}",

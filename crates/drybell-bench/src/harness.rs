@@ -12,13 +12,16 @@ use drybell_core::baselines::{equal_weight_labels, logical_or_labels};
 use drybell_core::generative::{GenerativeModel, TrainConfig};
 use drybell_core::vote::Label;
 use drybell_core::LabelMatrix;
-use drybell_datagen::{events, product, topic};
 use drybell_dataflow::par_map_vec;
+use drybell_datagen::{events, product, topic};
 use drybell_features::{FeatureHasher, SparseVector};
-use drybell_lf::executor::{execute_in_memory, ExecutionStats, TextExtractor};
+use drybell_lf::executor::{
+    execute_in_memory, execute_in_memory_observed, ExecOptions, ExecutionStats, TextExtractor,
+};
 use drybell_lf::LfSet;
 use drybell_ml::metrics::{score_histogram, BinaryMetrics, RelativeMetrics};
 use drybell_ml::{FtrlConfig, LogisticRegression, Mlp, MlpConfig};
+use drybell_obs::Telemetry;
 use std::sync::Arc;
 
 /// Servable featurization callback shared across pipeline stages.
@@ -89,6 +92,22 @@ impl ContentReport {
             RelativeMetrics::versus(&self.generative, &self.baseline),
             RelativeMetrics::versus(&self.drybell, &self.baseline),
         )
+    }
+
+    /// Emit one `content_report` event with the headline metrics to a run
+    /// journal, closing the journal's account of a `run_full` pipeline.
+    pub fn emit_to(&self, task: &str, journal: &drybell_obs::RunJournal) {
+        journal.emit(
+            drybell_obs::Event::new("content_report")
+                .field("task", task)
+                .field("examples", self.matrix.num_examples() as u64)
+                .field("baseline_f1", self.baseline.f1())
+                .field("generative_f1", self.generative.f1())
+                .field("drybell_f1", self.drybell.f1())
+                .field("drybell_precision", self.drybell.precision())
+                .field("drybell_recall", self.drybell.recall())
+                .field("lf_seconds", self.lf_stats.seconds),
+        );
     }
 }
 
@@ -181,8 +200,25 @@ impl<X: Sync + Send> ContentTask<X> {
 
     /// Run every LF over the unlabeled pool.
     pub fn run_lfs(&self) -> (LabelMatrix, ExecutionStats) {
-        execute_in_memory(&self.lf_set, self.text.as_ref(), &self.unlabeled, self.workers)
-            .expect("LF execution")
+        self.run_lfs_observed(None)
+    }
+
+    /// Run every LF over the unlabeled pool, instrumenting per-LF vote
+    /// counters, latency histograms, and the `lf_execution` journal event
+    /// when telemetry is supplied.
+    pub fn run_lfs_observed(&self, telemetry: Option<&Telemetry>) -> (LabelMatrix, ExecutionStats) {
+        let mut opts = ExecOptions::new();
+        if let Some(t) = telemetry {
+            opts = opts.with_telemetry(t.clone());
+        }
+        execute_in_memory_observed(
+            &self.lf_set,
+            self.text.as_ref(),
+            &self.unlabeled,
+            self.workers,
+            &opts,
+        )
+        .expect("LF execution")
     }
 
     /// Run every LF over an arbitrary slice (e.g. the test split, for the
@@ -195,9 +231,19 @@ impl<X: Sync + Send> ContentTask<X> {
 
     /// Fit the sampling-free generative model on a label matrix.
     pub fn fit_label_model(&self, matrix: &LabelMatrix) -> GenerativeModel {
+        self.fit_label_model_observed(matrix, None)
+    }
+
+    /// Fit the generative model with per-epoch telemetry (`train_epoch`
+    /// journal events, `obs/train/step_us` histogram) when supplied.
+    pub fn fit_label_model_observed(
+        &self,
+        matrix: &LabelMatrix,
+        telemetry: Option<&Telemetry>,
+    ) -> GenerativeModel {
         let mut model = GenerativeModel::new(matrix.num_lfs(), 0.7);
         model
-            .fit(matrix, &self.label_model_config())
+            .fit_observed(matrix, &self.label_model_config(), telemetry)
             .expect("label model training");
         model
     }
@@ -206,9 +252,12 @@ impl<X: Sync + Send> ContentTask<X> {
     pub fn featurize_all(&self, docs: &[X]) -> Vec<SparseVector> {
         let hasher = FeatureHasher::new(self.hash_dims);
         let f = self.featurizer.clone();
-        par_map_vec(docs, self.workers, |_| Ok(()), move |_s: &mut (), d: &X| {
-            Ok(f(d, &hasher))
-        })
+        par_map_vec(
+            docs,
+            self.workers,
+            |_| Ok(()),
+            move |_s: &mut (), d: &X| Ok(f(d, &hasher)),
+        )
         .expect("featurization")
     }
 
@@ -229,7 +278,8 @@ impl<X: Sync + Send> ContentTask<X> {
         examples: &[(SparseVector, f64)],
         iterations: usize,
     ) -> LogisticRegression {
-        let mut model = LogisticRegression::new(self.hash_dims as usize, self.lr_config(iterations));
+        let mut model =
+            LogisticRegression::new(self.hash_dims as usize, self.lr_config(iterations));
         model.fit(examples);
         model
     }
@@ -238,7 +288,11 @@ impl<X: Sync + Send> ContentTask<X> {
     pub fn eval_on_test(&self, model: &LogisticRegression) -> BinaryMetrics {
         let feats = self.featurize_all(&self.test);
         let scores: Vec<f64> = feats.iter().map(|x| model.predict_proba(x)).collect();
-        let gold: Vec<bool> = self.test_gold.iter().map(|l| *l == Label::Positive).collect();
+        let gold: Vec<bool> = self
+            .test_gold
+            .iter()
+            .map(|l| *l == Label::Positive)
+            .collect();
         BinaryMetrics::at_threshold(&scores, &gold, 0.5)
     }
 
@@ -272,17 +326,22 @@ impl<X: Sync + Send> ContentTask<X> {
     /// over the unlabeled pool.
     pub fn train_drybell_lr(&self, posteriors: &[f64]) -> LogisticRegression {
         let feats = self.featurize_all(&self.unlabeled);
-        let examples: Vec<(SparseVector, f64)> = feats
-            .into_iter()
-            .zip(posteriors.iter().copied())
-            .collect();
+        let examples: Vec<(SparseVector, f64)> =
+            feats.into_iter().zip(posteriors.iter().copied()).collect();
         self.train_lr(&examples, self.lr_iterations)
     }
 
     /// The full Table 2 pipeline.
     pub fn run_full(&self) -> ContentReport {
-        let (matrix, lf_stats) = self.run_lfs();
-        let label_model = self.fit_label_model(&matrix);
+        self.run_full_observed(None)
+    }
+
+    /// The full Table 2 pipeline with end-to-end telemetry: LF execution
+    /// and label-model training emit through the bundle, and the final
+    /// report lands in the journal as a `content_report` event.
+    pub fn run_full_observed(&self, telemetry: Option<&Telemetry>) -> ContentReport {
+        let (matrix, lf_stats) = self.run_lfs_observed(telemetry);
+        let label_model = self.fit_label_model_observed(&matrix, telemetry);
         let posteriors = label_model.predict_proba(&matrix);
         let drybell_lr = self.train_drybell_lr(&posteriors);
         let drybell = self.eval_on_test(&drybell_lr);
@@ -295,11 +354,15 @@ impl<X: Sync + Send> ContentTask<X> {
         // predicted positive.
         let test_matrix = self.run_lfs_on(&self.test);
         let gen_scores = label_model.predict_proba(&test_matrix);
-        let gold: Vec<bool> = self.test_gold.iter().map(|l| *l == Label::Positive).collect();
+        let gold: Vec<bool> = self
+            .test_gold
+            .iter()
+            .map(|l| *l == Label::Positive)
+            .collect();
         let generative = BinaryMetrics::at_threshold(&gen_scores, &gold, 0.5 + 1e-9);
 
         let baseline = self.baseline();
-        ContentReport {
+        let report = ContentReport {
             baseline,
             generative,
             drybell,
@@ -307,7 +370,11 @@ impl<X: Sync + Send> ContentTask<X> {
             label_model,
             matrix,
             posteriors,
+        };
+        if let Some(journal) = telemetry.and_then(Telemetry::journal) {
+            report.emit_to(self.name, journal);
         }
+        report
     }
 
     /// Table 3 ablation: keep only the servable LF columns, refit, retrain.
@@ -316,7 +383,9 @@ impl<X: Sync + Send> ContentTask<X> {
         let mask = self.lf_set.servable_mask();
         let sub = matrix.select_columns(&mask).expect("mask length");
         let mut model = GenerativeModel::new(sub.num_lfs(), 0.7);
-        model.fit(&sub, &self.label_model_config()).expect("training");
+        model
+            .fit(&sub, &self.label_model_config())
+            .expect("training");
         let posteriors = model.predict_proba(&sub);
         let lr = self.train_drybell_lr(&posteriors);
         self.eval_on_test(&lr)
@@ -428,7 +497,10 @@ pub fn run_events(
 
     let gold: Vec<bool> = ds.test_gold.iter().map(|l| *l == Label::Positive).collect();
     let score = |net: &Mlp| -> Vec<f64> {
-        ds.test.iter().map(|e| net.predict_proba(&e.servable)).collect()
+        ds.test
+            .iter()
+            .map(|e| net.predict_proba(&e.servable))
+            .collect()
     };
     let drybell_scores = score(&drybell_net);
     let or_scores = score(&or_net);
@@ -464,12 +536,15 @@ mod tests {
     use super::*;
 
     /// A miniature end-to-end run of the topic pipeline. This is the
-    /// repo's smoke test for the whole §6.1 methodology.
+    /// repo's smoke test for the whole §6.1 methodology — run through the
+    /// observed path so it doubles as the harness telemetry check.
     #[test]
     fn topic_pipeline_end_to_end_smoke() {
         let mut task = ContentTask::topic(0.02, Some(11), 4); // ~13.7K docs
         task.lr_iterations = 2000;
-        let report = task.run_full();
+        let (journal, buffer) = drybell_obs::RunJournal::in_memory();
+        let telemetry = Telemetry::with_journal(journal);
+        let report = task.run_full_observed(Some(&telemetry));
         // DryBell must beat the baseline on F1 (the paper's headline).
         assert!(
             report.drybell.f1() > report.baseline.f1(),
@@ -488,6 +563,46 @@ mod tests {
             .count() as f64
             / task.unlabeled_gold.len() as f64;
         assert!(correct > 0.97, "posterior accuracy {correct:.3}");
+
+        // The journal tells the run's whole story: LF execution, training
+        // epochs, the training summary, and the closing report.
+        let events = buffer.parsed_lines().unwrap();
+        let kinds: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("kind").and_then(|k| k.as_str()).unwrap())
+            .collect();
+        assert_eq!(kinds.iter().filter(|k| **k == "lf_execution").count(), 1);
+        assert!(kinds.contains(&"train_epoch"));
+        assert!(kinds.contains(&"train"));
+        assert_eq!(kinds.last(), Some(&"content_report"));
+        let closing = events.last().unwrap();
+        assert_eq!(
+            closing.get("task").and_then(|v| v.as_str()),
+            Some("Topic Classification")
+        );
+        assert!(
+            (closing.get("drybell_f1").and_then(|v| v.as_f64()).unwrap() - report.drybell.f1())
+                .abs()
+                < 1e-12
+        );
+        // Metrics side: every LF has a vote counter and a latency
+        // histogram; training recorded its step latencies.
+        let snap = telemetry.metrics().snapshot();
+        let mut total_votes = 0;
+        for name in task.lf_set.names() {
+            total_votes += snap.counter(&format!("votes/{name}"));
+            let hist = snap.histogram(&format!("obs/lf/{name}/eval_us")).unwrap();
+            assert_eq!(
+                hist.count(),
+                task.unlabeled.len() as u64,
+                "obs/lf/{name}/eval_us"
+            );
+        }
+        assert!(total_votes > 0);
+        assert_eq!(
+            snap.histogram("obs/train/step_us").map(|h| h.count()),
+            Some(6000)
+        );
     }
 
     #[test]

@@ -103,6 +103,36 @@ impl LfReport {
             .collect()
     }
 
+    /// Render the report as a JSON object (the `--json` mode of the
+    /// diagnostics binaries). Absent empirical accuracies render as
+    /// `null`.
+    pub fn to_json(&self) -> drybell_obs::Json {
+        use drybell_obs::Json;
+        let lfs = self
+            .summaries
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("index", Json::from(s.index)),
+                    ("name", Json::from(s.name.as_str())),
+                    ("coverage", Json::from(s.coverage)),
+                    ("overlap", Json::from(s.overlap)),
+                    ("conflict", Json::from(s.conflict)),
+                    ("learned_accuracy", Json::from(s.learned_accuracy)),
+                    ("learned_propensity", Json::from(s.learned_propensity)),
+                    (
+                        "empirical_accuracy",
+                        s.empirical_accuracy.map(Json::from).unwrap_or(Json::Null),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("label_density", Json::from(self.label_density)),
+            ("lfs", Json::Arr(lfs)),
+        ])
+    }
+
     /// Render the report as an aligned text table (used by examples and the
     /// bench binaries).
     pub fn to_table(&self) -> String {
@@ -118,7 +148,13 @@ impl LfReport {
                 .unwrap_or_else(|| format!("{:>9}", "-"));
             out.push_str(&format!(
                 "{:<24} {:>8.3} {:>8.3} {:>8.3} {:>9.3} {:>10.3} {}\n",
-                s.name, s.coverage, s.overlap, s.conflict, s.learned_accuracy, s.learned_propensity, dev
+                s.name,
+                s.coverage,
+                s.overlap,
+                s.conflict,
+                s.learned_accuracy,
+                s.learned_propensity,
+                dev
             ));
         }
         out.push_str(&format!("label density: {:.3}\n", self.label_density));
@@ -195,6 +231,33 @@ mod tests {
         let table = report.to_table();
         assert!(table.contains("broken"));
         assert!(table.contains("label density"));
+    }
+
+    #[test]
+    fn to_json_round_trips_through_the_obs_parser() {
+        let (mat, _) = planted(200, &[0.8, 0.8], 3);
+        let mut model = GenerativeModel::new(2, 0.7);
+        model
+            .fit(
+                &mat,
+                &TrainConfig {
+                    steps: 50,
+                    ..TrainConfig::default()
+                },
+            )
+            .unwrap();
+        let names = vec!["a".into(), "b".into()];
+        let report = LfReport::build(&mat, &model, &names, None).unwrap();
+        let parsed = drybell_obs::parse_json(&report.to_json().to_line()).unwrap();
+        let lfs = parsed.get("lfs").unwrap().items();
+        assert_eq!(lfs.len(), 2);
+        assert_eq!(lfs[0].get("name").and_then(|v| v.as_str()), Some("a"));
+        assert!(lfs[0].get("empirical_accuracy").unwrap().is_null());
+        let density = parsed
+            .get("label_density")
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        assert!((density - report.label_density).abs() < 1e-9);
     }
 
     #[test]

@@ -37,13 +37,7 @@ pub fn equal_weight_labels(m: &LabelMatrix, prior: f64) -> Vec<f64> {
 /// (§6.4's baseline weak supervision for the real-time events task).
 pub fn logical_or_labels(m: &LabelMatrix) -> Vec<f64> {
     m.rows()
-        .map(|row| {
-            if row.contains(&1) {
-                1.0
-            } else {
-                0.0
-            }
-        })
+        .map(|row| if row.contains(&1) { 1.0 } else { 0.0 })
         .collect()
 }
 

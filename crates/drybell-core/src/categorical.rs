@@ -135,7 +135,11 @@ pub struct CategoricalModel {
 
 impl CategoricalModel {
     /// Create a model for `num_lfs` LFs over `num_classes >= 2` classes.
-    pub fn new(num_lfs: usize, num_classes: u32, init_alpha: f64) -> Result<CategoricalModel, CoreError> {
+    pub fn new(
+        num_lfs: usize,
+        num_classes: u32,
+        init_alpha: f64,
+    ) -> Result<CategoricalModel, CoreError> {
         if num_classes < 2 {
             return Err(CoreError::BadConfig(
                 "categorical model needs at least 2 classes".into(),
@@ -372,9 +376,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut m = CatLabelMatrix::new(n, k).unwrap();
         for _ in 0..mexamples {
-            let row: Vec<CatVote> = (0..n)
-                .map(|_| CatVote(rng.gen_range(0..=k)))
-                .collect();
+            let row: Vec<CatVote> = (0..n).map(|_| CatVote(rng.gen_range(0..=k))).collect();
             m.push_row(&row).unwrap();
         }
         m
@@ -413,7 +415,11 @@ mod tests {
             let mut am = alpha.clone();
             am[j] -= h;
             let fd = (f(&ap, &beta) - f(&am, &beta)) / (2.0 * h);
-            assert!((grad[j] - fd).abs() < 1e-5, "alpha[{j}]: {} vs {fd}", grad[j]);
+            assert!(
+                (grad[j] - fd).abs() < 1e-5,
+                "alpha[{j}]: {} vs {fd}",
+                grad[j]
+            );
             let mut bp = beta.clone();
             bp[j] += h;
             let mut bm = beta.clone();
@@ -497,8 +503,12 @@ mod tests {
         let mut bin = GenerativeModel::new(2, 0.0);
         bin.set_params(alpha, beta, 0.0);
         // Class 1 ↔ +1, class 2 ↔ −1.
-        let cases: [([u32; 2], [i8; 2]); 4] =
-            [([1, 2], [1, -1]), ([1, 0], [1, 0]), ([2, 2], [-1, -1]), ([0, 0], [0, 0])];
+        let cases: [([u32; 2], [i8; 2]); 4] = [
+            ([1, 2], [1, -1]),
+            ([1, 0], [1, 0]),
+            ([2, 2], [-1, -1]),
+            ([0, 0], [0, 0]),
+        ];
         for (crow, brow) in cases {
             let pc = cat.posterior(&crow)[0];
             let pb = bin.posterior(&brow);

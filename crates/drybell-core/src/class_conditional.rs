@@ -234,9 +234,7 @@ impl ClassConditionalModel {
             return Err(CoreError::BadConfig("batch_size must be > 0".into()));
         }
         if !(cfg.class_prior > 0.0 && cfg.class_prior < 1.0) {
-            return Err(CoreError::BadConfig(
-                "class_prior must be in (0, 1)".into(),
-            ));
+            return Err(CoreError::BadConfig("class_prior must be in (0, 1)".into()));
         }
         self.eta = (cfg.class_prior / (1.0 - cfg.class_prior)).ln();
         // Accuracy-tilted init: voting the true class starts favored.
@@ -346,7 +344,11 @@ mod tests {
                 mm.nll(&m).unwrap() + l2_term
             };
             let fd = (f(up) - f(down)) / (2.0 * h);
-            assert!((grad[k] - fd).abs() < 1e-5, "theta[{k}]: {} vs {fd}", grad[k]);
+            assert!(
+                (grad[k] - fd).abs() < 1e-5,
+                "theta[{k}]: {} vs {fd}",
+                grad[k]
+            );
         }
     }
 
@@ -366,11 +368,27 @@ mod tests {
             // polarities, no bipolar anchor.
             let row = [
                 // fires on 70% of positives, 0.5% of negatives
-                if y && rng.gen_bool(0.7) || !y && rng.gen_bool(0.005) { 1 } else { 0 },
-                if y && rng.gen_bool(0.5) || !y && rng.gen_bool(0.003) { 1 } else { 0 },
+                if y && rng.gen_bool(0.7) || !y && rng.gen_bool(0.005) {
+                    1
+                } else {
+                    0
+                },
+                if y && rng.gen_bool(0.5) || !y && rng.gen_bool(0.003) {
+                    1
+                } else {
+                    0
+                },
                 // fires on 60% of negatives, 2% of positives
-                if !y && rng.gen_bool(0.6) || y && rng.gen_bool(0.02) { -1 } else { 0 },
-                if !y && rng.gen_bool(0.4) || y && rng.gen_bool(0.01) { -1 } else { 0 },
+                if !y && rng.gen_bool(0.6) || y && rng.gen_bool(0.02) {
+                    -1
+                } else {
+                    0
+                },
+                if !y && rng.gen_bool(0.4) || y && rng.gen_bool(0.01) {
+                    -1
+                } else {
+                    0
+                },
             ];
             matrix.push_raw_row(&row).unwrap();
             gold.push(if y { Label::Positive } else { Label::Negative });
@@ -403,7 +421,11 @@ mod tests {
         )
         .unwrap();
         let cc_post = cc.predict_proba(&matrix);
-        assert!(accuracy(&cc_post) > 0.95, "cc accuracy {}", accuracy(&cc_post));
+        assert!(
+            accuracy(&cc_post) > 0.95,
+            "cc accuracy {}",
+            accuracy(&cc_post)
+        );
         assert!(
             pos_recall(&cc_post) > 0.5,
             "cc must find positives: recall {}",
@@ -439,13 +461,25 @@ mod tests {
         let plant = |y: bool, rng: &mut StdRng| -> [i8; 3] {
             [
                 if rng.gen_bool(0.8) {
-                    if y { 1 } else { -1 }
+                    if y {
+                        1
+                    } else {
+                        -1
+                    }
                 } else {
                     0
                 },
-                if y && rng.gen_bool(0.6) || !y && rng.gen_bool(0.01) { 1 } else { 0 },
+                if y && rng.gen_bool(0.6) || !y && rng.gen_bool(0.01) {
+                    1
+                } else {
+                    0
+                },
                 if rng.gen_bool(0.3) {
-                    if rng.gen_bool(0.55) == y { 1 } else { -1 }
+                    if rng.gen_bool(0.55) == y {
+                        1
+                    } else {
+                        -1
+                    }
                 } else {
                     0
                 },
@@ -520,7 +554,11 @@ mod tests {
                     if !rng.gen_bool(0.7) {
                         0
                     } else if rng.gen_bool(acc) {
-                        if y { 1 } else { -1 }
+                        if y {
+                            1
+                        } else {
+                            -1
+                        }
                     } else if y {
                         -1
                     } else {

@@ -85,7 +85,11 @@ impl DependencyReport {
         // Agreement correlations q_jk = 2·P(agree | both vote) − 1.
         let min_co = min_co_votes.max(1);
         let q = |j: usize, k: usize| -> Option<f64> {
-            let id = if j < k { pair_idx(j, k) } else { pair_idx(k, j) };
+            let id = if j < k {
+                pair_idx(j, k)
+            } else {
+                pair_idx(k, j)
+            };
             (co[id] >= min_co).then(|| 2.0 * agree_jk[id] as f64 / co[id] as f64 - 1.0)
         };
         // Triplet estimates of c_j² = q_jk·q_jl / q_kl, median over all
@@ -142,7 +146,10 @@ impl DependencyReport {
     /// Pairs whose excess agreement exceeds `threshold` — dependency
     /// candidates for review (fix, merge, or model explicitly).
     pub fn candidates(&self, threshold: f64) -> Vec<&PairDependency> {
-        self.pairs.iter().filter(|p| p.excess() > threshold).collect()
+        self.pairs
+            .iter()
+            .filter(|p| p.excess() > threshold)
+            .collect()
     }
 }
 
@@ -273,7 +280,11 @@ mod tests {
                 if !rng.gen_bool(0.7) {
                     0
                 } else if rng.gen_bool(acc) {
-                    if y { 1 } else { -1 }
+                    if y {
+                        1
+                    } else {
+                        -1
+                    }
                 } else if y {
                     -1
                 } else {

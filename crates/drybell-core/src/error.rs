@@ -66,7 +66,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CoreError::RowArity { expected: 3, got: 5 };
+        let e = CoreError::RowArity {
+            expected: 3,
+            got: 5,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('5'));
         let e = CoreError::Diverged { step: 42 };
         assert!(e.to_string().contains("42"));

@@ -84,6 +84,25 @@ impl Default for TrainConfig {
     }
 }
 
+/// Per-epoch accounting from one training run (an epoch is one full pass
+/// over the shuffled example order).
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStat {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Gradient steps attributed to this epoch.
+    pub steps: usize,
+    /// Mean L2 norm of the mini-batch gradient over the epoch's steps.
+    pub mean_grad_norm: f64,
+    /// Mean L2 norm of the parameter update (the effective step size).
+    pub mean_step_norm: f64,
+    /// Wall-clock seconds spent in the epoch.
+    pub seconds: f64,
+    /// Full-data mean NLL at the epoch boundary. Only computed when the
+    /// run is observed (it costs a full pass over the matrix).
+    pub nll: Option<f64>,
+}
+
 /// Outcome of a training run.
 #[derive(Debug, Clone)]
 pub struct TrainReport {
@@ -97,6 +116,36 @@ pub struct TrainReport {
     pub steps_per_sec: f64,
     /// `(step, mean NLL)` samples if `record_every > 0`.
     pub loss_history: Vec<(usize, f64)>,
+    /// Per-epoch gradient/step-size/time accounting (always populated;
+    /// the per-epoch `nll` field is only filled on observed runs).
+    pub epochs: Vec<EpochStat>,
+}
+
+impl TrainReport {
+    /// Emit one `train_epoch` event per epoch and a closing `train` event
+    /// to a run journal.
+    pub fn emit_to(&self, journal: &drybell_obs::RunJournal) {
+        for e in &self.epochs {
+            let mut event = drybell_obs::Event::new("train_epoch")
+                .field("epoch", e.epoch)
+                .field("steps", e.steps)
+                .field("mean_grad_norm", e.mean_grad_norm)
+                .field("mean_step_norm", e.mean_step_norm)
+                .field("seconds", e.seconds);
+            if let Some(nll) = e.nll {
+                event = event.field("nll", nll);
+            }
+            journal.emit(event);
+        }
+        journal.emit(
+            drybell_obs::Event::new("train")
+                .field("steps", self.steps)
+                .field("epochs", self.epochs.len())
+                .field("final_nll", self.final_nll)
+                .field("seconds", self.seconds)
+                .field("steps_per_sec", self.steps_per_sec),
+        );
+    }
 }
 
 /// The conditionally-independent generative label model with sampling-free
@@ -302,6 +351,21 @@ impl GenerativeModel {
     /// Fit the model to the observed label matrix by mini-batch gradient
     /// descent on `−log P(Λ)` — the sampling-free procedure of §5.2.
     pub fn fit(&mut self, m: &LabelMatrix, cfg: &TrainConfig) -> Result<TrainReport, CoreError> {
+        self.fit_observed(m, cfg, None)
+    }
+
+    /// [`GenerativeModel::fit`] with an optional telemetry sink.
+    ///
+    /// When `telemetry` is provided: per-step latency goes to the
+    /// `obs/train/step_us` histogram, each epoch boundary computes the
+    /// full-data NLL (an extra pass per epoch) and emits a `train_epoch`
+    /// journal event, and the run closes with a `train` event.
+    pub fn fit_observed(
+        &mut self,
+        m: &LabelMatrix,
+        cfg: &TrainConfig,
+        telemetry: Option<&drybell_obs::Telemetry>,
+    ) -> Result<TrainReport, CoreError> {
         if m.is_empty() {
             return Err(CoreError::EmptyMatrix);
         }
@@ -314,7 +378,10 @@ impl GenerativeModel {
         if cfg.batch_size == 0 {
             return Err(CoreError::BadConfig("batch_size must be > 0".into()));
         }
-        if !(0.0..=1.0).contains(&cfg.class_prior) || cfg.class_prior == 0.0 || cfg.class_prior == 1.0 {
+        if !(0.0..=1.0).contains(&cfg.class_prior)
+            || cfg.class_prior == 0.0
+            || cfg.class_prior == 1.0
+        {
             return Err(CoreError::BadConfig(
                 "class_prior must be in the open interval (0, 1)".into(),
             ));
@@ -334,23 +401,56 @@ impl GenerativeModel {
         order.shuffle(&mut rng);
         let mut cursor = 0usize;
         let mut history = Vec::new();
+        let step_us = telemetry.map(|t| t.metrics().histogram("obs/train/step_us"));
+        let _span = telemetry.map(|t| t.span("train/fit"));
+
+        // Per-epoch accumulator: closed every time the shuffled order is
+        // exhausted, and once more after the final step.
+        let mut epochs: Vec<EpochStat> = Vec::new();
+        let mut epoch_steps = 0usize;
+        let mut epoch_grad_norm = 0.0f64;
+        let mut epoch_step_norm = 0.0f64;
+        let mut epoch_start = Instant::now();
+        let mut prev_params = vec![0.0; dim];
 
         let start = Instant::now();
         for step in 0..cfg.steps {
+            let step_start = step_us.as_ref().map(|_| Instant::now());
             // Draw the next mini-batch from the shuffled epoch order.
             let mut batch = Vec::with_capacity(cfg.batch_size);
+            let mut wrapped = false;
             for _ in 0..cfg.batch_size.min(order.len()) {
                 if cursor == order.len() {
                     order.shuffle(&mut rng);
                     cursor = 0;
+                    wrapped = true;
                 }
                 batch.push(order[cursor]);
                 cursor += 1;
+            }
+            if wrapped && epoch_steps > 0 {
+                let nll = match telemetry {
+                    Some(_) => Some(self.nll(m)?),
+                    None => None,
+                };
+                epochs.push(EpochStat {
+                    epoch: epochs.len(),
+                    steps: epoch_steps,
+                    mean_grad_norm: epoch_grad_norm / epoch_steps as f64,
+                    mean_step_norm: epoch_step_norm / epoch_steps as f64,
+                    seconds: epoch_start.elapsed().as_secs_f64(),
+                    nll,
+                });
+                epoch_steps = 0;
+                epoch_grad_norm = 0.0;
+                epoch_step_norm = 0.0;
+                epoch_start = Instant::now();
             }
             self.grad_batch(m, &batch, cfg.l2, &mut grad);
             params[..n].copy_from_slice(&self.alpha);
             params[n..2 * n].copy_from_slice(&self.beta);
             params[2 * n] = self.eta;
+            prev_params.copy_from_slice(&params);
             opt.step(&mut params, &grad);
             if params.iter().any(|p| !p.is_finite()) {
                 return Err(CoreError::Diverged { step });
@@ -360,18 +460,48 @@ impl GenerativeModel {
             if self.learn_prior {
                 self.eta = params[2 * n];
             }
+            epoch_steps += 1;
+            epoch_grad_norm += grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+            epoch_step_norm += params
+                .iter()
+                .zip(&prev_params)
+                .map(|(p, q)| (p - q) * (p - q))
+                .sum::<f64>()
+                .sqrt();
             if cfg.record_every > 0 && (step % cfg.record_every == 0 || step + 1 == cfg.steps) {
                 history.push((step, self.nll(m)?));
             }
+            if let (Some(h), Some(s)) = (&step_us, step_start) {
+                h.record_duration(s.elapsed());
+            }
+        }
+        if epoch_steps > 0 {
+            let nll = match telemetry {
+                Some(_) => Some(self.nll(m)?),
+                None => None,
+            };
+            epochs.push(EpochStat {
+                epoch: epochs.len(),
+                steps: epoch_steps,
+                mean_grad_norm: epoch_grad_norm / epoch_steps as f64,
+                mean_step_norm: epoch_step_norm / epoch_steps as f64,
+                seconds: epoch_start.elapsed().as_secs_f64(),
+                nll,
+            });
         }
         let seconds = start.elapsed().as_secs_f64();
-        Ok(TrainReport {
+        let report = TrainReport {
             steps: cfg.steps,
             final_nll: self.nll(m)?,
             seconds,
             steps_per_sec: cfg.steps as f64 / seconds.max(1e-12),
             loss_history: history,
-        })
+            epochs,
+        };
+        if let Some(journal) = telemetry.and_then(drybell_obs::Telemetry::journal) {
+            report.emit_to(journal);
+        }
+        Ok(report)
     }
 }
 
@@ -452,7 +582,11 @@ mod tests {
             let mut am = alpha.clone();
             am[j] -= h;
             let fd = (f(&ap, &beta, eta) - f(&am, &beta, eta)) / (2.0 * h);
-            assert!((grad[j] - fd).abs() < 1e-5, "alpha[{j}]: {} vs {fd}", grad[j]);
+            assert!(
+                (grad[j] - fd).abs() < 1e-5,
+                "alpha[{j}]: {} vs {fd}",
+                grad[j]
+            );
 
             let mut bp = beta.clone();
             bp[j] += h;
@@ -572,6 +706,76 @@ mod tests {
     }
 
     #[test]
+    fn fit_reports_epoch_accounting() {
+        // 200 examples, batch 64 → ~3.2 steps per epoch; 20 steps cover
+        // several epochs.
+        let accs = [0.9, 0.7];
+        let props = [0.8, 0.8];
+        let (mat, _) = planted(200, &accs, &props, 0.5, 7);
+        let mut model = GenerativeModel::new(2, 0.7);
+        let cfg = TrainConfig {
+            steps: 20,
+            batch_size: 64,
+            ..TrainConfig::default()
+        };
+        let report = model.fit(&mat, &cfg).unwrap();
+        assert!(report.epochs.len() >= 2, "expected multiple epochs");
+        let total_steps: usize = report.epochs.iter().map(|e| e.steps).sum();
+        assert_eq!(total_steps, 20);
+        for e in &report.epochs {
+            assert!(e.mean_grad_norm.is_finite() && e.mean_grad_norm >= 0.0);
+            assert!(e.mean_step_norm.is_finite() && e.mean_step_norm > 0.0);
+            assert!(e.seconds >= 0.0);
+            assert!(e.nll.is_none(), "unobserved runs skip per-epoch NLL");
+        }
+        assert_eq!(report.epochs[0].epoch, 0);
+        assert_eq!(report.epochs.last().unwrap().epoch, report.epochs.len() - 1);
+    }
+
+    #[test]
+    fn observed_fit_emits_epochs_and_journal() {
+        let accs = [0.9, 0.7];
+        let props = [0.8, 0.8];
+        let (mat, _) = planted(200, &accs, &props, 0.5, 7);
+        let (journal, buffer) = drybell_obs::RunJournal::in_memory();
+        let telemetry = drybell_obs::Telemetry::with_journal(journal);
+        let cfg = TrainConfig {
+            steps: 20,
+            batch_size: 64,
+            ..TrainConfig::default()
+        };
+        let mut model = GenerativeModel::new(2, 0.7);
+        let report = model.fit_observed(&mat, &cfg, Some(&telemetry)).unwrap();
+        // Observed runs fill in per-epoch NLL, and it should not blow up
+        // as training proceeds.
+        let nlls: Vec<f64> = report.epochs.iter().map(|e| e.nll.unwrap()).collect();
+        assert!(nlls.iter().all(|v| v.is_finite()));
+        assert!(nlls.last().unwrap() <= &(nlls[0] + 1e-6));
+        // Metrics: one step_us sample per gradient step, and the span set.
+        let snap = telemetry.metrics().snapshot();
+        assert_eq!(snap.histogram("obs/train/step_us").unwrap().count(), 20);
+        assert!(telemetry.spans().snapshot().get("train/fit").is_some());
+        // Journal: one train_epoch per epoch plus the closing train event.
+        let events = buffer.parsed_lines().unwrap();
+        let kinds: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("kind").and_then(|k| k.as_str()))
+            .collect();
+        assert_eq!(
+            kinds.iter().filter(|k| **k == "train_epoch").count(),
+            report.epochs.len()
+        );
+        assert_eq!(kinds.last(), Some(&"train"));
+        // Deterministic training: observed and unobserved runs converge to
+        // the same parameters.
+        let mut plain = GenerativeModel::new(2, 0.7);
+        plain.fit(&mat, &cfg).unwrap();
+        for (a, b) in model.alphas().iter().zip(plain.alphas()) {
+            assert!((a - b).abs() < 1e-12, "telemetry must not perturb training");
+        }
+    }
+
+    #[test]
     fn abstain_only_row_returns_prior() {
         let mut model = GenerativeModel::new(3, 0.5);
         model.set_params(vec![0.5; 3], vec![0.0; 3], 0.0);
@@ -606,12 +810,18 @@ mod tests {
             batch_size: 0,
             ..TrainConfig::default()
         };
-        assert!(matches!(model.fit(&mat, &bad), Err(CoreError::BadConfig(_))));
+        assert!(matches!(
+            model.fit(&mat, &bad),
+            Err(CoreError::BadConfig(_))
+        ));
         let bad = TrainConfig {
             class_prior: 1.0,
             ..TrainConfig::default()
         };
-        assert!(matches!(model.fit(&mat, &bad), Err(CoreError::BadConfig(_))));
+        assert!(matches!(
+            model.fit(&mat, &bad),
+            Err(CoreError::BadConfig(_))
+        ));
         let empty = LabelMatrix::new(3);
         assert!(matches!(
             model.fit(&empty, &TrainConfig::default()),

@@ -239,12 +239,7 @@ mod tests {
     use super::*;
     use crate::vote::Label;
 
-    fn planted(
-        m: usize,
-        accs: &[f64],
-        props: &[f64],
-        seed: u64,
-    ) -> (LabelMatrix, Vec<Label>) {
+    fn planted(m: usize, accs: &[f64], props: &[f64], seed: u64) -> (LabelMatrix, Vec<Label>) {
         let n = accs.len();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut mat = LabelMatrix::with_capacity(n, m);

@@ -273,7 +273,13 @@ mod tests {
         let mut m = LabelMatrix::new(2);
         assert!(m.push_row(&[Vote::Positive, Vote::Abstain]).is_ok());
         let err = m.push_row(&[Vote::Positive]).unwrap_err();
-        assert_eq!(err, CoreError::RowArity { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            CoreError::RowArity {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]

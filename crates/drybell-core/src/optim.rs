@@ -144,7 +144,13 @@ mod tests {
 
     #[test]
     fn momentum_converges_on_quadratic() {
-        let mut st = OptimState::new(Optimizer::Momentum { lr: 0.05, beta: 0.8 }, 1);
+        let mut st = OptimState::new(
+            Optimizer::Momentum {
+                lr: 0.05,
+                beta: 0.8,
+            },
+            1,
+        );
         let mut p = [0.0];
         for _ in 0..500 {
             let g = [quad_grad(p[0])];

@@ -43,7 +43,10 @@ impl fmt::Display for CodecError {
             CodecError::UnexpectedEof => write!(f, "unexpected end of buffer"),
             CodecError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
             CodecError::ChecksumMismatch { expected, actual } => {
-                write!(f, "frame checksum mismatch: {expected:#010x} vs {actual:#010x}")
+                write!(
+                    f,
+                    "frame checksum mismatch: {expected:#010x} vs {actual:#010x}"
+                )
             }
             CodecError::InvalidUtf8 => write!(f, "invalid UTF-8 in string field"),
             CodecError::InvalidTag(t) => write!(f, "invalid discriminant tag {t}"),
@@ -77,7 +80,11 @@ fn crc32_table() -> &'static [u32; 256] {
         for (i, slot) in table.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *slot = c;
         }

@@ -25,7 +25,13 @@ impl Counters {
     /// Add `n` to the counter `name`, creating it at zero if absent.
     pub fn add(&self, name: &str, n: u64) {
         let mut map = self.inner.lock();
-        *map.entry(name.to_owned()).or_insert(0) += n;
+        // Fast path avoids allocating a String for names already present
+        // (the common case on per-record paths).
+        if let Some(slot) = map.get_mut(name) {
+            *slot += n;
+        } else {
+            map.insert(name.to_owned(), n);
+        }
     }
 
     /// Increment the counter `name` by one.
@@ -41,8 +47,7 @@ impl Counters {
     /// Snapshot all counters, sorted by name.
     pub fn snapshot(&self) -> CounterSnapshot {
         let map = self.inner.lock();
-        let mut entries: Vec<(String, u64)> =
-            map.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let mut entries: Vec<(String, u64)> = map.iter().map(|(k, v)| (k.clone(), *v)).collect();
         entries.sort();
         CounterSnapshot { entries }
     }
@@ -87,6 +92,13 @@ impl CounterHandle {
         self.add(name, 1);
     }
 
+    /// The shared registry this handle flushes into — for sideband
+    /// reporters (e.g. a worker's cache stats on shutdown) that need to
+    /// merge totals outside the per-record path.
+    pub fn shared(&self) -> &Counters {
+        &self.shared
+    }
+
     /// Flush the local tally into the shared registry immediately.
     pub fn flush(&mut self) {
         if !self.local.is_empty() {
@@ -117,6 +129,16 @@ impl CounterSnapshot {
             .unwrap_or(0)
     }
 
+    /// Add `n` to `name`, inserting at zero if absent and keeping the
+    /// entries sorted. For post-job sideband totals (e.g. a shared NLP
+    /// cache's final stats joining the job's counters).
+    pub fn add(&mut self, name: &str, n: u64) {
+        match self.entries.binary_search_by(|(k, _)| k.as_str().cmp(name)) {
+            Ok(i) => self.entries[i].1 += n,
+            Err(i) => self.entries.insert(i, (name.to_owned(), n)),
+        }
+    }
+
     /// All `(name, value)` pairs, sorted by name.
     pub fn entries(&self) -> &[(String, u64)] {
         &self.entries
@@ -145,6 +167,21 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_add_inserts_sorted() {
+        let c = Counters::new();
+        c.add("b", 2);
+        let mut snap = c.snapshot();
+        snap.add("b", 3);
+        snap.add("a", 1);
+        snap.add("z", 9);
+        assert_eq!(snap.get("a"), 1);
+        assert_eq!(snap.get("b"), 5);
+        assert_eq!(snap.get("z"), 9);
+        let names: Vec<&str> = snap.entries().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["a", "b", "z"]);
+    }
+
+    #[test]
     fn handle_batches_and_flushes_on_drop() {
         let c = Counters::new();
         {
@@ -155,6 +192,49 @@ mod tests {
             assert_eq!(c.get("x"), 0);
         }
         assert_eq!(c.get("x"), 10);
+    }
+
+    #[test]
+    fn concurrent_merges_are_lossless() {
+        // Workers flushing disjoint and overlapping names through
+        // `merge` must never drop or double-count a tally.
+        let c = Counters::new();
+        thread::scope(|s| {
+            for w in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for round in 0..50 {
+                        let mut local = HashMap::new();
+                        local.insert("shared".to_string(), 1u64);
+                        local.insert(format!("worker/{w}"), 2u64);
+                        if round % 2 == 0 {
+                            local.insert("even_rounds".to_string(), 1u64);
+                        }
+                        c.merge(&local);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get("shared"), 8 * 50);
+        assert_eq!(c.get("even_rounds"), 8 * 25);
+        for w in 0..8 {
+            assert_eq!(c.get(&format!("worker/{w}")), 100);
+        }
+    }
+
+    #[test]
+    fn handle_explicit_flush_then_drop_does_not_double_count() {
+        let c = Counters::new();
+        {
+            let mut h = CounterHandle::new(c.clone());
+            h.add("x", 3);
+            h.flush();
+            assert_eq!(c.get("x"), 3);
+            h.inc("x");
+            assert_eq!(h.shared().get("x"), 3);
+        }
+        // Drop flushes only the post-flush increment.
+        assert_eq!(c.get("x"), 4);
     }
 
     #[test]

@@ -39,9 +39,9 @@ mod tests_mapreduce;
 pub use codec::{CodecError, Record};
 pub use counters::{CounterHandle, CounterSnapshot, Counters};
 pub use error::DataflowError;
-pub use pipeline::{Pipeline, PipelineRun};
 pub use mapreduce::{
     map_reduce, par_map_shards, par_map_vec, reference_map_reduce, Emit, JobConfig, JobStats,
-    Service, WorkerContext,
+    PhaseStats, Service, WorkerContext,
 };
+pub use pipeline::{Pipeline, PipelineRun};
 pub use shard::{read_all, write_all, ShardReader, ShardSpec, ShardWriter, ShardWriterSet};

@@ -14,7 +14,7 @@
 //! * worker panics and user errors abort the job and surface as
 //!   [`DataflowError`]s rather than hanging.
 
-use crate::counters::{CounterHandle, Counters, CounterSnapshot};
+use crate::counters::{CounterHandle, CounterSnapshot, Counters};
 use crate::error::DataflowError;
 use crate::shard::{ShardReader, ShardSpec, ShardWriter};
 use crate::Record;
@@ -58,6 +58,20 @@ impl JobConfig {
     }
 }
 
+/// Wall-clock accounting for one phase of a job (`map`, `reduce`).
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    /// Phase name.
+    pub name: String,
+    /// Wall-clock seconds spent in this phase.
+    pub seconds: f64,
+    /// Records entering the phase.
+    pub records_in: u64,
+    /// Records leaving the phase (spilled pairs for a map phase feeding
+    /// a shuffle, final records for a reduce phase).
+    pub records_out: u64,
+}
+
 /// Wall-clock and throughput accounting for a finished job.
 #[derive(Debug, Clone)]
 pub struct JobStats {
@@ -73,12 +87,97 @@ pub struct JobStats {
     pub workers: usize,
     /// Final counter values.
     pub counters: CounterSnapshot,
+    /// Per-phase wall-clock breakdown, in execution order. Phase times
+    /// sum to (slightly less than) `seconds`; the gap is setup/cleanup.
+    pub phases: Vec<PhaseStats>,
+    /// Seconds each worker spent busy (indexed by worker id, summed
+    /// across phases). Uneven values reveal stragglers.
+    pub worker_busy: Vec<f64>,
+    /// Bytes spilled to intermediate shuffle files (zero for pure maps).
+    pub spill_bytes: u64,
 }
 
 impl JobStats {
     /// Input records per second.
     pub fn throughput(&self) -> f64 {
         self.records_in as f64 / self.seconds.max(1e-12)
+    }
+
+    /// Slowest worker's busy time over the mean busy time — 1.0 means a
+    /// perfectly balanced job, 2.0 means one worker carried twice the
+    /// average load.
+    pub fn straggler_ratio(&self) -> f64 {
+        if self.worker_busy.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = self.worker_busy.iter().sum();
+        let mean = sum / self.worker_busy.len() as f64;
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        let max = self.worker_busy.iter().cloned().fold(0.0, f64::max);
+        max / mean
+    }
+
+    /// Emit this job to a run journal: one `job` event carrying the
+    /// totals, preceded by one `phase` event per phase.
+    pub fn emit_to(&self, journal: &drybell_obs::RunJournal) {
+        for phase in &self.phases {
+            journal.emit(
+                drybell_obs::Event::new("phase")
+                    .field("job", self.name.as_str())
+                    .field("name", phase.name.as_str())
+                    .field("seconds", phase.seconds)
+                    .field("records_in", phase.records_in)
+                    .field("records_out", phase.records_out),
+            );
+        }
+        let mut event = drybell_obs::Event::new("job")
+            .field("name", self.name.as_str())
+            .field("records_in", self.records_in)
+            .field("records_out", self.records_out)
+            .field("seconds", self.seconds)
+            .field("workers", self.workers)
+            .field("straggler_ratio", self.straggler_ratio())
+            .field("spill_bytes", self.spill_bytes)
+            .field(
+                "worker_busy",
+                drybell_obs::Json::Arr(
+                    self.worker_busy
+                        .iter()
+                        .map(|&s| drybell_obs::Json::Num(s))
+                        .collect(),
+                ),
+            );
+        for (name, value) in self.counters.entries() {
+            event = event.field(&format!("counters/{name}"), *value);
+        }
+        journal.emit(event);
+    }
+}
+
+/// Per-worker busy-time accumulator, microseconds.
+struct BusyClock {
+    micros: Vec<AtomicU64>,
+}
+
+impl BusyClock {
+    fn new(workers: usize) -> BusyClock {
+        BusyClock {
+            micros: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn charge(&self, worker_id: usize, since: Instant) {
+        let us = since.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.micros[worker_id].fetch_add(us, Ordering::Relaxed);
+    }
+
+    fn seconds(&self) -> Vec<f64> {
+        self.micros
+            .iter()
+            .map(|m| m.load(Ordering::Relaxed) as f64 / 1e6)
+            .collect()
     }
 }
 
@@ -196,14 +295,17 @@ where
     drop(tx);
     let start = Instant::now();
     let workers = cfg.workers.max(1);
+    let busy = BusyClock::new(workers);
     std::thread::scope(|scope| {
         for worker_id in 0..workers {
             let rx = rx.clone();
             let counters = counters.clone();
             let state = &state;
+            let busy = &busy;
             let init = &init;
             let f = &f;
             scope.spawn(move || {
+                let busy_start = Instant::now();
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     let mut ctx = WorkerContext {
                         worker_id,
@@ -235,6 +337,7 @@ where
                         }
                     }
                 }));
+                busy.charge(worker_id, busy_start);
                 if let Err(payload) = result {
                     state.fail(DataflowError::WorkerPanicked {
                         worker: worker_id,
@@ -245,13 +348,23 @@ where
         }
     });
     let seconds = start.elapsed().as_secs_f64();
+    let records_in = state.records_in.load(Ordering::SeqCst);
+    let records_out = state.records_out.load(Ordering::SeqCst);
     let stats = JobStats {
         name: cfg.name.clone(),
-        records_in: state.records_in.load(Ordering::SeqCst),
-        records_out: state.records_out.load(Ordering::SeqCst),
+        records_in,
+        records_out,
         seconds,
         workers,
         counters: counters.snapshot(),
+        phases: vec![PhaseStats {
+            name: "map".to_string(),
+            seconds,
+            records_in,
+            records_out,
+        }],
+        worker_busy: busy.seconds(),
+        spill_bytes: 0,
     };
     state.into_result(stats)
 }
@@ -325,6 +438,8 @@ where
     let workers = cfg.workers.max(1);
     let counters = Counters::new();
     let state = JobState::new();
+    let busy = BusyClock::new(workers);
+    let spill_meter = SpillMeter::default();
     let start = Instant::now();
 
     // ---- Map phase -------------------------------------------------------
@@ -339,10 +454,13 @@ where
             for worker_id in 0..workers {
                 let rx = rx.clone();
                 let state = &state;
+                let busy = &busy;
+                let spill_meter = &spill_meter;
                 let map = &map;
                 let combiner = combiner.as_ref();
                 let spill = &spill;
                 scope.spawn(move || {
+                    let busy_start = Instant::now();
                     let result = catch_unwind(AssertUnwindSafe(|| {
                         if let Err(e) = map_worker::<I, K, V, _, _>(
                             input,
@@ -354,10 +472,12 @@ where
                             combiner,
                             spill,
                             state,
+                            spill_meter,
                         ) {
                             state.fail(e);
                         }
                     }));
+                    busy.charge(worker_id, busy_start);
                     if let Err(payload) = result {
                         state.fail(DataflowError::WorkerPanicked {
                             worker: worker_id,
@@ -368,12 +488,14 @@ where
             }
         });
     }
+    let map_seconds = start.elapsed().as_secs_f64();
     if state.failed.load(Ordering::SeqCst) {
         let stats = empty_stats(cfg, workers, &counters);
         return state.into_result(stats);
     }
 
     // ---- Reduce phase ----------------------------------------------------
+    let reduce_start = Instant::now();
     {
         let (tx, rx) = crossbeam::channel::unbounded::<usize>();
         for p in 0..partitions {
@@ -384,9 +506,11 @@ where
             for worker_id in 0..workers.min(partitions) {
                 let rx = rx.clone();
                 let state = &state;
+                let busy = &busy;
                 let reduce = &reduce;
                 let spill = &spill;
                 scope.spawn(move || {
+                    let busy_start = Instant::now();
                     let result = catch_unwind(AssertUnwindSafe(|| {
                         while let Ok(p) = rx.recv() {
                             if state.failed.load(Ordering::SeqCst) {
@@ -400,6 +524,7 @@ where
                             }
                         }
                     }));
+                    busy.charge(worker_id, busy_start);
                     if let Err(payload) = result {
                         state.fail(DataflowError::WorkerPanicked {
                             worker: worker_id,
@@ -410,6 +535,7 @@ where
             }
         });
     }
+    let reduce_seconds = reduce_start.elapsed().as_secs_f64();
     // Clean up spills regardless of outcome.
     for w in 0..workers {
         for p in 0..partitions {
@@ -417,15 +543,41 @@ where
         }
     }
     let seconds = start.elapsed().as_secs_f64();
+    let records_in = state.records_in.load(Ordering::SeqCst);
+    let records_out = state.records_out.load(Ordering::SeqCst);
+    let spill_pairs = spill_meter.pairs.load(Ordering::Relaxed);
     let stats = JobStats {
         name: cfg.name.clone(),
-        records_in: state.records_in.load(Ordering::SeqCst),
-        records_out: state.records_out.load(Ordering::SeqCst),
+        records_in,
+        records_out,
         seconds,
         workers,
         counters: counters.snapshot(),
+        phases: vec![
+            PhaseStats {
+                name: "map".to_string(),
+                seconds: map_seconds,
+                records_in,
+                records_out: spill_pairs,
+            },
+            PhaseStats {
+                name: "reduce".to_string(),
+                seconds: reduce_seconds,
+                records_in: spill_pairs,
+                records_out,
+            },
+        ],
+        worker_busy: busy.seconds(),
+        spill_bytes: spill_meter.bytes.load(Ordering::Relaxed),
     };
     state.into_result(stats)
+}
+
+/// Shuffle volume accounting shared by all map workers.
+#[derive(Default)]
+struct SpillMeter {
+    bytes: AtomicU64,
+    pairs: AtomicU64,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -439,6 +591,7 @@ fn map_worker<I, K, V, M, C>(
     combiner: Option<&C>,
     spill: &dyn Fn(usize, usize) -> ShardSpec,
     state: &JobState,
+    spill_meter: &SpillMeter,
 ) -> Result<(), DataflowError>
 where
     I: Record,
@@ -455,7 +608,7 @@ where
     let mut read = 0u64;
 
     let flush = |buffer: &mut HashMap<K, Vec<V>>,
-                     writers: &mut Vec<ShardWriter<(K, V)>>|
+                 writers: &mut Vec<ShardWriter<(K, V)>>|
      -> Result<(), DataflowError> {
         for (k, vs) in buffer.drain() {
             let p = (hash_key(&k) % partitions as u64) as usize;
@@ -501,6 +654,12 @@ where
     }
     flush(&mut buffer, &mut writers)?;
     for w in writers {
+        spill_meter
+            .bytes
+            .fetch_add(w.bytes_written(), Ordering::Relaxed);
+        spill_meter
+            .pairs
+            .fetch_add(w.records_written(), Ordering::Relaxed);
         w.finish()?;
     }
     state.records_in.fetch_add(read, Ordering::SeqCst);
@@ -556,6 +715,9 @@ fn empty_stats(cfg: &JobConfig, workers: usize, counters: &Counters) -> JobStats
         seconds: 0.0,
         workers,
         counters: counters.snapshot(),
+        phases: Vec::new(),
+        worker_busy: Vec::new(),
+        spill_bytes: 0,
     }
 }
 

@@ -47,6 +47,19 @@ impl PipelineRun {
         out.push_str(&format!("total: {:.2}s\n", self.total_seconds()));
         out
     }
+
+    /// Emit every stage to a run journal (see [`JobStats::emit_to`]),
+    /// closing with one `pipeline` event carrying the total.
+    pub fn emit_to(&self, journal: &drybell_obs::RunJournal) {
+        for stage in &self.stages {
+            stage.emit_to(journal);
+        }
+        journal.emit(
+            drybell_obs::Event::new("pipeline")
+                .field("stages", self.stages.len())
+                .field("seconds", self.total_seconds()),
+        );
+    }
 }
 
 /// Chains shard-parallel map stages through datasets in one directory.
@@ -155,7 +168,7 @@ mod tests {
                 &doubled,
                 |_ctx| Ok(()),
                 |_s: &mut (), rec: Rec, emit, _c: &mut CounterHandle| {
-                    if rec.0 % 4 == 0 {
+                    if rec.0.is_multiple_of(4) {
                         emit.emit(&rec)?;
                     }
                     Ok(())

@@ -51,8 +51,10 @@ impl ShardSpec {
     /// Path of shard `i` (`name-0000i-of-0000N.rec`).
     pub fn shard_path(&self, i: usize) -> PathBuf {
         assert!(i < self.num_shards, "shard index out of range");
-        self.dir
-            .join(format!("{}-{:05}-of-{:05}.rec", self.name, i, self.num_shards))
+        self.dir.join(format!(
+            "{}-{:05}-of-{:05}.rec",
+            self.name, i, self.num_shards
+        ))
     }
 
     /// A sibling spec with the same directory and shard count but a new name
@@ -89,6 +91,7 @@ pub struct ShardWriter<R: Record> {
     scratch: Vec<u8>,
     frame: Vec<u8>,
     records: u64,
+    bytes: u64,
     _marker: PhantomData<fn(&R)>,
 }
 
@@ -105,6 +108,7 @@ impl<R: Record> ShardWriter<R> {
             scratch: Vec::new(),
             frame: Vec::new(),
             records: 0,
+            bytes: 0,
             _marker: PhantomData,
         })
     }
@@ -119,12 +123,18 @@ impl<R: Record> ShardWriter<R> {
             .write_all(&self.frame)
             .map_err(|e| DataflowError::io(&self.path, e))?;
         self.records += 1;
+        self.bytes += self.frame.len() as u64;
         Ok(())
     }
 
     /// Records written so far.
     pub fn records_written(&self) -> u64 {
         self.records
+    }
+
+    /// Framed bytes written so far (spill accounting).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
     }
 
     /// Flush and close the file.
@@ -208,8 +218,8 @@ impl<R: Record> ShardReader<R> {
         }
         let mut slice = &self.buf[self.pos..];
         let before = slice.len();
-        let payload = codec::get_frame(&mut slice)
-            .map_err(|e| DataflowError::corrupt(&self.path, e))?;
+        let payload =
+            codec::get_frame(&mut slice).map_err(|e| DataflowError::corrupt(&self.path, e))?;
         let mut p = payload;
         let record = R::decode(&mut p).map_err(|e| DataflowError::corrupt(&self.path, e))?;
         if !p.is_empty() {
@@ -275,8 +285,7 @@ mod tests {
     fn roundtrip_across_shards() {
         let dir = tempfile::tempdir().unwrap();
         let spec = ShardSpec::new(dir.path(), "nums", 4);
-        let records: Vec<(u64, String)> =
-            (0..103).map(|i| (i, format!("record-{i}"))).collect();
+        let records: Vec<(u64, String)> = (0..103).map(|i| (i, format!("record-{i}"))).collect();
         let written = write_all(&spec, &records).unwrap();
         assert_eq!(written, 103);
         assert!(spec.exists());

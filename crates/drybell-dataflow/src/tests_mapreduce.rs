@@ -4,9 +4,7 @@
 use crate::codec::Record;
 use crate::counters::CounterHandle;
 use crate::error::DataflowError;
-use crate::mapreduce::{
-    map_reduce, par_map_shards, par_map_vec, reference_map_reduce, JobConfig,
-};
+use crate::mapreduce::{map_reduce, par_map_shards, par_map_vec, reference_map_reduce, JobConfig};
 use crate::shard::{read_all, write_all, ShardSpec};
 use proptest::prelude::*;
 
@@ -177,9 +175,8 @@ fn word_count_matches_reference() {
         }
         Ok(())
     };
-    let reduce = |k: &String, vs: Vec<i64>, sink: CountSink<'_>| {
-        sink(&(k.clone(), vs.into_iter().sum()))
-    };
+    let reduce =
+        |k: &String, vs: Vec<i64>, sink: CountSink<'_>| sink(&(k.clone(), vs.into_iter().sum()));
     let want: Vec<(String, i64)> = reference_map_reduce(&docs, map, reduce).unwrap();
 
     let dir = tempfile::tempdir().unwrap();
@@ -216,9 +213,8 @@ fn combiner_does_not_change_results() {
         }
         Ok(())
     };
-    let reduce = |k: &String, vs: Vec<i64>, sink: CountSink<'_>| {
-        sink(&(k.clone(), vs.into_iter().sum()))
-    };
+    let reduce =
+        |k: &String, vs: Vec<i64>, sink: CountSink<'_>| sink(&(k.clone(), vs.into_iter().sum()));
     let run = |combine: bool, dir: &std::path::Path| -> Vec<(String, i64)> {
         let input = write_input(dir, 4, &docs);
         let output = ShardSpec::new(dir, "out", 2);
@@ -251,9 +247,7 @@ fn map_reduce_cleans_spill_files() {
             Ok(())
         },
         None::<fn(&String, Vec<i64>) -> i64>,
-        |k: &String, vs: Vec<i64>, sink: CountSink<'_>| {
-            sink(&(k.clone(), vs.len() as i64))
-        },
+        |k: &String, vs: Vec<i64>, sink: CountSink<'_>| sink(&(k.clone(), vs.len() as i64)),
     )
     .unwrap();
     let leftover = std::fs::read_dir(dir.path())
@@ -267,13 +261,7 @@ fn map_reduce_cleans_spill_files() {
 #[test]
 fn par_map_vec_preserves_order() {
     let items: Vec<u64> = (0..1000).collect();
-    let out = par_map_vec(
-        &items,
-        7,
-        |_wid| Ok(()),
-        |_s: &mut (), &x| Ok(x * x),
-    )
-    .unwrap();
+    let out = par_map_vec(&items, 7, |_wid| Ok(()), |_s: &mut (), &x| Ok(x * x)).unwrap();
     assert_eq!(out.len(), 1000);
     for (i, v) in out.iter().enumerate() {
         assert_eq!(*v, (i * i) as u64);
@@ -317,8 +305,133 @@ fn par_map_vec_empty_input() {
     assert!(out.is_empty());
 }
 
+#[test]
+fn par_map_reports_phase_and_worker_telemetry() {
+    let dir = tempfile::tempdir().unwrap();
+    let records: Vec<WordRec> = (0..200).map(|i| (i, format!("doc {i}"))).collect();
+    let input = write_input(dir.path(), 8, &records);
+    let output = input.derive("mapped");
+    let stats = par_map_shards(
+        &input,
+        &output,
+        &JobConfig::new("telemetry").with_workers(3),
+        |_ctx| Ok(()),
+        |_s: &mut (), rec: WordRec, emit, _c: &mut CounterHandle| emit.emit(&rec),
+    )
+    .unwrap();
+    // One map phase covering the whole job.
+    assert_eq!(stats.phases.len(), 1);
+    assert_eq!(stats.phases[0].name, "map");
+    assert_eq!(stats.phases[0].records_in, 200);
+    assert_eq!(stats.phases[0].records_out, 200);
+    assert!(stats.phases[0].seconds <= stats.seconds);
+    // One busy entry per worker, none longer than the job.
+    assert_eq!(stats.worker_busy.len(), 3);
+    assert!(stats.worker_busy.iter().all(|&b| b <= stats.seconds + 0.01));
+    assert!(stats.straggler_ratio() >= 1.0 - 1e-9);
+    assert_eq!(stats.spill_bytes, 0);
+}
+
+#[test]
+fn map_reduce_reports_both_phases_and_spill_volume() {
+    let dir = tempfile::tempdir().unwrap();
+    let docs: Vec<WordRec> = (0..100).map(|i| (i, format!("w{}", i % 5))).collect();
+    let input = write_input(dir.path(), 4, &docs);
+    let output = ShardSpec::new(dir.path(), "out", 2);
+    let stats = map_reduce(
+        &input,
+        &output,
+        dir.path(),
+        &JobConfig::new("wc").with_workers(2),
+        |(_, t): WordRec, emit: &mut dyn FnMut(String, i64)| {
+            emit(t, 1);
+            Ok(())
+        },
+        None::<fn(&String, Vec<i64>) -> i64>,
+        |k: &String, vs: Vec<i64>, sink: CountSink<'_>| sink(&(k.clone(), vs.len() as i64)),
+    )
+    .unwrap();
+    assert_eq!(stats.phases.len(), 2);
+    assert_eq!(stats.phases[0].name, "map");
+    assert_eq!(stats.phases[1].name, "reduce");
+    // Map spilled one pair per record; reduce consumed them all.
+    assert_eq!(stats.phases[0].records_out, 100);
+    assert_eq!(stats.phases[1].records_in, 100);
+    assert_eq!(stats.phases[1].records_out, 5);
+    assert!(stats.spill_bytes > 0, "shuffle must account spilled bytes");
+    let phase_sum: f64 = stats.phases.iter().map(|p| p.seconds).sum();
+    assert!(phase_sum <= stats.seconds + 1e-9);
+}
+
+#[test]
+fn job_stats_emit_to_journal() {
+    let dir = tempfile::tempdir().unwrap();
+    let records: Vec<WordRec> = (0..40).map(|i| (i, String::new())).collect();
+    let input = write_input(dir.path(), 4, &records);
+    let output = input.derive("out");
+    let stats = par_map_shards(
+        &input,
+        &output,
+        &JobConfig::new("journaled").with_workers(2),
+        |_ctx| Ok(()),
+        |_s: &mut (), rec: WordRec, emit, c: &mut CounterHandle| {
+            c.inc("touched");
+            emit.emit(&rec)
+        },
+    )
+    .unwrap();
+    let (journal, buffer) = drybell_obs::RunJournal::in_memory();
+    stats.emit_to(&journal);
+    let lines = buffer.parsed_lines().unwrap();
+    assert_eq!(lines.len(), 2); // one phase + one job
+    assert_eq!(lines[0].get("kind").unwrap().as_str(), Some("phase"));
+    assert_eq!(lines[0].get("job").unwrap().as_str(), Some("journaled"));
+    let job = &lines[1];
+    assert_eq!(job.get("kind").unwrap().as_str(), Some("job"));
+    assert_eq!(job.get("records_in").unwrap().as_i64(), Some(40));
+    assert_eq!(job.get("counters/touched").unwrap().as_i64(), Some(40));
+    assert_eq!(job.get("worker_busy").unwrap().items().len(), 2);
+    assert!(job.get("straggler_ratio").unwrap().as_f64().unwrap() >= 1.0);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Phase wall-clock times always partition the job's total time:
+    /// they sum to no more than `seconds`, and the unattributed gap
+    /// (setup + spill cleanup) stays small.
+    #[test]
+    fn prop_phase_times_sum_to_job_seconds(
+        docs in proptest::collection::vec((any::<u64>(), "[a-c ]{0,10}"), 1..50),
+        shards in 1usize..4,
+        workers in 1usize..4,
+    ) {
+        let docs: Vec<WordRec> = docs;
+        let dir = tempfile::tempdir().unwrap();
+        let input = write_input(dir.path(), shards, &docs);
+        let output = ShardSpec::new(dir.path(), "out", 2);
+        let stats = map_reduce(
+            &input, &output, dir.path(),
+            &JobConfig::new("phase-sum").with_workers(workers),
+            |(_, t): WordRec, emit: &mut dyn FnMut(String, i64)| {
+                for w in t.split_whitespace() {
+                    emit(w.to_owned(), 1);
+                }
+                Ok(())
+            },
+            None::<fn(&String, Vec<i64>) -> i64>,
+            |k: &String, vs: Vec<i64>, sink: CountSink<'_>| {
+                sink(&(k.clone(), vs.into_iter().sum()))
+            },
+        ).unwrap();
+        let phase_sum: f64 = stats.phases.iter().map(|p| p.seconds).sum();
+        prop_assert!(phase_sum <= stats.seconds + 1e-9,
+            "phases {phase_sum} exceed total {}", stats.seconds);
+        // The gap not covered by a phase is bounded: spill cleanup on a
+        // handful of tiny files takes well under a second.
+        prop_assert!(stats.seconds - phase_sum < 1.0,
+            "unattributed gap too large: {} vs {}", phase_sum, stats.seconds);
+    }
 
     /// The distributed engine must agree with the reference fold for
     /// arbitrary inputs, shard counts, worker counts, and buffer sizes.

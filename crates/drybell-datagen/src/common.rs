@@ -7,12 +7,12 @@ use rand::Rng;
 /// Topic-neutral filler words mixed into every document so that no single
 /// token is a perfect class signal.
 pub const FILLER_WORDS: &[&str] = &[
-    "the", "a", "an", "of", "and", "to", "in", "for", "with", "on", "that", "this", "was",
-    "are", "has", "have", "from", "they", "will", "would", "about", "after", "before", "people",
-    "time", "year", "week", "today", "new", "more", "other", "some", "many", "first", "last",
-    "also", "just", "into", "over", "under", "while", "where", "when", "which", "their", "them",
-    "said", "says", "see", "seen", "made", "make", "still", "even", "back", "down", "well",
-    "through", "around", "between", "because", "during", "against", "without", "within",
+    "the", "a", "an", "of", "and", "to", "in", "for", "with", "on", "that", "this", "was", "are",
+    "has", "have", "from", "they", "will", "would", "about", "after", "before", "people", "time",
+    "year", "week", "today", "new", "more", "other", "some", "many", "first", "last", "also",
+    "just", "into", "over", "under", "while", "where", "when", "which", "their", "them", "said",
+    "says", "see", "seen", "made", "make", "still", "even", "back", "down", "well", "through",
+    "around", "between", "because", "during", "against", "without", "within",
 ];
 
 /// Domains whose content skews toward the celebrity topic of interest.
@@ -36,8 +36,16 @@ pub const GENERAL_DOMAINS: &[&str] = &[
 /// Phrase fragments typical of celebrity coverage (used by title-pattern
 /// LFs and the positive generator).
 pub const CELEB_PATTERNS: &[&str] = &[
-    "spotted", "dating", "red-carpet", "paparazzi", "breakup", "engaged", "stuns", "reveals",
-    "flaunts", "sizzles",
+    "spotted",
+    "dating",
+    "red-carpet",
+    "paparazzi",
+    "breakup",
+    "engaged",
+    "stuns",
+    "reveals",
+    "flaunts",
+    "sizzles",
 ];
 
 /// Generic celebrity nouns (deliberately *low-precision* keywords — they

@@ -246,9 +246,7 @@ pub fn lf_set(num_lfs: usize, seed: u64) -> LfSet<RealTimeEvent> {
     // Smaller models: linear scorers over random aggregate subsets with
     // noisy weights; vote on both sides with an abstain band.
     for i in 0..n_model {
-        let dims: Vec<usize> = (0..AGGREGATE_DIMS)
-            .filter(|_| rng.gen_bool(0.5))
-            .collect();
+        let dims: Vec<usize> = (0..AGGREGATE_DIMS).filter(|_| rng.gen_bool(0.5)).collect();
         let dims = if dims.is_empty() { vec![1] } else { dims };
         let weights: Vec<f64> = dims
             .iter()
@@ -299,7 +297,9 @@ pub fn lf_set(num_lfs: usize, seed: u64) -> LfSet<RealTimeEvent> {
                 LfCategory::GraphBased,
                 false,
                 move |e: &RealTimeEvent| {
-                    let h = drybell_features::fnv1a64(&[e.id.to_le_bytes(), lf_salt.to_le_bytes()].concat());
+                    let h = drybell_features::fnv1a64(
+                        &[e.id.to_le_bytes(), lf_salt.to_le_bytes()].concat(),
+                    );
                     let noise = (h % 10_000) as f64 / 10_000.0 * 0.24 - 0.12;
                     if e.graph_score + noise > threshold {
                         Vote::Positive
@@ -407,7 +407,10 @@ mod tests {
         let recall = tp as f64 / (tp + fn_) as f64;
         let precision = tp as f64 / (tp + fp) as f64;
         assert!(recall > 0.75, "graph recall {recall:.3}");
-        assert!(precision < 0.65, "graph precision {precision:.3} should be low");
+        assert!(
+            precision < 0.65,
+            "graph precision {precision:.3} should be low"
+        );
     }
 
     #[test]

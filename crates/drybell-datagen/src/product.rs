@@ -149,8 +149,16 @@ const OTHER_ACCESSORIES: &[&str] = &["headphones", "speaker", "keyboard"];
 /// features" §2 says the discriminative classifier learns to exploit
 /// beyond the labeling functions.
 const PHOTO_CONTEXT: &[&str] = &[
-    "zoom", "aperture", "shutter", "bokeh", "megapixel", "viewfinder", "exposure", "portrait",
-    "timelapse", "autofocus",
+    "zoom",
+    "aperture",
+    "shutter",
+    "bokeh",
+    "megapixel",
+    "viewfinder",
+    "exposure",
+    "portrait",
+    "timelapse",
+    "autofocus",
 ];
 
 fn lang_filler(rng: &mut StdRng, lang: Lang) -> String {
@@ -235,11 +243,15 @@ fn generate_doc(rng: &mut StdRng, id: u64, label: Label, english_rate: f64) -> P
     // my phone died") — those docs are where the topic-model LF overlaps
     // the keyword LFs, tying all the negative evidence into one agreement
     // component.
-    let offtopic_background =
-        product_free || (label == Label::Negative && rng.gen_bool(0.15));
+    let offtopic_background = product_free || (label == Label::Negative && rng.gen_bool(0.15));
     let offtopic = *pick(
         rng,
-        &[&Topic::Travel, &Topic::Sports, &Topic::Health, &Topic::Politics],
+        &[
+            &Topic::Travel,
+            &Topic::Sports,
+            &Topic::Health,
+            &Topic::Politics,
+        ],
     );
     for _ in 0..len {
         let r: f64 = rng.gen();
@@ -348,35 +360,30 @@ pub fn lf_set(cg: Arc<CommerceGraph>) -> LfSet<ProductDoc> {
         // --- interest". Bipolar LFs are what make the label model
         // --- identifiable: an LF voting on both sides cannot be
         // --- explained away as "always wrong when it fires".
-        .with(Lf::plain(
-            "kw_en",
-            LfCategory::ContentHeuristic,
-            true,
-            {
-                let cg = cg.clone();
-                move |d: &ProductDoc| {
-                    // One embedded keyword-table rule (§3.2's keyword LF):
-                    // photography terms → positive; other products → negative;
-                    // *no* catalog term at all → negative (product content
-                    // always names a product). The table is exported from the
-                    // KG at build time, so the rule itself is servable.
-                    let mut photo = false;
-                    let mut other = false;
-                    let mut any_alias = false;
-                    for w in d.text.split_whitespace() {
-                        photo |= PHOTO_CORE.contains(&w) || PHOTO_ACCESSORIES.contains(&w);
-                        other |= OTHER_ACCESSORIES.contains(&w) || OTHER_PRODUCTS.contains(&w);
-                        any_alias |= cg.graph.resolve_alias(w).is_some();
-                    }
-                    match (photo, other, any_alias) {
-                        (true, _, _) => Vote::Positive,
-                        (false, true, _) => Vote::Negative,
-                        (false, false, false) => Vote::Negative,
-                        (false, false, true) => Vote::Abstain,
-                    }
+        .with(Lf::plain("kw_en", LfCategory::ContentHeuristic, true, {
+            let cg = cg.clone();
+            move |d: &ProductDoc| {
+                // One embedded keyword-table rule (§3.2's keyword LF):
+                // photography terms → positive; other products → negative;
+                // *no* catalog term at all → negative (product content
+                // always names a product). The table is exported from the
+                // KG at build time, so the rule itself is servable.
+                let mut photo = false;
+                let mut other = false;
+                let mut any_alias = false;
+                for w in d.text.split_whitespace() {
+                    photo |= PHOTO_CORE.contains(&w) || PHOTO_ACCESSORIES.contains(&w);
+                    other |= OTHER_ACCESSORIES.contains(&w) || OTHER_PRODUCTS.contains(&w);
+                    any_alias |= cg.graph.resolve_alias(w).is_some();
                 }
-            },
-        ))
+                match (photo, other, any_alias) {
+                    (true, _, _) => Vote::Positive,
+                    (false, true, _) => Vote::Negative,
+                    (false, false, false) => Vote::Negative,
+                    (false, false, true) => Vote::Abstain,
+                }
+            }
+        }))
         .with(Lf::plain(
             "kw_photo_strict_en",
             LfCategory::ContentHeuristic,
@@ -454,24 +461,28 @@ pub fn lf_set(cg: Arc<CommerceGraph>) -> LfSet<ProductDoc> {
         // --- A second graph signal: a core product named alongside an
         // --- accessory term implies the photography sense of ambiguous
         // --- accessory words like "charger".
-        .with(Lf::graph("kg_core_plus_accessory", false, move |d: &ProductDoc, kg| {
-            let mut saw_core = false;
-            let mut saw_acc = false;
-            for w in d.text.split_whitespace() {
-                if let Some((_, id)) = kg.resolve_alias(w) {
-                    if kg.in_category_subtree(id, cg_combo.cameras) {
-                        saw_core = true;
-                    } else if kg.in_category_subtree(id, cg_combo.camera_accessories) {
-                        saw_acc = true;
+        .with(Lf::graph(
+            "kg_core_plus_accessory",
+            false,
+            move |d: &ProductDoc, kg| {
+                let mut saw_core = false;
+                let mut saw_acc = false;
+                for w in d.text.split_whitespace() {
+                    if let Some((_, id)) = kg.resolve_alias(w) {
+                        if kg.in_category_subtree(id, cg_combo.cameras) {
+                            saw_core = true;
+                        } else if kg.in_category_subtree(id, cg_combo.camera_accessories) {
+                            saw_acc = true;
+                        }
                     }
                 }
-            }
-            if saw_core && saw_acc {
-                Vote::Positive
-            } else {
-                Vote::Abstain
-            }
-        }))
+                if saw_core && saw_acc {
+                    Vote::Positive
+                } else {
+                    Vote::Abstain
+                }
+            },
+        ))
         // --- The depreciated legacy classifier (§3.2): only its positive
         // --- side survived the category expansion.
         .with(
@@ -558,7 +569,11 @@ mod tests {
     fn lf_set_matches_table_1() {
         let ds = small();
         let set = lf_set(ds.kg.clone());
-        assert_eq!(set.len(), 8, "Table 1: eight LFs for product classification");
+        assert_eq!(
+            set.len(),
+            8,
+            "Table 1: eight LFs for product classification"
+        );
         let mask = set.servable_mask();
         assert!(mask.iter().any(|&s| s));
         assert!(mask.iter().any(|&s| !s));
@@ -594,7 +609,10 @@ mod tests {
                 .unwrap()
                 .unwrap_or_else(|| panic!("LF {name} never voted"));
             let cov = matrix.coverage(j);
-            assert!(acc > 0.55, "LF {name}: accuracy {acc:.3} (coverage {cov:.3})");
+            assert!(
+                acc > 0.55,
+                "LF {name}: accuracy {acc:.3} (coverage {cov:.3})"
+            );
             assert!(cov > 0.002, "LF {name}: coverage {cov:.4}");
         }
         assert!(matrix.label_density() > 0.7);
@@ -643,10 +661,7 @@ mod tests {
         let mut acc_total = 0u64;
         for (doc, gold) in ds.unlabeled.iter().zip(&ds.unlabeled_gold) {
             if *gold == Label::Positive && doc.lang == "en" {
-                let has_core = doc
-                    .text
-                    .split_whitespace()
-                    .any(|w| PHOTO_CORE.contains(&w));
+                let has_core = doc.text.split_whitespace().any(|w| PHOTO_CORE.contains(&w));
                 if !has_core {
                     acc_total += 1;
                     if doc.legacy_score > 0.75 {

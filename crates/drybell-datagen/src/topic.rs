@@ -460,10 +460,7 @@ pub fn lf_set(crawl_table: Arc<HashMap<String, f64>>) -> LfSet<TopicDoc> {
                 Topic::Health,
                 Topic::Travel,
             ];
-            if offtopic
-                .iter()
-                .any(|t| nlp.topic_probs[t.index()] > 0.5)
-            {
+            if offtopic.iter().any(|t| nlp.topic_probs[t.index()] > 0.5) {
                 Vote::Negative
             } else {
                 Vote::Abstain
@@ -604,7 +601,10 @@ mod tests {
                 acc > 0.55,
                 "LF {name}: accuracy {acc:.3} (coverage {coverage:.3}) is not informative"
             );
-            assert!(coverage > 0.001, "LF {name}: coverage {coverage:.4} too small");
+            assert!(
+                coverage > 0.001,
+                "LF {name}: coverage {coverage:.4} too small"
+            );
         }
         // The label matrix must cover most examples with at least one vote.
         assert!(matrix.label_density() > 0.8);

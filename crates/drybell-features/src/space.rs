@@ -136,9 +136,16 @@ impl SpaceRegistry {
 mod tests {
     use super::*;
 
-    fn registry() -> (SpaceRegistry, FeatureSpaceId, FeatureSpaceId, FeatureSpaceId) {
+    fn registry() -> (
+        SpaceRegistry,
+        FeatureSpaceId,
+        FeatureSpaceId,
+        FeatureSpaceId,
+    ) {
         let mut r = SpaceRegistry::new();
-        let text = r.register(FeatureSpace::servable("hashed-unigrams", 40)).unwrap();
+        let text = r
+            .register(FeatureSpace::servable("hashed-unigrams", 40))
+            .unwrap();
         let nlp = r
             .register(FeatureSpace::non_servable("nlp-entities", 50_000))
             .unwrap();
@@ -161,7 +168,9 @@ mod tests {
     #[test]
     fn duplicate_names_rejected() {
         let (mut r, _, _, _) = registry();
-        assert!(r.register(FeatureSpace::servable("hashed-unigrams", 1)).is_none());
+        assert!(r
+            .register(FeatureSpace::servable("hashed-unigrams", 1))
+            .is_none());
         assert_eq!(r.len(), 3);
     }
 
@@ -172,7 +181,10 @@ mod tests {
         assert!(!r.all_servable(&[text, nlp]));
         // Private spaces block serving even though cost is tiny.
         assert!(!r.all_servable(&[text, agg]));
-        assert_eq!(r.blocking_spaces(&[text, nlp, agg]), vec!["nlp-entities", "aggregate-stats"]);
+        assert_eq!(
+            r.blocking_spaces(&[text, nlp, agg]),
+            vec!["nlp-entities", "aggregate-stats"]
+        );
         assert!(r.blocking_spaces(&[text]).is_empty());
     }
 

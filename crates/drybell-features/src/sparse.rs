@@ -126,7 +126,10 @@ impl SparseVector {
 
     /// Largest stored index plus one (0 for the empty vector).
     pub fn dim_bound(&self) -> usize {
-        self.entries.last().map(|&(i, _)| i as usize + 1).unwrap_or(0)
+        self.entries
+            .last()
+            .map(|&(i, _)| i as usize + 1)
+            .unwrap_or(0)
     }
 }
 

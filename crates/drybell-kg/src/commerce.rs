@@ -20,43 +20,144 @@ pub const LANGS: [&str; 10] = ["en", "es", "fr", "de", "it", "pt", "nl", "sv", "
 pub const PHOTO_TRANSLATIONS: &[(&str, [&str; 10])] = &[
     (
         "camera",
-        ["camera", "camara", "appareil", "kamera", "fotocamera", "maquina", "fototoestel", "systemkamera", "aparat", "kamerasi"],
+        [
+            "camera",
+            "camara",
+            "appareil",
+            "kamera",
+            "fotocamera",
+            "maquina",
+            "fototoestel",
+            "systemkamera",
+            "aparat",
+            "kamerasi",
+        ],
     ),
     (
         "lens",
-        ["lens", "lente", "objectif", "objektiv", "obiettivo", "objetiva", "cameralens", "objektivet", "obiektyw", "mercek"],
+        [
+            "lens",
+            "lente",
+            "objectif",
+            "objektiv",
+            "obiettivo",
+            "objetiva",
+            "cameralens",
+            "objektivet",
+            "obiektyw",
+            "mercek",
+        ],
     ),
     (
         "tripod",
-        ["tripod", "tripode", "trepied", "stativ", "treppiede", "tripe", "statief", "stativet", "statyw", "sehpa"],
+        [
+            "tripod",
+            "tripode",
+            "trepied",
+            "stativ",
+            "treppiede",
+            "tripe",
+            "statief",
+            "stativet",
+            "statyw",
+            "sehpa",
+        ],
     ),
     (
         "flash",
-        ["flash", "destello", "eclair", "blitz", "lampeggiatore", "flashe", "flits", "blixt", "lampa", "flas"],
+        [
+            "flash",
+            "destello",
+            "eclair",
+            "blitz",
+            "lampeggiatore",
+            "flashe",
+            "flits",
+            "blixt",
+            "lampa",
+            "flas",
+        ],
     ),
     (
         "battery",
-        ["battery", "bateria", "batterie", "akku", "batteria", "pilha", "accu", "batteri", "akumulator", "pil"],
+        [
+            "battery",
+            "bateria",
+            "batterie",
+            "akku",
+            "batteria",
+            "pilha",
+            "accu",
+            "batteri",
+            "akumulator",
+            "pil",
+        ],
     ),
     (
         "charger",
-        ["charger", "cargador", "chargeur", "ladegeraet", "caricatore", "carregador", "oplader", "laddare", "ladowarka", "sarj"],
+        [
+            "charger",
+            "cargador",
+            "chargeur",
+            "ladegeraet",
+            "caricatore",
+            "carregador",
+            "oplader",
+            "laddare",
+            "ladowarka",
+            "sarj",
+        ],
     ),
     (
         "filter",
-        ["filter", "filtro", "filtre", "lichtfilter", "filtrante", "filtragem", "kleurfilter", "filtret", "filtr", "filtresi"],
+        [
+            "filter",
+            "filtro",
+            "filtre",
+            "lichtfilter",
+            "filtrante",
+            "filtragem",
+            "kleurfilter",
+            "filtret",
+            "filtr",
+            "filtresi",
+        ],
     ),
     (
         "strap",
-        ["strap", "correa", "sangle", "gurt", "cinghia", "alca", "riem", "rem", "pasek", "kayis"],
+        [
+            "strap", "correa", "sangle", "gurt", "cinghia", "alca", "riem", "rem", "pasek", "kayis",
+        ],
     ),
     (
         "drone",
-        ["drone", "dron", "quadricoptere", "drohne", "quadricottero", "quadricoptero", "quadcopter", "dronare", "kwadrokopter", "insansiz"],
+        [
+            "drone",
+            "dron",
+            "quadricoptere",
+            "drohne",
+            "quadricottero",
+            "quadricoptero",
+            "quadcopter",
+            "dronare",
+            "kwadrokopter",
+            "insansiz",
+        ],
     ),
     (
         "gimbal",
-        ["gimbal", "estabilizador", "stabilisateur", "stabilisator", "stabilizzatore", "giroscopio", "cardanus", "stabilisator-sv", "stabilizator", "yalpa"],
+        [
+            "gimbal",
+            "estabilizador",
+            "stabilisateur",
+            "stabilisator",
+            "stabilizzatore",
+            "giroscopio",
+            "cardanus",
+            "stabilisator-sv",
+            "stabilizator",
+            "yalpa",
+        ],
     ),
 ];
 
@@ -65,15 +166,48 @@ pub const PHOTO_TRANSLATIONS: &[(&str, [&str; 10])] = &[
 pub const OTHER_TRANSLATIONS: &[(&str, [&str; 10])] = &[
     (
         "headphones",
-        ["headphones", "auriculares", "casque", "kopfhoerer", "cuffie", "fones", "koptelefoon", "horlurar", "sluchawki", "kulaklik"],
+        [
+            "headphones",
+            "auriculares",
+            "casque",
+            "kopfhoerer",
+            "cuffie",
+            "fones",
+            "koptelefoon",
+            "horlurar",
+            "sluchawki",
+            "kulaklik",
+        ],
     ),
     (
         "speaker",
-        ["speaker", "altavoz", "enceinte", "lautsprecher", "altoparlante", "caixa", "luidspreker", "hogtalare", "glosnik", "hoparlor"],
+        [
+            "speaker",
+            "altavoz",
+            "enceinte",
+            "lautsprecher",
+            "altoparlante",
+            "caixa",
+            "luidspreker",
+            "hogtalare",
+            "glosnik",
+            "hoparlor",
+        ],
     ),
     (
         "keyboard",
-        ["keyboard", "teclado", "clavier", "tastatur", "tastiera", "tecladinho", "toetsenbord", "tangentbord", "klawiatura", "klavye"],
+        [
+            "keyboard",
+            "teclado",
+            "clavier",
+            "tastatur",
+            "tastiera",
+            "tecladinho",
+            "toetsenbord",
+            "tangentbord",
+            "klawiatura",
+            "klavye",
+        ],
     ),
 ];
 
@@ -125,14 +259,20 @@ impl CommerceGraph {
 /// Build the reference commerce graph.
 pub fn commerce_graph() -> CommerceGraph {
     let mut g = KnowledgeGraph::new();
-    let electronics = g.add_entity("electronics", NodeKind::Category).expect("fresh");
-    let photography = g.add_entity("photography", NodeKind::Category).expect("fresh");
+    let electronics = g
+        .add_entity("electronics", NodeKind::Category)
+        .expect("fresh");
+    let photography = g
+        .add_entity("photography", NodeKind::Category)
+        .expect("fresh");
     let cameras = g.add_entity("cameras", NodeKind::Category).expect("fresh");
     let camera_accessories = g
         .add_entity("camera-accessories", NodeKind::Category)
         .expect("fresh");
     let mobile = g.add_entity("mobile", NodeKind::Category).expect("fresh");
-    let computing = g.add_entity("computing", NodeKind::Category).expect("fresh");
+    let computing = g
+        .add_entity("computing", NodeKind::Category)
+        .expect("fresh");
     let audio_accessories = g
         .add_entity("audio-accessories", NodeKind::Category)
         .expect("fresh");
@@ -146,10 +286,10 @@ pub fn commerce_graph() -> CommerceGraph {
 
     // Photography products and their multilingual aliases.
     let add_with_aliases = |g: &mut KnowledgeGraph,
-                                word: &str,
-                                table: &[(&str, [&str; 10])],
-                                kind: NodeKind,
-                                category: EntityId|
+                            word: &str,
+                            table: &[(&str, [&str; 10])],
+                            kind: NodeKind,
+                            category: EntityId|
      -> EntityId {
         let id = g.add_entity(word, kind).expect("unique product word");
         g.add_edge(id, EdgeKind::InCategory, category);
@@ -163,8 +303,20 @@ pub fn commerce_graph() -> CommerceGraph {
         id
     };
 
-    let camera = add_with_aliases(&mut g, "camera", PHOTO_TRANSLATIONS, NodeKind::Product, cameras);
-    let drone = add_with_aliases(&mut g, "drone", PHOTO_TRANSLATIONS, NodeKind::Product, cameras);
+    let camera = add_with_aliases(
+        &mut g,
+        "camera",
+        PHOTO_TRANSLATIONS,
+        NodeKind::Product,
+        cameras,
+    );
+    let drone = add_with_aliases(
+        &mut g,
+        "drone",
+        PHOTO_TRANSLATIONS,
+        NodeKind::Product,
+        cameras,
+    );
     for acc in [
         "lens", "tripod", "flash", "battery", "charger", "filter", "strap", "gimbal",
     ] {
@@ -301,10 +453,7 @@ mod tests {
         for (word, row) in PHOTO_TRANSLATIONS.iter().chain(OTHER_TRANSLATIONS) {
             for alias in row {
                 if let Some(prev) = seen.insert(alias, word) {
-                    assert_eq!(
-                        prev, *word,
-                        "alias {alias} is shared by {prev} and {word}"
-                    );
+                    assert_eq!(prev, *word, "alias {alias} is shared by {prev} and {word}");
                 }
             }
         }

@@ -13,14 +13,16 @@
 //!   scaling experiment (§1's "6M+ data points with sub-30min execution")
 //!   measures.
 
-use crate::LfSet;
+use crate::{Lf, LfSet};
 use drybell_core::{CoreError, LabelMatrix};
 use drybell_dataflow::codec::{self, CodecError, Record};
 use drybell_dataflow::{
     par_map_shards, par_map_vec, CounterHandle, DataflowError, JobConfig, JobStats, Service,
     ShardSpec,
 };
-use drybell_nlp::NlpServer;
+use drybell_kg::KnowledgeGraph;
+use drybell_nlp::{CacheStats, CachedNlpServer, NlpResult, NlpServer};
+use drybell_obs::{Counter, Histogram, Telemetry};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -35,8 +37,12 @@ pub struct ExecutionStats {
     pub examples: usize,
     /// Wall-clock seconds.
     pub seconds: f64,
-    /// NLP model-server calls issued (0 when no LF needed the server).
+    /// NLP annotation requests issued (0 when no LF needed the server).
+    /// With a cache this counts requests, not underlying model runs —
+    /// `cache` breaks the figure into hits and misses.
     pub nlp_calls: u64,
+    /// Memo-table statistics when the run used a cached NLP server.
+    pub cache: Option<CacheStats>,
 }
 
 impl ExecutionStats {
@@ -44,18 +50,195 @@ impl ExecutionStats {
     pub fn throughput(&self) -> f64 {
         self.examples as f64 / self.seconds.max(1e-12)
     }
+
+    /// Emit one `lf_execution` event to a run journal.
+    pub fn emit_to(&self, journal: &drybell_obs::RunJournal) {
+        let mut event = drybell_obs::Event::new("lf_execution")
+            .field("examples", self.examples)
+            .field("seconds", self.seconds)
+            .field("throughput", self.throughput())
+            .field("nlp_calls", self.nlp_calls);
+        if let Some(cache) = &self.cache {
+            event = event
+                .field("nlp_cache/hits", cache.hits)
+                .field("nlp_cache/misses", cache.misses)
+                .field("nlp_cache/evictions", cache.evictions)
+                .field("nlp_cache/hit_rate", cache.hit_rate());
+        }
+        journal.emit(event);
+    }
+}
+
+/// Knobs for the observed execution variants.
+///
+/// The default (`ExecOptions::default()`) reproduces the uninstrumented
+/// fast path exactly: no memo table, no telemetry, no per-record timing.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Wrap the per-node NLP server in a [`CachedNlpServer`] with this
+    /// memo-table capacity. The cache is shared by every worker thread
+    /// (one cache per node, as a deployed memo table would be).
+    pub nlp_cache: Option<usize>,
+    /// Telemetry sink: per-LF `votes/<lf>` counters and
+    /// `obs/lf/<lf>/eval_us` latency histograms, `nlp_calls`, the
+    /// `obs/nlp/annotate_us` histogram, and an execution span.
+    pub telemetry: Option<Telemetry>,
+}
+
+impl ExecOptions {
+    /// Options with every knob off (alias for `Default`).
+    pub fn new() -> ExecOptions {
+        ExecOptions::default()
+    }
+
+    /// Enable the shared NLP memo table with `capacity` entries.
+    pub fn with_nlp_cache(mut self, capacity: usize) -> ExecOptions {
+        self.nlp_cache = Some(capacity);
+        self
+    }
+
+    /// Attach a telemetry sink.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> ExecOptions {
+        self.telemetry = Some(telemetry);
+        self
+    }
+}
+
+/// Interned per-LF instruments, parallel to `set.lfs()` column order.
+/// Built once per job so the per-record hot loop never allocates a name.
+struct LfInstruments {
+    /// `votes/<lf>` — bumped when the LF does not abstain.
+    votes: Vec<Arc<Counter>>,
+    /// `obs/lf/<lf>/eval_us` — wall-clock latency of each evaluation.
+    eval_us: Vec<Arc<Histogram>>,
+}
+
+impl LfInstruments {
+    fn for_set<X>(set: &LfSet<X>, telemetry: &Telemetry) -> LfInstruments {
+        let metrics = telemetry.metrics();
+        LfInstruments {
+            votes: set
+                .lfs()
+                .iter()
+                .map(|lf| metrics.counter(&format!("votes/{}", lf.metadata().name)))
+                .collect(),
+            eval_us: set
+                .lfs()
+                .iter()
+                .map(|lf| metrics.histogram(&format!("obs/lf/{}/eval_us", lf.metadata().name)))
+                .collect(),
+        }
+    }
+}
+
+/// Evaluate every LF on one example, optionally timing each evaluation.
+fn row_of<X>(
+    lfs: &[Lf<X>],
+    x: &X,
+    annotation: Option<&NlpResult>,
+    kg: Option<&KnowledgeGraph>,
+    instruments: Option<&LfInstruments>,
+) -> Vec<i8> {
+    match instruments {
+        None => lfs
+            .iter()
+            .map(|lf| lf.vote(x, annotation, kg).as_i8())
+            .collect(),
+        Some(inst) => lfs
+            .iter()
+            .enumerate()
+            .map(|(i, lf)| {
+                let started = Instant::now();
+                let v = lf.vote(x, annotation, kg).as_i8();
+                inst.eval_us[i].record_duration(started.elapsed());
+                if v != 0 {
+                    inst.votes[i].inc();
+                }
+                v
+            })
+            .collect(),
+    }
+}
+
+/// The per-worker view of the NLP service: either a private plain server
+/// (the status-quo "model server per compute node" path) or a handle to
+/// the node-shared memo table.
+enum WorkerNlp {
+    Plain(Box<NlpServer>),
+    Shared(Arc<CachedNlpServer>),
+}
+
+impl WorkerNlp {
+    fn annotate(&self, text: &str) -> NlpResult {
+        match self {
+            WorkerNlp::Plain(server) => server.annotate(text),
+            WorkerNlp::Shared(cache) => cache.annotate(text),
+        }
+    }
+}
+
+/// Build the node-shared cached server when `opts.nlp_cache` is set.
+fn build_shared_cache<X>(
+    set: &LfSet<X>,
+    opts: &ExecOptions,
+) -> Result<Option<Arc<CachedNlpServer>>, DataflowError> {
+    let Some(capacity) = opts.nlp_cache else {
+        return Ok(None);
+    };
+    let mut server = NlpServer::new();
+    if set.needs_nlp() {
+        server.warm_up()?;
+    }
+    if let Some(t) = &opts.telemetry {
+        // Instrument after warm-up so the warm-up call is not counted.
+        server = server.with_metrics(t.metrics());
+    }
+    Ok(Some(Arc::new(CachedNlpServer::new(server, capacity))))
+}
+
+/// Build one worker's NLP handle: a clone of the shared cache, or a
+/// private warmed server.
+fn worker_nlp<X>(
+    set: &LfSet<X>,
+    opts: &ExecOptions,
+    shared: &Option<Arc<CachedNlpServer>>,
+) -> Result<WorkerNlp, DataflowError> {
+    if let Some(cache) = shared {
+        return Ok(WorkerNlp::Shared(Arc::clone(cache)));
+    }
+    let mut server = NlpServer::new();
+    if set.needs_nlp() {
+        server.warm_up()?;
+    }
+    if let Some(t) = &opts.telemetry {
+        server = server.with_metrics(t.metrics());
+    }
+    Ok(WorkerNlp::Plain(Box::new(server)))
 }
 
 /// Run every LF over every example with `workers` threads, producing the
 /// label matrix `Λ` with rows in example order.
 ///
 /// Returns an error if an NLP LF is present but the set has no text
-/// extractor, or if a worker fails.
+/// extractor, or if a worker fails. This is the uninstrumented fast path;
+/// see [`execute_in_memory_observed`] for caching and telemetry.
 pub fn execute_in_memory<X: Sync>(
     set: &LfSet<X>,
     text: Option<&TextExtractor<X>>,
     examples: &[X],
     workers: usize,
+) -> Result<(LabelMatrix, ExecutionStats), DataflowError> {
+    execute_in_memory_observed(set, text, examples, workers, &ExecOptions::default())
+}
+
+/// [`execute_in_memory`] with observability knobs: an optional node-shared
+/// NLP memo table and an optional [`Telemetry`] sink.
+pub fn execute_in_memory_observed<X: Sync>(
+    set: &LfSet<X>,
+    text: Option<&TextExtractor<X>>,
+    examples: &[X],
+    workers: usize,
+    opts: &ExecOptions,
 ) -> Result<(LabelMatrix, ExecutionStats), DataflowError> {
     if set.needs_nlp() && text.is_none() {
         return Err(DataflowError::BadJob(
@@ -63,33 +246,35 @@ pub fn execute_in_memory<X: Sync>(
         ));
     }
     let kg = set.knowledge_graph().cloned();
+    let instruments = opts
+        .telemetry
+        .as_ref()
+        .map(|t| LfInstruments::for_set(set, t));
+    let shared_cache = build_shared_cache(set, opts)?;
+    let _span = opts.telemetry.as_ref().map(|t| t.span("lf_exec/in_memory"));
     let start = Instant::now();
     let nlp_calls = std::sync::atomic::AtomicU64::new(0);
     let rows: Vec<Vec<i8>> = par_map_vec(
         examples,
         workers,
-        |_worker| {
-            // One model server per worker, warmed up before any record.
-            let mut server = NlpServer::new();
-            if set.needs_nlp() {
-                server.warm_up()?;
-            }
-            Ok(server)
-        },
-        |server: &mut NlpServer, x: &X| {
+        // One model server per worker (or one shared memo table per
+        // node), warmed up before any record.
+        |_worker| worker_nlp(set, opts, &shared_cache),
+        |nlp: &mut WorkerNlp, x: &X| {
             let annotation = match (set.needs_nlp(), text) {
                 (true, Some(t)) => {
                     nlp_calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    Some(server.annotate(&t(x)))
+                    Some(nlp.annotate(&t(x)))
                 }
                 _ => None,
             };
-            let row: Vec<i8> = set
-                .lfs()
-                .iter()
-                .map(|lf| lf.vote(x, annotation.as_ref(), kg.as_deref()).as_i8())
-                .collect();
-            Ok(row)
+            Ok(row_of(
+                set.lfs(),
+                x,
+                annotation.as_ref(),
+                kg.as_deref(),
+                instruments.as_ref(),
+            ))
         },
     )?;
     let mut matrix = LabelMatrix::with_capacity(set.len(), rows.len());
@@ -98,11 +283,19 @@ pub fn execute_in_memory<X: Sync>(
             .push_raw_row(row)
             .map_err(|e: CoreError| DataflowError::user(e.to_string()))?;
     }
+    let cache = shared_cache.as_ref().map(|c| c.stats());
+    if let (Some(t), Some(c)) = (&opts.telemetry, &shared_cache) {
+        c.export_to(t.metrics());
+    }
     let stats = ExecutionStats {
         examples: examples.len(),
         seconds: start.elapsed().as_secs_f64(),
         nlp_calls: nlp_calls.into_inner(),
+        cache,
     };
+    if let Some(journal) = opts.telemetry.as_ref().and_then(Telemetry::journal) {
+        stats.emit_to(journal);
+    }
     Ok((matrix, stats))
 }
 
@@ -160,39 +353,78 @@ pub fn execute_sharded<X>(
 where
     X: Record + Sync,
 {
+    execute_sharded_observed(
+        set,
+        text,
+        input,
+        output,
+        cfg,
+        id_of,
+        &ExecOptions::default(),
+    )
+}
+
+/// [`execute_sharded`] with observability knobs (see [`ExecOptions`]).
+///
+/// With a cache enabled, its final [`CacheStats`] are surfaced as the job
+/// counters `nlp_cache/hits`, `nlp_cache/misses`, and
+/// `nlp_cache/evictions` alongside the existing `nlp_calls` and
+/// `votes/<lf>` counters.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_sharded_observed<X>(
+    set: &LfSet<X>,
+    text: Option<&TextExtractor<X>>,
+    input: &ShardSpec,
+    output: &ShardSpec,
+    cfg: &JobConfig,
+    id_of: impl Fn(&X) -> u64 + Sync,
+    opts: &ExecOptions,
+) -> Result<(LabelMatrix, JobStats), DataflowError>
+where
+    X: Record + Sync,
+{
     if set.needs_nlp() && text.is_none() {
         return Err(DataflowError::BadJob(
             "LF set contains NLP labeling functions but no text extractor was provided".into(),
         ));
     }
     let kg = set.knowledge_graph().cloned();
-    let stats = par_map_shards(
+    // Job-counter names interned once: the per-record loop below must not
+    // allocate a `votes/<lf>` string per vote.
+    let vote_names: Vec<String> = set
+        .lfs()
+        .iter()
+        .map(|lf| format!("votes/{}", lf.metadata().name))
+        .collect();
+    let instruments = opts
+        .telemetry
+        .as_ref()
+        .map(|t| LfInstruments::for_set(set, t));
+    let shared_cache = build_shared_cache(set, opts)?;
+    let _span = opts.telemetry.as_ref().map(|t| t.span("lf_exec/sharded"));
+    let mut stats = par_map_shards(
         input,
         output,
         cfg,
-        |_ctx| {
-            let mut server = NlpServer::new();
-            if set.needs_nlp() {
-                server.warm_up()?;
-            }
-            Ok(server)
-        },
-        |server: &mut NlpServer, x: X, emit, counters: &mut CounterHandle| {
+        |_ctx| worker_nlp(set, opts, &shared_cache),
+        |nlp: &mut WorkerNlp, x: X, emit, counters: &mut CounterHandle| {
             let annotation = match (set.needs_nlp(), text) {
                 (true, Some(t)) => {
                     counters.inc("nlp_calls");
-                    Some(server.annotate(&t(&x)))
+                    Some(nlp.annotate(&t(&x)))
                 }
                 _ => None,
             };
-            let votes: Vec<i8> = set
-                .lfs()
-                .iter()
-                .map(|lf| lf.vote(&x, annotation.as_ref(), kg.as_deref()).as_i8())
-                .collect();
-            for (lf, &v) in set.lfs().iter().zip(&votes) {
+            let votes = row_of(
+                set.lfs(),
+                &x,
+                annotation.as_ref(),
+                kg.as_deref(),
+                instruments.as_ref(),
+            );
+            for (name, &v) in vote_names.iter().zip(&votes) {
                 if v != 0 {
-                    counters.inc(&format!("votes/{}", lf.metadata().name));
+                    counters.inc(name);
                 }
             }
             emit.emit(&VoteRow {
@@ -201,6 +433,18 @@ where
             })
         },
     )?;
+    if let Some(cache) = &shared_cache {
+        let cs = cache.stats();
+        stats.counters.add("nlp_cache/hits", cs.hits);
+        stats.counters.add("nlp_cache/misses", cs.misses);
+        stats.counters.add("nlp_cache/evictions", cs.evictions);
+        if let Some(t) = &opts.telemetry {
+            cache.export_to(t.metrics());
+        }
+    }
+    if let Some(journal) = opts.telemetry.as_ref().and_then(Telemetry::journal) {
+        stats.emit_to(journal);
+    }
     // Assemble the matrix in id order.
     let mut rows: Vec<VoteRow> = drybell_dataflow::read_all(output)?;
     rows.sort_by_key(|r| r.id);
@@ -297,9 +541,12 @@ mod tests {
     #[test]
     fn plain_only_set_skips_nlp() {
         let mut set: LfSet<Doc> = LfSet::new();
-        set.push(Lf::plain("always_pos", LfCategory::SourceHeuristic, true, |_| {
-            Vote::Positive
-        }));
+        set.push(Lf::plain(
+            "always_pos",
+            LfCategory::SourceHeuristic,
+            true,
+            |_| Vote::Positive,
+        ));
         let (matrix, stats) = execute_in_memory(&set, None, &docs(), 2).unwrap();
         assert_eq!(stats.nlp_calls, 0);
         assert!(matrix.rows().all(|r| r == [1]));
@@ -323,6 +570,94 @@ mod tests {
         assert_eq!(stats.records_in, 4);
         assert_eq!(stats.counters.get("nlp_calls"), 4);
         assert_eq!(stats.counters.get("votes/has_good"), 2);
+    }
+
+    #[test]
+    fn cached_in_memory_matches_uncached() {
+        let set = doc_set();
+        let ext = extractor();
+        // Duplicate the corpus so the memo table can actually hit.
+        let mut corpus = docs();
+        corpus.extend(docs());
+        let (plain, _) = execute_in_memory(&set, Some(&ext), &corpus, 3).unwrap();
+        let opts = ExecOptions::new().with_nlp_cache(64);
+        let (cached, stats) =
+            execute_in_memory_observed(&set, Some(&ext), &corpus, 3, &opts).unwrap();
+        assert_eq!(cached, plain);
+        let cache = stats.cache.expect("cache stats present");
+        assert_eq!(cache.hits + cache.misses, 8);
+        assert!(cache.hits >= 4, "duplicated corpus must hit the memo table");
+        assert_eq!(stats.nlp_calls, 8, "requests counted, not model runs");
+    }
+
+    #[test]
+    fn telemetry_records_votes_latency_and_journal() {
+        let set = doc_set();
+        let ext = extractor();
+        let (journal, buffer) = drybell_obs::RunJournal::in_memory();
+        let telemetry = Telemetry::with_journal(journal);
+        let opts = ExecOptions::new()
+            .with_nlp_cache(16)
+            .with_telemetry(telemetry.clone());
+        let (_, stats) = execute_in_memory_observed(&set, Some(&ext), &docs(), 2, &opts).unwrap();
+        let snap = telemetry.metrics().snapshot();
+        // Per-LF vote counters match the known matrix from
+        // `in_memory_matches_expected_votes`.
+        assert_eq!(snap.counter("votes/has_good"), 2);
+        assert_eq!(snap.counter("votes/has_bad"), 2);
+        assert_eq!(snap.counter("votes/mentions_person"), 4);
+        // Per-LF latency histograms saw one sample per example.
+        for lf in ["has_good", "has_bad", "mentions_person"] {
+            let hist = snap
+                .histogram(&format!("obs/lf/{lf}/eval_us"))
+                .unwrap_or_else(|| panic!("missing histogram for {lf}"));
+            assert_eq!(hist.count(), 4);
+        }
+        // The model server ran once per distinct text (cache misses only).
+        assert_eq!(snap.counter("nlp_calls"), stats.cache.unwrap().misses);
+        // Cache gauges exported.
+        assert_eq!(snap.gauge("nlp_cache/misses"), 4);
+        // The span closed and the journal captured the run.
+        assert!(telemetry
+            .spans()
+            .snapshot()
+            .get("lf_exec/in_memory")
+            .is_some());
+        let events = buffer.parsed_lines().unwrap();
+        let exec = events
+            .iter()
+            .find(|e| e.get("kind").and_then(|k| k.as_str()) == Some("lf_execution"))
+            .expect("lf_execution event");
+        assert_eq!(exec.get("examples").and_then(|v| v.as_i64()), Some(4));
+    }
+
+    #[test]
+    fn sharded_cache_stats_become_job_counters() {
+        let set = doc_set();
+        let ext = extractor();
+        let mut corpus = docs();
+        corpus.extend(docs()); // ids repeat; votes identical so matrix rows dedupe-safe
+        let corpus: Vec<Doc> = corpus
+            .into_iter()
+            .enumerate()
+            .map(|(i, (_, text))| (i as u64, text))
+            .collect();
+        let dir = tempfile::tempdir().unwrap();
+        let input = ShardSpec::new(dir.path(), "docs", 2);
+        write_all(&input, &corpus).unwrap();
+        let output = input.derive("votes");
+        let cfg = JobConfig::new("lf-exec-cached").with_workers(2);
+        let opts = ExecOptions::new().with_nlp_cache(64);
+        let (matrix, stats) =
+            execute_sharded_observed(&set, Some(&ext), &input, &output, &cfg, |d| d.0, &opts)
+                .unwrap();
+        assert_eq!(matrix.num_examples(), 8);
+        assert_eq!(stats.counters.get("nlp_calls"), 8);
+        let hits = stats.counters.get("nlp_cache/hits");
+        let misses = stats.counters.get("nlp_cache/misses");
+        assert_eq!(hits + misses, 8);
+        assert!(hits >= 4);
+        assert_eq!(stats.counters.get("votes/has_good"), 4);
     }
 
     #[test]

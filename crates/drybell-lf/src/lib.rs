@@ -139,10 +139,7 @@ impl<X> Lf<X> {
     /// the per-worker NLP model server and passes the result to `f`.
     /// Always non-servable — the whole point of §4 is that these models
     /// cannot run in production.
-    pub fn nlp(
-        name: &str,
-        f: impl Fn(&X, &NlpResult) -> Vote + Send + Sync + 'static,
-    ) -> Lf<X> {
+    pub fn nlp(name: &str, f: impl Fn(&X, &NlpResult) -> Vote + Send + Sync + 'static) -> Lf<X> {
         Lf {
             meta: LfMetadata {
                 name: name.to_owned(),
@@ -202,15 +199,13 @@ impl<X> Lf<X> {
         match &self.kind {
             LfKind::Plain(f) => f(x),
             LfKind::Nlp(f) => {
-                let nlp = nlp.unwrap_or_else(|| {
-                    panic!("LF {:?} needs an NLP annotation", self.meta.name)
-                });
+                let nlp = nlp
+                    .unwrap_or_else(|| panic!("LF {:?} needs an NLP annotation", self.meta.name));
                 f(x, nlp)
             }
             LfKind::Graph(f) => {
-                let kg = kg.unwrap_or_else(|| {
-                    panic!("LF {:?} needs a knowledge graph", self.meta.name)
-                });
+                let kg =
+                    kg.unwrap_or_else(|| panic!("LF {:?} needs a knowledge graph", self.meta.name));
                 f(x, kg)
             }
         }
@@ -322,7 +317,9 @@ mod tests {
             let cat = g
                 .add_entity("things", drybell_kg::NodeKind::Category)
                 .unwrap();
-            let id = g.add_entity("widget", drybell_kg::NodeKind::Product).unwrap();
+            let id = g
+                .add_entity("widget", drybell_kg::NodeKind::Product)
+                .unwrap();
             g.add_edge(id, drybell_kg::EdgeKind::InCategory, cat);
             Arc::new(g)
         };
@@ -348,10 +345,7 @@ mod tests {
                 }
             }))
             .with(Lf::graph("kg_widget", false, |d: &Doc, kg| {
-                if d.text
-                    .split_whitespace()
-                    .any(|w| kg.lookup(w).is_some())
-                {
+                if d.text.split_whitespace().any(|w| kg.lookup(w).is_some()) {
                     Vote::Positive
                 } else {
                     Vote::Abstain
@@ -363,7 +357,10 @@ mod tests {
     fn metadata_and_masks() {
         let set = sample_set();
         assert_eq!(set.len(), 3);
-        assert_eq!(set.names(), vec!["kw_positive", "no_people_negative", "kg_widget"]);
+        assert_eq!(
+            set.names(),
+            vec!["kw_positive", "no_people_negative", "kg_widget"]
+        );
         assert_eq!(set.servable_mask(), vec![true, false, false]);
         assert!(set.needs_nlp());
         let dist = set.category_distribution();
@@ -401,19 +398,27 @@ mod tests {
     #[should_panic(expected = "duplicate LF name")]
     fn duplicate_names_panic() {
         let mut set: LfSet<Doc> = LfSet::new();
-        set.push(Lf::plain("same", LfCategory::ContentHeuristic, true, |_| {
-            Vote::Abstain
-        }));
-        set.push(Lf::plain("same", LfCategory::ContentHeuristic, true, |_| {
-            Vote::Abstain
-        }));
+        set.push(Lf::plain(
+            "same",
+            LfCategory::ContentHeuristic,
+            true,
+            |_| Vote::Abstain,
+        ));
+        set.push(Lf::plain(
+            "same",
+            LfCategory::ContentHeuristic,
+            true,
+            |_| Vote::Abstain,
+        ));
     }
 
     #[test]
     #[should_panic(expected = "needs an NLP annotation")]
     fn nlp_lf_without_annotation_panics() {
         let lf: Lf<Doc> = Lf::nlp("needs_nlp", |_d, _n| Vote::Abstain);
-        let doc = Doc { text: String::new() };
+        let doc = Doc {
+            text: String::new(),
+        };
         let _ = lf.vote(&doc, None, None);
     }
 

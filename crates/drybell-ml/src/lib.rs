@@ -19,13 +19,13 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
-pub mod loss;
 pub mod logreg;
+pub mod loss;
 pub mod metrics;
 pub mod mlp;
 pub mod ranking;
 
 pub use logreg::{FtrlConfig, LogisticRegression, LrAlgorithm};
 pub use metrics::{score_histogram, BinaryMetrics, RelativeMetrics};
-pub use ranking::{average_precision, expected_calibration_error, precision_at_k, roc_auc};
 pub use mlp::{Mlp, MlpConfig};
+pub use ranking::{average_precision, expected_calibration_error, precision_at_k, roc_auc};

@@ -292,8 +292,7 @@ mod tests {
         let data: Vec<(SparseVector, f64)> = (0..3000)
             .map(|_| {
                 let y = rng.gen_bool(0.5);
-                let mut toks: Vec<String> =
-                    vec![if y { "pos".into() } else { "neg".into() }];
+                let mut toks: Vec<String> = vec![if y { "pos".into() } else { "neg".into() }];
                 for _ in 0..5 {
                     toks.push(format!("noise{}", rng.gen_range(0..500)));
                 }
@@ -324,10 +323,7 @@ mod tests {
             m.fit(&data);
             m.nnz_weights()
         };
-        assert!(
-            heavy < light,
-            "L1 should prune weights: {heavy} vs {light}"
-        );
+        assert!(heavy < light, "L1 should prune weights: {heavy} vs {light}");
         // The informative tokens must survive pruning.
         let mut m = LogisticRegression::new(
             1 << 12,

@@ -207,7 +207,9 @@ mod tests {
     fn known_confusion_matrix() {
         // 3 TP, 1 FP, 4 TN, 2 FN.
         let scores = [0.9, 0.9, 0.9, 0.9, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1];
-        let gold = [true, true, true, false, true, true, false, false, false, false];
+        let gold = [
+            true, true, true, false, true, true, false, false, false, false,
+        ];
         let m = BinaryMetrics::at_threshold(&scores, &gold, 0.5);
         assert_eq!((m.tp, m.fp, m.tn, m.fn_), (3, 1, 4, 2));
         assert!((m.precision() - 0.75).abs() < 1e-12);

@@ -166,12 +166,7 @@ impl Mlp {
     /// Forward pass keeping post-activation values per layer, then
     /// backprop one example's gradient into `grads` (same shapes as the
     /// layers' `w`/`b`).
-    fn accumulate_grad(
-        &self,
-        x: &[f64],
-        target: f64,
-        grads: &mut [(Vec<f64>, Vec<f64>)],
-    ) -> f64 {
+    fn accumulate_grad(&self, x: &[f64], target: f64, grads: &mut [(Vec<f64>, Vec<f64>)]) -> f64 {
         // Forward with cached activations: acts[0] = input, acts[l+1] =
         // activation after layer l (ReLU for hidden, identity for output).
         let mut acts: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len() + 1);

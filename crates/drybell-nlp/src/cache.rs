@@ -9,6 +9,7 @@
 //! exposes hit/miss statistics so the savings show up in job counters.
 
 use crate::server::{NlpResult, NlpServer};
+use drybell_obs::MetricsRegistry;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -123,6 +124,21 @@ impl CachedNlpServer {
     pub fn stats(&self) -> CacheStats {
         self.state.lock().stats
     }
+
+    /// Publish the current [`CacheStats`] into `metrics` as the gauges
+    /// `nlp_cache/hits`, `nlp_cache/misses`, and `nlp_cache/evictions`.
+    ///
+    /// Gauges (not counters) because this is a point-in-time export of an
+    /// absolute level: calling it again overwrites rather than
+    /// double-counts.
+    pub fn export_to(&self, metrics: &MetricsRegistry) {
+        let stats = self.stats();
+        metrics.gauge("nlp_cache/hits").set(stats.hits as i64);
+        metrics.gauge("nlp_cache/misses").set(stats.misses as i64);
+        metrics
+            .gauge("nlp_cache/evictions")
+            .set(stats.evictions as i64);
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +200,24 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = CachedNlpServer::new(NlpServer::new(), 0);
+    }
+
+    #[test]
+    fn export_to_publishes_stats_as_gauges() {
+        let metrics = MetricsRegistry::new();
+        let cache = CachedNlpServer::new(NlpServer::new(), 2);
+        cache.annotate("one");
+        cache.annotate("one");
+        cache.annotate("two");
+        cache.annotate("three"); // evicts
+        cache.export_to(&metrics);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.gauge("nlp_cache/hits"), 1);
+        assert_eq!(snap.gauge("nlp_cache/misses"), 3);
+        assert_eq!(snap.gauge("nlp_cache/evictions"), 1);
+        // Re-exporting overwrites, never double-counts.
+        cache.export_to(&metrics);
+        assert_eq!(metrics.snapshot().gauge("nlp_cache/misses"), 3);
     }
 
     #[test]

@@ -220,8 +220,14 @@ mod tests {
     #[test]
     fn detects_short_phrases() {
         let det = LangDetector::new();
-        assert_eq!(det.detect("the people want to know what they have seen"), Some(Lang::En));
-        assert_eq!(det.detect("la gente del pueblo quiere saber sobre el perro"), Some(Lang::Es));
+        assert_eq!(
+            det.detect("the people want to know what they have seen"),
+            Some(Lang::En)
+        );
+        assert_eq!(
+            det.detect("la gente del pueblo quiere saber sobre el perro"),
+            Some(Lang::Es)
+        );
     }
 
     #[test]

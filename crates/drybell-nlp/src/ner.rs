@@ -46,29 +46,86 @@ pub const PERSON_FIRST_NAMES: &[&str] = &[
 
 /// Last names known to the person gazetteer (shared with datagen).
 pub const PERSON_LAST_NAMES: &[&str] = &[
-    "johnson", "garcia", "smith", "tanaka", "mueller", "rossi", "kim", "patel", "novak", "silva",
-    "brown", "ivanov", "dubois", "larsen", "costa", "okafor", "haddad", "lindqvist", "moreau",
+    "johnson",
+    "garcia",
+    "smith",
+    "tanaka",
+    "mueller",
+    "rossi",
+    "kim",
+    "patel",
+    "novak",
+    "silva",
+    "brown",
+    "ivanov",
+    "dubois",
+    "larsen",
+    "costa",
+    "okafor",
+    "haddad",
+    "lindqvist",
+    "moreau",
     "fischer",
 ];
 
 /// Organization names known to the gazetteer (shared with datagen).
 pub const ORGANIZATIONS: &[&str] = &[
-    "acme", "globex", "initech", "umbrella", "vandelay", "wonka", "stark", "wayne", "tyrell",
-    "cyberdyne", "aperture", "hooli", "dunder", "sterling", "oscorp",
+    "acme",
+    "globex",
+    "initech",
+    "umbrella",
+    "vandelay",
+    "wonka",
+    "stark",
+    "wayne",
+    "tyrell",
+    "cyberdyne",
+    "aperture",
+    "hooli",
+    "dunder",
+    "sterling",
+    "oscorp",
 ];
 
 /// Location names known to the gazetteer (shared with datagen).
 pub const LOCATIONS: &[&str] = &[
-    "springfield", "rivertown", "lakeside", "hillview", "northport", "eastfield", "westbrook",
-    "southgate", "maplewood", "cedarville", "stonebridge", "fairhaven",
+    "springfield",
+    "rivertown",
+    "lakeside",
+    "hillview",
+    "northport",
+    "eastfield",
+    "westbrook",
+    "southgate",
+    "maplewood",
+    "cedarville",
+    "stonebridge",
+    "fairhaven",
 ];
 
 /// Product words known to the gazetteer (shared with datagen and the
 /// knowledge graph).
 pub const PRODUCT_WORDS: &[&str] = &[
-    "camera", "lens", "tripod", "flash", "battery", "charger", "drone", "gimbal", "filter",
-    "strap", "phone", "laptop", "tablet", "headphones", "speaker", "monitor", "keyboard",
-    "printer", "router", "console",
+    "camera",
+    "lens",
+    "tripod",
+    "flash",
+    "battery",
+    "charger",
+    "drone",
+    "gimbal",
+    "filter",
+    "strap",
+    "phone",
+    "laptop",
+    "tablet",
+    "headphones",
+    "speaker",
+    "monitor",
+    "keyboard",
+    "printer",
+    "router",
+    "console",
 ];
 
 /// Honorific titles that signal a following person name.

@@ -7,13 +7,39 @@
 use crate::tokenizer::lower_tokens;
 
 const POSITIVE: &[&str] = &[
-    "great", "excellent", "amazing", "love", "best", "wonderful", "fantastic", "happy",
-    "perfect", "good", "awesome", "superb", "delightful", "brilliant", "enjoy",
+    "great",
+    "excellent",
+    "amazing",
+    "love",
+    "best",
+    "wonderful",
+    "fantastic",
+    "happy",
+    "perfect",
+    "good",
+    "awesome",
+    "superb",
+    "delightful",
+    "brilliant",
+    "enjoy",
 ];
 
 const NEGATIVE: &[&str] = &[
-    "terrible", "awful", "hate", "worst", "bad", "horrible", "poor", "disappointing",
-    "broken", "useless", "sad", "angry", "defective", "refund", "scam",
+    "terrible",
+    "awful",
+    "hate",
+    "worst",
+    "bad",
+    "horrible",
+    "poor",
+    "disappointing",
+    "broken",
+    "useless",
+    "sad",
+    "angry",
+    "defective",
+    "refund",
+    "scam",
 ];
 
 const NEGATORS: &[&str] = &["not", "no", "never", "hardly", "don't", "doesn't", "isn't"];
@@ -90,7 +116,11 @@ mod tests {
     #[test]
     fn score_is_bounded() {
         let s = SentimentScorer::new();
-        for text in ["great great great", "bad bad not good awful", "not not good"] {
+        for text in [
+            "great great great",
+            "bad bad not good awful",
+            "not not good",
+        ] {
             let v = s.score(text);
             assert!((-1.0..=1.0).contains(&v), "{text}: {v}");
         }

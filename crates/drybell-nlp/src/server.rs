@@ -17,8 +17,10 @@ use crate::ner::{Entity, EntityKind, NerTagger};
 use crate::sentiment::SentimentScorer;
 use crate::tokenizer::{tokenize, Token};
 use crate::topic_model::{SemanticCategorizer, Topic};
+use drybell_obs::{Counter, Histogram, MetricsRegistry};
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Everything the NLP service knows about one piece of text — the
 /// `NLPResult` of the paper's `NLPLabelingFunction` example.
@@ -60,6 +62,15 @@ pub struct ServerStats {
     pub simulated_cost_us: u64,
 }
 
+/// Live telemetry hooks for one server (see [`NlpServer::with_metrics`]).
+#[derive(Debug, Clone)]
+struct ServerTelemetry {
+    /// `nlp_calls` counter — every `annotate` call.
+    calls: Arc<Counter>,
+    /// `obs/nlp/annotate_us` — real wall-clock latency of each call.
+    annotate_us: Arc<Histogram>,
+}
+
 /// The bundled NLP model server.
 #[derive(Debug, Clone)]
 pub struct NlpServer {
@@ -70,6 +81,7 @@ pub struct NlpServer {
     /// Declared cost of one `annotate` call, in simulated microseconds.
     cost_per_call_us: u64,
     stats: Arc<Mutex<ServerStats>>,
+    telemetry: Option<ServerTelemetry>,
     warmed_up: bool,
 }
 
@@ -94,6 +106,7 @@ impl NlpServer {
             sentiment: SentimentScorer::new(),
             cost_per_call_us: Self::DEFAULT_COST_US,
             stats: Arc::new(Mutex::new(ServerStats::default())),
+            telemetry: None,
             warmed_up: false,
         }
     }
@@ -101,6 +114,18 @@ impl NlpServer {
     /// Override the declared per-call cost (tests and ablations).
     pub fn with_cost_us(mut self, cost: u64) -> NlpServer {
         self.cost_per_call_us = cost;
+        self
+    }
+
+    /// Attach live metrics: every `annotate` call bumps the `nlp_calls`
+    /// counter and records its real wall-clock latency into the
+    /// `obs/nlp/annotate_us` histogram of `metrics`. Clones share the
+    /// same instruments, so one registry sees the whole worker fleet.
+    pub fn with_metrics(mut self, metrics: &MetricsRegistry) -> NlpServer {
+        self.telemetry = Some(ServerTelemetry {
+            calls: metrics.counter("nlp_calls"),
+            annotate_us: metrics.histogram("obs/nlp/annotate_us"),
+        });
         self
     }
 
@@ -116,6 +141,7 @@ impl NlpServer {
 
     /// Run all models over `text`.
     pub fn annotate(&self, text: &str) -> NlpResult {
+        let started = self.telemetry.as_ref().map(|_| Instant::now());
         {
             let mut stats = self.stats.lock();
             stats.calls += 1;
@@ -125,14 +151,19 @@ impl NlpServer {
         let lower: Vec<String> = tokens.iter().map(|t| t.lower()).collect();
         let topic_probs = self.topics.classify(&lower);
         let (top_topic, _) = self.topics.top_topic(&lower);
-        NlpResult {
+        let result = NlpResult {
             entities: self.ner.tag(text),
             topic_probs,
             top_topic,
             language: self.langid.detect(text),
             sentiment: self.sentiment.score(text),
             tokens,
+        };
+        if let (Some(t), Some(started)) = (&self.telemetry, started) {
+            t.calls.inc();
+            t.annotate_us.record_duration(started.elapsed());
         }
+        result
     }
 
     /// Snapshot of cumulative stats (shared across clones of this server,
@@ -216,5 +247,26 @@ mod tests {
         let clone = server.clone();
         clone.annotate("text");
         assert_eq!(server.stats().calls, 1);
+    }
+
+    #[test]
+    fn with_metrics_records_calls_and_latency() {
+        let metrics = MetricsRegistry::new();
+        let server = NlpServer::new().with_metrics(&metrics);
+        server.annotate("Alice Johnson buys a camera");
+        server.clone().annotate("a clone shares the instruments");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("nlp_calls"), 2);
+        let hist = snap.histogram("obs/nlp/annotate_us").expect("histogram");
+        assert_eq!(hist.count(), 2);
+        assert!(hist.max() >= hist.min());
+    }
+
+    #[test]
+    fn without_metrics_no_instruments_exist() {
+        let metrics = MetricsRegistry::new();
+        let server = NlpServer::new();
+        server.annotate("text");
+        assert!(metrics.snapshot().counters.is_empty());
     }
 }

@@ -31,7 +31,10 @@ impl Token {
     /// at least two characters (an acronym like "NASA").
     pub fn is_acronym(&self) -> bool {
         self.text.chars().count() >= 2
-            && self.text.chars().all(|c| !c.is_alphabetic() || c.is_uppercase())
+            && self
+                .text
+                .chars()
+                .all(|c| !c.is_alphabetic() || c.is_uppercase())
             && self.text.chars().any(|c| c.is_alphabetic())
     }
 

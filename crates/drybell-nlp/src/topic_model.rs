@@ -59,34 +59,122 @@ impl Topic {
                 "store", "bargain", "checkout", "retail", "coupon", "purchase",
             ],
             Topic::Technology => &[
-                "software", "device", "chip", "startup", "code", "robot", "cloud", "server",
-                "gadget", "compute", "network", "digital", "algorithm", "platform", "hardware",
+                "software",
+                "device",
+                "chip",
+                "startup",
+                "code",
+                "robot",
+                "cloud",
+                "server",
+                "gadget",
+                "compute",
+                "network",
+                "digital",
+                "algorithm",
+                "platform",
+                "hardware",
             ],
             Topic::Sports => &[
-                "game", "team", "score", "league", "coach", "match", "player", "season",
-                "tournament", "goal", "championship", "stadium", "athlete", "win", "defense",
+                "game",
+                "team",
+                "score",
+                "league",
+                "coach",
+                "match",
+                "player",
+                "season",
+                "tournament",
+                "goal",
+                "championship",
+                "stadium",
+                "athlete",
+                "win",
+                "defense",
             ],
             Topic::Entertainment => &[
-                "movie", "album", "celebrity", "concert", "film", "actor", "music", "show",
-                "festival", "premiere", "singer", "drama", "comedy", "streaming", "award",
+                "movie",
+                "album",
+                "celebrity",
+                "concert",
+                "film",
+                "actor",
+                "music",
+                "show",
+                "festival",
+                "premiere",
+                "singer",
+                "drama",
+                "comedy",
+                "streaming",
+                "award",
             ],
             Topic::Health => &[
-                "doctor", "fitness", "diet", "clinic", "wellness", "vaccine", "therapy",
-                "exercise", "nutrition", "hospital", "symptom", "medicine", "sleep", "recovery",
+                "doctor",
+                "fitness",
+                "diet",
+                "clinic",
+                "wellness",
+                "vaccine",
+                "therapy",
+                "exercise",
+                "nutrition",
+                "hospital",
+                "symptom",
+                "medicine",
+                "sleep",
+                "recovery",
                 "mental",
             ],
             Topic::Finance => &[
-                "market", "stock", "bank", "invest", "fund", "loan", "interest", "trading",
-                "currency", "budget", "profit", "dividend", "credit", "portfolio", "economy",
+                "market",
+                "stock",
+                "bank",
+                "invest",
+                "fund",
+                "loan",
+                "interest",
+                "trading",
+                "currency",
+                "budget",
+                "profit",
+                "dividend",
+                "credit",
+                "portfolio",
+                "economy",
             ],
             Topic::Travel => &[
-                "flight", "hotel", "tour", "beach", "passport", "luggage", "airline",
-                "destination", "resort", "booking", "itinerary", "cruise", "vacation", "airport",
+                "flight",
+                "hotel",
+                "tour",
+                "beach",
+                "passport",
+                "luggage",
+                "airline",
+                "destination",
+                "resort",
+                "booking",
+                "itinerary",
+                "cruise",
+                "vacation",
+                "airport",
                 "visa",
             ],
             Topic::Politics => &[
-                "election", "policy", "senate", "vote", "campaign", "governor", "parliament",
-                "legislation", "minister", "debate", "ballot", "congress", "reform", "treaty",
+                "election",
+                "policy",
+                "senate",
+                "vote",
+                "campaign",
+                "governor",
+                "parliament",
+                "legislation",
+                "minister",
+                "debate",
+                "ballot",
+                "congress",
+                "reform",
+                "treaty",
                 "diplomat",
             ],
         }
@@ -161,8 +249,8 @@ impl SemanticCategorizer {
         for tok in tokens {
             if let Some(counts) = self.counts.get(tok.as_ref()) {
                 for (t, score) in log_scores.iter_mut().enumerate() {
-                    let p = (counts[t] + self.smoothing)
-                        / (self.totals[t] + self.smoothing * vocab);
+                    let p =
+                        (counts[t] + self.smoothing) / (self.totals[t] + self.smoothing * vocab);
                     *score += p.ln();
                 }
             }

@@ -1,0 +1,231 @@
+//! The structured run journal: one JSON object per line, one line per
+//! event (a pipeline phase finishing, a training epoch, a shard written,
+//! a shadow-eval verdict, …).
+//!
+//! Every line carries a monotonic sequence number and seconds since the
+//! journal opened, so events order and align even when emitted from many
+//! threads. The format is append-only JSONL — greppable, and parseable
+//! line-by-line with [`crate::json::parse`].
+
+use crate::json::Json;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// One journal event under construction.
+#[derive(Debug, Clone)]
+pub struct Event {
+    kind: String,
+    fields: Vec<(String, Json)>,
+}
+
+impl Event {
+    /// Start an event of the given kind (e.g. `"phase"`, `"epoch"`).
+    pub fn new(kind: &str) -> Event {
+        Event {
+            kind: kind.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attach a field. Order is preserved in the output line.
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Event {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// The event kind.
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    fn into_json(self, seq: u64, t_seconds: f64) -> Json {
+        let mut fields = Vec::with_capacity(self.fields.len() + 3);
+        fields.push(("seq".to_string(), Json::from(seq)));
+        fields.push(("t".to_string(), Json::Num(t_seconds)));
+        fields.push(("kind".to_string(), Json::Str(self.kind)));
+        fields.extend(self.fields);
+        Json::Obj(fields)
+    }
+}
+
+struct JournalInner {
+    sink: Mutex<Box<dyn Write + Send>>,
+    start: Instant,
+    seq: AtomicU64,
+}
+
+/// A shared, clonable handle to one append-only JSONL journal.
+#[derive(Clone)]
+pub struct RunJournal {
+    inner: Arc<JournalInner>,
+}
+
+impl std::fmt::Debug for RunJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunJournal")
+            .field("events", &self.inner.seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl RunJournal {
+    /// Journal into a buffered file at `path` (truncating).
+    pub fn to_path(path: &Path) -> io::Result<RunJournal> {
+        let file = File::create(path)?;
+        Ok(RunJournal::to_writer(Box::new(BufWriter::new(file))))
+    }
+
+    /// Journal into any writer.
+    pub fn to_writer(sink: Box<dyn Write + Send>) -> RunJournal {
+        RunJournal {
+            inner: Arc::new(JournalInner {
+                sink: Mutex::new(sink),
+                start: Instant::now(),
+                seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Journal into a shared in-memory buffer, returned alongside the
+    /// handle — the natural choice in tests.
+    pub fn in_memory() -> (RunJournal, JournalBuffer) {
+        let buffer = JournalBuffer::default();
+        (RunJournal::to_writer(Box::new(buffer.clone())), buffer)
+    }
+
+    /// Append one event. Write errors are deliberately swallowed:
+    /// telemetry must never take down the pipeline it observes.
+    pub fn emit(&self, event: Event) {
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let t = self.inner.start.elapsed().as_secs_f64();
+        let line = event.into_json(seq, t).to_line();
+        let mut sink = self
+            .inner
+            .sink
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let _ = writeln!(sink, "{line}");
+    }
+
+    /// Number of events emitted so far.
+    pub fn events(&self) -> u64 {
+        self.inner.seq.load(Ordering::Relaxed)
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&self) -> io::Result<()> {
+        self.inner
+            .sink
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .flush()
+    }
+}
+
+/// A clonable in-memory sink for [`RunJournal::in_memory`].
+#[derive(Debug, Default, Clone)]
+pub struct JournalBuffer {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl JournalBuffer {
+    /// Everything written so far, as UTF-8.
+    pub fn contents(&self) -> String {
+        let bytes = self.bytes.lock().unwrap_or_else(PoisonError::into_inner);
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+
+    /// Parse each non-empty line as JSON.
+    pub fn parsed_lines(&self) -> Result<Vec<Json>, crate::json::JsonError> {
+        self.contents()
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(crate::json::parse)
+            .collect()
+    }
+}
+
+impl Write for JournalBuffer {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.bytes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_carry_seq_time_and_fields() {
+        let (journal, buffer) = RunJournal::in_memory();
+        journal.emit(
+            Event::new("phase")
+                .field("name", "map")
+                .field("seconds", 0.5)
+                .field("records", 12u64),
+        );
+        journal.emit(Event::new("done"));
+        let lines = buffer.parsed_lines().unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].get("seq").unwrap().as_i64(), Some(0));
+        assert_eq!(lines[0].get("kind").unwrap().as_str(), Some("phase"));
+        assert_eq!(lines[0].get("name").unwrap().as_str(), Some("map"));
+        assert_eq!(lines[0].get("records").unwrap().as_i64(), Some(12));
+        assert!(lines[0].get("t").unwrap().as_f64().unwrap() >= 0.0);
+        assert_eq!(lines[1].get("seq").unwrap().as_i64(), Some(1));
+        assert_eq!(journal.events(), 2);
+    }
+
+    #[test]
+    fn concurrent_emits_produce_distinct_whole_lines() {
+        let (journal, buffer) = RunJournal::in_memory();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let journal = journal.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        journal.emit(
+                            Event::new("tick")
+                                .field("worker", t as u64)
+                                .field("i", i as u64),
+                        );
+                    }
+                });
+            }
+        });
+        let lines = buffer.parsed_lines().unwrap();
+        assert_eq!(lines.len(), 200);
+        // All sequence numbers present exactly once.
+        let mut seqs: Vec<i64> = lines
+            .iter()
+            .map(|l| l.get("seq").unwrap().as_i64().unwrap())
+            .collect();
+        seqs.sort();
+        assert_eq!(seqs, (0..200).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn file_journal_round_trips() {
+        let dir = std::env::temp_dir().join(format!("obs-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let journal = RunJournal::to_path(&path).unwrap();
+        journal.emit(Event::new("phase").field("name", "reduce"));
+        journal.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let line = crate::json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(line.get("name").unwrap().as_str(), Some("reduce"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,165 @@
+//! # drybell-obs
+//!
+//! The telemetry layer for the DryBell reproduction: lightweight enough
+//! to thread through every crate (zero dependencies, a few atomics per
+//! record), structured enough to answer the questions the paper's
+//! production deployment had to answer — where did the wall-clock go,
+//! which labeling function is slow, is the NLP cache earning its keep,
+//! did training converge.
+//!
+//! Three instruments, one bundle:
+//!
+//! * [`metrics`] — named counters, gauges, and log-bucketed latency
+//!   histograms (p50/p95/p99/max) in a [`MetricsRegistry`].
+//! * [`span`] — RAII wall-clock spans aggregated by `/`-separated path
+//!   in a [`SpanSet`].
+//! * [`journal`] — an append-only JSONL [`RunJournal`]: one event per
+//!   phase, shard, or epoch, each line self-describing.
+//!
+//! [`Telemetry`] carries all three; it is `Clone` (shared handles) and
+//! cheap to pass down a pipeline. Code paths accept `Option<&Telemetry>`
+//! (or options types defaulting to none) so the un-instrumented hot
+//! path stays allocation- and branch-trivial.
+//!
+//! Naming conventions (see `DESIGN.md` for the full list): job-level
+//! counters keep their MapReduce names (`votes/<lf>`, `nlp_calls`,
+//! `nlp_cache/hits`); instruments owned by this layer are namespaced
+//! `obs/<area>/<metric>`, with `_us` suffixing microsecond histograms.
+//!
+//! [`MetricsRegistry`]: metrics::MetricsRegistry
+//! [`SpanSet`]: span::SpanSet
+//! [`RunJournal`]: journal::RunJournal
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod journal;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use journal::{Event, JournalBuffer, RunJournal};
+pub use json::{parse as parse_json, Json, JsonError};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use report::{
+    histogram_to_json, metrics_to_json, metrics_to_text, spans_to_json, spans_to_text, ReportMode,
+};
+pub use span::{Span, SpanSet, SpanSnapshot, SpanStat};
+
+/// The bundle handed down a pipeline: metrics + spans + optional journal.
+#[derive(Debug, Default, Clone)]
+pub struct Telemetry {
+    metrics: MetricsRegistry,
+    spans: SpanSet,
+    journal: Option<RunJournal>,
+}
+
+impl Telemetry {
+    /// Metrics and spans only; events are dropped.
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// Metrics, spans, and a journal for structured events.
+    pub fn with_journal(journal: RunJournal) -> Telemetry {
+        Telemetry {
+            journal: Some(journal),
+            ..Telemetry::default()
+        }
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The span set.
+    pub fn spans(&self) -> &SpanSet {
+        &self.spans
+    }
+
+    /// The journal, if one is attached.
+    pub fn journal(&self) -> Option<&RunJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Emit an event to the journal; a no-op without one.
+    pub fn emit(&self, event: Event) {
+        if let Some(journal) = &self.journal {
+            journal.emit(event);
+        }
+    }
+
+    /// Open a span at `path`.
+    pub fn span(&self, path: &str) -> Span {
+        self.spans.span(path)
+    }
+
+    /// Everything measured so far, as one JSON document with `metrics`
+    /// and `spans` sections.
+    pub fn report_json(&self) -> Json {
+        Json::obj(vec![
+            ("metrics", metrics_to_json(&self.metrics.snapshot())),
+            ("spans", spans_to_json(&self.spans.snapshot())),
+        ])
+    }
+
+    /// Everything measured so far, as text tables.
+    pub fn report_text(&self) -> String {
+        let mut out = metrics_to_text(&self.metrics.snapshot());
+        let spans = spans_to_text(&self.spans.snapshot());
+        if !out.is_empty() && !spans.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&spans);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_wires_all_three_instruments() {
+        let (journal, buffer) = RunJournal::in_memory();
+        let telemetry = Telemetry::with_journal(journal);
+        telemetry.metrics().counter("nlp_calls").add(2);
+        {
+            let _s = telemetry.span("run/fit");
+        }
+        telemetry.emit(Event::new("phase").field("name", "map"));
+
+        let report = telemetry.report_json();
+        assert_eq!(
+            report
+                .get("metrics")
+                .unwrap()
+                .get("counters")
+                .unwrap()
+                .get("nlp_calls")
+                .unwrap()
+                .as_i64(),
+            Some(2)
+        );
+        assert_eq!(report.get("spans").unwrap().items().len(), 1);
+        let lines = buffer.parsed_lines().unwrap();
+        assert_eq!(lines[0].get("kind").unwrap().as_str(), Some("phase"));
+    }
+
+    #[test]
+    fn emit_without_journal_is_a_no_op() {
+        let telemetry = Telemetry::new();
+        telemetry.emit(Event::new("phase"));
+        assert!(telemetry.journal().is_none());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let telemetry = Telemetry::new();
+        let clone = telemetry.clone();
+        clone.metrics().counter("x").inc();
+        assert_eq!(telemetry.metrics().snapshot().counter("x"), 1);
+    }
+}

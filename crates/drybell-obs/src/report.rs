@@ -1,0 +1,228 @@
+//! Report renderers: the same telemetry snapshot as a human-readable
+//! table or a machine-readable JSON document (the `--json` mode of the
+//! diagnostic binaries).
+
+use crate::json::Json;
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use crate::span::SpanSnapshot;
+
+/// How a binary should render its report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportMode {
+    /// Aligned text tables for terminals.
+    #[default]
+    Text,
+    /// One pretty-printed JSON document on stdout.
+    Json,
+}
+
+impl ReportMode {
+    /// Detect `--json` in an argument list.
+    pub fn from_args<S: AsRef<str>>(args: &[S]) -> ReportMode {
+        if args.iter().any(|a| a.as_ref() == "--json") {
+            ReportMode::Json
+        } else {
+            ReportMode::Text
+        }
+    }
+}
+
+/// JSON summary of one histogram: count, mean, and the percentile ladder.
+pub fn histogram_to_json(h: &HistogramSnapshot) -> Json {
+    Json::obj(vec![
+        ("count", Json::from(h.count())),
+        ("sum", Json::from(h.sum())),
+        ("mean", h.mean().map(Json::Num).unwrap_or(Json::Null)),
+        ("min", h.min().map(Json::from).unwrap_or(Json::Null)),
+        ("p50", h.p50().map(Json::from).unwrap_or(Json::Null)),
+        ("p95", h.p95().map(Json::from).unwrap_or(Json::Null)),
+        ("p99", h.p99().map(Json::from).unwrap_or(Json::Null)),
+        ("max", h.max().map(Json::from).unwrap_or(Json::Null)),
+    ])
+}
+
+/// The full metrics snapshot as a JSON object with `counters`, `gauges`,
+/// and `histograms` sections.
+pub fn metrics_to_json(snapshot: &MetricsSnapshot) -> Json {
+    let counters = Json::Obj(
+        snapshot
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::from(*v)))
+            .collect(),
+    );
+    let gauges = Json::Obj(
+        snapshot
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Int(*v)))
+            .collect(),
+    );
+    let histograms = Json::Obj(
+        snapshot
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), histogram_to_json(h)))
+            .collect(),
+    );
+    Json::obj(vec![
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+    ])
+}
+
+/// The metrics snapshot as aligned text tables, omitting empty sections.
+pub fn metrics_to_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.counters.is_empty() {
+        out.push_str(&format!("{:<40} {:>14}\n", "counter", "value"));
+        for (name, v) in &snapshot.counters {
+            out.push_str(&format!("{name:<40} {v:>14}\n"));
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str(&format!("{:<40} {:>14}\n", "gauge", "value"));
+        for (name, v) in &snapshot.gauges {
+            out.push_str(&format!("{name:<40} {v:>14}\n"));
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str(&format!(
+            "{:<40} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            "histogram (µs)", "count", "p50", "p95", "p99", "max"
+        ));
+        for (name, h) in &snapshot.histograms {
+            out.push_str(&format!(
+                "{:<40} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                name,
+                h.count(),
+                opt(h.p50()),
+                opt(h.p95()),
+                opt(h.p99()),
+                opt(h.max()),
+            ));
+        }
+    }
+    out
+}
+
+fn opt(v: Option<u64>) -> String {
+    v.map(|v| v.to_string()).unwrap_or_else(|| "-".to_string())
+}
+
+/// The span snapshot as a JSON array (one object per path, sorted).
+pub fn spans_to_json(snapshot: &SpanSnapshot) -> Json {
+    Json::Arr(
+        snapshot
+            .entries()
+            .iter()
+            .map(|(path, stat)| {
+                Json::obj(vec![
+                    ("path", Json::from(path.as_str())),
+                    ("count", Json::from(stat.count)),
+                    ("total_us", Json::from(stat.total_us)),
+                    ("max_us", Json::from(stat.max_us)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The span snapshot as an indented tree (depth = `/` count in the path).
+pub fn spans_to_text(snapshot: &SpanSnapshot) -> String {
+    if snapshot.entries().is_empty() {
+        return String::new();
+    }
+    let mut out = format!(
+        "{:<40} {:>8} {:>12} {:>12}\n",
+        "span", "count", "total (s)", "max (s)"
+    );
+    for (path, stat) in snapshot.entries() {
+        let depth = path.matches('/').count();
+        let leaf = path.rsplit('/').next().unwrap_or(path);
+        let label = format!("{}{}", "  ".repeat(depth), leaf);
+        out.push_str(&format!(
+            "{:<40} {:>8} {:>12.3} {:>12.3}\n",
+            label,
+            stat.count,
+            stat.total_us as f64 / 1e6,
+            stat.max_us as f64 / 1e6,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::span::SpanSet;
+
+    #[test]
+    fn report_mode_detects_json_flag() {
+        assert_eq!(ReportMode::from_args(&["--scale", "2"]), ReportMode::Text);
+        assert_eq!(ReportMode::from_args(&["--json"]), ReportMode::Json);
+    }
+
+    #[test]
+    fn metrics_render_both_ways() {
+        let reg = MetricsRegistry::new();
+        reg.counter("votes/has_good").add(7);
+        reg.gauge("nlp_cache/size").set(3);
+        reg.histogram("obs/lf/eval_us").record(120);
+        let snap = reg.snapshot();
+
+        let text = metrics_to_text(&snap);
+        assert!(text.contains("votes/has_good"));
+        assert!(text.contains("obs/lf/eval_us"));
+
+        let json = metrics_to_json(&snap);
+        assert_eq!(
+            json.get("counters")
+                .unwrap()
+                .get("votes/has_good")
+                .unwrap()
+                .as_i64(),
+            Some(7)
+        );
+        let hist = json
+            .get("histograms")
+            .unwrap()
+            .get("obs/lf/eval_us")
+            .unwrap();
+        assert_eq!(hist.get("count").unwrap().as_i64(), Some(1));
+        assert_eq!(hist.get("p50").unwrap().as_i64(), Some(120));
+        // Rendered JSON parses back.
+        assert!(crate::json::parse(&json.to_pretty()).is_ok());
+    }
+
+    #[test]
+    fn empty_histogram_renders_nulls_and_dashes() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("obs/empty_us");
+        let snap = reg.snapshot();
+        assert!(metrics_to_text(&snap).contains('-'));
+        let json = metrics_to_json(&snap);
+        let hist = json.get("histograms").unwrap().get("obs/empty_us").unwrap();
+        assert_eq!(hist.get("p50"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn spans_render_as_indented_tree() {
+        let set = SpanSet::new();
+        {
+            let run = set.span("run");
+            let _fit = run.child("fit");
+        }
+        let text = spans_to_text(&set.snapshot());
+        assert!(text.contains("run"));
+        assert!(text.contains("  fit"));
+        let json = spans_to_json(&set.snapshot());
+        assert_eq!(json.items().len(), 2);
+        assert_eq!(
+            json.at(0).unwrap().get("path").unwrap().as_str(),
+            Some("run")
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Hierarchical wall-clock spans.
+//!
+//! A [`Span`] is an RAII timer named by a `/`-separated path; dropping it
+//! folds the elapsed time into its [`SpanSet`]. Sibling spans from many
+//! threads aggregate into one entry per path (count, total, max), so the
+//! same `pipeline/map` span opened by eight workers reports combined busy
+//! time. Paths make the hierarchy: rendering indents by depth.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Aggregated timings for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// How many spans closed at this path.
+    pub count: u64,
+    /// Total microseconds across all of them.
+    pub total_us: u64,
+    /// The longest single span, microseconds.
+    pub max_us: u64,
+}
+
+/// Thread-safe collection of span aggregates for one run.
+#[derive(Debug, Default, Clone)]
+pub struct SpanSet {
+    inner: Arc<Mutex<HashMap<String, SpanStat>>>,
+}
+
+impl SpanSet {
+    /// Create an empty set.
+    pub fn new() -> SpanSet {
+        SpanSet::default()
+    }
+
+    /// Open a span at `path` (e.g. `"pipeline/map"`). Time is recorded
+    /// when the returned guard drops.
+    pub fn span(&self, path: &str) -> Span {
+        Span {
+            set: self.clone(),
+            path: path.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Fold `elapsed_us` into `path` without an RAII guard — for callers
+    /// that already measured the interval themselves.
+    pub fn record(&self, path: &str, elapsed_us: u64) {
+        let mut map = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let stat = map.entry(path.to_string()).or_default();
+        stat.count += 1;
+        stat.total_us += elapsed_us;
+        stat.max_us = stat.max_us.max(elapsed_us);
+    }
+
+    /// Snapshot all spans, sorted by path (parents before children).
+    pub fn snapshot(&self) -> SpanSnapshot {
+        let map = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut entries: Vec<(String, SpanStat)> =
+            map.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        SpanSnapshot { entries }
+    }
+}
+
+/// RAII guard for one timed region. Records on drop.
+#[derive(Debug)]
+pub struct Span {
+    set: SpanSet,
+    path: String,
+    start: Instant,
+}
+
+impl Span {
+    /// This span's full path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Open a child span at `<self.path>/<name>`.
+    pub fn child(&self, name: &str) -> Span {
+        self.set.span(&format!("{}/{}", self.path, name))
+    }
+
+    /// Elapsed time so far, microseconds.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.elapsed_us();
+        self.set.record(&self.path, elapsed);
+    }
+}
+
+/// Sorted, immutable view of a [`SpanSet`].
+#[derive(Debug, Clone, Default)]
+pub struct SpanSnapshot {
+    entries: Vec<(String, SpanStat)>,
+}
+
+impl SpanSnapshot {
+    /// All `(path, stat)` pairs, sorted by path.
+    pub fn entries(&self) -> &[(String, SpanStat)] {
+        &self.entries
+    }
+
+    /// Stats for one path.
+    pub fn get(&self, path: &str) -> Option<SpanStat> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_str().cmp(path))
+            .map(|i| self.entries[i].1)
+            .ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn spans_aggregate_by_path() {
+        let set = SpanSet::new();
+        for _ in 0..3 {
+            let _s = set.span("job/map");
+        }
+        let _other = set.span("job/reduce");
+        drop(_other);
+        let snap = set.snapshot();
+        assert_eq!(snap.get("job/map").unwrap().count, 3);
+        assert_eq!(snap.get("job/reduce").unwrap().count, 1);
+        assert!(snap.get("missing").is_none());
+        // Sorted: "job/map" < "job/reduce".
+        assert_eq!(snap.entries()[0].0, "job/map");
+    }
+
+    #[test]
+    fn child_paths_nest() {
+        let set = SpanSet::new();
+        {
+            let parent = set.span("run");
+            let _child = parent.child("fit");
+        }
+        let snap = set.snapshot();
+        assert_eq!(snap.get("run").unwrap().count, 1);
+        assert_eq!(snap.get("run/fit").unwrap().count, 1);
+    }
+
+    #[test]
+    fn elapsed_time_is_recorded() {
+        let set = SpanSet::new();
+        {
+            let _s = set.span("sleepy");
+            thread::sleep(Duration::from_millis(5));
+        }
+        let stat = set.snapshot().get("sleepy").unwrap();
+        assert!(stat.total_us >= 4_000, "total {}", stat.total_us);
+        assert_eq!(stat.max_us, stat.total_us);
+    }
+
+    #[test]
+    fn concurrent_spans_are_lossless() {
+        let set = SpanSet::new();
+        thread::scope(|scope| {
+            for _ in 0..8 {
+                let set = set.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        let _s = set.span("worker/busy");
+                    }
+                });
+            }
+        });
+        assert_eq!(set.snapshot().get("worker/busy").unwrap().count, 800);
+    }
+
+    #[test]
+    fn manual_record_folds_in() {
+        let set = SpanSet::new();
+        set.record("x", 10);
+        set.record("x", 30);
+        let stat = set.snapshot().get("x").unwrap();
+        assert_eq!(stat.count, 2);
+        assert_eq!(stat.total_us, 40);
+        assert_eq!(stat.max_us, 30);
+    }
+}

@@ -64,6 +64,15 @@ pub enum ServingError {
     },
     /// Filesystem or serialization failure during export/load.
     Io(String),
+    /// A loaded model file disagrees with the manifest that points at it.
+    ManifestMismatch {
+        /// Model name and version, e.g. `"m v2"`.
+        model: String,
+        /// The family recorded in the manifest.
+        expected: String,
+        /// The family of the deserialized model.
+        found: String,
+    },
 }
 
 impl fmt::Display for ServingError {
@@ -90,6 +99,14 @@ impl fmt::Display for ServingError {
                 write!(f, "model {model:?} expects {expected} input")
             }
             ServingError::Io(msg) => write!(f, "serving I/O error: {msg}"),
+            ServingError::ManifestMismatch {
+                model,
+                expected,
+                found,
+            } => write!(
+                f,
+                "model {model} is a {found} but the manifest says {expected}"
+            ),
         }
     }
 }
@@ -145,12 +162,23 @@ pub enum ScoreInput<'a> {
     Dense(&'a [f64]),
 }
 
+/// Pre-interned scoring instruments (built once at
+/// [`ServingRegistry::with_telemetry`] so the scoring hot path never
+/// touches the registry lock in `MetricsRegistry`).
+struct ScoreInstruments {
+    /// `obs/serving/score_us` — latency of production `score` calls.
+    score_us: std::sync::Arc<drybell_obs::Histogram>,
+    /// `obs/serving/shadow_score_us` — latency of `score_both` calls.
+    shadow_score_us: std::sync::Arc<drybell_obs::Histogram>,
+}
+
 /// The model registry: validates, stages, promotes, and serves models.
 pub struct ServingRegistry {
     spaces: SpaceRegistry,
     /// Production latency budget per example, in microseconds.
     budget_us: u64,
     models: Mutex<HashMap<String, Vec<(ModelSpec, Stage)>>>,
+    instruments: Option<ScoreInstruments>,
 }
 
 impl ServingRegistry {
@@ -161,7 +189,22 @@ impl ServingRegistry {
             spaces,
             budget_us,
             models: Mutex::new(HashMap::new()),
+            instruments: None,
         }
+    }
+
+    /// Record scoring latency into `telemetry`: `obs/serving/score_us`
+    /// for production scores and `obs/serving/shadow_score_us` for shadow
+    /// comparisons. The serving layer is the one place where latency *is*
+    /// the product requirement, so its histograms are the ground truth
+    /// the `budget_us` check is validated against.
+    pub fn with_telemetry(mut self, telemetry: &drybell_obs::Telemetry) -> ServingRegistry {
+        let metrics = telemetry.metrics();
+        self.instruments = Some(ScoreInstruments {
+            score_us: metrics.histogram("obs/serving/score_us"),
+            shadow_score_us: metrics.histogram("obs/serving/shadow_score_us"),
+        });
+        self
     }
 
     /// The latency budget.
@@ -259,6 +302,20 @@ impl ServingRegistry {
         candidate_version: u32,
         input: ScoreInput<'_>,
     ) -> Result<(f64, f64), ServingError> {
+        let started = self.instruments.as_ref().map(|_| std::time::Instant::now());
+        let result = self.score_both_inner(name, candidate_version, input);
+        if let (Some(inst), Some(s)) = (&self.instruments, started) {
+            inst.shadow_score_us.record_duration(s.elapsed());
+        }
+        result
+    }
+
+    fn score_both_inner(
+        &self,
+        name: &str,
+        candidate_version: u32,
+        input: ScoreInput<'_>,
+    ) -> Result<(f64, f64), ServingError> {
         let models = self.models.lock();
         let versions = models
             .get(name)
@@ -293,6 +350,15 @@ impl ServingRegistry {
 
     /// Score one example with the serving version of `name`.
     pub fn score(&self, name: &str, input: ScoreInput<'_>) -> Result<f64, ServingError> {
+        let started = self.instruments.as_ref().map(|_| std::time::Instant::now());
+        let result = self.score_inner(name, input);
+        if let (Some(inst), Some(s)) = (&self.instruments, started) {
+            inst.score_us.record_duration(s.elapsed());
+        }
+        result
+    }
+
+    fn score_inner(&self, name: &str, input: ScoreInput<'_>) -> Result<f64, ServingError> {
         let models = self.models.lock();
         let versions = models
             .get(name)
@@ -340,8 +406,7 @@ impl ServingRegistry {
         manifest.sort_by(|a, b| (&a.name, a.version).cmp(&(&b.name, b.version)));
         let body =
             serde_json::to_string_pretty(&manifest).map_err(|e| ServingError::Io(e.to_string()))?;
-        std::fs::write(dir.join("manifest.json"), body)
-            .map_err(|e| ServingError::Io(e.to_string()))
+        std::fs::write(dir.join("manifest.json"), body).map_err(|e| ServingError::Io(e.to_string()))
     }
 
     /// Load a registry previously written by [`ServingRegistry::export_to_dir`].
@@ -362,6 +427,13 @@ impl ServingRegistry {
                     .map_err(|e| ServingError::Io(e.to_string()))?;
                 let spec: ModelSpec =
                     serde_json::from_str(&body).map_err(|e| ServingError::Io(e.to_string()))?;
+                if spec.model.family() != entry.family {
+                    return Err(ServingError::ManifestMismatch {
+                        model: format!("{} v{}", entry.name, entry.version),
+                        expected: entry.family,
+                        found: spec.model.family().to_owned(),
+                    });
+                }
                 models
                     .entry(spec.name.clone())
                     .or_default()
@@ -388,10 +460,19 @@ mod tests {
     use drybell_features::{FeatureHasher, FeatureSpace};
     use drybell_ml::{FtrlConfig, MlpConfig};
 
-    fn spaces() -> (SpaceRegistry, FeatureSpaceId, FeatureSpaceId, FeatureSpaceId) {
+    fn spaces() -> (
+        SpaceRegistry,
+        FeatureSpaceId,
+        FeatureSpaceId,
+        FeatureSpaceId,
+    ) {
         let mut r = SpaceRegistry::new();
-        let text = r.register(FeatureSpace::servable("hashed-unigrams", 40)).unwrap();
-        let event = r.register(FeatureSpace::servable("event-signals", 10)).unwrap();
+        let text = r
+            .register(FeatureSpace::servable("hashed-unigrams", 40))
+            .unwrap();
+        let event = r
+            .register(FeatureSpace::servable("event-signals", 10))
+            .unwrap();
         let nlp = r
             .register(FeatureSpace::non_servable("nlp-model-server", 50_000))
             .unwrap();
@@ -448,7 +529,10 @@ mod tests {
         };
         assert!(matches!(
             reg.stage(spec),
-            Err(ServingError::OverBudget { cost_us: 10_039, .. })
+            Err(ServingError::OverBudget {
+                cost_us: 10_039,
+                ..
+            })
         ));
     }
 
@@ -528,7 +612,10 @@ mod tests {
         let h = FeatureHasher::new(8);
         assert!(matches!(
             reg.score("events", ScoreInput::Sparse(&h.bag_of_words(&["x"]))),
-            Err(ServingError::WrongInputKind { expected: "dense", .. })
+            Err(ServingError::WrongInputKind {
+                expected: "dense",
+                ..
+            })
         ));
         assert!(reg
             .score("events", ScoreInput::Dense(&[0.0, 1.0, 0.5]))
@@ -559,6 +646,62 @@ mod tests {
         let p0 = reg.score("topic", ScoreInput::Sparse(&x)).unwrap();
         let p1 = loaded.score("topic", ScoreInput::Sparse(&x)).unwrap();
         assert!((p0 - p1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn telemetry_records_score_latency() {
+        let (r, text, _, _) = spaces();
+        let telemetry = drybell_obs::Telemetry::new();
+        let reg = ServingRegistry::new(r, 10_000).with_telemetry(&telemetry);
+        let h = FeatureHasher::new(1 << 10);
+        for v in [1, 2] {
+            reg.stage(ModelSpec {
+                name: "m".into(),
+                version: v,
+                feature_spaces: vec![text],
+                model: ExportedModel::LogReg(trained_logreg()),
+            })
+            .unwrap();
+        }
+        reg.promote("m", 1).unwrap();
+        let x = h.bag_of_words(&["yes"]);
+        for _ in 0..5 {
+            reg.score("m", ScoreInput::Sparse(&x)).unwrap();
+        }
+        reg.score_both("m", 2, ScoreInput::Sparse(&x)).unwrap();
+        let snap = telemetry.metrics().snapshot();
+        let score = snap.histogram("obs/serving/score_us").unwrap();
+        assert_eq!(score.count(), 5);
+        assert!(score.p99().is_some());
+        assert_eq!(
+            snap.histogram("obs/serving/shadow_score_us")
+                .unwrap()
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn load_rejects_manifest_family_mismatch() {
+        let (r, text, _, _) = spaces();
+        let reg = ServingRegistry::new(r.clone(), 10_000);
+        reg.stage(ModelSpec {
+            name: "m".into(),
+            version: 1,
+            feature_spaces: vec![text],
+            model: ExportedModel::LogReg(trained_logreg()),
+        })
+        .unwrap();
+        let dir = tempfile::tempdir().unwrap();
+        reg.export_to_dir(dir.path()).unwrap();
+        // Corrupt the manifest's family field.
+        let manifest_path = dir.path().join("manifest.json");
+        let body = std::fs::read_to_string(&manifest_path).unwrap();
+        std::fs::write(&manifest_path, body.replace("logistic-regression", "mlp")).unwrap();
+        assert!(matches!(
+            ServingRegistry::load_from_dir(r, 10_000, dir.path()),
+            Err(ServingError::ManifestMismatch { .. })
+        ));
     }
 
     #[test]

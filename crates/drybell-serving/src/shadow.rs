@@ -53,6 +53,35 @@ impl ShadowReport {
     pub fn recommend_promotion(&self, min_examples: u64, max_flip_rate: f64) -> bool {
         self.examples >= min_examples && self.flip_rate() <= max_flip_rate
     }
+
+    /// Render the report as a JSON object (the `--json` mode of the
+    /// shadow tooling).
+    pub fn to_json(&self) -> drybell_obs::Json {
+        use drybell_obs::Json;
+        Json::obj(vec![
+            ("examples", Json::from(self.examples)),
+            ("decision_flips", Json::from(self.decision_flips)),
+            ("flip_rate", Json::from(self.flip_rate())),
+            ("new_positives", Json::from(self.new_positives)),
+            ("new_negatives", Json::from(self.new_negatives)),
+            ("mean_abs_gap", Json::from(self.mean_abs_gap())),
+            ("max_abs_gap", Json::from(self.max_abs_gap)),
+        ])
+    }
+
+    /// Emit one `shadow` event carrying the full report to a run journal.
+    pub fn emit_to(&self, journal: &drybell_obs::RunJournal) {
+        journal.emit(
+            drybell_obs::Event::new("shadow")
+                .field("examples", self.examples)
+                .field("decision_flips", self.decision_flips)
+                .field("flip_rate", self.flip_rate())
+                .field("new_positives", self.new_positives)
+                .field("new_negatives", self.new_negatives)
+                .field("mean_abs_gap", self.mean_abs_gap())
+                .field("max_abs_gap", self.max_abs_gap),
+        );
+    }
 }
 
 /// Runs a staged candidate in shadow against the serving version.
@@ -131,7 +160,9 @@ mod tests {
 
     fn registry_with_two_versions() -> (ServingRegistry, FeatureHasher) {
         let mut spaces = SpaceRegistry::new();
-        let hashed = spaces.register(FeatureSpace::servable("hashed", 10)).unwrap();
+        let hashed = spaces
+            .register(FeatureSpace::servable("hashed", 10))
+            .unwrap();
         let registry = ServingRegistry::new(spaces, 1_000);
         let h = FeatureHasher::new(1 << 10);
         let train = |pos_token: &str| {
@@ -197,6 +228,34 @@ mod tests {
         // No flips on this traffic → promotable once volume suffices.
         assert!(shadow.report().recommend_promotion(10, 0.05));
         assert!(!shadow.report().recommend_promotion(100, 0.05));
+    }
+
+    #[test]
+    fn report_renders_json_and_journal_event() {
+        let (registry, h) = registry_with_two_versions();
+        let mut shadow = ShadowEval::new(&registry, "m", 2).unwrap();
+        for token in ["yes", "maybe", "nothing"] {
+            let x = h.bag_of_words(&[token]);
+            shadow.observe(ScoreInput::Sparse(&x)).unwrap();
+        }
+        let report = shadow.report();
+        let json = report.to_json();
+        assert_eq!(json.get("examples").and_then(|v| v.as_i64()), Some(3));
+        assert_eq!(json.get("decision_flips").and_then(|v| v.as_i64()), Some(2));
+        let parsed = drybell_obs::parse_json(&json.to_line()).unwrap();
+        assert!(
+            (parsed.get("flip_rate").and_then(|v| v.as_f64()).unwrap() - report.flip_rate()).abs()
+                < 1e-12
+        );
+        let (journal, buffer) = drybell_obs::RunJournal::in_memory();
+        report.emit_to(&journal);
+        let events = buffer.parsed_lines().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].get("kind").and_then(|k| k.as_str()),
+            Some("shadow")
+        );
+        assert_eq!(events[0].get("examples").and_then(|v| v.as_i64()), Some(3));
     }
 
     #[test]

@@ -19,7 +19,9 @@ use drybell_bench::harness::ContentTask;
 use drybell_datagen::topic;
 
 fn main() {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let task = ContentTask::topic(0.01, None, workers);
 
     // Declare the application's feature spaces with their real costs.
@@ -75,7 +77,9 @@ fn main() {
     println!("\nserving-path scores on test documents:");
     for doc in task.test.iter().take(5) {
         let x = topic::featurize(doc, &hasher);
-        let p = registry.score("topic", ScoreInput::Sparse(&x)).expect("score");
+        let p = registry
+            .score("topic", ScoreInput::Sparse(&x))
+            .expect("score");
         println!("  {p:.3}  {}", doc.title);
     }
     println!(

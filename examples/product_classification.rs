@@ -12,7 +12,9 @@ use drybell_bench::harness::ContentTask;
 fn main() {
     let scale = 0.01; // ~65K unlabeled docs; try 1.0 for the paper's 6.5M
     println!("building product task at scale {scale}...");
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let task = ContentTask::product(scale, None, workers);
 
     // Show what the KG translations buy: a few non-English positives.
@@ -20,7 +22,12 @@ fn main() {
     let mut shown = 0;
     for (doc, gold) in task.unlabeled.iter().zip(&task.unlabeled_gold) {
         if *gold == Label::Positive && doc.lang != "en" && shown < 3 {
-            let preview: String = doc.text.split_whitespace().take(10).collect::<Vec<_>>().join(" ");
+            let preview: String = doc
+                .text
+                .split_whitespace()
+                .take(10)
+                .collect::<Vec<_>>()
+                .join(" ");
             println!("  [{}] {preview} ...", doc.lang);
             shown += 1;
         }

@@ -43,7 +43,9 @@ fn main() {
     ];
     let corpus: Vec<Post> = (0..25)
         .flat_map(|_| archetypes.iter())
-        .map(|t| Post { text: (*t).to_owned() })
+        .map(|t| Post {
+            text: (*t).to_owned(),
+        })
         .collect();
 
     // -- A miniature organizational knowledge graph. --------------------
@@ -63,7 +65,10 @@ fn main() {
             LfCategory::ContentHeuristic,
             true,
             |p: &Post| {
-                if ["spotted", "stuns", "reveals"].iter().any(|w| p.text.contains(w)) {
+                if ["spotted", "stuns", "reveals"]
+                    .iter()
+                    .any(|w| p.text.contains(w))
+                {
                     Vote::Positive
                 } else {
                     Vote::Abstain
@@ -155,7 +160,9 @@ fn main() {
     // -- Stage it for serving (cross-feature transfer: the NLP model and
     // -- knowledge graph never leave the offline world). -----------------
     let mut spaces = SpaceRegistry::new();
-    let hashed = spaces.register(FeatureSpace::servable("hashed-unigrams", 40)).unwrap();
+    let hashed = spaces
+        .register(FeatureSpace::servable("hashed-unigrams", 40))
+        .unwrap();
     let registry = ServingRegistry::new(spaces, 10_000);
     registry
         .stage(ModelSpec {
@@ -170,7 +177,10 @@ fn main() {
     let probe = "Nina Patel spotted filming with a drone crew";
     let toks = drybell::nlp::tokenizer::lower_tokens(probe);
     let score = registry
-        .score("celebrity-topic", ScoreInput::Sparse(&hasher.bag_of_words(&toks)))
+        .score(
+            "celebrity-topic",
+            ScoreInput::Sparse(&hasher.bag_of_words(&toks)),
+        )
         .expect("score");
     println!("\nserving model v1 scored {probe:?}: {score:.2}");
 }

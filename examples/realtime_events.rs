@@ -21,7 +21,9 @@ fn main() {
         "running events app: {} unlabeled events, {} weak supervision sources...",
         cfg.num_unlabeled, cfg.num_lfs
     );
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let report = run_events(&cfg, workers, 2500);
 
     println!(

@@ -13,7 +13,9 @@ use drybell_bench::harness::ContentTask;
 fn main() {
     let scale = 0.02; // ~13.7K unlabeled docs; try 1.0 for the paper's 684K
     println!("building topic task at scale {scale}...");
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let task = ContentTask::topic(scale, None, workers);
 
     let report = task.run_full();

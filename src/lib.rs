@@ -25,6 +25,9 @@
 //!   enforcement.
 //! * [`datagen`] — synthetic corpora and event streams matching the
 //!   paper's three applications.
+//! * [`obs`] — the telemetry layer: metrics (counters, gauges, latency
+//!   histograms), hierarchical spans, and the structured JSONL run
+//!   journal every stage reports into.
 //!
 //! ## Quickstart
 //!
@@ -64,9 +67,8 @@ pub mod prelude {
     pub use drybell_ml::metrics::{BinaryMetrics, RelativeMetrics};
     pub use drybell_ml::{FtrlConfig, LogisticRegression, Mlp, MlpConfig};
     pub use drybell_nlp::{CachedNlpServer, NlpResult, NlpServer};
-    pub use drybell_serving::{
-        ExportedModel, ModelSpec, ScoreInput, ServingRegistry, ShadowEval,
-    };
+    pub use drybell_obs::{Event, RunJournal, Telemetry};
+    pub use drybell_serving::{ExportedModel, ModelSpec, ScoreInput, ServingRegistry, ShadowEval};
 }
 
 pub use drybell_core as core;
@@ -77,4 +79,5 @@ pub use drybell_kg as kg;
 pub use drybell_lf as lf;
 pub use drybell_ml as ml;
 pub use drybell_nlp as nlp;
+pub use drybell_obs as obs;
 pub use drybell_serving as serving;

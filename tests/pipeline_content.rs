@@ -6,7 +6,9 @@ use drybell::core::vote::Label;
 use drybell_bench::harness::ContentTask;
 
 fn workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 #[test]

@@ -5,7 +5,9 @@ use drybell_bench::harness::run_events;
 use drybell_datagen::events::EventTaskConfig;
 
 fn workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 fn small_cfg(seed: u64) -> EventTaskConfig {

@@ -11,17 +11,15 @@ use proptest::prelude::*;
 
 /// Strategy for a small random label matrix.
 fn matrix_strategy(max_rows: usize, lfs: usize) -> impl Strategy<Value = LabelMatrix> {
-    proptest::collection::vec(
-        proptest::collection::vec(-1i8..=1, lfs),
-        1..max_rows,
+    proptest::collection::vec(proptest::collection::vec(-1i8..=1, lfs), 1..max_rows).prop_map(
+        move |rows| {
+            let mut m = LabelMatrix::with_capacity(lfs, rows.len());
+            for row in rows {
+                m.push_raw_row(&row).expect("valid votes");
+            }
+            m
+        },
     )
-    .prop_map(move |rows| {
-        let mut m = LabelMatrix::with_capacity(lfs, rows.len());
-        for row in rows {
-            m.push_raw_row(&row).expect("valid votes");
-        }
-        m
-    })
 }
 
 proptest! {

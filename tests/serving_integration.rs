@@ -2,25 +2,27 @@
 //! the §4 servability guarantees on a real trained pipeline.
 
 use drybell::features::{FeatureHasher, FeatureSpace, SpaceRegistry};
-use drybell::serving::{
-    ExportedModel, ModelSpec, ScoreInput, ServingError, ServingRegistry,
-};
+use drybell::serving::{ExportedModel, ModelSpec, ScoreInput, ServingError, ServingRegistry};
 use drybell_bench::harness::ContentTask;
 use drybell_datagen::topic;
 
 fn workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 fn spaces() -> SpaceRegistry {
     let mut r = SpaceRegistry::new();
-    r.register(FeatureSpace::servable("hashed-text", 40)).unwrap();
+    r.register(FeatureSpace::servable("hashed-text", 40))
+        .unwrap();
     r.register(FeatureSpace::non_servable(
         "nlp-model-server",
         drybell::nlp::NlpServer::DEFAULT_COST_US,
     ))
     .unwrap();
-    r.register(FeatureSpace::private("crawl-reputation", 5)).unwrap();
+    r.register(FeatureSpace::private("crawl-reputation", 5))
+        .unwrap();
     r
 }
 
@@ -54,7 +56,10 @@ fn trained_pipeline_exports_and_serves_identically() {
         let x = topic::featurize(doc, &hasher);
         let a = registry.score("topic", ScoreInput::Sparse(&x)).unwrap();
         let b = reloaded.score("topic", ScoreInput::Sparse(&x)).unwrap();
-        assert!((a - b).abs() < 1e-12, "export/reload must not change scores");
+        assert!(
+            (a - b).abs() < 1e-12,
+            "export/reload must not change scores"
+        );
     }
 }
 
