@@ -612,9 +612,12 @@ mod tests {
             num_test: 1500,
             pos_rate: 0.05,
             num_lfs: 140,
-            seed: 4,
+            seed: 5,
         };
-        let report = run_events(&cfg, 4, 300);
+        // Enough DNN steps for the OR-trained net to saturate its scores;
+        // at a few hundred steps neither net reaches the top bin and the
+        // histogram comparison below would be noise.
+        let report = run_events(&cfg, 4, 1500);
         // DryBell must find at least as many true events in the review
         // budget and with better quality than the Logical-OR baseline.
         assert!(

@@ -9,6 +9,8 @@
 //! `Z_j = log(e^{α+β} + (k−1)·e^{−α+β} + 1)` and training is the same
 //! sampling-free analytic-gradient scheme.
 
+// drybell-lint: allow-file(no-panic-index) — dense numeric kernel: loop bounds are derived from the matrix shape once and invariant; .get() in the inner loops would hide real shape bugs and cost the hot path
+
 use crate::error::CoreError;
 use crate::logsumexp;
 use crate::optim::{OptimState, Optimizer};

@@ -25,6 +25,8 @@
 //! `exp_class_conditional` binary and `tests` below demonstrate exactly
 //! this failure/repair pair.
 
+// drybell-lint: allow-file(no-panic-index) — dense numeric kernel: loop bounds are derived from the matrix shape once and invariant; .get() in the inner loops would hide real shape bugs and cost the hot path
+
 use crate::error::CoreError;
 use crate::matrix::LabelMatrix;
 use crate::optim::{OptimState, Optimizer};

@@ -23,6 +23,8 @@
 //! its own marginals: duplicated heuristics show a large positive excess,
 //! genuinely independent LFs sit near zero.
 
+// drybell-lint: allow-file(no-panic-index) — dense numeric kernel: loop bounds are derived from the matrix shape once and invariant; .get() in the inner loops would hide real shape bugs and cost the hot path
+
 use crate::error::CoreError;
 use crate::matrix::LabelMatrix;
 
@@ -116,7 +118,7 @@ impl DependencyReport {
             if estimates.is_empty() {
                 continue;
             }
-            estimates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            estimates.sort_by(f64::total_cmp);
             c[j] = estimates[estimates.len() / 2].sqrt();
         }
         let mut pairs = Vec::new();

@@ -32,6 +32,8 @@
 //! where `p_i = σ(s_i⁺ − s_i⁻)` is the posterior — which doubles as the
 //! probabilistic training label `Ỹ_i` once training finishes.
 
+// drybell-lint: allow-file(no-panic-index) — dense numeric kernel: loop bounds are derived from the matrix shape once and invariant; .get() in the inner loops would hide real shape bugs and cost the hot path
+
 use crate::error::CoreError;
 use crate::matrix::LabelMatrix;
 use crate::optim::{OptimState, Optimizer};

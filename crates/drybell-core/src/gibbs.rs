@@ -13,6 +13,8 @@
 //! Both trainers share the same parameter family ([`GenerativeModel`]), so
 //! their learned accuracies and posteriors are directly comparable.
 
+// drybell-lint: allow-file(no-panic-index) — dense numeric kernel: loop bounds are derived from the matrix shape once and invariant; .get() in the inner loops would hide real shape bugs and cost the hot path
+
 use crate::error::CoreError;
 use crate::generative::GenerativeModel;
 use crate::matrix::LabelMatrix;

@@ -55,6 +55,7 @@ impl Counters {
     /// Merge a local tally into the registry in one lock acquisition.
     pub fn merge(&self, local: &HashMap<String, u64>) {
         let mut map = self.inner.lock();
+        // drybell-lint: allow(determinism) — addition commutes; visit order cannot affect the merged totals
         for (k, v) in local {
             *map.entry(k.clone()).or_insert(0) += v;
         }
@@ -125,8 +126,9 @@ impl CounterSnapshot {
     pub fn get(&self, name: &str) -> u64 {
         self.entries
             .binary_search_by(|(k, _)| k.as_str().cmp(name))
-            .map(|i| self.entries[i].1)
-            .unwrap_or(0)
+            .ok()
+            .and_then(|i| self.entries.get(i))
+            .map_or(0, |(_, v)| *v)
     }
 
     /// Add `n` to `name`, inserting at zero if absent and keeping the
@@ -134,7 +136,11 @@ impl CounterSnapshot {
     /// cache's final stats joining the job's counters).
     pub fn add(&mut self, name: &str, n: u64) {
         match self.entries.binary_search_by(|(k, _)| k.as_str().cmp(name)) {
-            Ok(i) => self.entries[i].1 += n,
+            Ok(i) => {
+                if let Some(entry) = self.entries.get_mut(i) {
+                    entry.1 += n;
+                }
+            }
             Err(i) => self.entries.insert(i, (name.to_owned(), n)),
         }
     }

@@ -32,6 +32,10 @@ pub enum DataflowError {
     User(String),
     /// The job was misconfigured (e.g. mismatched shard counts).
     BadJob(String),
+    /// An engine-internal invariant failed (a broken work queue, a
+    /// partition index out of range). These indicate bugs in the
+    /// dataflow substrate itself, not in user code or input data.
+    Internal(String),
 }
 
 impl DataflowError {
@@ -53,6 +57,11 @@ impl DataflowError {
     pub fn user(msg: impl Into<String>) -> DataflowError {
         DataflowError::User(msg.into())
     }
+
+    /// Wrap a broken engine invariant.
+    pub(crate) fn internal(msg: impl Into<String>) -> DataflowError {
+        DataflowError::Internal(msg.into())
+    }
 }
 
 impl fmt::Display for DataflowError {
@@ -69,6 +78,7 @@ impl fmt::Display for DataflowError {
             }
             DataflowError::User(msg) => write!(f, "user function failed: {msg}"),
             DataflowError::BadJob(msg) => write!(f, "bad job configuration: {msg}"),
+            DataflowError::Internal(msg) => write!(f, "internal dataflow error: {msg}"),
         }
     }
 }

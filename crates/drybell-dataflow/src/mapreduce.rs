@@ -170,7 +170,9 @@ impl BusyClock {
 
     fn charge(&self, worker_id: usize, since: Instant) {
         let us = since.elapsed().as_micros().min(u64::MAX as u128) as u64;
-        self.micros[worker_id].fetch_add(us, Ordering::Relaxed);
+        if let Some(m) = self.micros.get(worker_id) {
+            m.fetch_add(us, Ordering::Relaxed);
+        }
     }
 
     fn seconds(&self) -> Vec<f64> {
@@ -290,7 +292,8 @@ where
     let state = JobState::new();
     let (tx, rx) = crossbeam::channel::unbounded::<usize>();
     for i in 0..input.num_shards() {
-        tx.send(i).expect("queue send");
+        tx.send(i)
+            .map_err(|_| DataflowError::internal("shard work queue closed before fill"))?;
     }
     drop(tx);
     let start = Instant::now();
@@ -447,7 +450,8 @@ where
     {
         let (tx, rx) = crossbeam::channel::unbounded::<usize>();
         for i in 0..input.num_shards() {
-            tx.send(i).expect("queue send");
+            tx.send(i)
+                .map_err(|_| DataflowError::internal("map work queue closed before fill"))?;
         }
         drop(tx);
         std::thread::scope(|scope| {
@@ -499,7 +503,8 @@ where
     {
         let (tx, rx) = crossbeam::channel::unbounded::<usize>();
         for p in 0..partitions {
-            tx.send(p).expect("queue send");
+            tx.send(p)
+                .map_err(|_| DataflowError::internal("reduce work queue closed before fill"))?;
         }
         drop(tx);
         std::thread::scope(|scope| {
@@ -610,16 +615,25 @@ where
     let flush = |buffer: &mut HashMap<K, Vec<V>>,
                  writers: &mut Vec<ShardWriter<(K, V)>>|
      -> Result<(), DataflowError> {
-        for (k, vs) in buffer.drain() {
+        // Drain in key order: HashMap iteration order would leak into the
+        // spill files (and from there into any byte-level comparison of
+        // reduce inputs), making runs non-reproducible.
+        // drybell-lint: allow(determinism) — drained into a Vec and sorted by key on the next line
+        let mut entries: Vec<(K, Vec<V>)> = buffer.drain().collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (k, vs) in entries {
             let p = (hash_key(&k) % partitions as u64) as usize;
+            let writer = writers
+                .get_mut(p)
+                .ok_or_else(|| DataflowError::internal("spill partition out of range"))?;
             match combiner {
                 Some(c) if vs.len() > 1 => {
                     let combined = c(&k, vs);
-                    writers[p].write(&(k, combined))?;
+                    writer.write(&(k, combined))?;
                 }
                 _ => {
                     for v in vs {
-                        writers[p].write(&(k.clone(), v))?;
+                        writer.write(&(k.clone(), v))?;
                     }
                 }
             }

@@ -165,13 +165,19 @@ impl<R: Record> ShardWriterSet<R> {
     pub fn write(&mut self, record: &R) -> Result<(), DataflowError> {
         let i = self.next;
         self.next = (self.next + 1) % self.writers.len();
-        self.writers[i].write(record)
+        self.writers
+            .get_mut(i)
+            .ok_or_else(|| DataflowError::internal("round-robin shard index out of range"))?
+            .write(record)
     }
 
     /// Append a record to the shard owning `hash` (stable partitioning).
     pub fn write_hashed(&mut self, record: &R, hash: u64) -> Result<(), DataflowError> {
         let i = (hash % self.writers.len() as u64) as usize;
-        self.writers[i].write(record)
+        self.writers
+            .get_mut(i)
+            .ok_or_else(|| DataflowError::internal("hashed shard index out of range"))?
+            .write(record)
     }
 
     /// Flush and close all shards, returning total records written.
@@ -213,10 +219,9 @@ impl<R: Record> ShardReader<R> {
     }
 
     fn next_record(&mut self) -> Result<Option<R>, DataflowError> {
-        if self.pos >= self.buf.len() {
+        let Some(mut slice) = self.buf.get(self.pos..).filter(|s| !s.is_empty()) else {
             return Ok(None);
-        }
-        let mut slice = &self.buf[self.pos..];
+        };
         let before = slice.len();
         let payload =
             codec::get_frame(&mut slice).map_err(|e| DataflowError::corrupt(&self.path, e))?;

@@ -272,6 +272,7 @@ impl KnowledgeGraph {
                 }
             }
         }
+        // drybell-lint: allow(determinism) — collected into a Vec and sorted on the next line
         let mut out: Vec<(EntityId, usize)> = seen.into_iter().collect();
         out.sort();
         out

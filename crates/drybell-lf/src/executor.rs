@@ -132,29 +132,39 @@ impl LfInstruments {
 }
 
 /// Evaluate every LF on one example, optionally timing each evaluation.
+/// A missing feature space (an NLP LF with no annotation, a graph LF
+/// with no graph) is a wiring bug in the caller and surfaces as a
+/// [`DataflowError::User`] rather than a panic inside a worker.
 fn row_of<X>(
     lfs: &[Lf<X>],
     x: &X,
     annotation: Option<&NlpResult>,
     kg: Option<&KnowledgeGraph>,
     instruments: Option<&LfInstruments>,
-) -> Vec<i8> {
+) -> Result<Vec<i8>, DataflowError> {
     match instruments {
         None => lfs
             .iter()
-            .map(|lf| lf.vote(x, annotation, kg).as_i8())
+            .map(|lf| {
+                lf.try_vote(x, annotation, kg)
+                    .map(|v| v.as_i8())
+                    .map_err(|e| DataflowError::user(e.to_string()))
+            })
             .collect(),
         Some(inst) => lfs
             .iter()
-            .enumerate()
-            .map(|(i, lf)| {
+            .zip(inst.eval_us.iter().zip(inst.votes.iter()))
+            .map(|(lf, (eval_us, votes))| {
                 let started = Instant::now();
-                let v = lf.vote(x, annotation, kg).as_i8();
-                inst.eval_us[i].record_duration(started.elapsed());
+                let v = lf
+                    .try_vote(x, annotation, kg)
+                    .map_err(|e| DataflowError::user(e.to_string()))?
+                    .as_i8();
+                eval_us.record_duration(started.elapsed());
                 if v != 0 {
-                    inst.votes[i].inc();
+                    votes.inc();
                 }
-                v
+                Ok(v)
             })
             .collect(),
     }
@@ -268,13 +278,13 @@ pub fn execute_in_memory_observed<X: Sync>(
                 }
                 _ => None,
             };
-            Ok(row_of(
+            row_of(
                 set.lfs(),
                 x,
                 annotation.as_ref(),
                 kg.as_deref(),
                 instruments.as_ref(),
-            ))
+            )
         },
     )?;
     let mut matrix = LabelMatrix::with_capacity(set.len(), rows.len());
@@ -320,17 +330,18 @@ impl Record for VoteRow {
     fn decode(buf: &mut &[u8]) -> Result<VoteRow, CodecError> {
         let id = codec::get_varint(buf)?;
         let len = codec::get_varint(buf)? as usize;
-        if buf.len() < len {
-            return Err(CodecError::UnexpectedEof);
-        }
+        let (body, rest) = match (buf.get(..len), buf.get(len..)) {
+            (Some(body), Some(rest)) => (body, rest),
+            _ => return Err(CodecError::UnexpectedEof),
+        };
         let mut votes = Vec::with_capacity(len);
-        for &b in &buf[..len] {
+        for &b in body {
             if b > 2 {
                 return Err(CodecError::InvalidTag(b));
             }
             votes.push(b as i8 - 1);
         }
-        *buf = &buf[len..];
+        *buf = rest;
         Ok(VoteRow { id, votes })
     }
 }
@@ -421,7 +432,7 @@ where
                 annotation.as_ref(),
                 kg.as_deref(),
                 instruments.as_ref(),
-            );
+            )?;
             for (name, &v) in vote_names.iter().zip(&votes) {
                 if v != 0 {
                     counters.inc(name);

@@ -192,25 +192,58 @@ impl<X> Lf<X> {
         matches!(self.kind, LfKind::Graph(_))
     }
 
-    /// Compute this LF's vote. `nlp` must be `Some` for NLP LFs and `kg`
-    /// must be `Some` for graph LFs; the executor guarantees this, and
-    /// direct callers get a panic with the LF's name otherwise.
-    pub fn vote(&self, x: &X, nlp: Option<&NlpResult>, kg: Option<&KnowledgeGraph>) -> Vote {
+    /// Compute this LF's vote, or report which feature space is missing.
+    /// `nlp` must be `Some` for NLP LFs and `kg` must be `Some` for
+    /// graph LFs; the executors establish this before calling.
+    pub fn try_vote(
+        &self,
+        x: &X,
+        nlp: Option<&NlpResult>,
+        kg: Option<&KnowledgeGraph>,
+    ) -> Result<Vote, LfError> {
         match &self.kind {
-            LfKind::Plain(f) => f(x),
-            LfKind::Nlp(f) => {
-                let nlp = nlp
-                    .unwrap_or_else(|| panic!("LF {:?} needs an NLP annotation", self.meta.name));
-                f(x, nlp)
-            }
-            LfKind::Graph(f) => {
-                let kg =
-                    kg.unwrap_or_else(|| panic!("LF {:?} needs a knowledge graph", self.meta.name));
-                f(x, kg)
-            }
+            LfKind::Plain(f) => Ok(f(x)),
+            LfKind::Nlp(f) => match nlp {
+                Some(nlp) => Ok(f(x, nlp)),
+                None => Err(LfError::MissingNlp(self.meta.name.clone())),
+            },
+            LfKind::Graph(f) => match kg {
+                Some(kg) => Ok(f(x, kg)),
+                None => Err(LfError::MissingGraph(self.meta.name.clone())),
+            },
+        }
+    }
+
+    /// Compute this LF's vote. Convenience wrapper over [`Lf::try_vote`]
+    /// for direct callers who have already matched feature spaces to LF
+    /// kinds; panics with the LF's name if they have not.
+    pub fn vote(&self, x: &X, nlp: Option<&NlpResult>, kg: Option<&KnowledgeGraph>) -> Vote {
+        // drybell-lint: allow(no-panic) — documented contract of this convenience API; executors use try_vote
+        self.try_vote(x, nlp, kg).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// A labeling function was invoked without a feature space its kind
+/// requires (§5.1: the template, not the vote function, wires feature
+/// spaces to LFs — this error means the wiring was wrong).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LfError {
+    /// An NLP LF ran without an NLP annotation for the example.
+    MissingNlp(String),
+    /// A graph LF ran without a knowledge graph.
+    MissingGraph(String),
+}
+
+impl std::fmt::Display for LfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LfError::MissingNlp(name) => write!(f, "LF {name:?} needs an NLP annotation"),
+            LfError::MissingGraph(name) => write!(f, "LF {name:?} needs a knowledge graph"),
         }
     }
 }
+
+impl std::error::Error for LfError {}
 
 /// An ordered collection of labeling functions for one application.
 #[derive(Debug)]

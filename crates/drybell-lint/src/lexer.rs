@@ -1,0 +1,451 @@
+//! A minimal Rust lexer.
+//!
+//! The lint rules only need a faithful *token* view of a source file —
+//! identifiers, punctuation, string literals with their spans, and line
+//! comments (where suppressions live). Full parsing (`syn`) is
+//! unavailable offline (see `vendor/README.md`), and none of the rules
+//! need types or an AST: every invariant they check is visible at the
+//! token level. The lexer therefore must get exactly the hard parts of
+//! tokenization right — raw strings, nested block comments, char
+//! literals vs. lifetimes — so that rules never match text inside a
+//! string or comment.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token, with its text where rules need it.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in bytes).
+    pub col: u32,
+}
+
+/// Token kinds. Only the distinctions the rules rely on are kept.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// String literal (`"…"`, `r"…"`, `b"…"`, `r#"…"#`), with escapes
+    /// decoded for plain strings and content taken verbatim for raw
+    /// ones.
+    Str(String),
+    /// Char or byte literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// A single punctuation byte (`.`, `(`, `[`, `!`, …).
+    Punct(char),
+}
+
+impl TokenKind {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The decoded string value, if this is a string literal.
+    pub fn str_lit(&self) -> Option<&str> {
+        match self {
+            TokenKind::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, TokenKind::Punct(p) if *p == c)
+    }
+}
+
+/// A `//` comment, recorded separately from the token stream so
+/// suppression comments can be found by line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineComment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Text after the `//`, untrimmed.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// All `//` comments (doc comments included), in source order.
+    pub comments: Vec<LineComment>,
+}
+
+/// Lex `src` into tokens and comments. Unterminated constructs are
+/// tolerated (the remainder of the file is consumed); the lint runs on
+/// code that already compiles, so error recovery is best-effort.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokenKind, line: u32, col: u32) {
+        self.out.tokens.push(Token { kind, line, col });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => {
+                    let s = self.string_literal();
+                    self.push(TokenKind::Str(s), line, col);
+                }
+                b'r' | b'b' if self.raw_or_byte_string_starts() => {
+                    let s = self.raw_or_byte_string();
+                    self.push(TokenKind::Str(s), line, col);
+                }
+                b'\'' => self.char_or_lifetime(line, col),
+                b'0'..=b'9' => {
+                    self.number();
+                    self.push(TokenKind::Number, line, col);
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    let id = self.ident();
+                    self.push(TokenKind::Ident(id), line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct(b as char), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.comments.push(LineComment { line, text });
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Called at `"`: consume the literal, decoding simple escapes.
+    fn string_literal(&mut self) -> String {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.peek(0) {
+                None | Some(b'"') => {
+                    self.bump();
+                    break;
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    match self.bump() {
+                        Some(b'n') => value.push('\n'),
+                        Some(b't') => value.push('\t'),
+                        Some(b'r') => value.push('\r'),
+                        Some(b'0') => value.push('\0'),
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'\'') => value.push('\''),
+                        // \u{…}, \xNN, or a line continuation: the exact
+                        // value never matters to a rule, keep a marker.
+                        Some(b'u') | Some(b'x') => value.push('\u{fffd}'),
+                        _ => {}
+                    }
+                }
+                Some(b) => {
+                    self.bump();
+                    value.push(b as char);
+                }
+            }
+        }
+        value
+    }
+
+    /// Whether the cursor (at `r` or `b`) starts a raw/byte string and
+    /// not an identifier like `rows` or `bytes`.
+    fn raw_or_byte_string_starts(&self) -> bool {
+        let mut i = 0;
+        if self.peek(i) == Some(b'b') {
+            i += 1;
+        }
+        if self.peek(i) == Some(b'r') {
+            i += 1;
+            while self.peek(i) == Some(b'#') {
+                i += 1;
+            }
+        }
+        i > 0 && self.peek(i) == Some(b'"')
+    }
+
+    fn raw_or_byte_string(&mut self) -> String {
+        if self.peek(0) == Some(b'b') {
+            self.bump();
+        }
+        let raw = self.peek(0) == Some(b'r');
+        if raw {
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            self.bump();
+            hashes += 1;
+        }
+        if !raw {
+            // b"…": escapes behave like a plain string.
+            return self.string_literal();
+        }
+        self.bump(); // opening quote
+        let start = self.pos;
+        let closer: Vec<u8> = std::iter::once(b'"')
+            .chain(std::iter::repeat_n(b'#', hashes))
+            .collect();
+        let mut end = self.pos;
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos..].starts_with(&closer) {
+                end = self.pos;
+                for _ in 0..closer.len() {
+                    self.bump();
+                }
+                break;
+            }
+            self.bump();
+            end = self.pos;
+        }
+        String::from_utf8_lossy(&self.bytes[start..end]).into_owned()
+    }
+
+    /// Called at `'`: either a char literal (`'a'`, `'\n'`) or a
+    /// lifetime (`'a`, `'static`).
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        // Lifetime: ' followed by ident chars NOT closed by another '.
+        // Char: anything else ('x', '\n', '\u{1f600}').
+        let mut i = 1;
+        if matches!(self.peek(1), Some(b) if b.is_ascii_alphabetic() || b == b'_') {
+            while matches!(self.peek(i), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+                i += 1;
+            }
+            if self.peek(i) != Some(b'\'') {
+                // Lifetime.
+                for _ in 0..i {
+                    self.bump();
+                }
+                self.push(TokenKind::Lifetime, line, col);
+                return;
+            }
+        }
+        // Char literal.
+        self.bump(); // '
+        if self.peek(0) == Some(b'\\') {
+            self.bump();
+            if matches!(self.peek(0), Some(b'u')) {
+                // \u{…}
+                self.bump();
+                while self.peek(0).is_some() && self.peek(0) != Some(b'\'') {
+                    self.bump();
+                }
+            } else {
+                self.bump();
+            }
+        } else {
+            // Possibly multi-byte UTF-8: consume until closing quote.
+            while self.peek(0).is_some() && self.peek(0) != Some(b'\'') {
+                self.bump();
+            }
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.bump();
+        }
+        self.push(TokenKind::Char, line, col);
+    }
+
+    fn number(&mut self) {
+        // Consume digits, underscores, type suffixes, hex/bin prefixes,
+        // exponents, and a fractional part — but not `..` (ranges).
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'0'..=b'9' | b'a'..=b'd' | b'f'..=b'z' | b'A'..=b'D' | b'F'..=b'Z' | b'_' => {
+                    self.bump();
+                }
+                b'e' | b'E' => {
+                    self.bump();
+                    if matches!(self.peek(0), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                b'.' if matches!(self.peek(1), Some(b'0'..=b'9')) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let start = self.pos;
+        while matches!(self.peek(0), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let x = "unwrap inside a string";
+            // unwrap inside a comment
+            /* unwrap /* nested */ still comment */
+            let r = r#"raw "quoted" unwrap"#;
+            y.unwrap();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "unwrap").count(), 1);
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("unwrap inside a comment"));
+    }
+
+    #[test]
+    fn string_values_are_decoded() {
+        let lexed = lex(r#"f("obs/train/step_us"); g("a\nb");"#);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| t.kind.str_lit())
+            .collect();
+        assert_eq!(strs, ["obs/train/step_us", "a\nb"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let lexed = lex("a\n  bb");
+        assert_eq!(lexed.tokens[0].line, 1);
+        assert_eq!(lexed.tokens[0].col, 1);
+        assert_eq!(lexed.tokens[1].line, 2);
+        assert_eq!(lexed.tokens[1].col, 3);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        let lexed = lex("0..10");
+        let puncts = lexed.tokens.iter().filter(|t| t.kind.is_punct('.')).count();
+        assert_eq!(puncts, 2);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Number)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_starting_with_r_and_b_are_idents() {
+        assert_eq!(idents("rows bytes rebuild"), ["rows", "bytes", "rebuild"]);
+    }
+}

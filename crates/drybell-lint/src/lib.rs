@@ -1,0 +1,494 @@
+//! # drybell-lint
+//!
+//! The workspace static-analysis pass: repo-specific invariants the
+//! compiler cannot check, enforced as named, individually-suppressable
+//! rules. DryBell's pipelines only reproduce (and only serve safely)
+//! when LF execution is deterministic, library paths don't panic under
+//! production inputs, and telemetry names stay consistent with the
+//! [`drybell_obs::naming`] registry — this crate is where those
+//! invariants live as code instead of review comments.
+//!
+//! Run it with `cargo run -p drybell-lint -- check`. Diagnostics print
+//! as `file:line:col rule-id message` and any diagnostic makes the exit
+//! code non-zero (`-D` semantics); CI and the in-tree
+//! `tests/workspace_clean.rs` both gate on it.
+//!
+//! ## Rules
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | `no-panic` | no `unwrap`/`expect`/`panic!`-family in library-path production code |
+//! | `no-panic-index` | no `x[i]` indexing in library-path production code (use `get`) |
+//! | `determinism` | no unseeded RNG, wall-clock reads, or `HashMap`/`HashSet` iteration order leaking out |
+//! | `telemetry-conventions` | metric/span/journal names at call sites must be in the naming registry |
+//! | `lf-purity` | LF closures must not capture interior mutability or perform I/O |
+//! | `bad-suppression` | suppression comments must name one rule and justify themselves |
+//!
+//! ## Suppressing
+//!
+//! One finding: put on the same line or the line above —
+//!
+//! ```text
+//! // drybell-lint: allow(no-panic) — index bounds checked by split_at above
+//! ```
+//!
+//! A whole file (dense numeric kernels, for example):
+//!
+//! ```text
+//! // drybell-lint: allow-file(no-panic-index) — hot-loop math; bounds are loop invariants
+//! ```
+//!
+//! The justification after the `—` (or `-`/`:`) is mandatory; a
+//! suppression without one is itself a `bad-suppression` diagnostic, so
+//! the workspace can be lint-clean only with *justified* suppressions
+//! (the acceptance bar: zero blanket suppressions).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use lexer::{lex, Lexed, LineComment, Token, TokenKind};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// All rule ids, in diagnostic-priority order.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "no-panic",
+        "no unwrap/expect/panic! in library-path production code",
+    ),
+    (
+        "no-panic-index",
+        "no [] indexing in library-path production code (use get)",
+    ),
+    (
+        "determinism",
+        "no unseeded RNG, wall-clock reads, or unordered map iteration",
+    ),
+    (
+        "telemetry-conventions",
+        "telemetry names must match drybell-obs's naming registry",
+    ),
+    (
+        "lf-purity",
+        "LF closures must not capture interior mutability or do I/O",
+    ),
+    (
+        "bad-suppression",
+        "suppression comments must name a rule and give a reason",
+    ),
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Path as given to [`lint_source`] (workspace-relative in the CLI).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule id (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} {} {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed suppression comment.
+#[derive(Debug, Clone)]
+struct Suppression {
+    line: u32,
+    rule: String,
+    file_scoped: bool,
+}
+
+/// Everything a rule needs to look at one file.
+pub struct FileCtx {
+    /// Path as given (used verbatim in diagnostics).
+    pub path: String,
+    /// The crate the file belongs to (`drybell-core`, …), from its path.
+    pub crate_name: String,
+    /// Lexed tokens in source order.
+    pub tokens: Vec<Token>,
+    /// `in_test[i]` — token `i` is inside `#[cfg(test)]` / `#[test]`
+    /// code (or the whole file is tests/benches).
+    pub in_test: Vec<bool>,
+    suppressions: Vec<Suppression>,
+    bad_suppressions: Vec<Diagnostic>,
+}
+
+impl FileCtx {
+    /// The identifier text of token `i`, or `""`.
+    pub fn ident(&self, i: usize) -> &str {
+        self.tokens
+            .get(i)
+            .and_then(|t| t.kind.ident())
+            .unwrap_or("")
+    }
+
+    /// Whether token `i` is punctuation `c`.
+    pub fn punct(&self, i: usize, c: char) -> bool {
+        self.tokens.get(i).is_some_and(|t| t.kind.is_punct(c))
+    }
+
+    /// Emit a diagnostic at token `i` unless a suppression covers it.
+    pub fn report(&self, out: &mut Vec<Diagnostic>, i: usize, rule: &'static str, message: String) {
+        let tok = &self.tokens[i];
+        if self.suppressed(rule, tok.line) {
+            return;
+        }
+        out.push(Diagnostic {
+            path: self.path.clone(),
+            line: tok.line,
+            col: tok.col,
+            rule,
+            message,
+        });
+    }
+
+    fn suppressed(&self, rule: &str, line: u32) -> bool {
+        self.suppressions
+            .iter()
+            .any(|s| s.rule == rule && (s.file_scoped || s.line == line || s.line + 1 == line))
+    }
+}
+
+/// Keywords that can precede `[` without it being an indexing
+/// expression (`let [a, b] = …`, `for [x, y] in …`, `return [,]`…).
+pub(crate) const KEYWORDS: &[&str] = &[
+    "as", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "false", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "self", "Self", "static", "struct", "super", "trait", "true", "type", "unsafe",
+    "use", "where", "while",
+];
+
+fn known_rule(rule: &str) -> bool {
+    RULES.iter().any(|(id, _)| *id == rule)
+}
+
+/// Parse `// drybell-lint: allow(rule) — reason` comments. Malformed
+/// ones become `bad-suppression` diagnostics (never suppressable).
+fn parse_suppressions(path: &str, comments: &[LineComment]) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut sups = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("drybell-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let mut complain = |message: String| {
+            bad.push(Diagnostic {
+                path: path.to_owned(),
+                line: c.line,
+                col: 1,
+                rule: "bad-suppression",
+                message,
+            });
+        };
+        let (file_scoped, body) = if let Some(b) = rest.strip_prefix("allow-file(") {
+            (true, b)
+        } else if let Some(b) = rest.strip_prefix("allow(") {
+            (false, b)
+        } else {
+            complain(format!(
+                "unrecognized directive {rest:?}; use allow(<rule>) or allow-file(<rule>)"
+            ));
+            continue;
+        };
+        let Some((rule, after)) = body.split_once(')') else {
+            complain("missing closing parenthesis in suppression".to_owned());
+            continue;
+        };
+        let rule = rule.trim();
+        if !known_rule(rule) {
+            complain(format!(
+                "unknown rule {rule:?}; known rules: {}",
+                RULES
+                    .iter()
+                    .map(|(id, _)| *id)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+            continue;
+        }
+        // The justification is mandatory: strip separator punctuation
+        // and require real words after it.
+        let reason = after
+            .trim_start_matches([' ', '\u{2014}', '\u{2013}', '-', ':'])
+            .trim();
+        if reason.len() < 8 {
+            complain(format!(
+                "suppression of `{rule}` needs a one-line justification after a dash"
+            ));
+            continue;
+        }
+        sups.push(Suppression {
+            line: c.line,
+            rule: rule.to_owned(),
+            file_scoped,
+        });
+    }
+    (sups, bad)
+}
+
+/// Mark tokens inside `#[cfg(test)]` / `#[test]` items. After an
+/// attribute whose bracket contents mention `test`, the next top-level
+/// `{ … }` block is test code.
+fn mark_test_regions(tokens: &[Token], whole_file: bool) -> Vec<bool> {
+    let mut in_test = vec![whole_file; tokens.len()];
+    if whole_file {
+        return in_test;
+    }
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind.is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.kind.is_punct('[')) {
+            // Scan the attribute for the `test` ident.
+            let mut j = i + 2;
+            let mut depth = 1;
+            let mut is_test_attr = false;
+            while j < tokens.len() && depth > 0 {
+                match &tokens[j].kind {
+                    TokenKind::Punct('[') => depth += 1,
+                    TokenKind::Punct(']') => depth -= 1,
+                    TokenKind::Ident(s) if s == "test" => is_test_attr = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_test_attr {
+                // Find the item's opening brace, then its close.
+                let mut k = j;
+                while k < tokens.len() && !tokens[k].kind.is_punct('{') {
+                    // A `;` first means a braceless item — nothing to mark.
+                    if tokens[k].kind.is_punct(';') {
+                        break;
+                    }
+                    k += 1;
+                }
+                if k < tokens.len() && tokens[k].kind.is_punct('{') {
+                    let mut braces = 0i32;
+                    let mut end = k;
+                    while end < tokens.len() {
+                        match &tokens[end].kind {
+                            TokenKind::Punct('{') => braces += 1,
+                            TokenKind::Punct('}') => {
+                                braces -= 1;
+                                if braces == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        end += 1;
+                    }
+                    let end = end.min(tokens.len() - 1);
+                    for flag in &mut in_test[i..=end] {
+                        *flag = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Derive the owning crate from a workspace-relative path.
+fn crate_of(rel_path: &str) -> String {
+    let p = rel_path.replace('\\', "/");
+    if let Some(rest) = p.strip_prefix("crates/") {
+        rest.split('/').next().unwrap_or("").to_owned()
+    } else if p.starts_with("vendor/") {
+        "vendor".to_owned()
+    } else {
+        // Umbrella crate sources (src/, tests/, benches/).
+        "drybell".to_owned()
+    }
+}
+
+/// Lint one file's source text. `rel_path` is used for diagnostics and
+/// for crate/test-scope decisions.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let Lexed { tokens, comments } = lex(src);
+    let whole_file_test = {
+        let p = rel_path.replace('\\', "/");
+        // Files named tests_*.rs / *_tests.rs are `#[cfg(test)] mod`
+        // declarations in their parent — the attribute is invisible
+        // from inside the file, so the convention carries the scope.
+        let file = p.rsplit('/').next().unwrap_or("");
+        p.contains("/tests/")
+            || p.starts_with("tests/")
+            || p.contains("/benches/")
+            || file.starts_with("tests_")
+            || file.ends_with("_tests.rs")
+    };
+    let in_test = mark_test_regions(&tokens, whole_file_test);
+    let (suppressions, bad_suppressions) = parse_suppressions(rel_path, &comments);
+    let ctx = FileCtx {
+        path: rel_path.to_owned(),
+        crate_name: crate_of(rel_path),
+        tokens,
+        in_test,
+        suppressions,
+        bad_suppressions,
+    };
+    let mut out = Vec::new();
+    rules::no_panic::check(&ctx, &mut out);
+    rules::determinism::check(&ctx, &mut out);
+    rules::telemetry::check(&ctx, &mut out);
+    rules::lf_purity::check(&ctx, &mut out);
+    out.extend(ctx.bad_suppressions.iter().cloned());
+    out.sort();
+    out
+}
+
+/// Recursively collect the workspace `.rs` files the lint covers:
+/// `src/`, `crates/*/src/` — production code only. `vendor/` (offline
+/// stand-ins, upstream API shapes), `target/`, test trees, and this
+/// crate's own lint fixtures are excluded.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = BTreeSet::new();
+    let mut roots = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    for r in roots {
+        if r.is_dir() {
+            collect_rs(&r, &mut files)?;
+        }
+    }
+    Ok(files.into_iter().collect())
+}
+
+fn collect_rs(dir: &Path, out: &mut BTreeSet<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.insert(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every covered file under `root`, returning all diagnostics with
+/// workspace-relative paths.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for file in workspace_files(root)? {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&file)?;
+        out.extend(lint_source(&rel, &src));
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_regions_are_marked() {
+        let src = r#"
+            fn prod() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn t() { y.unwrap(); }
+            }
+        "#;
+        let diags = lint_source("crates/drybell-core/src/x.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "no-panic");
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn test_attribute_fn_is_exempt() {
+        let src = r#"
+            #[test]
+            fn t() { y.unwrap(); }
+            fn prod() { x.unwrap(); }
+        "#;
+        let diags = lint_source("crates/drybell-lf/src/x.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn suppression_with_reason_is_honored() {
+        let src = "
+            // drybell-lint: allow(no-panic) — invariant: map key inserted above
+            fn prod() { x.unwrap(); }
+        ";
+        let diags = lint_source("crates/drybell-core/src/x.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn suppression_without_reason_is_a_diagnostic() {
+        let src = "
+            // drybell-lint: allow(no-panic)
+            fn prod() { x.unwrap(); }
+        ";
+        let diags = lint_source("crates/drybell-core/src/x.rs", src);
+        let rules: Vec<_> = diags.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"bad-suppression"), "{diags:?}");
+        assert!(rules.contains(&"no-panic"), "{diags:?}");
+    }
+
+    #[test]
+    fn unknown_rule_suppression_is_a_diagnostic() {
+        let src = "// drybell-lint: allow(no-such-rule) — because\n";
+        let diags = lint_source("crates/drybell-core/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "bad-suppression");
+    }
+
+    #[test]
+    fn file_scoped_suppression_covers_every_line() {
+        let src = "
+            // drybell-lint: allow-file(no-panic) — fixture exercising file scope
+            fn a() { x.unwrap(); }
+            fn b() { y.expect(\"msg\"); }
+        ";
+        let diags = lint_source("crates/drybell-core/src/x.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn bench_and_test_trees_are_out_of_panic_scope() {
+        let src = "fn a() { x.unwrap(); }";
+        assert!(lint_source("tests/x.rs", src).is_empty());
+        assert!(lint_source("crates/drybell-bench/src/x.rs", src).is_empty());
+        assert!(lint_source("vendor/rand/src/lib.rs", src).is_empty());
+    }
+}

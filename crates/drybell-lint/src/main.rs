@@ -1,0 +1,61 @@
+//! CLI for the workspace lint: `cargo run -p drybell-lint -- check`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: drybell-lint check [--root <dir>]");
+    eprintln!("       drybell-lint rules");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("rules") => {
+            for (id, what) in drybell_lint::RULES {
+                println!("{id:24} {what}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let mut root: Option<PathBuf> = None;
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--root" => match rest.next() {
+                        Some(dir) => root = Some(PathBuf::from(dir)),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            // Default to the workspace root: this binary lives at
+            // crates/drybell-lint, two levels below it.
+            let root = root.unwrap_or_else(|| {
+                PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                    .join("../..")
+                    .canonicalize()
+                    .unwrap_or_else(|_| PathBuf::from("."))
+            });
+            let diags = match drybell_lint::lint_workspace(&root) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("drybell-lint: {}: {e}", root.display());
+                    return ExitCode::from(2);
+                }
+            };
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                eprintln!("drybell-lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("drybell-lint: {} diagnostic(s)", diags.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,194 @@
+//! `determinism`: a seeded run must be exactly reproducible.
+//!
+//! Snorkel's label-model math (and this repo's
+//! `pipelines_are_deterministic_given_seed` test) assumes identical
+//! inputs produce identical posteriors. Three things silently break
+//! that: RNGs seeded from the environment, wall-clock values flowing
+//! into outputs, and `HashMap`/`HashSet` iteration order leaking into
+//! label-model math, journal lines, or reducer emission. The rule flags
+//! all three workspace-wide in production code; sites where order
+//! provably cannot escape carry a justified suppression.
+//!
+//! Monotonic `Instant` reads are *not* flagged: latency telemetry is
+//! expected to vary run-to-run, and durations never feed model math.
+
+use crate::lexer::TokenKind;
+use crate::{Diagnostic, FileCtx};
+use std::collections::BTreeSet;
+
+/// Identifiers that construct an unseeded (environment-dependent) RNG.
+const UNSEEDED_RNG: &[&str] = &["thread_rng", "from_entropy", "OsRng", "entropy_rng"];
+
+/// Iteration methods whose order is the hash map's internal order.
+const ORDERED_SINKS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Run the rule over one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if ctx.crate_name == "vendor" {
+        return;
+    }
+    let unordered = collect_unordered_bindings(ctx);
+    for i in 0..ctx.tokens.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let id = ctx.ident(i);
+        if UNSEEDED_RNG.contains(&id) {
+            ctx.report(
+                out,
+                i,
+                "determinism",
+                format!("`{id}` seeds from the environment; derive the RNG from the run seed"),
+            );
+        }
+        if id == "SystemTime" {
+            ctx.report(
+                out,
+                i,
+                "determinism",
+                "wall-clock reads make runs irreproducible; pass times in explicitly".to_owned(),
+            );
+        }
+        // `name.iter()` / `for … in &name` on a known HashMap/HashSet.
+        if unordered.contains(id) {
+            if ctx.punct(i + 1, '.') && ORDERED_SINKS.contains(&ctx.ident(i + 2)) {
+                ctx.report(
+                    out,
+                    i + 2,
+                    "determinism",
+                    format!(
+                        "iterating `{id}` ({}) has nondeterministic order; sort or use BTreeMap",
+                        unordered_kind(ctx, id)
+                    ),
+                );
+            }
+            if is_for_in_target(ctx, i) {
+                ctx.report(
+                    out,
+                    i,
+                    "determinism",
+                    format!(
+                        "`for` over `{id}` ({}) has nondeterministic order; sort or use BTreeMap",
+                        unordered_kind(ctx, id)
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Identifiers bound (let, field, or parameter) to a `HashMap` or
+/// `HashSet` anywhere in the file. Token patterns covered:
+/// `name: HashMap<…>` and `let [mut] name = HashMap::new()`.
+fn collect_unordered_bindings(ctx: &FileCtx) -> BTreeSet<&str> {
+    let mut bound = BTreeSet::new();
+    for i in 0..ctx.tokens.len() {
+        let id = ctx.ident(i);
+        if id != "HashMap" && id != "HashSet" {
+            continue;
+        }
+        if i >= 2 && ctx.punct(i - 1, ':') {
+            if let TokenKind::Ident(name) = &ctx.tokens[i - 2].kind {
+                bound.insert(name.as_str());
+            }
+        }
+        if i >= 2 && ctx.punct(i - 1, '=') {
+            if let TokenKind::Ident(name) = &ctx.tokens[i - 2].kind {
+                bound.insert(name.as_str());
+            }
+        }
+    }
+    bound
+}
+
+/// Which unordered type `name` was bound to (for the message).
+fn unordered_kind(ctx: &FileCtx, name: &str) -> &'static str {
+    for i in 2..ctx.tokens.len() {
+        if ctx.ident(i - 2) == name && (ctx.punct(i - 1, ':') || ctx.punct(i - 1, '=')) {
+            match ctx.ident(i) {
+                "HashSet" => return "HashSet",
+                "HashMap" => return "HashMap",
+                _ => {}
+            }
+        }
+    }
+    "HashMap"
+}
+
+/// Whether token `i` (a bound identifier) is the target of a `for … in`
+/// loop: `in name`, `in &name`, or `in &mut name`, with a `{` soon
+/// after (so `contains(…)` arguments named like a map don't match).
+fn is_for_in_target(ctx: &FileCtx, i: usize) -> bool {
+    let mut j = i;
+    // Step back over `&` and `mut`.
+    while j > 0 && (ctx.punct(j - 1, '&') || ctx.ident(j - 1) == "mut") {
+        j -= 1;
+    }
+    j > 0 && ctx.ident(j - 1) == "in" && ctx.punct(i + 1, '{')
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint_source;
+
+    fn rules(src: &str) -> Vec<(&'static str, u32)> {
+        lint_source("crates/drybell-core/src/x.rs", src)
+            .into_iter()
+            .filter(|d| d.rule == "determinism")
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn unseeded_rng_and_wall_clock_fire() {
+        let src = "fn f() {\nlet r = rand::thread_rng();\nlet t = SystemTime::now();\n}";
+        assert_eq!(rules(src), [("determinism", 2), ("determinism", 3)]);
+    }
+
+    #[test]
+    fn seeded_rng_and_instant_do_not_fire() {
+        let src = "fn f() { let r = StdRng::seed_from_u64(7); let t = Instant::now(); }";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn hashmap_iteration_fires_for_methods_and_for_loops() {
+        let src = "\
+fn f() {
+let mut m: HashMap<String, u64> = HashMap::new();
+for (k, v) in &m { emit(k, v); }
+let keys: Vec<_> = m.keys().collect();
+}";
+        let got = rules(src);
+        assert_eq!(got, [("determinism", 3), ("determinism", 4)]);
+    }
+
+    #[test]
+    fn let_binding_to_hashmap_new_is_tracked() {
+        let src = "fn f() { let buffer = HashMap::new(); buffer.drain(); }";
+        assert_eq!(rules(src).len(), 1);
+    }
+
+    #[test]
+    fn btreemap_iteration_is_fine() {
+        let src =
+            "fn f() { let m: BTreeMap<String, u64> = BTreeMap::new(); for x in &m {} m.keys(); }";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn lookup_methods_on_maps_are_fine() {
+        let src = "fn f(m: HashMap<String, u64>) { m.get(\"k\"); m.insert(k, v); m.len(); }";
+        assert!(rules(src).is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! `lf-purity`: labeling functions are pure functions of their inputs.
+//!
+//! §5.1's template contract is that engineers write "only simple main
+//! files that define the function(s) that computes the labeling
+//! function's vote for an individual example" — all I/O and state
+//! belongs to the template (the executor and its model servers). A
+//! vote function that mutates shared state or reads the outside world
+//! breaks both determinism (votes depend on execution order) and the
+//! sharded executor (workers see different state). The type system
+//! already rejects `FnMut` captures (`Lf` boxes `dyn Fn`); this rule
+//! covers what it cannot: interior mutability and ambient I/O inside
+//! the closures handed to `Lf::plain` / `Lf::nlp` / `Lf::graph`.
+
+use crate::{Diagnostic, FileCtx};
+
+/// Identifiers that smuggle mutability or the outside world into a
+/// closure the type system considers `Fn`.
+const IMPURE: &[(&str, &str)] = &[
+    ("RefCell", "interior mutability"),
+    ("Cell", "interior mutability"),
+    ("Mutex", "shared mutable state"),
+    ("RwLock", "shared mutable state"),
+    ("AtomicUsize", "shared mutable state"),
+    ("AtomicU64", "shared mutable state"),
+    ("AtomicI64", "shared mutable state"),
+    ("AtomicBool", "shared mutable state"),
+    ("File", "filesystem I/O"),
+    ("OpenOptions", "filesystem I/O"),
+    ("read_to_string", "filesystem I/O"),
+    ("TcpStream", "network I/O"),
+    ("UdpSocket", "network I/O"),
+    ("stdin", "console I/O"),
+    ("stdout", "console I/O"),
+    ("stderr", "console I/O"),
+    ("thread_rng", "nondeterminism"),
+    ("SystemTime", "nondeterminism"),
+    ("Instant", "nondeterminism"),
+    ("var", "environment reads"),
+];
+
+/// Printing macros (`name` followed by `!`).
+const IMPURE_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+
+/// Run the rule over one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if ctx.crate_name == "vendor" {
+        return;
+    }
+    let mut i = 0;
+    while i < ctx.tokens.len() {
+        // `Lf::plain(` / `Lf::nlp(` / `Lf::graph(` — `::` is two `:`.
+        let is_ctor = ctx.ident(i) == "Lf"
+            && ctx.punct(i + 1, ':')
+            && ctx.punct(i + 2, ':')
+            && matches!(ctx.ident(i + 3), "plain" | "nlp" | "graph")
+            && ctx.punct(i + 4, '(');
+        if !is_ctor || ctx.in_test[i] {
+            i += 1;
+            continue;
+        }
+        let open = i + 4;
+        let close = matching_paren(ctx, open);
+        scan_closure(ctx, out, open + 1, close);
+        i = open + 1;
+    }
+}
+
+/// Index of the `)` matching the `(` at `open` (or end of file).
+fn matching_paren(ctx: &FileCtx, open: usize) -> usize {
+    let mut depth = 0i32;
+    for j in open..ctx.tokens.len() {
+        if ctx.punct(j, '(') {
+            depth += 1;
+        } else if ctx.punct(j, ')') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    ctx.tokens.len()
+}
+
+fn scan_closure(ctx: &FileCtx, out: &mut Vec<Diagnostic>, start: usize, end: usize) {
+    for j in start..end.min(ctx.tokens.len()) {
+        let id = ctx.ident(j);
+        if let Some((_, why)) = IMPURE.iter().find(|(name, _)| *name == id) {
+            // `var` only as `env::var` — too common a name otherwise.
+            if id == "var"
+                && !(ctx.punct(j.wrapping_sub(1), ':') && ctx.ident(j.wrapping_sub(3)) == "env")
+            {
+                continue;
+            }
+            ctx.report(
+                out,
+                j,
+                "lf-purity",
+                format!("LF closures must stay pure: `{id}` brings {why} into a vote function"),
+            );
+        }
+        if IMPURE_MACROS.contains(&id) && ctx.punct(j + 1, '!') {
+            ctx.report(
+                out,
+                j,
+                "lf-purity",
+                format!("LF closures must stay pure: `{id}!` performs console I/O"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint_source;
+
+    fn rules(src: &str) -> Vec<(&'static str, u32)> {
+        lint_source("crates/drybell-datagen/src/x.rs", src)
+            .into_iter()
+            .filter(|d| d.rule == "lf-purity")
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn pure_lf_closures_pass() {
+        let src = r#"
+fn lfs() -> Vec<Lf<Doc>> {
+    vec![
+        Lf::plain(meta("kw"), |d: &Doc| if d.text.contains("x") { Vote::Pos } else { Vote::Abstain }),
+        Lf::nlp(meta("ner"), |d: &Doc, nlp: &NlpResult| vote_from(nlp)),
+        Lf::graph(meta("kg"), |d: &Doc, kg: &KnowledgeGraph| kg_vote(d, kg)),
+    ]
+}
+"#;
+        assert!(rules(src).is_empty(), "{:?}", rules(src));
+    }
+
+    #[test]
+    fn interior_mutability_in_closure_fires() {
+        let src = r#"
+fn lf() -> Lf<Doc> {
+    let counter = std::sync::Arc::new(std::sync::Mutex::new(0u64));
+    Lf::plain(meta("counting"), move |d: &Doc| {
+        *counter.lock().unwrap() += 1;
+        Vote::Abstain
+    })
+}
+"#;
+        // The Mutex *outside* the ctor is fine; nothing inside the
+        // closure names it by type — but this variant does:
+        let src2 = src.replace(
+            "*counter.lock().unwrap() += 1;",
+            "let c: &Mutex<u64> = &counter; *c.lock().unwrap() += 1;",
+        );
+        assert!(rules(src).is_empty());
+        assert_eq!(rules(&src2), [("lf-purity", 5)]);
+    }
+
+    #[test]
+    fn io_and_printing_fire() {
+        let src = r#"
+fn lf() -> Lf<Doc> {
+    Lf::plain(meta("leaky"), |d: &Doc| {
+        println!("voting on {}", d.id);
+        let extra = std::fs::read_to_string("side_channel.txt");
+        Vote::Abstain
+    })
+}
+"#;
+        assert_eq!(rules(src), [("lf-purity", 4), ("lf-purity", 5)]);
+    }
+
+    #[test]
+    fn nondeterminism_in_lf_fires() {
+        let src = r#"
+fn lf() -> Lf<Doc> {
+    Lf::plain(meta("flaky"), |_d: &Doc| {
+        if SystemTime::now().elapsed().is_ok() { Vote::Pos } else { Vote::Neg }
+    })
+}
+"#;
+        let got = rules(src);
+        assert_eq!(got, [("lf-purity", 4)]);
+    }
+
+    #[test]
+    fn code_outside_lf_constructors_is_not_in_scope() {
+        let src = "fn helper() { let m = Mutex::new(0); println!(\"ok\"); }";
+        assert!(rules(src).is_empty());
+    }
+}

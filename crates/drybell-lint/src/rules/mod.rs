@@ -1,0 +1,7 @@
+//! The lint rules. Each submodule exposes `check(&FileCtx, &mut Vec<Diagnostic>)`
+//! and owns one rule family; see the crate docs for the full table.
+
+pub mod determinism;
+pub mod lf_purity;
+pub mod no_panic;
+pub mod telemetry;

@@ -1,0 +1,141 @@
+//! `no-panic` and `no-panic-index`: library paths must degrade with
+//! typed errors, not process aborts.
+//!
+//! The paper's serving story (§5.2) assumes the classification service
+//! keeps answering under malformed inputs; a panic in `drybell-serving`
+//! or the dataflow engine takes a worker (and its shard) with it. The
+//! rule covers the library crates on production paths —
+//! `drybell-core`, `drybell-dataflow`, `drybell-lf`, `drybell-serving`,
+//! and `drybell-obs` — and exempts test code, benches, and datagen
+//! (which construct their own inputs).
+
+use crate::{Diagnostic, FileCtx, KEYWORDS};
+
+/// Crates whose non-test code must not panic.
+const PANIC_SCOPE: &[&str] = &[
+    "drybell-core",
+    "drybell-dataflow",
+    "drybell-lf",
+    "drybell-serving",
+    "drybell-obs",
+];
+
+/// Macro names that abort the process.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Run the rule over one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if !PANIC_SCOPE.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for i in 0..ctx.tokens.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let id = ctx.ident(i);
+        // `.unwrap()` / `.expect(`: require the leading dot so the rule
+        // matches calls, not definitions or mentions.
+        if (id == "unwrap" || id == "expect")
+            && i > 0
+            && ctx.punct(i - 1, '.')
+            && ctx.punct(i + 1, '(')
+        {
+            ctx.report(
+                out,
+                i,
+                "no-panic",
+                format!("`.{id}()` can abort a worker; return a typed error instead"),
+            );
+        }
+        // `panic!(…)` and friends.
+        if PANIC_MACROS.contains(&id) && ctx.punct(i + 1, '!') {
+            ctx.report(
+                out,
+                i,
+                "no-panic",
+                format!("`{id}!` aborts the process; library paths must return errors"),
+            );
+        }
+        // Indexing: `expr[...]` where expr ends in an identifier, `)`
+        // or `]`. Keywords before `[` are patterns/types, not indexing
+        // (`let [a, b] = …`); `#[…]` attributes and `vec![…]` macros are
+        // excluded by their preceding punctuation.
+        if ctx.punct(i, '[') && i > 0 {
+            let prev = &ctx.tokens[i - 1].kind;
+            let is_index = match prev {
+                crate::lexer::TokenKind::Ident(s) => !KEYWORDS.contains(&s.as_str()),
+                crate::lexer::TokenKind::Punct(')') | crate::lexer::TokenKind::Punct(']') => true,
+                _ => false,
+            };
+            if is_index {
+                ctx.report(
+                    out,
+                    i,
+                    "no-panic-index",
+                    "`[…]` indexing panics out of bounds; use `.get()` or justify the invariant"
+                        .to_owned(),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint_source;
+
+    fn rules(path: &str, src: &str) -> Vec<(&'static str, u32)> {
+        lint_source(path, src)
+            .into_iter()
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_expect_and_macros_fire() {
+        let src = "fn f() {\na.unwrap();\nb.expect(\"x\");\npanic!(\"y\");\nunreachable!();\n}";
+        let got = rules("crates/drybell-serving/src/x.rs", src);
+        assert_eq!(
+            got,
+            [
+                ("no-panic", 2),
+                ("no-panic", 3),
+                ("no-panic", 4),
+                ("no-panic", 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let src = "fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 1); c.unwrap_or_default(); }";
+        assert!(rules("crates/drybell-core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn indexing_fires_but_patterns_do_not() {
+        let src = "fn f(v: &[u8], m: [u8; 2]) -> u8 {\nlet [a, b] = m;\nv[0] + a + b\n}";
+        let got = rules("crates/drybell-dataflow/src/x.rs", src);
+        assert_eq!(got, [("no-panic-index", 3)]);
+    }
+
+    #[test]
+    fn attributes_and_macros_are_not_indexing() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f() { let v = vec![1, 2]; }";
+        assert!(rules("crates/drybell-core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn chained_and_call_result_indexing_fires() {
+        let src = "fn f() { g()[0]; m[1][2]; }";
+        let got = rules("crates/drybell-lf/src/x.rs", src);
+        assert_eq!(got.len(), 3, "{got:?}");
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_exempt() {
+        let src = "fn f() { a.unwrap(); v[0]; }";
+        assert!(rules("crates/drybell-datagen/src/x.rs", src).is_empty());
+        assert!(rules("crates/drybell-ml/src/x.rs", src).is_empty());
+    }
+}

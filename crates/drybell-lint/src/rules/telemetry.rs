@@ -1,0 +1,181 @@
+//! `telemetry-conventions`: names at instrumentation call sites must
+//! come from the [`drybell_obs::naming`] registry.
+//!
+//! Dashboards, the run journal's consumers, and the report diffing in
+//! CI all key on telemetry names. The registry is the single source of
+//! truth; this rule closes the loop by checking every literal name at a
+//! `counter(…)` / `gauge(…)` / `histogram(…)` / `span(…)` /
+//! `Event::new(…)` / `Counters::{inc,add}(…)` call site against it.
+//! Names built entirely at runtime (no literal prefix) are out of
+//! static reach and skipped; `format!("votes/{}", …)`-style calls are
+//! checked with their `{}` placeholders matched against the registry's
+//! `{placeholder}` segments.
+
+use crate::lexer::TokenKind;
+use crate::{Diagnostic, FileCtx};
+use drybell_obs::naming::{self, Family};
+
+/// Run the rule over one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if ctx.crate_name == "vendor" {
+        return;
+    }
+    // The registry validates itself; a malformed table must fail the
+    // lint run loudly rather than silently accept everything.
+    debug_assert!(naming::validate().is_empty());
+    for i in 0..ctx.tokens.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let id = ctx.ident(i);
+        let family = match id {
+            // Method calls on a metrics registry / snapshot / span set.
+            "counter" if ctx.punct(i.wrapping_sub(1), '.') => Family::Counter,
+            "gauge" if ctx.punct(i.wrapping_sub(1), '.') => Family::Gauge,
+            "histogram" if ctx.punct(i.wrapping_sub(1), '.') => Family::Histogram,
+            "span" if ctx.punct(i.wrapping_sub(1), '.') => Family::Span,
+            // The dataflow `Counters` API takes the name as an argument.
+            "inc" | "add" if ctx.punct(i.wrapping_sub(1), '.') => Family::Counter,
+            // Journal events: `Event::new("kind")` — `::` lexes as two
+            // `:` tokens.
+            "new"
+                if ctx.punct(i.wrapping_sub(1), ':')
+                    && ctx.punct(i.wrapping_sub(2), ':')
+                    && ctx.ident(i.wrapping_sub(3)) == "Event" =>
+            {
+                Family::JournalKind
+            }
+            _ => continue,
+        };
+        if !ctx.punct(i + 1, '(') {
+            continue;
+        }
+        let Some((name, name_tok)) = first_string_arg(ctx, i + 2) else {
+            continue;
+        };
+        if naming::is_fully_dynamic(&name) {
+            continue;
+        }
+        if !naming::is_registered(family, &name) {
+            let known: Vec<_> = naming::templates(family).collect();
+            ctx.report(
+                out,
+                name_tok,
+                "telemetry-conventions",
+                format!(
+                    "{} name {:?} is not in drybell-obs's naming registry (known: {})",
+                    family.as_str(),
+                    name,
+                    known.join(", ")
+                ),
+            );
+        }
+    }
+}
+
+/// The first argument starting at token `start` (just after the call's
+/// `(`), if it is a string literal or a `format!("literal", …)` —
+/// returning the literal and its token index. Leading `&` borrows are
+/// skipped; anything else (a variable, a method call) is unjudgeable
+/// statically and yields `None`.
+fn first_string_arg(ctx: &FileCtx, start: usize) -> Option<(String, usize)> {
+    let mut i = start;
+    while ctx.punct(i, '&') {
+        i += 1;
+    }
+    if let Some(TokenKind::Str(s)) = ctx.tokens.get(i).map(|t| &t.kind) {
+        return Some((s.clone(), i));
+    }
+    if ctx.ident(i) == "format" && ctx.punct(i + 1, '!') && ctx.punct(i + 2, '(') {
+        if let Some(TokenKind::Str(s)) = ctx.tokens.get(i + 3).map(|t| &t.kind) {
+            return Some((s.clone(), i + 3));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint_source;
+
+    fn rules(src: &str) -> Vec<(&'static str, u32)> {
+        lint_source("crates/drybell-lf/src/x.rs", src)
+            .into_iter()
+            .filter(|d| d.rule == "telemetry-conventions")
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn registered_names_pass() {
+        let src = r#"
+fn f(m: &MetricsRegistry, t: &Telemetry) {
+    m.counter("nlp_calls").inc();
+    m.gauge("nlp_cache/size").set(1);
+    m.histogram("obs/nlp/annotate_us").record(2);
+    t.span("lf_exec/in_memory");
+    t.emit(Event::new("lf_execution"));
+}
+"#;
+        assert!(rules(src).is_empty(), "{:?}", rules(src));
+    }
+
+    #[test]
+    fn unregistered_names_fire_per_family() {
+        let src = r#"
+fn f(m: &MetricsRegistry, t: &Telemetry) {
+    m.counter("votes");
+    m.gauge("cache_size");
+    m.histogram("train_step_ms");
+    t.span("mystery/phase");
+    t.emit(Event::new("vibes"));
+}
+"#;
+        let got = rules(src);
+        assert_eq!(
+            got.iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+            [3, 4, 5, 6, 7]
+        );
+    }
+
+    #[test]
+    fn format_literals_match_placeholders() {
+        let src = r#"
+fn f(m: &MetricsRegistry) {
+    m.counter(&format!("votes/{}", name));
+    m.histogram(&format!("obs/lf/{}/eval_us", name));
+    m.counter(&format!("tallies/{}", name));
+}
+"#;
+        assert_eq!(rules(src), [("telemetry-conventions", 5)]);
+    }
+
+    #[test]
+    fn dynamic_names_are_out_of_scope() {
+        let src = r#"
+fn f(m: &MetricsRegistry, name: &str) {
+    m.counter(name);
+    m.counter(&format!("{}/{}", a, b));
+}
+"#;
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn counters_api_inc_add_are_checked() {
+        let src = r#"
+fn f(c: &Counters) {
+    c.inc("nlp_calls");
+    c.add("nlp_cache/hits", 3);
+    c.inc("nlp_cals");
+}
+"#;
+        assert_eq!(rules(src), [("telemetry-conventions", 5)]);
+    }
+
+    #[test]
+    fn numeric_add_on_counters_is_ignored() {
+        let src = "fn f(c: &Counter) { c.add(3); c.inc(); }";
+        assert!(rules(src).is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Fixture tests: lint known-bad sources and assert the exact rule ids
+//! and lines, then assert the workspace itself lints clean (making the
+//! lint a tier-1 gate alongside `cargo test`).
+
+use drybell_lint::{lint_source, Diagnostic};
+
+fn lint_fixture(as_path: &str, name: &str) -> Vec<(String, u32)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let src =
+        std::fs::read_to_string(dir.join(name)).unwrap_or_else(|e| panic!("fixture {name}: {e}"));
+    lint_source(as_path, &src)
+        .into_iter()
+        .map(|d| (d.rule.to_string(), d.line))
+        .collect()
+}
+
+#[test]
+fn no_panic_fixture_finds_every_panic_site() {
+    let got = lint_fixture("crates/drybell-core/src/fixture.rs", "no_panic.rs");
+    let want = [
+        ("no-panic", 5),  // .unwrap()
+        ("no-panic", 6),  // .expect(...)
+        ("no-panic", 12), // panic!
+        ("no-panic", 14), // unreachable!
+        ("no-panic", 18), // todo!
+        ("no-panic-index", 22),
+        ("no-panic-index", 23),
+        ("no-panic-index", 24), // slice[0]
+        ("no-panic-index", 24), // m[&7]
+    ];
+    let want: Vec<(String, u32)> = want.iter().map(|(r, l)| (r.to_string(), *l)).collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn determinism_fixture_flags_rng_clock_and_unordered_maps() {
+    let got = lint_fixture("crates/drybell-dataflow/src/fixture.rs", "determinism.rs");
+    let want = [
+        ("determinism", 7),  // thread_rng
+        ("determinism", 12), // SystemTime
+        ("determinism", 17), // counts.iter()
+        ("determinism", 21), // for id in &ids
+    ];
+    let want: Vec<(String, u32)> = want.iter().map(|(r, l)| (r.to_string(), *l)).collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn telemetry_fixture_flags_only_off_registry_names() {
+    let got = lint_fixture("crates/drybell-lf/src/fixture.rs", "telemetry.rs");
+    let want = [
+        ("telemetry-conventions", 13),
+        ("telemetry-conventions", 14),
+        ("telemetry-conventions", 15),
+        ("telemetry-conventions", 16),
+        ("telemetry-conventions", 17),
+        ("telemetry-conventions", 18),
+    ];
+    let want: Vec<(String, u32)> = want.iter().map(|(r, l)| (r.to_string(), *l)).collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn lf_purity_fixture_flags_each_impure_closure() {
+    let got = lint_fixture("crates/drybell-datagen/src/fixture.rs", "lf_purity.rs");
+    let want = [
+        ("lf-purity", 10),   // println! in a plain LF
+        ("determinism", 15), // SystemTime is also a workspace-wide determinism finding
+        ("lf-purity", 15),   // ...and impure inside an NLP LF
+        ("lf-purity", 20),   // read_to_string in a graph LF
+    ];
+    let want: Vec<(String, u32)> = want.iter().map(|(r, l)| (r.to_string(), *l)).collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn suppression_fixture_honors_justified_and_rejects_blanket() {
+    let got = lint_fixture("crates/drybell-serving/src/fixture.rs", "suppression.rs");
+    let want = [
+        ("bad-suppression", 10), // allow(...) with no justification
+        ("no-panic-index", 11),  // ...so the finding still fires
+        ("bad-suppression", 15), // allow(no-such-rule)
+        ("no-panic-index", 16),  // ...so the finding still fires
+        ("no-panic-index", 20),  // plain unsuppressed site
+    ];
+    let want: Vec<(String, u32)> = want.iter().map(|(r, l)| (r.to_string(), *l)).collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn fixtures_report_full_diagnostic_format() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let src = std::fs::read_to_string(dir.join("no_panic.rs")).unwrap();
+    let diags: Vec<Diagnostic> = lint_source("crates/drybell-core/src/fixture.rs", &src);
+    let first = diags.first().expect("fixture has findings");
+    let rendered = first.to_string();
+    assert!(
+        rendered.starts_with("crates/drybell-core/src/fixture.rs:5:"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("no-panic"), "{rendered}");
+}
+
+/// The whole point of the pass: the workspace itself has zero
+/// diagnostics. Every suppression in tree carries a justification or
+/// this test fails via `bad-suppression`.
+#[test]
+fn workspace_lints_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let diags = drybell_lint::lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint findings:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,31 @@
+//! Fixture: nondeterminism sources the `determinism` rule catches.
+//! Linted as if it were drybell-dataflow source.
+
+use std::collections::{HashMap, HashSet};
+
+fn unseeded_rng() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}
+
+fn wall_clock() -> bool {
+    SystemTime::now().elapsed().is_ok()
+}
+
+fn unordered_iteration(tallies: &mut Vec<String>) {
+    let counts: HashMap<String, u64> = HashMap::new();
+    for (k, _v) in counts.iter() {
+        tallies.push(k.clone());
+    }
+    let ids: HashSet<u64> = HashSet::new();
+    for id in &ids {
+        tallies.push(id.to_string());
+    }
+}
+
+fn ordered_is_fine(tallies: &mut Vec<String>) {
+    let ordered: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for (k, _v) in ordered.iter() {
+        tallies.push(k.clone());
+    }
+}

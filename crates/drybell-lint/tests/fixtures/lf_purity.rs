@@ -1,0 +1,24 @@
+//! Fixture: impure labeling-function closures.
+//! Linted as if it were drybell-datagen source.
+
+fn lfs() -> Vec<Lf<Doc>> {
+    vec![
+        // Pure: a function of the example alone.
+        Lf::plain(meta("kw_clean"), |d: &Doc| keyword_vote(&d.text)),
+        // Impure: console I/O inside the vote function.
+        Lf::plain(meta("kw_chatty"), |d: &Doc| {
+            println!("voting on {}", d.id);
+            keyword_vote(&d.text)
+        }),
+        // Impure: wall-clock read inside an NLP vote function.
+        Lf::nlp(meta("ner_flaky"), |_d: &Doc, nlp: &NlpResult| {
+            let _deadline = SystemTime::now();
+            ner_vote(nlp)
+        }),
+        // Impure: filesystem side-channel in a graph vote function.
+        Lf::graph(meta("kg_leaky"), |d: &Doc, kg: &KnowledgeGraph| {
+            let _side = std::fs::read_to_string("extra_votes.txt");
+            kg_vote(d, kg)
+        }),
+    ]
+}

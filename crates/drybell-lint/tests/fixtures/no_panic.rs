@@ -1,0 +1,30 @@
+//! Fixture: every way production code can panic that `no-panic` and
+//! `no-panic-index` catch. Linted as if it were drybell-core source.
+
+fn unwraps(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = r.expect("always ok");
+    a + b
+}
+
+fn macros(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+    unreachable!();
+}
+
+fn stubs() {
+    todo!()
+}
+
+fn indexing(v: &[u32], m: &std::collections::BTreeMap<u32, u32>) -> u32 {
+    let first = v[0];
+    let slice = &v[1..3];
+    first + slice[0] + m[&7]
+}
+
+fn fine(v: &[u32]) -> u32 {
+    // .get() is the panic-free spelling the rule asks for.
+    v.get(0).copied().unwrap_or(0)
+}

@@ -1,0 +1,21 @@
+//! Fixture: the suppression grammar — honored when justified, rejected
+//! when blanket. Linted as if it were drybell-serving source.
+
+fn justified(v: &[u32]) -> u32 {
+    // drybell-lint: allow(no-panic-index) — index is bounds-checked by the caller's contract
+    v[0]
+}
+
+fn blanket(v: &[u32]) -> u32 {
+    // drybell-lint: allow(no-panic-index)
+    v[1]
+}
+
+fn unknown_rule(v: &[u32]) -> u32 {
+    // drybell-lint: allow(no-such-rule) — this rule id does not exist anywhere
+    v[2]
+}
+
+fn unsuppressed(v: &[u32]) -> u32 {
+    v[3]
+}

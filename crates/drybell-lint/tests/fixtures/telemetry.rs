@@ -1,0 +1,19 @@
+//! Fixture: telemetry names off the drybell-obs registry.
+//! Linted as if it were drybell-lf source.
+
+fn instruments(m: &MetricsRegistry, t: &Telemetry, c: &mut CounterHandle) {
+    // Registered names: all fine.
+    m.counter("nlp_calls").inc();
+    m.counter(&format!("votes/{}", "kw_spam")).inc();
+    m.histogram("obs/serving/score_us").record(12);
+    t.span("run/fit");
+    c.inc("nlp_cache/hits");
+
+    // Off-registry names: one diagnostic each.
+    m.counter("nlp_callz").inc();
+    m.gauge("cache_size").set(3);
+    m.histogram("serving_score_ms").record(12);
+    t.span("mystery/phase");
+    t.emit(Event::new("vibes"));
+    c.inc(&format!("tallies/{}", "kw_spam"));
+}

@@ -1,0 +1,299 @@
+//! Model checks for the workspace's two lock-composition protocols:
+//! the dataflow counter merge and the cached NLP server's two-phase
+//! annotate. Each model mirrors its implementation step-for-step, one
+//! model step per critical section (or thread-local action), and is
+//! checked over **every** interleaving.
+
+use drybell_modelcheck::{explore, explore_final, ModelThread};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------------
+// Counters: local tallies merged under one lock (drybell-dataflow)
+// ---------------------------------------------------------------------------
+
+/// Mirror of `Counters` + per-worker `CounterHandle`s: workers tally
+/// into thread-local maps (no lock), then `flush` merges the whole
+/// tally in one critical section.
+#[derive(Clone, Default)]
+struct CountersModel {
+    global: BTreeMap<&'static str, u64>,
+    locals: Vec<BTreeMap<&'static str, u64>>,
+}
+
+impl CountersModel {
+    fn with_workers(n: usize) -> CountersModel {
+        CountersModel {
+            global: BTreeMap::new(),
+            locals: vec![BTreeMap::new(); n],
+        }
+    }
+
+    fn local_inc(&mut self, worker: usize, name: &'static str) {
+        if let Some(local) = self.locals.get_mut(worker) {
+            *local.entry(name).or_insert(0) += 1;
+        }
+    }
+
+    /// One critical section: merge and clear the worker's tally
+    /// (`Counters::merge` called from `CounterHandle::flush`).
+    fn flush(&mut self, worker: usize) {
+        if let Some(local) = self.locals.get_mut(worker) {
+            let drained = std::mem::take(local);
+            for (name, n) in drained {
+                *self.global.entry(name).or_insert(0) += n;
+            }
+        }
+    }
+}
+
+#[test]
+fn counter_merge_is_exact_under_all_interleavings() {
+    // Three workers, overlapping counter names, interleaved flushes —
+    // including a mid-stream flush (worker 2 flushes between tallies,
+    // like a long-lived handle would on an explicit flush() call).
+    let threads: Vec<ModelThread<CountersModel>> = vec![
+        ModelThread::new(
+            "w0",
+            vec![
+                Box::new(|s: &mut CountersModel| s.local_inc(0, "nlp_calls")),
+                Box::new(|s: &mut CountersModel| s.local_inc(0, "votes/kw")),
+                Box::new(|s: &mut CountersModel| s.flush(0)),
+            ],
+        ),
+        ModelThread::new(
+            "w1",
+            vec![
+                Box::new(|s: &mut CountersModel| s.local_inc(1, "nlp_calls")),
+                Box::new(|s: &mut CountersModel| s.local_inc(1, "nlp_calls")),
+                Box::new(|s: &mut CountersModel| s.flush(1)),
+            ],
+        ),
+        ModelThread::new(
+            "w2",
+            vec![
+                Box::new(|s: &mut CountersModel| s.local_inc(2, "votes/kw")),
+                Box::new(|s: &mut CountersModel| s.flush(2)),
+                Box::new(|s: &mut CountersModel| s.local_inc(2, "votes/kw")),
+                Box::new(|s: &mut CountersModel| s.flush(2)),
+            ],
+        ),
+    ];
+    let stats = explore_final(&CountersModel::with_workers(3), &threads, &|s| {
+        let nlp = s.global.get("nlp_calls").copied().unwrap_or(0);
+        let votes = s.global.get("votes/kw").copied().unwrap_or(0);
+        if nlp != 3 || votes != 3 {
+            return Some(format!("expected 3/3, got nlp={nlp} votes={votes}"));
+        }
+        if s.locals.iter().any(|l| !l.is_empty()) {
+            return Some("unflushed local tally".to_string());
+        }
+        None
+    })
+    .unwrap_or_else(|v| panic!("counter merge violated: {v}"));
+    // 10 steps over 3 threads: the search is genuinely exhaustive.
+    assert_eq!(stats.interleavings, 4200); // 10! / (3!·3!·4!)
+}
+
+// ---------------------------------------------------------------------------
+// Cached NLP server: lookup / compute / insert-or-evict (drybell-nlp)
+// ---------------------------------------------------------------------------
+
+/// Mirror of `CachedNlpServer`'s `CacheState` plus per-thread
+/// annotate-call progress. The value type is irrelevant to the
+/// protocol, so entries are just keys.
+#[derive(Clone)]
+struct CacheModel {
+    capacity: usize,
+    map: BTreeMap<u64, ()>,
+    ring: Vec<u64>,
+    cursor: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    /// Per-thread: `Some(key)` between a missed lookup and its insert.
+    pending: Vec<Option<u64>>,
+    finished: u64,
+}
+
+impl CacheModel {
+    fn new(capacity: usize, threads: usize) -> CacheModel {
+        CacheModel {
+            capacity,
+            map: BTreeMap::new(),
+            ring: Vec::new(),
+            cursor: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            pending: vec![None; threads],
+            finished: 0,
+        }
+    }
+
+    /// Critical section 1 of `annotate`: hit → done, miss → compute.
+    fn lookup(&mut self, thread: usize, key: u64) {
+        if self.map.contains_key(&key) {
+            self.hits += 1;
+            self.finished += 1;
+        } else {
+            self.misses += 1;
+            if let Some(p) = self.pending.get_mut(thread) {
+                *p = Some(key);
+            }
+        }
+    }
+
+    /// Critical section 2, as shipped before the double-miss fix: no
+    /// re-check, so a concurrent inserter of the same key leads to a
+    /// duplicate ring entry.
+    fn insert_without_recheck(&mut self, thread: usize) {
+        let Some(key) = self.pending.get_mut(thread).and_then(Option::take) else {
+            return;
+        };
+        self.insert_body(key);
+        self.finished += 1;
+    }
+
+    /// Critical section 2 as shipped: re-check the map first, because
+    /// another worker may have missed on the same key concurrently and
+    /// inserted while this one was computing.
+    fn insert_with_recheck(&mut self, thread: usize) {
+        let Some(key) = self.pending.get_mut(thread).and_then(Option::take) else {
+            return;
+        };
+        if !self.map.contains_key(&key) {
+            self.insert_body(key);
+        }
+        self.finished += 1;
+    }
+
+    fn insert_body(&mut self, key: u64) {
+        if self.map.len() >= self.capacity {
+            if let Some(slot) = self.ring.get_mut(self.cursor) {
+                self.map.remove(&*slot);
+                *slot = key;
+            }
+            self.cursor = (self.cursor + 1) % self.capacity;
+            self.evictions += 1;
+        } else {
+            self.ring.push(key);
+        }
+        self.map.insert(key, ());
+    }
+
+    /// The structural invariants `CachedNlpServer` relies on: the ring
+    /// is exactly the map's key set (so eviction always frees a real
+    /// entry) and the table never exceeds capacity.
+    fn structural_invariant(&self) -> Option<String> {
+        if self.map.len() > self.capacity {
+            return Some(format!(
+                "capacity exceeded: {} > {}",
+                self.map.len(),
+                self.capacity
+            ));
+        }
+        if self.ring.len() != self.map.len() {
+            return Some(format!(
+                "ring/map divergence: ring {} vs map {}",
+                self.ring.len(),
+                self.map.len()
+            ));
+        }
+        if self.ring.iter().any(|k| !self.map.contains_key(k)) {
+            return Some("stale ring slot (key not in map)".to_string());
+        }
+        None
+    }
+}
+
+fn annotate_thread(
+    name: &'static str,
+    thread: usize,
+    key: u64,
+    recheck: bool,
+) -> ModelThread<CacheModel> {
+    let insert = move |s: &mut CacheModel| {
+        if recheck {
+            s.insert_with_recheck(thread);
+        } else {
+            s.insert_without_recheck(thread);
+        }
+    };
+    ModelThread::new(
+        name,
+        vec![
+            Box::new(move |s: &mut CacheModel| s.lookup(thread, key)),
+            Box::new(insert),
+        ],
+    )
+}
+
+#[test]
+fn cache_double_miss_without_recheck_breaks_the_ring() {
+    // Two threads annotate the same text concurrently; both miss and
+    // both insert. Without the re-check the second insert duplicates
+    // the ring entry — the explorer reports the exact schedule.
+    let threads = vec![
+        annotate_thread("t0", 0, 7, false),
+        annotate_thread("t1", 1, 7, false),
+    ];
+    let violation = explore(
+        &CacheModel::new(2, 2),
+        &threads,
+        &|s| s.structural_invariant(),
+        &|_| None,
+    )
+    .expect_err("the double-miss schedule must be found");
+    assert!(
+        violation.message.contains("ring/map divergence"),
+        "unexpected violation: {violation}"
+    );
+    assert_eq!(violation.schedule, ["t0", "t1", "t0", "t1"]);
+}
+
+#[test]
+fn cache_annotate_with_recheck_holds_invariants_everywhere() {
+    // Same-key contention plus a third thread forcing eviction at
+    // capacity 1: every interleaving keeps the structure legal and
+    // every call completes with hits + misses == calls.
+    let threads = vec![
+        annotate_thread("t0", 0, 7, true),
+        annotate_thread("t1", 1, 7, true),
+        annotate_thread("t2", 2, 9, true),
+    ];
+    let stats = explore(
+        &CacheModel::new(1, 3),
+        &threads,
+        &|s| s.structural_invariant(),
+        &|s| {
+            if s.finished != 3 {
+                return Some(format!("{} of 3 calls completed", s.finished));
+            }
+            if s.hits + s.misses != 3 {
+                return Some(format!("stats drift: {} + {} != 3", s.hits, s.misses));
+            }
+            None
+        },
+    )
+    .unwrap_or_else(|v| panic!("cache protocol violated: {v}"));
+    assert_eq!(stats.interleavings, 90); // 6! / (2!·2!·2!)
+}
+
+#[test]
+fn cache_eviction_cycles_hold_at_larger_capacity() {
+    // Distinct keys rolling through a capacity-2 table: eviction takes
+    // over after the table fills, and the bound holds on every path.
+    let threads = vec![
+        annotate_thread("a", 0, 1, true),
+        annotate_thread("b", 1, 2, true),
+        annotate_thread("c", 2, 3, true),
+    ];
+    let stats = explore(
+        &CacheModel::new(2, 3),
+        &threads,
+        &|s| s.structural_invariant(),
+        &|s| (s.map.len() != 2).then(|| format!("expected a full table, got {}", s.map.len())),
+    )
+    .unwrap_or_else(|v| panic!("eviction model violated: {v}"));
+    assert_eq!(stats.interleavings, 90);
+}

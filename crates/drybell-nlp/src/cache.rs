@@ -106,6 +106,15 @@ impl CachedNlpServer {
         // other workers shouldn't serialize behind it.
         let result = self.inner.annotate(text);
         let mut state = self.state.lock();
+        if state.map.contains_key(&key) {
+            // Another worker missed on the same key and inserted while we
+            // were computing. Keep theirs: inserting again would push a
+            // duplicate ring entry, and a later eviction of one copy
+            // leaves the other pointing at nothing — from there the
+            // capacity bound decays (the drybell-modelcheck cache model
+            // finds exactly this schedule).
+            return result;
+        }
         if state.map.len() >= self.capacity {
             let cursor = state.cursor;
             let evict = state.ring[cursor];
@@ -126,18 +135,23 @@ impl CachedNlpServer {
     }
 
     /// Publish the current [`CacheStats`] into `metrics` as the gauges
-    /// `nlp_cache/hits`, `nlp_cache/misses`, and `nlp_cache/evictions`.
+    /// `nlp_cache/hits`, `nlp_cache/misses`, `nlp_cache/evictions`, and
+    /// `nlp_cache/size` (resident entries).
     ///
     /// Gauges (not counters) because this is a point-in-time export of an
     /// absolute level: calling it again overwrites rather than
     /// double-counts.
     pub fn export_to(&self, metrics: &MetricsRegistry) {
-        let stats = self.stats();
+        let (stats, size) = {
+            let state = self.state.lock();
+            (state.stats, state.map.len())
+        };
         metrics.gauge("nlp_cache/hits").set(stats.hits as i64);
         metrics.gauge("nlp_cache/misses").set(stats.misses as i64);
         metrics
             .gauge("nlp_cache/evictions")
             .set(stats.evictions as i64);
+        metrics.gauge("nlp_cache/size").set(size as i64);
     }
 }
 

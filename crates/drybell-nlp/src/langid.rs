@@ -152,6 +152,7 @@ fn trigrams(text: &str) -> HashMap<[u8; 3], f64> {
         total += 1.0;
     }
     if total > 0.0 {
+        // drybell-lint: allow(determinism) — scaling every value by the same constant commutes with visit order
         for v in counts.values_mut() {
             *v /= total;
         }

@@ -25,6 +25,10 @@
 //! counters keep their MapReduce names (`votes/<lf>`, `nlp_calls`,
 //! `nlp_cache/hits`); instruments owned by this layer are namespaced
 //! `obs/<area>/<metric>`, with `_us` suffixing microsecond histograms.
+//! The machine-readable form of that convention is [`naming::REGISTRY`]:
+//! every name production code emits is declared there, and
+//! `drybell-lint`'s `telemetry-conventions` rule checks call sites
+//! against it.
 //!
 //! [`MetricsRegistry`]: metrics::MetricsRegistry
 //! [`SpanSet`]: span::SpanSet
@@ -36,6 +40,7 @@
 pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod naming;
 pub mod report;
 pub mod span;
 

@@ -111,8 +111,9 @@ impl SpanSnapshot {
     pub fn get(&self, path: &str) -> Option<SpanStat> {
         self.entries
             .binary_search_by(|(k, _)| k.as_str().cmp(path))
-            .map(|i| self.entries[i].1)
             .ok()
+            .and_then(|i| self.entries.get(i))
+            .map(|(_, stat)| *stat)
     }
 }
 

@@ -166,9 +166,13 @@ mod tests {
         let registry = ServingRegistry::new(spaces, 1_000);
         let h = FeatureHasher::new(1 << 10);
         let train = |pos_token: &str| {
+            // Two negatives to one positive: the learned bias is clearly
+            // negative, so tokens a model never saw score below 0.5
+            // regardless of the RNG-driven example order during training.
             let data = vec![
                 (h.bag_of_words(&[pos_token]), 1.0),
                 (h.bag_of_words(&["nothing"]), 0.0),
+                (h.bag_of_words(&["filler"]), 0.0),
             ];
             let mut m = LogisticRegression::new(
                 1 << 10,

@@ -1,0 +1,273 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the upstream API shape used by `drybell-bench` (groups,
+//! throughput, `bench_with_input`, the `criterion_group!` /
+//! `criterion_main!` macros) but replaces the statistical machinery
+//! with a simple warmup + timed-mean loop and a plain-text report.
+//! When the binary is invoked with `--test` (as `cargo test` does for
+//! `harness = false` bench targets), each benchmark body runs exactly
+//! once for a smoke check and nothing is timed.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples to collect per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self.sample_size, self.test_mode, f);
+        print_report(name, None, &report);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let report = run_bench(self.criterion.sample_size, self.criterion.test_mode, f);
+        print_report(&format!("{}/{}", self.name, id.0), self.throughput, &report);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (report output is incremental, so this only
+    /// exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>`.
+    pub fn new(function_name: &str, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Just the parameter as the name.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// Work performed per iteration, for deriving rates in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to each benchmark closure; `iter` times the hot loop.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Time `routine`, collecting one duration per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warmup: one untimed call so lazy init and cold caches don't
+        // land in the first sample.
+        std::hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+struct Report {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    ran: bool,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(sample_size: usize, test_mode: bool, mut f: F) -> Report {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        test_mode,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        return Report {
+            mean: Duration::ZERO,
+            min: Duration::ZERO,
+            max: Duration::ZERO,
+            ran: false,
+        };
+    }
+    let total: Duration = b.samples.iter().sum();
+    Report {
+        mean: total / b.samples.len() as u32,
+        min: b.samples.iter().min().copied().unwrap_or_default(),
+        max: b.samples.iter().max().copied().unwrap_or_default(),
+        ran: true,
+    }
+}
+
+fn print_report(name: &str, throughput: Option<Throughput>, report: &Report) {
+    if !report.ran {
+        println!("{name:<48} ok (test mode)");
+        return;
+    }
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / report.mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 / report.mean.as_secs_f64())
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<48} mean {:>12?}  [{:?} .. {:?}]{rate}",
+        report.mean, report.min, report.max
+    );
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point running every group passed to it.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let report = run_bench(3, false, |b| b.iter(|| 1 + 1));
+        assert!(report.ran);
+        assert!(report.min <= report.mean && report.mean <= report.max);
+    }
+
+    #[test]
+    fn test_mode_runs_once_without_timing() {
+        let mut calls = 0;
+        let report = run_bench(5, true, |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(!report.ran);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 4).0, "f/4");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

@@ -1,0 +1,362 @@
+//! Offline stand-in for `serde`.
+//!
+//! Real `serde` streams through visitor-based (de)serializers; this
+//! stand-in goes through an owned [`Value`] tree instead, which is all
+//! the workspace needs (model export/import JSON in `drybell-serving`).
+//! The `#[derive(Serialize, Deserialize)]` macros come from the sibling
+//! `serde_derive` crate, hand-written against `proc_macro` because `syn`
+//! is not available offline.
+//!
+//! Determinism note: maps serialize with **sorted keys**, so serialized
+//! artifacts are byte-identical across runs even when built from a
+//! `HashMap` (see the repo's `determinism` lint rule).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order is preserved when rendering.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced while converting a [`Value`] into a typed structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Construct from anything displayable.
+    pub fn msg(m: impl std::fmt::Display) -> Error {
+        Error(m.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types renderable into a [`Value`].
+pub trait Serialize {
+    /// Convert to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Convert from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// --- primitives -----------------------------------------------------------
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as i128;
+                if i128::from(i64::MIN) <= wide && wide <= i128::from(i64::MAX) {
+                    Value::Int(wide as i64)
+                } else {
+                    Value::UInt(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                let (got, err): (Option<$t>, &str) = match v {
+                    Value::Int(i) => (<$t>::try_from(*i).ok(), "out of range"),
+                    Value::UInt(u) => (<$t>::try_from(*u).ok(), "out of range"),
+                    Value::Float(f) if f.fract() == 0.0 => {
+                        // Integral floats round-trip (JSON has one number type).
+                        (Some(*f as $t), "out of range")
+                    }
+                    _ => (None, "expected an integer"),
+                };
+                got.ok_or_else(|| {
+                    Error(format!("{err} for {}: {v:?}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            _ => Err(Error(format!("expected a number, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error(format!("expected a bool, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error(format!("expected a string, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+// --- containers -----------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error(format!("expected an array, got {v:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<($($name,)+), Error> {
+                const ARITY: usize = [$($idx),+].len();
+                match v {
+                    Value::Arr(items) if items.len() == ARITY => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(Error(format!(
+                        "expected an array of length {ARITY}, got {v:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        // Sorted for run-to-run byte-identical output.
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(fields)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<HashMap<String, V>, Error> {
+        match v {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(Error(format!("expected an object, got {v:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<BTreeMap<String, V>, Error> {
+        match v {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(Error(format!("expected an object, got {v:?}"))),
+        }
+    }
+}
+
+/// Support machinery for `serde_derive`-generated code. Not a public
+/// API; code outside the generated impls should not call these.
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Deserialize the named field of an object value.
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+        match v.get(name) {
+            Some(inner) => T::from_value(inner).map_err(|e| Error(format!("field `{name}`: {e}"))),
+            None => Err(Error(format!("missing field `{name}` in {v:?}"))),
+        }
+    }
+
+    /// Error for an unrecognized enum variant tag.
+    pub fn unknown_variant(enum_name: &str, tag: &str) -> Error {
+        Error(format!("unknown variant `{tag}` for enum {enum_name}"))
+    }
+
+    /// Error for a value whose shape doesn't match the enum repr.
+    pub fn bad_enum_shape(enum_name: &str, v: &Value) -> Error {
+        Error(format!("cannot deserialize enum {enum_name} from {v:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_round_trip_through_values() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-3i64).to_value()), Ok(-3));
+        assert_eq!(u64::from_value(&u64::MAX.to_value()), Ok(u64::MAX));
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u32, 1.5f64), (2, -2.5)];
+        let val = v.to_value();
+        assert_eq!(Vec::<(u32, f64)>::from_value(&val), Ok(v));
+        let m: HashMap<String, u32> = [("b".to_string(), 2u32), ("a".to_string(), 1)]
+            .into_iter()
+            .collect();
+        match m.to_value() {
+            Value::Obj(fields) => {
+                let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, ["a", "b"], "map keys must serialize sorted");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u32>::from_value(&Value::Int(1)), Ok(Some(1)));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+    }
+}

@@ -1,0 +1,373 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crate parses items with `syn`; neither `syn` nor `quote`
+//! is available offline, so this macro walks the raw
+//! [`proc_macro::TokenStream`] by hand. That is enough because the
+//! derive only needs *shape* — struct vs. enum, field names, variant
+//! kinds — never field types: generated deserialization code infers
+//! each field's type from the struct-literal position it is written
+//! into.
+//!
+//! Supported input shapes (everything this workspace derives):
+//! - structs with named fields
+//! - tuple structs (arity 1 serializes transparently, like real serde's
+//!   newtype structs; higher arity serializes as an array)
+//! - enums whose variants are unit or newtype (`V` / `V(T)`)
+//!
+//! Unsupported shapes (generics, struct variants, unions) produce a
+//! `compile_error!` naming the limitation rather than misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the workspace `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+/// Derive the workspace `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Struct with named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple struct with the given arity.
+    Tuple(usize),
+    /// Enum variants: `(name, has_payload)`.
+    Enum(Vec<(String, bool)>),
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => generate(&name, &shape, which)
+            .parse()
+            .unwrap_or_else(|e| error(&format!("serde_derive generated invalid code: {e}"))),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error! literal")
+}
+
+// --- parsing --------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut toks = input.into_iter().peekable();
+
+    // Outer attributes (`#[...]`, including expanded doc comments) and
+    // visibility precede the item keyword.
+    let kind = loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                if s == "union" {
+                    return Err("serde derive: unions are not supported".into());
+                }
+                // e.g. `r#struct` never occurs here; anything else is
+                // an unexpected modifier we don't know.
+                return Err(format!("serde derive: unexpected token `{s}`"));
+            }
+            other => {
+                return Err(format!("serde derive: unexpected input {other:?}"));
+            }
+        }
+    };
+
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde derive: expected item name, got {other:?}")),
+    };
+
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde derive: generic type `{name}` is not supported by the offline stand-in"
+            ));
+        }
+    }
+
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Ok((name, Shape::Named(parse_named_fields(g.stream())?)))
+            } else {
+                Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if kind != "struct" {
+                return Err("serde derive: malformed enum body".into());
+            }
+            Ok((name, Shape::Tuple(count_tuple_fields(g.stream()))))
+        }
+        other => Err(format!("serde derive: expected item body, got {other:?}")),
+    }
+}
+
+/// Field names of a `{ ... }` struct body, in order.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        let field = loop {
+            match toks.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    return Err(format!("serde derive: unexpected field token {other:?}"));
+                }
+            }
+        };
+        fields.push(field);
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde derive: expected `:`, got {other:?}")),
+        }
+        // Skip the type up to the next top-level comma. Generic
+        // argument lists (`HashMap<String, u32>`) contain commas, so
+        // track `<`/`>` depth; bracketed/parenthesized types arrive as
+        // single groups and need no handling.
+        let mut angle_depth = 0usize;
+        loop {
+            match toks.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Arity of a `( ... )` tuple-struct body (top-level comma count + 1).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut saw_any = false;
+    let mut angle_depth = 0usize;
+    for tok in body {
+        saw_any = true;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => arity += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_any {
+        arity + 1
+    } else {
+        0
+    }
+}
+
+/// Variants of an enum body as `(name, has_payload)`.
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, bool)>, String> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        let name = loop {
+            match toks.next() {
+                None => return Ok(variants),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    return Err(format!("serde derive: unexpected variant token {other:?}"));
+                }
+            }
+        };
+        let mut has_payload = false;
+        // What follows the name: `(T)`, `{...}`, `= disc`, `,`, or end.
+        loop {
+            match toks.next() {
+                None => {
+                    variants.push((name, has_payload));
+                    return Ok(variants);
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    if count_tuple_fields(g.stream()) != 1 {
+                        return Err(format!(
+                            "serde derive: variant `{name}` must be unit or single-payload"
+                        ));
+                    }
+                    has_payload = true;
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    return Err(format!(
+                        "serde derive: struct variant `{name}` is not supported"
+                    ));
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {} // discriminant tokens after `=`
+            }
+        }
+        variants.push((name, has_payload));
+    }
+}
+
+// --- code generation ------------------------------------------------------
+
+fn generate(name: &str, shape: &Shape, which: Which) -> String {
+    match which {
+        Which::Serialize => generate_serialize(name, shape),
+        Which::Deserialize => generate_deserialize(name, shape),
+    }
+}
+
+fn generate_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Obj(vec![{}])", pairs.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, has_payload)| {
+                    if *has_payload {
+                        format!(
+                            "{name}::{v}(__x) => ::serde::Value::Obj(vec![({v:?}.to_string(), \
+                             ::serde::Serialize::to_value(__x))]),"
+                        )
+                    } else {
+                        format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),")
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \x20   fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn generate_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__v, {f:?})?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 \x20   ::serde::Value::Arr(__items) if __items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({inits})),\n\
+                 \x20   __other => ::std::result::Result::Err(\
+                 ::serde::__private::bad_enum_shape({name:?}, __other)),\n\
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, has_payload)| !has_payload)
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, has_payload)| *has_payload)
+                .map(|(v, _)| {
+                    format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(&__fields[0].1)?)),"
+                    )
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 \x20   ::serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+                 \x20       {unit}\n\
+                 \x20       __t => ::std::result::Result::Err(\
+                 ::serde::__private::unknown_variant({name:?}, __t)),\n\
+                 \x20   }},\n\
+                 \x20   ::serde::Value::Obj(__fields) if __fields.len() == 1 => \
+                 match __fields[0].0.as_str() {{\n\
+                 \x20       {payload}\n\
+                 \x20       __t => ::std::result::Result::Err(\
+                 ::serde::__private::unknown_variant({name:?}, __t)),\n\
+                 \x20   }},\n\
+                 \x20   __other => ::std::result::Result::Err(\
+                 ::serde::__private::bad_enum_shape({name:?}, __other)),\n\
+                 }}",
+                unit = unit_arms.join("\n        "),
+                payload = payload_arms.join("\n        "),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         \x20   fn from_value(__v: &::serde::Value) -> ::std::result::Result<{name}, ::serde::Error> {{\n\
+         \x20       {body}\n\
+         \x20   }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,78 @@
+//! Offline stand-in for `tempfile`.
+//!
+//! Provides [`tempdir`] / [`TempDir`]: a uniquely named directory under
+//! [`std::env::temp_dir`] that is removed (best-effort) on drop. Unique
+//! names come from the process id plus a process-wide counter, so
+//! parallel tests in one process and concurrent test processes cannot
+//! collide.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A temporary directory deleted when the handle drops.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Keep the directory, returning its path without deleting it.
+    pub fn into_path(mut self) -> PathBuf {
+        std::mem::take(&mut self.path)
+    }
+
+    /// Delete the directory now, reporting any I/O error (drop swallows
+    /// them).
+    pub fn close(mut self) -> std::io::Result<()> {
+        let path = std::mem::take(&mut self.path);
+        std::fs::remove_dir_all(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if !self.path.as_os_str().is_empty() {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+/// Create a fresh temporary directory.
+pub fn tempdir() -> std::io::Result<TempDir> {
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let path = std::env::temp_dir().join(format!("drybell-tmp-{}-{}", std::process::id(), id));
+    std::fs::create_dir_all(&path)?;
+    Ok(TempDir { path })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tempdirs_are_unique_and_cleaned_up() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists());
+        assert!(b.path().is_dir());
+    }
+
+    #[test]
+    fn close_reports_success() {
+        let d = tempdir().unwrap();
+        let p = d.path().to_path_buf();
+        d.close().unwrap();
+        assert!(!p.exists());
+    }
+}
