@@ -35,6 +35,17 @@ pub enum CodecError {
     InvalidTag(u8),
     /// Trailing bytes remained after a complete decode.
     TrailingBytes(usize),
+    /// The shard commit footer was absent or malformed — the file is
+    /// torn, truncated, or still being written.
+    MissingFooter,
+    /// The footer's committed record count disagreed with the records
+    /// actually framed in the file.
+    RecordCountMismatch {
+        /// Count recorded in the commit footer.
+        expected: u64,
+        /// Records actually decoded from the frames.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -51,6 +62,15 @@ impl fmt::Display for CodecError {
             CodecError::InvalidUtf8 => write!(f, "invalid UTF-8 in string field"),
             CodecError::InvalidTag(t) => write!(f, "invalid discriminant tag {t}"),
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after record"),
+            CodecError::MissingFooter => {
+                write!(f, "missing or malformed shard commit footer (torn file?)")
+            }
+            CodecError::RecordCountMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "shard footer promises {expected} records but {actual} were framed"
+                )
+            }
         }
     }
 }
@@ -239,6 +259,56 @@ pub fn get_frame<'a>(buf: &mut &'a [u8]) -> Result<&'a [u8], CodecError> {
 }
 
 // ---------------------------------------------------------------------------
+// Commit footer
+// ---------------------------------------------------------------------------
+
+/// Total size in bytes of the commit footer appended by [`put_footer`]:
+/// an 8-byte magic, an 8-byte record count, and a 4-byte CRC-32 over
+/// both.
+pub const FOOTER_LEN: usize = 20;
+
+/// Magic marking a committed shard file (`b"DRYBELLF"` little-endian).
+const FOOTER_MAGIC: u64 = u64::from_le_bytes(*b"DRYBELLF");
+
+/// Append the shard commit footer: magic, `record_count`, and a CRC-32
+/// over both. `ShardWriter::finish` writes this as the last bytes of a
+/// shard before the atomic rename; its absence marks a torn or
+/// in-progress file that readers must reject.
+pub fn put_footer(out: &mut Vec<u8>, record_count: u64) {
+    let mut body = Vec::with_capacity(16);
+    body.extend_from_slice(&FOOTER_MAGIC.to_le_bytes());
+    body.extend_from_slice(&record_count.to_le_bytes());
+    let crc = crc32(&body);
+    out.extend_from_slice(&body);
+    out.put_u32_le(crc);
+}
+
+/// Split a fully-buffered shard image into its frame bytes and the
+/// committed record count, validating the footer's magic and checksum.
+pub fn split_footer(buf: &[u8]) -> Result<(&[u8], u64), CodecError> {
+    let Some(frames_len) = buf.len().checked_sub(FOOTER_LEN) else {
+        return Err(CodecError::MissingFooter);
+    };
+    let (frames, footer) = buf.split_at(frames_len);
+    let (body, mut crc_bytes) = footer.split_at(16);
+    let mut cursor = body;
+    let magic = cursor.get_u64_le();
+    let count = cursor.get_u64_le();
+    let stored = crc_bytes.get_u32_le();
+    if magic != FOOTER_MAGIC {
+        return Err(CodecError::MissingFooter);
+    }
+    let actual = crc32(body);
+    if actual != stored {
+        return Err(CodecError::ChecksumMismatch {
+            expected: stored,
+            actual,
+        });
+    }
+    Ok((frames, count))
+}
+
+// ---------------------------------------------------------------------------
 // Record impls for common types
 // ---------------------------------------------------------------------------
 
@@ -333,6 +403,42 @@ pub fn decode_record<R: Record>(mut buf: &[u8]) -> Result<R, CodecError> {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn footer_roundtrips() {
+        let mut buf = Vec::new();
+        put_frame(&mut buf, b"payload");
+        let frames_len = buf.len();
+        put_footer(&mut buf, 7);
+        assert_eq!(buf.len(), frames_len + FOOTER_LEN);
+        let (frames, count) = split_footer(&buf).unwrap();
+        assert_eq!(frames.len(), frames_len);
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn footer_missing_or_short_is_rejected() {
+        // Too short to even hold a footer.
+        assert_eq!(split_footer(b"abc"), Err(CodecError::MissingFooter));
+        // Long enough but no magic: a torn file of well-formed frames.
+        let mut buf = Vec::new();
+        for _ in 0..8 {
+            put_frame(&mut buf, b"frame without any commit marker");
+        }
+        assert_eq!(split_footer(&buf), Err(CodecError::MissingFooter));
+    }
+
+    #[test]
+    fn footer_crc_corruption_is_detected() {
+        let mut buf = Vec::new();
+        put_footer(&mut buf, 3);
+        // Flip a bit inside the count field: magic still matches, CRC no.
+        buf[10] ^= 0x01;
+        assert!(matches!(
+            split_footer(&buf),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+    }
 
     #[test]
     fn crc32_known_vectors() {

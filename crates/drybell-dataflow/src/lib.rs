@@ -15,8 +15,10 @@
 //! * [`mapreduce`] — the job engine: shard-parallel maps with per-worker
 //!   state (the hook DryBell uses to launch an NLP model server per
 //!   compute node), a full map-shuffle-reduce with optional combining,
-//!   job counters, and fail-fast error/panic propagation.
+//!   job counters, and per-shard retry with atomic shard commits.
 //! * [`counters`] — named job counters in the MapReduce tradition.
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]) used by the
+//!   chaos test suite to exercise the retry and skip paths.
 //!
 //! The engine is deliberately synchronous and thread-based: the paper's
 //! scalability claims are about *architecture* (decoupled LF execution,
@@ -29,6 +31,7 @@
 pub mod codec;
 pub mod counters;
 pub mod error;
+pub mod fault;
 pub mod mapreduce;
 pub mod pipeline;
 pub mod shard;
@@ -39,6 +42,7 @@ mod tests_mapreduce;
 pub use codec::{CodecError, Record};
 pub use counters::{CounterHandle, CounterSnapshot, Counters};
 pub use error::DataflowError;
+pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use mapreduce::{
     map_reduce, par_map_shards, par_map_vec, reference_map_reduce, Emit, JobConfig, JobStats,
     PhaseStats, Service, WorkerContext,

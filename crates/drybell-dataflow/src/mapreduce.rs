@@ -11,11 +11,17 @@
 //! * jobs expose named counters and wall-clock stats,
 //! * a full shuffle ([`map_reduce`]) with optional map-side combining is
 //!   available for aggregation pipelines,
-//! * worker panics and user errors abort the job and surface as
+//! * failures are handled the way production MapReduce handles them
+//!   (§5.4's pipelines assume workers die routinely): a failed or
+//!   panicked shard attempt is retried on whichever worker is free, up
+//!   to [`JobConfig::max_attempts`], with shard outputs committed
+//!   atomically so retries are idempotent; only exhausted retries (or
+//!   unrecoverable configuration errors) abort the job and surface as
 //!   [`DataflowError`]s rather than hanging.
 
 use crate::counters::{CounterHandle, CounterSnapshot, Counters};
 use crate::error::DataflowError;
+use crate::fault::{FaultKind, FaultPlan, FaultSite};
 use crate::shard::{ShardReader, ShardSpec, ShardWriter};
 use crate::Record;
 use parking_lot::Mutex;
@@ -24,8 +30,8 @@ use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Configuration shared by all job types.
 #[derive(Debug, Clone)]
@@ -37,6 +43,27 @@ pub struct JobConfig {
     /// Map-side buffer size (in key-value pairs) before a spill flush;
     /// only used by [`map_reduce`].
     pub spill_buffer: usize,
+    /// Maximum executions of any one shard/partition task before the job
+    /// fails. `1` (the default) is fail-stop: the first failed attempt
+    /// aborts the job. Higher values requeue a failed task for another
+    /// worker, with [`JobConfig::retry_backoff_ms`] between attempts.
+    pub max_attempts: u32,
+    /// Job-wide budget of input records whose map-function errors are
+    /// *skipped* (dropped, with the `dataflow/skipped_records` counter
+    /// bumped) instead of failing the shard. `0` (the default) disables
+    /// skipping entirely. The budget is best-effort across retries: a
+    /// shard attempt that skips records and later fails anyway does not
+    /// refund them.
+    pub skip_bad_record_budget: u64,
+    /// Base backoff between attempts of one task, in milliseconds; the
+    /// k-th retry sleeps `k * retry_backoff_ms` before requeueing.
+    pub retry_backoff_ms: u64,
+    /// Deterministic fault-injection schedule (chaos tests). `None` in
+    /// production.
+    pub fault_plan: Option<FaultPlan>,
+    /// Optional telemetry sink: one `job/shard_attempt` span sample and
+    /// one `shard_attempt` journal event per task attempt.
+    pub telemetry: Option<drybell_obs::Telemetry>,
 }
 
 impl JobConfig {
@@ -48,12 +75,47 @@ impl JobConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             spill_buffer: 64 * 1024,
+            max_attempts: 1,
+            skip_bad_record_budget: 0,
+            retry_backoff_ms: 1,
+            fault_plan: None,
+            telemetry: None,
         }
     }
 
     /// Override the worker count.
     pub fn with_workers(mut self, workers: usize) -> JobConfig {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Allow up to `attempts` executions per shard/partition task.
+    pub fn with_max_attempts(mut self, attempts: u32) -> JobConfig {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Allow up to `budget` bad records to be skipped job-wide.
+    pub fn with_skip_bad_record_budget(mut self, budget: u64) -> JobConfig {
+        self.skip_bad_record_budget = budget;
+        self
+    }
+
+    /// Override the base retry backoff in milliseconds.
+    pub fn with_retry_backoff_ms(mut self, ms: u64) -> JobConfig {
+        self.retry_backoff_ms = ms;
+        self
+    }
+
+    /// Attach a deterministic fault-injection plan (chaos tests).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> JobConfig {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Attach a telemetry sink for per-attempt spans/journal events.
+    pub fn with_telemetry(mut self, telemetry: drybell_obs::Telemetry) -> JobConfig {
+        self.telemetry = Some(telemetry);
         self
     }
 }
@@ -90,8 +152,10 @@ pub struct JobStats {
     /// Per-phase wall-clock breakdown, in execution order. Phase times
     /// sum to (slightly less than) `seconds`; the gap is setup/cleanup.
     pub phases: Vec<PhaseStats>,
-    /// Seconds each worker spent busy (indexed by worker id, summed
-    /// across phases). Uneven values reveal stragglers.
+    /// Seconds each worker spent executing tasks (indexed by worker id,
+    /// summed across phases). Time blocked on the work queue and worker
+    /// startup are *not* charged, so a worker that received no shards
+    /// reads exactly zero. Uneven values reveal stragglers.
     pub worker_busy: Vec<f64>,
     /// Bytes spilled to intermediate shuffle files (zero for pure maps).
     pub spill_bytes: u64,
@@ -262,11 +326,289 @@ impl JobState {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Retrying task queue
+// ---------------------------------------------------------------------------
+
+/// One unit of phase work: a shard (map) or partition (reduce) index,
+/// plus which attempt this is.
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    index: usize,
+    attempt: u32,
+}
+
+/// A work queue that supports requeueing failed tasks.
+///
+/// The sender half is kept behind a mutex so any worker can (a) requeue
+/// a failed task for another attempt and (b) close the queue — either
+/// because every task completed or because the job failed — which wakes
+/// all workers blocked in `recv`.
+struct TaskQueue {
+    tx: Mutex<Option<crossbeam::channel::Sender<Task>>>,
+    rx: crossbeam::channel::Receiver<Task>,
+    pending: AtomicUsize,
+}
+
+impl TaskQueue {
+    fn new(num_tasks: usize) -> Result<TaskQueue, DataflowError> {
+        let (tx, rx) = crossbeam::channel::unbounded::<Task>();
+        for index in 0..num_tasks {
+            tx.send(Task { index, attempt: 0 })
+                .map_err(|_| DataflowError::internal("work queue closed before fill"))?;
+        }
+        let queue = TaskQueue {
+            tx: Mutex::new(Some(tx)),
+            rx,
+            pending: AtomicUsize::new(num_tasks),
+        };
+        if num_tasks == 0 {
+            queue.close();
+        }
+        Ok(queue)
+    }
+
+    /// Drop the sender: wakes every worker blocked in `recv`.
+    fn close(&self) {
+        *self.tx.lock() = None;
+    }
+
+    /// Requeue a failed task for another attempt. Returns `false` when
+    /// the queue is already closed (the job failed elsewhere).
+    fn requeue(&self, task: Task) -> bool {
+        match self.tx.lock().as_ref() {
+            Some(tx) => tx.send(task).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Mark one task complete, closing the queue when none remain.
+    fn task_done(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.close();
+        }
+    }
+}
+
+/// Record one task attempt into the job's telemetry sink, when present.
+fn record_attempt(
+    cfg: &JobConfig,
+    site: FaultSite,
+    task: Task,
+    started: Instant,
+    outcome: &str,
+    error: Option<&DataflowError>,
+) {
+    let Some(t) = &cfg.telemetry else {
+        return;
+    };
+    let us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    t.spans().record("job/shard_attempt", us);
+    let mut event = drybell_obs::Event::new("shard_attempt")
+        .field("job", cfg.name.as_str())
+        .field("phase", site.as_str())
+        .field("task", task.index as u64)
+        .field("attempt", u64::from(task.attempt))
+        .field("outcome", outcome);
+    if let Some(e) = error {
+        event = event.field("error", e.to_string().as_str());
+    }
+    t.emit(event);
+}
+
+/// Run one phase of a job over a retrying task queue.
+///
+/// Each of `workers` threads builds per-worker state via `init`, then
+/// drains tasks. A failed or panicked attempt (including injected
+/// faults from [`JobConfig::fault_plan`]) is requeued for another
+/// worker while attempts remain, with linear backoff; exhausted retries
+/// fail the job via `state` and close the queue so every worker winds
+/// down promptly.
+#[allow(clippy::too_many_arguments)]
+fn run_phase<W, InitF, RunF>(
+    site: FaultSite,
+    num_tasks: usize,
+    workers: usize,
+    cfg: &JobConfig,
+    state: &JobState,
+    busy: &BusyClock,
+    counters: &Counters,
+    init: InitF,
+    run: RunF,
+) -> Result<(), DataflowError>
+where
+    W: Send,
+    InitF: Fn(&mut WorkerContext) -> Result<W, DataflowError> + Sync,
+    RunF: Fn(&mut W, usize, u32, &mut CounterHandle) -> Result<(), DataflowError> + Sync,
+{
+    let queue = TaskQueue::new(num_tasks)?;
+    std::thread::scope(|scope| {
+        for worker_id in 0..workers {
+            let queue = &queue;
+            let counters = counters.clone();
+            let init = &init;
+            let run = &run;
+            scope.spawn(move || {
+                // Backstop for panics in engine code itself (shard I/O,
+                // queue handling). User-code panics are caught per
+                // attempt below and retried; reaching this catch means
+                // an engine bug, which fails the job outright.
+                let backstop = catch_unwind(AssertUnwindSafe(|| {
+                    phase_worker(
+                        site, worker_id, queue, counters, cfg, state, busy, init, run,
+                    );
+                }));
+                if let Err(payload) = backstop {
+                    state.fail(DataflowError::WorkerPanicked {
+                        worker: worker_id,
+                        message: render_panic(payload),
+                    });
+                    queue.close();
+                }
+            });
+        }
+    });
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn phase_worker<W, InitF, RunF>(
+    site: FaultSite,
+    worker_id: usize,
+    queue: &TaskQueue,
+    counters: Counters,
+    cfg: &JobConfig,
+    state: &JobState,
+    busy: &BusyClock,
+    init: &InitF,
+    run: &RunF,
+) where
+    W: Send,
+    InitF: Fn(&mut WorkerContext) -> Result<W, DataflowError> + Sync,
+    RunF: Fn(&mut W, usize, u32, &mut CounterHandle) -> Result<(), DataflowError> + Sync,
+{
+    let mut ctx = WorkerContext {
+        worker_id,
+        counters: CounterHandle::new(counters.clone()),
+    };
+    let mut wstate = match init(&mut ctx) {
+        Ok(s) => s,
+        Err(e) => {
+            // Worker startup (e.g. a model server that cannot load) is
+            // not a per-shard fault; it aborts the job as before.
+            state.fail(e);
+            queue.close();
+            return;
+        }
+    };
+    let mut handle = CounterHandle::new(counters);
+    while let Ok(task) = queue.rx.recv() {
+        if state.failed.load(Ordering::SeqCst) {
+            return;
+        }
+        let injected = cfg
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.task_fault(site, task.index, task.attempt));
+        let started = Instant::now();
+        // Per-attempt catch: a panicking user function costs one
+        // attempt, not the whole job.
+        let outcome = catch_unwind(AssertUnwindSafe(|| match injected {
+            Some(FaultKind::Error) => Err(DataflowError::user(format!(
+                "injected fault: {} task {} attempt {}",
+                site.as_str(),
+                task.index,
+                task.attempt
+            ))),
+            Some(FaultKind::Panic) => {
+                // drybell-lint: allow(no-panic) — deliberate chaos-test injection; caught by the per-attempt catch_unwind directly above
+                panic!(
+                    "injected panic: {} task {} attempt {}",
+                    site.as_str(),
+                    task.index,
+                    task.attempt
+                );
+            }
+            other => {
+                if let Some(FaultKind::Delay(ms)) = other {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                run(&mut wstate, task.index, task.attempt, &mut handle)
+            }
+        }));
+        // Busy time covers task execution only — never queue waits or
+        // retry backoff — so an idle worker's clock reads zero.
+        busy.charge(worker_id, started);
+        let error = match outcome {
+            Ok(Ok(())) => None,
+            Ok(Err(e)) => Some(e),
+            Err(payload) => Some(DataflowError::WorkerPanicked {
+                worker: worker_id,
+                message: render_panic(payload),
+            }),
+        };
+        match error {
+            None => {
+                record_attempt(cfg, site, task, started, "ok", None);
+                queue.task_done();
+            }
+            Some(e) => {
+                if state.failed.load(Ordering::SeqCst) {
+                    // The job already failed elsewhere; this attempt's
+                    // error is noise (often "job aborted"), not a retry.
+                    return;
+                }
+                let next = task.attempt + 1;
+                if next < cfg.max_attempts {
+                    handle.inc("dataflow/retries");
+                    record_attempt(cfg, site, task, started, "retry", Some(&e));
+                    if cfg.retry_backoff_ms > 0 {
+                        std::thread::sleep(Duration::from_millis(
+                            cfg.retry_backoff_ms.saturating_mul(u64::from(next)),
+                        ));
+                    }
+                    if !queue.requeue(Task {
+                        index: task.index,
+                        attempt: next,
+                    }) {
+                        return;
+                    }
+                } else {
+                    record_attempt(cfg, site, task, started, "failed", Some(&e));
+                    state.fail(e);
+                    queue.close();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Consume one unit of skip budget, if any remains.
+fn try_skip_record(skip_budget: &AtomicU64, handle: &mut CounterHandle) -> bool {
+    let mut cur = skip_budget.load(Ordering::SeqCst);
+    while cur > 0 {
+        match skip_budget.compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => {
+                handle.inc("dataflow/skipped_records");
+                return true;
+            }
+            Err(actual) => cur = actual,
+        }
+    }
+    false
+}
+
 /// Run a shard-parallel map: each input shard `i` is transformed into
 /// output shard `i` by a user function, with per-worker state created by
 /// `init` (the model-server hook).
 ///
 /// Requires `output.num_shards() == input.num_shards()`.
+///
+/// Fault tolerance: each shard is one retryable task (see
+/// [`JobConfig::max_attempts`]); its output shard is committed
+/// atomically on success, so a retried shard rewrites its stage file
+/// from scratch and the final dataset is identical to a fault-free run.
 pub fn par_map_shards<I, O, S, Init, F>(
     input: &ShardSpec,
     output: &ShardSpec,
@@ -290,66 +632,33 @@ where
     }
     let counters = Counters::new();
     let state = JobState::new();
-    let (tx, rx) = crossbeam::channel::unbounded::<usize>();
-    for i in 0..input.num_shards() {
-        tx.send(i)
-            .map_err(|_| DataflowError::internal("shard work queue closed before fill"))?;
-    }
-    drop(tx);
+    let skip_budget = AtomicU64::new(cfg.skip_bad_record_budget);
     let start = Instant::now();
     let workers = cfg.workers.max(1);
     let busy = BusyClock::new(workers);
-    std::thread::scope(|scope| {
-        for worker_id in 0..workers {
-            let rx = rx.clone();
-            let counters = counters.clone();
-            let state = &state;
-            let busy = &busy;
-            let init = &init;
-            let f = &f;
-            scope.spawn(move || {
-                let busy_start = Instant::now();
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    let mut ctx = WorkerContext {
-                        worker_id,
-                        counters: CounterHandle::new(counters.clone()),
-                    };
-                    let mut user_state = match init(&mut ctx) {
-                        Ok(s) => s,
-                        Err(e) => {
-                            state.fail(e);
-                            return;
-                        }
-                    };
-                    let mut handle = CounterHandle::new(counters.clone());
-                    while let Ok(shard) = rx.recv() {
-                        if state.failed.load(Ordering::SeqCst) {
-                            return;
-                        }
-                        if let Err(e) = run_one_shard(
-                            input,
-                            output,
-                            shard,
-                            &mut user_state,
-                            f,
-                            state,
-                            &mut handle,
-                        ) {
-                            state.fail(e);
-                            return;
-                        }
-                    }
-                }));
-                busy.charge(worker_id, busy_start);
-                if let Err(payload) = result {
-                    state.fail(DataflowError::WorkerPanicked {
-                        worker: worker_id,
-                        message: render_panic(payload),
-                    });
-                }
-            });
-        }
-    });
+    run_phase(
+        FaultSite::Map,
+        input.num_shards(),
+        workers,
+        cfg,
+        &state,
+        &busy,
+        &counters,
+        init,
+        |user_state: &mut S, shard, _attempt, handle| {
+            run_one_shard(
+                input,
+                output,
+                shard,
+                user_state,
+                &f,
+                &state,
+                handle,
+                &skip_budget,
+                cfg.fault_plan.as_ref(),
+            )
+        },
+    )?;
     let seconds = start.elapsed().as_secs_f64();
     let records_in = state.records_in.load(Ordering::SeqCst);
     let records_out = state.records_out.load(Ordering::SeqCst);
@@ -372,6 +681,7 @@ where
     state.into_result(stats)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_one_shard<I, O, S, F>(
     input: &ShardSpec,
     output: &ShardSpec,
@@ -380,6 +690,8 @@ fn run_one_shard<I, O, S, F>(
     f: &F,
     state: &JobState,
     handle: &mut CounterHandle,
+    skip_budget: &AtomicU64,
+    plan: Option<&FaultPlan>,
 ) -> Result<(), DataflowError>
 where
     I: Record,
@@ -394,11 +706,29 @@ where
         emitted: 0,
     };
     for record in reader {
+        if state.failed.load(Ordering::SeqCst) {
+            // Doomed job: bail before doing (and committing) more work.
+            return Err(DataflowError::internal("job aborted during shard map"));
+        }
         let record = record?;
+        let record_error = if plan.is_some_and(|p| p.record_fault(shard, read)) {
+            Some(DataflowError::user(format!(
+                "injected record fault: shard {shard} record {read}"
+            )))
+        } else {
+            f(user_state, record, &mut emit, handle).err()
+        };
         read += 1;
-        f(user_state, record, &mut emit, handle)?;
+        if let Some(e) = record_error {
+            if try_skip_record(skip_budget, handle) {
+                continue;
+            }
+            return Err(e);
+        }
     }
     let emitted = emit.emitted;
+    // Commit (footer + atomic rename) before the job-level accounting:
+    // a shard only ever counts once, on its successful attempt.
     writer.finish()?;
     state.records_in.fetch_add(read, Ordering::SeqCst);
     state.records_out.fetch_add(emitted, Ordering::SeqCst);
@@ -418,6 +748,12 @@ fn hash_key<K: Hash>(k: &K) -> u64 {
 ///   spilled under `tmp_dir`, with optional map-side combining;
 /// * `reduce` folds each key's values (presented in key order) and emits
 ///   output records to its partition's shard.
+///
+/// Fault tolerance mirrors [`par_map_shards`]: every input shard (map)
+/// and every partition (reduce) is a retryable task. Spill files are
+/// keyed by *input shard*, not by worker, and committed atomically when
+/// the shard finishes, so a retried map shard deterministically rewrites
+/// exactly its own spills regardless of which worker runs it.
 pub fn map_reduce<I, K, V, O, M, C, R>(
     input: &ShardSpec,
     output: &ShardSpec,
@@ -443,110 +779,75 @@ where
     let state = JobState::new();
     let busy = BusyClock::new(workers);
     let spill_meter = SpillMeter::default();
+    let skip_budget = AtomicU64::new(cfg.skip_bad_record_budget);
     let start = Instant::now();
 
-    // ---- Map phase -------------------------------------------------------
-    let spill = |w: usize, p: usize| ShardSpec::new(tmp_dir, format!("spill-{w:03}-{p:03}"), 1);
-    {
-        let (tx, rx) = crossbeam::channel::unbounded::<usize>();
-        for i in 0..input.num_shards() {
-            tx.send(i)
-                .map_err(|_| DataflowError::internal("map work queue closed before fill"))?;
-        }
-        drop(tx);
-        std::thread::scope(|scope| {
-            for worker_id in 0..workers {
-                let rx = rx.clone();
-                let state = &state;
-                let busy = &busy;
-                let spill_meter = &spill_meter;
-                let map = &map;
-                let combiner = combiner.as_ref();
-                let spill = &spill;
-                scope.spawn(move || {
-                    let busy_start = Instant::now();
-                    let result = catch_unwind(AssertUnwindSafe(|| {
-                        if let Err(e) = map_worker::<I, K, V, _, _>(
-                            input,
-                            worker_id,
-                            partitions,
-                            cfg.spill_buffer,
-                            &rx,
-                            map,
-                            combiner,
-                            spill,
-                            state,
-                            spill_meter,
-                        ) {
-                            state.fail(e);
-                        }
-                    }));
-                    busy.charge(worker_id, busy_start);
-                    if let Err(payload) = result {
-                        state.fail(DataflowError::WorkerPanicked {
-                            worker: worker_id,
-                            message: render_panic(payload),
-                        });
-                    }
-                });
+    // Spills are per input shard (not per worker) so that a shard retry
+    // on any worker reproduces the same files.
+    let spill =
+        |shard: usize, p: usize| ShardSpec::new(tmp_dir, format!("spill-{shard:05}-{p:03}"), 1);
+    let cleanup = || {
+        for shard in 0..input.num_shards() {
+            for p in 0..partitions {
+                let _ = spill(shard, p).remove();
             }
-        });
-    }
+        }
+    };
+
+    // ---- Map phase -------------------------------------------------------
+    run_phase(
+        FaultSite::Map,
+        input.num_shards(),
+        workers,
+        cfg,
+        &state,
+        &busy,
+        &counters,
+        |_ctx| Ok(()),
+        |_w: &mut (), shard, _attempt, handle| {
+            map_one_shard(
+                input,
+                shard,
+                partitions,
+                cfg.spill_buffer,
+                &map,
+                combiner.as_ref(),
+                &spill,
+                &state,
+                &spill_meter,
+                &skip_budget,
+                cfg.fault_plan.as_ref(),
+                handle,
+            )
+        },
+    )?;
     let map_seconds = start.elapsed().as_secs_f64();
     if state.failed.load(Ordering::SeqCst) {
+        // Clean up committed spills from shards that did finish; the
+        // failure return must not leak intermediate files.
+        cleanup();
         let stats = empty_stats(cfg, workers, &counters);
         return state.into_result(stats);
     }
 
     // ---- Reduce phase ----------------------------------------------------
     let reduce_start = Instant::now();
-    {
-        let (tx, rx) = crossbeam::channel::unbounded::<usize>();
-        for p in 0..partitions {
-            tx.send(p)
-                .map_err(|_| DataflowError::internal("reduce work queue closed before fill"))?;
-        }
-        drop(tx);
-        std::thread::scope(|scope| {
-            for worker_id in 0..workers.min(partitions) {
-                let rx = rx.clone();
-                let state = &state;
-                let busy = &busy;
-                let reduce = &reduce;
-                let spill = &spill;
-                scope.spawn(move || {
-                    let busy_start = Instant::now();
-                    let result = catch_unwind(AssertUnwindSafe(|| {
-                        while let Ok(p) = rx.recv() {
-                            if state.failed.load(Ordering::SeqCst) {
-                                return;
-                            }
-                            if let Err(e) = reduce_partition::<K, V, O, _>(
-                                output, p, workers, reduce, spill, state,
-                            ) {
-                                state.fail(e);
-                                return;
-                            }
-                        }
-                    }));
-                    busy.charge(worker_id, busy_start);
-                    if let Err(payload) = result {
-                        state.fail(DataflowError::WorkerPanicked {
-                            worker: worker_id,
-                            message: render_panic(payload),
-                        });
-                    }
-                });
-            }
-        });
-    }
+    run_phase(
+        FaultSite::Reduce,
+        partitions,
+        workers.min(partitions).max(1),
+        cfg,
+        &state,
+        &busy,
+        &counters,
+        |_ctx| Ok(()),
+        |_w: &mut (), p, _attempt, _handle| {
+            reduce_partition(output, p, input.num_shards(), &reduce, &spill, &state)
+        },
+    )?;
     let reduce_seconds = reduce_start.elapsed().as_secs_f64();
     // Clean up spills regardless of outcome.
-    for w in 0..workers {
-        for p in 0..partitions {
-            let _ = spill(w, p).remove();
-        }
-    }
+    cleanup();
     let seconds = start.elapsed().as_secs_f64();
     let records_in = state.records_in.load(Ordering::SeqCst);
     let records_out = state.records_out.load(Ordering::SeqCst);
@@ -585,18 +886,27 @@ struct SpillMeter {
     pairs: AtomicU64,
 }
 
+/// Map one input shard into its per-partition spill files.
+///
+/// The whole shard is one atomic unit of work: partition writers stage
+/// into `.tmp` files and are only committed (footer + rename) after the
+/// shard maps completely, and the spill meter / `records_in` accounting
+/// runs only after every commit succeeds. A failed or aborted attempt
+/// therefore leaves nothing behind, and a retry is byte-identical.
 #[allow(clippy::too_many_arguments)]
-fn map_worker<I, K, V, M, C>(
+fn map_one_shard<I, K, V, M, C>(
     input: &ShardSpec,
-    worker_id: usize,
+    shard: usize,
     partitions: usize,
     spill_buffer: usize,
-    rx: &crossbeam::channel::Receiver<usize>,
     map: &M,
     combiner: Option<&C>,
     spill: &dyn Fn(usize, usize) -> ShardSpec,
     state: &JobState,
     spill_meter: &SpillMeter,
+    skip_budget: &AtomicU64,
+    plan: Option<&FaultPlan>,
+    handle: &mut CounterHandle,
 ) -> Result<(), DataflowError>
 where
     I: Record,
@@ -606,7 +916,7 @@ where
     C: Fn(&K, Vec<V>) -> V + Sync,
 {
     let mut writers: Vec<ShardWriter<(K, V)>> = (0..partitions)
-        .map(|p| ShardWriter::create(&spill(worker_id, p).shard_path(0)))
+        .map(|p| ShardWriter::create(&spill(shard, p).shard_path(0)))
         .collect::<Result<_, _>>()?;
     let mut buffer: HashMap<K, Vec<V>> = HashMap::new();
     let mut buffered = 0usize;
@@ -641,14 +951,19 @@ where
         Ok(())
     };
 
-    while let Ok(shard) = rx.recv() {
+    let reader = ShardReader::<I>::open(&input.shard_path(shard))?;
+    for record in reader {
         if state.failed.load(Ordering::SeqCst) {
-            break;
+            // Doomed job: bail out *before* flushing or committing any
+            // spill writers — they are about to be deleted anyway.
+            return Err(DataflowError::internal("job aborted during map"));
         }
-        let reader = ShardReader::<I>::open(&input.shard_path(shard))?;
-        for record in reader {
-            let record = record?;
-            read += 1;
+        let record = record?;
+        let record_error = if plan.is_some_and(|p| p.record_fault(shard, read)) {
+            Some(DataflowError::user(format!(
+                "injected record fault: shard {shard} record {read}"
+            )))
+        } else {
             let mut map_err: Option<DataflowError> = None;
             let mut emit = |k: K, v: V| {
                 buffer.entry(k).or_default().push(v);
@@ -657,25 +972,35 @@ where
             if let Err(e) = map(record, &mut emit) {
                 map_err = Some(e);
             }
-            if let Some(e) = map_err {
-                return Err(e);
+            map_err
+        };
+        read += 1;
+        if let Some(e) = record_error {
+            if try_skip_record(skip_budget, handle) {
+                continue;
             }
-            if buffered >= spill_buffer {
-                flush(&mut buffer, &mut writers)?;
-                buffered = 0;
-            }
+            return Err(e);
+        }
+        if buffered >= spill_buffer {
+            flush(&mut buffer, &mut writers)?;
+            buffered = 0;
         }
     }
+    if state.failed.load(Ordering::SeqCst) {
+        return Err(DataflowError::internal("job aborted during map"));
+    }
     flush(&mut buffer, &mut writers)?;
+    let mut bytes = 0u64;
+    let mut pairs = 0u64;
     for w in writers {
-        spill_meter
-            .bytes
-            .fetch_add(w.bytes_written(), Ordering::Relaxed);
-        spill_meter
-            .pairs
-            .fetch_add(w.records_written(), Ordering::Relaxed);
+        bytes += w.bytes_written();
+        pairs += w.records_written();
         w.finish()?;
     }
+    // Meter and record accounting only after every partition committed:
+    // a retried shard must not double-count.
+    spill_meter.bytes.fetch_add(bytes, Ordering::Relaxed);
+    spill_meter.pairs.fetch_add(pairs, Ordering::Relaxed);
     state.records_in.fetch_add(read, Ordering::SeqCst);
     Ok(())
 }
@@ -683,7 +1008,7 @@ where
 fn reduce_partition<K, V, O, R>(
     output: &ShardSpec,
     partition: usize,
-    map_workers: usize,
+    input_shards: usize,
     reduce: &R,
     spill: &dyn Fn(usize, usize) -> ShardSpec,
     state: &JobState,
@@ -696,11 +1021,13 @@ where
         + Sync,
 {
     let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
-    for w in 0..map_workers {
-        let path = spill(w, partition).shard_path(0);
-        if !path.exists() {
-            continue;
+    for shard in 0..input_shards {
+        if state.failed.load(Ordering::SeqCst) {
+            return Err(DataflowError::internal("job aborted during reduce"));
         }
+        // Every map shard commits a spill for every partition (possibly
+        // empty), so a missing file is a real error, not a skip.
+        let path = spill(shard, partition).shard_path(0);
         for rec in ShardReader::<(K, V)>::open(&path)? {
             let (k, v) = rec?;
             groups.entry(k).or_default().push(v);

@@ -68,47 +68,97 @@ impl ShardSpec {
     }
 
     /// `true` if every shard file exists on disk.
+    ///
+    /// Because [`ShardWriter`] only ever creates the final path via an
+    /// atomic rename on commit, a file being present implies it was
+    /// written to completion; use [`ShardSpec::is_complete`] to also
+    /// verify the commit footers (defense against out-of-band writes).
     pub fn exists(&self) -> bool {
         (0..self.num_shards).all(|i| self.shard_path(i).exists())
     }
 
-    /// Delete all shard files (ignores missing ones).
+    /// `true` if every shard file exists *and* carries a valid commit
+    /// footer — the strong form of [`ShardSpec::exists`].
+    pub fn is_complete(&self) -> bool {
+        (0..self.num_shards).all(|i| shard_is_committed(&self.shard_path(i)))
+    }
+
+    /// Delete all shard files (ignores missing ones), including any
+    /// orphaned `.tmp` siblings from interrupted writers.
     pub fn remove(&self) -> Result<(), DataflowError> {
         for i in 0..self.num_shards {
-            let p = self.shard_path(i);
-            if p.exists() {
-                fs::remove_file(&p).map_err(|e| DataflowError::io(&p, e))?;
+            let final_path = self.shard_path(i);
+            for p in [tmp_sibling(&final_path), final_path] {
+                if p.exists() {
+                    fs::remove_file(&p).map_err(|e| DataflowError::io(&p, e))?;
+                }
             }
         }
         Ok(())
     }
 }
 
-/// Buffered writer for one shard file.
+/// The `.tmp` sibling a [`ShardWriter`] stages its output in before the
+/// commit rename.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Whether the file at `path` exists and ends in a valid commit footer.
+fn shard_is_committed(path: &Path) -> bool {
+    let Ok(bytes) = fs::read(path) else {
+        return false;
+    };
+    codec::split_footer(&bytes).is_ok()
+}
+
+/// Buffered writer for one shard file, with atomic commit.
+///
+/// Output is staged in a `.tmp` sibling and only renamed onto the final
+/// path by [`ShardWriter::finish`], after a commit footer (record count
+/// and checksum, see [`codec::put_footer`]) has been appended. A reader
+/// therefore either sees no file at all or a byte-complete committed
+/// one — never the flushed prefix of an interrupted job — and retrying
+/// an aborted shard just truncates the `.tmp` stage and rewrites it,
+/// making shard attempts idempotent. Dropping a writer without calling
+/// `finish` removes the stage file.
 pub struct ShardWriter<R: Record> {
-    out: BufWriter<File>,
+    out: Option<BufWriter<File>>,
     path: PathBuf,
+    tmp_path: PathBuf,
     scratch: Vec<u8>,
     frame: Vec<u8>,
     records: u64,
     bytes: u64,
+    committed: bool,
     _marker: PhantomData<fn(&R)>,
 }
 
 impl<R: Record> ShardWriter<R> {
-    /// Create (truncating) the shard file at `path`.
+    /// Create the shard writer for `path`, staging into its `.tmp`
+    /// sibling. The final path is not touched until [`finish`].
+    ///
+    /// [`finish`]: ShardWriter::finish
     pub fn create(path: &Path) -> Result<ShardWriter<R>, DataflowError> {
         if let Some(parent) = path.parent() {
             fs::create_dir_all(parent).map_err(|e| DataflowError::io(parent, e))?;
         }
-        let file = File::create(path).map_err(|e| DataflowError::io(path, e))?;
+        let tmp_path = tmp_sibling(path);
+        let file = File::create(&tmp_path).map_err(|e| DataflowError::io(&tmp_path, e))?;
         Ok(ShardWriter {
-            out: BufWriter::new(file),
+            out: Some(BufWriter::new(file)),
             path: path.to_path_buf(),
+            tmp_path,
             scratch: Vec::new(),
             frame: Vec::new(),
             records: 0,
             bytes: 0,
+            committed: false,
             _marker: PhantomData,
         })
     }
@@ -120,8 +170,10 @@ impl<R: Record> ShardWriter<R> {
         self.frame.clear();
         codec::put_frame(&mut self.frame, &self.scratch);
         self.out
+            .as_mut()
+            .ok_or_else(|| DataflowError::internal("write after shard writer closed"))?
             .write_all(&self.frame)
-            .map_err(|e| DataflowError::io(&self.path, e))?;
+            .map_err(|e| DataflowError::io(&self.tmp_path, e))?;
         self.records += 1;
         self.bytes += self.frame.len() as u64;
         Ok(())
@@ -137,12 +189,35 @@ impl<R: Record> ShardWriter<R> {
         self.bytes
     }
 
-    /// Flush and close the file.
+    /// Commit the shard: append the record-count footer, flush, and
+    /// atomically rename the stage file onto the final path.
     pub fn finish(mut self) -> Result<u64, DataflowError> {
-        self.out
-            .flush()
-            .map_err(|e| DataflowError::io(&self.path, e))?;
+        let mut footer = Vec::with_capacity(codec::FOOTER_LEN);
+        codec::put_footer(&mut footer, self.records);
+        let out = self
+            .out
+            .as_mut()
+            .ok_or_else(|| DataflowError::internal("finish after shard writer closed"))?;
+        out.write_all(&footer)
+            .map_err(|e| DataflowError::io(&self.tmp_path, e))?;
+        out.flush()
+            .map_err(|e| DataflowError::io(&self.tmp_path, e))?;
+        // Close the file handle before the rename.
+        self.out = None;
+        fs::rename(&self.tmp_path, &self.path).map_err(|e| DataflowError::io(&self.path, e))?;
+        self.committed = true;
         Ok(self.records)
+    }
+}
+
+impl<R: Record> Drop for ShardWriter<R> {
+    fn drop(&mut self) {
+        if !self.committed {
+            // Abandoned attempt: close and discard the stage file so a
+            // retry (or a later cleanup pass) finds no leftovers.
+            self.out = None;
+            let _ = fs::remove_file(&self.tmp_path);
+        }
     }
 }
 
@@ -194,12 +269,23 @@ impl<R: Record> ShardWriterSet<R> {
 pub struct ShardReader<R: Record> {
     buf: Vec<u8>,
     pos: usize,
+    /// End of the frame region (the commit footer starts here).
+    end: usize,
+    /// Record count promised by the commit footer.
+    expected: u64,
+    /// Records decoded so far.
+    seen: u64,
+    /// Set after exhaustion or a decode error, so iteration terminates.
+    done: bool,
     path: PathBuf,
     _marker: PhantomData<fn() -> R>,
 }
 
 impl<R: Record> ShardReader<R> {
-    /// Open and fully buffer the shard at `path`.
+    /// Open and fully buffer the shard at `path`, validating its commit
+    /// footer. Files without a valid footer — the flushed prefix of an
+    /// interrupted writer, or a truncated copy — are rejected as
+    /// [`DataflowError::Corrupt`] before any record is surfaced.
     ///
     /// Shards are sized to be read whole (the paper's pipelines stream
     /// shard-at-a-time per worker); buffering keeps decode zero-copy.
@@ -210,31 +296,65 @@ impl<R: Record> ShardReader<R> {
         reader
             .read_to_end(&mut buf)
             .map_err(|e| DataflowError::io(path, e))?;
+        let (end, expected) = {
+            let (frames, count) =
+                codec::split_footer(&buf).map_err(|e| DataflowError::corrupt(path, e))?;
+            (frames.len(), count)
+        };
         Ok(ShardReader {
             buf,
             pos: 0,
+            end,
+            expected,
+            seen: 0,
+            done: false,
             path: path.to_path_buf(),
             _marker: PhantomData,
         })
     }
 
     fn next_record(&mut self) -> Result<Option<R>, DataflowError> {
-        let Some(mut slice) = self.buf.get(self.pos..).filter(|s| !s.is_empty()) else {
+        if self.done {
+            return Ok(None);
+        }
+        let Some(mut slice) = self.buf.get(self.pos..self.end).filter(|s| !s.is_empty()) else {
+            self.done = true;
+            if self.seen != self.expected {
+                return Err(DataflowError::corrupt(
+                    &self.path,
+                    CodecError::RecordCountMismatch {
+                        expected: self.expected,
+                        actual: self.seen,
+                    },
+                ));
+            }
             return Ok(None);
         };
         let before = slice.len();
-        let payload =
-            codec::get_frame(&mut slice).map_err(|e| DataflowError::corrupt(&self.path, e))?;
-        let mut p = payload;
-        let record = R::decode(&mut p).map_err(|e| DataflowError::corrupt(&self.path, e))?;
-        if !p.is_empty() {
-            return Err(DataflowError::corrupt(
-                &self.path,
-                CodecError::TrailingBytes(p.len()),
-            ));
+        let result = (|| {
+            let payload =
+                codec::get_frame(&mut slice).map_err(|e| DataflowError::corrupt(&self.path, e))?;
+            let mut p = payload;
+            let record = R::decode(&mut p).map_err(|e| DataflowError::corrupt(&self.path, e))?;
+            if !p.is_empty() {
+                return Err(DataflowError::corrupt(
+                    &self.path,
+                    CodecError::TrailingBytes(p.len()),
+                ));
+            }
+            Ok(record)
+        })();
+        match result {
+            Ok(record) => {
+                self.pos += before - slice.len();
+                self.seen += 1;
+                Ok(Some(record))
+            }
+            Err(e) => {
+                self.done = true;
+                Err(e)
+            }
         }
-        self.pos += before - slice.len();
-        Ok(Some(record))
     }
 }
 
@@ -322,14 +442,126 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let spec = ShardSpec::new(dir.path(), "bad", 1);
         write_all(&spec, &[(1u64, "hello".to_string())]).unwrap();
-        // Corrupt a byte near the end of the file (inside the payload).
+        // Corrupt the last payload byte (just before the commit footer).
         let path = spec.shard_path(0);
+        let mut bytes = fs::read(&path).unwrap();
+        let idx = bytes.len() - codec::FOOTER_LEN - 1;
+        bytes[idx] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let result: Result<Vec<(u64, String)>, _> = read_all(&spec);
+        assert!(matches!(result, Err(DataflowError::Corrupt { .. })));
+        // Corrupting the footer itself is also caught.
         let mut bytes = fs::read(&path).unwrap();
         let idx = bytes.len() - 1;
         bytes[idx] ^= 0xFF;
         fs::write(&path, &bytes).unwrap();
         let result: Result<Vec<(u64, String)>, _> = read_all(&spec);
         assert!(matches!(result, Err(DataflowError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn uncommitted_writer_leaves_no_files() {
+        let dir = tempfile::tempdir().unwrap();
+        let spec = ShardSpec::new(dir.path(), "torn", 1);
+        let path = spec.shard_path(0);
+        {
+            let mut w = ShardWriter::<(u64, String)>::create(&path).unwrap();
+            w.write(&(1, "flushed but never committed".into())).unwrap();
+            // Dropped without finish(): simulates a killed job.
+        }
+        assert!(!path.exists(), "final path must not appear without commit");
+        assert!(!spec.exists());
+        assert!(!spec.is_complete());
+        let leftovers: Vec<_> = fs::read_dir(dir.path()).unwrap().collect();
+        assert!(leftovers.is_empty(), "stage file must be cleaned up");
+    }
+
+    #[test]
+    fn torn_wellframed_prefix_is_rejected() {
+        // A file of perfectly valid frames but no commit footer — exactly
+        // what the pre-atomic-commit writer left behind when a job died
+        // after a flush — must not be readable as a (truncated) dataset.
+        let dir = tempfile::tempdir().unwrap();
+        let spec = ShardSpec::new(dir.path(), "prefix", 1);
+        let mut bytes = Vec::new();
+        for i in 0..5u64 {
+            let mut payload = Vec::new();
+            (i, format!("rec-{i}")).encode(&mut payload);
+            codec::put_frame(&mut bytes, &payload);
+        }
+        fs::write(spec.shard_path(0), &bytes).unwrap();
+        assert!(spec.exists(), "the raw file is present");
+        assert!(!spec.is_complete(), "but it is not committed");
+        let result: Result<Vec<(u64, String)>, _> = read_all(&spec);
+        match result {
+            Err(DataflowError::Corrupt { source, .. }) => {
+                assert_eq!(source, CodecError::MissingFooter);
+            }
+            other => panic!("expected MissingFooter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_committed_file_is_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let spec = ShardSpec::new(dir.path(), "trunc", 1);
+        let records: Vec<(u64, String)> = (0..20).map(|i| (i, format!("record-{i}"))).collect();
+        write_all(&spec, &records).unwrap();
+        let path = spec.shard_path(0);
+        let bytes = fs::read(&path).unwrap();
+        // Chop off the tail: the footer (and part of the last frame) go.
+        fs::write(&path, &bytes[..bytes.len() - codec::FOOTER_LEN - 3]).unwrap();
+        let result: Result<Vec<(u64, String)>, _> = read_all(&spec);
+        assert!(matches!(result, Err(DataflowError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn footer_count_mismatch_is_rejected() {
+        // A footer that checksums fine but promises more records than the
+        // frames hold (e.g. frames dropped by a buggy copy).
+        let dir = tempfile::tempdir().unwrap();
+        let spec = ShardSpec::new(dir.path(), "count", 1);
+        write_all(&spec, &[(1u64, "only one".to_string())]).unwrap();
+        let path = spec.shard_path(0);
+        let bytes = fs::read(&path).unwrap();
+        let mut patched = bytes[..bytes.len() - codec::FOOTER_LEN].to_vec();
+        codec::put_footer(&mut patched, 2);
+        fs::write(&path, &patched).unwrap();
+        let result: Result<Vec<(u64, String)>, _> = read_all(&spec);
+        match result {
+            Err(DataflowError::Corrupt { source, .. }) => {
+                assert_eq!(
+                    source,
+                    CodecError::RecordCountMismatch {
+                        expected: 2,
+                        actual: 1
+                    }
+                );
+            }
+            other => panic!("expected RecordCountMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn is_complete_accepts_committed_datasets() {
+        let dir = tempfile::tempdir().unwrap();
+        let spec = ShardSpec::new(dir.path(), "ok", 3);
+        write_all(&spec, &[(1u64, "x".to_string()), (2, "y".to_string())]).unwrap();
+        assert!(spec.exists());
+        assert!(spec.is_complete());
+    }
+
+    #[test]
+    fn remove_cleans_stale_tmp_files() {
+        let dir = tempfile::tempdir().unwrap();
+        let spec = ShardSpec::new(dir.path(), "stale", 1);
+        write_all(&spec, &[(1u64, "x".to_string())]).unwrap();
+        // Simulate a crashed writer's leftover stage file.
+        let tmp = tmp_sibling(&spec.shard_path(0));
+        fs::write(&tmp, b"garbage").unwrap();
+        spec.remove().unwrap();
+        assert!(!spec.shard_path(0).exists());
+        assert!(!tmp.exists());
     }
 
     #[test]

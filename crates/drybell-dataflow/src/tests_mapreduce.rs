@@ -4,6 +4,7 @@
 use crate::codec::Record;
 use crate::counters::CounterHandle;
 use crate::error::DataflowError;
+use crate::fault::{FaultPlan, FaultSite};
 use crate::mapreduce::{map_reduce, par_map_shards, par_map_vec, reference_map_reduce, JobConfig};
 use crate::shard::{read_all, write_all, ShardSpec};
 use proptest::prelude::*;
@@ -484,6 +485,188 @@ proptest! {
         let want: Vec<i64> = items.iter().map(|&x| x.wrapping_mul(3).wrapping_add(1)).collect();
         prop_assert_eq!(out, want);
     }
+}
+
+#[test]
+fn busy_clock_excludes_queue_wait() {
+    // One slow shard, two workers: the worker that never receives a task
+    // spends the whole job blocked on the queue, and that wait must not
+    // be charged as busy time.
+    let dir = tempfile::tempdir().unwrap();
+    let records: Vec<WordRec> = (0..10).map(|i| (i, String::new())).collect();
+    let input = write_input(dir.path(), 1, &records);
+    let output = input.derive("out");
+    let cfg = JobConfig::new("lopsided")
+        .with_workers(2)
+        .with_fault_plan(FaultPlan::seeded(1).delay_task(FaultSite::Map, 0, 0, 25));
+    let stats = par_map_shards(
+        &input,
+        &output,
+        &cfg,
+        |_ctx| Ok(()),
+        |_s: &mut (), rec: WordRec, emit, _c: &mut CounterHandle| emit.emit(&rec),
+    )
+    .unwrap();
+    assert_eq!(stats.worker_busy.len(), 2);
+    let zeroes = stats.worker_busy.iter().filter(|&&b| b == 0.0).count();
+    assert_eq!(
+        zeroes, 1,
+        "idle worker must read exactly zero: {:?}",
+        stats.worker_busy
+    );
+    let max = stats.worker_busy.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        max >= 0.025,
+        "busy worker absorbed the delay: {:?}",
+        stats.worker_busy
+    );
+}
+
+#[test]
+fn map_reduce_with_more_workers_than_partitions() {
+    let dir = tempfile::tempdir().unwrap();
+    let docs: Vec<WordRec> = (0..60).map(|i| (i, format!("k{}", i % 4))).collect();
+    let input = write_input(dir.path(), 3, &docs);
+    let output = ShardSpec::new(dir.path(), "out", 1);
+    let stats = map_reduce(
+        &input,
+        &output,
+        dir.path(),
+        &JobConfig::new("wide").with_workers(8),
+        |(_, t): WordRec, emit: &mut dyn FnMut(String, i64)| {
+            emit(t, 1);
+            Ok(())
+        },
+        None::<fn(&String, Vec<i64>) -> i64>,
+        |k: &String, vs: Vec<i64>, sink: CountSink<'_>| sink(&(k.clone(), vs.len() as i64)),
+    )
+    .unwrap();
+    assert_eq!(stats.records_in, 60);
+    assert_eq!(stats.records_out, 4);
+    let got: Vec<(String, i64)> = read_all(&output).unwrap();
+    assert_eq!(got.len(), 4);
+}
+
+#[test]
+fn retry_recovers_from_transient_shard_fault() {
+    let dir = tempfile::tempdir().unwrap();
+    let records: Vec<WordRec> = (0..80).map(|i| (i, format!("doc {i}"))).collect();
+    let input = write_input(dir.path(), 4, &records);
+    let output = input.derive("out");
+    let cfg = JobConfig::new("flaky")
+        .with_workers(2)
+        .with_max_attempts(2)
+        .with_retry_backoff_ms(0)
+        .with_fault_plan(FaultPlan::seeded(7).fail_task(FaultSite::Map, 2, 0));
+    let stats = par_map_shards(
+        &input,
+        &output,
+        &cfg,
+        |_ctx| Ok(()),
+        |_s: &mut (), rec: WordRec, emit, _c: &mut CounterHandle| emit.emit(&rec),
+    )
+    .unwrap();
+    assert_eq!(stats.records_in, 80, "retried shard must count once");
+    assert_eq!(stats.records_out, 80);
+    assert_eq!(stats.counters.get("dataflow/retries"), 1);
+    let mut back: Vec<WordRec> = read_all(&output).unwrap();
+    back.sort();
+    assert_eq!(back, records);
+}
+
+#[test]
+fn exhausted_retries_fail_the_job() {
+    let dir = tempfile::tempdir().unwrap();
+    let records: Vec<WordRec> = (0..40).map(|i| (i, String::new())).collect();
+    let input = write_input(dir.path(), 4, &records);
+    let output = input.derive("out");
+    let plan = FaultPlan::seeded(7)
+        .fail_task(FaultSite::Map, 1, 0)
+        .fail_task(FaultSite::Map, 1, 1)
+        .fail_task(FaultSite::Map, 1, 2);
+    let cfg = JobConfig::new("doomed")
+        .with_workers(2)
+        .with_max_attempts(3)
+        .with_retry_backoff_ms(0)
+        .with_fault_plan(plan);
+    let result = par_map_shards(
+        &input,
+        &output,
+        &cfg,
+        |_ctx| Ok(()),
+        |_s: &mut (), rec: WordRec, emit, _c: &mut CounterHandle| emit.emit(&rec),
+    );
+    assert!(
+        matches!(result, Err(DataflowError::User(_))),
+        "got {result:?}"
+    );
+}
+
+#[test]
+fn zero_skip_budget_is_fail_stop() {
+    // With the default `skip_bad_record_budget = 0`, a bad record fails
+    // the job exactly like the pre-retry engine did.
+    let dir = tempfile::tempdir().unwrap();
+    let records: Vec<WordRec> = (0..30).map(|i| (i, String::new())).collect();
+    let input = write_input(dir.path(), 3, &records);
+    let output = input.derive("out");
+    let run = |budget: u64| {
+        let cfg = JobConfig::new("budget")
+            .with_workers(2)
+            .with_skip_bad_record_budget(budget);
+        par_map_shards(
+            &input,
+            &output,
+            &cfg,
+            |_ctx| Ok(()),
+            |_s: &mut (), (k, v): WordRec, emit, _c: &mut CounterHandle| {
+                if k == 17 {
+                    return Err(DataflowError::user("bad record 17"));
+                }
+                emit.emit(&(k, v))
+            },
+        )
+    };
+    assert!(matches!(run(0), Err(DataflowError::User(_))));
+    let stats = run(1).unwrap();
+    assert_eq!(stats.records_out, 29);
+    assert_eq!(stats.counters.get("dataflow/skipped_records"), 1);
+}
+
+#[test]
+fn map_reduce_failure_cleans_spill_files() {
+    let dir = tempfile::tempdir().unwrap();
+    let docs: Vec<WordRec> = (0..40).map(|i| (i, format!("k{}", i % 3))).collect();
+    let input = write_input(dir.path(), 4, &docs);
+    let output = ShardSpec::new(dir.path(), "out", 2);
+    let result = map_reduce(
+        &input,
+        &output,
+        dir.path(),
+        &JobConfig::new("failing").with_workers(2),
+        |(k, t): WordRec, emit: &mut dyn FnMut(String, i64)| {
+            if k == 25 {
+                return Err(DataflowError::user("map blew up"));
+            }
+            emit(t, 1);
+            Ok(())
+        },
+        None::<fn(&String, Vec<i64>) -> i64>,
+        |k: &String, vs: Vec<i64>, sink: CountSink<'_>| sink(&(k.clone(), vs.len() as i64)),
+    );
+    assert!(result.is_err());
+    let leftover = std::fs::read_dir(dir.path())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("spill-"))
+        .count();
+    assert_eq!(leftover, 0, "failed jobs must not leak spill files");
+}
+
+#[test]
+fn zero_max_attempts_is_clamped_to_one() {
+    let cfg = JobConfig::new("clamped").with_max_attempts(0);
+    assert_eq!(cfg.max_attempts, 1);
 }
 
 /// `Record` impl sanity for the key types the engine shuffles.

@@ -16,12 +16,13 @@
 use crate::{Lf, LfSet};
 use drybell_core::{CoreError, LabelMatrix};
 use drybell_dataflow::codec::{self, CodecError, Record};
+use drybell_dataflow::FaultPlan;
 use drybell_dataflow::{
     par_map_shards, par_map_vec, CounterHandle, DataflowError, JobConfig, JobStats, Service,
     ShardSpec,
 };
 use drybell_kg::KnowledgeGraph;
-use drybell_nlp::{CacheStats, CachedNlpServer, NlpResult, NlpServer};
+use drybell_nlp::{CacheStats, CachedNlpServer, NlpError, NlpResult, NlpServer};
 use drybell_obs::{Counter, Histogram, Telemetry};
 use std::sync::Arc;
 use std::time::Instant;
@@ -41,6 +42,10 @@ pub struct ExecutionStats {
     /// With a cache this counts requests, not underlying model runs —
     /// `cache` breaks the figure into hits and misses.
     pub nlp_calls: u64,
+    /// Examples whose NLP annotation call failed: their NLP LFs degraded
+    /// to abstain rather than aborting the run. Always 0 without an
+    /// injected fault plan.
+    pub nlp_degraded: u64,
     /// Memo-table statistics when the run used a cached NLP server.
     pub cache: Option<CacheStats>,
 }
@@ -57,7 +62,8 @@ impl ExecutionStats {
             .field("examples", self.examples)
             .field("seconds", self.seconds)
             .field("throughput", self.throughput())
-            .field("nlp_calls", self.nlp_calls);
+            .field("nlp_calls", self.nlp_calls)
+            .field("nlp_degraded", self.nlp_degraded);
         if let Some(cache) = &self.cache {
             event = event
                 .field("nlp_cache/hits", cache.hits)
@@ -83,6 +89,10 @@ pub struct ExecOptions {
     /// `obs/lf/<lf>/eval_us` latency histograms, `nlp_calls`, the
     /// `obs/nlp/annotate_us` histogram, and an execution span.
     pub telemetry: Option<Telemetry>,
+    /// Deterministic NLP fault injection (chaos tests): attached to every
+    /// worker's model server, making annotation calls fail per the plan's
+    /// NLP schedule. Affected examples degrade to abstain on NLP LFs.
+    pub nlp_faults: Option<FaultPlan>,
 }
 
 impl ExecOptions {
@@ -102,6 +112,12 @@ impl ExecOptions {
         self.telemetry = Some(telemetry);
         self
     }
+
+    /// Attach a deterministic NLP fault-injection plan (chaos tests).
+    pub fn with_nlp_faults(mut self, plan: FaultPlan) -> ExecOptions {
+        self.nlp_faults = Some(plan);
+        self
+    }
 }
 
 /// Interned per-LF instruments, parallel to `set.lfs()` column order.
@@ -111,6 +127,9 @@ struct LfInstruments {
     votes: Vec<Arc<Counter>>,
     /// `obs/lf/<lf>/eval_us` — wall-clock latency of each evaluation.
     eval_us: Vec<Arc<Histogram>>,
+    /// `lf/<lf>/degraded` — bumped when the LF abstained because its
+    /// backing NLP service errored.
+    degraded: Vec<Arc<Counter>>,
 }
 
 impl LfInstruments {
@@ -127,6 +146,11 @@ impl LfInstruments {
                 .iter()
                 .map(|lf| metrics.histogram(&format!("obs/lf/{}/eval_us", lf.metadata().name)))
                 .collect(),
+            degraded: set
+                .lfs()
+                .iter()
+                .map(|lf| metrics.counter(&format!("lf/{}/degraded", lf.metadata().name)))
+                .collect(),
         }
     }
 }
@@ -135,17 +159,26 @@ impl LfInstruments {
 /// A missing feature space (an NLP LF with no annotation, a graph LF
 /// with no graph) is a wiring bug in the caller and surfaces as a
 /// [`DataflowError::User`] rather than a panic inside a worker.
+///
+/// `degraded` marks an example whose NLP annotation call failed: its NLP
+/// LFs abstain (vote 0, with the `lf/<name>/degraded` instrument bumped
+/// when telemetry is attached) instead of erroring on the intentionally
+/// absent annotation.
 fn row_of<X>(
     lfs: &[Lf<X>],
     x: &X,
     annotation: Option<&NlpResult>,
     kg: Option<&KnowledgeGraph>,
     instruments: Option<&LfInstruments>,
+    degraded: bool,
 ) -> Result<Vec<i8>, DataflowError> {
     match instruments {
         None => lfs
             .iter()
             .map(|lf| {
+                if degraded && lf.needs_nlp() {
+                    return Ok(0);
+                }
                 lf.try_vote(x, annotation, kg)
                     .map(|v| v.as_i8())
                     .map_err(|e| DataflowError::user(e.to_string()))
@@ -153,8 +186,15 @@ fn row_of<X>(
             .collect(),
         Some(inst) => lfs
             .iter()
+            .enumerate()
             .zip(inst.eval_us.iter().zip(inst.votes.iter()))
-            .map(|(lf, (eval_us, votes))| {
+            .map(|((i, lf), (eval_us, votes))| {
+                if degraded && lf.needs_nlp() {
+                    if let Some(counter) = inst.degraded.get(i) {
+                        counter.inc();
+                    }
+                    return Ok(0);
+                }
                 let started = Instant::now();
                 let v = lf
                     .try_vote(x, annotation, kg)
@@ -179,10 +219,12 @@ enum WorkerNlp {
 }
 
 impl WorkerNlp {
-    fn annotate(&self, text: &str) -> NlpResult {
+    /// Annotate, surfacing service failures so the caller can degrade.
+    /// The shared-cache path serves hits even during an outage.
+    fn try_annotate(&self, text: &str) -> Result<NlpResult, NlpError> {
         match self {
-            WorkerNlp::Plain(server) => server.annotate(text),
-            WorkerNlp::Shared(cache) => cache.annotate(text),
+            WorkerNlp::Plain(server) => server.try_annotate(text),
+            WorkerNlp::Shared(cache) => cache.try_annotate(text),
         }
     }
 }
@@ -203,6 +245,9 @@ fn build_shared_cache<X>(
         // Instrument after warm-up so the warm-up call is not counted.
         server = server.with_metrics(t.metrics());
     }
+    if let Some(plan) = &opts.nlp_faults {
+        server = server.with_fault_plan(plan.clone());
+    }
     Ok(Some(Arc::new(CachedNlpServer::new(server, capacity))))
 }
 
@@ -222,6 +267,9 @@ fn worker_nlp<X>(
     }
     if let Some(t) = &opts.telemetry {
         server = server.with_metrics(t.metrics());
+    }
+    if let Some(plan) = &opts.nlp_faults {
+        server = server.with_fault_plan(plan.clone());
     }
     Ok(WorkerNlp::Plain(Box::new(server)))
 }
@@ -264,6 +312,7 @@ pub fn execute_in_memory_observed<X: Sync>(
     let _span = opts.telemetry.as_ref().map(|t| t.span("lf_exec/in_memory"));
     let start = Instant::now();
     let nlp_calls = std::sync::atomic::AtomicU64::new(0);
+    let nlp_degraded = std::sync::atomic::AtomicU64::new(0);
     let rows: Vec<Vec<i8>> = par_map_vec(
         examples,
         workers,
@@ -271,12 +320,20 @@ pub fn execute_in_memory_observed<X: Sync>(
         // node), warmed up before any record.
         |_worker| worker_nlp(set, opts, &shared_cache),
         |nlp: &mut WorkerNlp, x: &X| {
-            let annotation = match (set.needs_nlp(), text) {
+            let (annotation, degraded) = match (set.needs_nlp(), text) {
                 (true, Some(t)) => {
                     nlp_calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    Some(nlp.annotate(&t(x)))
+                    match nlp.try_annotate(&t(x)) {
+                        Ok(r) => (Some(r), false),
+                        Err(_) => {
+                            // Service outage on this example: NLP LFs
+                            // abstain instead of failing the run.
+                            nlp_degraded.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            (None, true)
+                        }
+                    }
                 }
-                _ => None,
+                _ => (None, false),
             };
             row_of(
                 set.lfs(),
@@ -284,6 +341,7 @@ pub fn execute_in_memory_observed<X: Sync>(
                 annotation.as_ref(),
                 kg.as_deref(),
                 instruments.as_ref(),
+                degraded,
             )
         },
     )?;
@@ -301,6 +359,7 @@ pub fn execute_in_memory_observed<X: Sync>(
         examples: examples.len(),
         seconds: start.elapsed().as_secs_f64(),
         nlp_calls: nlp_calls.into_inner(),
+        nlp_degraded: nlp_degraded.into_inner(),
         cache,
     };
     if let Some(journal) = opts.telemetry.as_ref().and_then(Telemetry::journal) {
@@ -407,6 +466,16 @@ where
         .iter()
         .map(|lf| format!("votes/{}", lf.metadata().name))
         .collect();
+    // `lf/<name>/degraded` job-counter names for the NLP LFs, interned
+    // for the same reason.
+    let degraded_names: Vec<Option<String>> = set
+        .lfs()
+        .iter()
+        .map(|lf| {
+            lf.needs_nlp()
+                .then(|| format!("lf/{}/degraded", lf.metadata().name))
+        })
+        .collect();
     let instruments = opts
         .telemetry
         .as_ref()
@@ -419,19 +488,28 @@ where
         cfg,
         |_ctx| worker_nlp(set, opts, &shared_cache),
         |nlp: &mut WorkerNlp, x: X, emit, counters: &mut CounterHandle| {
-            let annotation = match (set.needs_nlp(), text) {
+            let (annotation, degraded) = match (set.needs_nlp(), text) {
                 (true, Some(t)) => {
                     counters.inc("nlp_calls");
-                    Some(nlp.annotate(&t(&x)))
+                    match nlp.try_annotate(&t(&x)) {
+                        Ok(r) => (Some(r), false),
+                        Err(_) => (None, true),
+                    }
                 }
-                _ => None,
+                _ => (None, false),
             };
+            if degraded {
+                for name in degraded_names.iter().flatten() {
+                    counters.inc(name);
+                }
+            }
             let votes = row_of(
                 set.lfs(),
                 &x,
                 annotation.as_ref(),
                 kg.as_deref(),
                 instruments.as_ref(),
+                degraded,
             )?;
             for (name, &v) in vote_names.iter().zip(&votes) {
                 if v != 0 {
@@ -669,6 +747,93 @@ mod tests {
         assert_eq!(hits + misses, 8);
         assert!(hits >= 4);
         assert_eq!(stats.counters.get("votes/has_good"), 4);
+    }
+
+    #[test]
+    fn in_memory_degrades_to_abstain_when_nlp_fails() {
+        let set = doc_set();
+        let ext = extractor();
+        // Fail the NLP call for doc 0 only; plain LFs keep voting, the
+        // NLP LF abstains instead of erroring on the missing annotation.
+        let plan = FaultPlan::seeded(4).fail_nlp_text("a good day with Alice Johnson");
+        let opts = ExecOptions::new().with_nlp_faults(plan);
+        let (matrix, stats) =
+            execute_in_memory_observed(&set, Some(&ext), &docs(), 2, &opts).unwrap();
+        assert_eq!(
+            matrix.row(0),
+            &[1, 0, 0],
+            "NLP LF must abstain, plain LFs vote"
+        );
+        assert_eq!(matrix.row(1), &[0, -1, -1], "healthy examples unchanged");
+        assert_eq!(stats.nlp_degraded, 1);
+        assert_eq!(stats.nlp_calls, 4, "the failed request still counts");
+    }
+
+    #[test]
+    fn degraded_lf_counter_is_recorded() {
+        let set = doc_set();
+        let ext = extractor();
+        let plan = FaultPlan::seeded(4).fail_nlp_text("a bad day");
+        let telemetry = Telemetry::new();
+        let opts = ExecOptions::new()
+            .with_nlp_faults(plan)
+            .with_telemetry(telemetry.clone());
+        let (matrix, stats) =
+            execute_in_memory_observed(&set, Some(&ext), &docs(), 2, &opts).unwrap();
+        assert_eq!(matrix.row(1), &[0, -1, 0]);
+        assert_eq!(stats.nlp_degraded, 1);
+        let snap = telemetry.metrics().snapshot();
+        assert_eq!(snap.counter("lf/mentions_person/degraded"), 1);
+        // Only the NLP LF degrades; plain LFs never do.
+        assert_eq!(snap.counter("lf/has_good/degraded"), 0);
+        // The degraded example still contributes its plain votes.
+        assert_eq!(snap.counter("votes/has_bad"), 2);
+    }
+
+    #[test]
+    fn sharded_degrades_and_counts_per_lf() {
+        let set = doc_set();
+        let ext = extractor();
+        let corpus = docs();
+        let dir = tempfile::tempdir().unwrap();
+        let input = ShardSpec::new(dir.path(), "docs", 2);
+        write_all(&input, &corpus).unwrap();
+        let output = input.derive("votes");
+        let cfg = JobConfig::new("lf-exec-degraded").with_workers(2);
+        let plan = FaultPlan::seeded(4).fail_nlp_text("a good day with Alice Johnson");
+        let opts = ExecOptions::new().with_nlp_faults(plan);
+        let (matrix, stats) =
+            execute_sharded_observed(&set, Some(&ext), &input, &output, &cfg, |d| d.0, &opts)
+                .unwrap();
+        assert_eq!(matrix.row(0), &[1, 0, 0]);
+        assert_eq!(matrix.row(3), &[1, -1, -1], "healthy rows unchanged");
+        assert_eq!(stats.counters.get("lf/mentions_person/degraded"), 1);
+        assert_eq!(stats.counters.get("lf/has_good/degraded"), 0);
+        assert_eq!(stats.counters.get("nlp_calls"), 4);
+    }
+
+    #[test]
+    fn degraded_examples_hit_the_cache_shield() {
+        let set = doc_set();
+        let ext = extractor();
+        // Duplicate the corpus. Healthy texts are answered from the memo
+        // table on their second pass; the poisoned text never enters the
+        // cache (failures are not memoized), so both of its requests
+        // degrade.
+        let mut corpus = docs();
+        corpus.extend(docs());
+        let plan = FaultPlan::seeded(4).fail_nlp_text("nothing notable");
+        let opts = ExecOptions::new().with_nlp_cache(64).with_nlp_faults(plan);
+        let (matrix, stats) =
+            execute_in_memory_observed(&set, Some(&ext), &corpus, 1, &opts).unwrap();
+        assert_eq!(
+            stats.nlp_degraded, 2,
+            "failures are never cached; both degrade"
+        );
+        assert_eq!(matrix.row(2), &[0, 0, 0]);
+        assert_eq!(matrix.row(6), &[0, 0, 0]);
+        // Healthy duplicated texts hit the memo table.
+        assert!(stats.cache.unwrap().hits >= 3);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! bounded, hash-keyed memo table — the standard deployment trick — and
 //! exposes hit/miss statistics so the savings show up in job counters.
 
-use crate::server::{NlpResult, NlpServer};
+use crate::server::{NlpError, NlpResult, NlpServer};
 use drybell_obs::MetricsRegistry;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -105,6 +105,33 @@ impl CachedNlpServer {
         // Compute outside the lock: annotation is the expensive part and
         // other workers shouldn't serialize behind it.
         let result = self.inner.annotate(text);
+        self.insert_result(key, &result);
+        result
+    }
+
+    /// Annotate `text` through the memo table, surfacing service failures.
+    ///
+    /// A cache hit is served even while the backing server is failing —
+    /// the memo table acts as a shield during an outage. A miss forwards
+    /// to [`NlpServer::try_annotate`]; failed calls are *never* cached, so
+    /// the next request for the same text retries the server.
+    pub fn try_annotate(&self, text: &str) -> Result<NlpResult, NlpError> {
+        let key = fnv1a64(text.as_bytes());
+        {
+            let mut state = self.state.lock();
+            if let Some(hit) = state.map.get(&key).cloned() {
+                state.stats.hits += 1;
+                return Ok(hit);
+            }
+            state.stats.misses += 1;
+        }
+        let result = self.inner.try_annotate(text)?;
+        self.insert_result(key, &result);
+        Ok(result)
+    }
+
+    /// Insert a freshly computed result, enforcing the capacity bound.
+    fn insert_result(&self, key: u64, result: &NlpResult) {
         let mut state = self.state.lock();
         if state.map.contains_key(&key) {
             // Another worker missed on the same key and inserted while we
@@ -113,7 +140,7 @@ impl CachedNlpServer {
             // leaves the other pointing at nothing — from there the
             // capacity bound decays (the drybell-modelcheck cache model
             // finds exactly this schedule).
-            return result;
+            return;
         }
         if state.map.len() >= self.capacity {
             let cursor = state.cursor;
@@ -126,7 +153,6 @@ impl CachedNlpServer {
             state.ring.push(key);
         }
         state.map.insert(key, result.clone());
-        result
     }
 
     /// Snapshot of cache statistics.
@@ -232,6 +258,38 @@ mod tests {
         // Re-exporting overwrites, never double-counts.
         cache.export_to(&metrics);
         assert_eq!(metrics.snapshot().gauge("nlp_cache/misses"), 3);
+    }
+
+    #[test]
+    fn try_annotate_failures_are_never_cached() {
+        let plan = drybell_dataflow::FaultPlan::seeded(2).fail_nlp_text("down");
+        let cache = CachedNlpServer::new(NlpServer::new().with_fault_plan(plan), 16);
+        assert!(cache.try_annotate("down").is_err());
+        assert!(
+            cache.try_annotate("down").is_err(),
+            "failure must not be memoized"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "each failed call must reach the server");
+        assert_eq!(stats.hits, 0);
+        // Healthy texts behave normally and do memoize.
+        assert!(cache.try_annotate("up").is_ok());
+        assert!(cache.try_annotate("up").is_ok());
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn cache_hits_shield_against_a_failing_server() {
+        // The server fails every try_annotate for this text, but a prior
+        // cached result keeps answering.
+        let plan = drybell_dataflow::FaultPlan::seeded(2).fail_nlp_text("flaky text");
+        let cache = CachedNlpServer::new(NlpServer::new().with_fault_plan(plan), 16);
+        // Seed the memo table through the infallible path (a call made
+        // while the service was healthy).
+        cache.annotate("flaky text");
+        let shielded = cache.try_annotate("flaky text").unwrap();
+        assert!(!shielded.tokens.is_empty());
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]

@@ -37,6 +37,6 @@ pub mod topic_model;
 
 pub use cache::{CacheStats, CachedNlpServer};
 pub use ner::{Entity, EntityKind, NerTagger};
-pub use server::{NlpResult, NlpServer};
+pub use server::{NlpError, NlpResult, NlpServer};
 pub use tokenizer::{tokenize, Token};
 pub use topic_model::{SemanticCategorizer, Topic};

@@ -17,10 +17,42 @@ use crate::ner::{Entity, EntityKind, NerTagger};
 use crate::sentiment::SentimentScorer;
 use crate::tokenizer::{tokenize, Token};
 use crate::topic_model::{SemanticCategorizer, Topic};
+use drybell_dataflow::FaultPlan;
 use drybell_obs::{Counter, Histogram, MetricsRegistry};
 use parking_lot::Mutex;
+use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A failed annotation call: the model server was unreachable, overloaded,
+/// or mid-crash when the RPC arrived.
+///
+/// In DryBell's deployment the NLP service is a remote dependency that can
+/// (and does) fail independently of the pipeline; callers are expected to
+/// degrade — labeling functions abstain on the affected example — rather
+/// than abort the job (§5.4's pipelines keep running through dependency
+/// outages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NlpError {
+    /// Human-readable reason the call failed.
+    pub reason: String,
+}
+
+impl NlpError {
+    pub(crate) fn unavailable(reason: impl Into<String>) -> NlpError {
+        NlpError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for NlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nlp service unavailable: {}", self.reason)
+    }
+}
+
+impl std::error::Error for NlpError {}
 
 /// Everything the NLP service knows about one piece of text — the
 /// `NLPResult` of the paper's `NLPLabelingFunction` example.
@@ -82,6 +114,7 @@ pub struct NlpServer {
     cost_per_call_us: u64,
     stats: Arc<Mutex<ServerStats>>,
     telemetry: Option<ServerTelemetry>,
+    faults: Option<FaultPlan>,
     warmed_up: bool,
 }
 
@@ -107,6 +140,7 @@ impl NlpServer {
             cost_per_call_us: Self::DEFAULT_COST_US,
             stats: Arc::new(Mutex::new(ServerStats::default())),
             telemetry: None,
+            faults: None,
             warmed_up: false,
         }
     }
@@ -126,6 +160,14 @@ impl NlpServer {
             calls: metrics.counter("nlp_calls"),
             annotate_us: metrics.histogram("obs/nlp/annotate_us"),
         });
+        self
+    }
+
+    /// Attach a deterministic fault-injection plan: [`NlpServer::try_annotate`]
+    /// fails (and delays) according to the plan's NLP schedule. Chaos tests
+    /// only; the infallible [`NlpServer::annotate`] ignores the plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> NlpServer {
+        self.faults = Some(plan);
         self
     }
 
@@ -164,6 +206,31 @@ impl NlpServer {
             t.annotate_us.record_duration(started.elapsed());
         }
         result
+    }
+
+    /// Run all models over `text`, surfacing service failures.
+    ///
+    /// This is the call sites should prefer when they can degrade: an
+    /// `Err` means the service (as simulated by the attached
+    /// [`FaultPlan`]) dropped the request. The failed call still counts
+    /// toward [`ServerStats`] — the server accepted the RPC — but no
+    /// annotation work happens. Without a fault plan this never fails.
+    pub fn try_annotate(&self, text: &str) -> Result<NlpResult, NlpError> {
+        if let Some(plan) = &self.faults {
+            let delay = plan.nlp_delay();
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            if plan.nlp_should_fail(text) {
+                let mut stats = self.stats.lock();
+                stats.calls += 1;
+                stats.simulated_cost_us += self.cost_per_call_us;
+                return Err(NlpError::unavailable(
+                    "injected fault: annotate RPC dropped",
+                ));
+            }
+        }
+        Ok(self.annotate(text))
     }
 
     /// Snapshot of cumulative stats (shared across clones of this server,
@@ -260,6 +327,39 @@ mod tests {
         let hist = snap.histogram("obs/nlp/annotate_us").expect("histogram");
         assert_eq!(hist.count(), 2);
         assert!(hist.max() >= hist.min());
+    }
+
+    #[test]
+    fn try_annotate_without_plan_never_fails() {
+        let server = NlpServer::new();
+        let r = server.try_annotate("Alice Johnson buys a camera").unwrap();
+        assert!(!r.tokens.is_empty());
+    }
+
+    #[test]
+    fn try_annotate_honors_fault_plan_deterministically() {
+        let plan = FaultPlan::seeded(17).fail_nlp_text("poisoned text");
+        let server = NlpServer::new().with_cost_us(100).with_fault_plan(plan);
+        assert!(server.try_annotate("poisoned text").is_err());
+        assert!(server.try_annotate("poisoned text").is_err());
+        assert!(server.try_annotate("healthy text").is_ok());
+        // Failed RPCs still count as served calls (2 failed + 1 ok).
+        assert_eq!(server.stats().calls, 3);
+    }
+
+    #[test]
+    fn try_annotate_rate_faults_hash_the_text() {
+        let plan = FaultPlan::seeded(23).with_nlp_error_rate(0.5);
+        let server = NlpServer::new().with_fault_plan(plan);
+        let verdicts: Vec<bool> = (0..20)
+            .map(|i| server.try_annotate(&format!("text {i}")).is_ok())
+            .collect();
+        let again: Vec<bool> = (0..20)
+            .map(|i| server.try_annotate(&format!("text {i}")).is_ok())
+            .collect();
+        assert_eq!(verdicts, again, "per-text verdicts must be stable");
+        assert!(verdicts.iter().any(|v| *v));
+        assert!(verdicts.iter().any(|v| !*v));
     }
 
     #[test]

@@ -89,6 +89,21 @@ pub const REGISTRY: &[NameSpec] = &[
         template: "nlp_cache/evictions",
         doc: "NLP memo-table evictions (sharded job counters)",
     },
+    NameSpec {
+        family: Family::Counter,
+        template: "dataflow/retries",
+        doc: "shard/partition attempts that failed and were requeued (MapReduce engine)",
+    },
+    NameSpec {
+        family: Family::Counter,
+        template: "dataflow/skipped_records",
+        doc: "records dropped under skip_bad_record_budget instead of failing the shard",
+    },
+    NameSpec {
+        family: Family::Counter,
+        template: "lf/{lf}/degraded",
+        doc: "examples where the LF abstained because its backing service errored",
+    },
     // ---- Gauges (point-in-time exports of absolute levels) ----
     NameSpec {
         family: Family::Gauge,
@@ -177,6 +192,11 @@ pub const REGISTRY: &[NameSpec] = &[
         template: "worker/busy",
         doc: "per-worker busy time",
     },
+    NameSpec {
+        family: Family::Span,
+        template: "job/shard_attempt",
+        doc: "one attempt at one shard/partition task (retries record one span each)",
+    },
     // ---- Journal event kinds ----
     NameSpec {
         family: Family::JournalKind,
@@ -222,6 +242,11 @@ pub const REGISTRY: &[NameSpec] = &[
         family: Family::JournalKind,
         template: "shadow",
         doc: "a shadow-evaluation report (serving layer)",
+    },
+    NameSpec {
+        family: Family::JournalKind,
+        template: "shard_attempt",
+        doc: "one shard/partition attempt finished (outcome: ok, retry, or failed)",
     },
 ];
 
