@@ -45,7 +45,7 @@ fn bench_ftrl(c: &mut Criterion) {
                     ..FtrlConfig::default()
                 },
             );
-            m.fit(&data);
+            m.fit(&data).unwrap();
             black_box(m.bias());
         })
     });
@@ -56,7 +56,7 @@ fn bench_ftrl(c: &mut Criterion) {
             ..FtrlConfig::default()
         },
     );
-    model.fit(&data);
+    model.fit(&data).unwrap();
     group.throughput(Throughput::Elements(data.len() as u64));
     group.bench_function("predict_10k", |b| {
         b.iter(|| {

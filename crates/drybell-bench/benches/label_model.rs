@@ -6,6 +6,8 @@
 //! * `gibbs_step`: the OSS-Snorkel-style Gibbs step on the same matrix
 //!   (the paper reports <50 examples/s, i.e. <1 batch-64 step/s).
 //! * `posterior_inference`: converting votes to probabilistic labels.
+//! * `thread_scaling`: the parallel hot path (chunked gradients and
+//!   posterior scans) at 1/2/4/8 worker threads.
 //! * Ablations: LF count scaling and the categorical variant.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -127,6 +129,55 @@ fn bench_posterior_inference(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_thread_scaling(c: &mut Criterion) {
+    // The parallel hot path: chunked gradients and posterior scans with
+    // the deterministic tree reduction (exp_speed sweeps the same
+    // widths and records them in BENCH_label_model.json).
+    let matrix = planted(100_000, 8, 5);
+    let mut model = GenerativeModel::new(8, 0.7);
+    model
+        .fit(
+            &matrix,
+            &TrainConfig {
+                steps: 100,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+    let mut group = c.benchmark_group("thread_scaling");
+    group.throughput(Throughput::Elements(matrix.num_examples() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("predict_proba_100k_x8lfs", threads),
+            &threads,
+            |b, &threads| b.iter(|| black_box(model.predict_proba_threads(&matrix, threads))),
+        );
+    }
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("fit_10_fullbatch_steps", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut m = GenerativeModel::new(8, 0.7);
+                    m.fit(
+                        &matrix,
+                        &TrainConfig {
+                            steps: 10,
+                            batch_size: 8_192,
+                            num_threads: threads,
+                            ..TrainConfig::default()
+                        },
+                    )
+                    .unwrap();
+                    black_box(m.alphas()[0]);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_categorical(c: &mut Criterion) {
     let k = 5u32;
     let mut rng = StdRng::seed_from_u64(4);
@@ -170,6 +221,6 @@ fn bench_categorical(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_training_steps, bench_lf_count_scaling, bench_posterior_inference, bench_categorical
+    targets = bench_training_steps, bench_lf_count_scaling, bench_posterior_inference, bench_thread_scaling, bench_categorical
 }
 criterion_main!(benches);

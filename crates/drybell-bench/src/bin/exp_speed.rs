@@ -1,20 +1,35 @@
-//! §5.2 timing: sampling-free optimization vs the Gibbs sampler.
+//! §5.2 timing: sampling-free optimization vs the Gibbs sampler, plus a
+//! thread-scaling sweep over the parallel label-model hot path.
 //!
 //! "With ten labeling functions and a batch size of 64, the optimizer
 //! takes an average > 100 steps per second ... a Gibbs sampler averages
 //! < 50 examples per second, so Snorkel DryBell provides a 2× speedup."
 //! (Both numbers on a single compute node / single thread.)
 //!
-//! We measure both trainers on the same label matrix (product-task LFs at
-//! the paper's 10-LF benchmark setting, batch 64) and report steps/s,
-//! examples/s, and the speedup at equal example throughput.
+//! Part 1 measures both trainers on the same label matrix (product-task
+//! LFs at the paper's 10-LF benchmark setting, batch 64) and reports
+//! steps/s, examples/s, and the speedup at equal example throughput.
+//!
+//! Part 2 sweeps `TrainConfig::num_threads` over {1, 2, 4, 8} on a
+//! seeded `1M × 8`-scaled matrix (100k rows at the default `--scale
+//! 0.1`), timing full-batch training and posterior inference at each
+//! width and checksumming the learned parameters and posteriors to
+//! prove the deterministic tree reduction: every thread count must
+//! produce byte-identical results. The sweep is written to
+//! `results/BENCH_label_model.json` (and to stdout with `--json`) for
+//! the `bench-smoke` CI gate and the EXPERIMENTS.md speed table.
 
 use drybell_bench::args::ExpArgs;
 use drybell_core::generative::{GenerativeModel, TrainConfig};
 use drybell_core::gibbs::{GibbsConfig, GibbsTrainer};
 use drybell_core::LabelMatrix;
+use drybell_obs::Json;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Thread widths the scaling sweep measures.
+const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
 
 /// Synthesize a planted label matrix with the benchmark shape.
 fn planted_matrix(examples: usize, lfs: usize, seed: u64) -> LabelMatrix {
@@ -40,16 +55,78 @@ fn planted_matrix(examples: usize, lfs: usize, seed: u64) -> LabelMatrix {
     m
 }
 
+/// FNV-1a over the exact bit patterns of a float sequence: equal
+/// checksums ⇔ byte-identical values.
+fn bits_checksum(xs: impl Iterator<Item = f64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for x in xs {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// One measured point of the thread-scaling sweep.
+struct SweepPoint {
+    threads: usize,
+    fit_rows_per_sec: f64,
+    predict_rows_per_sec: f64,
+    final_nll: f64,
+    params_checksum: u64,
+    posterior_checksum: u64,
+}
+
+/// Train + infer at one thread width and checksum everything learned.
+fn sweep_point(matrix: &LabelMatrix, threads: usize) -> SweepPoint {
+    let mut model = GenerativeModel::new(matrix.num_lfs(), 0.7);
+    let cfg = TrainConfig {
+        steps: 40,
+        batch_size: 8_192,
+        num_threads: threads,
+        seed: 0,
+        ..TrainConfig::default()
+    };
+    let report = model.fit(matrix, &cfg).expect("sweep training");
+
+    let start = Instant::now();
+    let posteriors = model.predict_proba_threads(matrix, threads);
+    let predict_s = start.elapsed().as_secs_f64();
+
+    let params = model
+        .alphas()
+        .iter()
+        .chain(model.betas())
+        .copied()
+        .chain(std::iter::once(model.eta()));
+    SweepPoint {
+        threads,
+        fit_rows_per_sec: report.rows_per_sec,
+        predict_rows_per_sec: posteriors.len() as f64 / predict_s.max(1e-12),
+        final_nll: report.final_nll,
+        params_checksum: bits_checksum(params),
+        posterior_checksum: bits_checksum(posteriors.into_iter()),
+    }
+}
+
 fn main() {
     let args = ExpArgs::parse();
+    let quiet = args.json;
+    let say = |s: String| {
+        if !quiet {
+            println!("{s}");
+        }
+    };
+
+    // ---- Part 1: §5.2 sampling-free vs Gibbs (unchanged setting) ------
     let examples = ((100_000.0 * args.scale) as usize).max(5_000);
     let lfs = 10; // the paper's benchmark setting
     let steps = 2_000;
     let matrix = planted_matrix(examples, lfs, args.seed.unwrap_or(1));
-    println!(
-        "== §5.2: sampling-free vs Gibbs ({} examples, {} LFs, batch 64, {} steps) ==\n",
-        examples, lfs, steps
-    );
+    say(format!(
+        "== §5.2: sampling-free vs Gibbs ({examples} examples, {lfs} LFs, batch 64, {steps} steps) ==\n"
+    ));
 
     let mut sf = GenerativeModel::new(lfs, 0.7);
     let report = sf
@@ -63,12 +140,12 @@ fn main() {
             },
         )
         .expect("sampling-free training");
-    println!(
+    say(format!(
         "sampling-free: {:>10.0} steps/s  {:>12.0} examples/s  (final NLL {:.4})",
         report.steps_per_sec,
         report.steps_per_sec * 64.0,
         report.final_nll
-    );
+    ));
 
     let mut gibbs = GibbsTrainer::new(lfs);
     let greport = gibbs
@@ -87,15 +164,15 @@ fn main() {
             },
         )
         .expect("gibbs training");
-    println!(
+    say(format!(
         "gibbs sampler: {:>10.0} steps/s  {:>12.0} examples/s  (final NLL {:.4})",
         greport.steps_per_sec, greport.examples_per_sec, greport.final_nll
-    );
+    ));
 
     let speedup = report.steps_per_sec / greport.steps_per_sec;
-    println!("\nsampling-free speedup over Gibbs: {speedup:.1}x");
-    println!("(paper: >100 steps/s vs <50 examples/s on Google hardware; the");
-    println!(" absolute rates here are far higher, the *ratio* is the claim)");
+    say(format!("\nsampling-free speedup over Gibbs: {speedup:.1}x"));
+    say("(paper: >100 steps/s vs <50 examples/s on Google hardware; the".into());
+    say(" absolute rates here are far higher, the *ratio* is the claim)".into());
 
     // The two trainers should also agree on what they learned.
     let max_gap = sf
@@ -104,5 +181,118 @@ fn main() {
         .zip(gibbs.model().learned_accuracies())
         .map(|(a, b)| (a - b).abs())
         .fold(0.0, f64::max);
-    println!("max learned-accuracy gap between trainers: {max_gap:.4}");
+    say(format!(
+        "max learned-accuracy gap between trainers: {max_gap:.4}"
+    ));
+
+    // ---- Part 2: thread-scaling sweep over the parallel hot path ------
+    let sweep_examples = ((1_000_000.0 * args.scale) as usize).max(5_000);
+    let sweep_lfs = 8;
+    let sweep_matrix = planted_matrix(sweep_examples, sweep_lfs, args.seed.unwrap_or(1));
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    say(format!(
+        "\n== thread scaling: {sweep_examples} examples, {sweep_lfs} LFs, batch 8192 (host parallelism {host_parallelism}) ==\n"
+    ));
+    say(format!(
+        "{:>8} {:>16} {:>16} {:>12} {:>6}",
+        "threads", "fit rows/s", "predict rows/s", "speedup", "bytes"
+    ));
+
+    let points: Vec<SweepPoint> = SWEEP_THREADS
+        .iter()
+        .map(|&t| sweep_point(&sweep_matrix, t))
+        .collect();
+    let base = &points[0];
+    let byte_identical = points.iter().all(|p| {
+        p.params_checksum == base.params_checksum && p.posterior_checksum == base.posterior_checksum
+    });
+    for p in &points {
+        say(format!(
+            "{:>8} {:>16.0} {:>16.0} {:>11.2}x {:>6}",
+            p.threads,
+            p.fit_rows_per_sec,
+            p.predict_rows_per_sec,
+            p.fit_rows_per_sec / base.fit_rows_per_sec,
+            if p.params_checksum == base.params_checksum
+                && p.posterior_checksum == base.posterior_checksum
+            {
+                "same"
+            } else {
+                "DIFF"
+            }
+        ));
+    }
+    say(format!(
+        "\nall thread counts byte-identical: {byte_identical}"
+    ));
+    assert!(
+        byte_identical,
+        "parallel training diverged from the single-thread result"
+    );
+
+    let doc = Json::obj(vec![
+        ("bench", Json::from("label_model")),
+        ("examples", Json::from(sweep_examples)),
+        ("lfs", Json::from(sweep_lfs)),
+        ("batch_size", Json::from(8_192_usize)),
+        ("host_parallelism", Json::from(host_parallelism)),
+        ("byte_identical", Json::from(byte_identical)),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("threads", Json::from(p.threads)),
+                            ("rows_per_sec", Json::from(p.fit_rows_per_sec)),
+                            ("predict_rows_per_sec", Json::from(p.predict_rows_per_sec)),
+                            (
+                                "speedup_vs_1",
+                                Json::from(p.fit_rows_per_sec / base.fit_rows_per_sec),
+                            ),
+                            ("final_nll", Json::from(p.final_nll)),
+                            (
+                                "params_checksum",
+                                Json::from(format!("{:016x}", p.params_checksum)),
+                            ),
+                            (
+                                "posterior_checksum",
+                                Json::from(format!("{:016x}", p.posterior_checksum)),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "gibbs_comparison",
+            Json::obj(vec![
+                (
+                    "sampling_free_steps_per_sec",
+                    Json::from(report.steps_per_sec),
+                ),
+                ("gibbs_steps_per_sec", Json::from(greport.steps_per_sec)),
+                ("speedup", Json::from(speedup)),
+            ]),
+        ),
+    ]);
+
+    let out_dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+    let out_path = out_dir.join("BENCH_label_model.json");
+    if let Err(e) = std::fs::write(&out_path, format!("{}\n", doc.to_pretty())) {
+        eprintln!("cannot write {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    say(format!("wrote {}", out_path.display()));
+
+    if args.json {
+        println!("{}", doc.to_pretty());
+    }
 }

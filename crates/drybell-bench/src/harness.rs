@@ -280,7 +280,7 @@ impl<X: Sync + Send> ContentTask<X> {
     ) -> LogisticRegression {
         let mut model =
             LogisticRegression::new(self.hash_dims as usize, self.lr_config(iterations));
-        model.fit(examples);
+        model.fit(examples).expect("harness datasets are non-empty");
         model
     }
 

@@ -14,6 +14,8 @@ pub enum CoreError {
     },
     /// An operation needed a non-empty matrix but got zero rows or zero LFs.
     EmptyMatrix,
+    /// A matrix was requested with zero labeling functions (no columns).
+    ZeroLabelingFunctions,
     /// Vote value outside `{-1, 0, +1}` (binary) or `0..=k` (categorical).
     InvalidVote {
         /// The raw encoded vote value.
@@ -44,6 +46,9 @@ impl fmt::Display for CoreError {
                 write!(f, "label row has {got} votes, matrix expects {expected}")
             }
             CoreError::EmptyMatrix => write!(f, "operation requires a non-empty label matrix"),
+            CoreError::ZeroLabelingFunctions => {
+                write!(f, "label matrix needs at least one labeling function")
+            }
             CoreError::InvalidVote { value, expected } => {
                 write!(f, "invalid vote value {value}, expected {expected}")
             }

@@ -31,12 +31,22 @@
 //!
 //! where `p_i = σ(s_i⁺ − s_i⁻)` is the posterior — which doubles as the
 //! probabilistic training label `Ỹ_i` once training finishes.
+//!
+//! Training and inference are data-parallel: gradient accumulation and
+//! the full-matrix row scans (`predict_proba`, `nll`) shard over
+//! [`TrainConfig::num_threads`] scoped workers with fixed chunk
+//! boundaries and a fixed-order tree reduction (see [`crate::parallel`]),
+//! so results are **byte-identical at any thread count**. Sparse
+//! matrices additionally use an active-index ([`ActiveRows`]) inner loop
+//! that skips abstain cells without changing a single floating-point
+//! operation.
 
 // drybell-lint: allow-file(no-panic-index) — dense numeric kernel: loop bounds are derived from the matrix shape once and invariant; .get() in the inner loops would hide real shape bugs and cost the hot path
 
 use crate::error::CoreError;
-use crate::matrix::LabelMatrix;
+use crate::matrix::{ActiveRows, LabelMatrix};
 use crate::optim::{OptimState, Optimizer};
+use crate::parallel;
 use crate::{logsumexp2, sigmoid};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -68,6 +78,13 @@ pub struct TrainConfig {
     /// Record the full-data NLL every `record_every` steps (0 = never);
     /// recording costs a full pass, so keep it sparse for big matrices.
     pub record_every: usize,
+    /// Worker threads for gradient accumulation and full-data row scans
+    /// (0 is treated as 1). Results are **byte-identical at any value**:
+    /// rows are chunked at fixed boundaries and partials are combined
+    /// with a fixed-order tree reduction (see [`crate::parallel`]).
+    /// Batches smaller than one chunk never spawn a thread, so the
+    /// paper's batch-64 setting keeps its single-thread profile.
+    pub num_threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -82,6 +99,7 @@ impl Default for TrainConfig {
             init_alpha: 0.7,
             seed: 0,
             record_every: 0,
+            num_threads: 1,
         }
     }
 }
@@ -116,6 +134,11 @@ pub struct TrainReport {
     pub seconds: f64,
     /// Gradient steps per second (the §5.2 headline metric).
     pub steps_per_sec: f64,
+    /// Example rows consumed by gradient accumulation (steps × batch).
+    pub rows: usize,
+    /// Row throughput of training (`rows / seconds`) — the scaling metric
+    /// `BENCH_label_model.json` tracks across thread counts.
+    pub rows_per_sec: f64,
     /// `(step, mean NLL)` samples if `record_every > 0`.
     pub loss_history: Vec<(usize, f64)>,
     /// Per-epoch gradient/step-size/time accounting (always populated;
@@ -145,7 +168,9 @@ impl TrainReport {
                 .field("epochs", self.epochs.len())
                 .field("final_nll", self.final_nll)
                 .field("seconds", self.seconds)
-                .field("steps_per_sec", self.steps_per_sec),
+                .field("steps_per_sec", self.steps_per_sec)
+                .field("rows", self.rows)
+                .field("rows_per_sec", self.rows_per_sec),
         );
     }
 }
@@ -161,12 +186,29 @@ pub struct GenerativeModel {
     learn_prior: bool,
 }
 
-/// Per-LF cached quantities for one parameter setting.
+/// Per-parameter-setting cached quantities: per-LF normalizer gradients,
+/// the summed log-normalizer, and the class-prior terms that used to be
+/// recomputed (two `sigmoid` + `ln` calls) for **every row** inside
+/// `joint_scores`.
 struct LfCache {
     dz_da: Vec<f64>,
     dz_db: Vec<f64>,
     sum_z: f64,
+    /// `log σ(η)` — log prior of the positive class.
+    log_pi_pos: f64,
+    /// `log σ(−η)` — log prior of the negative class.
+    log_pi_neg: f64,
+    /// `σ(η)` — the prior itself, used by the `∂η` gradient term.
+    pi: f64,
 }
+
+/// Density threshold below which `fit` builds an [`ActiveRows`] index
+/// and runs the sparse inner loops. At ≥ 50% non-abstain cells a dense
+/// scan touches fewer bytes than the `(u32, i8)` entry list, so the
+/// dense path stays the default for well-covered matrices. The choice
+/// depends only on the matrix — never on the thread count — so it can't
+/// perturb the determinism guarantee.
+const ACTIVE_INDEX_MAX_DENSITY: f64 = 0.5;
 
 impl GenerativeModel {
     /// Create a model for `num_lfs` labeling functions with the given
@@ -193,6 +235,11 @@ impl GenerativeModel {
     /// Raw propensity parameters `β`.
     pub fn betas(&self) -> &[f64] {
         &self.beta
+    }
+
+    /// Raw class-prior log-odds parameter `η`.
+    pub fn eta(&self) -> f64 {
+        self.eta
     }
 
     /// Directly set the parameters (used by tests and by the Gibbs trainer
@@ -243,17 +290,19 @@ impl GenerativeModel {
             dz_db.push((a + b) / d);
             sum_z += d.ln();
         }
+        let pi = sigmoid(self.eta);
         LfCache {
             dz_da,
             dz_db,
             sum_z,
+            log_pi_pos: pi.ln(),
+            log_pi_neg: sigmoid(-self.eta).ln(),
+            pi,
         }
     }
 
     /// Joint log-scores `(log P(Λ_i, Y=+1), log P(Λ_i, Y=−1))` for one row.
     fn joint_scores(&self, row: &[i8], cache: &LfCache) -> (f64, f64) {
-        let log_pi_pos = sigmoid(self.eta).ln();
-        let log_pi_neg = sigmoid(-self.eta).ln();
         let mut margin = 0.0; // Σ_{active} λ·α
         let mut active_beta = 0.0; // Σ_{active} β
         for (j, &l) in row.iter().enumerate() {
@@ -263,7 +312,28 @@ impl GenerativeModel {
             }
         }
         let base = active_beta - cache.sum_z;
-        (log_pi_pos + margin + base, log_pi_neg - margin + base)
+        (
+            cache.log_pi_pos + margin + base,
+            cache.log_pi_neg - margin + base,
+        )
+    }
+
+    /// [`GenerativeModel::joint_scores`] over an active-index row: the
+    /// same accumulations in the same column order, visiting only the
+    /// non-abstain entries — bit-identical to the dense scan.
+    fn joint_scores_active(&self, entries: &[(u32, i8)], cache: &LfCache) -> (f64, f64) {
+        let mut margin = 0.0;
+        let mut active_beta = 0.0;
+        for &(j, l) in entries {
+            let j = j as usize;
+            margin += f64::from(l) * self.alpha[j];
+            active_beta += self.beta[j];
+        }
+        let base = active_beta - cache.sum_z;
+        (
+            cache.log_pi_pos + margin + base,
+            cache.log_pi_neg - margin + base,
+        )
     }
 
     /// Posterior `P(Y_i = +1 | Λ_i)` for one vote row.
@@ -276,50 +346,154 @@ impl GenerativeModel {
     /// Posterior probabilities for every row of the matrix — these are the
     /// probabilistic training labels `Ỹ` handed to the discriminative model.
     pub fn predict_proba(&self, m: &LabelMatrix) -> Vec<f64> {
+        self.predict_proba_threads(m, 1)
+    }
+
+    /// [`GenerativeModel::predict_proba`] sharded across `num_threads`
+    /// scoped workers. Output is byte-identical at any thread count: each
+    /// posterior depends only on its own row, and rows are emitted in
+    /// fixed chunk order.
+    pub fn predict_proba_threads(&self, m: &LabelMatrix, num_threads: usize) -> Vec<f64> {
         let cache = self.cache();
-        m.rows()
-            .map(|row| {
-                let (sp, sm) = self.joint_scores(row, &cache);
-                sigmoid(sp - sm)
-            })
-            .collect()
+        let chunks = parallel::map_chunks(num_threads, m.num_examples(), |_, range| {
+            range
+                .map(|i| {
+                    let (sp, sm) = self.joint_scores(m.row(i), &cache);
+                    sigmoid(sp - sm)
+                })
+                .collect::<Vec<f64>>()
+        });
+        let mut out = Vec::with_capacity(m.num_examples());
+        for chunk in chunks {
+            out.extend_from_slice(&chunk);
+        }
+        out
+    }
+
+    /// [`GenerativeModel::predict_proba_threads`] with telemetry: records
+    /// one `obs/train/predict_us` latency sample and adds the row count
+    /// to the `obs/train/posterior_rows` throughput counter.
+    pub fn predict_proba_observed(
+        &self,
+        m: &LabelMatrix,
+        num_threads: usize,
+        telemetry: Option<&drybell_obs::Telemetry>,
+    ) -> Vec<f64> {
+        let start = telemetry.map(|_| Instant::now());
+        let out = self.predict_proba_threads(m, num_threads);
+        if let (Some(t), Some(s)) = (telemetry, start) {
+            t.metrics()
+                .histogram("obs/train/predict_us")
+                .record_duration(s.elapsed());
+            t.metrics()
+                .counter("obs/train/posterior_rows")
+                .add(out.len() as u64);
+        }
+        out
     }
 
     /// Mean per-example negative marginal log-likelihood `−log P(Λ)/m`.
     pub fn nll(&self, m: &LabelMatrix) -> Result<f64, CoreError> {
+        self.nll_threads(m, 1)
+    }
+
+    /// [`GenerativeModel::nll`] sharded across `num_threads` workers,
+    /// byte-identical at any thread count (fixed chunking, fixed-order
+    /// tree reduction of the per-chunk partial sums).
+    pub fn nll_threads(&self, m: &LabelMatrix, num_threads: usize) -> Result<f64, CoreError> {
+        self.nll_inner(m, None, num_threads)
+    }
+
+    /// Shared NLL kernel: scans the active index when one is available,
+    /// the dense rows otherwise. Both paths perform identical
+    /// floating-point operations.
+    fn nll_inner(
+        &self,
+        m: &LabelMatrix,
+        active: Option<&ActiveRows>,
+        num_threads: usize,
+    ) -> Result<f64, CoreError> {
         if m.is_empty() {
             return Err(CoreError::EmptyMatrix);
         }
         let cache = self.cache();
-        let total: f64 = m
-            .rows()
-            .map(|row| {
-                let (sp, sm) = self.joint_scores(row, &cache);
-                -logsumexp2(sp, sm)
-            })
-            .sum();
+        let partials = parallel::map_chunks(num_threads, m.num_examples(), |_, range| {
+            range
+                .map(|i| {
+                    let (sp, sm) = match active {
+                        Some(ix) => self.joint_scores_active(ix.row(i), &cache),
+                        None => self.joint_scores(m.row(i), &cache),
+                    };
+                    -logsumexp2(sp, sm)
+                })
+                .sum::<f64>()
+        });
+        let total = parallel::tree_reduce(partials, |a, b| a + b).unwrap_or(0.0);
         Ok(total / m.num_examples() as f64)
     }
 
-    /// Accumulate the mean gradient of the NLL over the given row indices.
+    /// Accumulate the mean gradient of the NLL over the given row indices,
+    /// sharding the accumulation over `num_threads` workers (fixed chunk
+    /// boundaries over the batch positions, fixed-order tree reduction of
+    /// the partial gradient vectors — byte-identical at any thread count).
     ///
-    /// Layout of `grad`: `[∂α_0..∂α_n, ∂β_0..∂β_n, ∂η]`.
-    fn grad_batch(&self, m: &LabelMatrix, batch: &[usize], l2: f64, grad: &mut [f64]) {
+    /// Layout of `grad`: `[∂α_0..∂α_n, ∂β_0..∂β_n, ∂η]`. An empty batch
+    /// leaves `grad` all-zero instead of dividing by zero (which used to
+    /// silently poison the optimizer state with NaNs).
+    fn grad_batch(
+        &self,
+        m: &LabelMatrix,
+        active: Option<&ActiveRows>,
+        batch: &[usize],
+        l2: f64,
+        num_threads: usize,
+        grad: &mut [f64],
+    ) {
         let n = self.alpha.len();
         grad.iter_mut().for_each(|g| *g = 0.0);
+        if batch.is_empty() {
+            return;
+        }
         let cache = self.cache();
-        let pi = sigmoid(self.eta);
-        for &i in batch {
-            let row = m.row(i);
-            let (sp, sm) = self.joint_scores(row, &cache);
-            let p = sigmoid(sp - sm);
-            for (j, &l) in row.iter().enumerate() {
-                if l != 0 {
-                    grad[j] -= (2.0 * p - 1.0) * f64::from(l);
-                    grad[n + j] -= 1.0;
+        let partials = parallel::map_chunks(num_threads, batch.len(), |_, range| {
+            let mut part = vec![0.0; 2 * n + 1];
+            for &i in batch.get(range).unwrap_or(&[]) {
+                match active {
+                    Some(ix) => {
+                        let entries = ix.row(i);
+                        let (sp, sm) = self.joint_scores_active(entries, &cache);
+                        let p = sigmoid(sp - sm);
+                        for &(j, l) in entries {
+                            let j = j as usize;
+                            part[j] -= (2.0 * p - 1.0) * f64::from(l);
+                            part[n + j] -= 1.0;
+                        }
+                        part[2 * n] += cache.pi - p;
+                    }
+                    None => {
+                        let row = m.row(i);
+                        let (sp, sm) = self.joint_scores(row, &cache);
+                        let p = sigmoid(sp - sm);
+                        for (j, &l) in row.iter().enumerate() {
+                            if l != 0 {
+                                part[j] -= (2.0 * p - 1.0) * f64::from(l);
+                                part[n + j] -= 1.0;
+                            }
+                        }
+                        part[2 * n] += cache.pi - p;
+                    }
                 }
             }
-            grad[2 * n] += pi - p;
+            part
+        });
+        let reduced = parallel::tree_reduce(partials, |mut a, b| {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += y;
+            }
+            a
+        });
+        if let Some(sum) = reduced {
+            grad.copy_from_slice(&sum);
         }
         // Batch-constant ∂Z terms (every example contributes ∂Z_j regardless
         // of abstention).
@@ -342,12 +516,36 @@ impl GenerativeModel {
     }
 
     /// Mean NLL gradient over the whole matrix (exposed for gradient checks
-    /// and for full-batch training in tests).
-    pub fn full_gradient(&self, m: &LabelMatrix, l2: f64) -> Vec<f64> {
+    /// and for full-batch training). Errors on an empty matrix — the
+    /// former `Vec` return silently produced `0/0 = NaN` gradients.
+    pub fn full_gradient(&self, m: &LabelMatrix, l2: f64) -> Result<Vec<f64>, CoreError> {
+        self.full_gradient_path(m, l2, m.vote_density() < ACTIVE_INDEX_MAX_DENSITY, 1)
+    }
+
+    /// [`GenerativeModel::full_gradient`] with the sparse/dense inner
+    /// loop forced and a worker count. Exposed so the equivalence
+    /// proptest can assert both paths produce bit-identical gradients.
+    pub fn full_gradient_path(
+        &self,
+        m: &LabelMatrix,
+        l2: f64,
+        use_active_index: bool,
+        num_threads: usize,
+    ) -> Result<Vec<f64>, CoreError> {
+        if m.is_empty() {
+            return Err(CoreError::EmptyMatrix);
+        }
+        if m.num_lfs() != self.alpha.len() {
+            return Err(CoreError::LengthMismatch {
+                left: m.num_lfs(),
+                right: self.alpha.len(),
+            });
+        }
         let idx: Vec<usize> = (0..m.num_examples()).collect();
+        let active = use_active_index.then(|| m.active_index());
         let mut grad = vec![0.0; 2 * self.alpha.len() + 1];
-        self.grad_batch(m, &idx, l2, &mut grad);
-        grad
+        self.grad_batch(m, active.as_ref(), &idx, l2, num_threads, &mut grad);
+        Ok(grad)
     }
 
     /// Fit the model to the observed label matrix by mini-batch gradient
@@ -377,8 +575,11 @@ impl GenerativeModel {
                 right: self.alpha.len(),
             });
         }
+        if cfg.steps == 0 {
+            return Err(CoreError::BadConfig("steps must be >= 1".into()));
+        }
         if cfg.batch_size == 0 {
-            return Err(CoreError::BadConfig("batch_size must be > 0".into()));
+            return Err(CoreError::BadConfig("batch_size must be >= 1".into()));
         }
         if !(0.0..=1.0).contains(&cfg.class_prior)
             || cfg.class_prior == 0.0
@@ -404,7 +605,18 @@ impl GenerativeModel {
         let mut cursor = 0usize;
         let mut history = Vec::new();
         let step_us = telemetry.map(|t| t.metrics().histogram("obs/train/step_us"));
+        let rows_counter = telemetry.map(|t| t.metrics().counter("obs/train/rows"));
         let _span = telemetry.map(|t| t.span("train/fit"));
+        // Worker pool for gradient accumulation and full-data NLL scans.
+        // The sparse active index pays off when most cells abstain; the
+        // choice depends only on the matrix, so it cannot perturb the
+        // byte-identical-across-thread-counts guarantee.
+        let threads = cfg.num_threads.max(1);
+        let active = (m.vote_density() < ACTIVE_INDEX_MAX_DENSITY).then(|| m.active_index());
+        let active = active.as_ref();
+        if let Some(t) = telemetry {
+            t.metrics().gauge("obs/train/threads").set(threads as i64);
+        }
 
         // Per-epoch accumulator: closed every time the shuffled order is
         // exhausted, and once more after the final step.
@@ -415,6 +627,7 @@ impl GenerativeModel {
         let mut epoch_start = Instant::now();
         let mut prev_params = vec![0.0; dim];
 
+        let mut rows = 0usize;
         let start = Instant::now();
         for step in 0..cfg.steps {
             let step_start = step_us.as_ref().map(|_| Instant::now());
@@ -432,7 +645,7 @@ impl GenerativeModel {
             }
             if wrapped && epoch_steps > 0 {
                 let nll = match telemetry {
-                    Some(_) => Some(self.nll(m)?),
+                    Some(_) => Some(self.nll_inner(m, active, threads)?),
                     None => None,
                 };
                 epochs.push(EpochStat {
@@ -448,7 +661,11 @@ impl GenerativeModel {
                 epoch_step_norm = 0.0;
                 epoch_start = Instant::now();
             }
-            self.grad_batch(m, &batch, cfg.l2, &mut grad);
+            self.grad_batch(m, active, &batch, cfg.l2, threads, &mut grad);
+            rows += batch.len();
+            if let Some(c) = &rows_counter {
+                c.add(batch.len() as u64);
+            }
             params[..n].copy_from_slice(&self.alpha);
             params[n..2 * n].copy_from_slice(&self.beta);
             params[2 * n] = self.eta;
@@ -471,7 +688,7 @@ impl GenerativeModel {
                 .sum::<f64>()
                 .sqrt();
             if cfg.record_every > 0 && (step % cfg.record_every == 0 || step + 1 == cfg.steps) {
-                history.push((step, self.nll(m)?));
+                history.push((step, self.nll_inner(m, active, threads)?));
             }
             if let (Some(h), Some(s)) = (&step_us, step_start) {
                 h.record_duration(s.elapsed());
@@ -479,7 +696,7 @@ impl GenerativeModel {
         }
         if epoch_steps > 0 {
             let nll = match telemetry {
-                Some(_) => Some(self.nll(m)?),
+                Some(_) => Some(self.nll_inner(m, active, threads)?),
                 None => None,
             };
             epochs.push(EpochStat {
@@ -494,9 +711,11 @@ impl GenerativeModel {
         let seconds = start.elapsed().as_secs_f64();
         let report = TrainReport {
             steps: cfg.steps,
-            final_nll: self.nll(m)?,
+            final_nll: self.nll_inner(m, active, threads)?,
             seconds,
             steps_per_sec: cfg.steps as f64 / seconds.max(1e-12),
+            rows,
+            rows_per_sec: rows as f64 / seconds.max(1e-12),
             loss_history: history,
             epochs,
         };
@@ -572,7 +791,7 @@ mod tests {
         model.set_params(alpha.clone(), beta.clone(), eta);
         model.learn_prior = true;
         let l2 = 0.01;
-        let grad = model.full_gradient(&m, l2);
+        let grad = model.full_gradient(&m, l2).unwrap();
         let h = 1e-6;
         let f = |al: &[f64], be: &[f64], et: f64| {
             let l2_term: f64 = al.iter().chain(be).map(|p| 0.5 * l2 * p * p).sum();
@@ -816,6 +1035,16 @@ mod tests {
             model.fit(&mat, &bad),
             Err(CoreError::BadConfig(_))
         ));
+        // Regression: steps == 0 used to "succeed" and report a final
+        // NLL from untrained parameters; now it is rejected up front.
+        let bad = TrainConfig {
+            steps: 0,
+            ..TrainConfig::default()
+        };
+        assert!(matches!(
+            model.fit(&mat, &bad),
+            Err(CoreError::BadConfig(_))
+        ));
         let bad = TrainConfig {
             class_prior: 1.0,
             ..TrainConfig::default()
@@ -829,6 +1058,48 @@ mod tests {
             model.fit(&empty, &TrainConfig::default()),
             Err(CoreError::EmptyMatrix)
         ));
+    }
+
+    #[test]
+    fn empty_inputs_cannot_produce_nan_gradients() {
+        // Regression: `grad_batch` divided by `batch.len()` unguarded, so
+        // a zero-row matrix turned the gradient into NaNs instead of an
+        // error. The empty-batch guard + the typed error close both.
+        let model = GenerativeModel::new(3, 0.7);
+        let empty = LabelMatrix::new(3);
+        assert!(matches!(
+            model.full_gradient(&empty, 1e-3),
+            Err(CoreError::EmptyMatrix)
+        ));
+        let mat = random_matrix(8, 3, 2);
+        let grad = model.full_gradient(&mat, 1e-3).unwrap();
+        assert!(grad.iter().all(|g| g.is_finite()));
+        // Shape mismatches are typed errors too, not index panics.
+        let model = GenerativeModel::new(5, 0.7);
+        assert!(matches!(
+            model.full_gradient(&mat, 1e-3),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rows_accounting_matches_steps_times_batch() {
+        let accs = [0.9, 0.7];
+        let props = [0.8, 0.8];
+        let (mat, _) = planted(500, &accs, &props, 0.5, 3);
+        let mut model = GenerativeModel::new(2, 0.7);
+        let report = model
+            .fit(
+                &mat,
+                &TrainConfig {
+                    steps: 10,
+                    batch_size: 32,
+                    ..TrainConfig::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(report.rows, 10 * 32);
+        assert!(report.rows_per_sec > 0.0);
     }
 
     #[test]

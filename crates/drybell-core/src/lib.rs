@@ -66,6 +66,7 @@ pub mod generative;
 pub mod gibbs;
 pub mod matrix;
 pub mod optim;
+pub mod parallel;
 pub mod vote;
 
 pub use analysis::{LfReport, LfSummary};
@@ -73,7 +74,7 @@ pub use class_conditional::{CcTrainConfig, ClassConditionalModel};
 pub use dependencies::{DependencyReport, PairDependency};
 pub use error::CoreError;
 pub use generative::{EpochStat, GenerativeModel, TrainConfig, TrainReport};
-pub use matrix::LabelMatrix;
+pub use matrix::{ActiveRows, LabelMatrix};
 pub use vote::Vote;
 
 /// Numerically stable `log(exp(a) + exp(b))`.

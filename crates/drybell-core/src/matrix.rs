@@ -51,13 +51,18 @@ impl LabelMatrix {
 
     /// Build a matrix from raw `i8` votes in row-major order.
     ///
-    /// Returns an error if the data length is not a multiple of `num_lfs` or
-    /// any value is outside `{-1, 0, +1}`.
+    /// Returns [`CoreError::ZeroLabelingFunctions`] for `num_lfs == 0`
+    /// (previously misreported as a row-arity error with a meaningless
+    /// `got` computed modulo 1), and an error if the data length is not a
+    /// multiple of `num_lfs` or any value is outside `{-1, 0, +1}`.
     pub fn from_raw(num_lfs: usize, data: Vec<i8>) -> Result<LabelMatrix, CoreError> {
-        if num_lfs == 0 || !data.len().is_multiple_of(num_lfs) {
+        if num_lfs == 0 {
+            return Err(CoreError::ZeroLabelingFunctions);
+        }
+        if !data.len().is_multiple_of(num_lfs) {
             return Err(CoreError::RowArity {
                 expected: num_lfs,
-                got: data.len() % num_lfs.max(1),
+                got: data.len() % num_lfs,
             });
         }
         if let Some(&bad) = data.iter().find(|v| !(-1..=1).contains(*v)) {
@@ -249,6 +254,73 @@ impl LabelMatrix {
     pub fn propensities(&self) -> Vec<f64> {
         (0..self.num_lfs).map(|j| self.coverage(j)).collect()
     }
+
+    /// Fraction of matrix cells holding a non-abstain vote (`nnz / m·n`).
+    ///
+    /// Distinct from [`LabelMatrix::label_density`], which is the fraction
+    /// of *rows* with at least one vote. The trainer uses cell density to
+    /// decide whether the active-index gradient path pays off.
+    pub fn vote_density(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let nnz = self.data.iter().filter(|&&v| v != 0).count();
+        nnz as f64 / self.data.len() as f64
+    }
+
+    /// Build the compressed active (non-abstain) index of this matrix.
+    pub fn active_index(&self) -> ActiveRows {
+        let mut offsets = Vec::with_capacity(self.num_examples() + 1);
+        let mut entries = Vec::new();
+        offsets.push(0);
+        for row in self.rows() {
+            for (j, &l) in row.iter().enumerate() {
+                if l != 0 {
+                    // Columns fit in u32: a row with 2^32 i8 votes would
+                    // already exceed 4 GB of matrix storage.
+                    entries.push((j as u32, l));
+                }
+            }
+            offsets.push(entries.len());
+        }
+        ActiveRows { offsets, entries }
+    }
+}
+
+/// A compressed (CSR-style) index of the non-abstain entries of a
+/// [`LabelMatrix`]: for each row, the `(column, vote)` pairs with a
+/// non-zero vote, in column order.
+///
+/// The generative trainer builds this once per `fit` and iterates it in
+/// the gradient inner loops, so high-abstention matrices skip their zero
+/// cells entirely. Because the per-row entries preserve column order,
+/// accumulating over them performs the *same floating-point operations
+/// in the same order* as a dense scan that tests `!= 0` — the two paths
+/// are bit-identical, which a proptest asserts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveRows {
+    /// `offsets[i]..offsets[i+1]` bounds row `i`'s slice of `entries`.
+    offsets: Vec<usize>,
+    /// `(column, vote)` pairs of every non-abstain cell, row-major.
+    entries: Vec<(u32, i8)>,
+}
+
+impl ActiveRows {
+    /// Non-abstain `(column, vote)` pairs of row `i`, in column order.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[(u32, i8)] {
+        &self.entries[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Number of indexed rows.
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total non-abstain entries across all rows.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +366,42 @@ mod tests {
             LabelMatrix::from_raw(2, vec![1, 0, 1]),
             Err(CoreError::RowArity { .. })
         ));
+    }
+
+    #[test]
+    fn from_raw_zero_lfs_is_a_dedicated_error() {
+        // Regression: this used to surface as `RowArity { expected: 0,
+        // got: data.len() % 1 }` — an arity "mismatch" of 0 vs 0.
+        assert_eq!(
+            LabelMatrix::from_raw(0, vec![]),
+            Err(CoreError::ZeroLabelingFunctions)
+        );
+        assert_eq!(
+            LabelMatrix::from_raw(0, vec![1, 0, -1]),
+            Err(CoreError::ZeroLabelingFunctions)
+        );
+    }
+
+    #[test]
+    fn active_index_matches_dense_scan() {
+        let m = sample();
+        let ix = m.active_index();
+        assert_eq!(ix.num_rows(), m.num_examples());
+        let mut nnz = 0;
+        for (i, row) in m.rows().enumerate() {
+            let dense: Vec<(u32, i8)> = row
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l != 0)
+                .map(|(j, &l)| (j as u32, l))
+                .collect();
+            assert_eq!(ix.row(i), dense.as_slice(), "row {i}");
+            nnz += dense.len();
+        }
+        assert_eq!(ix.nnz(), nnz);
+        // 4×3 sample has 8 non-abstain cells.
+        assert!((m.vote_density() - 8.0 / 12.0).abs() < 1e-12);
+        assert_eq!(LabelMatrix::new(3).vote_density(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Deterministic data parallelism for the label-model hot paths.
+//!
+//! The trainer's row scans (`grad_batch` accumulation, `predict_proba`,
+//! `nll`) are sharded across a pool of scoped worker threads. Two rules
+//! make the results **byte-identical at any thread count**, which the
+//! determinism suite (`tests/parallel_determinism.rs`) pins down:
+//!
+//! 1. **Fixed chunking.** Work is split into [`CHUNK_ROWS`]-sized chunks
+//!    whose boundaries depend only on the input length — never on the
+//!    worker count. Workers pull chunk *indices* from an atomic cursor,
+//!    so scheduling is dynamic but each chunk's result is a pure
+//!    function of its index.
+//! 2. **Fixed-order reduction.** Chunk results are combined with
+//!    [`tree_reduce`], a pairwise reduction whose association order
+//!    depends only on the chunk count. Floating-point addition is not
+//!    associative, so a "whoever finishes first" reduction would make
+//!    posteriors drift run-to-run; a fixed tree keeps them exact.
+//!
+//! Inputs shorter than one chunk (the paper's batch-64 training setting,
+//! most unit tests) collapse to a single chunk and never spawn a thread,
+//! so the small-batch fast path keeps its PR-1 performance profile.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Rows per work chunk. Large enough that a chunk's compute dwarfs the
+/// scheduling overhead (one atomic fetch-add plus one mutex push), small
+/// enough that a 100k-row matrix yields ~100 chunks for load balancing.
+pub const CHUNK_ROWS: usize = 1024;
+
+/// Number of fixed chunks covering `n` items.
+pub fn num_chunks(n: usize) -> usize {
+    n.div_ceil(CHUNK_ROWS)
+}
+
+/// The half-open item range of chunk `c` over `n` items.
+fn chunk_range(c: usize, n: usize) -> Range<usize> {
+    let start = c * CHUNK_ROWS;
+    start..((start + CHUNK_ROWS).min(n))
+}
+
+/// Map every fixed chunk of `0..n` through `f` on up to `num_threads`
+/// scoped workers, returning results in chunk order.
+///
+/// `f` receives `(chunk_index, item_range)` and must be a pure function
+/// of them (plus captured shared state); chunk scheduling order is
+/// nondeterministic but the returned vector is not. With one worker (or
+/// one chunk) everything runs inline on the caller's thread.
+pub fn map_chunks<T, F>(num_threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    let chunks = num_chunks(n);
+    let workers = num_threads.clamp(1, chunks.max(1));
+    if workers == 1 {
+        return (0..chunks).map(|c| f(c, chunk_range(c, n))).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(chunks));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= chunks {
+                    break;
+                }
+                let out = f(c, chunk_range(c, n));
+                // A poisoned lock only means another worker panicked
+                // mid-push; the Vec is still structurally sound, and the
+                // panic itself propagates out of the scope.
+                let mut guard = match slots.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                guard.push((c, out));
+            });
+        }
+    });
+    let mut collected = match slots.into_inner() {
+        Ok(v) => v,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    collected.sort_by_key(|&(c, _)| c);
+    collected.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Pairwise tree reduction in a fixed association order: adjacent pairs
+/// `(0,1), (2,3), …` are combined, then the survivors are paired again,
+/// until one value remains. The order depends only on `items.len()`, so
+/// reducing the same chunk results always produces bit-identical output
+/// regardless of how many workers computed them.
+///
+/// Returns `None` for an empty input.
+pub fn tree_reduce<T>(mut items: Vec<T>, mut combine: impl FnMut(T, T) -> T) -> Option<T> {
+    if items.is_empty() {
+        return None;
+    }
+    while items.len() > 1 {
+        let mut next = Vec::with_capacity(items.len().div_ceil(2));
+        let mut it = items.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(combine(a, b)),
+                None => next.push(a),
+            }
+        }
+        items = next;
+    }
+    items.pop()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_boundaries_cover_exactly() {
+        for n in [
+            0usize,
+            1,
+            CHUNK_ROWS - 1,
+            CHUNK_ROWS,
+            CHUNK_ROWS + 1,
+            5 * CHUNK_ROWS + 7,
+        ] {
+            let mut covered = 0usize;
+            for c in 0..num_chunks(n) {
+                let r = chunk_range(c, n);
+                assert_eq!(r.start, covered, "n={n} c={c}");
+                assert!(r.end > r.start && r.end <= n);
+                covered = r.end;
+            }
+            assert_eq!(covered, n, "chunks must tile 0..{n}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_is_thread_count_invariant() {
+        let n = 3 * CHUNK_ROWS + 123;
+        let run = |threads| map_chunks(threads, n, |c, r| (c, r.start, r.end, r.len() as u64));
+        let base = run(1);
+        assert_eq!(base.len(), num_chunks(n));
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(run(threads), base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_handles_empty_and_tiny_inputs() {
+        assert!(map_chunks(4, 0, |c, _| c).is_empty());
+        assert_eq!(map_chunks(8, 1, |_, r| r.len()), vec![1]);
+    }
+
+    #[test]
+    fn tree_reduce_order_is_fixed() {
+        // Combine into parenthesized strings: the association order must
+        // match the documented adjacent-pairs tree exactly.
+        let items: Vec<String> = (0..5).map(|i| i.to_string()).collect();
+        let got = tree_reduce(items, |a, b| format!("({a}+{b})"));
+        assert_eq!(got.as_deref(), Some("(((0+1)+(2+3))+4)"));
+        assert_eq!(tree_reduce(Vec::<u32>::new(), |a, b| a + b), None);
+        assert_eq!(tree_reduce(vec![7u32], |a, b| a + b), Some(7));
+    }
+
+    #[test]
+    fn float_sums_are_byte_identical_across_thread_counts() {
+        let n = 10 * CHUNK_ROWS + 311;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761) % 1000) as f64 / 7.0)
+            .collect();
+        let sum_with = |threads| {
+            let partials = map_chunks(threads, n, |_, r| {
+                xs.get(r).map(|s| s.iter().sum::<f64>()).unwrap_or(0.0)
+            });
+            tree_reduce(partials, |a, b| a + b).unwrap_or(0.0)
+        };
+        let base = sum_with(1).to_bits();
+        for threads in [2, 4, 8] {
+            assert_eq!(sum_with(threads).to_bits(), base, "threads={threads}");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Cross-thread determinism suite for the parallel label-model hot path.
+//!
+//! The contract (DESIGN.md §Parallel training): `fit`, `predict_proba`,
+//! and `nll` are **byte-identical** at any `num_threads` because chunk
+//! boundaries depend only on input length and partial results are
+//! combined with a fixed-order tree reduction. These tests compare raw
+//! `f64::to_bits` patterns — not epsilons — across thread counts, and a
+//! property test pins the sparse (active-index) gradient path to the
+//! dense scan bit-for-bit.
+
+use drybell_core::{GenerativeModel, LabelMatrix, TrainConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Planted two-class matrix: per-LF accuracy and propensity drawn once,
+/// rows sampled i.i.d. — the same generator the benches use.
+fn planted(examples: usize, lfs: usize, seed: u64) -> LabelMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let accs: Vec<f64> = (0..lfs).map(|_| rng.gen_range(0.6..0.95)).collect();
+    let props: Vec<f64> = (0..lfs).map(|_| rng.gen_range(0.3..0.9)).collect();
+    let mut m = LabelMatrix::with_capacity(lfs, examples);
+    for _ in 0..examples {
+        let y: i8 = if rng.gen_bool(0.5) { 1 } else { -1 };
+        let row: Vec<i8> = (0..lfs)
+            .map(|j| {
+                if !rng.gen_bool(props[j]) {
+                    0
+                } else if rng.gen_bool(accs[j]) {
+                    y
+                } else {
+                    -y
+                }
+            })
+            .collect();
+        m.push_raw_row(&row).unwrap();
+    }
+    m
+}
+
+/// Exact bit patterns of a float slice, for byte-identity assertions.
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// All learned parameters of a model as bit patterns.
+fn param_bits(model: &GenerativeModel) -> (Vec<u64>, Vec<u64>, u64) {
+    (
+        bits(model.alphas()),
+        bits(model.betas()),
+        model.eta().to_bits(),
+    )
+}
+
+fn fit_with_threads(m: &LabelMatrix, batch_size: usize, num_threads: usize) -> GenerativeModel {
+    let mut model = GenerativeModel::new(m.num_lfs(), 0.7);
+    model
+        .fit(
+            m,
+            &TrainConfig {
+                steps: 25,
+                batch_size,
+                num_threads,
+                seed: 9,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+    model
+}
+
+#[test]
+fn fit_is_byte_identical_across_thread_counts() {
+    // Multi-chunk batches (2048 rows = 2 chunks) so the parallel
+    // gradient reduction actually runs.
+    let m = planted(6_000, 8, 42);
+    let baseline = param_bits(&fit_with_threads(&m, 2_048, 1));
+    for threads in [2usize, 4, 8] {
+        let got = param_bits(&fit_with_threads(&m, 2_048, threads));
+        assert_eq!(
+            got, baseline,
+            "fit diverged at num_threads = {threads} (batch 2048)"
+        );
+    }
+}
+
+#[test]
+fn small_batches_stay_on_the_inline_path_and_agree() {
+    // Batches below one chunk (64 < 1024) never spawn workers; results
+    // must still match any requested width.
+    let m = planted(3_000, 6, 7);
+    let baseline = param_bits(&fit_with_threads(&m, 64, 1));
+    for threads in [2usize, 8] {
+        let got = param_bits(&fit_with_threads(&m, 64, threads));
+        assert_eq!(got, baseline, "small-batch fit diverged at {threads}");
+    }
+}
+
+#[test]
+fn predict_proba_and_nll_are_byte_identical_across_thread_counts() {
+    let m = planted(5_000, 8, 11);
+    let model = fit_with_threads(&m, 1_024, 1);
+    let base_posteriors = bits(&model.predict_proba_threads(&m, 1));
+    let base_nll = model.nll_threads(&m, 1).unwrap().to_bits();
+    for threads in [2usize, 4, 8] {
+        assert_eq!(
+            bits(&model.predict_proba_threads(&m, threads)),
+            base_posteriors,
+            "predict_proba diverged at num_threads = {threads}"
+        );
+        assert_eq!(
+            model.nll_threads(&m, threads).unwrap().to_bits(),
+            base_nll,
+            "nll diverged at num_threads = {threads}"
+        );
+    }
+    // The convenience single-thread entry points agree too.
+    assert_eq!(bits(&model.predict_proba(&m)), base_posteriors);
+    assert_eq!(model.nll(&m).unwrap().to_bits(), base_nll);
+}
+
+#[test]
+fn thread_counts_beyond_chunk_count_are_harmless() {
+    // 1500 rows = 2 chunks; asking for 64 workers must clamp, not hang
+    // or diverge.
+    let m = planted(1_500, 5, 3);
+    let model = fit_with_threads(&m, 1_500, 1);
+    assert_eq!(
+        bits(&model.predict_proba_threads(&m, 64)),
+        bits(&model.predict_proba_threads(&m, 1)),
+    );
+    let wide = param_bits(&fit_with_threads(&m, 1_500, 64));
+    assert_eq!(wide, param_bits(&model));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The active-index (sparse) gradient path performs the same
+    /// floating-point operations in the same order as the dense scan,
+    /// so the two must agree bit-for-bit — on any matrix, dense or
+    /// abstention-heavy, at any thread count.
+    #[test]
+    fn prop_active_and_dense_gradients_are_bitwise_equal(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1i8..=1, 4usize..=4),
+            1..120,
+        ),
+        alphas in proptest::collection::vec(-1.5..1.5f64, 4usize..=4),
+        betas in proptest::collection::vec(-1.5..1.5f64, 4usize..=4),
+        eta in -1.0..1.0f64,
+        l2 in 0.0..0.1f64,
+    ) {
+        let mut m = LabelMatrix::new(4);
+        for row in &rows {
+            m.push_raw_row(row).unwrap();
+        }
+        let mut model = GenerativeModel::new(4, 0.7);
+        model.set_params(alphas, betas, eta);
+
+        let dense = model.full_gradient_path(&m, l2, false, 1).unwrap();
+        let active = model.full_gradient_path(&m, l2, true, 1).unwrap();
+        prop_assert_eq!(bits(&dense), bits(&active));
+
+        // And both paths are thread-count invariant.
+        let dense4 = model.full_gradient_path(&m, l2, false, 4).unwrap();
+        let active4 = model.full_gradient_path(&m, l2, true, 4).unwrap();
+        prop_assert_eq!(bits(&dense), bits(&dense4));
+        prop_assert_eq!(bits(&active), bits(&active4));
+    }
+}

@@ -1,0 +1,36 @@
+//! Typed errors for the discriminative-model crate.
+//!
+//! PR 2 swept the workspace's production paths to a no-panic posture;
+//! `LogisticRegression::fit` was the straggler, aborting on an empty
+//! dataset via `assert!`. Training now degrades with a typed error the
+//! caller can route (skip the model, surface a diagnostic) instead of
+//! taking the process down.
+
+use std::fmt;
+
+/// Errors raised while training or evaluating discriminative models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MlError {
+    /// A trainer was handed zero examples.
+    EmptyDataset,
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyDataset => write!(f, "cannot train on an empty dataset"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(MlError::EmptyDataset.to_string().contains("empty"));
+    }
+}

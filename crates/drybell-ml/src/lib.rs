@@ -19,12 +19,14 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod error;
 pub mod logreg;
 pub mod loss;
 pub mod metrics;
 pub mod mlp;
 pub mod ranking;
 
+pub use error::MlError;
 pub use logreg::{FtrlConfig, LogisticRegression, LrAlgorithm};
 pub use metrics::{score_histogram, BinaryMetrics, RelativeMetrics};
 pub use mlp::{Mlp, MlpConfig};

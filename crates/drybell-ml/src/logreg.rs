@@ -17,6 +17,7 @@
 //! with the per-example update `σ = (√(n+g²) − √n)/α`, `z += g − σ·w`,
 //! `n += g²`. The L1 term gives the sparse models production systems want.
 
+use crate::error::MlError;
 use crate::loss::{noise_aware_logistic_grad, sigmoid};
 use drybell_features::SparseVector;
 use rand::rngs::StdRng;
@@ -191,9 +192,12 @@ impl LogisticRegression {
     /// of mini-batch iterations. Targets in `[0, 1]` may be hard labels or
     /// the generative model's probabilistic labels (noise-aware loss).
     ///
-    /// Panics if `examples` is empty.
-    pub fn fit(&mut self, examples: &[(SparseVector, f64)]) {
-        assert!(!examples.is_empty(), "cannot train on an empty dataset");
+    /// Returns [`MlError::EmptyDataset`] on empty input (this used to
+    /// `assert!`, aborting the calling worker).
+    pub fn fit(&mut self, examples: &[(SparseVector, f64)]) -> Result<(), MlError> {
+        if examples.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut order: Vec<usize> = (0..examples.len()).collect();
         order.shuffle(&mut rng);
@@ -209,6 +213,7 @@ impl LogisticRegression {
                 self.update_one(x, *p);
             }
         }
+        Ok(())
     }
 
     /// Mean noise-aware logistic loss over a dataset.
@@ -258,7 +263,7 @@ mod tests {
                 ..FtrlConfig::default()
             },
         );
-        model.fit(&data);
+        model.fit(&data).unwrap();
         let h = hasher();
         assert!(model.predict_proba(&h.bag_of_words(&["good", "signal"])) > 0.9);
         assert!(model.predict_proba(&h.bag_of_words(&["bad", "noise"])) < 0.1);
@@ -279,7 +284,7 @@ mod tests {
                 ..FtrlConfig::default()
             },
         );
-        model.fit(&data);
+        model.fit(&data).unwrap();
         let p = model.predict_proba(&x);
         assert!((p - 0.7).abs() < 0.05, "p = {p}");
     }
@@ -308,7 +313,7 @@ mod tests {
                     ..FtrlConfig::default()
                 },
             );
-            m.fit(&data);
+            m.fit(&data).unwrap();
             m.nnz_weights()
         };
         let light = {
@@ -320,7 +325,7 @@ mod tests {
                     ..FtrlConfig::default()
                 },
             );
-            m.fit(&data);
+            m.fit(&data).unwrap();
             m.nnz_weights()
         };
         assert!(heavy < light, "L1 should prune weights: {heavy} vs {light}");
@@ -333,7 +338,7 @@ mod tests {
                 ..FtrlConfig::default()
             },
         );
-        m.fit(&data);
+        m.fit(&data).unwrap();
         assert!(m.weight(h.index("pos") as usize) > 0.0);
         assert!(m.weight(h.index("neg") as usize) < 0.0);
     }
@@ -348,7 +353,7 @@ mod tests {
             ..FtrlConfig::default()
         };
         let mut model = LogisticRegression::new(1 << 12, cfg);
-        model.fit(&data);
+        model.fit(&data).unwrap();
         let after = model.mean_loss(&data);
         assert!(after < before, "{before} -> {after}");
     }
@@ -372,16 +377,18 @@ mod tests {
             },
         );
         let x = SparseVector::from_pairs(vec![(2, 1.0), (100, 5.0)]);
-        model.fit(&[(x.clone(), 1.0)]);
+        model.fit(&[(x.clone(), 1.0)]).unwrap();
         assert_eq!(model.weight(100), 0.0);
         assert!(model.predict_proba(&x).is_finite());
     }
 
     #[test]
-    #[should_panic(expected = "empty dataset")]
-    fn empty_fit_panics() {
+    fn empty_fit_is_a_typed_error_not_a_panic() {
         let mut model = LogisticRegression::new(4, FtrlConfig::default());
-        model.fit(&[]);
+        assert_eq!(model.fit(&[]), Err(MlError::EmptyDataset));
+        // The failed fit must leave the model untouched and usable.
+        assert_eq!(model.bias(), 0.0);
+        assert_eq!(model.nnz_weights(), 0);
     }
 
     #[test]
@@ -396,7 +403,7 @@ mod tests {
                 ..FtrlConfig::default()
             },
         );
-        model.fit(&data);
+        model.fit(&data).unwrap();
         let h = hasher();
         assert!(model.predict_proba(&h.bag_of_words(&["good", "signal"])) > 0.85);
         assert!(model.predict_proba(&h.bag_of_words(&["bad", "noise"])) < 0.15);
@@ -430,7 +437,7 @@ mod tests {
                     ..FtrlConfig::default()
                 },
             );
-            m.fit(&data);
+            m.fit(&data).unwrap();
             m
         };
         let ftrl = train(LrAlgorithm::FtrlProximal);
@@ -458,7 +465,7 @@ mod tests {
                     ..FtrlConfig::default()
                 },
             );
-            m.fit(&data);
+            m.fit(&data).unwrap();
             let h = hasher();
             m.predict_proba(&h.bag_of_words(&["good", "signal"]))
         };

@@ -104,6 +104,16 @@ pub const REGISTRY: &[NameSpec] = &[
         template: "lf/{lf}/degraded",
         doc: "examples where the LF abstained because its backing service errored",
     },
+    NameSpec {
+        family: Family::Counter,
+        template: "obs/train/rows",
+        doc: "example rows consumed by generative-model gradient accumulation",
+    },
+    NameSpec {
+        family: Family::Counter,
+        template: "obs/train/posterior_rows",
+        doc: "rows scored by observed posterior inference (predict_proba_observed)",
+    },
     // ---- Gauges (point-in-time exports of absolute levels) ----
     NameSpec {
         family: Family::Gauge,
@@ -125,6 +135,11 @@ pub const REGISTRY: &[NameSpec] = &[
         template: "nlp_cache/size",
         doc: "resident memo-table entries at export time (CachedNlpServer)",
     },
+    NameSpec {
+        family: Family::Gauge,
+        template: "obs/train/threads",
+        doc: "worker-pool size in effect for the current generative-model fit",
+    },
     // ---- Histograms (obs-layer, microseconds, `_us` suffix) ----
     NameSpec {
         family: Family::Histogram,
@@ -135,6 +150,11 @@ pub const REGISTRY: &[NameSpec] = &[
         family: Family::Histogram,
         template: "obs/train/step_us",
         doc: "generative-model training step latency",
+    },
+    NameSpec {
+        family: Family::Histogram,
+        template: "obs/train/predict_us",
+        doc: "full-matrix posterior inference latency (predict_proba_observed)",
     },
     NameSpec {
         family: Family::Histogram,
@@ -382,6 +402,10 @@ mod tests {
         assert!(is_registered(Family::Counter, "nlp_calls"));
         assert!(is_registered(Family::Gauge, "nlp_cache/size"));
         assert!(is_registered(Family::Histogram, "obs/train/step_us"));
+        assert!(is_registered(Family::Histogram, "obs/train/predict_us"));
+        assert!(is_registered(Family::Counter, "obs/train/rows"));
+        assert!(is_registered(Family::Counter, "obs/train/posterior_rows"));
+        assert!(is_registered(Family::Gauge, "obs/train/threads"));
         assert!(is_registered(Family::Span, "lf_exec/sharded"));
         assert!(is_registered(Family::JournalKind, "shadow"));
         assert!(!is_registered(Family::Counter, "nlp_call"));

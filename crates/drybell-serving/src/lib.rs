@@ -492,7 +492,7 @@ mod tests {
                 ..FtrlConfig::default()
             },
         );
-        m.fit(&data);
+        m.fit(&data).unwrap();
         m
     }
 

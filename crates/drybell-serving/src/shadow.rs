@@ -181,7 +181,7 @@ mod tests {
                     ..FtrlConfig::default()
                 },
             );
-            m.fit(&data);
+            m.fit(&data).unwrap();
             m
         };
         for (version, token) in [(1, "yes"), (2, "maybe")] {

@@ -155,7 +155,8 @@ fn main() {
             ..FtrlConfig::default()
         },
     );
-    clf.fit(&examples);
+    clf.fit(&examples)
+        .expect("quickstart training set is non-empty");
 
     // -- Stage it for serving (cross-feature transfer: the NLP model and
     // -- knowledge graph never leave the offline world). -----------------
