@@ -18,6 +18,13 @@ pub struct ExpArgs {
     pub json: bool,
     /// Write a JSONL run journal to this path.
     pub journal: Option<PathBuf>,
+    /// Write a `drybell-doctor` RunSummary JSON to this path.
+    pub summary: Option<PathBuf>,
+    /// Run id stamped into the journal's `run_header` event.
+    pub run_id: Option<String>,
+    /// Simulated NLP-service outage: per-call error rate in `[0, 1]`,
+    /// injected via a seeded `FaultPlan` (binaries that run LFs only).
+    pub nlp_outage: Option<f64>,
 }
 
 impl Default for ExpArgs {
@@ -30,6 +37,9 @@ impl Default for ExpArgs {
                 .unwrap_or(4),
             json: false,
             journal: None,
+            summary: None,
+            run_id: None,
+            nlp_outage: None,
         }
     }
 }
@@ -69,9 +79,28 @@ impl ExpArgs {
                     let v = args.next().ok_or("--journal needs a path")?;
                     out.journal = Some(PathBuf::from(v));
                 }
+                "--summary" => {
+                    let v = args.next().ok_or("--summary needs a path")?;
+                    out.summary = Some(PathBuf::from(v));
+                }
+                "--run-id" => {
+                    let v = args.next().ok_or("--run-id needs a value")?;
+                    out.run_id = Some(v);
+                }
+                "--nlp-outage" => {
+                    let v = args.next().ok_or("--nlp-outage needs a rate")?;
+                    let rate = v
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad --nlp-outage {v:?}: {e}"))?;
+                    if !(0.0..=1.0).contains(&rate) {
+                        return Err("--nlp-outage must be in [0, 1]".into());
+                    }
+                    out.nlp_outage = Some(rate);
+                }
                 "--help" | "-h" => {
                     return Err("usage: exp_* [--scale <f>] [--seed <n>] [--workers <n>] \
-                         [--json] [--journal <path>]"
+                         [--json] [--journal <path>] [--summary <path>] \
+                         [--run-id <id>] [--nlp-outage <rate>]"
                         .into())
                 }
                 other => return Err(format!("unknown flag {other:?}")),
@@ -92,19 +121,103 @@ impl ExpArgs {
         }
     }
 
+    /// The journal path these flags imply: `--journal` verbatim, else —
+    /// when `--summary` is set — a `<summary>.journal.jsonl` sidecar, so
+    /// a summary can always be folded from a real journal.
+    pub fn journal_path(&self) -> Option<PathBuf> {
+        self.journal.clone().or_else(|| {
+            self.summary
+                .as_ref()
+                .map(|s| PathBuf::from(format!("{}.journal.jsonl", s.display())))
+        })
+    }
+
     /// Build the telemetry bundle these flags ask for: `--journal <path>`
-    /// attaches a JSONL [`drybell_obs::RunJournal`] at that path, `--json`
-    /// alone still collects metrics and spans for the final report.
-    /// `None` when neither flag was given, so the default invocation keeps
-    /// the un-instrumented fast path.
+    /// (or `--summary`, via its sidecar journal) attaches a JSONL
+    /// [`drybell_obs::RunJournal`], `--json` alone still collects metrics
+    /// and spans for the final report. `None` when no flag was given, so
+    /// the default invocation keeps the un-instrumented fast path.
     pub fn telemetry(&self) -> std::io::Result<Option<drybell_obs::Telemetry>> {
-        match &self.journal {
+        match self.journal_path() {
             Some(path) => {
-                let journal = drybell_obs::RunJournal::to_path(path)?;
+                if let Some(parent) = path.parent() {
+                    if !parent.as_os_str().is_empty() {
+                        std::fs::create_dir_all(parent)?;
+                    }
+                }
+                let journal = drybell_obs::RunJournal::to_path(&path)?;
                 Ok(Some(drybell_obs::Telemetry::with_journal(journal)))
             }
             None if self.json => Ok(Some(drybell_obs::Telemetry::new())),
             None => Ok(None),
+        }
+    }
+
+    /// The run id for the journal header: `--run-id`, else the task name.
+    pub fn run_id_or<'a>(&'a self, task: &'a str) -> &'a str {
+        self.run_id.as_deref().unwrap_or(task)
+    }
+
+    /// Fingerprint of everything that shapes this run's results, so
+    /// `doctor check` can flag baseline/current config mismatches.
+    pub fn fingerprint(&self, task: &str) -> String {
+        let scale = format!("scale={}", self.scale);
+        let seed = format!("seed={:?}", self.seed);
+        let workers = format!("workers={}", self.workers);
+        let outage = format!("nlp_outage={:?}", self.nlp_outage);
+        drybell_obs::config_fingerprint([task, &scale, &seed, &workers, &outage])
+    }
+
+    /// Stamp the `run_header` event (schema version, run id, config
+    /// fingerprint) into the run's journal, if one is attached.
+    pub fn emit_header(&self, telemetry: &drybell_obs::Telemetry, task: &str) {
+        if let Some(journal) = telemetry.journal() {
+            journal.emit_header(self.run_id_or(task), &self.fingerprint(task));
+        }
+    }
+
+    /// Honor `--summary`: flush the journal, fold it into a
+    /// [`drybell_doctor::RunSummary`], merge the metrics snapshot, and
+    /// write the summary JSON. No-op without `--summary`.
+    pub fn write_summary(
+        &self,
+        telemetry: &drybell_obs::Telemetry,
+    ) -> Result<Option<PathBuf>, String> {
+        let Some(out) = &self.summary else {
+            return Ok(None);
+        };
+        let path = self
+            .journal_path()
+            .expect("--summary implies a journal path");
+        if let Some(journal) = telemetry.journal() {
+            journal.flush().map_err(|e| format!("flush journal: {e}"))?;
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("read journal {}: {e}", path.display()))?;
+        let mut summary = drybell_doctor::RunSummary::from_journal_str(&text)
+            .map_err(|e| format!("fold journal {}: {e}", path.display()))?;
+        summary.merge_metrics_json(&telemetry.report_json());
+        if let Some(parent) = out.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("create {}: {e}", parent.display()))?;
+            }
+        }
+        let mut doc = summary.to_json().to_pretty();
+        doc.push('\n');
+        std::fs::write(out, doc).map_err(|e| format!("write {}: {e}", out.display()))?;
+        Ok(Some(out.clone()))
+    }
+
+    /// [`ExpArgs::write_summary`], exiting on failure.
+    pub fn write_summary_or_exit(&self, telemetry: &drybell_obs::Telemetry) {
+        match self.write_summary(telemetry) {
+            Ok(Some(path)) => eprintln!("summary written to {}", path.display()),
+            Ok(None) => {}
+            Err(msg) => {
+                eprintln!("cannot write --summary: {msg}");
+                std::process::exit(2);
+            }
         }
     }
 
@@ -114,7 +227,7 @@ impl ExpArgs {
         match self.telemetry() {
             Ok(t) => t,
             Err(e) => {
-                let path = self.journal.as_deref().unwrap_or_else(|| "".as_ref());
+                let path = self.journal_path().unwrap_or_default();
                 eprintln!("cannot open --journal {}: {e}", path.display());
                 std::process::exit(2);
             }
@@ -165,6 +278,53 @@ mod tests {
         assert!(parse(&["--journal"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--help"]).is_err());
+        assert!(parse(&["--nlp-outage", "1.5"]).is_err());
+        assert!(parse(&["--nlp-outage", "x"]).is_err());
+    }
+
+    #[test]
+    fn doctor_flags_parse() {
+        let a = parse(&[
+            "--summary",
+            "/tmp/s.json",
+            "--run-id",
+            "nightly",
+            "--nlp-outage",
+            "0.35",
+        ])
+        .unwrap();
+        assert_eq!(
+            a.summary.as_deref(),
+            Some(std::path::Path::new("/tmp/s.json"))
+        );
+        assert_eq!(a.run_id.as_deref(), Some("nightly"));
+        assert_eq!(a.nlp_outage, Some(0.35));
+        // --summary implies a sidecar journal path.
+        assert_eq!(
+            a.journal_path().unwrap().to_str().unwrap(),
+            "/tmp/s.json.journal.jsonl"
+        );
+        // An explicit --journal wins over the sidecar.
+        let b = parse(&["--summary", "/tmp/s.json", "--journal", "/tmp/j.jsonl"]).unwrap();
+        assert_eq!(
+            b.journal_path().as_deref(),
+            Some(std::path::Path::new("/tmp/j.jsonl"))
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_result_shaping_flags() {
+        let a = parse(&["--scale", "0.2", "--seed", "7"]).unwrap();
+        let b = parse(&["--scale", "0.2", "--seed", "7"]).unwrap();
+        assert_eq!(a.fingerprint("quickstart"), b.fingerprint("quickstart"));
+        assert_ne!(a.fingerprint("quickstart"), a.fingerprint("other_task"));
+        let c = parse(&["--scale", "0.2", "--seed", "8"]).unwrap();
+        assert_ne!(a.fingerprint("quickstart"), c.fingerprint("quickstart"));
+        let d = parse(&["--scale", "0.2", "--seed", "7", "--nlp-outage", "0.5"]).unwrap();
+        assert_ne!(a.fingerprint("quickstart"), d.fingerprint("quickstart"));
+        // Run id is identity, not config: it must not move the print.
+        let e = parse(&["--scale", "0.2", "--seed", "7", "--run-id", "x"]).unwrap();
+        assert_eq!(a.fingerprint("quickstart"), e.fingerprint("quickstart"));
     }
 
     #[test]

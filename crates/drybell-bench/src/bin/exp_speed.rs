@@ -18,6 +18,12 @@
 //! produce byte-identical results. The sweep is written to
 //! `results/BENCH_label_model.json` (and to stdout with `--json`) for
 //! the `bench-smoke` CI gate and the EXPERIMENTS.md speed table.
+//!
+//! Part 3 measures the cost of the telemetry layer itself: the same LF
+//! execution + label-model fit with telemetry off vs on (metrics,
+//! spans, and a JSONL journal), plus the doctor's journal-fold time.
+//! Written to `results/BENCH_obs_overhead.json` so the observability
+//! stack's overhead is itself a tracked number.
 
 use drybell_bench::args::ExpArgs;
 use drybell_core::generative::{GenerativeModel, TrainConfig};
@@ -292,7 +298,133 @@ fn main() {
     }
     say(format!("wrote {}", out_path.display()));
 
+    // ---- Part 3: telemetry overhead (off vs on, plus doctor fold) -----
+    let overhead = measure_obs_overhead(&args);
+    say(format!(
+        "\n== telemetry overhead ({} examples, best of {} runs) ==\n",
+        overhead.examples, OVERHEAD_REPS
+    ));
+    say(format!(
+        "lf execution: {:.3}s off, {:.3}s on  ({:+.1}%)",
+        overhead.lf_off_s,
+        overhead.lf_on_s,
+        overhead.lf_overhead_pct()
+    ));
+    say(format!(
+        "label model:  {:.3}s off, {:.3}s on  ({:+.1}%)",
+        overhead.train_off_s,
+        overhead.train_on_s,
+        overhead.train_overhead_pct()
+    ));
+    say(format!(
+        "doctor fold:  {:.4}s over {} journal lines",
+        overhead.summarize_s, overhead.journal_lines
+    ));
+    let overhead_doc = overhead.to_json();
+    let overhead_path = out_dir.join("BENCH_obs_overhead.json");
+    if let Err(e) = std::fs::write(&overhead_path, format!("{}\n", overhead_doc.to_pretty())) {
+        eprintln!("cannot write {}: {e}", overhead_path.display());
+        std::process::exit(1);
+    }
+    say(format!("wrote {}", overhead_path.display()));
+
     if args.json {
         println!("{}", doc.to_pretty());
+        println!("{}", overhead_doc.to_pretty());
+    }
+}
+
+/// Repetitions for each overhead measurement (best-of to damp noise).
+const OVERHEAD_REPS: usize = 3;
+
+/// Measured telemetry overhead: the identical workload with the
+/// observability layer disabled and enabled.
+struct ObsOverhead {
+    examples: usize,
+    lf_off_s: f64,
+    lf_on_s: f64,
+    train_off_s: f64,
+    train_on_s: f64,
+    summarize_s: f64,
+    journal_lines: usize,
+}
+
+impl ObsOverhead {
+    fn lf_overhead_pct(&self) -> f64 {
+        (self.lf_on_s / self.lf_off_s.max(1e-12) - 1.0) * 100.0
+    }
+    fn train_overhead_pct(&self) -> f64 {
+        (self.train_on_s / self.train_off_s.max(1e-12) - 1.0) * 100.0
+    }
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("bench", Json::from("obs_overhead")),
+            ("examples", Json::from(self.examples)),
+            ("reps", Json::from(OVERHEAD_REPS)),
+            ("lf_off_s", Json::from(self.lf_off_s)),
+            ("lf_on_s", Json::from(self.lf_on_s)),
+            ("lf_overhead_pct", Json::from(self.lf_overhead_pct())),
+            ("train_off_s", Json::from(self.train_off_s)),
+            ("train_on_s", Json::from(self.train_on_s)),
+            ("train_overhead_pct", Json::from(self.train_overhead_pct())),
+            ("summarize_s", Json::from(self.summarize_s)),
+            ("journal_lines", Json::from(self.journal_lines)),
+        ])
+    }
+}
+
+/// Best-of-N wall time of `f`.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let start = Instant::now();
+    let mut out = f();
+    best = best.min(start.elapsed().as_secs_f64());
+    for _ in 1..reps {
+        let start = Instant::now();
+        out = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+/// Run the topic LF execution and label-model fit with telemetry off
+/// and on, journaling the "on" run, then fold that journal with the
+/// doctor's summarizer.
+fn measure_obs_overhead(args: &ExpArgs) -> ObsOverhead {
+    use drybell_bench::harness::ContentTask;
+
+    let task = ContentTask::topic(args.scale.min(0.05), args.seed, args.workers);
+    let dir = tempfile::tempdir().expect("tempdir");
+    let journal_path = dir.path().join("overhead.jsonl");
+    let telemetry = drybell_obs::Telemetry::with_journal(
+        drybell_obs::RunJournal::to_path(&journal_path).expect("journal"),
+    );
+
+    let (lf_off_s, (matrix, _)) = best_of(OVERHEAD_REPS, || task.run_lfs());
+    let (lf_on_s, _) = best_of(OVERHEAD_REPS, || task.run_lfs_observed(Some(&telemetry)));
+    let (train_off_s, _) = best_of(OVERHEAD_REPS, || task.fit_label_model(&matrix));
+    let (train_on_s, _) = best_of(OVERHEAD_REPS, || {
+        task.fit_label_model_observed(&matrix, Some(&telemetry))
+    });
+
+    telemetry
+        .journal()
+        .expect("journal attached")
+        .flush()
+        .expect("flush");
+    let text = std::fs::read_to_string(&journal_path).expect("read journal");
+    let (summarize_s, summary) = best_of(OVERHEAD_REPS, || {
+        drybell_doctor::RunSummary::from_journal_str(&text).expect("fold journal")
+    });
+    assert_eq!(summary.examples as usize, task.unlabeled.len());
+
+    ObsOverhead {
+        examples: task.unlabeled.len(),
+        lf_off_s,
+        lf_on_s,
+        train_off_s,
+        train_on_s,
+        summarize_s,
+        journal_lines: text.lines().count(),
     }
 }

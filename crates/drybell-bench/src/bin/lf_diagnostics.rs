@@ -18,14 +18,15 @@ use drybell_obs::Json;
 
 fn main() {
     let args = ExpArgs::parse();
-    if args.journal.is_some() {
-        eprintln!("note: lf_diagnostics is a one-shot report; --journal has no effect here");
+    let telemetry = args.telemetry_or_exit();
+    if let Some(t) = &telemetry {
+        args.emit_header(t, "lf_diagnostics");
     }
 
     // Topic classification diagnostics, against the dev split.
     let t = ContentTask::topic(args.scale, args.seed, args.workers);
-    let (matrix, _) = t.run_lfs();
-    let model = t.fit_label_model(&matrix);
+    let (matrix, _) = t.run_lfs_observed(telemetry.as_ref());
+    let model = t.fit_label_model_observed(&matrix, telemetry.as_ref());
     let dev_matrix = t.run_lfs_on(&t.dev);
     let topic_report = LfReport::build(
         &matrix,
@@ -34,6 +35,14 @@ fn main() {
         Some((&dev_matrix, &t.dev_gold)),
     )
     .expect("report");
+    // The doctor-facing surfaces: the lf_report journal event and the
+    // registry-named `lf/<name>/*_ppm` gauges.
+    if let Some(tel) = &telemetry {
+        if let Some(journal) = tel.journal() {
+            topic_report.emit_to(journal);
+        }
+        topic_report.export_to(tel.metrics());
+    }
     let topic_low = topic_report.low_quality(0.6);
 
     // Real-time events diagnostics (no dev split; 140 synthetic LFs).
@@ -92,6 +101,7 @@ fn main() {
             ),
         ]);
         println!("{}", doc.to_pretty());
+        finalize(&args, telemetry.as_ref());
         return;
     }
 
@@ -131,5 +141,16 @@ fn main() {
             p.expected_agreement,
             p.excess()
         );
+    }
+    finalize(&args, telemetry.as_ref());
+}
+
+/// Flush the journal and honor `--summary`, when telemetry is attached.
+fn finalize(args: &ExpArgs, telemetry: Option<&drybell_obs::Telemetry>) {
+    if let Some(t) = telemetry {
+        if let Some(journal) = t.journal() {
+            journal.flush().expect("flush journal");
+        }
+        args.write_summary_or_exit(t);
     }
 }

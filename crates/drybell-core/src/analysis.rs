@@ -135,6 +135,43 @@ impl LfReport {
         ])
     }
 
+    /// Emit one `lf_report` journal event carrying the same content as
+    /// [`LfReport::to_json`] — the over-time monitoring record §3.3
+    /// describes ("estimated accuracies … monitored over time"), which
+    /// `drybell-doctor` diffs across runs.
+    pub fn emit_to(&self, journal: &drybell_obs::RunJournal) {
+        let json = self.to_json();
+        let mut event = drybell_obs::Event::new("lf_report");
+        if let drybell_obs::Json::Obj(fields) = json {
+            for (key, value) in fields {
+                event = event.field(&key, value);
+            }
+        }
+        journal.emit(event);
+    }
+
+    /// Export the per-LF signals as registry-named gauges. Gauges are
+    /// integers, so each fraction is scaled to parts-per-million
+    /// (`lf/<name>/coverage_ppm` = ⌊coverage × 10⁶⌉), the fixed-point
+    /// convention declared in `drybell_obs::naming::REGISTRY`.
+    pub fn export_to(&self, metrics: &drybell_obs::MetricsRegistry) {
+        let ppm = |x: f64| (x * 1e6).round() as i64;
+        for s in &self.summaries {
+            metrics
+                .gauge(&format!("lf/{}/coverage_ppm", s.name))
+                .set(ppm(s.coverage));
+            metrics
+                .gauge(&format!("lf/{}/overlap_ppm", s.name))
+                .set(ppm(s.overlap));
+            metrics
+                .gauge(&format!("lf/{}/conflict_ppm", s.name))
+                .set(ppm(s.conflict));
+            metrics
+                .gauge(&format!("lf/{}/learned_accuracy_ppm", s.name))
+                .set(ppm(s.learned_accuracy));
+        }
+    }
+
     /// Render the report as an aligned text table (used by examples and the
     /// bench binaries).
     pub fn to_table(&self) -> String {
@@ -260,6 +297,64 @@ mod tests {
             .and_then(|v| v.as_f64())
             .unwrap();
         assert!((density - report.label_density).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_exports_registry_named_signals() {
+        let (mat, _) = planted(200, &[0.8, 0.8], 3);
+        let mut model = GenerativeModel::new(2, 0.7);
+        model
+            .fit(
+                &mat,
+                &TrainConfig {
+                    steps: 50,
+                    ..TrainConfig::default()
+                },
+            )
+            .unwrap();
+        let names = vec!["kw_a".into(), "kw_b".into()];
+        let report = LfReport::build(&mat, &model, &names, None).unwrap();
+
+        // Gauges land under the ppm fixed-point names from the registry.
+        let metrics = drybell_obs::MetricsRegistry::new();
+        report.export_to(&metrics);
+        let snap = metrics.snapshot();
+        for s in &report.summaries {
+            let g = snap.gauge(&format!("lf/{}/coverage_ppm", s.name));
+            assert_eq!(g, (s.coverage * 1e6).round() as i64, "{}", s.name);
+            assert_eq!(
+                snap.gauge(&format!("lf/{}/learned_accuracy_ppm", s.name)),
+                (s.learned_accuracy * 1e6).round() as i64
+            );
+        }
+        for (name, _) in &snap.gauges {
+            assert!(
+                drybell_obs::naming::is_registered(drybell_obs::naming::Family::Gauge, name),
+                "unregistered gauge {name}"
+            );
+        }
+
+        // The journal event mirrors to_json under kind lf_report.
+        let (journal, buffer) = drybell_obs::RunJournal::in_memory();
+        report.emit_to(&journal);
+        let events = buffer.parsed_lines().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].get("kind").and_then(|k| k.as_str()),
+            Some("lf_report")
+        );
+        let lfs = events[0].get("lfs").unwrap().items();
+        assert_eq!(lfs.len(), 2);
+        assert_eq!(lfs[0].get("name").and_then(|v| v.as_str()), Some("kw_a"));
+        assert!(
+            (events[0]
+                .get("label_density")
+                .and_then(|v| v.as_f64())
+                .unwrap()
+                - report.label_density)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

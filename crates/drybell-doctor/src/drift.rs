@@ -1,0 +1,693 @@
+//! Diffing two [`RunSummary`]s into per-signal drift verdicts.
+//!
+//! Every monitored signal produces one [`Verdict`]: the baseline and
+//! current values, the delta (absolute, relative, or PSI depending on
+//! the signal), the budget it was judged against, and a [`Status`].
+//! Only `Drift` and `Missing` gate — `doctor check` exits nonzero iff
+//! any verdict gates. Signals without a configured budget still appear
+//! in the report as `Info`, so the table doubles as a run-over-run
+//! changelog even for unbudgeted metrics.
+
+use crate::config::DoctorConfig;
+use crate::psi::{psi, psi_sparse};
+use crate::summary::RunSummary;
+use drybell_obs::Json;
+
+/// How a signal's delta is computed and compared to its budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// `|current − baseline| ≤ budget`.
+    Abs,
+    /// `|current − baseline| / max(|baseline|, 1e-9) ≤ budget`.
+    Rel,
+    /// Population-stability index over histogram buckets `≤ budget`.
+    Psi,
+}
+
+impl BudgetKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            BudgetKind::Abs => "abs",
+            BudgetKind::Rel => "rel",
+            BudgetKind::Psi => "psi",
+        }
+    }
+}
+
+/// Outcome of judging one signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Within budget.
+    Ok,
+    /// Budget exceeded — gates the check.
+    Drift,
+    /// No budget configured; reported for visibility only.
+    Info,
+    /// The baseline had this signal but the current run does not, and a
+    /// budget is configured — gates (a monitored signal disappeared).
+    Missing,
+    /// The current run has a signal the baseline lacked — never gates
+    /// (new LFs / new instrumentation are expected to appear).
+    New,
+}
+
+impl Status {
+    fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Drift => "DRIFT",
+            Status::Info => "info",
+            Status::Missing => "MISSING",
+            Status::New => "new",
+        }
+    }
+}
+
+/// One judged signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Signal name, e.g. `lf/nlp_person/coverage`.
+    pub signal: String,
+    /// Baseline value (scalar signals only).
+    pub baseline: Option<f64>,
+    /// Current value (scalar signals only).
+    pub current: Option<f64>,
+    /// The computed delta, per [`BudgetKind`].
+    pub delta: Option<f64>,
+    /// The budget judged against, if configured.
+    pub budget: Option<f64>,
+    /// Delta semantics.
+    pub kind: BudgetKind,
+    /// The outcome.
+    pub status: Status,
+    /// Human-readable context (which budget key, why missing, …).
+    pub note: String,
+}
+
+impl Verdict {
+    /// Whether this verdict fails a `doctor check`.
+    pub fn gates(&self) -> bool {
+        matches!(self.status, Status::Drift | Status::Missing)
+    }
+}
+
+/// The full diff of two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// Per-signal verdicts, in a stable order (scalars, then per-LF
+    /// signals sorted by name, then distributions).
+    pub verdicts: Vec<Verdict>,
+    /// Whether the two runs disagreed on config fingerprint (reported,
+    /// never gated: a config change legitimately moves baselines).
+    pub fingerprint_changed: bool,
+}
+
+/// Relative-delta denominator floor.
+const REL_EPS: f64 = 1e-9;
+
+fn delta_of(kind: BudgetKind, base: f64, cur: f64) -> f64 {
+    match kind {
+        BudgetKind::Abs => (cur - base).abs(),
+        BudgetKind::Rel => (cur - base).abs() / base.abs().max(REL_EPS),
+        BudgetKind::Psi => unreachable!("PSI deltas come from psi(), not delta_of"),
+    }
+}
+
+/// Judge one scalar signal.
+fn scalar_verdict(
+    signal: &str,
+    budget_key: &str,
+    kind: BudgetKind,
+    base: Option<f64>,
+    cur: Option<f64>,
+    cfg: &DoctorConfig,
+) -> Option<Verdict> {
+    let budget = cfg.budget(budget_key);
+    let (delta, status, note) = match (base, cur) {
+        (None, None) => return None,
+        (Some(_), None) => {
+            if budget.is_some() {
+                (
+                    None,
+                    Status::Missing,
+                    format!("baseline has {signal} but current run does not"),
+                )
+            } else {
+                (
+                    None,
+                    Status::Info,
+                    "signal absent in current run".to_string(),
+                )
+            }
+        }
+        (None, Some(_)) => (None, Status::New, "signal new in current run".to_string()),
+        (Some(b), Some(c)) => {
+            let d = delta_of(kind, b, c);
+            match budget {
+                Some(limit) if d > limit => (
+                    Some(d),
+                    Status::Drift,
+                    format!("exceeds {budget_key} = {limit}"),
+                ),
+                Some(_) => (Some(d), Status::Ok, budget_key.to_string()),
+                None => (Some(d), Status::Info, "no budget configured".to_string()),
+            }
+        }
+    };
+    Some(Verdict {
+        signal: signal.to_string(),
+        baseline: base,
+        current: cur,
+        delta,
+        budget,
+        kind,
+        status,
+        note,
+    })
+}
+
+/// Judge one bucketed-distribution signal via PSI.
+fn psi_verdict(
+    signal: &str,
+    budget_key: &str,
+    score: Option<f64>,
+    base_present: bool,
+    cur_present: bool,
+    cfg: &DoctorConfig,
+) -> Option<Verdict> {
+    let budget = cfg.budget(budget_key);
+    let (delta, status, note) = match (base_present, cur_present) {
+        (false, false) => return None,
+        (true, false) => {
+            if budget.is_some() {
+                (
+                    None,
+                    Status::Missing,
+                    format!("baseline has {signal} but current run does not"),
+                )
+            } else {
+                (
+                    None,
+                    Status::Info,
+                    "distribution absent in current run".to_string(),
+                )
+            }
+        }
+        (false, true) => (
+            None,
+            Status::New,
+            "distribution new in current run".to_string(),
+        ),
+        (true, true) => {
+            let d = score.unwrap_or(0.0);
+            match budget {
+                Some(limit) if d > limit => (
+                    Some(d),
+                    Status::Drift,
+                    format!("PSI exceeds {budget_key} = {limit}"),
+                ),
+                Some(_) => (Some(d), Status::Ok, budget_key.to_string()),
+                None => (Some(d), Status::Info, "no budget configured".to_string()),
+            }
+        }
+    };
+    Some(Verdict {
+        signal: signal.to_string(),
+        baseline: None,
+        current: None,
+        delta,
+        budget,
+        kind: BudgetKind::Psi,
+        status,
+        note,
+    })
+}
+
+impl DriftReport {
+    /// Diff a current run against a baseline under the given budgets.
+    pub fn diff(base: &RunSummary, cur: &RunSummary, cfg: &DoctorConfig) -> DriftReport {
+        let mut verdicts = Vec::new();
+        let mut push = |v: Option<Verdict>| {
+            if let Some(v) = v {
+                verdicts.push(v);
+            }
+        };
+
+        // -- Run-level timing (informational unless [timing] opts in).
+        push(scalar_verdict(
+            "run/wall_seconds",
+            "timing.wall_rel",
+            BudgetKind::Rel,
+            Some(base.wall_seconds),
+            Some(cur.wall_seconds),
+            cfg,
+        ));
+        push(scalar_verdict(
+            "run/straggler_ratio",
+            "timing.straggler_rel",
+            BudgetKind::Rel,
+            base.straggler_ratio,
+            cur.straggler_ratio,
+            cfg,
+        ));
+
+        // -- Dataflow health.
+        push(scalar_verdict(
+            "dataflow/retries",
+            "scalar.retries_abs",
+            BudgetKind::Abs,
+            Some(base.retries as f64),
+            Some(cur.retries as f64),
+            cfg,
+        ));
+        push(scalar_verdict(
+            "dataflow/skipped_records",
+            "scalar.skipped_records_abs",
+            BudgetKind::Abs,
+            Some(base.skipped_records as f64),
+            Some(cur.skipped_records as f64),
+            cfg,
+        ));
+
+        // -- NLP service health.
+        push(scalar_verdict(
+            "nlp/calls",
+            "scalar.nlp_calls_rel",
+            BudgetKind::Rel,
+            Some(base.nlp_calls as f64),
+            Some(cur.nlp_calls as f64),
+            cfg,
+        ));
+        push(scalar_verdict(
+            "nlp/degraded",
+            "scalar.nlp_degraded_abs",
+            BudgetKind::Abs,
+            Some(base.nlp_degraded as f64),
+            Some(cur.nlp_degraded as f64),
+            cfg,
+        ));
+        push(scalar_verdict(
+            "nlp/cache_hit_rate",
+            "scalar.nlp_cache_hit_rate_abs",
+            BudgetKind::Abs,
+            base.nlp_cache_hit_rate(),
+            cur.nlp_cache_hit_rate(),
+            cfg,
+        ));
+
+        // -- Label-model convergence & end-model quality.
+        push(scalar_verdict(
+            "train/final_nll",
+            "scalar.final_nll_rel",
+            BudgetKind::Rel,
+            base.train
+                .as_ref()
+                .map(|t| t.final_nll)
+                .filter(|v| v.is_finite()),
+            cur.train
+                .as_ref()
+                .map(|t| t.final_nll)
+                .filter(|v| v.is_finite()),
+            cfg,
+        ));
+        push(scalar_verdict(
+            "serving/drybell_f1",
+            "scalar.drybell_f1_abs",
+            BudgetKind::Abs,
+            base.drybell_f1,
+            cur.drybell_f1,
+            cfg,
+        ));
+
+        // -- Per-LF signals (§3.3's monitored-over-time statistics).
+        let mut lf_names: Vec<&String> = base.lfs.keys().chain(cur.lfs.keys()).collect();
+        lf_names.sort();
+        lf_names.dedup();
+        for name in lf_names {
+            let b = base.lfs.get(name);
+            let c = cur.lfs.get(name);
+            push(scalar_verdict(
+                &format!("lf/{name}/coverage"),
+                "lf.coverage_abs",
+                BudgetKind::Abs,
+                b.and_then(|_| base.coverage_of(name)),
+                c.and_then(|_| cur.coverage_of(name)),
+                cfg,
+            ));
+            push(scalar_verdict(
+                &format!("lf/{name}/overlap"),
+                "lf.overlap_abs",
+                BudgetKind::Abs,
+                b.and_then(|lf| lf.overlap),
+                c.and_then(|lf| lf.overlap),
+                cfg,
+            ));
+            push(scalar_verdict(
+                &format!("lf/{name}/conflict"),
+                "lf.conflict_abs",
+                BudgetKind::Abs,
+                b.and_then(|lf| lf.conflict),
+                c.and_then(|lf| lf.conflict),
+                cfg,
+            ));
+            push(scalar_verdict(
+                &format!("lf/{name}/learned_accuracy"),
+                "lf.learned_accuracy_abs",
+                BudgetKind::Abs,
+                b.and_then(|lf| lf.learned_accuracy),
+                c.and_then(|lf| lf.learned_accuracy),
+                cfg,
+            ));
+            push(scalar_verdict(
+                &format!("lf/{name}/degraded"),
+                "lf.degraded_abs",
+                BudgetKind::Abs,
+                b.map(|lf| lf.degraded as f64),
+                c.map(|lf| lf.degraded as f64),
+                cfg,
+            ));
+        }
+
+        // -- Serving score distributions.
+        push(psi_verdict(
+            "serving/score_dist",
+            "psi.score_dist",
+            match (&base.score_dist_serving, &cur.score_dist_serving) {
+                (Some(b), Some(c)) => Some(psi(b, c)),
+                _ => None,
+            },
+            base.score_dist_serving.is_some(),
+            cur.score_dist_serving.is_some(),
+            cfg,
+        ));
+        push(psi_verdict(
+            "serving/score_dist_candidate",
+            "psi.score_dist",
+            match (&base.score_dist_candidate, &cur.score_dist_candidate) {
+                (Some(b), Some(c)) => Some(psi(b, c)),
+                _ => None,
+            },
+            base.score_dist_candidate.is_some(),
+            cur.score_dist_candidate.is_some(),
+            cfg,
+        ));
+
+        // -- Latency histograms (informational unless psi.latency set).
+        let mut hist_names: Vec<&String> = base.latency.keys().chain(cur.latency.keys()).collect();
+        hist_names.sort();
+        hist_names.dedup();
+        for name in hist_names {
+            let b = base.latency.get(name);
+            let c = cur.latency.get(name);
+            push(psi_verdict(
+                &format!("latency/{name}"),
+                "psi.latency",
+                match (b, c) {
+                    (Some(b), Some(c)) => Some(psi_sparse(b, c)),
+                    _ => None,
+                },
+                b.is_some(),
+                c.is_some(),
+                cfg,
+            ));
+        }
+
+        let fingerprint_changed = !base.config_fingerprint.is_empty()
+            && !cur.config_fingerprint.is_empty()
+            && base.config_fingerprint != cur.config_fingerprint;
+
+        DriftReport {
+            verdicts,
+            fingerprint_changed,
+        }
+    }
+
+    /// Whether any verdict gates the check.
+    pub fn has_drift(&self) -> bool {
+        self.verdicts.iter().any(Verdict::gates)
+    }
+
+    /// Only the gating verdicts.
+    pub fn gating(&self) -> impl Iterator<Item = &Verdict> {
+        self.verdicts.iter().filter(|v| v.gates())
+    }
+
+    /// Render the human-readable verdict table.
+    pub fn to_table(&self) -> String {
+        let fv = |v: Option<f64>| match v {
+            Some(x) if x.is_infinite() => "inf".to_string(),
+            Some(x) => format!("{x:.4}"),
+            None => "-".to_string(),
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<40} {:>10} {:>10} {:>9} {:>8} {:<4} {:<8} note\n",
+            "signal", "baseline", "current", "delta", "budget", "kind", "status"
+        ));
+        for v in &self.verdicts {
+            out.push_str(&format!(
+                "{:<40} {:>10} {:>10} {:>9} {:>8} {:<4} {:<8} {}\n",
+                v.signal,
+                fv(v.baseline),
+                fv(v.current),
+                fv(v.delta),
+                fv(v.budget),
+                v.kind.as_str(),
+                v.status.as_str(),
+                v.note,
+            ));
+        }
+        if self.fingerprint_changed {
+            out.push_str("note: config fingerprint changed between runs (not gated)\n");
+        }
+        let gating = self.gating().count();
+        if gating > 0 {
+            out.push_str(&format!("{gating} signal(s) out of budget\n"));
+        } else {
+            out.push_str("all signals within budget\n");
+        }
+        out
+    }
+
+    /// Machine-readable report (`doctor check --json`).
+    pub fn to_json(&self) -> Json {
+        let opt = |v: Option<f64>| match v {
+            Some(x) if x.is_finite() => Json::Num(x),
+            Some(_) => Json::from("inf"),
+            None => Json::Null,
+        };
+        Json::obj(vec![
+            (
+                "verdicts",
+                Json::Arr(
+                    self.verdicts
+                        .iter()
+                        .map(|v| {
+                            Json::obj(vec![
+                                ("signal", Json::from(v.signal.as_str())),
+                                ("baseline", opt(v.baseline)),
+                                ("current", opt(v.current)),
+                                ("delta", opt(v.delta)),
+                                ("budget", opt(v.budget)),
+                                ("kind", Json::from(v.kind.as_str())),
+                                ("status", Json::from(v.status.as_str())),
+                                ("gates", Json::Bool(v.gates())),
+                                ("note", Json::from(v.note.as_str())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("fingerprint_changed", Json::Bool(self.fingerprint_changed)),
+            ("has_drift", Json::Bool(self.has_drift())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::{LfSignals, TrainSummary};
+
+    fn baseline() -> RunSummary {
+        let mut s = RunSummary {
+            schema_version: 1,
+            run_id: "base".into(),
+            config_fingerprint: "fp1".into(),
+            wall_seconds: 1.0,
+            retries: 0,
+            nlp_calls: 800,
+            nlp_cache_hits: 600,
+            nlp_cache_misses: 200,
+            examples: 800,
+            drybell_f1: Some(0.70),
+            train: Some(TrainSummary {
+                steps: 200,
+                epochs: 2,
+                final_nll: 0.43,
+                loss_curve: vec![0.693, 0.51],
+            }),
+            score_dist_serving: Some(vec![40, 60, 80, 60, 40, 30, 30, 25, 20, 15]),
+            ..RunSummary::default()
+        };
+        s.lfs.insert(
+            "nlp_person".into(),
+            LfSignals {
+                coverage: Some(0.65),
+                overlap: Some(0.2),
+                conflict: Some(0.04),
+                learned_accuracy: Some(0.88),
+                votes: Some(520),
+                degraded: 0,
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn identical_runs_have_no_drift() {
+        let base = baseline();
+        let report = DriftReport::diff(&base, &base.clone(), &DoctorConfig::default());
+        assert!(
+            !report.has_drift(),
+            "gating: {:?}",
+            report.gating().collect::<Vec<_>>()
+        );
+        assert!(!report.fingerprint_changed);
+        // Scalars all present and judged Ok or Info, never Missing/New.
+        assert!(report
+            .verdicts
+            .iter()
+            .all(|v| matches!(v.status, Status::Ok | Status::Info)));
+    }
+
+    #[test]
+    fn coverage_drop_and_degradations_gate() {
+        let base = baseline();
+        let mut cur = base.clone();
+        {
+            let lf = cur.lfs.get_mut("nlp_person").unwrap();
+            lf.coverage = Some(0.30); // -0.35 >> lf.coverage_abs = 0.10
+            lf.degraded = 120;
+        }
+        cur.nlp_degraded = 120;
+        let report = DriftReport::diff(&base, &cur, &DoctorConfig::default());
+        assert!(report.has_drift());
+        let gating: Vec<&str> = report.gating().map(|v| v.signal.as_str()).collect();
+        assert!(gating.contains(&"lf/nlp_person/coverage"), "{gating:?}");
+        assert!(gating.contains(&"lf/nlp_person/degraded"), "{gating:?}");
+        assert!(gating.contains(&"nlp/degraded"), "{gating:?}");
+    }
+
+    #[test]
+    fn score_distribution_shift_gates_via_psi() {
+        let base = baseline();
+        let mut cur = base.clone();
+        // Push nearly all serving mass into the top buckets.
+        cur.score_dist_serving = Some(vec![2, 2, 2, 2, 2, 10, 30, 90, 120, 140]);
+        let report = DriftReport::diff(&base, &cur, &DoctorConfig::default());
+        let v = report
+            .verdicts
+            .iter()
+            .find(|v| v.signal == "serving/score_dist")
+            .unwrap();
+        assert_eq!(v.status, Status::Drift);
+        assert!(v.delta.unwrap() > 0.25);
+    }
+
+    #[test]
+    fn unbudgeted_signals_report_info_not_drift() {
+        let base = baseline();
+        let mut cur = base.clone();
+        cur.wall_seconds = 50.0; // huge, but timing has no default budget
+        let report = DriftReport::diff(&base, &cur, &DoctorConfig::default());
+        let v = report
+            .verdicts
+            .iter()
+            .find(|v| v.signal == "run/wall_seconds")
+            .unwrap();
+        assert_eq!(v.status, Status::Info);
+        assert!(!report.has_drift());
+        // Opting in via [timing] flips it to a gate.
+        let mut cfg = DoctorConfig::default();
+        cfg.set("timing.wall_rel", 0.5);
+        let gated = DriftReport::diff(&base, &cur, &cfg);
+        assert!(gated.has_drift());
+    }
+
+    #[test]
+    fn missing_budgeted_signal_gates_and_new_signal_does_not() {
+        let base = baseline();
+        let mut cur = base.clone();
+        cur.lfs.remove("nlp_person");
+        cur.lfs.insert("brand_new_lf".into(), LfSignals::default());
+        let report = DriftReport::diff(&base, &cur, &DoctorConfig::default());
+        let missing = report
+            .verdicts
+            .iter()
+            .find(|v| v.signal == "lf/nlp_person/coverage")
+            .unwrap();
+        assert_eq!(missing.status, Status::Missing);
+        assert!(missing.gates());
+        // New LF with no data yields New (degraded exists with value 0
+        // on the current side only).
+        let newly = report
+            .verdicts
+            .iter()
+            .find(|v| v.signal == "lf/brand_new_lf/degraded")
+            .unwrap();
+        assert_eq!(newly.status, Status::New);
+        assert!(!newly.gates());
+    }
+
+    #[test]
+    fn fingerprint_change_is_reported_but_not_gated() {
+        let base = baseline();
+        let mut cur = base.clone();
+        cur.config_fingerprint = "fp2".into();
+        let report = DriftReport::diff(&base, &cur, &DoctorConfig::default());
+        assert!(report.fingerprint_changed);
+        assert!(!report.has_drift());
+        assert!(report.to_table().contains("fingerprint changed"));
+    }
+
+    #[test]
+    fn table_and_json_render_all_verdicts() {
+        let base = baseline();
+        let mut cur = base.clone();
+        cur.lfs.get_mut("nlp_person").unwrap().coverage = Some(0.30);
+        let report = DriftReport::diff(&base, &cur, &DoctorConfig::default());
+        let table = report.to_table();
+        assert!(table.contains("lf/nlp_person/coverage"));
+        assert!(table.contains("DRIFT"));
+        assert!(table.contains("out of budget"));
+        let json = report.to_json();
+        assert_eq!(json.get("has_drift"), Some(&Json::Bool(true)));
+        let verdicts = json.get("verdicts").unwrap().items();
+        assert_eq!(verdicts.len(), report.verdicts.len());
+    }
+
+    #[test]
+    fn latency_histograms_are_informational_by_default() {
+        let base = {
+            let mut s = baseline();
+            s.latency
+                .insert("obs/lf/execute_us".into(), vec![(3, 10), (4, 5)]);
+            s
+        };
+        let mut cur = base.clone();
+        cur.latency
+            .insert("obs/lf/execute_us".into(), vec![(8, 15)]);
+        let report = DriftReport::diff(&base, &cur, &DoctorConfig::default());
+        let v = report
+            .verdicts
+            .iter()
+            .find(|v| v.signal == "latency/obs/lf/execute_us")
+            .unwrap();
+        assert_eq!(v.status, Status::Info);
+        let mut cfg = DoctorConfig::default();
+        cfg.set("psi.latency", 0.25);
+        let gated = DriftReport::diff(&base, &cur, &cfg);
+        assert!(gated.has_drift());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property suite for the drift math: PSI identities and the
+//! self-diff invariant (`diff(a, a)` never drifts, for any summary).
+
+use drybell_doctor::summary::{LfSignals, TrainSummary};
+use drybell_doctor::{psi, DoctorConfig, DriftReport, RunSummary};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn prop_psi_of_identical_histograms_is_zero(
+        buckets in proptest::collection::vec(0u64..10_000, 0..16),
+    ) {
+        let score = psi(&buckets, &buckets);
+        prop_assert!(score.abs() < 1e-9, "psi(h, h) = {score} for {buckets:?}");
+    }
+
+    #[test]
+    fn prop_psi_is_nonnegative(
+        a in proptest::collection::vec(0u64..10_000, 0..12),
+        b in proptest::collection::vec(0u64..10_000, 0..12),
+    ) {
+        let score = psi(&a, &b);
+        prop_assert!(
+            score >= 0.0 || score.is_infinite(),
+            "psi({a:?}, {b:?}) = {score}"
+        );
+    }
+
+    #[test]
+    fn prop_psi_is_scale_invariant(
+        buckets in proptest::collection::vec(1u64..1_000, 1..10),
+        scale in 2u64..50,
+    ) {
+        let scaled: Vec<u64> = buckets.iter().map(|&n| n * scale).collect();
+        let score = psi(&buckets, &scaled);
+        prop_assert!(score.abs() < 1e-9, "scaled psi = {score}");
+    }
+
+    #[test]
+    fn prop_self_diff_never_drifts(
+        examples in 1u64..100_000,
+        retries in 0u64..100,
+        degraded in 0u64..1_000,
+        hits in 0u64..100_000,
+        misses in 0u64..100_000,
+        f1 in 0.0..1.0f64,
+        nll in 0.01..5.0f64,
+        coverage in 0.0..1.0f64,
+        accuracy in 0.0..1.0f64,
+        dist in proptest::collection::vec(0u64..5_000, 10),
+        wall in 0.0..10_000.0f64,
+    ) {
+        let mut s = RunSummary {
+            schema_version: 1,
+            run_id: "prop".into(),
+            config_fingerprint: "fp".into(),
+            wall_seconds: wall,
+            retries,
+            nlp_degraded: degraded,
+            nlp_cache_hits: hits,
+            nlp_cache_misses: misses,
+            examples,
+            drybell_f1: Some(f1),
+            train: Some(TrainSummary {
+                steps: 100,
+                epochs: 2,
+                final_nll: nll,
+                loss_curve: vec![nll * 2.0, nll],
+            }),
+            score_dist_serving: Some(dist),
+            ..RunSummary::default()
+        };
+        s.lfs.insert(
+            "some_lf".into(),
+            LfSignals {
+                coverage: Some(coverage),
+                overlap: Some(coverage / 2.0),
+                conflict: Some(coverage / 4.0),
+                learned_accuracy: Some(accuracy),
+                votes: Some((coverage * examples as f64) as u64),
+                degraded,
+            },
+        );
+        // Identity holds under every budget configuration: the default
+        // set and a maximally strict zero-budget overlay.
+        let report = DriftReport::diff(&s, &s, &DoctorConfig::default());
+        prop_assert!(
+            !report.has_drift(),
+            "self-diff drifted: {:?}",
+            report.gating().collect::<Vec<_>>()
+        );
+        let mut strict = DoctorConfig::default();
+        for key in [
+            "timing.wall_rel",
+            "timing.straggler_rel",
+            "scalar.nlp_calls_rel",
+            "psi.latency",
+        ] {
+            strict.set(key, 0.0);
+        }
+        let report = DriftReport::diff(&s, &s, &strict);
+        prop_assert!(
+            !report.has_drift(),
+            "strict self-diff drifted: {:?}",
+            report.gating().collect::<Vec<_>>()
+        );
+        prop_assert!(!report.fingerprint_changed);
+    }
+
+    #[test]
+    fn prop_summary_json_round_trip_preserves_diffability(
+        examples in 1u64..100_000,
+        coverage in 0.0..1.0f64,
+        dist in proptest::collection::vec(0u64..5_000, 10),
+    ) {
+        let mut s = RunSummary {
+            schema_version: 1,
+            run_id: "rt".into(),
+            examples,
+            score_dist_serving: Some(dist),
+            ..RunSummary::default()
+        };
+        s.lfs.insert(
+            "lf".into(),
+            LfSignals {
+                coverage: Some(coverage),
+                ..LfSignals::default()
+            },
+        );
+        let text = s.to_json().to_pretty();
+        let back = RunSummary::from_json(&drybell_obs::parse_json(&text).unwrap()).unwrap();
+        // Round-tripping through JSON must not introduce drift.
+        let report = DriftReport::diff(&s, &back, &DoctorConfig::default());
+        prop_assert!(
+            !report.has_drift(),
+            "round-trip drifted: {:?}",
+            report.gating().collect::<Vec<_>>()
+        );
+    }
+}

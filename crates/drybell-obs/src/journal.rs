@@ -15,6 +15,34 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
+/// Journal schema version stamped by [`RunJournal::emit_header`].
+///
+/// Journals written before the header existed carry no version; readers
+/// (e.g. `drybell-doctor`) treat them as schema `0`.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// FNV-1a over the given parts (each terminated by a NUL so `["ab"]`
+/// and `["a", "b"]` hash differently), rendered as 16 hex digits.
+///
+/// This is the stable config fingerprint callers put in the journal
+/// header: hash the knobs that define the run's configuration (scale,
+/// seed, worker count, …) and two runs are comparable iff the digests
+/// match.
+pub fn config_fingerprint<'a>(parts: impl IntoIterator<Item = &'a str>) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut step = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for part in parts {
+        for b in part.bytes() {
+            step(b);
+        }
+        step(0);
+    }
+    format!("{h:016x}")
+}
+
 /// One journal event under construction.
 #[derive(Debug, Clone)]
 pub struct Event {
@@ -95,6 +123,20 @@ impl RunJournal {
     pub fn in_memory() -> (RunJournal, JournalBuffer) {
         let buffer = JournalBuffer::default();
         (RunJournal::to_writer(Box::new(buffer.clone())), buffer)
+    }
+
+    /// Emit the run-identity header: one `run_header` event carrying the
+    /// journal [`SCHEMA_VERSION`], a caller-chosen run id, and a config
+    /// fingerprint (see [`config_fingerprint`]). By convention this is
+    /// the first event of a journal; readers must tolerate journals
+    /// without one (older artifacts are schema `0`).
+    pub fn emit_header(&self, run_id: &str, config_fingerprint: &str) {
+        self.emit(
+            Event::new("run_header")
+                .field("schema_version", SCHEMA_VERSION)
+                .field("run_id", run_id)
+                .field("config_fingerprint", config_fingerprint),
+        );
     }
 
     /// Append one event. Write errors are deliberately swallowed:
@@ -213,6 +255,40 @@ mod tests {
             .collect();
         seqs.sort();
         assert_eq!(seqs, (0..200).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn header_event_carries_schema_and_identity() {
+        let (journal, buffer) = RunJournal::in_memory();
+        journal.emit_header("run-7", "deadbeefdeadbeef");
+        journal.emit(Event::new("phase").field("name", "map"));
+        let lines = buffer.parsed_lines().unwrap();
+        assert_eq!(lines[0].get("kind").unwrap().as_str(), Some("run_header"));
+        assert_eq!(
+            lines[0].get("schema_version").unwrap().as_i64(),
+            Some(i64::from(SCHEMA_VERSION))
+        );
+        assert_eq!(lines[0].get("run_id").unwrap().as_str(), Some("run-7"));
+        assert_eq!(
+            lines[0].get("config_fingerprint").unwrap().as_str(),
+            Some("deadbeefdeadbeef")
+        );
+        assert_eq!(lines[0].get("seq").unwrap().as_i64(), Some(0));
+    }
+
+    #[test]
+    fn config_fingerprint_is_stable_and_boundary_sensitive() {
+        let a = config_fingerprint(["scale=0.1", "seed=7"]);
+        assert_eq!(a, config_fingerprint(["scale=0.1", "seed=7"]));
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_ne!(a, config_fingerprint(["scale=0.1", "seed=8"]));
+        // Part boundaries matter: ["ab"] and ["a","b"] differ.
+        assert_ne!(config_fingerprint(["ab"]), config_fingerprint(["a", "b"]));
+        assert_ne!(
+            config_fingerprint(std::iter::empty::<&str>()),
+            config_fingerprint([""])
+        );
     }
 
     #[test]

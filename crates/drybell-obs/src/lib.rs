@@ -44,7 +44,7 @@ pub mod naming;
 pub mod report;
 pub mod span;
 
-pub use journal::{Event, JournalBuffer, RunJournal};
+pub use journal::{config_fingerprint, Event, JournalBuffer, RunJournal, SCHEMA_VERSION};
 pub use json::{parse as parse_json, Json, JsonError};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use report::{

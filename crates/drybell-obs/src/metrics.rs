@@ -143,6 +143,25 @@ impl HistogramSnapshot {
         self.count
     }
 
+    /// The raw log-bucket counts (index `i` holds values whose bit width
+    /// is `i`; see the module docs). Exposed so cross-run tooling can
+    /// compare whole distributions (e.g. a population-stability index),
+    /// not just the percentile ladder.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// The non-empty buckets as `(index, count)` pairs — the sparse form
+    /// reports and journals serialize.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+            .collect()
+    }
+
     /// Sum of all samples.
     pub fn sum(&self) -> u64 {
         self.sum

@@ -140,6 +140,26 @@ pub const REGISTRY: &[NameSpec] = &[
         template: "obs/train/threads",
         doc: "worker-pool size in effect for the current generative-model fit",
     },
+    NameSpec {
+        family: Family::Gauge,
+        template: "lf/{lf}/coverage_ppm",
+        doc: "LfReport coverage export, parts-per-million fixed point (export_to)",
+    },
+    NameSpec {
+        family: Family::Gauge,
+        template: "lf/{lf}/overlap_ppm",
+        doc: "LfReport overlap export, parts-per-million fixed point (export_to)",
+    },
+    NameSpec {
+        family: Family::Gauge,
+        template: "lf/{lf}/conflict_ppm",
+        doc: "LfReport conflict export, parts-per-million fixed point (export_to)",
+    },
+    NameSpec {
+        family: Family::Gauge,
+        template: "lf/{lf}/learned_accuracy_ppm",
+        doc: "LfReport learned-accuracy export, parts-per-million fixed point (export_to)",
+    },
     // ---- Histograms (obs-layer, microseconds, `_us` suffix) ----
     NameSpec {
         family: Family::Histogram,
@@ -267,6 +287,16 @@ pub const REGISTRY: &[NameSpec] = &[
         family: Family::JournalKind,
         template: "shard_attempt",
         doc: "one shard/partition attempt finished (outcome: ok, retry, or failed)",
+    },
+    NameSpec {
+        family: Family::JournalKind,
+        template: "run_header",
+        doc: "journal schema version + run id + config fingerprint (first event)",
+    },
+    NameSpec {
+        family: Family::JournalKind,
+        template: "lf_report",
+        doc: "full per-LF diagnostics (coverage/overlap/conflict/learned accuracy)",
     },
 ];
 
@@ -408,6 +438,11 @@ mod tests {
         assert!(is_registered(Family::Gauge, "obs/train/threads"));
         assert!(is_registered(Family::Span, "lf_exec/sharded"));
         assert!(is_registered(Family::JournalKind, "shadow"));
+        assert!(is_registered(Family::JournalKind, "run_header"));
+        assert!(is_registered(Family::JournalKind, "lf_report"));
+        assert!(is_registered(Family::Gauge, "lf/kw_gossip/coverage_ppm"));
+        assert!(is_registered(Family::Gauge, "lf/{}/learned_accuracy_ppm"));
+        assert!(!is_registered(Family::Gauge, "lf/kw_gossip/coverage"));
         assert!(!is_registered(Family::Counter, "nlp_call"));
         assert!(!is_registered(Family::Gauge, "cache_size"));
         assert!(!is_registered(Family::JournalKind, "probe"));

@@ -27,8 +27,17 @@ impl ReportMode {
     }
 }
 
-/// JSON summary of one histogram: count, mean, and the percentile ladder.
+/// JSON summary of one histogram: count, mean, the percentile ladder,
+/// and the non-empty log buckets as `[index, count]` pairs (the raw
+/// distribution cross-run diffing needs — percentiles alone cannot feed
+/// a population-stability index).
 pub fn histogram_to_json(h: &HistogramSnapshot) -> Json {
+    let buckets = Json::Arr(
+        h.nonzero_buckets()
+            .into_iter()
+            .map(|(i, n)| Json::Arr(vec![Json::from(i), Json::from(n)]))
+            .collect(),
+    );
     Json::obj(vec![
         ("count", Json::from(h.count())),
         ("sum", Json::from(h.sum())),
@@ -38,6 +47,7 @@ pub fn histogram_to_json(h: &HistogramSnapshot) -> Json {
         ("p95", h.p95().map(Json::from).unwrap_or(Json::Null)),
         ("p99", h.p99().map(Json::from).unwrap_or(Json::Null)),
         ("max", h.max().map(Json::from).unwrap_or(Json::Null)),
+        ("buckets", buckets),
     ])
 }
 
@@ -193,6 +203,11 @@ mod tests {
             .unwrap();
         assert_eq!(hist.get("count").unwrap().as_i64(), Some(1));
         assert_eq!(hist.get("p50").unwrap().as_i64(), Some(120));
+        // 120 has bit width 7 → one non-empty bucket at index 7.
+        let buckets = hist.get("buckets").unwrap().items();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].at(0).unwrap().as_i64(), Some(7));
+        assert_eq!(buckets[0].at(1).unwrap().as_i64(), Some(1));
         // Rendered JSON parses back.
         assert!(crate::json::parse(&json.to_pretty()).is_ok());
     }

@@ -17,7 +17,7 @@
 
 pub mod shadow;
 
-pub use shadow::{ShadowEval, ShadowReport};
+pub use shadow::{ScoreHistogram, ShadowEval, ShadowReport, SCORE_BUCKETS};
 
 use drybell_features::{FeatureSpaceId, SpaceRegistry, SparseVector};
 use drybell_ml::{LogisticRegression, Mlp};

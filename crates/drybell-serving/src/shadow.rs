@@ -11,6 +11,56 @@
 
 use crate::{ScoreInput, ServingError, ServingRegistry};
 
+/// Number of uniform buckets in a [`ScoreHistogram`].
+pub const SCORE_BUCKETS: usize = 10;
+
+/// A fixed-bucket histogram of classifier scores: [`SCORE_BUCKETS`]
+/// uniform buckets over `[0, 1]` (scores outside are clamped).
+///
+/// Unlike `drybell_obs::Histogram` — log-bucketed microseconds — this
+/// tracks a bounded probability, so uniform buckets are the right shape
+/// for distribution comparisons (a population-stability index across
+/// runs, Figure 6-style score-mass plots).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScoreHistogram {
+    buckets: [u64; SCORE_BUCKETS],
+}
+
+impl ScoreHistogram {
+    /// Record one score.
+    pub fn record(&mut self, score: f64) {
+        let clamped = if score.is_nan() {
+            0.0
+        } else {
+            score.clamp(0.0, 1.0)
+        };
+        let i = ((clamped * SCORE_BUCKETS as f64) as usize).min(SCORE_BUCKETS - 1);
+        if let Some(b) = self.buckets.get_mut(i) {
+            *b += 1;
+        }
+    }
+
+    /// Per-bucket counts, lowest score bucket first.
+    pub fn counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total scores recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The counts as a JSON array.
+    pub fn to_json(&self) -> drybell_obs::Json {
+        drybell_obs::Json::Arr(
+            self.buckets
+                .iter()
+                .map(|&n| drybell_obs::Json::from(n))
+                .collect(),
+        )
+    }
+}
+
 /// Accumulated comparison between the serving model and a staged
 /// candidate.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -27,6 +77,10 @@ pub struct ShadowReport {
     sum_abs_gap: f64,
     /// Largest single score gap seen.
     pub max_abs_gap: f64,
+    /// Distribution of the serving model's scores.
+    pub serving_dist: ScoreHistogram,
+    /// Distribution of the candidate's scores.
+    pub candidate_dist: ScoreHistogram,
 }
 
 impl ShadowReport {
@@ -66,6 +120,8 @@ impl ShadowReport {
             ("new_negatives", Json::from(self.new_negatives)),
             ("mean_abs_gap", Json::from(self.mean_abs_gap())),
             ("max_abs_gap", Json::from(self.max_abs_gap)),
+            ("score_dist/serving", self.serving_dist.to_json()),
+            ("score_dist/candidate", self.candidate_dist.to_json()),
         ])
     }
 
@@ -79,7 +135,9 @@ impl ShadowReport {
                 .field("new_positives", self.new_positives)
                 .field("new_negatives", self.new_negatives)
                 .field("mean_abs_gap", self.mean_abs_gap())
-                .field("max_abs_gap", self.max_abs_gap),
+                .field("max_abs_gap", self.max_abs_gap)
+                .field("score_dist/serving", self.serving_dist.to_json())
+                .field("score_dist/candidate", self.candidate_dist.to_json()),
         );
     }
 }
@@ -129,6 +187,8 @@ impl<'a> ShadowEval<'a> {
                 .score_both(&self.model, self.candidate_version, input)?;
         let r = &mut self.report;
         r.examples += 1;
+        r.serving_dist.record(serving);
+        r.candidate_dist.record(candidate);
         let gap = (candidate - serving).abs();
         r.sum_abs_gap += gap;
         r.max_abs_gap = r.max_abs_gap.max(gap);
@@ -260,6 +320,58 @@ mod tests {
             Some("shadow")
         );
         assert_eq!(events[0].get("examples").and_then(|v| v.as_i64()), Some(3));
+    }
+
+    #[test]
+    fn score_histogram_buckets_clamp_and_count() {
+        let mut h = ScoreHistogram::default();
+        h.record(0.0); // bucket 0
+        h.record(0.05); // bucket 0
+        h.record(0.51); // bucket 5
+        h.record(1.0); // clamped into the top bucket
+        h.record(2.5); // clamped into the top bucket
+        h.record(-0.1); // clamped into bucket 0
+        h.record(f64::NAN); // treated as 0
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.counts()[0], 4);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.counts()[SCORE_BUCKETS - 1], 2);
+        let json = h.to_json();
+        assert_eq!(json.items().len(), SCORE_BUCKETS);
+        assert_eq!(json.at(0).unwrap().as_i64(), Some(4));
+    }
+
+    #[test]
+    fn shadow_records_both_score_distributions() {
+        let (registry, h) = registry_with_two_versions();
+        let mut shadow = ShadowEval::new(&registry, "m", 2).unwrap();
+        // No "maybe" in the stream: the incumbent scores "yes" high while
+        // the candidate (positive token "maybe") scores everything low, so
+        // the two histograms must differ. (With both tokens present the
+        // symmetric training would yield identical bucket multisets.)
+        for token in ["yes", "nothing", "filler", "filler"] {
+            let x = h.bag_of_words(&[token]);
+            shadow.observe(ScoreInput::Sparse(&x)).unwrap();
+        }
+        let r = shadow.report();
+        assert_eq!(r.serving_dist.total(), r.examples);
+        assert_eq!(r.candidate_dist.total(), r.examples);
+        assert_ne!(r.serving_dist, r.candidate_dist);
+        let json = r.to_json();
+        let serving = json.get("score_dist/serving").unwrap();
+        assert_eq!(serving.items().len(), SCORE_BUCKETS);
+        let total: i64 = serving.items().iter().filter_map(|v| v.as_i64()).sum();
+        assert_eq!(total, r.examples as i64);
+        // The journal event carries the same arrays.
+        let (journal, buffer) = drybell_obs::RunJournal::in_memory();
+        r.emit_to(&journal);
+        let events = buffer.parsed_lines().unwrap();
+        assert_eq!(
+            events[0]
+                .get("score_dist/candidate")
+                .map(|v| v.items().len()),
+            Some(SCORE_BUCKETS)
+        );
     }
 
     #[test]

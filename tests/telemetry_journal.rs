@@ -26,6 +26,14 @@ fn pipeline_run_writes_a_valid_jsonl_journal() {
     let journal_path = dir.path().join("run.jsonl");
     let telemetry = Telemetry::with_journal(RunJournal::to_path(&journal_path).unwrap());
 
+    // Stage 0: the run header — schema version, run id, and config
+    // fingerprint — so cross-run tooling can pair comparable journals.
+    let fingerprint = drybell::obs::config_fingerprint(["topic", "seed=17", "scale=test"]);
+    telemetry
+        .journal()
+        .unwrap()
+        .emit_header("journal-test", &fingerprint);
+
     // Stage 1: sharded LF execution, instrumented.
     let input = ShardSpec::new(dir.path(), "docs", 4);
     write_all(&input, &ds.unlabeled).unwrap();
@@ -79,6 +87,25 @@ fn pipeline_run_writes_a_valid_jsonl_journal() {
         .iter()
         .map(|e| e.get("kind").and_then(|k| k.as_str()).unwrap())
         .collect();
+
+    // The header is the first event and carries the run's identity.
+    let header = &events[0];
+    assert_eq!(
+        header.get("kind").and_then(|k| k.as_str()),
+        Some("run_header")
+    );
+    assert_eq!(
+        header.get("schema_version").and_then(|v| v.as_i64()),
+        Some(i64::from(drybell::obs::SCHEMA_VERSION))
+    );
+    assert_eq!(
+        header.get("run_id").and_then(|v| v.as_str()),
+        Some("journal-test")
+    );
+    assert_eq!(
+        header.get("config_fingerprint").and_then(|v| v.as_str()),
+        Some(fingerprint.as_str())
+    );
 
     // The sharded job reports each MapReduce phase, then its summary.
     let phases: Vec<&str> = events
