@@ -36,6 +36,11 @@ fn main() {
         args.emit_header(t, TASK);
     }
 
+    // Root of the span tree: every stage below nests under this via
+    // the tracer's thread-local open-span stack, so a `--trace` file
+    // shows run → lf_exec/sharded → job/* → lf/* as one hierarchy.
+    let run_span = telemetry.as_ref().map(|t| t.span("run"));
+
     let task = ContentTask::topic(args.scale, args.seed, args.workers);
     let lf_names: Vec<String> = task
         .lf_set
@@ -133,9 +138,13 @@ fn main() {
             .observe(ScoreInput::Sparse(&x))
             .expect("shadow scoring");
     }
+    // Dropping the evaluator drains its thread-locally batched scoring
+    // latencies into the registry before anything snapshots metrics.
+    let shadow_report = shadow.report().clone();
+    drop(shadow);
     if let Some(t) = &telemetry {
         if let Some(journal) = t.journal() {
-            shadow.report().emit_to(journal);
+            shadow_report.emit_to(journal);
             // The end-model quality signal the doctor gates on.
             journal.emit(
                 drybell_obs::Event::new("content_report")
@@ -149,6 +158,14 @@ fn main() {
         }
     }
 
+    // Close the root span, then export the trace: the Chrome file, the
+    // journaled trace_summary, and the obs/selftime/* gauges all need
+    // the full tree finished before the metrics report is rendered.
+    drop(run_span);
+    if let Some(t) = &telemetry {
+        args.finish_trace_or_exit(t);
+    }
+
     if args.json {
         if let Some(t) = &telemetry {
             println!("{}", t.report_json().to_pretty());
@@ -158,7 +175,7 @@ fn main() {
             "quickstart: {} examples, drybell f1 {:.4}, shadow flip rate {:.4}",
             matrix.num_examples(),
             drybell.f1(),
-            shadow.report().flip_rate()
+            shadow_report.flip_rate()
         );
         println!("{}", report.to_table());
     }

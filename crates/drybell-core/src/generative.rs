@@ -51,6 +51,7 @@ use crate::{logsumexp2, sigmoid};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Training hyperparameters for [`GenerativeModel::fit`].
@@ -78,6 +79,13 @@ pub struct TrainConfig {
     /// Record the full-data NLL every `record_every` steps (0 = never);
     /// recording costs a full pass, so keep it sparse for big matrices.
     pub record_every: usize,
+    /// On observed runs, compute the full-data NLL at every
+    /// `epoch_nll_every`-th epoch boundary (0 = never). Each sample
+    /// costs a full pass over the matrix, so the default keeps
+    /// telemetry overhead flat; the final epoch's NLL is always filled
+    /// for free from the end-of-run pass. Unobserved runs never compute
+    /// per-epoch NLL regardless of this setting.
+    pub epoch_nll_every: usize,
     /// Worker threads for gradient accumulation and full-data row scans
     /// (0 is treated as 1). Results are **byte-identical at any value**:
     /// rows are chunked at fixed boundaries and partials are combined
@@ -99,6 +107,7 @@ impl Default for TrainConfig {
             init_alpha: 0.7,
             seed: 0,
             record_every: 0,
+            epoch_nll_every: 0,
             num_threads: 1,
         }
     }
@@ -142,7 +151,9 @@ pub struct TrainReport {
     /// `(step, mean NLL)` samples if `record_every > 0`.
     pub loss_history: Vec<(usize, f64)>,
     /// Per-epoch gradient/step-size/time accounting (always populated;
-    /// the per-epoch `nll` field is only filled on observed runs).
+    /// the per-epoch `nll` field is only filled on observed runs — the
+    /// final epoch from the free end-of-run pass, earlier epochs per
+    /// [`TrainConfig::epoch_nll_every`]).
     pub epochs: Vec<EpochStat>,
 }
 
@@ -557,9 +568,14 @@ impl GenerativeModel {
     /// [`GenerativeModel::fit`] with an optional telemetry sink.
     ///
     /// When `telemetry` is provided: per-step latency goes to the
-    /// `obs/train/step_us` histogram, each epoch boundary computes the
-    /// full-data NLL (an extra pass per epoch) and emits a `train_epoch`
-    /// journal event, and the run closes with a `train` event.
+    /// `obs/train/step_us` histogram and consumed rows to the
+    /// `obs/train/rows` counter — both buffered in a thread-local
+    /// [`drybell_obs::LocalShard`] and flushed at epoch boundaries, so
+    /// the per-step cost is two plain memory writes. Each epoch emits a
+    /// `train_epoch` journal event and the run closes with a `train`
+    /// event. Full-data NLL at epoch boundaries (an extra pass each) is
+    /// opt-in via [`TrainConfig::epoch_nll_every`]; the final epoch's
+    /// NLL is always reported, reusing the end-of-run pass.
     pub fn fit_observed(
         &mut self,
         m: &LabelMatrix,
@@ -604,8 +620,18 @@ impl GenerativeModel {
         order.shuffle(&mut rng);
         let mut cursor = 0usize;
         let mut history = Vec::new();
-        let step_us = telemetry.map(|t| t.metrics().histogram("obs/train/step_us"));
-        let rows_counter = telemetry.map(|t| t.metrics().counter("obs/train/rows"));
+        // Per-step observations (latency histogram, row counter) buffer
+        // in a thread-local shard and fold into the shared registry only
+        // at epoch boundaries — the hot loop writes plain memory, no
+        // atomics. Building the layout eagerly registers both
+        // instruments, so snapshots match the old unbatched path even
+        // for zero-step edge cases.
+        let mut shard = telemetry.map(|t| {
+            let mut layout = drybell_obs::ShardLayout::new();
+            let step_slot = layout.slot_histogram(t.metrics().histogram("obs/train/step_us"));
+            let rows_slot = layout.slot_counter(t.metrics().counter("obs/train/rows"));
+            (Arc::new(layout).shard(), step_slot, rows_slot)
+        });
         let _span = telemetry.map(|t| t.span("train/fit"));
         // Worker pool for gradient accumulation and full-data NLL scans.
         // The sparse active index pays off when most cells abstain; the
@@ -630,7 +656,7 @@ impl GenerativeModel {
         let mut rows = 0usize;
         let start = Instant::now();
         for step in 0..cfg.steps {
-            let step_start = step_us.as_ref().map(|_| Instant::now());
+            let step_start = shard.as_ref().map(|_| Instant::now());
             // Draw the next mini-batch from the shuffled epoch order.
             let mut batch = Vec::with_capacity(cfg.batch_size);
             let mut wrapped = false;
@@ -644,10 +670,21 @@ impl GenerativeModel {
                 cursor += 1;
             }
             if wrapped && epoch_steps > 0 {
-                let nll = match telemetry {
-                    Some(_) => Some(self.nll_inner(m, active, threads)?),
-                    None => None,
+                // Epoch-boundary NLL costs a full pass over the matrix;
+                // it is opt-in so that observing a run does not multiply
+                // its wall-clock (the final epoch gets the end-of-run
+                // NLL for free below).
+                let nll = if telemetry.is_some()
+                    && cfg.epoch_nll_every > 0
+                    && epochs.len().is_multiple_of(cfg.epoch_nll_every)
+                {
+                    Some(self.nll_inner(m, active, threads)?)
+                } else {
+                    None
                 };
+                if let (Some((s, ..)), Some(t)) = (&mut shard, telemetry) {
+                    s.flush_into(t);
+                }
                 epochs.push(EpochStat {
                     epoch: epochs.len(),
                     steps: epoch_steps,
@@ -663,8 +700,8 @@ impl GenerativeModel {
             }
             self.grad_batch(m, active, &batch, cfg.l2, threads, &mut grad);
             rows += batch.len();
-            if let Some(c) = &rows_counter {
-                c.add(batch.len() as u64);
+            if let Some((s, _, rows_slot)) = &mut shard {
+                s.tally(*rows_slot, batch.len() as u64);
             }
             params[..n].copy_from_slice(&self.alpha);
             params[n..2 * n].copy_from_slice(&self.beta);
@@ -690,28 +727,35 @@ impl GenerativeModel {
             if cfg.record_every > 0 && (step % cfg.record_every == 0 || step + 1 == cfg.steps) {
                 history.push((step, self.nll_inner(m, active, threads)?));
             }
-            if let (Some(h), Some(s)) = (&step_us, step_start) {
-                h.record_duration(s.elapsed());
+            if let (Some((s, step_slot, _)), Some(t0)) = (&mut shard, step_start) {
+                s.observe_duration(*step_slot, t0.elapsed());
             }
         }
         if epoch_steps > 0 {
-            let nll = match telemetry {
-                Some(_) => Some(self.nll_inner(m, active, threads)?),
-                None => None,
-            };
             epochs.push(EpochStat {
                 epoch: epochs.len(),
                 steps: epoch_steps,
                 mean_grad_norm: epoch_grad_norm / epoch_steps as f64,
                 mean_step_norm: epoch_step_norm / epoch_steps as f64,
                 seconds: epoch_start.elapsed().as_secs_f64(),
-                nll,
+                nll: None,
             });
         }
+        if let (Some((s, ..)), Some(t)) = (&mut shard, telemetry) {
+            s.flush_into(t);
+        }
         let seconds = start.elapsed().as_secs_f64();
+        let final_nll = self.nll_inner(m, active, threads)?;
+        if telemetry.is_some() {
+            // The end-of-run pass prices the final epoch's NLL for free
+            // (parameters have not moved since the last step).
+            if let Some(last) = epochs.last_mut() {
+                last.nll = Some(final_nll);
+            }
+        }
         let report = TrainReport {
             steps: cfg.steps,
-            final_nll: self.nll_inner(m, active, threads)?,
+            final_nll,
             seconds,
             steps_per_sec: cfg.steps as f64 / seconds.max(1e-12),
             rows,
@@ -963,6 +1007,7 @@ mod tests {
         let cfg = TrainConfig {
             steps: 20,
             batch_size: 64,
+            epoch_nll_every: 1,
             ..TrainConfig::default()
         };
         let mut model = GenerativeModel::new(2, 0.7);

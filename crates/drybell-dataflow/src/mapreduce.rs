@@ -442,6 +442,14 @@ where
     RunF: Fn(&mut W, usize, u32, &mut CounterHandle) -> Result<(), DataflowError> + Sync,
 {
     let queue = TaskQueue::new(num_tasks)?;
+    // Phase span, traced when the job's telemetry carries a tracer, so
+    // each worker's shard attempts (and their per-LF trace blocks) nest
+    // under the phase in the exported trace.
+    let phase_span = cfg.telemetry.as_ref().map(|t| match site {
+        FaultSite::Map => t.span("job/map"),
+        FaultSite::Reduce => t.span("job/reduce"),
+    });
+    let phase_parent = phase_span.as_ref().and_then(drybell_obs::Span::trace_id);
     std::thread::scope(|scope| {
         for worker_id in 0..workers {
             let queue = &queue;
@@ -455,7 +463,16 @@ where
                 // an engine bug, which fails the job outright.
                 let backstop = catch_unwind(AssertUnwindSafe(|| {
                     phase_worker(
-                        site, worker_id, queue, counters, cfg, state, busy, init, run,
+                        site,
+                        worker_id,
+                        queue,
+                        counters,
+                        cfg,
+                        state,
+                        busy,
+                        phase_parent,
+                        init,
+                        run,
                     );
                 }));
                 if let Err(payload) = backstop {
@@ -480,6 +497,7 @@ fn phase_worker<W, InitF, RunF>(
     cfg: &JobConfig,
     state: &JobState,
     busy: &BusyClock,
+    phase_parent: Option<u64>,
     init: &InitF,
     run: &RunF,
 ) where
@@ -502,6 +520,11 @@ fn phase_worker<W, InitF, RunF>(
         }
     };
     let mut handle = CounterHandle::new(counters);
+    let tracer = cfg
+        .telemetry
+        .as_ref()
+        .and_then(drybell_obs::Telemetry::tracer)
+        .cloned();
     while let Ok(task) = queue.rx.recv() {
         if state.failed.load(Ordering::SeqCst) {
             return;
@@ -511,6 +534,11 @@ fn phase_worker<W, InitF, RunF>(
             .as_ref()
             .and_then(|p| p.task_fault(site, task.index, task.attempt));
         let started = Instant::now();
+        // Each attempt gets its own trace interval, explicitly parented
+        // under the coordinator's phase span. Opening the handle pushes
+        // it onto this thread's open-span stack, so user code running
+        // inside the attempt (LF evaluation, say) parents under it.
+        let attempt_trace = tracer.as_ref().map(|tr| tr.open_child_of(phase_parent));
         // Per-attempt catch: a panicking user function costs one
         // attempt, not the whole job.
         let outcome = catch_unwind(AssertUnwindSafe(|| match injected {
@@ -539,6 +567,9 @@ fn phase_worker<W, InitF, RunF>(
         // Busy time covers task execution only — never queue waits or
         // retry backoff — so an idle worker's clock reads zero.
         busy.charge(worker_id, started);
+        if let Some(handle) = attempt_trace {
+            handle.close("job/shard_attempt", started);
+        }
         let error = match outcome {
             Ok(Ok(())) => None,
             Ok(Err(e)) => Some(e),

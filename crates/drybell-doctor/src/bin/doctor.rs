@@ -4,13 +4,14 @@
 //! doctor summarize --journal run.jsonl [--metrics m.json] [--lf-report r.json] [--json]
 //! doctor baseline  --journal run.jsonl [--out results/BASELINE_run.json]
 //! doctor check     --baseline results/BASELINE_run.json --journal run.jsonl [--json]
+//! doctor bench     --file results/BENCH_obs_overhead.json [--json]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` drift detected (`check` only), `2` usage
 //! or I/O error. Budgets come from `--config <doctor.toml>`, else
 //! `./doctor.toml` when present, else the built-in defaults.
 
-use drybell_doctor::{DoctorConfig, DriftReport, RunSummary};
+use drybell_doctor::{BenchReport, DoctorConfig, DriftReport, RunSummary};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -21,10 +22,12 @@ USAGE:
     doctor summarize (--journal <p> | --summary <p>) [options]
     doctor baseline  (--journal <p> | --summary <p>) [--out <p>] [options]
     doctor check     --baseline <p> (--journal <p> | --summary <p>) [options]
+    doctor bench     --file <p> [--config <p>] [--json]
 
-INPUT (exactly one of):
+INPUT (exactly one of; `bench` instead takes --file):
     --journal <path>     drybell-obs JSONL journal to summarize
     --summary <path>     a previously written RunSummary JSON document
+    --file <path>        a results/BENCH_*.json document to budget-gate
 
 OPTIONS:
     --metrics <path>     merge a metrics snapshot (report_json output)
@@ -36,7 +39,7 @@ OPTIONS:
     --help               this text
 
 EXIT CODES:
-    0  clean    1  drift (check)    2  usage / I/O error
+    0  clean    1  drift / over budget (check, bench)    2  usage / I/O error
 ";
 
 struct Cli {
@@ -48,6 +51,7 @@ struct Cli {
     baseline: Option<PathBuf>,
     config: Option<PathBuf>,
     out: Option<PathBuf>,
+    file: Option<PathBuf>,
     json: bool,
 }
 
@@ -58,7 +62,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         Some(c) => c.clone(),
         None => return Err("missing subcommand".to_string()),
     };
-    if !matches!(command.as_str(), "summarize" | "baseline" | "check") {
+    if !matches!(
+        command.as_str(),
+        "summarize" | "baseline" | "check" | "bench"
+    ) {
         return Err(format!("unknown subcommand {command:?}"));
     }
     let mut cli = Cli {
@@ -70,6 +77,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         baseline: None,
         config: None,
         out: None,
+        file: None,
         json: false,
     };
     while let Some(flag) = it.next() {
@@ -89,10 +97,23 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--baseline" => path_arg(&mut cli.baseline)?,
             "--config" => path_arg(&mut cli.config)?,
             "--out" => path_arg(&mut cli.out)?,
+            "--file" => path_arg(&mut cli.file)?,
             "--json" => cli.json = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if cli.command == "bench" {
+        if cli.file.is_none() {
+            return Err("bench needs --file <path>".to_string());
+        }
+        if cli.journal.is_some() || cli.summary.is_some() {
+            return Err("bench takes --file, not --journal/--summary".to_string());
+        }
+        return Ok(cli);
+    }
+    if cli.file.is_some() {
+        return Err("--file is only for the bench subcommand".to_string());
     }
     match (&cli.journal, &cli.summary) {
         (None, None) => return Err("need --journal or --summary".to_string()),
@@ -154,6 +175,21 @@ fn write_summary(summary: &RunSummary, path: &Path) -> Result<(), String> {
 }
 
 fn run(cli: &Cli) -> Result<ExitCode, String> {
+    if cli.command == "bench" {
+        let path = cli.file.as_ref().expect("validated in parse_args");
+        let report = BenchReport::gate(&load_json(path)?, &load_config(cli)?)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        if cli.json {
+            println!("{}", report.to_json().to_pretty());
+        } else {
+            print!("{}", report.to_table());
+        }
+        return Ok(if report.has_violation() {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        });
+    }
     let summary = load_summary(cli)?;
     match cli.command.as_str() {
         "summarize" => {

@@ -43,6 +43,10 @@ const DEFAULT_BUDGETS: &[(&str, f64)] = &[
     ("lf.degraded_abs", 0.0),
     // Serving score distribution: the conventional "drifted" PSI cut.
     ("psi.score_dist", 0.25),
+    // Telemetry self-cost ceilings (`doctor bench` over
+    // BENCH_obs_overhead.json): absolute percentages, not deltas.
+    ("obs.train_overhead_pct", 10.0),
+    ("obs.lf_overhead_pct", 5.0),
 ];
 
 impl Default for DoctorConfig {

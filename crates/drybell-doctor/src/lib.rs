@@ -33,11 +33,13 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod bench;
 pub mod config;
 pub mod drift;
 pub mod psi;
 pub mod summary;
 
+pub use bench::{BenchReport, BenchVerdict};
 pub use config::DoctorConfig;
 pub use drift::{BudgetKind, DriftReport, Status, Verdict};
 pub use psi::psi;

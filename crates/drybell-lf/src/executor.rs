@@ -23,7 +23,7 @@ use drybell_dataflow::{
 };
 use drybell_kg::KnowledgeGraph;
 use drybell_nlp::{CacheStats, CachedNlpServer, NlpError, NlpResult, NlpServer};
-use drybell_obs::{Counter, Histogram, Telemetry};
+use drybell_obs::{CounterSlot, HistogramSlot, LocalShard, ShardLayout, Span, Telemetry, Tracer};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -120,38 +120,161 @@ impl ExecOptions {
     }
 }
 
-/// Interned per-LF instruments, parallel to `set.lfs()` column order.
-/// Built once per job so the per-record hot loop never allocates a name.
-struct LfInstruments {
+/// Shard layout for the per-LF instruments, slots parallel to
+/// `set.lfs()` column order. Built once per job (eagerly registering
+/// every instrument, so zero-vote LFs still appear in snapshots); each
+/// worker buffers its rows in a private [`LocalShard`] and the whole
+/// batch folds into the shared registry when the worker retires — the
+/// per-row cost is plain memory writes, no atomics or locks.
+struct LfShards {
+    layout: Arc<ShardLayout>,
     /// `votes/<lf>` — bumped when the LF does not abstain.
-    votes: Vec<Arc<Counter>>,
+    votes: Vec<CounterSlot>,
     /// `obs/lf/<lf>/eval_us` — wall-clock latency of each evaluation.
-    eval_us: Vec<Arc<Histogram>>,
+    eval_us: Vec<HistogramSlot>,
     /// `lf/<lf>/degraded` — bumped when the LF abstained because its
     /// backing NLP service errored.
-    degraded: Vec<Arc<Counter>>,
+    degraded: Vec<CounterSlot>,
+    /// Trace block names (`lf/<lf>`), interned for the trace exporter.
+    trace_names: Vec<String>,
+    telemetry: Telemetry,
 }
 
-impl LfInstruments {
-    fn for_set<X>(set: &LfSet<X>, telemetry: &Telemetry) -> LfInstruments {
+impl LfShards {
+    fn for_set<X>(set: &LfSet<X>, telemetry: &Telemetry) -> Arc<LfShards> {
         let metrics = telemetry.metrics();
-        LfInstruments {
-            votes: set
-                .lfs()
-                .iter()
-                .map(|lf| metrics.counter(&format!("votes/{}", lf.metadata().name)))
-                .collect(),
-            eval_us: set
-                .lfs()
-                .iter()
-                .map(|lf| metrics.histogram(&format!("obs/lf/{}/eval_us", lf.metadata().name)))
-                .collect(),
-            degraded: set
-                .lfs()
-                .iter()
-                .map(|lf| metrics.counter(&format!("lf/{}/degraded", lf.metadata().name)))
-                .collect(),
+        let mut layout = ShardLayout::new();
+        let mut votes = Vec::with_capacity(set.len());
+        let mut eval_us = Vec::with_capacity(set.len());
+        let mut degraded = Vec::with_capacity(set.len());
+        let mut trace_names = Vec::with_capacity(set.len());
+        for lf in set.lfs() {
+            let name = &lf.metadata().name;
+            votes.push(layout.slot_counter(metrics.counter(&format!("votes/{name}"))));
+            eval_us
+                .push(layout.slot_histogram(metrics.histogram(&format!("obs/lf/{name}/eval_us"))));
+            degraded.push(layout.slot_counter(metrics.counter(&format!("lf/{name}/degraded"))));
+            trace_names.push(format!("lf/{name}"));
         }
+        Arc::new(LfShards {
+            layout: Arc::new(layout),
+            votes,
+            eval_us,
+            degraded,
+            trace_names,
+            telemetry: telemetry.clone(),
+        })
+    }
+
+    /// One worker's buffer. `exec_parent` is the executing span's trace
+    /// id — the fallback parent for per-LF trace blocks on worker
+    /// threads that carry no open attempt span of their own.
+    fn worker(self: &Arc<LfShards>, exec_parent: Option<u64>) -> LfWorkerShard {
+        LfWorkerShard {
+            shard: self.layout.shard(),
+            trace: self.telemetry.tracer().map(|tracer| LfTrace {
+                tracer: tracer.clone(),
+                elapsed: vec![0; self.trace_names.len()],
+                parent: None,
+                cursor: 0,
+                fallback: exec_parent,
+            }),
+            shards: Arc::clone(self),
+        }
+    }
+}
+
+/// Per-attempt aggregation of LF evaluation time for the trace
+/// exporter: one `lf/<name>` block per LF per shard attempt, laid
+/// sequentially from the attempt's first row so the blocks nest inside
+/// the attempt span without a per-row trace event.
+struct LfTrace {
+    tracer: Tracer,
+    /// Accumulated evaluation microseconds per LF for the open attempt.
+    elapsed: Vec<u64>,
+    /// The attempt span the open blocks will parent under.
+    parent: Option<u64>,
+    /// Trace timestamp of the first row under `parent`.
+    cursor: u64,
+    /// Parent when the worker thread has no open attempt span (the
+    /// in-memory path, whose workers run outside any traced span).
+    fallback: Option<u64>,
+}
+
+impl LfTrace {
+    /// Emit the open attempt's per-LF blocks and reset the accumulator.
+    fn emit_blocks(&mut self, names: &[String]) {
+        let mut ts = self.cursor;
+        for (name, us) in names.iter().zip(self.elapsed.iter_mut()) {
+            let dur = std::mem::take(us);
+            if dur > 0 {
+                self.tracer.record_interval_at(name, ts, dur, self.parent);
+                ts += dur;
+            }
+        }
+    }
+
+    /// Called once per row: when the enclosing attempt span changed
+    /// since the previous row, flush the finished attempt's blocks and
+    /// restart the accumulator under the new one.
+    fn begin_row(&mut self, names: &[String]) {
+        let parent = self.tracer.current_parent().or(self.fallback);
+        if parent != self.parent {
+            self.emit_blocks(names);
+            self.parent = parent;
+            self.cursor = self.tracer.now_us();
+        }
+    }
+}
+
+/// One worker's view of the observed execution: the local telemetry
+/// shard plus (when tracing) the per-attempt LF block accumulator.
+/// Flushes everything on drop, i.e. when the worker retires.
+struct LfWorkerShard {
+    shards: Arc<LfShards>,
+    shard: LocalShard,
+    trace: Option<LfTrace>,
+}
+
+impl LfWorkerShard {
+    fn begin_row(&mut self) {
+        if let Some(trace) = &mut self.trace {
+            trace.begin_row(&self.shards.trace_names);
+        }
+    }
+
+    /// Record one LF evaluation: latency, a vote if it did not abstain,
+    /// and trace-block time.
+    fn eval(&mut self, i: usize, elapsed: std::time::Duration, voted: bool) {
+        if let Some(&slot) = self.shards.eval_us.get(i) {
+            self.shard.observe_duration(slot, elapsed);
+        }
+        if voted {
+            if let Some(&slot) = self.shards.votes.get(i) {
+                self.shard.bump(slot);
+            }
+        }
+        if let Some(trace) = &mut self.trace {
+            if let Some(us) = trace.elapsed.get_mut(i) {
+                *us += elapsed.as_micros().min(u64::MAX as u128) as u64;
+            }
+        }
+    }
+
+    /// Record that LF `i` degraded to abstain (NLP outage).
+    fn degraded(&mut self, i: usize) {
+        if let Some(&slot) = self.shards.degraded.get(i) {
+            self.shard.bump(slot);
+        }
+    }
+}
+
+impl Drop for LfWorkerShard {
+    fn drop(&mut self) {
+        if let Some(trace) = &mut self.trace {
+            trace.emit_blocks(&self.shards.trace_names);
+        }
+        self.shard.flush_into(&self.shards.telemetry);
     }
 }
 
@@ -169,10 +292,10 @@ fn row_of<X>(
     x: &X,
     annotation: Option<&NlpResult>,
     kg: Option<&KnowledgeGraph>,
-    instruments: Option<&LfInstruments>,
+    obs: Option<&mut LfWorkerShard>,
     degraded: bool,
 ) -> Result<Vec<i8>, DataflowError> {
-    match instruments {
+    match obs {
         None => lfs
             .iter()
             .map(|lf| {
@@ -184,30 +307,33 @@ fn row_of<X>(
                     .map_err(|e| DataflowError::user(e.to_string()))
             })
             .collect(),
-        Some(inst) => lfs
-            .iter()
-            .enumerate()
-            .zip(inst.eval_us.iter().zip(inst.votes.iter()))
-            .map(|((i, lf), (eval_us, votes))| {
+        Some(obs) => {
+            obs.begin_row();
+            let mut votes = Vec::with_capacity(lfs.len());
+            for (i, lf) in lfs.iter().enumerate() {
                 if degraded && lf.needs_nlp() {
-                    if let Some(counter) = inst.degraded.get(i) {
-                        counter.inc();
-                    }
-                    return Ok(0);
+                    obs.degraded(i);
+                    votes.push(0);
+                    continue;
                 }
                 let started = Instant::now();
                 let v = lf
                     .try_vote(x, annotation, kg)
                     .map_err(|e| DataflowError::user(e.to_string()))?
                     .as_i8();
-                eval_us.record_duration(started.elapsed());
-                if v != 0 {
-                    votes.inc();
-                }
-                Ok(v)
-            })
-            .collect(),
+                obs.eval(i, started.elapsed(), v != 0);
+                votes.push(v);
+            }
+            Ok(votes)
+        }
     }
+}
+
+/// One worker's full state: its NLP service handle and, on observed
+/// runs, its telemetry shard.
+struct LfWorker {
+    nlp: WorkerNlp,
+    obs: Option<LfWorkerShard>,
 }
 
 /// The per-worker view of the NLP service: either a private plain server
@@ -304,12 +430,10 @@ pub fn execute_in_memory_observed<X: Sync>(
         ));
     }
     let kg = set.knowledge_graph().cloned();
-    let instruments = opts
-        .telemetry
-        .as_ref()
-        .map(|t| LfInstruments::for_set(set, t));
+    let shards = opts.telemetry.as_ref().map(|t| LfShards::for_set(set, t));
     let shared_cache = build_shared_cache(set, opts)?;
     let _span = opts.telemetry.as_ref().map(|t| t.span("lf_exec/in_memory"));
+    let exec_parent = _span.as_ref().and_then(Span::trace_id);
     let start = Instant::now();
     let nlp_calls = std::sync::atomic::AtomicU64::new(0);
     let nlp_degraded = std::sync::atomic::AtomicU64::new(0);
@@ -317,13 +441,19 @@ pub fn execute_in_memory_observed<X: Sync>(
         examples,
         workers,
         // One model server per worker (or one shared memo table per
-        // node), warmed up before any record.
-        |_worker| worker_nlp(set, opts, &shared_cache),
-        |nlp: &mut WorkerNlp, x: &X| {
+        // node), warmed up before any record, plus the worker's local
+        // telemetry shard (flushed when the worker retires).
+        |_worker| {
+            Ok(LfWorker {
+                nlp: worker_nlp(set, opts, &shared_cache)?,
+                obs: shards.as_ref().map(|s| s.worker(exec_parent)),
+            })
+        },
+        |worker: &mut LfWorker, x: &X| {
             let (annotation, degraded) = match (set.needs_nlp(), text) {
                 (true, Some(t)) => {
                     nlp_calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    match nlp.try_annotate(&t(x)) {
+                    match worker.nlp.try_annotate(&t(x)) {
                         Ok(r) => (Some(r), false),
                         Err(_) => {
                             // Service outage on this example: NLP LFs
@@ -340,7 +470,7 @@ pub fn execute_in_memory_observed<X: Sync>(
                 x,
                 annotation.as_ref(),
                 kg.as_deref(),
-                instruments.as_ref(),
+                worker.obs.as_mut(),
                 degraded,
             )
         },
@@ -476,22 +606,38 @@ where
                 .then(|| format!("lf/{}/degraded", lf.metadata().name))
         })
         .collect();
-    let instruments = opts
-        .telemetry
-        .as_ref()
-        .map(|t| LfInstruments::for_set(set, t));
+    let shards = opts.telemetry.as_ref().map(|t| LfShards::for_set(set, t));
     let shared_cache = build_shared_cache(set, opts)?;
     let _span = opts.telemetry.as_ref().map(|t| t.span("lf_exec/sharded"));
+    let exec_parent = _span.as_ref().and_then(Span::trace_id);
+    // The dataflow layer reads `JobConfig::telemetry` for its
+    // `job/map`/`job/reduce` phase spans and per-attempt
+    // `job/shard_attempt` spans; callers attach the sink via
+    // `ExecOptions`, so mirror it onto the job config here — otherwise
+    // the trace tree is missing its middle layer.
+    let observed_cfg;
+    let cfg = match (&cfg.telemetry, &opts.telemetry) {
+        (None, Some(t)) => {
+            observed_cfg = cfg.clone().with_telemetry(t.clone());
+            &observed_cfg
+        }
+        _ => cfg,
+    };
     let mut stats = par_map_shards(
         input,
         output,
         cfg,
-        |_ctx| worker_nlp(set, opts, &shared_cache),
-        |nlp: &mut WorkerNlp, x: X, emit, counters: &mut CounterHandle| {
+        |_ctx| {
+            Ok(LfWorker {
+                nlp: worker_nlp(set, opts, &shared_cache)?,
+                obs: shards.as_ref().map(|s| s.worker(exec_parent)),
+            })
+        },
+        |worker: &mut LfWorker, x: X, emit, counters: &mut CounterHandle| {
             let (annotation, degraded) = match (set.needs_nlp(), text) {
                 (true, Some(t)) => {
                     counters.inc("nlp_calls");
-                    match nlp.try_annotate(&t(&x)) {
+                    match worker.nlp.try_annotate(&t(&x)) {
                         Ok(r) => (Some(r), false),
                         Err(_) => (None, true),
                     }
@@ -508,7 +654,7 @@ where
                 &x,
                 annotation.as_ref(),
                 kg.as_deref(),
-                instruments.as_ref(),
+                worker.obs.as_mut(),
                 degraded,
             )?;
             for (name, &v) in vote_names.iter().zip(&votes) {

@@ -10,15 +10,38 @@
 //! static reach and skipped; `format!("votes/{}", …)`-style calls are
 //! checked with their `{}` placeholders matched against the registry's
 //! `{placeholder}` segments.
+//!
+//! The rule also guards the hot path's *cost*: in the per-row crates
+//! ([`HOT_CRATES`]) a synchronized instrument call inside a loop body —
+//! `.inc()`, `.add(<non-name>)`, `.record(<non-name>)`,
+//! `.record_duration(…)` — pays an atomic (or a histogram lock) per
+//! row. Those sites must buffer into a `drybell_obs::LocalShard`
+//! (whose `tally`/`bump`/`level`/`observe` methods are deliberately
+//! not in the flagged set) and flush at a batch boundary, or carry a
+//! justified suppression explaining why per-row synchronization is
+//! acceptable there.
 
 use crate::lexer::TokenKind;
 use crate::{Diagnostic, FileCtx};
 use drybell_obs::naming::{self, Family};
 
+/// Crates whose loops run per example / per row: a synchronized
+/// telemetry call inside one multiplies with the dataset size.
+const HOT_CRATES: &[&str] = &[
+    "drybell-core",
+    "drybell-lf",
+    "drybell-dataflow",
+    "drybell-nlp",
+    "drybell-serving",
+];
+
 /// Run the rule over one file.
 pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
     if ctx.crate_name == "vendor" {
         return;
+    }
+    if HOT_CRATES.contains(&ctx.crate_name.as_str()) {
+        check_hot_loops(ctx, out);
     }
     // The registry validates itself; a malformed table must fail the
     // lint run loudly rather than silently accept everything.
@@ -71,6 +94,105 @@ pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
             );
         }
     }
+}
+
+/// Flag synchronized per-row instrument calls inside loop bodies.
+fn check_hot_loops(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let in_loop = loop_body_mask(ctx);
+    for (i, &in_loop) in in_loop.iter().enumerate() {
+        if !in_loop || ctx.in_test[i] || !ctx.punct(i.wrapping_sub(1), '.') {
+            continue;
+        }
+        let id = ctx.ident(i);
+        let flagged = match id {
+            // A bare `.inc()` is the atomic counter bump; the
+            // name-addressed dataflow API `.inc("name")` has an
+            // argument and aggregates per job, so it is exempt.
+            "inc" => ctx.punct(i + 1, '(') && ctx.punct(i + 2, ')'),
+            // `.add(n)` / `.record(v)` with a non-string argument are
+            // the synchronized instrument calls; a leading string means
+            // the name-addressed `Counters` API (per-job, exempt).
+            "add" | "record" => {
+                ctx.punct(i + 1, '(')
+                    && !ctx.punct(i + 2, ')')
+                    && first_string_arg(ctx, i + 2).is_none()
+            }
+            // Timer convenience: always a histogram lock per call.
+            "record_duration" => ctx.punct(i + 1, '('),
+            _ => continue,
+        };
+        if flagged {
+            ctx.report(
+                out,
+                i,
+                "telemetry-conventions",
+                format!(
+                    "synchronized `.{id}(…)` inside a loop in hot-path crate {}: \
+                     buffer into a drybell_obs::LocalShard and flush at a batch \
+                     boundary instead of paying an atomic/lock per row",
+                    ctx.crate_name
+                ),
+            );
+        }
+    }
+}
+
+/// `mask[i]` — token `i` is inside some `for`/`while`/`loop` body.
+/// Loop headers are scanned to their first `{` at parenthesis depth
+/// zero (closure bodies inside the header are skipped), then the body
+/// is brace-matched.
+fn loop_body_mask(ctx: &FileCtx) -> Vec<bool> {
+    let toks = &ctx.tokens;
+    let mut mask = vec![false; toks.len()];
+    for i in 0..toks.len() {
+        if !matches!(ctx.ident(i), "for" | "while" | "loop") {
+            continue;
+        }
+        // `for` also opens higher-ranked trait bounds (`for<'a> …`);
+        // a following `<` disqualifies it as a loop.
+        if ctx.punct(i + 1, '<') {
+            continue;
+        }
+        // Find the body's `{`: skip anything nested in `(`/`[` (and
+        // `{`…`}` groups inside those, e.g. closures in the iterator
+        // expression).
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        let open = loop {
+            let Some(tok) = toks.get(j) else { break None };
+            match &tok.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Punct('{') if depth == 0 => break Some(j),
+                // A `;` before the body means this wasn't a loop
+                // header after all.
+                TokenKind::Punct(';') if depth == 0 => break None,
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = open else { continue };
+        let mut braces = 0i32;
+        let mut end = open;
+        while end < toks.len() {
+            match &toks[end].kind {
+                TokenKind::Punct('{') => braces += 1,
+                TokenKind::Punct('}') => {
+                    braces -= 1;
+                    if braces == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        let end = end.min(toks.len().saturating_sub(1));
+        for flag in &mut mask[open..=end] {
+            *flag = true;
+        }
+    }
+    mask
 }
 
 /// The first argument starting at token `start` (just after the call's
@@ -177,5 +299,84 @@ fn f(c: &Counters) {
     fn numeric_add_on_counters_is_ignored() {
         let src = "fn f(c: &Counter) { c.add(3); c.inc(); }";
         assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn per_row_instrument_calls_in_loops_are_flagged() {
+        let src = r#"
+fn f(votes: &Counter, eval: &Histogram, c: &Counters) {
+    for row in rows {
+        votes.inc();
+        eval.record(row.us);
+        eval.record_duration(t0.elapsed());
+        c.inc("nlp_calls");
+        c.add("nlp_cache/hits", 3);
+    }
+    votes.inc();
+}
+"#;
+        let got = rules(src);
+        assert_eq!(
+            got.iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+            [4, 5, 6],
+            "bare per-row calls flag; name-addressed and out-of-loop ones do not"
+        );
+    }
+
+    #[test]
+    fn while_and_bare_loops_are_covered() {
+        let src = r#"
+fn f(c: &Counter) {
+    while budget > 0 {
+        c.inc();
+    }
+    loop {
+        c.inc();
+    }
+}
+"#;
+        let got = rules(src);
+        assert_eq!(got.iter().map(|(_, l)| *l).collect::<Vec<_>>(), [4, 7]);
+    }
+
+    #[test]
+    fn loop_headers_with_closures_are_parsed() {
+        let src = "fn f() { for x in v.iter().map(|y| { y.id }) { c.inc(); } }";
+        assert_eq!(rules(src).len(), 1);
+    }
+
+    #[test]
+    fn shard_api_and_cold_crates_are_exempt() {
+        let src = r#"
+fn f(layout: &ShardLayout) {
+    let mut shard = layout.shard();
+    for row in rows {
+        shard.tally(slot, 1);
+        shard.bump(slot);
+        shard.observe(h_slot, row.us);
+        shard.observe_duration(h_slot, t0.elapsed());
+    }
+}
+"#;
+        assert!(rules(src).is_empty(), "{:?}", rules(src));
+        let cold = "fn f(c: &Counter) { for r in rows { c.inc(); } }";
+        let diags: Vec<_> = lint_source("crates/drybell-doctor/src/x.rs", cold)
+            .into_iter()
+            .filter(|d| d.rule == "telemetry-conventions")
+            .collect();
+        assert!(diags.is_empty(), "cold crates may pay per-row costs");
+    }
+
+    #[test]
+    fn justified_suppressions_cover_per_row_calls() {
+        let src = r#"
+fn f(c: &Counter) {
+    for row in rows {
+        // drybell-lint: allow(telemetry-conventions) — outer loop runs once per shard, not per row
+        c.inc();
+    }
+}
+"#;
+        assert!(rules(src).is_empty(), "{:?}", rules(src));
     }
 }

@@ -11,7 +11,6 @@ use crate::json::Json;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
@@ -80,10 +79,17 @@ impl Event {
     }
 }
 
+/// Everything a write needs, under one lock: assigning the sequence
+/// number and appending the line are a single critical section, so a
+/// line's position in the file always matches its `seq` field.
+struct JournalState {
+    sink: Box<dyn Write + Send>,
+    seq: u64,
+}
+
 struct JournalInner {
-    sink: Mutex<Box<dyn Write + Send>>,
+    state: Mutex<JournalState>,
     start: Instant,
-    seq: AtomicU64,
 }
 
 /// A shared, clonable handle to one append-only JSONL journal.
@@ -95,7 +101,7 @@ pub struct RunJournal {
 impl std::fmt::Debug for RunJournal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RunJournal")
-            .field("events", &self.inner.seq.load(Ordering::Relaxed))
+            .field("events", &self.events())
             .finish()
     }
 }
@@ -111,9 +117,8 @@ impl RunJournal {
     pub fn to_writer(sink: Box<dyn Write + Send>) -> RunJournal {
         RunJournal {
             inner: Arc::new(JournalInner {
-                sink: Mutex::new(sink),
+                state: Mutex::new(JournalState { sink, seq: 0 }),
                 start: Instant::now(),
-                seq: AtomicU64::new(0),
             }),
         }
     }
@@ -139,32 +144,50 @@ impl RunJournal {
         );
     }
 
-    /// Append one event. Write errors are deliberately swallowed:
-    /// telemetry must never take down the pipeline it observes.
+    /// Append one event. The journal lock is taken exactly once per
+    /// event — sequence assignment and the write are one critical
+    /// section. Write errors are deliberately swallowed: telemetry
+    /// must never take down the pipeline it observes.
     pub fn emit(&self, event: Event) {
-        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
         let t = self.inner.start.elapsed().as_secs_f64();
+        let mut state = self.locked();
+        let seq = state.seq;
+        state.seq += 1;
         let line = event.into_json(seq, t).to_line();
-        let mut sink = self
-            .inner
-            .sink
+        let _ = writeln!(state.sink, "{line}");
+    }
+
+    /// Append a batch of events under one lock acquisition, with
+    /// consecutive sequence numbers and a shared timestamp — the flush
+    /// path for thread-local telemetry shards (`crate::shard`), where
+    /// buffered events must land contiguously rather than interleaved
+    /// with other threads' flushes.
+    pub fn emit_batch(&self, events: impl IntoIterator<Item = Event>) {
+        let t = self.inner.start.elapsed().as_secs_f64();
+        let mut state = self.locked();
+        for event in events {
+            let seq = state.seq;
+            state.seq += 1;
+            let line = event.into_json(seq, t).to_line();
+            let _ = writeln!(state.sink, "{line}");
+        }
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, JournalState> {
+        self.inner
+            .state
             .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        let _ = writeln!(sink, "{line}");
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Number of events emitted so far.
     pub fn events(&self) -> u64 {
-        self.inner.seq.load(Ordering::Relaxed)
+        self.locked().seq
     }
 
     /// Flush the underlying writer.
     pub fn flush(&self) -> io::Result<()> {
-        self.inner
-            .sink
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .flush()
+        self.locked().sink.flush()
     }
 }
 
@@ -255,6 +278,43 @@ mod tests {
             .collect();
         seqs.sort();
         assert_eq!(seqs, (0..200).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn batches_are_contiguous_under_interleaved_writers() {
+        let (journal, buffer) = RunJournal::in_memory();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let journal = journal.clone();
+                scope.spawn(move || {
+                    for batch in 0..10 {
+                        journal.emit_batch((0..5).map(|i| {
+                            Event::new("tick")
+                                .field("worker", t as u64)
+                                .field("batch", batch as u64)
+                                .field("i", i as u64)
+                        }));
+                    }
+                });
+            }
+        });
+        let lines = buffer.parsed_lines().unwrap();
+        assert_eq!(lines.len(), 200);
+        assert_eq!(journal.events(), 200);
+        // Sequence numbers are dense and in file order...
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(line.get("seq").unwrap().as_i64(), Some(i as i64));
+        }
+        // ...and each 5-event batch landed contiguously.
+        for window in lines.chunks(5) {
+            let worker = window[0].get("worker").unwrap().as_i64();
+            let batch = window[0].get("batch").unwrap().as_i64();
+            for (i, line) in window.iter().enumerate() {
+                assert_eq!(line.get("worker").unwrap().as_i64(), worker);
+                assert_eq!(line.get("batch").unwrap().as_i64(), batch);
+                assert_eq!(line.get("i").unwrap().as_i64(), Some(i as i64));
+            }
+        }
     }
 
     #[test]

@@ -42,22 +42,30 @@ pub mod json;
 pub mod metrics;
 pub mod naming;
 pub mod report;
+pub mod shard;
 pub mod span;
+pub mod trace;
 
 pub use journal::{config_fingerprint, Event, JournalBuffer, RunJournal, SCHEMA_VERSION};
 pub use json::{parse as parse_json, Json, JsonError};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, LocalHistogram, MetricsRegistry, MetricsSnapshot,
+};
 pub use report::{
     histogram_to_json, metrics_to_json, metrics_to_text, spans_to_json, spans_to_text, ReportMode,
 };
+pub use shard::{CounterSlot, GaugeSlot, HistogramSlot, LocalShard, ShardGroup, ShardLayout};
 pub use span::{Span, SpanSet, SpanSnapshot, SpanStat};
+pub use trace::{SelfTime, TraceEvent, TraceHandle, Tracer};
 
-/// The bundle handed down a pipeline: metrics + spans + optional journal.
+/// The bundle handed down a pipeline: metrics + spans + optional
+/// journal and tracer.
 #[derive(Debug, Default, Clone)]
 pub struct Telemetry {
     metrics: MetricsRegistry,
     spans: SpanSet,
     journal: Option<RunJournal>,
+    tracer: Option<Tracer>,
 }
 
 impl Telemetry {
@@ -72,6 +80,14 @@ impl Telemetry {
             journal: Some(journal),
             ..Telemetry::default()
         }
+    }
+
+    /// The same bundle with a tracer attached: spans opened through
+    /// [`Telemetry::span`] additionally record parented trace
+    /// intervals for the Chrome-trace exporter.
+    pub fn with_trace(mut self, tracer: Tracer) -> Telemetry {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// The metrics registry.
@@ -89,6 +105,11 @@ impl Telemetry {
         self.journal.as_ref()
     }
 
+    /// The tracer, if one is attached.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
     /// Emit an event to the journal; a no-op without one.
     pub fn emit(&self, event: Event) {
         if let Some(journal) = &self.journal {
@@ -96,9 +117,13 @@ impl Telemetry {
         }
     }
 
-    /// Open a span at `path`.
+    /// Open a span at `path` — traced when a tracer is attached.
     pub fn span(&self, path: &str) -> Span {
-        self.spans.span(path)
+        let span = self.spans.span(path);
+        match &self.tracer {
+            Some(tracer) => span.with_trace(tracer),
+            None => span,
+        }
     }
 
     /// Everything measured so far, as one JSON document with `metrics`
@@ -166,5 +191,26 @@ mod tests {
         let clone = telemetry.clone();
         clone.metrics().counter("x").inc();
         assert_eq!(telemetry.metrics().snapshot().counter("x"), 1);
+    }
+
+    #[test]
+    fn traced_bundle_records_span_intervals() {
+        let tracer = Tracer::new();
+        let telemetry = Telemetry::new().with_trace(tracer.clone());
+        {
+            let run = telemetry.span("run");
+            let _fit = run.child("fit");
+        }
+        {
+            let _plain = Telemetry::new().span("run");
+        }
+        let events = tracer.snapshot();
+        assert_eq!(events.len(), 2);
+        let run = events.iter().find(|e| e.name == "run").unwrap();
+        let fit = events.iter().find(|e| e.name == "run/fit").unwrap();
+        assert_eq!(fit.parent, Some(run.id));
+        assert!(telemetry.tracer().is_some());
+        // Span aggregates record regardless of tracing.
+        assert_eq!(telemetry.spans().snapshot().get("run").unwrap().count, 1);
     }
 }

@@ -114,6 +114,113 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Merge a batch of locally-buffered samples in O(buckets) atomic
+    /// operations. Merging is commutative, so any interleaving of
+    /// flushes from many threads produces the same totals as recording
+    /// every sample directly.
+    pub fn merge_local(&self, local: &LocalHistogram) {
+        if local.count == 0 {
+            return;
+        }
+        for (i, &n) in local.buckets.iter().enumerate() {
+            if n > 0 {
+                // drybell-lint: allow(no-panic-index) — both bucket arrays share HISTOGRAM_BUCKETS length
+                self.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(local.count, Ordering::Relaxed);
+        self.sum.fetch_add(local.sum, Ordering::Relaxed);
+        self.min.fetch_min(local.min, Ordering::Relaxed);
+        self.max.fetch_max(local.max, Ordering::Relaxed);
+    }
+}
+
+/// An unsynchronized histogram buffer for one thread's samples.
+///
+/// Same bucketing as [`Histogram`], but plain integers: recording is a
+/// couple of ordinary memory writes, with the whole buffer folded into
+/// a shared [`Histogram`] at flush time via [`Histogram::merge_local`]
+/// (through [`LocalHistogram::drain_into`]). This is what the
+/// thread-local telemetry shards (`crate::shard`) buffer latency
+/// samples in.
+#[derive(Debug, Clone)]
+pub struct LocalHistogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LocalHistogram {
+    fn default() -> LocalHistogram {
+        LocalHistogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LocalHistogram {
+    /// An empty buffer.
+    pub fn new() -> LocalHistogram {
+        LocalHistogram::default()
+    }
+
+    /// Buffer one sample (no synchronization).
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        // drybell-lint: allow(no-panic-index) — bucket_of(v) ≤ 64 < HISTOGRAM_BUCKETS; per-sample hot path
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Buffer a duration sample (microseconds, saturating).
+    #[inline]
+    pub fn observe_duration(&mut self, d: Duration) {
+        self.observe(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Samples buffered since the last drain.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the buffer holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Fold everything buffered into `shared` and reset this buffer.
+    pub fn drain_into(&mut self, shared: &Histogram) {
+        shared.merge_local(self);
+        *self = LocalHistogram::default();
+    }
+
+    /// Fold another local buffer into this one and reset it.
+    pub fn absorb(&mut self, other: &mut LocalHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (i, n) in other.buckets.iter().enumerate() {
+            // drybell-lint: allow(no-panic-index) — both bucket arrays share HISTOGRAM_BUCKETS length
+            self.buckets[i] += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        *other = LocalHistogram::default();
+    }
+}
+
+impl Histogram {
     /// Copy out an immutable view for percentile queries.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -441,6 +548,46 @@ mod tests {
         let p99 = s.p99().unwrap();
         assert!((65_536..=100_000).contains(&p99), "p99 {p99}");
         assert_eq!(s.count(), 100);
+    }
+
+    #[test]
+    fn local_histogram_merges_like_direct_recording() {
+        let direct = Histogram::default();
+        let shared = Histogram::default();
+        let mut a = LocalHistogram::new();
+        let mut b = LocalHistogram::new();
+        for v in [0u64, 1, 100, 777, 100_000] {
+            direct.record(v);
+            a.observe(v);
+        }
+        for v in [3u64, 9] {
+            direct.record(v);
+            b.observe(v);
+        }
+        a.absorb(&mut b);
+        assert!(b.is_empty());
+        assert_eq!(a.count(), 7);
+        a.drain_into(&shared);
+        assert!(a.is_empty());
+        let d = direct.snapshot();
+        let s = shared.snapshot();
+        assert_eq!(d.buckets(), s.buckets());
+        assert_eq!(d.sum(), s.sum());
+        assert_eq!(d.min(), s.min());
+        assert_eq!(d.max(), s.max());
+        assert_eq!(d.p50(), s.p50());
+        assert_eq!(d.p99(), s.p99());
+    }
+
+    #[test]
+    fn empty_local_merge_leaves_min_max_untouched() {
+        let shared = Histogram::default();
+        shared.record(5);
+        shared.merge_local(&LocalHistogram::new());
+        let s = shared.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.min(), Some(5));
+        assert_eq!(s.max(), Some(5));
     }
 
     #[test]

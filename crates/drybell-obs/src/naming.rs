@@ -114,6 +114,11 @@ pub const REGISTRY: &[NameSpec] = &[
         template: "obs/train/posterior_rows",
         doc: "rows scored by observed posterior inference (predict_proba_observed)",
     },
+    NameSpec {
+        family: Family::Counter,
+        template: "trace/spans",
+        doc: "trace intervals recorded by the tracer (exported at trace write time)",
+    },
     // ---- Gauges (point-in-time exports of absolute levels) ----
     NameSpec {
         family: Family::Gauge,
@@ -159,6 +164,11 @@ pub const REGISTRY: &[NameSpec] = &[
         family: Family::Gauge,
         template: "lf/{lf}/learned_accuracy_ppm",
         doc: "LfReport learned-accuracy export, parts-per-million fixed point (export_to)",
+    },
+    NameSpec {
+        family: Family::Gauge,
+        template: "obs/selftime/{span}",
+        doc: "per-span self time from the trace summary, µs (span path slashes flattened to _)",
     },
     // ---- Histograms (obs-layer, microseconds, `_us` suffix) ----
     NameSpec {
@@ -237,6 +247,11 @@ pub const REGISTRY: &[NameSpec] = &[
         template: "job/shard_attempt",
         doc: "one attempt at one shard/partition task (retries record one span each)",
     },
+    NameSpec {
+        family: Family::Span,
+        template: "lf/{lf}",
+        doc: "per-LF aggregate trace block within one shard attempt (trace exporter only)",
+    },
     // ---- Journal event kinds ----
     NameSpec {
         family: Family::JournalKind,
@@ -297,6 +312,11 @@ pub const REGISTRY: &[NameSpec] = &[
         family: Family::JournalKind,
         template: "lf_report",
         doc: "full per-LF diagnostics (coverage/overlap/conflict/learned accuracy)",
+    },
+    NameSpec {
+        family: Family::JournalKind,
+        template: "trace_summary",
+        doc: "self-profiling digest: span count, critical path, per-span self-times",
     },
 ];
 
@@ -440,6 +460,11 @@ mod tests {
         assert!(is_registered(Family::JournalKind, "shadow"));
         assert!(is_registered(Family::JournalKind, "run_header"));
         assert!(is_registered(Family::JournalKind, "lf_report"));
+        assert!(is_registered(Family::JournalKind, "trace_summary"));
+        assert!(is_registered(Family::Counter, "trace/spans"));
+        assert!(is_registered(Family::Gauge, "obs/selftime/run"));
+        assert!(is_registered(Family::Gauge, "obs/selftime/job_map"));
+        assert!(!is_registered(Family::Gauge, "obs/selftime/job/map"));
         assert!(is_registered(Family::Gauge, "lf/kw_gossip/coverage_ppm"));
         assert!(is_registered(Family::Gauge, "lf/{}/learned_accuracy_ppm"));
         assert!(!is_registered(Family::Gauge, "lf/kw_gossip/coverage"));

@@ -5,10 +5,26 @@
 //! threads aggregate into one entry per path (count, total, max), so the
 //! same `pipeline/map` span opened by eight workers reports combined busy
 //! time. Paths make the hierarchy: rendering indents by depth.
+//!
+//! Storage is striped: paths hash (FNV-1a) onto a fixed set of
+//! independently-locked maps, so concurrent spans at different paths —
+//! the common shape, since each worker times its own phase — close
+//! without contending on one global lock. Snapshots lock the stripes in
+//! order and sort, so the view stays deterministic.
+//!
+//! When the owning `Telemetry` carries a [`Tracer`], spans opened
+//! through it also record a trace interval (id, parent, thread) on
+//! drop — see [`Span::with_trace`].
+//!
+//! [`Tracer`]: crate::trace::Tracer
 
+use crate::trace::{TraceHandle, Tracer};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
+
+/// Number of independently-locked path maps in a [`SpanSet`].
+const STRIPES: usize = 8;
 
 /// Aggregated timings for one span path.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -22,9 +38,27 @@ pub struct SpanStat {
 }
 
 /// Thread-safe collection of span aggregates for one run.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct SpanSet {
-    inner: Arc<Mutex<HashMap<String, SpanStat>>>,
+    stripes: Arc<[Mutex<HashMap<String, SpanStat>>; STRIPES]>,
+}
+
+impl Default for SpanSet {
+    fn default() -> SpanSet {
+        SpanSet {
+            stripes: Arc::new(std::array::from_fn(|_| Mutex::new(HashMap::new()))),
+        }
+    }
+}
+
+/// FNV-1a stripe index for a path.
+fn stripe_of(path: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % STRIPES as u64) as usize
 }
 
 impl SpanSet {
@@ -40,24 +74,48 @@ impl SpanSet {
             set: self.clone(),
             path: path.to_string(),
             start: Instant::now(),
+            trace: None,
         }
+    }
+
+    fn stripe(&self, path: &str) -> std::sync::MutexGuard<'_, HashMap<String, SpanStat>> {
+        // drybell-lint: allow(no-panic-index) — stripe_of is h % STRIPES, always in range
+        self.stripes[stripe_of(path)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Fold `elapsed_us` into `path` without an RAII guard — for callers
     /// that already measured the interval themselves.
     pub fn record(&self, path: &str, elapsed_us: u64) {
-        let mut map = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
-        let stat = map.entry(path.to_string()).or_default();
-        stat.count += 1;
-        stat.total_us += elapsed_us;
-        stat.max_us = stat.max_us.max(elapsed_us);
+        self.merge(
+            path,
+            SpanStat {
+                count: 1,
+                total_us: elapsed_us,
+                max_us: elapsed_us,
+            },
+        );
+    }
+
+    /// Fold a whole pre-aggregated [`SpanStat`] into `path` — the bulk
+    /// form thread-local shards use to flush many samples under one
+    /// stripe lock.
+    pub fn merge(&self, path: &str, stat: SpanStat) {
+        let mut map = self.stripe(path);
+        let entry = map.entry(path.to_string()).or_default();
+        entry.count += stat.count;
+        entry.total_us += stat.total_us;
+        entry.max_us = entry.max_us.max(stat.max_us);
     }
 
     /// Snapshot all spans, sorted by path (parents before children).
     pub fn snapshot(&self) -> SpanSnapshot {
-        let map = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
-        let mut entries: Vec<(String, SpanStat)> =
-            map.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let mut entries: Vec<(String, SpanStat)> = Vec::new();
+        for stripe in self.stripes.iter() {
+            let map = stripe.lock().unwrap_or_else(PoisonError::into_inner);
+            entries.extend(map.iter().map(|(k, v)| (k.clone(), *v)));
+        }
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         SpanSnapshot { entries }
     }
@@ -69,6 +127,7 @@ pub struct Span {
     set: SpanSet,
     path: String,
     start: Instant,
+    trace: Option<TraceHandle>,
 }
 
 impl Span {
@@ -77,9 +136,31 @@ impl Span {
         &self.path
     }
 
-    /// Open a child span at `<self.path>/<name>`.
+    /// Attach a trace interval: on drop the span also records a
+    /// [`TraceEvent`] parented under the calling thread's innermost
+    /// open traced span. Used by `Telemetry::span` when a tracer is
+    /// configured.
+    ///
+    /// [`TraceEvent`]: crate::trace::TraceEvent
+    pub fn with_trace(mut self, tracer: &Tracer) -> Span {
+        self.trace = Some(tracer.open());
+        self
+    }
+
+    /// The trace id of this span's interval, when traced — the parent
+    /// for explicitly-parented child intervals on other threads.
+    pub fn trace_id(&self) -> Option<u64> {
+        self.trace.as_ref().map(TraceHandle::id)
+    }
+
+    /// Open a child span at `<self.path>/<name>`. A traced parent's
+    /// child is traced too (the thread-local open stack parents it).
     pub fn child(&self, name: &str) -> Span {
-        self.set.span(&format!("{}/{}", self.path, name))
+        let mut child = self.set.span(&format!("{}/{}", self.path, name));
+        if let Some(trace) = &self.trace {
+            child.trace = Some(trace.child());
+        }
+        child
     }
 
     /// Elapsed time so far, microseconds.
@@ -92,6 +173,9 @@ impl Drop for Span {
     fn drop(&mut self) {
         let elapsed = self.elapsed_us();
         self.set.record(&self.path, elapsed);
+        if let Some(trace) = self.trace.take() {
+            trace.close(&self.path, self.start);
+        }
     }
 }
 
@@ -188,5 +272,60 @@ mod tests {
         assert_eq!(stat.count, 2);
         assert_eq!(stat.total_us, 40);
         assert_eq!(stat.max_us, 30);
+    }
+
+    #[test]
+    fn merge_folds_pre_aggregated_stats() {
+        let set = SpanSet::new();
+        set.merge(
+            "train/fit",
+            SpanStat {
+                count: 5,
+                total_us: 100,
+                max_us: 40,
+            },
+        );
+        set.merge(
+            "train/fit",
+            SpanStat {
+                count: 2,
+                total_us: 10,
+                max_us: 9,
+            },
+        );
+        let stat = set.snapshot().get("train/fit").unwrap();
+        assert_eq!(stat.count, 7);
+        assert_eq!(stat.total_us, 110);
+        assert_eq!(stat.max_us, 40);
+    }
+
+    #[test]
+    fn stripes_cover_many_distinct_paths() {
+        // Distinct paths land across stripes; the snapshot still sees
+        // all of them, sorted.
+        let set = SpanSet::new();
+        for i in 0..64 {
+            set.record(&format!("p{i:02}"), i);
+        }
+        let snap = set.snapshot();
+        assert_eq!(snap.entries().len(), 64);
+        assert!(snap.entries().windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(snap.get("p63").unwrap().total_us, 63);
+    }
+
+    #[test]
+    fn traced_spans_record_intervals() {
+        let set = SpanSet::new();
+        let tracer = Tracer::new();
+        {
+            let parent = set.span("run").with_trace(&tracer);
+            let _child = parent.child("fit");
+        }
+        let events = tracer.snapshot();
+        assert_eq!(events.len(), 2);
+        let run = events.iter().find(|e| e.name == "run").unwrap();
+        let fit = events.iter().find(|e| e.name == "run/fit").unwrap();
+        assert_eq!(fit.parent, Some(run.id));
+        assert!(set.snapshot().get("run/fit").is_some());
     }
 }

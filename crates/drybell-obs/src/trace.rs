@@ -1,0 +1,555 @@
+//! Hierarchical tracing: parented, thread-attributed time intervals
+//! with a Chrome trace-event exporter and a self-profiling summary.
+//!
+//! A [`Tracer`] collects [`TraceEvent`]s — complete intervals carrying
+//! a span id, an optional parent id, and the recording thread's
+//! ordinal. Parenting is automatic for the common case: opening a
+//! handle pushes its id onto a thread-local stack, so spans opened
+//! while another is live on the same thread become its children.
+//! Cross-thread structure (a worker's shard attempt under the
+//! coordinator's phase span) uses explicit parents via
+//! [`Tracer::open_child_of`] / [`Tracer::record_interval`].
+//!
+//! The exporter ([`Tracer::to_chrome_json`]) writes the Chrome
+//! trace-event format — an object with a `traceEvents` array of
+//! complete (`"ph": "X"`) events — which loads directly in Perfetto or
+//! `chrome://tracing`. On top of the same data,
+//! [`Tracer::self_times`] computes per-name total and self time (time
+//! not attributed to child spans) and [`Tracer::critical_path`] the
+//! longest root-to-leaf chain, both journaled via
+//! [`Tracer::summary_event`] so `drybell-doctor` can budget where the
+//! wall-clock goes.
+//!
+//! Tracing is opt-in (`Telemetry::with_trace`) and the tracer is only
+//! touched when spans open and close — never per row — so the traced
+//! and untraced hot paths are identical.
+
+use crate::journal::Event;
+use crate::json::Json;
+use crate::metrics::MetricsRegistry;
+use std::cell::{Cell, RefCell};
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// One complete trace interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (a span path like `job/map`, or an aggregate label).
+    pub name: String,
+    /// Start, microseconds since the tracer was created.
+    pub ts_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Ordinal of the recording thread (stable within a process run).
+    pub tid: u64,
+    /// This interval's unique id (dense, from 1).
+    pub id: u64,
+    /// The enclosing interval's id, if any.
+    pub parent: Option<u64>,
+}
+
+/// Per-name timing roll-up from [`Tracer::self_times`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelfTime {
+    /// Intervals recorded under this name.
+    pub count: u64,
+    /// Summed durations.
+    pub total_us: u64,
+    /// Summed durations minus time covered by child intervals
+    /// (clamped at zero: concurrent children can overlap their
+    /// parent's wall-clock).
+    pub self_us: u64,
+}
+
+struct TracerInner {
+    start: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+    next_id: AtomicU64,
+}
+
+/// A shared, clonable trace collector.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("events", &self.len())
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's trace ordinal (0 = unassigned).
+    static THREAD_TID: Cell<u64> = const { Cell::new(0) };
+    /// Open-span stack: (tracer token, span id), innermost last.
+    static OPEN_STACK: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The calling thread's trace ordinal, assigned on first use.
+pub fn thread_ordinal() -> u64 {
+    THREAD_TID.with(|cell| {
+        let tid = cell.get();
+        if tid != 0 {
+            return tid;
+        }
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        cell.set(tid);
+        tid
+    })
+}
+
+impl Tracer {
+    /// A fresh tracer; `ts` values are relative to this moment.
+    pub fn new() -> Tracer {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                start: Instant::now(),
+                events: Mutex::new(Vec::new()),
+                next_id: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// This tracer's identity token (distinguishes thread-local stack
+    /// entries when multiple tracers coexist in one process).
+    fn token(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
+    fn alloc_id(&self) -> u64 {
+        self.inner.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Microseconds from tracer creation to `at` (zero if `at`
+    /// precedes creation).
+    fn ts_us(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.inner.start)
+            .as_micros()
+            .min(u64::MAX as u128) as u64
+    }
+
+    /// Microseconds elapsed since the tracer was created — the `ts`
+    /// base for [`Tracer::record_interval_at`].
+    pub fn now_us(&self) -> u64 {
+        self.ts_us(Instant::now())
+    }
+
+    /// The innermost span this tracer has open on the calling thread.
+    pub fn current_parent(&self) -> Option<u64> {
+        let token = self.token();
+        OPEN_STACK.with(|stack| {
+            stack
+                .borrow()
+                .iter()
+                .rev()
+                .find(|(t, _)| *t == token)
+                .map(|(_, id)| *id)
+        })
+    }
+
+    /// Open a span parented under the calling thread's innermost open
+    /// span (if any). The returned handle must be closed with
+    /// [`TraceHandle::close`] to record the interval and pop the stack.
+    pub fn open(&self) -> TraceHandle {
+        let parent = self.current_parent();
+        self.open_child_of(parent)
+    }
+
+    /// Open a span with an explicit parent (for cross-thread
+    /// structure, e.g. a worker interval under a coordinator span).
+    pub fn open_child_of(&self, parent: Option<u64>) -> TraceHandle {
+        let id = self.alloc_id();
+        let token = self.token();
+        OPEN_STACK.with(|stack| stack.borrow_mut().push((token, id)));
+        TraceHandle {
+            tracer: self.clone(),
+            id,
+            parent,
+        }
+    }
+
+    /// Record a complete interval directly, without touching the open
+    /// stack: `start`..now, under `parent`. Returns the interval's id.
+    pub fn record_interval(&self, name: &str, start: Instant, parent: Option<u64>) -> u64 {
+        let dur_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.record_interval_at(name, self.ts_us(start), dur_us, parent)
+    }
+
+    /// Record a complete interval from explicit timestamps (both in
+    /// microseconds relative to the tracer's start). Returns its id.
+    pub fn record_interval_at(
+        &self,
+        name: &str,
+        ts_us: u64,
+        dur_us: u64,
+        parent: Option<u64>,
+    ) -> u64 {
+        let id = self.alloc_id();
+        self.push(TraceEvent {
+            name: name.to_string(),
+            ts_us,
+            dur_us,
+            tid: thread_ordinal(),
+            id,
+            parent,
+        });
+        id
+    }
+
+    fn push(&self, event: TraceEvent) {
+        self.inner
+            .events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(event);
+    }
+
+    /// Number of intervals recorded.
+    pub fn len(&self) -> usize {
+        self.inner
+            .events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of all recorded intervals, ordered by (tid, ts, id) so
+    /// output is stable regardless of close order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut events = self
+            .inner
+            .events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        events.sort_by_key(|e| (e.tid, e.ts_us, e.id));
+        events
+    }
+
+    /// The full trace as a Chrome trace-event JSON document
+    /// (`{"traceEvents": [...]}`, complete `"ph": "X"` events) —
+    /// loadable in Perfetto and `chrome://tracing`.
+    pub fn to_chrome_json(&self) -> Json {
+        let events = self
+            .snapshot()
+            .into_iter()
+            .map(|e| {
+                let mut args = vec![("id".to_string(), Json::from(e.id))];
+                if let Some(parent) = e.parent {
+                    args.push(("parent".to_string(), Json::from(parent)));
+                }
+                Json::obj(vec![
+                    ("name", Json::Str(e.name)),
+                    ("cat", Json::from("drybell")),
+                    ("ph", Json::from("X")),
+                    ("ts", Json::from(e.ts_us)),
+                    ("dur", Json::from(e.dur_us)),
+                    ("pid", Json::from(1u64)),
+                    ("tid", Json::from(e.tid)),
+                    ("args", Json::Obj(args)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("displayTimeUnit", Json::from("ms")),
+            ("traceEvents", Json::Arr(events)),
+        ])
+    }
+
+    /// Write [`Tracer::to_chrome_json`] to `path`.
+    pub fn write_chrome(&self, path: &std::path::Path) -> io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_chrome_json().to_pretty().as_bytes())?;
+        writeln!(file)?;
+        file.flush()
+    }
+
+    /// Per-name total and self time, sorted by name.
+    ///
+    /// Self time subtracts the durations of *direct* children from
+    /// each interval before aggregating, so a phase that spends its
+    /// life waiting on child work reports near-zero self time.
+    pub fn self_times(&self) -> Vec<(String, SelfTime)> {
+        let events = self.snapshot();
+        let mut child_us: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for e in &events {
+            if let Some(parent) = e.parent {
+                *child_us.entry(parent).or_insert(0) += e.dur_us;
+            }
+        }
+        let mut by_name: std::collections::BTreeMap<String, SelfTime> =
+            std::collections::BTreeMap::new();
+        for e in &events {
+            let covered = child_us.get(&e.id).copied().unwrap_or(0);
+            let entry = by_name.entry(e.name.clone()).or_default();
+            entry.count += 1;
+            entry.total_us += e.dur_us;
+            entry.self_us += e.dur_us.saturating_sub(covered);
+        }
+        by_name.into_iter().collect()
+    }
+
+    /// The longest root-to-leaf chain: at each level, the child with
+    /// the largest duration. Returns the chain of names and the root's
+    /// duration (the wall-clock the chain accounts for); `None` when
+    /// no intervals were recorded.
+    pub fn critical_path(&self) -> Option<(Vec<String>, u64)> {
+        let events = self.snapshot();
+        let longest = |parent: Option<u64>| -> Option<&TraceEvent> {
+            events
+                .iter()
+                .filter(|e| e.parent == parent)
+                .max_by_key(|e| (e.dur_us, std::cmp::Reverse(e.id)))
+        };
+        let root = longest(None)?;
+        let critical_us = root.dur_us;
+        let mut chain = vec![root.name.clone()];
+        let mut cursor = root.id;
+        while let Some(child) = longest(Some(cursor)) {
+            chain.push(child.name.clone());
+            cursor = child.id;
+        }
+        Some((chain, critical_us))
+    }
+
+    /// The `trace_summary` journal event: span count, the critical
+    /// path, and per-name self-times (`selftime/<name>` fields, µs).
+    pub fn summary_event(&self) -> Event {
+        let mut event = Event::new("trace_summary").field("spans", self.len() as u64);
+        if let Some((chain, critical_us)) = self.critical_path() {
+            event = event
+                .field("critical_us", critical_us)
+                .field("critical_path", chain.join(" > "));
+        }
+        for (name, st) in self.self_times() {
+            event = event.field(&format!("selftime/{name}"), st.self_us);
+        }
+        event
+    }
+
+    /// Export the summary into `metrics`: one `obs/selftime/{span}`
+    /// gauge per name (path separators flattened to `_` so the name
+    /// stays one dynamic segment) and the `trace/spans` counter.
+    pub fn export_metrics(&self, metrics: &MetricsRegistry) {
+        metrics.counter("trace/spans").add(self.len() as u64);
+        for (name, st) in self.self_times() {
+            let flat = name.replace('/', "_");
+            metrics
+                .gauge(&format!("obs/selftime/{flat}"))
+                .set(st.self_us.min(i64::MAX as u64) as i64);
+        }
+    }
+}
+
+/// An open traced span: records its interval on [`close`].
+///
+/// [`close`]: TraceHandle::close
+#[derive(Debug)]
+pub struct TraceHandle {
+    tracer: Tracer,
+    id: u64,
+    parent: Option<u64>,
+}
+
+impl TraceHandle {
+    /// This span's id (the parent for explicit children).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Open a child span explicitly parented under this one — correct
+    /// even when the child lives on another thread.
+    pub fn child(&self) -> TraceHandle {
+        self.tracer.open_child_of(Some(self.id))
+    }
+
+    /// Close the span: pop it from the calling thread's open stack and
+    /// record the `start`..now interval under `name`.
+    pub fn close(self, name: &str, start: Instant) {
+        let dur_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let token = self.tracer.token();
+        OPEN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&(t, id)| t == token && id == self.id)
+            {
+                stack.remove(pos);
+            }
+        });
+        let ts_us = self.tracer.ts_us(start);
+        self.tracer.push(TraceEvent {
+            name: name.to_string(),
+            ts_us,
+            dur_us,
+            tid: thread_ordinal(),
+            id: self.id,
+            parent: self.parent,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn open_close_nests_by_thread_stack() {
+        let tracer = Tracer::new();
+        let t0 = Instant::now();
+        let outer = tracer.open();
+        assert_eq!(tracer.current_parent(), Some(outer.id()));
+        let t1 = Instant::now();
+        let inner = tracer.open();
+        inner.close("run/fit", t1);
+        outer.close("run", t0);
+        assert_eq!(tracer.current_parent(), None);
+
+        let events = tracer.snapshot();
+        assert_eq!(events.len(), 2);
+        let run = events.iter().find(|e| e.name == "run").unwrap();
+        let fit = events.iter().find(|e| e.name == "run/fit").unwrap();
+        assert_eq!(run.parent, None);
+        assert_eq!(fit.parent, Some(run.id));
+        assert_eq!(run.tid, fit.tid);
+    }
+
+    #[test]
+    fn explicit_parents_cross_threads() {
+        let tracer = Tracer::new();
+        let t0 = Instant::now();
+        let phase = tracer.open();
+        let phase_id = phase.id();
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let tracer = tracer.clone();
+                scope.spawn(move || {
+                    let started = Instant::now();
+                    tracer.record_interval("job/shard_attempt", started, Some(phase_id));
+                });
+            }
+        });
+        phase.close("job/map", t0);
+        let events = tracer.snapshot();
+        assert_eq!(events.len(), 3);
+        let attempts: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "job/shard_attempt")
+            .collect();
+        assert_eq!(attempts.len(), 2);
+        assert!(attempts.iter().all(|e| e.parent == Some(phase_id)));
+        // Worker intervals carry their own thread ordinals.
+        let map_tid = events.iter().find(|e| e.name == "job/map").unwrap().tid;
+        assert!(attempts.iter().all(|e| e.tid != map_tid));
+    }
+
+    #[test]
+    fn chrome_export_is_well_formed() {
+        let tracer = Tracer::new();
+        let t0 = Instant::now();
+        let h = tracer.open();
+        std::thread::sleep(Duration::from_millis(2));
+        h.close("run", t0);
+        let doc = tracer.to_chrome_json();
+        let events = doc.get("traceEvents").unwrap();
+        assert_eq!(events.items().len(), 1);
+        let e = &events.items()[0];
+        assert_eq!(e.get("name").unwrap().as_str(), Some("run"));
+        assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(e.get("pid").unwrap().as_i64(), Some(1));
+        assert!(e.get("dur").unwrap().as_i64().unwrap() >= 1_000);
+        assert!(e.get("tid").unwrap().as_i64().unwrap() >= 1);
+        assert_eq!(e.get("args").unwrap().get("id").unwrap().as_i64(), Some(1));
+        // Round-trips through our own parser.
+        let reparsed = crate::json::parse(&doc.to_pretty()).unwrap();
+        assert_eq!(reparsed.get("traceEvents").unwrap().items().len(), 1);
+    }
+
+    #[test]
+    fn self_times_subtract_children() {
+        let tracer = Tracer::new();
+        // Build a deterministic tree from explicit timestamps:
+        // run [0, 100], with children fit [10, 40) and lfs [50, 90).
+        let run = tracer.record_interval_at("run", 0, 100, None);
+        tracer.record_interval_at("run/fit", 10, 30, Some(run));
+        tracer.record_interval_at("lf_exec/sharded", 50, 40, Some(run));
+        let times: std::collections::BTreeMap<_, _> = tracer.self_times().into_iter().collect();
+        assert_eq!(times["run"].total_us, 100);
+        assert_eq!(times["run"].self_us, 30);
+        assert_eq!(times["run/fit"].self_us, 30);
+        assert_eq!(times["lf_exec/sharded"].count, 1);
+    }
+
+    #[test]
+    fn critical_path_follows_longest_children() {
+        let tracer = Tracer::new();
+        let run = tracer.record_interval_at("run", 0, 100, None);
+        tracer.record_interval_at("run/fit", 0, 20, Some(run));
+        let lfs = tracer.record_interval_at("lf_exec/sharded", 20, 70, Some(run));
+        tracer.record_interval_at("job/map", 20, 60, Some(lfs));
+        let (chain, critical_us) = tracer.critical_path().unwrap();
+        assert_eq!(chain, vec!["run", "lf_exec/sharded", "job/map"]);
+        assert_eq!(critical_us, 100);
+    }
+
+    #[test]
+    fn summary_event_and_metric_export() {
+        let tracer = Tracer::new();
+        let run = tracer.record_interval_at("run", 0, 100, None);
+        tracer.record_interval_at("job/map", 10, 40, Some(run));
+        let event = tracer.summary_event();
+        assert_eq!(event.kind(), "trace_summary");
+        let (journal, buffer) = crate::journal::RunJournal::in_memory();
+        journal.emit(event);
+        let json = buffer.parsed_lines().unwrap().remove(0);
+        assert_eq!(json.get("spans").unwrap().as_i64(), Some(2));
+        assert_eq!(json.get("critical_us").unwrap().as_i64(), Some(100));
+        assert_eq!(
+            json.get("critical_path").unwrap().as_str(),
+            Some("run > job/map")
+        );
+        assert_eq!(json.get("selftime/run").unwrap().as_i64(), Some(60));
+
+        let metrics = MetricsRegistry::new();
+        tracer.export_metrics(&metrics);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("trace/spans"), 2);
+        assert_eq!(snap.gauge("obs/selftime/run"), 60);
+        assert_eq!(snap.gauge("obs/selftime/job_map"), 40);
+    }
+
+    #[test]
+    fn empty_tracer_has_no_critical_path() {
+        let tracer = Tracer::new();
+        assert!(tracer.is_empty());
+        assert!(tracer.critical_path().is_none());
+        assert_eq!(
+            tracer
+                .to_chrome_json()
+                .get("traceEvents")
+                .unwrap()
+                .items()
+                .len(),
+            0
+        );
+    }
+}

@@ -310,7 +310,17 @@ impl ServingRegistry {
         result
     }
 
-    fn score_both_inner(
+    /// The shared `obs/serving/shadow_score_us` histogram, for callers
+    /// (the shadow evaluator) that batch their own latency samples in a
+    /// [`drybell_obs::LocalHistogram`] instead of paying the shared
+    /// atomics per scored example.
+    pub(crate) fn shadow_latency_sink(&self) -> Option<std::sync::Arc<drybell_obs::Histogram>> {
+        self.instruments
+            .as_ref()
+            .map(|inst| std::sync::Arc::clone(&inst.shadow_score_us))
+    }
+
+    pub(crate) fn score_both_inner(
         &self,
         name: &str,
         candidate_version: u32,

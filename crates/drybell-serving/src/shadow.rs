@@ -143,11 +143,18 @@ impl ShadowReport {
 }
 
 /// Runs a staged candidate in shadow against the serving version.
+///
+/// Per-example latency samples buffer in a local histogram (plain
+/// memory writes, no shared atomics inside the shadow loop) and drain
+/// into the registry's `obs/serving/shadow_score_us` histogram when the
+/// evaluator drops.
 pub struct ShadowEval<'a> {
     registry: &'a ServingRegistry,
     model: String,
     candidate_version: u32,
     report: ShadowReport,
+    latency: drybell_obs::LocalHistogram,
+    latency_sink: Option<std::sync::Arc<drybell_obs::Histogram>>,
 }
 
 impl<'a> ShadowEval<'a> {
@@ -175,6 +182,8 @@ impl<'a> ShadowEval<'a> {
             model: model.to_owned(),
             candidate_version,
             report: ShadowReport::default(),
+            latency: drybell_obs::LocalHistogram::new(),
+            latency_sink: registry.shadow_latency_sink(),
         })
     }
 
@@ -182,9 +191,16 @@ impl<'a> ShadowEval<'a> {
     /// model's score (shadow mode must not change production behaviour)
     /// while recording the comparison.
     pub fn observe(&mut self, input: ScoreInput<'_>) -> Result<f64, ServingError> {
+        let started = self
+            .latency_sink
+            .as_ref()
+            .map(|_| std::time::Instant::now());
         let (serving, candidate) =
             self.registry
-                .score_both(&self.model, self.candidate_version, input)?;
+                .score_both_inner(&self.model, self.candidate_version, input)?;
+        if let Some(s) = started {
+            self.latency.observe_duration(s.elapsed());
+        }
         let r = &mut self.report;
         r.examples += 1;
         r.serving_dist.record(serving);
@@ -208,6 +224,14 @@ impl<'a> ShadowEval<'a> {
     /// The accumulated report.
     pub fn report(&self) -> &ShadowReport {
         &self.report
+    }
+}
+
+impl Drop for ShadowEval<'_> {
+    fn drop(&mut self) {
+        if let Some(sink) = &self.latency_sink {
+            self.latency.drain_into(sink);
+        }
     }
 }
 
@@ -279,6 +303,56 @@ mod tests {
         assert_eq!(r.new_negatives, 1);
         assert!(r.mean_abs_gap() > 0.0);
         assert!(r.max_abs_gap <= 1.0);
+    }
+
+    #[test]
+    fn shadow_latency_batches_and_drains_on_drop() {
+        let mut spaces = SpaceRegistry::new();
+        let hashed = spaces
+            .register(FeatureSpace::servable("hashed", 10))
+            .unwrap();
+        let telemetry = drybell_obs::Telemetry::new();
+        let registry = ServingRegistry::new(spaces, 1_000).with_telemetry(&telemetry);
+        let h = FeatureHasher::new(1 << 10);
+        let data = vec![
+            (h.bag_of_words(&["yes"]), 1.0),
+            (h.bag_of_words(&["nothing"]), 0.0),
+        ];
+        let mut m = LogisticRegression::new(1 << 10, FtrlConfig::default());
+        m.fit(&data).unwrap();
+        for version in [1, 2] {
+            registry
+                .stage(ModelSpec {
+                    name: "m".into(),
+                    version,
+                    feature_spaces: vec![hashed],
+                    model: ExportedModel::LogReg(m.clone()),
+                })
+                .unwrap();
+        }
+        registry.promote("m", 1).unwrap();
+        {
+            let mut shadow = ShadowEval::new(&registry, "m", 2).unwrap();
+            for _ in 0..4 {
+                let x = h.bag_of_words(&["yes"]);
+                shadow.observe(ScoreInput::Sparse(&x)).unwrap();
+            }
+            // Samples are buffered locally until the evaluator drops.
+            let snap = telemetry.metrics().snapshot();
+            assert_eq!(
+                snap.histogram("obs/serving/shadow_score_us")
+                    .unwrap()
+                    .count(),
+                0
+            );
+        }
+        let snap = telemetry.metrics().snapshot();
+        assert_eq!(
+            snap.histogram("obs/serving/shadow_score_us")
+                .unwrap()
+                .count(),
+            4
+        );
     }
 
     #[test]
