@@ -1,0 +1,559 @@
+//! Cross-crate call-graph construction over the [`crate::model`]
+//! symbol tables.
+//!
+//! Resolution is heuristic — name plus receiver-type hints, never
+//! type inference — and every edge it cannot pin down is recorded as an
+//! [`UnresolvedEdge`] with the reason, so the graph's blind spots are
+//! visible in the output instead of silently shaping it. The order of
+//! heuristics, from strongest to weakest:
+//!
+//! 1. **Typed receiver** (`self.m()` inside `impl T`, a local or
+//!    parameter with a visible type head, `Type::m()`): resolve to the
+//!    unique method `m` on an `impl T` block anywhere in the workspace.
+//! 2. **`self.field.m()`**: look the field up in `T`'s struct
+//!    definition; its type head becomes the receiver type. `Arc<Mlp>`
+//!    fields record `Arc`, so a second lookup falls through to the
+//!    unique-name heuristic — a known blind spot.
+//! 3. **Enum payload binding** (`E::V(x) => x.m()`): the variant's
+//!    single payload type, from the enum definition.
+//! 4. **Free call**: unique function with that name in the caller's
+//!    crate, else unique across the workspace.
+//! 5. **Unknown receiver**: unique method name across every impl block
+//!    in the workspace.
+//!
+//! Anything still ambiguous (or matching nothing, like std methods) is
+//! an unresolved edge. Determinism is load-bearing: all maps are
+//! `BTreeMap`s and the DOT export is sorted, so byte-identical output
+//! across shuffled input file order is a tested property.
+
+use crate::model::{EffectKind, FileModel, FnDef, Receiver};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Stable identity of a function node: `(impl type or "", name)` plus
+/// the crate for display. Equal names on different impls are distinct
+/// nodes; same-name fns in different crates are distinct too.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FnId {
+    /// Owning crate.
+    pub crate_name: String,
+    /// Impl type head, or empty for free functions.
+    pub impl_type: String,
+    /// Function name.
+    pub name: String,
+}
+
+impl FnId {
+    fn of(def: &FnDef) -> FnId {
+        FnId {
+            crate_name: def.crate_name.clone(),
+            impl_type: def.impl_type.clone().unwrap_or_default(),
+            name: def.name.clone(),
+        }
+    }
+
+    /// `crate::Type::name` / `crate::name`.
+    pub fn display(&self) -> String {
+        if self.impl_type.is_empty() {
+            format!("{}::{}", self.crate_name, self.name)
+        } else {
+            format!("{}::{}::{}", self.crate_name, self.impl_type, self.name)
+        }
+    }
+}
+
+/// A call site the resolver could not link to a workspace function.
+#[derive(Debug, Clone)]
+pub struct UnresolvedEdge {
+    /// Calling function.
+    pub from: FnId,
+    /// Called name.
+    pub callee: String,
+    /// Why resolution failed.
+    pub reason: String,
+    /// Call-site file.
+    pub path: String,
+    /// Call-site line.
+    pub line: u32,
+}
+
+/// A resolved call edge with its site.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Target function.
+    pub to: FnId,
+    /// Call-site line (in the caller's file).
+    pub line: u32,
+    /// Call-site column.
+    pub col: u32,
+    /// Result value discarded via `let _ =`.
+    pub discarded: bool,
+    /// Lock ids (see [`Graph::lock_id`]) held at the call site.
+    pub holding: Vec<String>,
+}
+
+/// The linked workspace call graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// Every function, by id.
+    pub fns: BTreeMap<FnId, FnDef>,
+    /// Resolved call edges, caller → sites.
+    pub edges: BTreeMap<FnId, Vec<Edge>>,
+    /// Call sites that did not resolve.
+    pub unresolved: Vec<UnresolvedEdge>,
+}
+
+/// Whether a struct-field type head is a lock type.
+fn is_lock_type(head: &str) -> bool {
+    head == "Mutex" || head == "RwLock"
+}
+
+impl Graph {
+    /// Link the per-file models into one graph.
+    pub fn build(files: &[FileModel]) -> Graph {
+        let mut g = Graph::default();
+
+        // Symbol tables for resolution — all BTreeMaps for determinism.
+        // method name → ids of every impl method with that name
+        let mut by_method: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        // (impl type, method name) → ids
+        let mut by_type_method: BTreeMap<(&str, &str), Vec<FnId>> = BTreeMap::new();
+        // free fn name → ids
+        let mut free_by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        // struct name → its def (field → type head)
+        let mut structs: BTreeMap<&str, &BTreeMap<String, String>> = BTreeMap::new();
+        // enum name → its def (variant → payload head)
+        let mut enums: BTreeMap<&str, &BTreeMap<String, String>> = BTreeMap::new();
+
+        for fm in files {
+            for s in &fm.structs {
+                structs.entry(&s.name).or_insert(&s.fields);
+            }
+            for e in &fm.enums {
+                enums.entry(&e.name).or_insert(&e.variants);
+            }
+            for def in &fm.fns {
+                let id = FnId::of(def);
+                if let Some(t) = &def.impl_type {
+                    by_type_method
+                        .entry((t, &def.name))
+                        .or_default()
+                        .push(id.clone());
+                    by_method.entry(&def.name).or_default().push(id.clone());
+                } else {
+                    free_by_name.entry(&def.name).or_default().push(id.clone());
+                }
+                g.fns.insert(id, def.clone());
+            }
+        }
+
+        // Resolve each call site.
+        for fm in files {
+            for def in &fm.fns {
+                let from = FnId::of(def);
+                let mut edges = Vec::new();
+                for call in &def.calls {
+                    // Map held-lock indices to stable lock ids first.
+                    let holding: Vec<String> = call
+                        .holding
+                        .iter()
+                        .filter_map(|&idx| {
+                            def.locks
+                                .get(idx)
+                                .and_then(|l| Self::lock_id_of(&l.recv, &structs))
+                        })
+                        .collect();
+
+                    match Self::resolve(
+                        &call.recv,
+                        &call.callee,
+                        &fm.crate_name,
+                        &by_method,
+                        &by_type_method,
+                        &free_by_name,
+                        &structs,
+                        &enums,
+                    ) {
+                        Ok(Some(to)) => edges.push(Edge {
+                            to,
+                            line: call.line,
+                            col: call.col,
+                            discarded: call.discarded,
+                            holding,
+                        }),
+                        Ok(None) => {} // confidently external (std/vendor) — not an edge
+                        Err(reason) => g.unresolved.push(UnresolvedEdge {
+                            from: from.clone(),
+                            callee: call.callee.clone(),
+                            reason,
+                            path: def.path.clone(),
+                            line: call.line,
+                        }),
+                    }
+                }
+                if !edges.is_empty() {
+                    g.edges.entry(from).or_default().extend(edges);
+                }
+            }
+        }
+        g.unresolved
+            .sort_by(|a, b| (&a.path, a.line, &a.callee).cmp(&(&b.path, b.line, &b.callee)));
+        g
+    }
+
+    /// The stable lock identity for an acquisition receiver:
+    /// `Struct.field` when the receiver is a lock-typed field, `None`
+    /// when it isn't a field lock we can name.
+    fn lock_id_of(
+        recv: &Receiver,
+        structs: &BTreeMap<&str, &BTreeMap<String, String>>,
+    ) -> Option<String> {
+        match recv {
+            Receiver::SelfField(ty, field) => {
+                let head = structs.get(ty.as_str())?.get(field)?;
+                is_lock_type(head).then(|| format!("{ty}.{field}"))
+            }
+            Receiver::Typed(head) if is_lock_type(head) => None, // fn-local lock: no stable id
+            _ => None,
+        }
+    }
+
+    /// Public wrapper used by the lock-order rule.
+    pub fn lock_id(&self, recv: &Receiver, files: &[FileModel]) -> Option<String> {
+        let mut structs: BTreeMap<&str, &BTreeMap<String, String>> = BTreeMap::new();
+        for fm in files {
+            for s in &fm.structs {
+                structs.entry(&s.name).or_insert(&s.fields);
+            }
+        }
+        Self::lock_id_of(recv, &structs)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn resolve(
+        recv: &Receiver,
+        callee: &str,
+        caller_crate: &str,
+        by_method: &BTreeMap<&str, Vec<FnId>>,
+        by_type_method: &BTreeMap<(&str, &str), Vec<FnId>>,
+        free_by_name: &BTreeMap<&str, Vec<FnId>>,
+        structs: &BTreeMap<&str, &BTreeMap<String, String>>,
+        enums: &BTreeMap<&str, &BTreeMap<String, String>>,
+    ) -> Result<Option<FnId>, String> {
+        let unique = |cands: &[FnId], what: &str| -> Result<Option<FnId>, String> {
+            match cands {
+                [one] => Ok(Some(one.clone())),
+                [] => Ok(None),
+                many => Err(format!(
+                    "{what} is ambiguous across {} candidates: {}",
+                    many.len(),
+                    many.iter()
+                        .map(FnId::display)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )),
+            }
+        };
+        match recv {
+            Receiver::Typed(ty) => {
+                if let Some(c) = by_type_method.get(&(ty.as_str(), callee)) {
+                    return unique(c, &format!("{ty}::{callee}"));
+                }
+                // A typed receiver whose type has no such method in the
+                // workspace: almost always std/vendor (`Vec::push`).
+                Ok(None)
+            }
+            Receiver::SelfField(ty, field) => {
+                let Some(fields) = structs.get(ty.as_str()) else {
+                    return Err(format!("struct {ty} not found for field receiver .{field}"));
+                };
+                let Some(head) = fields.get(field) else {
+                    return Err(format!("field {ty}.{field} not found"));
+                };
+                if let Some(c) = by_type_method.get(&(head.as_str(), callee)) {
+                    return unique(c, &format!("{head}::{callee}"));
+                }
+                // Wrapper heads (`Arc`, `Option`, …) hide the inner
+                // type; fall back to the unique-method heuristic.
+                match by_method.get(callee) {
+                    Some(c) => unique(c, &format!("method {callee} via {ty}.{field}: {head}")),
+                    None => Ok(None),
+                }
+            }
+            Receiver::EnumPayload(en, variant) => {
+                let Some(variants) = enums.get(en.as_str()) else {
+                    return Err(format!("enum {en} not found for match binding"));
+                };
+                let Some(head) = variants.get(variant) else {
+                    return Err(format!("variant {en}::{variant} payload not modeled"));
+                };
+                if let Some(c) = by_type_method.get(&(head.as_str(), callee)) {
+                    return unique(c, &format!("{head}::{callee}"));
+                }
+                Ok(None)
+            }
+            Receiver::Free => {
+                let cands = free_by_name.get(callee).map(Vec::as_slice).unwrap_or(&[]);
+                let same_crate: Vec<FnId> = cands
+                    .iter()
+                    .filter(|id| id.crate_name == caller_crate)
+                    .cloned()
+                    .collect();
+                if same_crate.len() == 1 {
+                    return Ok(Some(same_crate[0].clone()));
+                }
+                if same_crate.len() > 1 {
+                    return unique(&same_crate, &format!("fn {callee} in {caller_crate}"));
+                }
+                unique(cands, &format!("fn {callee}"))
+            }
+            Receiver::Unknown => match by_method.get(callee) {
+                Some(c) if c.len() == 1 => Ok(Some(c[0].clone())),
+                Some(c) => Err(format!(
+                    "untyped receiver and {} workspace methods named {callee}",
+                    c.len()
+                )),
+                None => Ok(None),
+            },
+        }
+    }
+
+    /// BFS from `roots`, returning each reachable fn and its parent in
+    /// the BFS tree (for explaining *why* a fn is on a hot path).
+    /// Test-only functions do not extend the frontier: a fixture or
+    /// unit test calling a root must not drag the test tree in.
+    pub fn reachable(&self, roots: &[FnId]) -> BTreeMap<FnId, Option<FnId>> {
+        let mut parent: BTreeMap<FnId, Option<FnId>> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<FnId> = std::collections::VecDeque::new();
+        for r in roots {
+            if self.fns.contains_key(r) && !parent.contains_key(r) {
+                parent.insert(r.clone(), None);
+                queue.push_back(r.clone());
+            }
+        }
+        while let Some(cur) = queue.pop_front() {
+            if let Some(edges) = self.edges.get(&cur) {
+                for e in edges {
+                    if !parent.contains_key(&e.to) {
+                        if self.fns.get(&e.to).is_some_and(|d| d.is_test) {
+                            continue;
+                        }
+                        parent.insert(e.to.clone(), Some(cur.clone()));
+                        queue.push_back(e.to.clone());
+                    }
+                }
+            }
+        }
+        parent
+    }
+
+    /// The chain `root → … → id` through the BFS tree, as display names.
+    pub fn chain(parents: &BTreeMap<FnId, Option<FnId>>, id: &FnId) -> String {
+        let mut names = vec![id.display()];
+        let mut cur = id.clone();
+        while let Some(Some(p)) = parents.get(&cur) {
+            names.push(p.display());
+            cur = p.clone();
+        }
+        names.reverse();
+        names.join(" → ")
+    }
+
+    /// For every function, the set of named locks it may acquire
+    /// transitively (its own acquisitions plus its callees', to a fixed
+    /// point). Used by the lock-order rule for cross-function cycles.
+    pub fn transitive_locks(&self, files: &[FileModel]) -> BTreeMap<FnId, BTreeSet<String>> {
+        let mut structs: BTreeMap<&str, &BTreeMap<String, String>> = BTreeMap::new();
+        for fm in files {
+            for s in &fm.structs {
+                structs.entry(&s.name).or_insert(&s.fields);
+            }
+        }
+        let mut own: BTreeMap<FnId, BTreeSet<String>> = BTreeMap::new();
+        for (id, def) in &self.fns {
+            let mut set = BTreeSet::new();
+            for l in &def.locks {
+                if let Some(lid) = Self::lock_id_of(&l.recv, &structs) {
+                    set.insert(lid);
+                }
+            }
+            own.insert(id.clone(), set);
+        }
+        // Fixed point over the call edges.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let snapshot = own.clone();
+            for (from, edges) in &self.edges {
+                let mut add = BTreeSet::new();
+                for e in edges {
+                    if let Some(s) = snapshot.get(&e.to) {
+                        add.extend(s.iter().cloned());
+                    }
+                }
+                let cur = own.entry(from.clone()).or_default();
+                let before = cur.len();
+                cur.extend(add);
+                if cur.len() != before {
+                    changed = true;
+                }
+            }
+        }
+        own
+    }
+
+    /// Deterministic DOT export: nodes and edges sorted, unresolved
+    /// edges as a comment block. Byte-identical across input orderings
+    /// of the same workspace (a tested property).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph drybell {\n");
+        for id in self.fns.keys() {
+            out.push_str(&format!("  \"{}\";\n", id.display()));
+        }
+        let mut lines: Vec<String> = Vec::new();
+        for (from, edges) in &self.edges {
+            let mut targets: BTreeSet<String> = BTreeSet::new();
+            for e in edges {
+                targets.insert(e.to.display());
+            }
+            for t in targets {
+                lines.push(format!("  \"{}\" -> \"{t}\";\n", from.display()));
+            }
+        }
+        lines.sort();
+        for l in lines {
+            out.push_str(&l);
+        }
+        out.push_str(&format!("  // unresolved: {}\n", self.unresolved.len()));
+        let mut unres: Vec<String> = self
+            .unresolved
+            .iter()
+            .map(|u| {
+                format!(
+                    "  // {} -> {}? ({})\n",
+                    u.from.display(),
+                    u.callee,
+                    u.reason
+                )
+            })
+            .collect();
+        unres.sort();
+        for l in unres {
+            out.push_str(&l);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Direct effect summary of one function (used in rule messages).
+pub fn effect_summary(def: &FnDef) -> Vec<(EffectKind, u32, u32, String)> {
+    def.effects
+        .iter()
+        .map(|e| (e.kind, e.line, e.col, e.what.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{file_ctx, model};
+
+    fn graph_of(files: &[(&str, &str)]) -> (Graph, Vec<FileModel>) {
+        let models: Vec<FileModel> = files
+            .iter()
+            .map(|(p, s)| model::parse(&file_ctx(p, s)))
+            .collect();
+        (Graph::build(&models), models)
+    }
+
+    fn id(krate: &str, ty: &str, name: &str) -> FnId {
+        FnId {
+            crate_name: krate.into(),
+            impl_type: ty.into(),
+            name: name.into(),
+        }
+    }
+
+    #[test]
+    fn cross_file_free_calls_resolve_same_crate_first() {
+        let (g, _) = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn entry() { helper(); }\nfn helper() {}",
+            ),
+            ("crates/b/src/lib.rs", "fn helper() {}"),
+        ]);
+        let edges = g.edges.get(&id("a", "", "entry")).unwrap();
+        assert_eq!(edges[0].to, id("a", "", "helper"));
+        assert!(g.unresolved.is_empty(), "{:?}", g.unresolved);
+    }
+
+    #[test]
+    fn typed_receiver_resolves_across_crates() {
+        let (g, _) = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "impl Model { fn score(&self) -> f64 { 0.0 } }",
+            ),
+            ("crates/b/src/lib.rs", "fn serve(m: &Model) { m.score(); }"),
+        ]);
+        let edges = g.edges.get(&id("b", "", "serve")).unwrap();
+        assert_eq!(edges[0].to, id("a", "Model", "score"));
+    }
+
+    #[test]
+    fn ambiguous_methods_become_unresolved_edges() {
+        let (g, _) = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "impl X { fn run(&self) {} }\nimpl Y { fn run(&self) {} }\nfn f(v: &V) { v.thing.run(); }",
+            ),
+        ]);
+        assert!(!g.edges.contains_key(&id("a", "", "f")));
+        assert_eq!(g.unresolved.len(), 1);
+        assert!(g.unresolved[0].reason.contains("2 workspace methods"));
+    }
+
+    #[test]
+    fn self_field_resolves_via_struct_def() {
+        let (g, _) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "struct R { model: Mlp }\n\
+             impl Mlp { fn forward(&self) {} }\n\
+             impl R { fn go(&self) { self.model.forward(); } }",
+        )]);
+        let edges = g.edges.get(&id("a", "R", "go")).unwrap();
+        assert_eq!(edges[0].to, id("a", "Mlp", "forward"));
+    }
+
+    #[test]
+    fn reachability_stops_at_test_fns() {
+        let (g, _) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "fn root() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\n\
+             #[cfg(test)] mod tests { fn t() { leaf_t(); } fn leaf_t() {} }",
+        )]);
+        let reach = g.reachable(&[id("a", "", "root")]);
+        assert!(reach.contains_key(&id("a", "", "leaf")));
+        assert!(!reach.contains_key(&id("a", "", "t")));
+        assert_eq!(
+            Graph::chain(&reach, &id("a", "", "leaf")),
+            "a::root → a::mid → a::leaf"
+        );
+    }
+
+    #[test]
+    fn transitive_locks_reach_fixed_point() {
+        let (g, files) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+               fn inner(&self) { let g = self.b.lock(); }\n\
+               fn outer(&self) { let g = self.a.lock(); self.inner(); }\n\
+             }",
+        )]);
+        let locks = g.transitive_locks(&files);
+        let outer = locks.get(&id("a", "S", "outer")).unwrap();
+        assert!(outer.contains("S.a") && outer.contains("S.b"), "{outer:?}");
+    }
+}

@@ -1,0 +1,268 @@
+//! `lint.toml` (hot-path roots) and the error-discipline baseline file.
+//!
+//! Both are hand-rolled parsers over a deliberately tiny grammar, the
+//! same idiom as `drybell-doctor`'s config: the workspace builds
+//! offline, so no TOML crate. `lint.toml` needs exactly one table with
+//! one string array; anything it doesn't understand is reported rather
+//! than skipped, so a typo in a root declaration cannot silently turn
+//! the hot-path rule off.
+//!
+//! The baseline file (`lint-baseline.txt`) holds one line per file that
+//! had error-discipline findings when the rule landed:
+//!
+//! ```text
+//! error-discipline crates/drybell-dataflow/src/mapreduce.rs 3
+//! ```
+//!
+//! Only counts *above* the baseline are reported; counts *below* it
+//! make the baseline stale (a `stale-baseline` diagnostic), which is
+//! how fixed findings get locked in — regenerate with
+//! `--update-baseline` to ratchet down.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One declared hot-path root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Root {
+    /// `crate::Type::fn` or `crate::fn`.
+    pub spec: String,
+    /// 1-based line in `lint.toml` (diagnostics point here when the
+    /// root doesn't exist in the workspace).
+    pub line: u32,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Default)]
+pub struct LintConfig {
+    /// `[hot-path] roots = [...]` entries.
+    pub roots: Vec<Root>,
+    /// Baseline path (workspace-relative), from
+    /// `[error-discipline] baseline = "…"`. Defaults to
+    /// `lint-baseline.txt`.
+    pub baseline_path: String,
+    /// Lines the parser could not interpret (reported as diagnostics).
+    pub errors: Vec<(u32, String)>,
+}
+
+/// Parse the `lint.toml` text.
+pub fn parse_config(src: &str) -> LintConfig {
+    let mut cfg = LintConfig {
+        baseline_path: "lint-baseline.txt".to_owned(),
+        ..LintConfig::default()
+    };
+    let mut section = String::new();
+    let mut in_roots_array = false;
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if in_roots_array {
+            let body = line.trim_end_matches(',').trim();
+            if body == "]" || line.ends_with(']') {
+                // A closing bracket, possibly after a final element.
+                let elem = line
+                    .trim_end_matches(']')
+                    .trim()
+                    .trim_end_matches(',')
+                    .trim();
+                if let Some(s) = unquote(elem) {
+                    cfg.roots.push(Root {
+                        spec: s,
+                        line: line_no,
+                    });
+                }
+                in_roots_array = false;
+                continue;
+            }
+            match unquote(body) {
+                Some(s) => cfg.roots.push(Root {
+                    spec: s,
+                    line: line_no,
+                }),
+                None => cfg
+                    .errors
+                    .push((line_no, format!("expected a quoted root, got {body:?}"))),
+            }
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().to_owned();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            cfg.errors
+                .push((line_no, format!("expected `key = value`, got {line:?}")));
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match (section.as_str(), key) {
+            ("hot-path", "roots") => {
+                if value == "[" {
+                    in_roots_array = true;
+                } else if let Some(inner) =
+                    value.strip_prefix('[').and_then(|v| v.strip_suffix(']'))
+                {
+                    for elem in inner.split(',') {
+                        let elem = elem.trim();
+                        if elem.is_empty() {
+                            continue;
+                        }
+                        match unquote(elem) {
+                            Some(s) => cfg.roots.push(Root {
+                                spec: s,
+                                line: line_no,
+                            }),
+                            None => cfg
+                                .errors
+                                .push((line_no, format!("expected a quoted root, got {elem:?}"))),
+                        }
+                    }
+                } else {
+                    cfg.errors.push((
+                        line_no,
+                        format!("roots must be a string array, got {value:?}"),
+                    ));
+                }
+            }
+            ("error-discipline", "baseline") => match unquote(value) {
+                Some(p) => cfg.baseline_path = p,
+                None => cfg.errors.push((
+                    line_no,
+                    format!("baseline must be a quoted path, got {value:?}"),
+                )),
+            },
+            _ => cfg.errors.push((
+                line_no,
+                format!("unknown key `{key}` in section [{section}]"),
+            )),
+        }
+    }
+    cfg
+}
+
+fn unquote(s: &str) -> Option<String> {
+    s.strip_prefix('"')?.strip_suffix('"').map(str::to_owned)
+}
+
+/// Load `lint.toml` from the workspace root, if present.
+pub fn load_config(root: &Path) -> std::io::Result<Option<LintConfig>> {
+    let p = root.join("lint.toml");
+    if !p.is_file() {
+        return Ok(None);
+    }
+    Ok(Some(parse_config(&std::fs::read_to_string(p)?)))
+}
+
+/// Per-(rule, path) accepted finding counts.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(rule, workspace-relative path) → accepted count`.
+    pub counts: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// Parse the baseline text; lines are `rule path count`.
+    pub fn parse(src: &str) -> Baseline {
+        let mut counts = BTreeMap::new();
+        for line in src.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(path), Some(n)) = (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            if let Ok(n) = n.parse::<usize>() {
+                counts.insert((rule.to_owned(), path.to_owned()), n);
+            }
+        }
+        Baseline { counts }
+    }
+
+    /// Load from `root/<rel>`, or an empty baseline when absent.
+    pub fn load(root: &Path, rel: &str) -> std::io::Result<Baseline> {
+        let p = root.join(rel);
+        if !p.is_file() {
+            return Ok(Baseline::default());
+        }
+        Ok(Baseline::parse(&std::fs::read_to_string(p)?))
+    }
+
+    /// Serialize, sorted, with a header explaining regeneration.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# drybell-lint accepted-findings baseline.\n\
+             # One line per file: `<rule> <path> <count>`. Findings up to the count\n\
+             # are accepted; new ones fail the lint. Regenerate (only to ratchet\n\
+             # DOWN, after fixing findings) with:\n\
+             #   cargo run -p drybell-lint -- check --update-baseline\n",
+        );
+        for ((rule, path), n) in &self.counts {
+            out.push_str(&format!("{rule} {path} {n}\n"));
+        }
+        out
+    }
+
+    /// Build a baseline from observed per-(rule, path) counts.
+    pub fn from_counts(observed: &BTreeMap<(String, String), usize>) -> Baseline {
+        Baseline {
+            counts: observed
+                .iter()
+                .filter(|(_, n)| **n > 0)
+                .map(|(k, n)| (k.clone(), *n))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_parses_roots_and_baseline() {
+        let cfg = parse_config(
+            "# roots\n\
+             [hot-path]\n\
+             roots = [\n\
+               \"drybell-core::GenerativeModel::joint_scores\", # gradient kernel\n\
+               \"drybell-lf::Lf::try_vote\",\n\
+             ]\n\
+             [error-discipline]\n\
+             baseline = \"lint-baseline.txt\"\n",
+        );
+        assert!(cfg.errors.is_empty(), "{:?}", cfg.errors);
+        assert_eq!(cfg.roots.len(), 2);
+        assert_eq!(
+            cfg.roots[0].spec,
+            "drybell-core::GenerativeModel::joint_scores"
+        );
+        assert_eq!(cfg.roots[0].line, 4);
+        assert_eq!(cfg.baseline_path, "lint-baseline.txt");
+    }
+
+    #[test]
+    fn inline_array_and_errors() {
+        let cfg = parse_config("[hot-path]\nroots = [\"a::b\", \"c::d\"]\nbogus = 1\n");
+        assert_eq!(cfg.roots.len(), 2);
+        assert_eq!(cfg.errors.len(), 1);
+        assert!(cfg.errors[0].1.contains("unknown key"));
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let b = Baseline::parse("# header\nerror-discipline src/lib.rs 3\n");
+        assert_eq!(
+            b.counts
+                .get(&("error-discipline".to_owned(), "src/lib.rs".to_owned())),
+            Some(&3)
+        );
+        let b2 = Baseline::parse(&b.render());
+        assert_eq!(b, b2);
+    }
+}

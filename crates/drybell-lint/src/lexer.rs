@@ -218,9 +218,43 @@ impl<'a> Lexer<'a> {
                         Some(b'\\') => value.push('\\'),
                         Some(b'"') => value.push('"'),
                         Some(b'\'') => value.push('\''),
-                        // \u{…}, \xNN, or a line continuation: the exact
-                        // value never matters to a rule, keep a marker.
-                        Some(b'u') | Some(b'x') => value.push('\u{fffd}'),
+                        // \u{XXXX}: decode the hex payload so that rules
+                        // comparing decoded values (telemetry names) see
+                        // the real character, and so the `{…}` digits
+                        // never leak into the value as literal text.
+                        Some(b'u') => {
+                            let mut code = 0u32;
+                            if self.peek(0) == Some(b'{') {
+                                self.bump();
+                                while let Some(b) = self.peek(0) {
+                                    if b == b'}' {
+                                        self.bump();
+                                        break;
+                                    }
+                                    if let Some(d) = (b as char).to_digit(16) {
+                                        code = code.saturating_mul(16).saturating_add(d);
+                                        self.bump();
+                                    } else {
+                                        break;
+                                    }
+                                }
+                            }
+                            value.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        // \xNN: two hex digits.
+                        Some(b'x') => {
+                            let mut code = 0u32;
+                            for _ in 0..2 {
+                                match self.peek(0).and_then(|b| (b as char).to_digit(16)) {
+                                    Some(d) => {
+                                        code = code * 16 + d;
+                                        self.bump();
+                                    }
+                                    None => break,
+                                }
+                            }
+                            value.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
                         _ => {}
                     }
                 }
@@ -447,5 +481,73 @@ mod tests {
     #[test]
     fn raw_identifiers_starting_with_r_and_b_are_idents() {
         assert_eq!(idents("rows bytes rebuild"), ["rows", "bytes", "rebuild"]);
+    }
+
+    /// How many `unwrap` *identifier tokens* a source lexes to — the
+    /// regression signal for "rule matching misfires inside a literal".
+    fn unwrap_idents(src: &str) -> usize {
+        idents(src).iter().filter(|s| *s == "unwrap").count()
+    }
+
+    #[test]
+    fn raw_string_edge_cases_hide_contents() {
+        // Backslash before the closing quote: raw strings do not escape.
+        assert_eq!(unwrap_idents(r#"let s = r"\"; x.unwrap();"#), 1);
+        // A closer with too few hashes must not terminate the literal.
+        assert_eq!(
+            unwrap_idents("let s = r##\"a \"# unwrap b\"##; x.unwrap();"),
+            1
+        );
+        // Byte and raw-byte strings.
+        assert_eq!(unwrap_idents(r#"let b = b"unwrap"; x.unwrap();"#), 1);
+        assert_eq!(
+            unwrap_idents("let b = br#\"unwrap \"quote\"\"#; x.unwrap();"),
+            1
+        );
+        // A raw identifier is not a raw string.
+        assert_eq!(
+            unwrap_idents("let r#struct = 1; x.unwrap(); let s = \"unwrap\";"),
+            1
+        );
+        // A multi-line raw string must swallow comment-looking lines:
+        // a suppression spoofed inside one must never parse as real.
+        let lexed = lex("let s = r#\"\n// drybell-lint: allow(no-panic) — fake\n\"#;\nx.unwrap();");
+        assert!(lexed.comments.is_empty(), "{:?}", lexed.comments);
+    }
+
+    #[test]
+    fn nested_block_comment_edge_cases() {
+        // Nested comment with a quote inside: the quote must not open a
+        // string that swallows the rest of the file.
+        assert_eq!(unwrap_idents("/* \" /* unwrap */ */ x.unwrap();"), 1);
+        // `/*` inside a line comment opens nothing.
+        assert_eq!(unwrap_idents("// /* \n x.unwrap(); // */ unwrap"), 1);
+        // Tight nesting and doc-comment forms.
+        assert_eq!(unwrap_idents("/*/**/ unwrap */ x.unwrap();"), 1);
+        assert_eq!(unwrap_idents("/** unwrap doc */ x.unwrap();"), 1);
+        // Unterminated comment consumes the tail instead of panicking.
+        assert_eq!(unwrap_idents("/* unwrap"), 0);
+    }
+
+    #[test]
+    fn char_literals_and_strings_do_not_confuse_each_other() {
+        // A char literal holding a quote must not open a string.
+        assert_eq!(
+            unwrap_idents("let c = '\"'; x.unwrap(); let s = \"unwrap\";"),
+            1
+        );
+        // A string holding `//` must not eat the rest of the line.
+        assert_eq!(unwrap_idents("let u = \"//\"; x.unwrap(); // unwrap"), 1);
+    }
+
+    #[test]
+    fn unicode_and_hex_escapes_decode_without_residue() {
+        let lexed = lex(r#"f("a\u{41}b"); g("\x41\u{2014}"); h("tail");"#);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| t.kind.str_lit())
+            .collect();
+        assert_eq!(strs, ["aAb", "A\u{2014}", "tail"]);
     }
 }

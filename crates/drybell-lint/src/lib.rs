@@ -46,8 +46,12 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod callgraph;
+pub mod config;
 pub mod lexer;
+pub mod model;
 pub mod rules;
+pub mod sarif;
 
 use lexer::{lex, Lexed, LineComment, Token, TokenKind};
 use std::collections::BTreeSet;
@@ -78,6 +82,26 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "bad-suppression",
         "suppression comments must name a rule and give a reason",
+    ),
+    (
+        "hot-path",
+        "fns reachable from lint.toml roots must not allocate, lock, panic, or sync-instrument",
+    ),
+    (
+        "lock-order",
+        "lock-acquisition order must be acyclic across the workspace",
+    ),
+    (
+        "error-discipline",
+        "Results must not be silently discarded in non-test library code",
+    ),
+    (
+        "stale-baseline",
+        "the error-discipline baseline overstates current findings; regenerate it",
+    ),
+    (
+        "lint-config",
+        "lint.toml must parse: hot-path roots and the baseline path",
     ),
 ];
 
@@ -153,6 +177,29 @@ impl FileCtx {
             path: self.path.clone(),
             line: tok.line,
             col: tok.col,
+            rule,
+            message,
+        });
+    }
+
+    /// Emit a diagnostic at an explicit line/col unless a suppression
+    /// covers it — the graph rules anchor to model positions, not token
+    /// indices.
+    pub(crate) fn report_at(
+        &self,
+        out: &mut Vec<Diagnostic>,
+        line: u32,
+        col: u32,
+        rule: &'static str,
+        message: String,
+    ) {
+        if self.suppressed(rule, line) {
+            return;
+        }
+        out.push(Diagnostic {
+            path: self.path.clone(),
+            line,
+            col,
             rule,
             message,
         });
@@ -323,9 +370,8 @@ fn crate_of(rel_path: &str) -> String {
     }
 }
 
-/// Lint one file's source text. `rel_path` is used for diagnostics and
-/// for crate/test-scope decisions.
-pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+/// Lex + annotate one file into the context every rule consumes.
+pub(crate) fn file_ctx(rel_path: &str, src: &str) -> FileCtx {
     let Lexed { tokens, comments } = lex(src);
     let whole_file_test = {
         let p = rel_path.replace('\\', "/");
@@ -341,14 +387,20 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     };
     let in_test = mark_test_regions(&tokens, whole_file_test);
     let (suppressions, bad_suppressions) = parse_suppressions(rel_path, &comments);
-    let ctx = FileCtx {
+    FileCtx {
         path: rel_path.to_owned(),
         crate_name: crate_of(rel_path),
         tokens,
         in_test,
         suppressions,
         bad_suppressions,
-    };
+    }
+}
+
+/// Lint one file's source text. `rel_path` is used for diagnostics and
+/// for crate/test-scope decisions.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let ctx = file_ctx(rel_path, src);
     let mut out = Vec::new();
     rules::no_panic::check(&ctx, &mut out);
     rules::determinism::check(&ctx, &mut out);
@@ -395,21 +447,93 @@ fn collect_rs(dir: &Path, out: &mut BTreeSet<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Lint every covered file under `root`, returning all diagnostics with
-/// workspace-relative paths.
-pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+/// The result of a whole-workspace analysis: per-file diagnostics plus
+/// the graph rules, with the baseline applied.
+pub struct Analysis {
+    /// All diagnostics (per-file + graph rules), sorted.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The linked call graph (for `--dot` and tests).
+    pub graph: callgraph::Graph,
+    /// Observed pre-baseline error-discipline counts per (rule, path)
+    /// — the input to `--update-baseline`.
+    pub observed_counts: std::collections::BTreeMap<(String, String), usize>,
+}
+
+/// Analyze a set of in-memory sources as one workspace: run the
+/// per-file rules on each file, then link the call graph and run the
+/// interprocedural rules (`hot-path`, `lock-order`, `error-discipline`)
+/// with `cfg` roots and `baseline` applied. Sources are
+/// `(workspace-relative path, text)`; order does not affect the output
+/// (a tested property of the graph).
+pub fn analyze_sources(
+    sources: &[(String, String)],
+    cfg: &config::LintConfig,
+    baseline: &config::Baseline,
+) -> Analysis {
+    let ctxs: Vec<FileCtx> = sources.iter().map(|(p, s)| file_ctx(p, s)).collect();
     let mut out = Vec::new();
+    for ctx in &ctxs {
+        rules::no_panic::check(ctx, &mut out);
+        rules::determinism::check(ctx, &mut out);
+        rules::telemetry::check(ctx, &mut out);
+        rules::lf_purity::check(ctx, &mut out);
+        out.extend(ctx.bad_suppressions.iter().cloned());
+    }
+    let models: Vec<model::FileModel> = ctxs.iter().map(model::parse).collect();
+    let graph = callgraph::Graph::build(&models);
+    let by_path: std::collections::BTreeMap<String, &FileCtx> =
+        ctxs.iter().map(|c| (c.path.clone(), c)).collect();
+    for (line, msg) in &cfg.errors {
+        out.push(Diagnostic {
+            path: "lint.toml".to_owned(),
+            line: *line,
+            col: 1,
+            rule: "lint-config",
+            message: msg.clone(),
+        });
+    }
+    rules::hot_path::check(&graph, &models, cfg, &by_path, &mut out);
+    rules::lock_order::check(&graph, &models, &by_path, &mut out);
+    let observed_counts =
+        rules::error_discipline::check(&graph, &models, baseline, &by_path, &mut out);
+    out.sort();
+    Analysis {
+        diagnostics: out,
+        graph,
+        observed_counts,
+    }
+}
+
+/// Read every covered file under `root` as `(relative path, text)`.
+pub fn read_workspace_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut sources = Vec::new();
     for file in workspace_files(root)? {
         let rel = file
             .strip_prefix(root)
             .unwrap_or(&file)
             .to_string_lossy()
             .replace('\\', "/");
-        let src = std::fs::read_to_string(&file)?;
-        out.extend(lint_source(&rel, &src));
+        sources.push((rel, std::fs::read_to_string(&file)?));
     }
-    out.sort();
-    Ok(out)
+    Ok(sources)
+}
+
+/// Analyze the workspace under `root`: covered files plus `lint.toml`
+/// and the baseline it names (both optional — absent files mean no
+/// hot-path roots and an empty baseline).
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Analysis> {
+    let sources = read_workspace_sources(root)?;
+    let cfg = config::load_config(root)?.unwrap_or_default();
+    let baseline = config::Baseline::load(root, &cfg.baseline_path)?;
+    Ok(analyze_sources(&sources, &cfg, &baseline))
+}
+
+/// Lint every covered file under `root`, returning all diagnostics with
+/// workspace-relative paths. Runs the full analysis — per-file rules
+/// and the graph rules — which is what CI and the tier-1
+/// `workspace_lints_clean` test gate on.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    Ok(analyze_workspace(root)?.diagnostics)
 }
 
 #[cfg(test)]

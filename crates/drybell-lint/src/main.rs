@@ -1,10 +1,18 @@
 //! CLI for the workspace lint: `cargo run -p drybell-lint -- check`.
+//!
+//! `check` (alias `--workspace`) runs the per-file rules plus the
+//! interprocedural graph rules over the whole workspace. `--sarif`
+//! writes a SARIF 2.1.0 log for CI annotation upload; `--dot` writes
+//! the resolved call graph; `--update-baseline` regenerates the
+//! accepted error-discipline findings file named by `lint.toml`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: drybell-lint check [--root <dir>]");
+    eprintln!("usage: drybell-lint check [--root <dir>] [--sarif <path>] [--dot <path>]");
+    eprintln!("                          [--update-baseline]");
+    eprintln!("       drybell-lint --workspace   (alias for check)");
     eprintln!("       drybell-lint rules");
     ExitCode::from(2)
 }
@@ -18,8 +26,11 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Some("check") => {
+        Some("check") | Some("--workspace") => {
             let mut root: Option<PathBuf> = None;
+            let mut sarif_path: Option<PathBuf> = None;
+            let mut dot_path: Option<PathBuf> = None;
+            let mut update_baseline = false;
             let mut rest = args[1..].iter();
             while let Some(arg) = rest.next() {
                 match arg.as_str() {
@@ -27,6 +38,15 @@ fn main() -> ExitCode {
                         Some(dir) => root = Some(PathBuf::from(dir)),
                         None => return usage(),
                     },
+                    "--sarif" => match rest.next() {
+                        Some(p) => sarif_path = Some(PathBuf::from(p)),
+                        None => return usage(),
+                    },
+                    "--dot" => match rest.next() {
+                        Some(p) => dot_path = Some(PathBuf::from(p)),
+                        None => return usage(),
+                    },
+                    "--update-baseline" => update_baseline = true,
                     _ => return usage(),
                 }
             }
@@ -38,24 +58,83 @@ fn main() -> ExitCode {
                     .canonicalize()
                     .unwrap_or_else(|_| PathBuf::from("."))
             });
-            let diags = match drybell_lint::lint_workspace(&root) {
-                Ok(d) => d,
+            let analysis = match drybell_lint::analyze_workspace(&root) {
+                Ok(a) => a,
                 Err(e) => {
                     eprintln!("drybell-lint: {}: {e}", root.display());
                     return ExitCode::from(2);
                 }
             };
-            for d in &diags {
-                println!("{d}");
+            if update_baseline {
+                let cfg = match drybell_lint::config::load_config(&root) {
+                    Ok(c) => c.unwrap_or_default(),
+                    Err(e) => {
+                        eprintln!("drybell-lint: lint.toml: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                let baseline =
+                    drybell_lint::config::Baseline::from_counts(&analysis.observed_counts);
+                let path = root.join(&cfg.baseline_path);
+                if let Err(e) = std::fs::write(&path, baseline.render()) {
+                    eprintln!("drybell-lint: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!(
+                    "drybell-lint: wrote {} ({} file(s) baselined)",
+                    path.display(),
+                    baseline.counts.len()
+                );
+                // Re-run against the fresh baseline so the exit status
+                // reflects the state a CI run would now see.
+                let analysis = match drybell_lint::analyze_workspace(&root) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        eprintln!("drybell-lint: {}: {e}", root.display());
+                        return ExitCode::from(2);
+                    }
+                };
+                return finish(&analysis, sarif_path.as_deref(), dot_path.as_deref());
             }
-            if diags.is_empty() {
-                eprintln!("drybell-lint: clean");
-                ExitCode::SUCCESS
-            } else {
-                eprintln!("drybell-lint: {} diagnostic(s)", diags.len());
-                ExitCode::FAILURE
-            }
+            finish(&analysis, sarif_path.as_deref(), dot_path.as_deref())
         }
         _ => usage(),
+    }
+}
+
+fn finish(
+    analysis: &drybell_lint::Analysis,
+    sarif_path: Option<&std::path::Path>,
+    dot_path: Option<&std::path::Path>,
+) -> ExitCode {
+    if let Some(p) = sarif_path {
+        if let Err(e) = std::fs::write(p, drybell_lint::sarif::to_sarif(&analysis.diagnostics)) {
+            eprintln!("drybell-lint: {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("drybell-lint: wrote SARIF to {}", p.display());
+    }
+    if let Some(p) = dot_path {
+        if let Err(e) = std::fs::write(p, analysis.graph.to_dot()) {
+            eprintln!("drybell-lint: {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("drybell-lint: wrote call graph to {}", p.display());
+    }
+    for d in &analysis.diagnostics {
+        println!("{d}");
+    }
+    if !analysis.graph.unresolved.is_empty() {
+        eprintln!(
+            "drybell-lint: {} unresolved call edge(s) (run with --dot to inspect)",
+            analysis.graph.unresolved.len()
+        );
+    }
+    if analysis.diagnostics.is_empty() {
+        eprintln!("drybell-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("drybell-lint: {} diagnostic(s)", analysis.diagnostics.len());
+        ExitCode::FAILURE
     }
 }

@@ -1,0 +1,1188 @@
+//! The symbol model: each file's item structure, recovered from the
+//! token stream.
+//!
+//! The graph rules (`hot-path`, `lock-order`, `error-discipline`) need
+//! more than per-line token matching: they need to know which function
+//! a token lives in, what that function *calls*, and what it *does*
+//! (allocate, lock, panic, touch synchronized telemetry). Full type
+//! resolution is out of reach without `rustc` — instead this module
+//! parses, from the existing lexer's tokens, exactly the structure the
+//! [`crate::callgraph`] resolution heuristics consume:
+//!
+//! - `fn` items with their impl type, parameter types, and return-type
+//!   head (`Result`, `Option`, a concrete type, …);
+//! - `struct` fields and their type heads (so `self.models.lock()` can
+//!   be identified as acquiring the `Mutex` field `models`);
+//! - `enum` variants with single-identifier payload types (so a
+//!   `ExportedModel::LogReg(m) =>` match arm types its binding);
+//! - call sites with a receiver hint (`self`, a typed local, a typed
+//!   field, a path-qualified `Type::method`, or unknown);
+//! - effect sites: heap allocation, panicking calls, synchronized
+//!   telemetry, and lock acquisitions with an approximate guard scope.
+//!
+//! Known blind spots, by design (documented in DESIGN.md): generics and
+//! trait objects resolve only when the receiver's concrete type is
+//! syntactically visible; closures are opaque (calls through `Fn`
+//! parameters surface as unresolved edges); macro-generated code is
+//! invisible; and a reused buffer growing inside `extend`/`push` is
+//! amortized allocation the token view cannot see.
+
+use crate::lexer::TokenKind;
+use crate::FileCtx;
+use std::collections::BTreeMap;
+
+/// Keywords and control-flow identifiers that can precede `(` without
+/// the parenthesis being a call.
+const NOT_CALLEES: &[&str] = &[
+    "if", "while", "for", "match", "return", "in", "as", "fn", "let", "else", "loop", "move",
+    "break", "continue", "where", "impl", "dyn", "use", "pub", "mod", "crate", "self", "Self",
+    "super", "unsafe", "ref", "mut", "const", "static", "type", "struct", "enum", "trait",
+];
+
+/// `Type::ctor(…)` paths that heap-allocate.
+const ALLOC_PATH_CALLS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Vec", "from"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+    ("VecDeque", "new"),
+    ("HashMap", "new"),
+    ("HashSet", "new"),
+    ("BTreeMap", "new"),
+    ("BTreeSet", "new"),
+];
+
+/// Method calls that heap-allocate their result.
+const ALLOC_METHODS: &[&str] = &["to_owned", "to_string", "to_vec", "into_owned", "collect"];
+
+/// Macros that heap-allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Macros that abort the process. `debug_assert*` is excluded: it
+/// compiles out of release builds, so it cannot take a production
+/// worker down.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// How a call site's receiver was (or was not) typed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Receiver {
+    /// A free function call (`helper(…)`, `module::helper(…)`).
+    Free,
+    /// The receiver's type head is syntactically known: `self.m(…)`
+    /// inside `impl T`, `Type::m(…)`, or a local with a visible type.
+    Typed(String),
+    /// `self.field.m(…)` — the field's type resolves later against the
+    /// impl type's struct definition.
+    SelfField(String, String),
+    /// A match-arm binding `Enum::Variant(x)` — the payload type
+    /// resolves later against the enum definition.
+    EnumPayload(String, String),
+    /// Anything else (chained calls, untyped locals).
+    Unknown,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Called name (method or function identifier).
+    pub callee: String,
+    /// Receiver hint for resolution.
+    pub recv: Receiver,
+    /// 1-based line / column of the callee token.
+    pub line: u32,
+    /// Column.
+    pub col: u32,
+    /// The call's value is discarded via `let _ = …`.
+    pub discarded: bool,
+    /// Indices (into [`FnDef::locks`]) of guards held at this site.
+    pub holding: Vec<usize>,
+}
+
+/// Kinds of direct effect a function body exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EffectKind {
+    /// Heap allocation (`Vec::new`, `format!`, `.to_owned()`, …).
+    Alloc,
+    /// A panicking call (`unwrap`, `expect`, `panic!`-family).
+    Panic,
+    /// A synchronized telemetry instrument call (`.inc()`,
+    /// `.record_duration(…)`, …) — an atomic or histogram lock per call.
+    SyncTelemetry,
+    /// A lock acquisition whose receiver could not be identified
+    /// (`something.lock()` on an unknown receiver).
+    AnonymousLock,
+}
+
+/// One effect site.
+#[derive(Debug, Clone)]
+pub struct Effect {
+    /// What kind of effect.
+    pub kind: EffectKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The offending token text (for messages).
+    pub what: String,
+}
+
+/// A lock acquisition with its approximate guard scope.
+#[derive(Debug, Clone)]
+pub struct LockAcquire {
+    /// Receiver hint — resolved to a lock identity by the call graph
+    /// (`Struct.field` for `self.field.lock()`).
+    pub recv: Receiver,
+    /// `lock`, `read`, or `write`.
+    pub method: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Token index of the acquisition.
+    pub token: usize,
+    /// Token index past which the guard is dead. For `let g = x.lock()`
+    /// this is the end of the enclosing block; for a temporary
+    /// (`x.lock().do_thing()`) it is the end of the statement.
+    pub scope_end: usize,
+}
+
+/// A `.ok()` whose `Err` is discarded (`x.ok();` as a statement).
+#[derive(Debug, Clone)]
+pub struct OkDiscard {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// The `impl` type head this method belongs to, if any.
+    pub impl_type: Option<String>,
+    /// Owning crate (`drybell-core`, …).
+    pub crate_name: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// The function is test-only (inside `#[cfg(test)]`/`#[test]`, or a
+    /// test/bench tree).
+    pub is_test: bool,
+    /// First identifier of the return type (`Result`, `Vec`, …).
+    pub ret_head: Option<String>,
+    /// Calls made in the body, in source order.
+    pub calls: Vec<CallSite>,
+    /// Direct effects in the body.
+    pub effects: Vec<Effect>,
+    /// Lock acquisitions in the body.
+    pub locks: Vec<LockAcquire>,
+    /// `.ok();` discards in the body.
+    pub ok_discards: Vec<OkDiscard>,
+}
+
+impl FnDef {
+    /// `crate::Type::name` / `crate::name` — the display identity.
+    pub fn display_id(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{}::{}::{}", self.crate_name, t, self.name),
+            None => format!("{}::{}", self.crate_name, self.name),
+        }
+    }
+}
+
+/// A `struct` definition's named fields.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// `field name → type head` (`models → Mutex`).
+    pub fields: BTreeMap<String, String>,
+}
+
+/// An `enum` definition's variants.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// `variant → payload type head` for single-field tuple variants.
+    pub variants: BTreeMap<String, String>,
+}
+
+/// Everything the call graph needs from one file.
+#[derive(Debug, Clone)]
+pub struct FileModel {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Owning crate.
+    pub crate_name: String,
+    /// Functions, in source order.
+    pub fns: Vec<FnDef>,
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Enum definitions.
+    pub enums: Vec<EnumDef>,
+}
+
+/// Parse a file's item structure from its lexed context.
+pub fn parse(ctx: &FileCtx) -> FileModel {
+    Parser {
+        ctx,
+        brace_match: brace_matches(ctx),
+        model: FileModel {
+            path: ctx.path.clone(),
+            crate_name: ctx.crate_name.clone(),
+            fns: Vec::new(),
+            structs: Vec::new(),
+            enums: Vec::new(),
+        },
+    }
+    .run()
+}
+
+/// For each `{` token index, the index of its matching `}` (or the last
+/// token if unterminated).
+fn brace_matches(ctx: &FileCtx) -> BTreeMap<usize, usize> {
+    let mut map = BTreeMap::new();
+    let mut stack = Vec::new();
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        match &t.kind {
+            TokenKind::Punct('{') => stack.push(i),
+            TokenKind::Punct('}') => {
+                if let Some(open) = stack.pop() {
+                    map.insert(open, i);
+                }
+            }
+            _ => {}
+        }
+    }
+    let last = ctx.tokens.len().saturating_sub(1);
+    for open in stack {
+        map.insert(open, last);
+    }
+    map
+}
+
+struct Parser<'a> {
+    ctx: &'a FileCtx,
+    brace_match: BTreeMap<usize, usize>,
+    model: FileModel,
+}
+
+impl<'a> Parser<'a> {
+    fn id(&self, i: usize) -> &str {
+        self.ctx.ident(i)
+    }
+
+    fn punct(&self, i: usize, c: char) -> bool {
+        self.ctx.punct(i, c)
+    }
+
+    fn run(mut self) -> FileModel {
+        let mut i = 0;
+        while i < self.ctx.tokens.len() {
+            match self.id(i) {
+                "impl" => i = self.parse_impl(i),
+                "fn" => i = self.parse_fn(i, None),
+                "struct" => i = self.parse_struct(i),
+                "enum" => i = self.parse_enum(i),
+                "trait" => i = self.skip_trait(i),
+                _ => i += 1,
+            }
+        }
+        self.model
+    }
+
+    /// Skip a `trait … { … }` item wholesale. Default trait-method
+    /// bodies are not modeled: without knowing the implementing type
+    /// they would pollute resolution with ambiguous candidates.
+    fn skip_trait(&self, start: usize) -> usize {
+        let mut i = start + 1;
+        while i < self.ctx.tokens.len() && !self.punct(i, '{') {
+            if self.punct(i, ';') {
+                return i + 1;
+            }
+            i += 1;
+        }
+        self.brace_match.get(&i).map_or(i + 1, |e| e + 1)
+    }
+
+    /// Skip a generic parameter list if the cursor is at `<`.
+    fn skip_generics(&self, mut i: usize) -> usize {
+        if !self.punct(i, '<') {
+            return i;
+        }
+        let mut depth = 0i32;
+        while i < self.ctx.tokens.len() {
+            if self.punct(i, '<') {
+                depth += 1;
+            } else if self.punct(i, '>') {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// `impl [<…>] Type [for Type] [where …] { … }` — parse the header,
+    /// then each `fn` inside with the impl type attached.
+    fn parse_impl(&mut self, start: usize) -> usize {
+        let mut i = self.skip_generics(start + 1);
+        // Scan to the body `{`, noting the last path ident seen and
+        // whether a `for` switched us to the implementing type.
+        let mut ty: Option<String> = None;
+        while i < self.ctx.tokens.len() && !self.punct(i, '{') {
+            if self.punct(i, ';') {
+                return i + 1; // `impl Trait for Type;` — nothing to do
+            }
+            if self.id(i) == "for" {
+                ty = None; // the type after `for` is the real one
+                i += 1;
+                continue;
+            }
+            if self.id(i) == "where" {
+                break;
+            }
+            if let TokenKind::Ident(s) = &self.ctx.tokens[i].kind {
+                if s.chars().next().is_some_and(char::is_uppercase) && ty.is_none() {
+                    ty = Some(s.clone());
+                }
+                i += 1;
+                continue;
+            }
+            if self.punct(i, '<') {
+                i = self.skip_generics(i);
+                continue;
+            }
+            i += 1;
+        }
+        while i < self.ctx.tokens.len() && !self.punct(i, '{') {
+            i += 1;
+        }
+        if i >= self.ctx.tokens.len() {
+            return i;
+        }
+        let body_end = *self.brace_match.get(&i).unwrap_or(&i);
+        let mut j = i + 1;
+        while j < body_end {
+            if self.id(j) == "fn" {
+                j = self.parse_fn(j, ty.as_deref());
+            } else {
+                j += 1;
+            }
+        }
+        body_end + 1
+    }
+
+    /// `struct Name [<…>] { field: Type, … }` — record field type heads.
+    fn parse_struct(&mut self, start: usize) -> usize {
+        let Some(name) = self.ctx.tokens.get(start + 1).and_then(|t| t.kind.ident()) else {
+            return start + 1;
+        };
+        let name = name.to_owned();
+        let mut i = self.skip_generics(start + 2);
+        // Tuple struct or unit struct: no named fields to record.
+        if self.punct(i, '(') || self.punct(i, ';') {
+            return i + 1;
+        }
+        while i < self.ctx.tokens.len() && !self.punct(i, '{') {
+            if self.punct(i, ';') {
+                return i + 1;
+            }
+            i += 1;
+        }
+        if i >= self.ctx.tokens.len() {
+            return i;
+        }
+        let end = *self.brace_match.get(&i).unwrap_or(&i);
+        let mut fields = BTreeMap::new();
+        let mut j = i + 1;
+        while j < end {
+            // `name :` at brace depth 1 followed by a type head.
+            if self.punct(j + 1, ':') && !self.punct(j + 2, ':') {
+                if let TokenKind::Ident(f) = &self.ctx.tokens[j].kind {
+                    let fname = f.clone();
+                    if let Some(head) = self.type_head(j + 2) {
+                        fields.insert(fname, head);
+                    }
+                }
+                // Skip to the comma at depth 0 relative to the field.
+                let mut depth = 0i32;
+                while j < end {
+                    match &self.ctx.tokens[j].kind {
+                        TokenKind::Punct('<') | TokenKind::Punct('(') | TokenKind::Punct('[') => {
+                            depth += 1
+                        }
+                        TokenKind::Punct('>') | TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                            depth -= 1
+                        }
+                        TokenKind::Punct(',') if depth <= 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            j += 1;
+        }
+        self.model.structs.push(StructDef { name, fields });
+        end + 1
+    }
+
+    /// `enum Name { Variant(Payload), … }` — record single-field tuple
+    /// variant payload heads.
+    fn parse_enum(&mut self, start: usize) -> usize {
+        let Some(name) = self.ctx.tokens.get(start + 1).and_then(|t| t.kind.ident()) else {
+            return start + 1;
+        };
+        let name = name.to_owned();
+        let mut i = self.skip_generics(start + 2);
+        while i < self.ctx.tokens.len() && !self.punct(i, '{') {
+            if self.punct(i, ';') {
+                return i + 1;
+            }
+            i += 1;
+        }
+        if i >= self.ctx.tokens.len() {
+            return i;
+        }
+        let end = *self.brace_match.get(&i).unwrap_or(&i);
+        let mut variants = BTreeMap::new();
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        while j < end {
+            match &self.ctx.tokens[j].kind {
+                TokenKind::Punct('{') | TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct('}') | TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+                TokenKind::Ident(v)
+                    if depth == 0
+                        && v.chars().next().is_some_and(char::is_uppercase)
+                        && self.punct(j + 1, '(') =>
+                {
+                    // `Variant(Payload)` — single-ident payload only.
+                    if let Some(head) = self.type_head(j + 2) {
+                        // The payload must be one simple type (possibly
+                        // generic): reject `Variant(A, B)`.
+                        let close = self.matching(j + 1, '(', ')');
+                        let mut commas = 0;
+                        let mut d = 0i32;
+                        for k in j + 2..close {
+                            match &self.ctx.tokens[k].kind {
+                                TokenKind::Punct('<') | TokenKind::Punct('(') => d += 1,
+                                TokenKind::Punct('>') | TokenKind::Punct(')') => d -= 1,
+                                TokenKind::Punct(',') if d == 0 => commas += 1,
+                                _ => {}
+                            }
+                        }
+                        if commas == 0 {
+                            variants.insert(v.clone(), head);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        self.model.enums.push(EnumDef { name, variants });
+        end + 1
+    }
+
+    /// First meaningful type identifier at `i`, skipping `&`, `mut`,
+    /// lifetimes, `dyn`/`impl`, and wrapper paths like `std::sync::`.
+    fn type_head(&self, mut i: usize) -> Option<String> {
+        loop {
+            match self.ctx.tokens.get(i).map(|t| &t.kind) {
+                Some(TokenKind::Punct('&')) | Some(TokenKind::Lifetime) => i += 1,
+                Some(TokenKind::Ident(s)) if s == "mut" || s == "dyn" || s == "impl" => i += 1,
+                Some(TokenKind::Ident(s)) => {
+                    // Skip a lowercase path prefix: `std::sync::Mutex`.
+                    if self.punct(i + 1, ':') && self.punct(i + 2, ':') {
+                        if s.chars().next().is_some_and(char::is_lowercase) {
+                            i += 3;
+                            continue;
+                        }
+                        // `Arc<…>`-style capitalized wrappers keep their
+                        // own head; `Type::AssocType` keeps `Type`.
+                        return Some(s.clone());
+                    }
+                    return Some(s.clone());
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Index of the closer matching `open` (which holds `open_c`).
+    fn matching(&self, open: usize, open_c: char, close_c: char) -> usize {
+        let mut depth = 0i32;
+        for j in open..self.ctx.tokens.len() {
+            if self.punct(j, open_c) {
+                depth += 1;
+            } else if self.punct(j, close_c) {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+        self.ctx.tokens.len().saturating_sub(1)
+    }
+
+    /// Parse one `fn` item starting at the `fn` keyword; returns the
+    /// index just past the item.
+    fn parse_fn(&mut self, start: usize, impl_type: Option<&str>) -> usize {
+        let Some(name) = self.ctx.tokens.get(start + 1).and_then(|t| t.kind.ident()) else {
+            return start + 1;
+        };
+        let name = name.to_owned();
+        let line = self.ctx.tokens[start].line;
+        let i = self.skip_generics(start + 2);
+        if !self.punct(i, '(') {
+            return start + 2;
+        }
+        let params_close = self.matching(i, '(', ')');
+        // Parameter types: `ident : Type` pairs at paren depth 1.
+        let mut locals: BTreeMap<String, Receiver> = BTreeMap::new();
+        {
+            let mut depth = 0i32;
+            let mut j = i;
+            while j <= params_close {
+                match &self.ctx.tokens[j].kind {
+                    TokenKind::Punct('(') | TokenKind::Punct('<') | TokenKind::Punct('[') => {
+                        depth += 1
+                    }
+                    TokenKind::Punct(')') | TokenKind::Punct('>') | TokenKind::Punct(']') => {
+                        depth -= 1
+                    }
+                    TokenKind::Ident(p)
+                        if depth == 1
+                            && self.punct(j + 1, ':')
+                            && !self.punct(j + 2, ':')
+                            && p != "self" =>
+                    {
+                        if let Some(head) = self.type_head(j + 2) {
+                            locals.insert(p.clone(), Receiver::Typed(head));
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Return type head.
+        let mut ret_head = None;
+        let mut j = params_close + 1;
+        if self.punct(j, '-') && self.punct(j + 1, '>') {
+            ret_head = self.type_head(j + 2);
+        }
+        // Find the body `{` (skipping the where clause) or a `;` for a
+        // bodyless trait-method declaration.
+        while j < self.ctx.tokens.len() && !self.punct(j, '{') {
+            if self.punct(j, ';') {
+                return j + 1;
+            }
+            j += 1;
+        }
+        if j >= self.ctx.tokens.len() {
+            return j;
+        }
+        let body_open = j;
+        let body_end = *self.brace_match.get(&body_open).unwrap_or(&body_open);
+        let is_test = self.ctx.in_test.get(start).copied().unwrap_or(false);
+
+        let mut def = FnDef {
+            name,
+            impl_type: impl_type.map(str::to_owned),
+            crate_name: self.ctx.crate_name.clone(),
+            path: self.ctx.path.clone(),
+            line,
+            is_test,
+            ret_head,
+            calls: Vec::new(),
+            effects: Vec::new(),
+            locks: Vec::new(),
+            ok_discards: Vec::new(),
+        };
+        self.parse_body(&mut def, body_open, body_end, impl_type, locals);
+        self.model.fns.push(def);
+        body_end + 1
+    }
+
+    /// Scan a function body for locals, calls, effects, and locks.
+    #[allow(clippy::too_many_lines)]
+    fn parse_body(
+        &mut self,
+        def: &mut FnDef,
+        open: usize,
+        end: usize,
+        impl_type: Option<&str>,
+        mut locals: BTreeMap<String, Receiver>,
+    ) {
+        let toks = &self.ctx.tokens;
+        let mut k = open + 1;
+        while k < end {
+            let tok = &toks[k];
+            let (line, col) = (tok.line, tok.col);
+
+            // Drop guards whose scope ended.
+            let active: Vec<usize> = def
+                .locks
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.token < k && k <= l.scope_end)
+                .map(|(idx, _)| idx)
+                .collect();
+
+            let TokenKind::Ident(id) = &tok.kind else {
+                k += 1;
+                continue;
+            };
+            let id = id.clone();
+
+            // Local type bindings: `let [mut] name : Type` and
+            // `let [mut] name = Type::ctor(…)`.
+            if id == "let" {
+                let mut p = k + 1;
+                if self.id(p) == "mut" {
+                    p += 1;
+                }
+                if let Some(TokenKind::Ident(nm)) = toks.get(p).map(|t| &t.kind) {
+                    let nm = nm.clone();
+                    if self.punct(p + 1, ':') && !self.punct(p + 2, ':') {
+                        if let Some(head) = self.type_head(p + 2) {
+                            locals.insert(nm, Receiver::Typed(head));
+                        }
+                    } else if self.punct(p + 1, '=') {
+                        if let Some(TokenKind::Ident(t)) = toks.get(p + 2).map(|t| &t.kind) {
+                            if t.chars().next().is_some_and(char::is_uppercase)
+                                && self.punct(p + 3, ':')
+                                && self.punct(p + 4, ':')
+                            {
+                                locals.insert(nm, Receiver::Typed(t.clone()));
+                            }
+                        }
+                    }
+                }
+                k += 1;
+                continue;
+            }
+
+            // Enum payload binding: `Enum::Variant(x)` — in a match arm,
+            // tuple pattern, or `if let`. No look-ahead for `=>` is needed:
+            // even in expression position, `Enum::Variant(x)` implies `x`
+            // has the variant's payload type.
+            if id.chars().next().is_some_and(char::is_uppercase)
+                && self.punct(k + 1, ':')
+                && self.punct(k + 2, ':')
+            {
+                if let Some(TokenKind::Ident(variant)) = toks.get(k + 3).map(|t| &t.kind) {
+                    if variant.chars().next().is_some_and(char::is_uppercase)
+                        && self.punct(k + 4, '(')
+                    {
+                        if let Some(TokenKind::Ident(bind)) = toks.get(k + 5).map(|t| &t.kind) {
+                            if self.punct(k + 6, ')') && bind != "_" {
+                                locals.insert(
+                                    bind.clone(),
+                                    Receiver::EnumPayload(id.clone(), variant.clone()),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Macro invocation: `name ! (`/`[`/`{`.
+            if self.punct(k + 1, '!') {
+                if ALLOC_MACROS.contains(&id.as_str()) {
+                    def.effects.push(Effect {
+                        kind: EffectKind::Alloc,
+                        line,
+                        col,
+                        what: format!("{id}!"),
+                    });
+                } else if PANIC_MACROS.contains(&id.as_str()) {
+                    def.effects.push(Effect {
+                        kind: EffectKind::Panic,
+                        line,
+                        col,
+                        what: format!("{id}!"),
+                    });
+                }
+                k += 2;
+                continue;
+            }
+
+            // Method call: `.name(`.
+            if k > 0 && self.punct(k - 1, '.') && self.punct(k + 1, '(') {
+                self.method_call(def, k, &id, &locals, impl_type, &active);
+                k += 2;
+                continue;
+            }
+
+            // Free or path-qualified call: `name(` not preceded by `.`.
+            if self.punct(k + 1, '(')
+                && !NOT_CALLEES.contains(&id.as_str())
+                && !(k > 0 && self.punct(k - 1, '.'))
+            {
+                // Qualified path? Look back over `A::`.
+                let mut qualifier = None;
+                if k >= 3 && self.punct(k - 1, ':') && self.punct(k - 2, ':') {
+                    if let Some(TokenKind::Ident(q)) = toks.get(k - 3).map(|t| &t.kind) {
+                        qualifier = Some(q.clone());
+                    }
+                }
+                match qualifier {
+                    Some(q) if q.chars().next().is_some_and(char::is_uppercase) => {
+                        // `Type::ctor(…)` — allocation table, or a
+                        // resolvable static method call.
+                        if ALLOC_PATH_CALLS
+                            .iter()
+                            .any(|(t, m)| *t == q && *m == id.as_str())
+                        {
+                            def.effects.push(Effect {
+                                kind: EffectKind::Alloc,
+                                line,
+                                col,
+                                what: format!("{q}::{id}"),
+                            });
+                        } else {
+                            def.calls.push(CallSite {
+                                callee: id.clone(),
+                                recv: Receiver::Typed(q),
+                                line,
+                                col,
+                                discarded: self.is_discarded(k),
+                                holding: active.clone(),
+                            });
+                        }
+                    }
+                    _ => {
+                        // Free call (module-qualified or bare). Skip
+                        // capitalized names: tuple-struct / variant
+                        // constructors, not calls.
+                        if id.chars().next().is_some_and(char::is_lowercase) {
+                            def.calls.push(CallSite {
+                                callee: id.clone(),
+                                recv: Receiver::Free,
+                                line,
+                                col,
+                                discarded: self.is_discarded(k),
+                                holding: active.clone(),
+                            });
+                        }
+                    }
+                }
+                k += 2;
+                continue;
+            }
+
+            k += 1;
+        }
+    }
+
+    /// Handle one `.name(` method call inside a body.
+    fn method_call(
+        &mut self,
+        def: &mut FnDef,
+        k: usize,
+        id: &str,
+        locals: &BTreeMap<String, Receiver>,
+        impl_type: Option<&str>,
+        active: &[usize],
+    ) {
+        let toks = &self.ctx.tokens;
+        let (line, col) = (toks[k].line, toks[k].col);
+
+        // Receiver hint from the tokens before the `.`.
+        let recv = if k >= 2 {
+            match toks.get(k - 2).map(|t| &t.kind) {
+                Some(TokenKind::Ident(r)) if r == "self" => match impl_type {
+                    Some(t) => Receiver::Typed(t.to_owned()),
+                    None => Receiver::Unknown,
+                },
+                Some(TokenKind::Ident(r)) => {
+                    // `self.field.m(…)`?
+                    if k >= 4
+                        && self.punct(k - 3, '.')
+                        && self.id(k - 4) == "self"
+                        && impl_type.is_some()
+                    {
+                        Receiver::SelfField(impl_type.unwrap_or("").to_owned(), r.clone())
+                    } else {
+                        locals.get(r).cloned().unwrap_or_else(|| {
+                            if r.chars().next().is_some_and(char::is_uppercase) {
+                                Receiver::Typed(r.clone())
+                            } else {
+                                Receiver::Unknown
+                            }
+                        })
+                    }
+                }
+                _ => Receiver::Unknown,
+            }
+        } else {
+            Receiver::Unknown
+        };
+
+        // Effects.
+        match id {
+            "unwrap" | "expect" => {
+                def.effects.push(Effect {
+                    kind: EffectKind::Panic,
+                    line,
+                    col,
+                    what: format!(".{id}()"),
+                });
+                return;
+            }
+            m if ALLOC_METHODS.contains(&m) => {
+                def.effects.push(Effect {
+                    kind: EffectKind::Alloc,
+                    line,
+                    col,
+                    what: format!(".{id}()"),
+                });
+                return;
+            }
+            // Telemetry effects do NOT return: the call site is still
+            // recorded below, so a `.record(…)` that resolves into plain
+            // workspace code (not drybell-obs) lets the hot-path rule
+            // trust the callee's analyzed body over the name heuristic.
+            "inc" if self.punct(k + 2, ')') => {
+                def.effects.push(Effect {
+                    kind: EffectKind::SyncTelemetry,
+                    line,
+                    col,
+                    what: ".inc()".to_owned(),
+                });
+            }
+            "add" | "record"
+                if !self.punct(k + 2, ')')
+                    && crate::rules::telemetry::first_string_arg(self.ctx, k + 2).is_none() =>
+            {
+                def.effects.push(Effect {
+                    kind: EffectKind::SyncTelemetry,
+                    line,
+                    col,
+                    what: format!(".{id}(…)"),
+                });
+            }
+            "record_duration" => {
+                def.effects.push(Effect {
+                    kind: EffectKind::SyncTelemetry,
+                    line,
+                    col,
+                    what: ".record_duration(…)".to_owned(),
+                });
+            }
+            "ok" if self.punct(k + 2, ')') && self.punct(k + 3, ';') => {
+                // `x.ok();` as a whole statement drops the Err; a bound
+                // (`let v = x.ok();`) or returned value does not.
+                let s = self.stmt_start(k);
+                if self.id(s) != "let" && self.id(s) != "return" {
+                    def.ok_discards.push(OkDiscard { line, col });
+                    return;
+                }
+            }
+            "lock" | "read" | "write" if self.punct(k + 2, ')') => {
+                // `read`/`write` are only lock methods with an empty
+                // argument list; `lock()` likewise, but an unknown
+                // receiver's bare `.lock()` is still suspicious enough
+                // to record as an anonymous effect.
+                let lock_like = matches!(
+                    &recv,
+                    Receiver::SelfField(..) | Receiver::Typed(_) | Receiver::EnumPayload(..)
+                );
+                if lock_like {
+                    let scope_end = self.guard_scope_end(k);
+                    def.locks.push(LockAcquire {
+                        recv: recv.clone(),
+                        method: id.to_owned(),
+                        line,
+                        col,
+                        token: k,
+                        scope_end,
+                    });
+                    return;
+                } else if id == "lock" {
+                    def.effects.push(Effect {
+                        kind: EffectKind::AnonymousLock,
+                        line,
+                        col,
+                        what: ".lock()".to_owned(),
+                    });
+                    return;
+                }
+            }
+            _ => {}
+        }
+
+        def.calls.push(CallSite {
+            callee: id.to_owned(),
+            recv,
+            line,
+            col,
+            discarded: self.is_discarded(k),
+            holding: active.to_vec(),
+        });
+    }
+
+    /// Index of the first token of the statement containing token `k`:
+    /// the token after the previous `;`, `{`, or `}` at the same
+    /// nesting depth.
+    fn stmt_start(&self, k: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = k;
+        while j > 0 {
+            j -= 1;
+            match &self.ctx.tokens[j].kind {
+                TokenKind::Punct(')') | TokenKind::Punct(']') => depth += 1,
+                TokenKind::Punct('(') | TokenKind::Punct('[') => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                TokenKind::Punct(';') | TokenKind::Punct('{') | TokenKind::Punct('}')
+                    if depth == 0 =>
+                {
+                    return j + 1;
+                }
+                _ => {}
+            }
+        }
+        j
+    }
+
+    /// Whether the statement containing token `k` begins with `let _ =`.
+    fn is_discarded(&self, k: usize) -> bool {
+        let j = self.stmt_start(k);
+        self.id(j) == "let" && self.id(j + 1) == "_" && self.punct(j + 2, '=')
+    }
+
+    /// Token index past which a guard acquired at `k` (the method name
+    /// token) is dead: the enclosing block's `}` when the statement is a
+    /// `let` binding, otherwise the statement's `;`.
+    fn guard_scope_end(&self, k: usize) -> usize {
+        let s = self.stmt_start(k);
+        let stmt_is_binding = self.id(s) == "let" || self.id(s) == "if" || self.id(s) == "while";
+        if stmt_is_binding {
+            // Guard lives to the end of the enclosing block: the
+            // matching `}` of the nearest unclosed `{` before `k`.
+            let mut opens = Vec::new();
+            for (i, t) in self.ctx.tokens.iter().enumerate().take(k) {
+                match &t.kind {
+                    TokenKind::Punct('{') => opens.push(i),
+                    TokenKind::Punct('}') => {
+                        opens.pop();
+                    }
+                    _ => {}
+                }
+            }
+            opens
+                .last()
+                .and_then(|o| self.brace_match.get(o).copied())
+                .unwrap_or(self.ctx.tokens.len())
+        } else {
+            // Temporary: dead at the end of the statement.
+            let mut depth = 0i32;
+            let mut j = k;
+            while j < self.ctx.tokens.len() {
+                match &self.ctx.tokens[j].kind {
+                    TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => {
+                        depth += 1
+                    }
+                    TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                        depth -= 1
+                    }
+                    TokenKind::Punct(';') if depth <= 0 => return j,
+                    _ => {}
+                }
+                j += 1;
+            }
+            self.ctx.tokens.len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file_ctx;
+
+    fn model_of(src: &str) -> FileModel {
+        parse(&file_ctx("crates/drybell-core/src/x.rs", src))
+    }
+
+    #[test]
+    fn fns_and_impl_types_are_recorded() {
+        let m = model_of(
+            "fn free() {}\n\
+             impl Foo { fn method(&self) -> Result<u32, E> { self.helper() } }\n\
+             impl fmt::Display for Bar { fn fmt(&self) {} }",
+        );
+        let ids: Vec<String> = m.fns.iter().map(|f| f.display_id()).collect();
+        assert_eq!(
+            ids,
+            [
+                "drybell-core::free",
+                "drybell-core::Foo::method",
+                "drybell-core::Bar::fmt"
+            ]
+        );
+        assert_eq!(m.fns[1].ret_head.as_deref(), Some("Result"));
+        assert_eq!(m.fns[1].calls.len(), 1);
+        assert_eq!(m.fns[1].calls[0].callee, "helper");
+        assert_eq!(m.fns[1].calls[0].recv, Receiver::Typed("Foo".into()));
+    }
+
+    #[test]
+    fn struct_fields_and_enum_payloads_parse() {
+        let m = model_of(
+            "struct S { models: Mutex<HashMap<String, u32>>, n: usize }\n\
+             enum E { A(Foo), B(u32, u32), C }",
+        );
+        assert_eq!(
+            m.structs[0].fields.get("models").map(String::as_str),
+            Some("Mutex")
+        );
+        assert_eq!(
+            m.structs[0].fields.get("n").map(String::as_str),
+            Some("usize")
+        );
+        assert_eq!(
+            m.enums[0].variants.get("A").map(String::as_str),
+            Some("Foo")
+        );
+        assert!(
+            !m.enums[0].variants.contains_key("B"),
+            "multi-field payloads are skipped"
+        );
+    }
+
+    #[test]
+    fn typed_locals_and_params_type_method_calls() {
+        let m = model_of(
+            "fn f(x: &SparseVector) {\n\
+               let m: Mlp = load();\n\
+               x.entries();\n\
+               m.forward();\n\
+             }",
+        );
+        let calls = &m.fns[0].calls;
+        let by_name = |n: &str| calls.iter().find(|c| c.callee == n).unwrap();
+        assert_eq!(
+            by_name("entries").recv,
+            Receiver::Typed("SparseVector".into())
+        );
+        assert_eq!(by_name("forward").recv, Receiver::Typed("Mlp".into()));
+    }
+
+    #[test]
+    fn enum_match_arm_bindings_type_the_payload() {
+        let m = model_of("fn f(e: &E) { match e { E::A(m) => m.run(), _ => {} } }");
+        let call = m.fns[0].calls.iter().find(|c| c.callee == "run").unwrap();
+        assert_eq!(call.recv, Receiver::EnumPayload("E".into(), "A".into()));
+    }
+
+    #[test]
+    fn tuple_pattern_enum_bindings_type_the_payload() {
+        // Serving's score kernel matches on a (model, input) pair; the
+        // binding inside each tuple element must still get typed.
+        let m =
+            model_of("fn f(e: (M, I)) { match e { (M::Lr(m), I::Sp(x)) => m.run(x), _ => {} } }");
+        let call = m.fns[0].calls.iter().find(|c| c.callee == "run").unwrap();
+        assert_eq!(call.recv, Receiver::EnumPayload("M".into(), "Lr".into()));
+    }
+
+    #[test]
+    fn effects_are_collected() {
+        let m = model_of(
+            "fn f(h: &Histogram) {\n\
+               let v = Vec::with_capacity(4);\n\
+               let s = format!(\"x{}\", 1);\n\
+               let t = name.to_owned();\n\
+               x.unwrap();\n\
+               panic!(\"no\");\n\
+               h.record_duration(d);\n\
+               c.inc();\n\
+             }",
+        );
+        let kinds: Vec<EffectKind> = m.fns[0].effects.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                EffectKind::Alloc,
+                EffectKind::Alloc,
+                EffectKind::Alloc,
+                EffectKind::Panic,
+                EffectKind::Panic,
+                EffectKind::SyncTelemetry,
+                EffectKind::SyncTelemetry,
+            ]
+        );
+    }
+
+    #[test]
+    fn self_field_locks_note_scope_and_holding() {
+        let m = model_of(
+            "impl R {\n\
+               fn f(&self) {\n\
+                 let a = self.first.lock();\n\
+                 self.other(a);\n\
+                 let b = self.second.lock();\n\
+               }\n\
+             }",
+        );
+        let f = &m.fns[0];
+        assert_eq!(f.locks.len(), 2);
+        assert_eq!(
+            f.locks[0].recv,
+            Receiver::SelfField("R".into(), "first".into())
+        );
+        let call = f.calls.iter().find(|c| c.callee == "other").unwrap();
+        assert_eq!(call.holding, [0], "the call happens under the first lock");
+    }
+
+    #[test]
+    fn let_underscore_discards_are_marked() {
+        let m = model_of("fn f() { let _ = fallible(); used(); }");
+        let calls = &m.fns[0].calls;
+        assert!(
+            calls
+                .iter()
+                .find(|c| c.callee == "fallible")
+                .unwrap()
+                .discarded
+        );
+        assert!(!calls.iter().find(|c| c.callee == "used").unwrap().discarded);
+    }
+
+    #[test]
+    fn ok_discards_are_recorded() {
+        let m = model_of("fn f() { fallible().ok(); let kept = g().ok(); }");
+        assert_eq!(m.fns[0].ok_discards.len(), 1);
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let m = model_of("fn prod() {}\n#[cfg(test)]\nmod tests { fn t() {} }");
+        assert!(!m.fns[0].is_test);
+        assert!(m.fns[1].is_test);
+    }
+}

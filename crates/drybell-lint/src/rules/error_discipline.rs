@@ -1,0 +1,168 @@
+//! `error-discipline`: Results must not be silently discarded in
+//! non-test library code.
+//!
+//! Three shapes, all of which have bitten degradation paths before:
+//!
+//! - `let _ = fallible();` where the callee resolves to a workspace
+//!   function returning `Result` — the error vanishes without even a
+//!   counter increment;
+//! - `x.ok();` as a whole statement — converts the `Err` to `None` and
+//!   drops it (binding the value, `let v = x.ok();`, is fine: the
+//!   caller visibly chose a default path);
+//! - `.unwrap()` / `.expect(…)` in non-test code of crates *outside*
+//!   the `no-panic` scope — `no-panic` already owns the serving/core
+//!   crates, so this closes the gap for the rest (ml, nlp, doctor,
+//!   lint, umbrella) without double-reporting.
+//!
+//! The workspace predates the rule, so it ships with a baseline
+//! (`lint-baseline.txt`): per-file accepted counts. A file at its
+//! baselined count is silent; above it, every finding in the file is
+//! reported (the ratchet can't tell old from new, so the file's debt
+//! surfaces all at once); below it, a `stale-baseline` diagnostic
+//! demands regeneration so the improvement is locked in and cannot
+//! silently regress.
+
+use crate::callgraph::Graph;
+use crate::config::Baseline;
+use crate::model::{EffectKind, FileModel};
+use crate::rules::no_panic::PANIC_SCOPE;
+use crate::{Diagnostic, FileCtx};
+use std::collections::BTreeMap;
+
+/// Crates exempt from the rule entirely: vendored stand-ins and the
+/// bench harness (panicking on bad setup is what benches should do).
+fn exempt(crate_name: &str) -> bool {
+    crate_name == "vendor" || crate_name == "drybell-bench"
+}
+
+/// Run the rule. Returns observed per-path counts (pre-baseline) so the
+/// CLI can regenerate the baseline file.
+pub fn check(
+    graph: &Graph,
+    files: &[FileModel],
+    baseline: &Baseline,
+    ctxs: &BTreeMap<String, &FileCtx>,
+    out: &mut Vec<Diagnostic>,
+) -> BTreeMap<(String, String), usize> {
+    // Gather raw findings per file (suppressions applied via report_at
+    // into a scratch vec, so suppressed findings don't count against
+    // the baseline either).
+    let mut per_file: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+
+    for fm in files {
+        if exempt(&fm.crate_name) {
+            continue;
+        }
+        let Some(ctx) = ctxs.get(&fm.path) else {
+            continue;
+        };
+        let mut found: Vec<Diagnostic> = Vec::new();
+        for def in &fm.fns {
+            if def.is_test {
+                continue;
+            }
+            // `let _ = fallible();` with a workspace-resolved Result.
+            for call in &def.calls {
+                if !call.discarded {
+                    continue;
+                }
+                let returns_result = graph
+                    .edges
+                    .get(&crate::callgraph::FnId {
+                        crate_name: def.crate_name.clone(),
+                        impl_type: def.impl_type.clone().unwrap_or_default(),
+                        name: def.name.clone(),
+                    })
+                    .into_iter()
+                    .flatten()
+                    .filter(|e| e.line == call.line && e.col == call.col)
+                    .any(|e| {
+                        graph
+                            .fns
+                            .get(&e.to)
+                            .is_some_and(|d| d.ret_head.as_deref() == Some("Result"))
+                    });
+                if returns_result {
+                    ctx.report_at(
+                        &mut found,
+                        call.line,
+                        call.col,
+                        "error-discipline",
+                        format!(
+                            "`let _ =` discards the Result of {}(); handle it or log it",
+                            call.callee
+                        ),
+                    );
+                }
+            }
+            // `x.ok();` statements.
+            for okd in &def.ok_discards {
+                ctx.report_at(
+                    &mut found,
+                    okd.line,
+                    okd.col,
+                    "error-discipline",
+                    "`.ok();` drops the Err without handling or logging it".to_owned(),
+                );
+            }
+            // unwrap/expect outside the no-panic crates.
+            if !PANIC_SCOPE.contains(&fm.crate_name.as_str()) {
+                for e in &def.effects {
+                    if e.kind == EffectKind::Panic && e.what.starts_with('.') {
+                        ctx.report_at(
+                            &mut found,
+                            e.line,
+                            e.col,
+                            "error-discipline",
+                            format!("{} in non-test library code; return the error", e.what),
+                        );
+                    }
+                }
+            }
+        }
+        if !found.is_empty() {
+            per_file.entry(fm.path.clone()).or_default().extend(found);
+        }
+    }
+
+    // Apply the baseline per (rule, path).
+    let mut observed: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for (path, findings) in &per_file {
+        observed.insert(
+            ("error-discipline".to_owned(), path.clone()),
+            findings.len(),
+        );
+    }
+    // Paths in the baseline with zero current findings must also be
+    // diffed (they've been fully fixed — the baseline is stale).
+    for ((rule, path), accepted) in &baseline.counts {
+        if rule != "error-discipline" {
+            continue;
+        }
+        let key = ("error-discipline".to_owned(), path.clone());
+        let now = observed.get(&key).copied().unwrap_or(0);
+        if now < *accepted {
+            out.push(Diagnostic {
+                path: path.clone(),
+                line: 1,
+                col: 1,
+                rule: "stale-baseline",
+                message: format!(
+                    "baseline accepts {accepted} error-discipline findings here but only \
+                     {now} remain; regenerate with --update-baseline to lock the fix in"
+                ),
+            });
+        }
+    }
+    for (path, findings) in per_file {
+        let accepted = baseline
+            .counts
+            .get(&("error-discipline".to_owned(), path.clone()))
+            .copied()
+            .unwrap_or(0);
+        if findings.len() > accepted {
+            out.extend(findings);
+        }
+    }
+    observed
+}

@@ -1,0 +1,127 @@
+//! `hot-path`: functions transitively reachable from the roots declared
+//! in `lint.toml` must not allocate, acquire locks, panic, or hit
+//! synchronized telemetry.
+//!
+//! The roots name the workspace's per-row kernels: the label-model
+//! gradient kernels, the LF vote body, and the serving score path. The
+//! ROADMAP's columnar data plane depends on these staying lock- and
+//! allocation-free per row; this rule generalizes PR-6's per-loop
+//! telemetry check from "inside a `for` body in this file" to "anywhere
+//! a root can reach, across all crates".
+//!
+//! Each diagnostic carries the BFS chain from the root so the reader
+//! sees *why* the function is hot (`root → caller → offender`), and is
+//! suppressable at the offending line with the usual justified
+//! `drybell-lint: allow(hot-path)` comment.
+
+use crate::callgraph::{FnId, Graph};
+use crate::config::LintConfig;
+use crate::model::{EffectKind, FileModel};
+use crate::{Diagnostic, FileCtx};
+use std::collections::BTreeMap;
+
+/// Parse a `crate::Type::fn` / `crate::fn` root spec into an id.
+fn parse_root(spec: &str) -> Option<FnId> {
+    let parts: Vec<&str> = spec.split("::").collect();
+    match parts.as_slice() {
+        [krate, name] => Some(FnId {
+            crate_name: (*krate).to_owned(),
+            impl_type: String::new(),
+            name: (*name).to_owned(),
+        }),
+        [krate, ty, name] => Some(FnId {
+            crate_name: (*krate).to_owned(),
+            impl_type: (*ty).to_owned(),
+            name: (*name).to_owned(),
+        }),
+        _ => None,
+    }
+}
+
+/// Run the rule over the linked workspace.
+pub fn check(
+    graph: &Graph,
+    _files: &[FileModel],
+    cfg: &LintConfig,
+    ctxs: &BTreeMap<String, &FileCtx>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut roots = Vec::new();
+    for root in &cfg.roots {
+        match parse_root(&root.spec) {
+            Some(id) if graph.fns.contains_key(&id) => roots.push(id),
+            Some(_) | None => out.push(Diagnostic {
+                path: "lint.toml".to_owned(),
+                line: root.line,
+                col: 1,
+                rule: "hot-path",
+                message: format!(
+                    "hot-path root `{}` does not name a workspace function \
+                     (expected crate::Type::fn or crate::fn)",
+                    root.spec
+                ),
+            }),
+        }
+    }
+    let parents = graph.reachable(&roots);
+
+    for (id, _) in parents.iter() {
+        let Some(def) = graph.fns.get(id) else {
+            continue;
+        };
+        if def.is_test {
+            continue;
+        }
+        let chain = Graph::chain(&parents, id);
+        let Some(ctx) = ctxs.get(&def.path) else {
+            continue;
+        };
+        // Call sites that resolved into workspace code outside drybell-obs:
+        // the BFS descends into those bodies, so a name-based telemetry
+        // effect at the same position (e.g. `.record(…)` on a plain
+        // in-memory histogram) would double-count a call the graph already
+        // analyzes. Calls into drybell-obs keep their effect — that crate's
+        // shared instruments are synchronized by design.
+        let resolved_non_obs: std::collections::BTreeSet<(u32, u32)> = graph
+            .edges
+            .get(id)
+            .map(|edges| {
+                edges
+                    .iter()
+                    .filter(|e| e.to.crate_name != "drybell-obs")
+                    .map(|e| (e.line, e.col))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for e in &def.effects {
+            if e.kind == EffectKind::SyncTelemetry && resolved_non_obs.contains(&(e.line, e.col)) {
+                continue;
+            }
+            let verb = match e.kind {
+                EffectKind::Alloc => "allocates",
+                EffectKind::Panic => "may panic",
+                EffectKind::SyncTelemetry => "takes a synchronized telemetry hit",
+                EffectKind::AnonymousLock => "acquires a lock",
+            };
+            ctx.report_at(
+                out,
+                e.line,
+                e.col,
+                "hot-path",
+                format!("hot path `{chain}` {verb} per call ({})", e.what),
+            );
+        }
+        for l in &def.locks {
+            ctx.report_at(
+                out,
+                l.line,
+                l.col,
+                "hot-path",
+                format!(
+                    "hot path `{chain}` acquires a lock per call (.{}())",
+                    l.method
+                ),
+            );
+        }
+    }
+}

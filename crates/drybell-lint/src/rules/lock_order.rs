@@ -1,0 +1,215 @@
+//! `lock-order`: the workspace lock-acquisition order must be acyclic.
+//!
+//! Every `Mutex`/`RwLock` field acquisition gets a stable id
+//! (`Struct.field`); an edge `A → B` means some code path acquires `B`
+//! while holding `A`, either directly in one function body (guard scope
+//! from the model) or through a call whose callee transitively acquires
+//! `B`. A cycle in this graph is a potential deadlock between threads
+//! acquiring in opposite orders — exactly the hazard introduced by
+//! PR-6's journal/shard/trace stack and the multi-process dataflow
+//! coordinator on the ROADMAP.
+//!
+//! Self-edges are skipped: striped locks (`stripes[i]`, `stripes[j]`
+//! share one field id) and drop-then-reacquire patterns produce
+//! re-acquisitions of the same id that the token view cannot tell apart
+//! from genuine double-locking. That blind spot is documented in
+//! DESIGN.md; parking_lot would deadlock loudly in tests if it were
+//! real.
+
+use crate::callgraph::Graph;
+use crate::model::FileModel;
+use crate::{Diagnostic, FileCtx};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where an ordering edge was introduced (for the diagnostic).
+struct Site {
+    path: String,
+    line: u32,
+    col: u32,
+    note: String,
+}
+
+/// Run the rule over the linked workspace.
+pub fn check(
+    graph: &Graph,
+    files: &[FileModel],
+    ctxs: &BTreeMap<String, &FileCtx>,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Struct field tables for lock-id resolution.
+    let trans = graph.transitive_locks(files);
+
+    // Ordering edges: (held, acquired) → first site, deterministically.
+    let mut edges: BTreeMap<(String, String), Site> = BTreeMap::new();
+    let mut add_edge = |from: &str, to: &str, site: Site| {
+        if from == to {
+            return; // striped/re-acquired same id — documented blind spot
+        }
+        edges
+            .entry((from.to_owned(), to.to_owned()))
+            .or_insert(site);
+    };
+
+    for fm in files {
+        for def in &fm.fns {
+            if def.is_test {
+                continue;
+            }
+            // Direct nesting inside one body: lock j acquired inside
+            // lock i's guard scope.
+            for (i, li) in def.locks.iter().enumerate() {
+                let Some(from) = graph.lock_id(&li.recv, files) else {
+                    continue;
+                };
+                for lj in def.locks.iter().skip(i + 1) {
+                    if lj.token > li.token && lj.token <= li.scope_end {
+                        if let Some(to) = graph.lock_id(&lj.recv, files) {
+                            add_edge(
+                                &from,
+                                &to,
+                                Site {
+                                    path: def.path.clone(),
+                                    line: lj.line,
+                                    col: lj.col,
+                                    note: format!("in {}", def.display_id()),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            // Through calls: a call made while holding H reaches every
+            // lock its resolved callee may transitively acquire.
+            if let Some(fn_edges) = graph.edges.get(&crate::callgraph::FnId {
+                crate_name: def.crate_name.clone(),
+                impl_type: def.impl_type.clone().unwrap_or_default(),
+                name: def.name.clone(),
+            }) {
+                for e in fn_edges {
+                    if e.holding.is_empty() {
+                        continue;
+                    }
+                    let Some(callee_locks) = trans.get(&e.to) else {
+                        continue;
+                    };
+                    for held in &e.holding {
+                        for acquired in callee_locks {
+                            add_edge(
+                                held,
+                                acquired,
+                                Site {
+                                    path: def.path.clone(),
+                                    line: e.line,
+                                    col: e.col,
+                                    note: format!(
+                                        "{} calls {} while holding {held}",
+                                        def.display_id(),
+                                        e.to.display()
+                                    ),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection: SCCs of the lock-order graph (Tarjan). Any SCC
+    // with ≥ 2 locks contains a cycle.
+    let nodes: BTreeSet<&String> = edges.keys().flat_map(|(a, b)| [a, b]).collect();
+    let index_of: BTreeMap<&String, usize> =
+        nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let names: Vec<&String> = nodes.into_iter().collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+    for (a, b) in edges.keys() {
+        adj[index_of[a]].push(index_of[b]);
+    }
+    let sccs = tarjan(&adj);
+
+    for scc in sccs {
+        if scc.len() < 2 {
+            continue;
+        }
+        let mut locks: Vec<String> = scc.iter().map(|&i| names[i].clone()).collect();
+        locks.sort();
+        let in_scc: BTreeSet<&String> = locks.iter().collect();
+        // Anchor at the first (deterministic) edge inside the SCC.
+        let Some(((from, to), site)) = edges
+            .iter()
+            .find(|((a, b), _)| in_scc.contains(a) && in_scc.contains(b))
+        else {
+            continue;
+        };
+        let message = format!(
+            "lock-order cycle between {{{}}}: {} acquires {to} while holding {from} ({}); \
+             another path acquires them in the opposite order",
+            locks.join(", "),
+            site.path,
+            site.note,
+        );
+        match ctxs.get(&site.path) {
+            Some(ctx) => ctx.report_at(out, site.line, site.col, "lock-order", message),
+            None => out.push(Diagnostic {
+                path: site.path.clone(),
+                line: site.line,
+                col: site.col,
+                rule: "lock-order",
+                message,
+            }),
+        }
+    }
+}
+
+/// Iterative Tarjan strongly-connected components.
+fn tarjan(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut sccs = Vec::new();
+    let mut counter = 0usize;
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        // Explicit DFS stack of (node, next-child-index).
+        let mut work: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut ci)) = work.last_mut() {
+            if *ci == 0 {
+                index[v] = counter;
+                low[v] = counter;
+                counter += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(*ci) {
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}

@@ -2,6 +2,9 @@
 //! and owns one rule family; see the crate docs for the full table.
 
 pub mod determinism;
+pub mod error_discipline;
+pub mod hot_path;
 pub mod lf_purity;
+pub mod lock_order;
 pub mod no_panic;
 pub mod telemetry;

@@ -12,7 +12,7 @@
 use crate::{Diagnostic, FileCtx, KEYWORDS};
 
 /// Crates whose non-test code must not panic.
-const PANIC_SCOPE: &[&str] = &[
+pub(crate) const PANIC_SCOPE: &[&str] = &[
     "drybell-core",
     "drybell-dataflow",
     "drybell-lf",

@@ -200,7 +200,7 @@ fn loop_body_mask(ctx: &FileCtx) -> Vec<bool> {
 /// returning the literal and its token index. Leading `&` borrows are
 /// skipped; anything else (a variable, a method call) is unjudgeable
 /// statically and yields `None`.
-fn first_string_arg(ctx: &FileCtx, start: usize) -> Option<(String, usize)> {
+pub(crate) fn first_string_arg(ctx: &FileCtx, start: usize) -> Option<(String, usize)> {
     let mut i = start;
     while ctx.punct(i, '&') {
         i += 1;

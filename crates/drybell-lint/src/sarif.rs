@@ -1,0 +1,179 @@
+//! SARIF 2.1.0 emission.
+//!
+//! CI uploads this to GitHub code scanning, which renders each
+//! diagnostic as an annotation on the PR diff. The emitter uses
+//! [`drybell_obs::json::Json`] (the workspace's own serializer) rather
+//! than serde — the lint crate stays dependency-light and builds
+//! offline. Only the slice of SARIF that code scanning consumes is
+//! emitted: tool driver + rule metadata, and one `result` per
+//! diagnostic with a physical location.
+
+use crate::Diagnostic;
+use drybell_obs::json::Json;
+
+/// SARIF schema/version pinned by the acceptance criteria; CI validates
+/// the emitted log against the published 2.1.0 JSON schema.
+const SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Render diagnostics as a single-run SARIF 2.1.0 log.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let rules: Vec<Json> = crate::RULES
+        .iter()
+        .map(|(id, desc)| {
+            Json::obj(vec![
+                ("id", Json::Str((*id).to_owned())),
+                (
+                    "shortDescription",
+                    Json::obj(vec![("text", Json::Str((*desc).to_owned()))]),
+                ),
+                (
+                    "defaultConfiguration",
+                    Json::obj(vec![("level", Json::Str("error".to_owned()))]),
+                ),
+            ])
+        })
+        .collect();
+
+    let results: Vec<Json> = diags
+        .iter()
+        .map(|d| {
+            let rule_index = crate::RULES
+                .iter()
+                .position(|(id, _)| *id == d.rule)
+                .unwrap_or(0);
+            Json::obj(vec![
+                ("ruleId", Json::Str(d.rule.to_owned())),
+                ("ruleIndex", Json::Int(rule_index as i64)),
+                ("level", Json::Str("error".to_owned())),
+                (
+                    "message",
+                    Json::obj(vec![("text", Json::Str(d.message.clone()))]),
+                ),
+                (
+                    "locations",
+                    Json::Arr(vec![Json::obj(vec![(
+                        "physicalLocation",
+                        Json::obj(vec![
+                            (
+                                "artifactLocation",
+                                Json::obj(vec![
+                                    ("uri", Json::Str(d.path.clone())),
+                                    ("uriBaseId", Json::Str("SRCROOT".to_owned())),
+                                ]),
+                            ),
+                            (
+                                "region",
+                                Json::obj(vec![
+                                    ("startLine", Json::Int(i64::from(d.line.max(1)))),
+                                    ("startColumn", Json::Int(i64::from(d.col.max(1)))),
+                                ]),
+                            ),
+                        ]),
+                    )])]),
+                ),
+            ])
+        })
+        .collect();
+
+    let run = Json::obj(vec![
+        (
+            "tool",
+            Json::obj(vec![(
+                "driver",
+                Json::obj(vec![
+                    ("name", Json::Str("drybell-lint".to_owned())),
+                    (
+                        "informationUri",
+                        Json::Str("https://github.com/drybell/drybell".to_owned()),
+                    ),
+                    ("rules", Json::Arr(rules)),
+                ]),
+            )]),
+        ),
+        (
+            "originalUriBaseIds",
+            Json::obj(vec![(
+                "SRCROOT",
+                Json::obj(vec![(
+                    "description",
+                    Json::obj(vec![("text", Json::Str("workspace root".to_owned()))]),
+                )]),
+            )]),
+        ),
+        ("results", Json::Arr(results)),
+        ("columnKind", Json::Str("utf16CodeUnits".to_owned())),
+    ]);
+
+    Json::obj(vec![
+        ("$schema", Json::Str(SCHEMA.to_owned())),
+        ("version", Json::Str("2.1.0".to_owned())),
+        ("runs", Json::Arr(vec![run])),
+    ])
+    .to_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drybell_obs::json;
+
+    fn diag(rule: &'static str) -> Diagnostic {
+        Diagnostic {
+            path: "crates/drybell-core/src/lib.rs".into(),
+            line: 7,
+            col: 3,
+            rule,
+            message: "msg with \"quotes\"".into(),
+        }
+    }
+
+    #[test]
+    fn sarif_is_valid_json_with_expected_shape() {
+        let s = to_sarif(&[diag("no-panic"), diag("hot-path")]);
+        let v = json::parse(&s).expect("emitted SARIF must parse");
+        assert_eq!(v.get("version").and_then(Json::as_str), Some("2.1.0"));
+        let runs = v.get("runs").unwrap().items();
+        assert_eq!(runs.len(), 1);
+        let results = runs[0].get("results").unwrap().items();
+        assert_eq!(results.len(), 2);
+        let loc = results[0].get("locations").unwrap().at(0).unwrap();
+        let region = loc.get("physicalLocation").unwrap().get("region").unwrap();
+        assert_eq!(region.get("startLine").and_then(Json::as_i64), Some(7));
+        // Every emitted ruleId exists in the driver's rules array.
+        let rules = runs[0]
+            .get("tool")
+            .unwrap()
+            .get("driver")
+            .unwrap()
+            .get("rules")
+            .unwrap()
+            .items();
+        for r in results {
+            let id = r.get("ruleId").and_then(Json::as_str).unwrap();
+            assert!(
+                rules
+                    .iter()
+                    .any(|ru| ru.get("id").and_then(Json::as_str) == Some(id)),
+                "ruleId {id} missing from driver rules"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_run_still_emits_a_results_array() {
+        let s = to_sarif(&[]);
+        let v = json::parse(&s).unwrap();
+        assert_eq!(
+            v.get("runs")
+                .unwrap()
+                .at(0)
+                .unwrap()
+                .get("results")
+                .unwrap()
+                .items()
+                .len(),
+            0
+        );
+    }
+}

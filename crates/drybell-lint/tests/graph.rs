@@ -1,0 +1,471 @@
+//! Integration tests for the call-graph builder and the three
+//! interprocedural rules, driven through [`drybell_lint::analyze_sources`]
+//! on small fixture workspaces.
+//!
+//! The fixtures use the same `crates/<name>/src/…` path layout as the
+//! real workspace so crate attribution, the panic-scope split, and the
+//! hot-path roots all behave exactly as they do in CI.
+
+use drybell_lint::callgraph::FnId;
+use drybell_lint::config::{Baseline, LintConfig, Root};
+use drybell_lint::{analyze_sources, Analysis};
+
+fn sources(files: &[(&str, &str)]) -> Vec<(String, String)> {
+    files
+        .iter()
+        .map(|(p, s)| ((*p).to_owned(), (*s).to_owned()))
+        .collect()
+}
+
+fn analyze(files: &[(&str, &str)], cfg: &LintConfig) -> Analysis {
+    analyze_sources(&sources(files), cfg, &Baseline::default())
+}
+
+fn root(spec: &str) -> Root {
+    Root {
+        spec: spec.to_owned(),
+        line: 1,
+    }
+}
+
+/// 1-based line of the first occurrence of `needle` in `src`.
+fn line_of(src: &str, needle: &str) -> u32 {
+    let at = src.find(needle).expect("fixture must contain the needle");
+    1 + src[..at].bytes().filter(|&b| b == b'\n').count() as u32
+}
+
+/// A three-crate fixture: cross-file calls inside `core-a`, a
+/// cross-crate typed-receiver call from `core-b`, trait-method dispatch,
+/// and one deliberately ambiguous call in `core-c`.
+fn linked_fixture() -> Vec<(String, String)> {
+    sources(&[
+        (
+            "crates/core-a/src/lib.rs",
+            "pub struct Engine { ticks: u64 }\n\
+             pub trait Runnable { fn run(&self); }\n\
+             impl Runnable for Engine {\n\
+                 fn run(&self) { helper(); self.step(); }\n\
+             }\n\
+             impl Engine {\n\
+                 fn step(&self) { let t = self.ticks; let _ignored = t; }\n\
+             }\n",
+        ),
+        (
+            "crates/core-a/src/util.rs",
+            "pub fn helper() { leaf(); }\n\
+             fn leaf() {}\n",
+        ),
+        (
+            "crates/core-b/src/lib.rs",
+            "use core_a::Engine;\n\
+             pub struct Worker;\n\
+             impl Worker {\n\
+                 pub fn work(&self, e: &Engine) { e.run(); }\n\
+             }\n",
+        ),
+        (
+            "crates/core-c/src/lib.rs",
+            "pub struct Alpha;\n\
+             pub struct Beta;\n\
+             impl Alpha { pub fn poll(&self) {} }\n\
+             impl Beta { pub fn poll(&self) {} }\n\
+             pub fn dispatch() {\n\
+                 let h = obtain();\n\
+                 h.poll();\n\
+             }\n",
+        ),
+    ])
+}
+
+fn fn_id(krate: &str, ty: &str, name: &str) -> FnId {
+    FnId {
+        crate_name: krate.to_owned(),
+        impl_type: ty.to_owned(),
+        name: name.to_owned(),
+    }
+}
+
+#[test]
+fn cross_file_and_cross_crate_calls_resolve() {
+    let a = analyze_sources(
+        &linked_fixture(),
+        &LintConfig::default(),
+        &Baseline::default(),
+    );
+    let g = &a.graph;
+
+    // run() resolves both its free cross-file call and its self method.
+    let run_edges = &g.edges[&fn_id("core-a", "Engine", "run")];
+    let targets: Vec<String> = run_edges.iter().map(|e| e.to.display()).collect();
+    assert_eq!(targets, ["core-a::helper", "core-a::Engine::step"]);
+
+    // helper() chains into the same-file private fn.
+    let helper_edges = &g.edges[&fn_id("core-a", "", "helper")];
+    assert_eq!(helper_edges[0].to, fn_id("core-a", "", "leaf"));
+
+    // Trait-method dispatch through a typed receiver crosses crates:
+    // Worker::work's `e.run()` lands on the `impl Runnable for Engine`
+    // method even though the trait declaration itself is not modeled.
+    let work_edges = &g.edges[&fn_id("core-b", "Worker", "work")];
+    assert_eq!(work_edges[0].to, fn_id("core-a", "Engine", "run"));
+}
+
+#[test]
+fn ambiguous_methods_are_reported_not_guessed() {
+    let a = analyze_sources(
+        &linked_fixture(),
+        &LintConfig::default(),
+        &Baseline::default(),
+    );
+    let g = &a.graph;
+
+    // Exactly one unresolved edge in the whole fixture: `h.poll()` with
+    // an untyped receiver and two candidate impls.
+    assert_eq!(g.unresolved.len(), 1);
+    let u = &g.unresolved[0];
+    assert_eq!(u.from, fn_id("core-c", "", "dispatch"));
+    assert_eq!(u.callee, "poll");
+    assert!(
+        u.reason.contains("2 workspace methods"),
+        "reason should explain the ambiguity: {}",
+        u.reason
+    );
+
+    // And pin the resolved-edge total so a resolver regression (either
+    // direction: dropped edges or bogus new ones) shows up here.
+    let resolved: usize = g.edges.values().map(Vec::len).sum();
+    assert_eq!(resolved, 4);
+}
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn dot_export_is_byte_identical_across_input_order(seed in any::<u64>()) {
+        let mut files = linked_fixture();
+        // Seed-driven Fisher–Yates: every permutation of the input file
+        // order must produce the same DOT bytes.
+        let mut state = seed | 1;
+        for i in (1..files.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            files.swap(i, j);
+        }
+        let reference = analyze_sources(
+            &linked_fixture(),
+            &LintConfig::default(),
+            &Baseline::default(),
+        )
+        .graph
+        .to_dot();
+        prop_assert!(reference.contains("core-a::Engine::run"));
+        let got = analyze_sources(&files, &LintConfig::default(), &Baseline::default())
+            .graph
+            .to_dot();
+        prop_assert_eq!(got, reference);
+    }
+}
+
+/// The acceptance fixture: a Mutex acquisition introduced into a helper
+/// reachable from the gradient-loop root must be flagged with the exact
+/// rule id, file, and line.
+#[test]
+fn hot_path_flags_lock_reachable_from_gradient_root() {
+    let core = "pub struct GenerativeModel { state: Mutex<u64> }\n\
+                impl GenerativeModel {\n\
+                    pub fn joint_scores(&self) -> f64 { self.accumulate() }\n\
+                    fn accumulate(&self) -> f64 {\n\
+                        let guard = self.state.lock();\n\
+                        *guard as f64\n\
+                    }\n\
+                }\n";
+    let cfg = LintConfig {
+        roots: vec![root("drybell-core::GenerativeModel::joint_scores")],
+        ..LintConfig::default()
+    };
+    let a = analyze(&[("crates/drybell-core/src/model.rs", core)], &cfg);
+
+    assert_eq!(
+        a.diagnostics.len(),
+        1,
+        "exactly one finding: {:?}",
+        a.diagnostics
+    );
+    let d = &a.diagnostics[0];
+    assert_eq!(d.rule, "hot-path");
+    assert_eq!(d.path, "crates/drybell-core/src/model.rs");
+    assert_eq!(d.line, line_of(core, ".lock()"));
+    assert!(
+        d.message.contains("joint_scores") && d.message.contains("accumulate"),
+        "diagnostic must carry the reachability chain: {}",
+        d.message
+    );
+}
+
+#[test]
+fn hot_path_alloc_and_panic_effects_are_flagged_with_chains() {
+    let core = "pub struct GenerativeModel;\n\
+                impl GenerativeModel {\n\
+                    pub fn joint_scores(&self) -> f64 { middle() }\n\
+                }\n\
+                fn middle() -> f64 { deep() }\n\
+                fn deep() -> f64 {\n\
+                    let owned = name().to_owned();\n\
+                    owned.parse().unwrap()\n\
+                }\n";
+    let cfg = LintConfig {
+        roots: vec![root("drybell-core::GenerativeModel::joint_scores")],
+        ..LintConfig::default()
+    };
+    let a = analyze(&[("crates/drybell-core/src/model.rs", core)], &cfg);
+
+    let rules: Vec<&str> = a.diagnostics.iter().map(|d| d.rule).collect();
+    // `.to_owned()` allocates; `.unwrap()` is flagged by both the
+    // per-file no-panic rule (drybell-core is in the panic scope) and
+    // the transitive hot-path rule.
+    assert_eq!(rules, ["hot-path", "hot-path", "no-panic"]);
+    let hot: Vec<&drybell_lint::Diagnostic> = a
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "hot-path")
+        .collect();
+    assert!(hot[0].message.contains("allocates"));
+    assert!(hot[1].message.contains("may panic"));
+    for d in &hot {
+        assert!(
+            d.message
+                .contains("joint_scores → drybell-core::middle → drybell-core::deep"),
+            "chain must walk root → middle → deep: {}",
+            d.message
+        );
+    }
+}
+
+#[test]
+fn hot_path_root_typo_is_itself_a_diagnostic() {
+    let cfg = LintConfig {
+        roots: vec![Root {
+            spec: "drybell-core::GenerativeModel::joint_scoresX".to_owned(),
+            line: 12,
+        }],
+        ..LintConfig::default()
+    };
+    let a = analyze(
+        &[(
+            "crates/drybell-core/src/model.rs",
+            "pub struct GenerativeModel;\n\
+             impl GenerativeModel { pub fn joint_scores(&self) -> f64 { 0.0 } }\n",
+        )],
+        &cfg,
+    );
+    assert_eq!(a.diagnostics.len(), 1);
+    assert_eq!(a.diagnostics[0].rule, "hot-path");
+    assert_eq!(a.diagnostics[0].path, "lint.toml");
+    assert_eq!(a.diagnostics[0].line, 12);
+    assert!(a.diagnostics[0].message.contains("joint_scoresX"));
+}
+
+#[test]
+fn graph_rules_honor_justified_suppressions() {
+    let core = "pub struct GenerativeModel { state: Mutex<u64> }\n\
+                impl GenerativeModel {\n\
+                    pub fn joint_scores(&self) -> f64 {\n\
+                        // drybell-lint: allow(hot-path) — fixture proves graph rules honor justified suppressions\n\
+                        let guard = self.state.lock();\n\
+                        *guard as f64\n\
+                    }\n\
+                }\n";
+    let cfg = LintConfig {
+        roots: vec![root("drybell-core::GenerativeModel::joint_scores")],
+        ..LintConfig::default()
+    };
+    let a = analyze(&[("crates/drybell-core/src/model.rs", core)], &cfg);
+    assert!(a.diagnostics.is_empty(), "suppressed: {:?}", a.diagnostics);
+
+    // The same suppression without a justification is rejected AND the
+    // finding it tried to hide still reports.
+    let bare = core.replace(
+        " — fixture proves graph rules honor justified suppressions",
+        "",
+    );
+    let a = analyze(&[("crates/drybell-core/src/model.rs", bare.as_str())], &cfg);
+    let rules: Vec<&str> = a.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, ["bad-suppression", "hot-path"]);
+}
+
+#[test]
+fn lock_order_cycle_is_flagged_once() {
+    let src = "pub struct Pair { left: Mutex<u64>, right: Mutex<u64> }\n\
+               impl Pair {\n\
+                   pub fn fwd(&self) -> u64 {\n\
+                       let a = self.left.lock();\n\
+                       let b = self.right.lock();\n\
+                       *a + *b\n\
+                   }\n\
+                   pub fn rev(&self) -> u64 {\n\
+                       let b = self.right.lock();\n\
+                       let a = self.left.lock();\n\
+                       *a + *b\n\
+                   }\n\
+               }\n";
+    let a = analyze(
+        &[("crates/drybell-core/src/pair.rs", src)],
+        &LintConfig::default(),
+    );
+    let locks: Vec<&drybell_lint::Diagnostic> = a
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "lock-order")
+        .collect();
+    assert_eq!(
+        locks.len(),
+        1,
+        "one cycle, one diagnostic: {:?}",
+        a.diagnostics
+    );
+    assert!(locks[0].message.contains("Pair.left") && locks[0].message.contains("Pair.right"));
+
+    // Consistent ordering in both functions: no cycle, no finding.
+    let consistent = src.replace(
+        "let b = self.right.lock();\n\
+                       let a = self.left.lock();",
+        "let a = self.left.lock();\n\
+                       let b = self.right.lock();",
+    );
+    let a = analyze(
+        &[("crates/drybell-core/src/pair.rs", consistent.as_str())],
+        &LintConfig::default(),
+    );
+    assert!(
+        !a.diagnostics.iter().any(|d| d.rule == "lock-order"),
+        "{:?}",
+        a.diagnostics
+    );
+}
+
+/// Error-discipline findings ratchet against the checked-in baseline:
+/// at the accepted count the run is clean, above it every finding in
+/// the file reports, and below it the stale baseline itself reports.
+#[test]
+fn error_discipline_baseline_ratchets_both_directions() {
+    let path = "crates/drybell-tools/src/lib.rs";
+    let src = "pub fn fallible() -> Result<u64, String> { Ok(1) }\n\
+               pub fn caller() {\n\
+                   let _ = fallible();\n\
+                   fallible().ok();\n\
+               }\n";
+
+    // No baseline: both discards report.
+    let a = analyze(&[(path, src)], &LintConfig::default());
+    let rules: Vec<&str> = a.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, ["error-discipline", "error-discipline"]);
+    assert_eq!(
+        a.observed_counts[&("error-discipline".to_owned(), path.to_owned())],
+        2
+    );
+
+    // Baseline at the observed count: clean.
+    let baseline = Baseline::from_counts(&a.observed_counts);
+    let clean = analyze_sources(&sources(&[(path, src)]), &LintConfig::default(), &baseline);
+    assert!(clean.diagnostics.is_empty(), "{:?}", clean.diagnostics);
+
+    // Debt paid down without regenerating: the stale baseline reports.
+    let one_fixed = src.replace("let _ = fallible();\n", "");
+    let stale = analyze_sources(
+        &sources(&[(path, one_fixed.as_str())]),
+        &LintConfig::default(),
+        &baseline,
+    );
+    let rules: Vec<&str> = stale.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, ["stale-baseline"]);
+    assert_eq!(stale.diagnostics[0].path, path);
+    assert!(stale.diagnostics[0].message.contains("--update-baseline"));
+}
+
+#[test]
+fn unwraps_outside_panic_scope_are_error_discipline() {
+    // drybell-tools is not in the no-panic scope, so the per-file rule
+    // stays quiet — the graph rule owns unwrap discipline out here.
+    let path = "crates/drybell-tools/src/lib.rs";
+    let src = "pub fn read_it() -> u64 {\n\
+                   std::env::var(\"X\").unwrap().parse().unwrap()\n\
+               }\n";
+    let a = analyze(&[(path, src)], &LintConfig::default());
+    let rules: Vec<&str> = a.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, ["error-discipline", "error-discipline"]);
+
+    // The same source inside the panic scope double-reports under
+    // no-panic instead (no error-discipline duplicate).
+    let a = analyze(
+        &[("crates/drybell-core/src/x.rs", src)],
+        &LintConfig::default(),
+    );
+    let rules: Vec<&str> = a.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, ["no-panic", "no-panic"]);
+}
+
+#[test]
+fn sarif_export_carries_rules_and_locations() {
+    let core = "pub struct GenerativeModel { state: Mutex<u64> }\n\
+                impl GenerativeModel {\n\
+                    pub fn joint_scores(&self) -> f64 {\n\
+                        let guard = self.state.lock();\n\
+                        *guard as f64\n\
+                    }\n\
+                }\n";
+    let cfg = LintConfig {
+        roots: vec![root("drybell-core::GenerativeModel::joint_scores")],
+        ..LintConfig::default()
+    };
+    let a = analyze(&[("crates/drybell-core/src/model.rs", core)], &cfg);
+    let sarif = drybell_lint::sarif::to_sarif(&a.diagnostics);
+    let doc = drybell_obs::parse_json(&sarif).expect("SARIF output must be valid JSON");
+
+    assert_eq!(doc.get("version").and_then(|v| v.as_str()), Some("2.1.0"));
+    let runs = doc.get("runs").expect("runs");
+    let run = runs.at(0).expect("one run");
+    let results = run.get("results").expect("results");
+    assert_eq!(results.items().len(), a.diagnostics.len());
+    let first = results.at(0).expect("first result");
+    assert_eq!(
+        first.get("ruleId").and_then(|v| v.as_str()),
+        Some("hot-path")
+    );
+    let region = first
+        .get("locations")
+        .and_then(|l| l.at(0))
+        .and_then(|l| l.get("physicalLocation"))
+        .expect("physicalLocation");
+    assert_eq!(
+        region
+            .get("artifactLocation")
+            .and_then(|a| a.get("uri"))
+            .and_then(|v| v.as_str()),
+        Some("crates/drybell-core/src/model.rs")
+    );
+    assert_eq!(
+        region
+            .get("region")
+            .and_then(|r| r.get("startLine"))
+            .and_then(|v| v.as_i64()),
+        Some(i64::from(line_of(core, ".lock()")))
+    );
+    // Every reported ruleId must exist in the tool's rule table, with
+    // ruleIndex agreeing (GitHub code scanning requires the pairing).
+    let rules_arr = run
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .and_then(|d| d.get("rules"))
+        .expect("driver rules");
+    let idx = first
+        .get("ruleIndex")
+        .and_then(|v| v.as_i64())
+        .expect("ruleIndex") as usize;
+    assert_eq!(
+        rules_arr
+            .at(idx)
+            .and_then(|r| r.get("id"))
+            .and_then(|v| v.as_str()),
+        Some("hot-path")
+    );
+}

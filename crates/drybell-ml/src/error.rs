@@ -13,12 +13,22 @@ use std::fmt;
 pub enum MlError {
     /// A trainer was handed zero examples.
     EmptyDataset,
+    /// An input vector's width does not match the model.
+    DimensionMismatch {
+        /// The model's input dimension.
+        expected: usize,
+        /// The offending input's length.
+        got: usize,
+    },
 }
 
 impl fmt::Display for MlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MlError::EmptyDataset => write!(f, "cannot train on an empty dataset"),
+            MlError::DimensionMismatch { expected, got } => {
+                write!(f, "input has {got} features, model expects {expected}")
+            }
         }
     }
 }

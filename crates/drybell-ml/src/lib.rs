@@ -29,5 +29,5 @@ pub mod ranking;
 pub use error::MlError;
 pub use logreg::{FtrlConfig, LogisticRegression, LrAlgorithm};
 pub use metrics::{score_histogram, BinaryMetrics, RelativeMetrics};
-pub use mlp::{Mlp, MlpConfig};
+pub use mlp::{Mlp, MlpConfig, MlpScratch};
 pub use ranking::{average_precision, expected_calibration_error, precision_at_k, roc_auc};

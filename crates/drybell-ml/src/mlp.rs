@@ -7,6 +7,7 @@
 //! reproduction environment has no deep-learning framework — and none is
 //! needed at this scale.
 
+use crate::error::MlError;
 use crate::loss::{noise_aware_logistic_grad, noise_aware_logistic_loss, sigmoid};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -91,6 +92,15 @@ impl Layer {
     }
 }
 
+/// Reusable forward-pass buffers for allocation-free scoring via
+/// [`Mlp::try_score_into`]. Create one per scoring thread/handle; the
+/// buffers grow to the widest layer on first use and are reused after.
+#[derive(Debug, Default, Clone)]
+pub struct MlpScratch {
+    cur: Vec<f64>,
+    next: Vec<f64>,
+}
+
 /// The multi-layer perceptron.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mlp {
@@ -125,26 +135,54 @@ impl Mlp {
         self.input_dim
     }
 
-    /// Raw pre-sigmoid score.
+    /// Raw pre-sigmoid score. Panics on an input-width mismatch and
+    /// allocates fresh buffers per call; serving-path callers that need
+    /// neither should use [`Mlp::try_score_into`] with a reused
+    /// [`MlpScratch`].
     pub fn score(&self, x: &[f64]) -> f64 {
-        assert_eq!(x.len(), self.input_dim, "input dimension mismatch");
-        let mut cur = x.to_vec();
-        let mut next = Vec::new();
+        let mut scratch = MlpScratch::default();
+        match self.try_score_into(x, &mut scratch) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Raw pre-sigmoid score without panicking or allocating: the
+    /// forward pass runs entirely in `scratch`'s buffers (which size
+    /// themselves on first use and are reused afterwards), and a wrong
+    /// input width is a typed [`MlError::DimensionMismatch`] instead of
+    /// an assert. This is the serving hot path's entry point.
+    pub fn try_score_into(&self, x: &[f64], scratch: &mut MlpScratch) -> Result<f64, MlError> {
+        if x.len() != self.input_dim {
+            return Err(MlError::DimensionMismatch {
+                expected: self.input_dim,
+                got: x.len(),
+            });
+        }
+        scratch.cur.clear();
+        scratch.cur.extend_from_slice(x);
         for (li, layer) in self.layers.iter().enumerate() {
-            layer.forward(&cur, &mut next);
+            layer.forward(&scratch.cur, &mut scratch.next);
             if li + 1 < self.layers.len() {
-                for v in next.iter_mut() {
+                for v in scratch.next.iter_mut() {
                     *v = v.max(0.0); // ReLU
                 }
             }
-            std::mem::swap(&mut cur, &mut next);
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
         }
-        cur[0]
+        // Construction pins the output layer at width 1.
+        Ok(scratch.cur.first().copied().unwrap_or(0.0))
     }
 
     /// Predicted `P(y = +1 | x)`.
     pub fn predict_proba(&self, x: &[f64]) -> f64 {
         sigmoid(self.score(x))
+    }
+
+    /// Predicted `P(y = +1 | x)` without panicking or allocating; see
+    /// [`Mlp::try_score_into`].
+    pub fn try_predict_proba(&self, x: &[f64], scratch: &mut MlpScratch) -> Result<f64, MlError> {
+        Ok(sigmoid(self.try_score_into(x, scratch)?))
     }
 
     /// Predicted probabilities for many inputs.
@@ -173,7 +211,7 @@ impl Mlp {
         acts.push(x.to_vec());
         for (li, layer) in self.layers.iter().enumerate() {
             let mut out = Vec::new();
-            layer.forward(acts.last().expect("non-empty"), &mut out);
+            layer.forward(&acts[li], &mut out);
             if li + 1 < self.layers.len() {
                 for v in out.iter_mut() {
                     *v = v.max(0.0);
@@ -181,7 +219,7 @@ impl Mlp {
             }
             acts.push(out);
         }
-        let score = acts.last().expect("output layer")[0];
+        let score = acts[self.layers.len()][0];
         let loss = noise_aware_logistic_loss(score, target);
         // Backward.
         let mut delta = vec![noise_aware_logistic_grad(score, target)];
@@ -403,10 +441,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "dimension mismatch")]
+    #[should_panic(expected = "model expects 3")]
     fn wrong_input_dim_panics() {
         let net = Mlp::new(3, MlpConfig::default());
         let _ = net.score(&[1.0]);
+    }
+
+    #[test]
+    fn try_score_returns_typed_error_and_matches_score() {
+        let net = Mlp::new(3, MlpConfig::default());
+        let mut scratch = MlpScratch::default();
+        assert_eq!(
+            net.try_score_into(&[1.0], &mut scratch),
+            Err(MlError::DimensionMismatch {
+                expected: 3,
+                got: 1
+            })
+        );
+        let x = [0.3, -1.0, 2.0];
+        let s = net.try_score_into(&x, &mut scratch).unwrap();
+        assert_eq!(s, net.score(&x));
+        // Scratch reuse across widths must not leak state.
+        let p = net.try_predict_proba(&x, &mut scratch).unwrap();
+        assert_eq!(p, net.predict_proba(&x));
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub fn roc_auc(scores: &[f64], gold: &[bool]) -> f64 {
     }
     // O(n log n): sort negatives, binary-search each positive.
     let mut sorted_neg = neg.clone();
-    sorted_neg.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    sorted_neg.sort_by(f64::total_cmp);
     let mut wins = 0.0;
     for &p in &pos {
         // Count negatives strictly below p and ties.

@@ -198,9 +198,7 @@ impl LangDetector {
     /// (e.g. empty or non-alphabetic text).
     pub fn detect(&self, text: &str) -> Option<Lang> {
         let scores = self.scores(text);
-        let (lang, best) = scores
-            .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))?;
+        let (lang, best) = scores.into_iter().max_by(|a, b| a.1.total_cmp(&b.1))?;
         (best > 0.0).then_some(lang)
     }
 }

@@ -46,7 +46,9 @@ impl Topic {
 
     /// Stable index of this topic in [`Topic::ALL`].
     pub fn index(self) -> usize {
-        Topic::ALL.iter().position(|&t| t == self).expect("in ALL")
+        // `ALL` lists the variants in declaration order, so the
+        // discriminant IS the index.
+        self as usize
     }
 
     /// Seed keywords characteristic of this topic. Shared with
@@ -275,12 +277,13 @@ impl SemanticCategorizer {
     /// The most likely topic and its posterior probability.
     pub fn top_topic<S: AsRef<str>>(&self, tokens: &[S]) -> (Topic, f64) {
         let probs = self.classify(tokens);
-        let (idx, &p) = probs
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
-            .expect("eight topics");
-        (Topic::ALL[idx], p)
+        let mut idx = 0;
+        for (i, &q) in probs.iter().enumerate().skip(1) {
+            if q > probs[idx] {
+                idx = i;
+            }
+        }
+        (Topic::ALL[idx], probs[idx])
     }
 }
 

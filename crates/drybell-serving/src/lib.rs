@@ -20,12 +20,13 @@ pub mod shadow;
 pub use shadow::{ScoreHistogram, ShadowEval, ShadowReport, SCORE_BUCKETS};
 
 use drybell_features::{FeatureSpaceId, SpaceRegistry, SparseVector};
-use drybell_ml::{LogisticRegression, Mlp};
+use drybell_ml::{LogisticRegression, MlError, Mlp, MlpScratch};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Errors from staging, promoting, or scoring models.
 #[derive(Debug)]
@@ -61,6 +62,14 @@ pub enum ServingError {
         model: String,
         /// What the model expects.
         expected: &'static str,
+    },
+    /// The model rejected the input (e.g. a dense vector of the wrong
+    /// width). Scoring degrades instead of panicking.
+    ScoreFailed {
+        /// Model name.
+        model: String,
+        /// The underlying model error.
+        source: MlError,
     },
     /// Filesystem or serialization failure during export/load.
     Io(String),
@@ -98,6 +107,9 @@ impl fmt::Display for ServingError {
             ServingError::WrongInputKind { model, expected } => {
                 write!(f, "model {model:?} expects {expected} input")
             }
+            ServingError::ScoreFailed { model, source } => {
+                write!(f, "model {model:?} rejected the input: {source}")
+            }
             ServingError::Io(msg) => write!(f, "serving I/O error: {msg}"),
             ServingError::ManifestMismatch {
                 model,
@@ -111,7 +123,14 @@ impl fmt::Display for ServingError {
     }
 }
 
-impl std::error::Error for ServingError {}
+impl std::error::Error for ServingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServingError::ScoreFailed { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// A trained model in exportable form.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -172,12 +191,20 @@ struct ScoreInstruments {
     shadow_score_us: std::sync::Arc<drybell_obs::Histogram>,
 }
 
+/// Every staged/serving version of one named model, oldest first.
+type ModelVersions = Vec<(Arc<ModelSpec>, Stage)>;
+
 /// The model registry: validates, stages, promotes, and serves models.
+///
+/// Specs are stored as `Arc<ModelSpec>` so scoring paths can take the
+/// registry lock only long enough to clone a handle, then run the model
+/// outside it. Per-request scoring should go through [`ScoreHandle`]
+/// (via [`ServingRegistry::score_handle`]), which touches no lock at all.
 pub struct ServingRegistry {
     spaces: SpaceRegistry,
     /// Production latency budget per example, in microseconds.
     budget_us: u64,
-    models: Mutex<HashMap<String, Vec<(ModelSpec, Stage)>>>,
+    models: Mutex<HashMap<String, ModelVersions>>,
     instruments: Option<ScoreInstruments>,
 }
 
@@ -248,7 +275,7 @@ impl ServingRegistry {
                 version: spec.version,
             });
         }
-        versions.push((spec, Stage::Staged));
+        versions.push((Arc::new(spec), Stage::Staged));
         Ok(())
     }
 
@@ -320,42 +347,80 @@ impl ServingRegistry {
             .map(|inst| std::sync::Arc::clone(&inst.shadow_score_us))
     }
 
-    pub(crate) fn score_both_inner(
+    fn score_both_inner(
         &self,
         name: &str,
         candidate_version: u32,
         input: ScoreInput<'_>,
     ) -> Result<(f64, f64), ServingError> {
+        // One lock acquisition so both specs come from the same snapshot,
+        // released before either model runs.
+        let (serving_spec, candidate_spec) = {
+            let models = self.models.lock();
+            let versions = models
+                .get(name)
+                .ok_or_else(|| ServingError::UnknownModel(name.to_owned()))?;
+            let serving = versions
+                .iter()
+                .find(|(_, st)| *st == Stage::Serving)
+                .map(|(s, _)| Arc::clone(s))
+                .ok_or_else(|| {
+                    ServingError::UnknownModel(format!("{name} (no serving version)"))
+                })?;
+            let candidate = versions
+                .iter()
+                .find(|(s, _)| s.version == candidate_version)
+                .map(|(s, _)| Arc::clone(s))
+                .ok_or_else(|| {
+                    ServingError::UnknownModel(format!("{name} v{candidate_version}"))
+                })?;
+            (serving, candidate)
+        };
+        let mut scratch = MlpScratch::default();
+        Ok((
+            score_spec(&serving_spec, &input, &mut scratch)?,
+            score_spec(&candidate_spec, &input, &mut scratch)?,
+        ))
+    }
+
+    /// The serving `Arc<ModelSpec>` for `name`: the lock is held only
+    /// long enough to clone the handle.
+    pub(crate) fn resolve_serving(&self, name: &str) -> Result<Arc<ModelSpec>, ServingError> {
         let models = self.models.lock();
         let versions = models
             .get(name)
             .ok_or_else(|| ServingError::UnknownModel(name.to_owned()))?;
-        let (serving_spec, _) = versions
+        versions
             .iter()
             .find(|(_, st)| *st == Stage::Serving)
-            .ok_or_else(|| ServingError::UnknownModel(format!("{name} (no serving version)")))?;
-        let (candidate_spec, _) = versions
+            .map(|(s, _)| Arc::clone(s))
+            .ok_or_else(|| ServingError::UnknownModel(format!("{name} (no serving version)")))
+    }
+
+    /// The `Arc<ModelSpec>` for a specific registered version (any stage).
+    pub(crate) fn resolve_version(
+        &self,
+        name: &str,
+        version: u32,
+    ) -> Result<Arc<ModelSpec>, ServingError> {
+        let models = self.models.lock();
+        let versions = models
+            .get(name)
+            .ok_or_else(|| ServingError::UnknownModel(name.to_owned()))?;
+        versions
             .iter()
-            .find(|(s, _)| s.version == candidate_version)
-            .ok_or_else(|| ServingError::UnknownModel(format!("{name} v{candidate_version}")))?;
-        let score_with = |spec: &ModelSpec, input: &ScoreInput<'_>| -> Result<f64, ServingError> {
-            match (&spec.model, input) {
-                (ExportedModel::LogReg(m), ScoreInput::Sparse(x)) => Ok(m.predict_proba(x)),
-                (ExportedModel::Mlp(m), ScoreInput::Dense(x)) => Ok(m.predict_proba(x)),
-                (ExportedModel::LogReg(_), _) => Err(ServingError::WrongInputKind {
-                    model: name.to_owned(),
-                    expected: "sparse",
-                }),
-                (ExportedModel::Mlp(_), _) => Err(ServingError::WrongInputKind {
-                    model: name.to_owned(),
-                    expected: "dense",
-                }),
-            }
-        };
-        Ok((
-            score_with(serving_spec, &input)?,
-            score_with(candidate_spec, &input)?,
-        ))
+            .find(|(s, _)| s.version == version)
+            .map(|(s, _)| Arc::clone(s))
+            .ok_or_else(|| ServingError::UnknownModel(format!("{name} v{version}")))
+    }
+
+    /// Resolve the serving version of `name` into a lock-free
+    /// [`ScoreHandle`] for per-request scoring.
+    pub fn score_handle(&self, name: &str) -> Result<ScoreHandle, ServingError> {
+        Ok(ScoreHandle {
+            spec: self.resolve_serving(name)?,
+            scratch: MlpScratch::default(),
+        })
     }
 
     /// Score one example with the serving version of `name`.
@@ -369,26 +434,9 @@ impl ServingRegistry {
     }
 
     fn score_inner(&self, name: &str, input: ScoreInput<'_>) -> Result<f64, ServingError> {
-        let models = self.models.lock();
-        let versions = models
-            .get(name)
-            .ok_or_else(|| ServingError::UnknownModel(name.to_owned()))?;
-        let (spec, _) = versions
-            .iter()
-            .find(|(_, st)| *st == Stage::Serving)
-            .ok_or_else(|| ServingError::UnknownModel(format!("{name} (no serving version)")))?;
-        match (&spec.model, input) {
-            (ExportedModel::LogReg(m), ScoreInput::Sparse(x)) => Ok(m.predict_proba(x)),
-            (ExportedModel::Mlp(m), ScoreInput::Dense(x)) => Ok(m.predict_proba(x)),
-            (ExportedModel::LogReg(_), _) => Err(ServingError::WrongInputKind {
-                model: name.to_owned(),
-                expected: "sparse",
-            }),
-            (ExportedModel::Mlp(_), _) => Err(ServingError::WrongInputKind {
-                model: name.to_owned(),
-                expected: "dense",
-            }),
-        }
+        let spec = self.resolve_serving(name)?;
+        let mut scratch = MlpScratch::default();
+        score_spec(&spec, &input, &mut scratch)
     }
 
     /// Export every registered model version to `dir` as JSON, plus a
@@ -400,8 +448,8 @@ impl ServingRegistry {
         for versions in models.values() {
             for (spec, stage) in versions {
                 let file = format!("{}-v{}.json", spec.name, spec.version);
-                let body =
-                    serde_json::to_string(spec).map_err(|e| ServingError::Io(e.to_string()))?;
+                let body = serde_json::to_string(spec.as_ref())
+                    .map_err(|e| ServingError::Io(e.to_string()))?;
                 std::fs::write(dir.join(&file), body)
                     .map_err(|e| ServingError::Io(e.to_string()))?;
                 manifest.push(ManifestEntry {
@@ -447,10 +495,67 @@ impl ServingRegistry {
                 models
                     .entry(spec.name.clone())
                     .or_default()
-                    .push((spec, entry.stage));
+                    .push((Arc::new(spec), entry.stage));
             }
         }
         Ok(registry)
+    }
+}
+
+/// Score one example against a resolved spec. This is the serving hot
+/// kernel: it runs outside any registry lock, reuses `scratch` across
+/// calls, and builds owned `String`s only on error paths (via `clone`,
+/// which the hot-path lint deliberately permits — error construction is
+/// off the success path).
+pub fn score_spec(
+    spec: &ModelSpec,
+    input: &ScoreInput<'_>,
+    scratch: &mut MlpScratch,
+) -> Result<f64, ServingError> {
+    match (&spec.model, input) {
+        (ExportedModel::LogReg(m), ScoreInput::Sparse(x)) => Ok(m.predict_proba(x)),
+        (ExportedModel::Mlp(m), ScoreInput::Dense(x)) => {
+            m.try_predict_proba(x, scratch)
+                .map_err(|e| ServingError::ScoreFailed {
+                    model: spec.name.clone(),
+                    source: e,
+                })
+        }
+        (ExportedModel::LogReg(_), _) => Err(ServingError::WrongInputKind {
+            model: spec.name.clone(),
+            expected: "sparse",
+        }),
+        (ExportedModel::Mlp(_), _) => Err(ServingError::WrongInputKind {
+            model: spec.name.clone(),
+            expected: "dense",
+        }),
+    }
+}
+
+/// A lock-free scoring handle: a snapshot of the serving version of one
+/// model plus a reusable scratch buffer, built once per worker via
+/// [`ServingRegistry::score_handle`] and then used per request.
+///
+/// `score` touches no lock and — on the success path — performs no heap
+/// allocation; the hot-path lint enforces both properties transitively.
+/// The handle pins the version it was resolved against: a promotion
+/// after `score_handle` is not observed until a new handle is taken
+/// (snapshot semantics, the same trade production model servers make).
+#[derive(Debug, Clone)]
+pub struct ScoreHandle {
+    spec: Arc<ModelSpec>,
+    scratch: MlpScratch,
+}
+
+impl ScoreHandle {
+    /// The pinned model spec.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Score one example against the pinned version.
+    pub fn score(&mut self, input: ScoreInput<'_>) -> Result<f64, ServingError> {
+        score_spec(&self.spec, &input, &mut self.scratch)
     }
 }
 
@@ -470,26 +575,31 @@ mod tests {
     use drybell_features::{FeatureHasher, FeatureSpace};
     use drybell_ml::{FtrlConfig, MlpConfig};
 
-    fn spaces() -> (
-        SpaceRegistry,
-        FeatureSpaceId,
-        FeatureSpaceId,
-        FeatureSpaceId,
-    ) {
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+    fn spaces() -> Result<
+        (
+            SpaceRegistry,
+            FeatureSpaceId,
+            FeatureSpaceId,
+            FeatureSpaceId,
+        ),
+        Box<dyn std::error::Error>,
+    > {
         let mut r = SpaceRegistry::new();
         let text = r
             .register(FeatureSpace::servable("hashed-unigrams", 40))
-            .unwrap();
+            .ok_or("space taken")?;
         let event = r
             .register(FeatureSpace::servable("event-signals", 10))
-            .unwrap();
+            .ok_or("space taken")?;
         let nlp = r
             .register(FeatureSpace::non_servable("nlp-model-server", 50_000))
-            .unwrap();
-        (r, text, event, nlp)
+            .ok_or("space taken")?;
+        Ok((r, text, event, nlp))
     }
 
-    fn trained_logreg() -> LogisticRegression {
+    fn trained_logreg() -> Result<LogisticRegression, Box<dyn std::error::Error>> {
         let h = FeatureHasher::new(1 << 10);
         let data = vec![
             (h.bag_of_words(&["yes"]), 1.0),
@@ -502,19 +612,19 @@ mod tests {
                 ..FtrlConfig::default()
             },
         );
-        m.fit(&data).unwrap();
-        m
+        m.fit(&data)?;
+        Ok(m)
     }
 
     #[test]
-    fn staging_rejects_non_servable_models() {
-        let (r, text, _, nlp) = spaces();
+    fn staging_rejects_non_servable_models() -> TestResult {
+        let (r, text, _, nlp) = spaces()?;
         let reg = ServingRegistry::new(r, 10_000);
         let bad = ModelSpec {
             name: "topic".into(),
             version: 1,
             feature_spaces: vec![text, nlp],
-            model: ExportedModel::LogReg(trained_logreg()),
+            model: ExportedModel::LogReg(trained_logreg()?),
         };
         match reg.stage(bad) {
             Err(ServingError::NotServable { blocking, .. }) => {
@@ -522,20 +632,21 @@ mod tests {
             }
             other => panic!("expected NotServable, got {other:?}"),
         }
+        Ok(())
     }
 
     #[test]
-    fn staging_enforces_latency_budget() {
-        let (mut r, text, _, _) = spaces();
+    fn staging_enforces_latency_budget() -> TestResult {
+        let (mut r, text, _, _) = spaces()?;
         let slow = r
             .register(FeatureSpace::servable("slow-but-servable", 9_999))
-            .unwrap();
+            .ok_or("space taken")?;
         let reg = ServingRegistry::new(r, 10_000);
         let spec = ModelSpec {
             name: "m".into(),
             version: 1,
             feature_spaces: vec![text, slow],
-            model: ExportedModel::LogReg(trained_logreg()),
+            model: ExportedModel::LogReg(trained_logreg()?),
         };
         assert!(matches!(
             reg.stage(spec),
@@ -544,49 +655,47 @@ mod tests {
                 ..
             })
         ));
+        Ok(())
     }
 
     #[test]
-    fn stage_promote_score_roundtrip() {
-        let (r, text, _, _) = spaces();
+    fn stage_promote_score_roundtrip() -> TestResult {
+        let (r, text, _, _) = spaces()?;
         let reg = ServingRegistry::new(r, 10_000);
-        let model = trained_logreg();
+        let model = trained_logreg()?;
         let h = FeatureHasher::new(1 << 10);
         reg.stage(ModelSpec {
             name: "topic".into(),
             version: 1,
             feature_spaces: vec![text],
             model: ExportedModel::LogReg(model),
-        })
-        .unwrap();
+        })?;
         // Not yet serving.
         assert_eq!(reg.serving_version("topic"), None);
         assert!(reg
             .score("topic", ScoreInput::Sparse(&h.bag_of_words(&["yes"])))
             .is_err());
-        reg.promote("topic", 1).unwrap();
+        reg.promote("topic", 1)?;
         assert_eq!(reg.serving_version("topic"), Some(1));
-        let p = reg
-            .score("topic", ScoreInput::Sparse(&h.bag_of_words(&["yes"])))
-            .unwrap();
+        let p = reg.score("topic", ScoreInput::Sparse(&h.bag_of_words(&["yes"])))?;
         assert!(p > 0.8);
+        Ok(())
     }
 
     #[test]
-    fn promotion_swaps_versions() {
-        let (r, text, _, _) = spaces();
+    fn promotion_swaps_versions() -> TestResult {
+        let (r, text, _, _) = spaces()?;
         let reg = ServingRegistry::new(r, 10_000);
         for v in [1, 2] {
             reg.stage(ModelSpec {
                 name: "m".into(),
                 version: v,
                 feature_spaces: vec![text],
-                model: ExportedModel::LogReg(trained_logreg()),
-            })
-            .unwrap();
+                model: ExportedModel::LogReg(trained_logreg()?),
+            })?;
         }
-        reg.promote("m", 1).unwrap();
-        reg.promote("m", 2).unwrap();
+        reg.promote("m", 1)?;
+        reg.promote("m", 2)?;
         assert_eq!(reg.serving_version("m"), Some(2));
         // Duplicate version rejected.
         assert!(matches!(
@@ -594,15 +703,16 @@ mod tests {
                 name: "m".into(),
                 version: 2,
                 feature_spaces: vec![text],
-                model: ExportedModel::LogReg(trained_logreg()),
+                model: ExportedModel::LogReg(trained_logreg()?),
             }),
             Err(ServingError::DuplicateVersion { version: 2, .. })
         ));
+        Ok(())
     }
 
     #[test]
-    fn input_kind_mismatch_is_rejected() {
-        let (r, _, event, _) = spaces();
+    fn input_kind_mismatch_is_rejected() -> TestResult {
+        let (r, _, event, _) = spaces()?;
         let reg = ServingRegistry::new(r, 10_000);
         let mlp = Mlp::new(
             3,
@@ -616,9 +726,8 @@ mod tests {
             version: 1,
             feature_spaces: vec![event],
             model: ExportedModel::Mlp(mlp),
-        })
-        .unwrap();
-        reg.promote("events", 1).unwrap();
+        })?;
+        reg.promote("events", 1)?;
         let h = FeatureHasher::new(8);
         assert!(matches!(
             reg.score("events", ScoreInput::Sparse(&h.bag_of_words(&["x"]))),
@@ -630,37 +739,111 @@ mod tests {
         assert!(reg
             .score("events", ScoreInput::Dense(&[0.0, 1.0, 0.5]))
             .is_ok());
+        Ok(())
     }
 
     #[test]
-    fn export_and_load_roundtrip() {
-        let (r, text, _, _) = spaces();
+    fn wrong_width_degrades_with_score_failed() -> TestResult {
+        let (r, _, event, _) = spaces()?;
+        let reg = ServingRegistry::new(r, 10_000);
+        reg.stage(ModelSpec {
+            name: "events".into(),
+            version: 1,
+            feature_spaces: vec![event],
+            model: ExportedModel::Mlp(Mlp::new(
+                3,
+                MlpConfig {
+                    iterations: 1,
+                    ..MlpConfig::default()
+                },
+            )),
+        })?;
+        reg.promote("events", 1)?;
+        // A dense input of the wrong width is a typed error, not a panic.
+        match reg.score("events", ScoreInput::Dense(&[1.0])) {
+            Err(ServingError::ScoreFailed { model, source }) => {
+                assert_eq!(model, "events");
+                assert_eq!(
+                    source,
+                    drybell_ml::MlError::DimensionMismatch {
+                        expected: 3,
+                        got: 1
+                    }
+                );
+            }
+            other => panic!("expected ScoreFailed, got {other:?}"),
+        }
+        // The error chain surfaces the model error as a source.
+        let err = reg
+            .score("events", ScoreInput::Dense(&[1.0]))
+            .expect_err("wrong width must fail");
+        assert!(std::error::Error::source(&err).is_some());
+        Ok(())
+    }
+
+    #[test]
+    fn score_handle_is_lock_free_and_pinned() -> TestResult {
+        let (r, text, _, _) = spaces()?;
+        let reg = ServingRegistry::new(r, 10_000);
+        let h = FeatureHasher::new(1 << 10);
+        for v in [1, 2] {
+            reg.stage(ModelSpec {
+                name: "topic".into(),
+                version: v,
+                feature_spaces: vec![text],
+                model: ExportedModel::LogReg(trained_logreg()?),
+            })?;
+        }
+        assert!(matches!(
+            reg.score_handle("topic"),
+            Err(ServingError::UnknownModel(_))
+        ));
+        reg.promote("topic", 1)?;
+        let mut handle = reg.score_handle("topic")?;
+        assert_eq!(handle.spec().version, 1);
+        let x = h.bag_of_words(&["yes"]);
+        let via_registry = reg.score("topic", ScoreInput::Sparse(&x))?;
+        let via_handle = handle.score(ScoreInput::Sparse(&x))?;
+        assert_eq!(via_handle, via_registry);
+        // Promotion after resolution is not observed: the handle pins v1.
+        reg.promote("topic", 2)?;
+        assert_eq!(handle.spec().version, 1);
+        let pinned = handle.score(ScoreInput::Sparse(&x))?;
+        assert_eq!(pinned, via_handle);
+        let fresh = reg.score_handle("topic")?;
+        assert_eq!(fresh.spec().version, 2);
+        Ok(())
+    }
+
+    #[test]
+    fn export_and_load_roundtrip() -> TestResult {
+        let (r, text, _, _) = spaces()?;
         let reg = ServingRegistry::new(r.clone(), 10_000);
         let h = FeatureHasher::new(1 << 10);
         reg.stage(ModelSpec {
             name: "topic".into(),
             version: 3,
             feature_spaces: vec![text],
-            model: ExportedModel::LogReg(trained_logreg()),
-        })
-        .unwrap();
-        reg.promote("topic", 3).unwrap();
-        let dir = tempfile::tempdir().unwrap();
-        reg.export_to_dir(dir.path()).unwrap();
+            model: ExportedModel::LogReg(trained_logreg()?),
+        })?;
+        reg.promote("topic", 3)?;
+        let dir = tempfile::tempdir()?;
+        reg.export_to_dir(dir.path())?;
         assert!(dir.path().join("manifest.json").exists());
         assert!(dir.path().join("topic-v3.json").exists());
 
-        let loaded = ServingRegistry::load_from_dir(r, 10_000, dir.path()).unwrap();
+        let loaded = ServingRegistry::load_from_dir(r, 10_000, dir.path())?;
         assert_eq!(loaded.serving_version("topic"), Some(3));
         let x = h.bag_of_words(&["yes"]);
-        let p0 = reg.score("topic", ScoreInput::Sparse(&x)).unwrap();
-        let p1 = loaded.score("topic", ScoreInput::Sparse(&x)).unwrap();
+        let p0 = reg.score("topic", ScoreInput::Sparse(&x))?;
+        let p1 = loaded.score("topic", ScoreInput::Sparse(&x))?;
         assert!((p0 - p1).abs() < 1e-12);
+        Ok(())
     }
 
     #[test]
-    fn telemetry_records_score_latency() {
-        let (r, text, _, _) = spaces();
+    fn telemetry_records_score_latency() -> TestResult {
+        let (r, text, _, _) = spaces()?;
         let telemetry = drybell_obs::Telemetry::new();
         let reg = ServingRegistry::new(r, 10_000).with_telemetry(&telemetry);
         let h = FeatureHasher::new(1 << 10);
@@ -669,54 +852,56 @@ mod tests {
                 name: "m".into(),
                 version: v,
                 feature_spaces: vec![text],
-                model: ExportedModel::LogReg(trained_logreg()),
-            })
-            .unwrap();
+                model: ExportedModel::LogReg(trained_logreg()?),
+            })?;
         }
-        reg.promote("m", 1).unwrap();
+        reg.promote("m", 1)?;
         let x = h.bag_of_words(&["yes"]);
         for _ in 0..5 {
-            reg.score("m", ScoreInput::Sparse(&x)).unwrap();
+            reg.score("m", ScoreInput::Sparse(&x))?;
         }
-        reg.score_both("m", 2, ScoreInput::Sparse(&x)).unwrap();
+        reg.score_both("m", 2, ScoreInput::Sparse(&x))?;
         let snap = telemetry.metrics().snapshot();
-        let score = snap.histogram("obs/serving/score_us").unwrap();
+        let score = snap
+            .histogram("obs/serving/score_us")
+            .ok_or("missing score_us histogram")?;
         assert_eq!(score.count(), 5);
         assert!(score.p99().is_some());
         assert_eq!(
             snap.histogram("obs/serving/shadow_score_us")
-                .unwrap()
+                .ok_or("missing shadow_score_us histogram")?
                 .count(),
             1
         );
+        Ok(())
     }
 
     #[test]
-    fn load_rejects_manifest_family_mismatch() {
-        let (r, text, _, _) = spaces();
+    fn load_rejects_manifest_family_mismatch() -> TestResult {
+        let (r, text, _, _) = spaces()?;
         let reg = ServingRegistry::new(r.clone(), 10_000);
         reg.stage(ModelSpec {
             name: "m".into(),
             version: 1,
             feature_spaces: vec![text],
-            model: ExportedModel::LogReg(trained_logreg()),
-        })
-        .unwrap();
-        let dir = tempfile::tempdir().unwrap();
-        reg.export_to_dir(dir.path()).unwrap();
+            model: ExportedModel::LogReg(trained_logreg()?),
+        })?;
+        let dir = tempfile::tempdir()?;
+        reg.export_to_dir(dir.path())?;
         // Corrupt the manifest's family field.
         let manifest_path = dir.path().join("manifest.json");
-        let body = std::fs::read_to_string(&manifest_path).unwrap();
-        std::fs::write(&manifest_path, body.replace("logistic-regression", "mlp")).unwrap();
+        let body = std::fs::read_to_string(&manifest_path)?;
+        std::fs::write(&manifest_path, body.replace("logistic-regression", "mlp"))?;
         assert!(matches!(
             ServingRegistry::load_from_dir(r, 10_000, dir.path()),
             Err(ServingError::ManifestMismatch { .. })
         ));
+        Ok(())
     }
 
     #[test]
-    fn unknown_model_errors() {
-        let (r, _, _, _) = spaces();
+    fn unknown_model_errors() -> TestResult {
+        let (r, _, _, _) = spaces()?;
         let reg = ServingRegistry::new(r, 10_000);
         assert!(matches!(
             reg.promote("ghost", 1),
@@ -727,5 +912,6 @@ mod tests {
             reg.score("ghost", ScoreInput::Sparse(&h.bag_of_words(&["x"]))),
             Err(ServingError::UnknownModel(_))
         ));
+        Ok(())
     }
 }

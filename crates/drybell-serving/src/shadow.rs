@@ -9,7 +9,9 @@
 //! improvement rather than a regression. This module implements that
 //! accounting on top of [`crate::ServingRegistry`].
 
-use crate::{ScoreInput, ServingError, ServingRegistry};
+use crate::{score_spec, ModelSpec, ScoreInput, ServingError, ServingRegistry};
+use drybell_ml::MlpScratch;
+use std::sync::Arc;
 
 /// Number of uniform buckets in a [`ScoreHistogram`].
 pub const SCORE_BUCKETS: usize = 10;
@@ -108,6 +110,27 @@ impl ShadowReport {
         self.examples >= min_examples && self.flip_rate() <= max_flip_rate
     }
 
+    /// Fold one (serving, candidate) score pair into the report. Plain
+    /// memory writes on owned buckets — safe inside the shadow hot loop.
+    pub fn record_pair(&mut self, serving: f64, candidate: f64) {
+        self.examples += 1;
+        self.serving_dist.record(serving);
+        self.candidate_dist.record(candidate);
+        let gap = (candidate - serving).abs();
+        self.sum_abs_gap += gap;
+        self.max_abs_gap = self.max_abs_gap.max(gap);
+        let s_pos = serving >= 0.5;
+        let c_pos = candidate >= 0.5;
+        if s_pos != c_pos {
+            self.decision_flips += 1;
+            if c_pos {
+                self.new_positives += 1;
+            } else {
+                self.new_negatives += 1;
+            }
+        }
+    }
+
     /// Render the report as a JSON object (the `--json` mode of the
     /// shadow tooling).
     pub fn to_json(&self) -> drybell_obs::Json {
@@ -144,43 +167,39 @@ impl ShadowReport {
 
 /// Runs a staged candidate in shadow against the serving version.
 ///
-/// Per-example latency samples buffer in a local histogram (plain
-/// memory writes, no shared atomics inside the shadow loop) and drain
-/// into the registry's `obs/serving/shadow_score_us` histogram when the
-/// evaluator drops.
-pub struct ShadowEval<'a> {
-    registry: &'a ServingRegistry,
-    model: String,
-    candidate_version: u32,
+/// Both specs are resolved into `Arc` snapshots at construction, so the
+/// shadow loop itself never touches the registry lock: a promotion or
+/// staging on the registry after `new` is not observed by this evaluator
+/// (take a fresh one to pick it up). Per-example latency samples buffer
+/// in a local histogram (plain memory writes, no shared atomics inside
+/// the shadow loop) and drain into the registry's
+/// `obs/serving/shadow_score_us` histogram when the evaluator drops.
+pub struct ShadowEval {
+    serving: Arc<ModelSpec>,
+    candidate: Arc<ModelSpec>,
+    scratch: MlpScratch,
     report: ShadowReport,
     latency: drybell_obs::LocalHistogram,
     latency_sink: Option<std::sync::Arc<drybell_obs::Histogram>>,
 }
 
-impl<'a> ShadowEval<'a> {
+impl ShadowEval {
     /// Start shadowing `candidate_version` of `model`. The model must
     /// have a serving version (the incumbent) and the candidate must be
     /// registered.
     pub fn new(
-        registry: &'a ServingRegistry,
+        registry: &ServingRegistry,
         model: &str,
         candidate_version: u32,
-    ) -> Result<ShadowEval<'a>, ServingError> {
-        if registry.serving_version(model).is_none() {
-            return Err(ServingError::UnknownModel(format!(
-                "{model} (no serving incumbent to shadow against)"
-            )));
-        }
-        // Probe the candidate exists by asking for its stage.
-        if !registry.has_version(model, candidate_version) {
-            return Err(ServingError::UnknownModel(format!(
-                "{model} v{candidate_version}"
-            )));
-        }
+    ) -> Result<ShadowEval, ServingError> {
+        let serving = registry.resolve_serving(model).map_err(|_| {
+            ServingError::UnknownModel(format!("{model} (no serving incumbent to shadow against)"))
+        })?;
+        let candidate = registry.resolve_version(model, candidate_version)?;
         Ok(ShadowEval {
-            registry,
-            model: model.to_owned(),
-            candidate_version,
+            serving,
+            candidate,
+            scratch: MlpScratch::default(),
             report: ShadowReport::default(),
             latency: drybell_obs::LocalHistogram::new(),
             latency_sink: registry.shadow_latency_sink(),
@@ -195,29 +214,12 @@ impl<'a> ShadowEval<'a> {
             .latency_sink
             .as_ref()
             .map(|_| std::time::Instant::now());
-        let (serving, candidate) =
-            self.registry
-                .score_both_inner(&self.model, self.candidate_version, input)?;
+        let serving = score_spec(&self.serving, &input, &mut self.scratch)?;
+        let candidate = score_spec(&self.candidate, &input, &mut self.scratch)?;
         if let Some(s) = started {
             self.latency.observe_duration(s.elapsed());
         }
-        let r = &mut self.report;
-        r.examples += 1;
-        r.serving_dist.record(serving);
-        r.candidate_dist.record(candidate);
-        let gap = (candidate - serving).abs();
-        r.sum_abs_gap += gap;
-        r.max_abs_gap = r.max_abs_gap.max(gap);
-        let s_pos = serving >= 0.5;
-        let c_pos = candidate >= 0.5;
-        if s_pos != c_pos {
-            r.decision_flips += 1;
-            if c_pos {
-                r.new_positives += 1;
-            } else {
-                r.new_negatives += 1;
-            }
-        }
+        self.report.record_pair(serving, candidate);
         Ok(serving)
     }
 
@@ -227,7 +229,7 @@ impl<'a> ShadowEval<'a> {
     }
 }
 
-impl Drop for ShadowEval<'_> {
+impl Drop for ShadowEval {
     fn drop(&mut self) {
         if let Some(sink) = &self.latency_sink {
             self.latency.drain_into(sink);
@@ -242,14 +244,17 @@ mod tests {
     use drybell_features::{FeatureHasher, FeatureSpace, SpaceRegistry};
     use drybell_ml::{FtrlConfig, LogisticRegression};
 
-    fn registry_with_two_versions() -> (ServingRegistry, FeatureHasher) {
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+    fn registry_with_two_versions(
+    ) -> Result<(ServingRegistry, FeatureHasher), Box<dyn std::error::Error>> {
         let mut spaces = SpaceRegistry::new();
         let hashed = spaces
             .register(FeatureSpace::servable("hashed", 10))
-            .unwrap();
+            .ok_or("space taken")?;
         let registry = ServingRegistry::new(spaces, 1_000);
         let h = FeatureHasher::new(1 << 10);
-        let train = |pos_token: &str| {
+        let train = |pos_token: &str| -> Result<LogisticRegression, drybell_ml::MlError> {
             // Two negatives to one positive: the learned bias is clearly
             // negative, so tokens a model never saw score below 0.5
             // regardless of the RNG-driven example order during training.
@@ -265,37 +270,35 @@ mod tests {
                     ..FtrlConfig::default()
                 },
             );
-            m.fit(&data).unwrap();
-            m
+            m.fit(&data)?;
+            Ok(m)
         };
         for (version, token) in [(1, "yes"), (2, "maybe")] {
-            registry
-                .stage(ModelSpec {
-                    name: "m".into(),
-                    version,
-                    feature_spaces: vec![hashed],
-                    model: ExportedModel::LogReg(train(token)),
-                })
-                .unwrap();
+            registry.stage(ModelSpec {
+                name: "m".into(),
+                version,
+                feature_spaces: vec![hashed],
+                model: ExportedModel::LogReg(train(token)?),
+            })?;
         }
-        registry.promote("m", 1).unwrap();
-        (registry, h)
+        registry.promote("m", 1)?;
+        Ok((registry, h))
     }
 
     #[test]
-    fn shadow_returns_serving_scores_and_counts_flips() {
-        let (registry, h) = registry_with_two_versions();
-        let mut shadow = ShadowEval::new(&registry, "m", 2).unwrap();
+    fn shadow_returns_serving_scores_and_counts_flips() -> TestResult {
+        let (registry, h) = registry_with_two_versions()?;
+        let mut shadow = ShadowEval::new(&registry, "m", 2)?;
         // "yes": v1 positive, v2 (trained on "maybe") negative → flip.
         let x = h.bag_of_words(&["yes"]);
-        let served = shadow.observe(ScoreInput::Sparse(&x)).unwrap();
+        let served = shadow.observe(ScoreInput::Sparse(&x))?;
         assert!(served > 0.8, "shadow must return the incumbent's score");
         // "maybe": v1 negative, v2 positive → flip the other way.
         let x = h.bag_of_words(&["maybe"]);
-        shadow.observe(ScoreInput::Sparse(&x)).unwrap();
+        shadow.observe(ScoreInput::Sparse(&x))?;
         // "nothing": both negative → no flip.
         let x = h.bag_of_words(&["nothing"]);
-        shadow.observe(ScoreInput::Sparse(&x)).unwrap();
+        shadow.observe(ScoreInput::Sparse(&x))?;
         let r = shadow.report();
         assert_eq!(r.examples, 3);
         assert_eq!(r.decision_flips, 2);
@@ -303,14 +306,29 @@ mod tests {
         assert_eq!(r.new_negatives, 1);
         assert!(r.mean_abs_gap() > 0.0);
         assert!(r.max_abs_gap <= 1.0);
+        Ok(())
     }
 
     #[test]
-    fn shadow_latency_batches_and_drains_on_drop() {
+    fn shadow_ignores_registry_changes_after_resolution() -> TestResult {
+        let (registry, h) = registry_with_two_versions()?;
+        let mut shadow = ShadowEval::new(&registry, "m", 2)?;
+        let x = h.bag_of_words(&["yes"]);
+        let before = shadow.observe(ScoreInput::Sparse(&x))?;
+        // Promote the candidate mid-shadow: the evaluator's snapshot
+        // still scores with the incumbent it resolved at construction.
+        registry.promote("m", 2)?;
+        let after = shadow.observe(ScoreInput::Sparse(&x))?;
+        assert_eq!(before, after);
+        Ok(())
+    }
+
+    #[test]
+    fn shadow_latency_batches_and_drains_on_drop() -> TestResult {
         let mut spaces = SpaceRegistry::new();
         let hashed = spaces
             .register(FeatureSpace::servable("hashed", 10))
-            .unwrap();
+            .ok_or("space taken")?;
         let telemetry = drybell_obs::Telemetry::new();
         let registry = ServingRegistry::new(spaces, 1_000).with_telemetry(&telemetry);
         let h = FeatureHasher::new(1 << 10);
@@ -319,29 +337,27 @@ mod tests {
             (h.bag_of_words(&["nothing"]), 0.0),
         ];
         let mut m = LogisticRegression::new(1 << 10, FtrlConfig::default());
-        m.fit(&data).unwrap();
+        m.fit(&data)?;
         for version in [1, 2] {
-            registry
-                .stage(ModelSpec {
-                    name: "m".into(),
-                    version,
-                    feature_spaces: vec![hashed],
-                    model: ExportedModel::LogReg(m.clone()),
-                })
-                .unwrap();
+            registry.stage(ModelSpec {
+                name: "m".into(),
+                version,
+                feature_spaces: vec![hashed],
+                model: ExportedModel::LogReg(m.clone()),
+            })?;
         }
-        registry.promote("m", 1).unwrap();
+        registry.promote("m", 1)?;
         {
-            let mut shadow = ShadowEval::new(&registry, "m", 2).unwrap();
+            let mut shadow = ShadowEval::new(&registry, "m", 2)?;
             for _ in 0..4 {
                 let x = h.bag_of_words(&["yes"]);
-                shadow.observe(ScoreInput::Sparse(&x)).unwrap();
+                shadow.observe(ScoreInput::Sparse(&x))?;
             }
             // Samples are buffered locally until the evaluator drops.
             let snap = telemetry.metrics().snapshot();
             assert_eq!(
                 snap.histogram("obs/serving/shadow_score_us")
-                    .unwrap()
+                    .ok_or("missing histogram")?
                     .count(),
                 0
             );
@@ -349,55 +365,59 @@ mod tests {
         let snap = telemetry.metrics().snapshot();
         assert_eq!(
             snap.histogram("obs/serving/shadow_score_us")
-                .unwrap()
+                .ok_or("missing histogram")?
                 .count(),
             4
         );
+        Ok(())
     }
 
     #[test]
-    fn promotion_gate() {
-        let (registry, h) = registry_with_two_versions();
-        let mut shadow = ShadowEval::new(&registry, "m", 2).unwrap();
+    fn promotion_gate() -> TestResult {
+        let (registry, h) = registry_with_two_versions()?;
+        let mut shadow = ShadowEval::new(&registry, "m", 2)?;
         for _ in 0..10 {
             let x = h.bag_of_words(&["nothing"]);
-            shadow.observe(ScoreInput::Sparse(&x)).unwrap();
+            shadow.observe(ScoreInput::Sparse(&x))?;
         }
         // No flips on this traffic → promotable once volume suffices.
         assert!(shadow.report().recommend_promotion(10, 0.05));
         assert!(!shadow.report().recommend_promotion(100, 0.05));
+        Ok(())
     }
 
     #[test]
-    fn report_renders_json_and_journal_event() {
-        let (registry, h) = registry_with_two_versions();
-        let mut shadow = ShadowEval::new(&registry, "m", 2).unwrap();
+    fn report_renders_json_and_journal_event() -> TestResult {
+        let (registry, h) = registry_with_two_versions()?;
+        let mut shadow = ShadowEval::new(&registry, "m", 2)?;
         for token in ["yes", "maybe", "nothing"] {
             let x = h.bag_of_words(&[token]);
-            shadow.observe(ScoreInput::Sparse(&x)).unwrap();
+            shadow.observe(ScoreInput::Sparse(&x))?;
         }
         let report = shadow.report();
         let json = report.to_json();
         assert_eq!(json.get("examples").and_then(|v| v.as_i64()), Some(3));
         assert_eq!(json.get("decision_flips").and_then(|v| v.as_i64()), Some(2));
-        let parsed = drybell_obs::parse_json(&json.to_line()).unwrap();
-        assert!(
-            (parsed.get("flip_rate").and_then(|v| v.as_f64()).unwrap() - report.flip_rate()).abs()
-                < 1e-12
-        );
+        let parsed = drybell_obs::parse_json(&json.to_line())?;
+        let flip_rate = parsed
+            .get("flip_rate")
+            .and_then(|v| v.as_f64())
+            .ok_or("missing flip_rate")?;
+        assert!((flip_rate - report.flip_rate()).abs() < 1e-12);
         let (journal, buffer) = drybell_obs::RunJournal::in_memory();
         report.emit_to(&journal);
-        let events = buffer.parsed_lines().unwrap();
+        let events = buffer.parsed_lines()?;
         assert_eq!(events.len(), 1);
         assert_eq!(
             events[0].get("kind").and_then(|k| k.as_str()),
             Some("shadow")
         );
         assert_eq!(events[0].get("examples").and_then(|v| v.as_i64()), Some(3));
+        Ok(())
     }
 
     #[test]
-    fn score_histogram_buckets_clamp_and_count() {
+    fn score_histogram_buckets_clamp_and_count() -> TestResult {
         let mut h = ScoreHistogram::default();
         h.record(0.0); // bucket 0
         h.record(0.05); // bucket 0
@@ -412,45 +432,49 @@ mod tests {
         assert_eq!(h.counts()[SCORE_BUCKETS - 1], 2);
         let json = h.to_json();
         assert_eq!(json.items().len(), SCORE_BUCKETS);
-        assert_eq!(json.at(0).unwrap().as_i64(), Some(4));
+        assert_eq!(json.at(0).ok_or("missing bucket 0")?.as_i64(), Some(4));
+        Ok(())
     }
 
     #[test]
-    fn shadow_records_both_score_distributions() {
-        let (registry, h) = registry_with_two_versions();
-        let mut shadow = ShadowEval::new(&registry, "m", 2).unwrap();
+    fn shadow_records_both_score_distributions() -> TestResult {
+        let (registry, h) = registry_with_two_versions()?;
+        let mut shadow = ShadowEval::new(&registry, "m", 2)?;
         // No "maybe" in the stream: the incumbent scores "yes" high while
         // the candidate (positive token "maybe") scores everything low, so
         // the two histograms must differ. (With both tokens present the
         // symmetric training would yield identical bucket multisets.)
         for token in ["yes", "nothing", "filler", "filler"] {
             let x = h.bag_of_words(&[token]);
-            shadow.observe(ScoreInput::Sparse(&x)).unwrap();
+            shadow.observe(ScoreInput::Sparse(&x))?;
         }
         let r = shadow.report();
         assert_eq!(r.serving_dist.total(), r.examples);
         assert_eq!(r.candidate_dist.total(), r.examples);
         assert_ne!(r.serving_dist, r.candidate_dist);
         let json = r.to_json();
-        let serving = json.get("score_dist/serving").unwrap();
+        let serving = json
+            .get("score_dist/serving")
+            .ok_or("missing serving dist")?;
         assert_eq!(serving.items().len(), SCORE_BUCKETS);
         let total: i64 = serving.items().iter().filter_map(|v| v.as_i64()).sum();
         assert_eq!(total, r.examples as i64);
         // The journal event carries the same arrays.
         let (journal, buffer) = drybell_obs::RunJournal::in_memory();
         r.emit_to(&journal);
-        let events = buffer.parsed_lines().unwrap();
+        let events = buffer.parsed_lines()?;
         assert_eq!(
             events[0]
                 .get("score_dist/candidate")
                 .map(|v| v.items().len()),
             Some(SCORE_BUCKETS)
         );
+        Ok(())
     }
 
     #[test]
-    fn shadow_requires_incumbent_and_candidate() {
-        let (registry, _) = registry_with_two_versions();
+    fn shadow_requires_incumbent_and_candidate() -> TestResult {
+        let (registry, _) = registry_with_two_versions()?;
         assert!(matches!(
             ShadowEval::new(&registry, "m", 9),
             Err(ServingError::UnknownModel(_))
@@ -459,5 +483,6 @@ mod tests {
             ShadowEval::new(&registry, "ghost", 1),
             Err(ServingError::UnknownModel(_))
         ));
+        Ok(())
     }
 }
