@@ -56,7 +56,13 @@ pub struct JobConfig {
     /// refund them.
     pub skip_bad_record_budget: u64,
     /// Base backoff between attempts of one task, in milliseconds; the
-    /// k-th retry sleeps `k * retry_backoff_ms` before requeueing.
+    /// k-th retry becomes eligible `k * retry_backoff_ms` after the
+    /// failure. The delay is carried on the requeued task as a
+    /// not-before timestamp — the failing worker never sleeps it off,
+    /// so a single flaky shard cannot serialize the rest of the queue
+    /// behind its backoff. A worker that pops a not-yet-due task
+    /// requeues it (counted by `dataflow/backoff_deferrals`) and naps
+    /// only a short slice before looking for ready work.
     pub retry_backoff_ms: u64,
     /// Deterministic fault-injection schedule (chaos tests). `None` in
     /// production.
@@ -336,6 +342,10 @@ impl JobState {
 struct Task {
     index: usize,
     attempt: u32,
+    /// Earliest instant this task may run again (retry backoff). The
+    /// timestamp rides the queue instead of the failing worker sleeping
+    /// it off, which would stall every task queued behind it.
+    not_before: Option<Instant>,
 }
 
 /// A work queue that supports requeueing failed tasks.
@@ -354,8 +364,12 @@ impl TaskQueue {
     fn new(num_tasks: usize) -> Result<TaskQueue, DataflowError> {
         let (tx, rx) = crossbeam::channel::unbounded::<Task>();
         for index in 0..num_tasks {
-            tx.send(Task { index, attempt: 0 })
-                .map_err(|_| DataflowError::internal("work queue closed before fill"))?;
+            tx.send(Task {
+                index,
+                attempt: 0,
+                not_before: None,
+            })
+            .map_err(|_| DataflowError::internal("work queue closed before fill"))?;
         }
         let queue = TaskQueue {
             tx: Mutex::new(Some(tx)),
@@ -421,9 +435,10 @@ fn record_attempt(
 /// Each of `workers` threads builds per-worker state via `init`, then
 /// drains tasks. A failed or panicked attempt (including injected
 /// faults from [`JobConfig::fault_plan`]) is requeued for another
-/// worker while attempts remain, with linear backoff; exhausted retries
-/// fail the job via `state` and close the queue so every worker winds
-/// down promptly.
+/// worker while attempts remain, with linear backoff carried as a
+/// not-before timestamp on the requeued task (the failing worker never
+/// sleeps, so other tasks keep flowing); exhausted retries fail the job
+/// via `state` and close the queue so every worker winds down promptly.
 #[allow(clippy::too_many_arguments)]
 fn run_phase<W, InitF, RunF>(
     site: FaultSite,
@@ -529,6 +544,21 @@ fn phase_worker<W, InitF, RunF>(
         if state.failed.load(Ordering::SeqCst) {
             return;
         }
+        // A retried task carries its backoff as a not-before stamp. If
+        // it is not due yet, put it back and nap only a short slice —
+        // this worker stays available for ready tasks instead of
+        // serializing the queue behind one flaky shard's backoff.
+        if let Some(due) = task.not_before {
+            let now = Instant::now();
+            if now < due {
+                handle.inc("dataflow/backoff_deferrals");
+                if !queue.requeue(task) {
+                    return;
+                }
+                std::thread::sleep((due - now).min(Duration::from_millis(1)));
+                continue;
+            }
+        }
         let injected = cfg
             .fault_plan
             .as_ref()
@@ -593,14 +623,19 @@ fn phase_worker<W, InitF, RunF>(
                 if next < cfg.max_attempts {
                     handle.inc("dataflow/retries");
                     record_attempt(cfg, site, task, started, "retry", Some(&e));
-                    if cfg.retry_backoff_ms > 0 {
-                        std::thread::sleep(Duration::from_millis(
-                            cfg.retry_backoff_ms.saturating_mul(u64::from(next)),
-                        ));
-                    }
+                    // Requeue immediately with a not-before stamp; the
+                    // deferral check at the top of the loop enforces
+                    // the linear backoff without this worker sleeping.
+                    let not_before = (cfg.retry_backoff_ms > 0).then(|| {
+                        Instant::now()
+                            + Duration::from_millis(
+                                cfg.retry_backoff_ms.saturating_mul(u64::from(next)),
+                            )
+                    });
                     if !queue.requeue(Task {
                         index: task.index,
                         attempt: next,
+                        not_before,
                     }) {
                         return;
                     }

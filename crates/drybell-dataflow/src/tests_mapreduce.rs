@@ -575,6 +575,45 @@ fn retry_recovers_from_transient_shard_fault() {
 }
 
 #[test]
+fn retry_backoff_defers_on_the_queue_instead_of_sleeping_the_worker() {
+    // One worker, a flaky shard with a visible backoff: the retried
+    // task must come back as a not-before deferral (counted) rather
+    // than the worker sleeping through the backoff, and the job must
+    // still complete with every record intact.
+    let dir = tempfile::tempdir().unwrap();
+    let records: Vec<WordRec> = (0..80).map(|i| (i, format!("doc {i}"))).collect();
+    let input = write_input(dir.path(), 4, &records);
+    let output = input.derive("out");
+    let cfg = JobConfig::new("deferred")
+        .with_workers(1)
+        .with_max_attempts(2)
+        .with_retry_backoff_ms(20)
+        .with_fault_plan(FaultPlan::seeded(7).fail_task(FaultSite::Map, 0, 0));
+    let stats = par_map_shards(
+        &input,
+        &output,
+        &cfg,
+        |_ctx| Ok(()),
+        |_s: &mut (), rec: WordRec, emit, _c: &mut CounterHandle| emit.emit(&rec),
+    )
+    .unwrap();
+    assert_eq!(stats.records_in, 80);
+    assert_eq!(stats.records_out, 80);
+    assert_eq!(stats.counters.get("dataflow/retries"), 1);
+    // Shard 0 fails first; its retry is stamped 20ms out while shards
+    // 1-3 are still queued, so the single worker must hit the deferral
+    // path at least once before the retry becomes due.
+    assert!(
+        stats.counters.get("dataflow/backoff_deferrals") > 0,
+        "expected the not-yet-due retry to be requeued, got {:?}",
+        stats.counters.get("dataflow/backoff_deferrals")
+    );
+    let mut back: Vec<WordRec> = read_all(&output).unwrap();
+    back.sort();
+    assert_eq!(back, records);
+}
+
+#[test]
 fn exhausted_retries_fail_the_job() {
     let dir = tempfile::tempdir().unwrap();
     let records: Vec<WordRec> = (0..40).map(|i| (i, String::new())).collect();

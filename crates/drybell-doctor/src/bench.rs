@@ -16,16 +16,46 @@ use crate::drift::Status;
 use crate::{DoctorConfig, DoctorError};
 use drybell_obs::Json;
 
+/// Whether a gated value must stay under its budget or above it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `value ≤ budget` passes (overheads, latencies).
+    Ceiling,
+    /// `value ≥ budget` passes (speedups, throughputs).
+    Floor,
+}
+
+impl Direction {
+    fn as_str(self) -> &'static str {
+        match self {
+            Direction::Ceiling => "ceiling",
+            Direction::Floor => "floor",
+        }
+    }
+}
+
 /// Which fields gate, per bench document: `(bench tag, JSON field,
-/// budget key)`. Values are judged `value ≤ budget` — these are
-/// ceilings, not deltas.
-const GATED_FIELDS: &[(&str, &str, &str)] = &[
+/// budget key, direction)`. These are absolute bounds, not deltas.
+const GATED_FIELDS: &[(&str, &str, &str, Direction)] = &[
     (
         "obs_overhead",
         "train_overhead_pct",
         "obs.train_overhead_pct",
+        Direction::Ceiling,
     ),
-    ("obs_overhead", "lf_overhead_pct", "obs.lf_overhead_pct"),
+    (
+        "obs_overhead",
+        "lf_overhead_pct",
+        "obs.lf_overhead_pct",
+        Direction::Ceiling,
+    ),
+    ("serving", "p99_us", "serving.p99_us", Direction::Ceiling),
+    (
+        "serving",
+        "batched_speedup",
+        "serving.batched_speedup",
+        Direction::Floor,
+    ),
 ];
 
 /// One gated (or informational) value from a bench document.
@@ -37,10 +67,12 @@ pub struct BenchVerdict {
     pub value: f64,
     /// The ceiling judged against, if one is configured.
     pub budget: Option<f64>,
-    /// `Ok`, `Drift` (over budget), or `Info` (no budget).
+    /// `Ok`, `Drift` (out of budget), or `Info` (no budget).
     pub status: Status,
     /// The `doctor.toml` key the budget comes from.
     pub budget_key: String,
+    /// Whether the budget is a ceiling or a floor.
+    pub direction: Direction,
 }
 
 /// The outcome of gating one bench document.
@@ -66,7 +98,7 @@ impl BenchReport {
             .to_string();
         let gates: Vec<_> = GATED_FIELDS
             .iter()
-            .filter(|(tag, _, _)| *tag == bench)
+            .filter(|(tag, _, _, _)| *tag == bench)
             .collect();
         if gates.is_empty() {
             return Err(DoctorError::BadSummary(format!(
@@ -74,14 +106,23 @@ impl BenchReport {
             )));
         }
         let mut verdicts = Vec::with_capacity(gates.len());
-        for &&(_, field, key) in &gates {
+        for &&(_, field, key, direction) in &gates {
             let value = doc.get(field).and_then(Json::as_f64).ok_or_else(|| {
                 DoctorError::BadSummary(format!("bench {bench:?} is missing field {field:?}"))
             })?;
             let budget = cfg.budget(key);
             let status = match budget {
-                Some(b) if value <= b => Status::Ok,
-                Some(_) => Status::Drift,
+                Some(b) => {
+                    let within = match direction {
+                        Direction::Ceiling => value <= b,
+                        Direction::Floor => value >= b,
+                    };
+                    if within {
+                        Status::Ok
+                    } else {
+                        Status::Drift
+                    }
+                }
                 None => Status::Info,
             };
             verdicts.push(BenchVerdict {
@@ -90,6 +131,7 @@ impl BenchReport {
                 budget,
                 status,
                 budget_key: key.to_string(),
+                direction,
             });
         }
         Ok(BenchReport { bench, verdicts })
@@ -108,8 +150,12 @@ impl BenchReport {
             "field", "value", "budget", "status"
         ));
         for v in &self.verdicts {
+            let bound = match v.direction {
+                Direction::Ceiling => "<=",
+                Direction::Floor => ">=",
+            };
             let budget = match v.budget {
-                Some(b) => format!("{b:.2}"),
+                Some(b) => format!("{bound} {b:.2}"),
                 None => "-".to_string(),
             };
             out.push_str(&format!(
@@ -119,7 +165,7 @@ impl BenchReport {
                 budget,
                 match v.status {
                     Status::Ok => "ok",
-                    Status::Drift => "OVER BUDGET",
+                    Status::Drift => "OUT OF BUDGET",
                     _ => "info",
                 }
             ));
@@ -143,6 +189,7 @@ impl BenchReport {
                                 ("value", Json::from(v.value)),
                                 ("budget", v.budget.map(Json::from).unwrap_or(Json::Null)),
                                 ("budget_key", Json::from(v.budget_key.clone())),
+                                ("direction", Json::from(v.direction.as_str())),
                                 (
                                     "status",
                                     Json::from(match v.status {
@@ -191,7 +238,7 @@ mod tests {
         assert_eq!(train.field, "train_overhead_pct");
         assert_eq!(train.status, Status::Drift);
         assert_eq!(train.budget, Some(10.0));
-        assert!(report.to_table().contains("OVER BUDGET"));
+        assert!(report.to_table().contains("OUT OF BUDGET"));
         assert_eq!(
             report.to_json().get("violation").unwrap().as_bool(),
             Some(true)
@@ -208,6 +255,47 @@ mod tests {
         let report = BenchReport::gate(&overhead_doc(66.7, 1.1), &off).unwrap();
         assert!(!report.has_violation(), "negative budget disables");
         assert_eq!(report.verdicts[0].status, Status::Info);
+    }
+
+    fn serving_doc(p99_us: f64, speedup: f64) -> Json {
+        Json::obj(vec![
+            ("bench", Json::from("serving")),
+            ("p99_us", Json::from(p99_us)),
+            ("batched_speedup", Json::from(speedup)),
+        ])
+    }
+
+    #[test]
+    fn serving_gates_p99_ceiling_and_speedup_floor() {
+        let cfg = DoctorConfig::default();
+        let clean = BenchReport::gate(&serving_doc(900.0, 2.5), &cfg).unwrap();
+        assert!(!clean.has_violation(), "{}", clean.to_table());
+        // p99 over its ceiling gates.
+        let slow = BenchReport::gate(&serving_doc(80_000.0, 2.5), &cfg).unwrap();
+        assert!(slow.has_violation());
+        assert_eq!(slow.verdicts[0].field, "p99_us");
+        assert_eq!(slow.verdicts[0].status, Status::Drift);
+        // A speedup *below* its floor gates — the batched path
+        // regressing to slower-than-one-at-a-time must fail CI even
+        // though the value is small, not large.
+        let regressed = BenchReport::gate(&serving_doc(900.0, 0.8), &cfg).unwrap();
+        assert!(regressed.has_violation());
+        let v = &regressed.verdicts[1];
+        assert_eq!(v.field, "batched_speedup");
+        assert_eq!(v.direction, Direction::Floor);
+        assert_eq!(v.status, Status::Drift);
+        assert!(regressed.to_table().contains(">= 1.00"));
+        assert_eq!(
+            regressed
+                .to_json()
+                .get("verdicts")
+                .unwrap()
+                .at(1)
+                .unwrap()
+                .get("direction")
+                .and_then(Json::as_str),
+            Some("floor")
+        );
     }
 
     #[test]

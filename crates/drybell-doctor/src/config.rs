@@ -47,6 +47,12 @@ const DEFAULT_BUDGETS: &[(&str, f64)] = &[
     // BENCH_obs_overhead.json): absolute percentages, not deltas.
     ("obs.train_overhead_pct", 10.0),
     ("obs.lf_overhead_pct", 5.0),
+    // Serving front-end. Any NaN score out of a shadowed model is
+    // drift by definition; the p99 ceiling and batched-speedup floor
+    // gate `doctor bench` over BENCH_serving.json.
+    ("serving.invalid_scores_abs", 0.0),
+    ("serving.p99_us", 20_000.0),
+    ("serving.batched_speedup", 1.0),
 ];
 
 impl Default for DoctorConfig {

@@ -368,27 +368,59 @@ impl DriftReport {
             ));
         }
 
-        // -- Serving score distributions.
+        // -- Serving score distributions. Presence means *non-empty*: a
+        // run that scored zero requests journals an all-zero histogram,
+        // and comparing it would either divide by zero inside PSI or —
+        // when both sides are empty — read as a spurious 0-PSI "ok".
+        // An empty current distribution against a populated baseline is
+        // a MISSING monitored signal, not a stable one.
+        let dist_present = |d: &Option<Vec<u64>>| {
+            d.as_ref()
+                .is_some_and(|d| d.iter().copied().sum::<u64>() > 0)
+        };
+        let dist_psi = |b: &Option<Vec<u64>>, c: &Option<Vec<u64>>| {
+            (dist_present(b) && dist_present(c))
+                .then(|| psi(b.as_deref().unwrap_or(&[]), c.as_deref().unwrap_or(&[])))
+        };
         push(psi_verdict(
             "serving/score_dist",
             "psi.score_dist",
-            match (&base.score_dist_serving, &cur.score_dist_serving) {
-                (Some(b), Some(c)) => Some(psi(b, c)),
-                _ => None,
-            },
-            base.score_dist_serving.is_some(),
-            cur.score_dist_serving.is_some(),
+            dist_psi(&base.score_dist_serving, &cur.score_dist_serving),
+            dist_present(&base.score_dist_serving),
+            dist_present(&cur.score_dist_serving),
             cfg,
         ));
         push(psi_verdict(
             "serving/score_dist_candidate",
             "psi.score_dist",
-            match (&base.score_dist_candidate, &cur.score_dist_candidate) {
-                (Some(b), Some(c)) => Some(psi(b, c)),
-                _ => None,
-            },
-            base.score_dist_candidate.is_some(),
-            cur.score_dist_candidate.is_some(),
+            dist_psi(&base.score_dist_candidate, &cur.score_dist_candidate),
+            dist_present(&base.score_dist_candidate),
+            dist_present(&cur.score_dist_candidate),
+            cfg,
+        ));
+
+        // -- Invalid (NaN) scores seen during shadowing. These used to
+        // be silently absorbed into bucket 0 of the distributions; now
+        // they are counted apart and gated absolutely (default budget
+        // 0: any NaN-emitting model drifts). Only judged when the run
+        // actually shadowed (a distribution or a nonzero count exists),
+        // so non-shadow runs do not report a phantom signal.
+        let invalid_of =
+            |dist: &Option<Vec<u64>>, n: u64| (dist.is_some() || n > 0).then_some(n as f64);
+        push(scalar_verdict(
+            "serving/score_invalid",
+            "serving.invalid_scores_abs",
+            BudgetKind::Abs,
+            invalid_of(&base.score_dist_serving, base.score_invalid_serving),
+            invalid_of(&cur.score_dist_serving, cur.score_invalid_serving),
+            cfg,
+        ));
+        push(scalar_verdict(
+            "serving/score_invalid_candidate",
+            "serving.invalid_scores_abs",
+            BudgetKind::Abs,
+            invalid_of(&base.score_dist_candidate, base.score_invalid_candidate),
+            invalid_of(&cur.score_dist_candidate, cur.score_invalid_candidate),
             cfg,
         ));
 
@@ -396,6 +428,11 @@ impl DriftReport {
         let mut hist_names: Vec<&String> = base.latency.keys().chain(cur.latency.keys()).collect();
         hist_names.sort();
         hist_names.dedup();
+        // Same empty-distribution rule as the score dists above: a
+        // histogram with zero total count is absent, not stable.
+        let sparse_present = |s: Option<&Vec<(usize, u64)>>| {
+            s.is_some_and(|s| s.iter().map(|&(_, n)| n).sum::<u64>() > 0)
+        };
         for name in hist_names {
             let b = base.latency.get(name);
             let c = cur.latency.get(name);
@@ -403,11 +440,13 @@ impl DriftReport {
                 &format!("latency/{name}"),
                 "psi.latency",
                 match (b, c) {
-                    (Some(b), Some(c)) => Some(psi_sparse(b, c)),
+                    (Some(b), Some(c)) if sparse_present(Some(b)) && sparse_present(Some(c)) => {
+                        Some(psi_sparse(b, c))
+                    }
                     _ => None,
                 },
-                b.is_some(),
-                c.is_some(),
+                sparse_present(b),
+                sparse_present(c),
                 cfg,
             ));
         }
@@ -665,6 +704,96 @@ mod tests {
         assert_eq!(json.get("has_drift"), Some(&Json::Bool(true)));
         let verdicts = json.get("verdicts").unwrap().items();
         assert_eq!(verdicts.len(), report.verdicts.len());
+    }
+
+    #[test]
+    fn nan_emitting_model_is_flagged_not_absorbed() {
+        let base = baseline(); // shadowed, zero invalid scores
+        let mut cur = base.clone();
+        cur.score_invalid_serving = 7;
+        let report = DriftReport::diff(&base, &cur, &DoctorConfig::default());
+        let v = report
+            .verdicts
+            .iter()
+            .find(|v| v.signal == "serving/score_invalid")
+            .unwrap();
+        assert_eq!(v.status, Status::Drift, "NaN scores must gate by default");
+        assert_eq!(v.delta, Some(7.0));
+        assert!(report.has_drift());
+        // The distribution itself stayed identical — the NaNs were NOT
+        // binned into it, so only the invalid counter reports drift.
+        let dist = report
+            .verdicts
+            .iter()
+            .find(|v| v.signal == "serving/score_dist")
+            .unwrap();
+        assert_eq!(dist.status, Status::Ok);
+    }
+
+    #[test]
+    fn invalid_score_signal_absent_without_shadow_data() {
+        let mut base = baseline();
+        base.score_dist_serving = None;
+        let report = DriftReport::diff(&base, &base.clone(), &DoctorConfig::default());
+        assert!(
+            !report
+                .verdicts
+                .iter()
+                .any(|v| v.signal.starts_with("serving/score_invalid")),
+            "runs that never shadowed must not report a phantom invalid-score signal"
+        );
+    }
+
+    #[test]
+    fn empty_current_distribution_reads_missing_not_zero_psi() {
+        let base = baseline();
+        // Zero scored requests: the journal still carries an all-zero
+        // histogram. PSI against a populated baseline would divide by
+        // zero (one-sided mass → inf); treating it as "present" with
+        // PSI 0 would read as a spurious ok. It must gate as MISSING.
+        let mut cur = base.clone();
+        cur.score_dist_serving = Some(vec![0; 10]);
+        let report = DriftReport::diff(&base, &cur, &DoctorConfig::default());
+        let v = report
+            .verdicts
+            .iter()
+            .find(|v| v.signal == "serving/score_dist")
+            .unwrap();
+        assert_eq!(v.status, Status::Missing);
+        assert!(v.gates());
+        assert_eq!(v.delta, None, "no PSI may be computed against emptiness");
+    }
+
+    #[test]
+    fn both_empty_distributions_produce_no_verdict() {
+        let mut base = baseline();
+        base.score_dist_serving = Some(vec![0; 10]);
+        let cur = base.clone();
+        let report = DriftReport::diff(&base, &cur, &DoctorConfig::default());
+        assert!(
+            !report
+                .verdicts
+                .iter()
+                .any(|v| v.signal == "serving/score_dist"),
+            "two empty distributions must not manufacture a 0-PSI ok"
+        );
+        assert!(!report.has_drift());
+    }
+
+    #[test]
+    fn empty_baseline_distribution_reads_new() {
+        let mut base = baseline();
+        base.score_dist_serving = Some(vec![0; 10]);
+        let mut cur = base.clone();
+        cur.score_dist_serving = Some(vec![10; 10]);
+        let report = DriftReport::diff(&base, &cur, &DoctorConfig::default());
+        let v = report
+            .verdicts
+            .iter()
+            .find(|v| v.signal == "serving/score_dist")
+            .unwrap();
+        assert_eq!(v.status, Status::New);
+        assert!(!v.gates());
     }
 
     #[test]

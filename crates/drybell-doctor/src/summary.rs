@@ -104,6 +104,10 @@ pub struct RunSummary {
     pub score_dist_serving: Option<Vec<u64>>,
     /// Candidate-model score distribution from the shadow path.
     pub score_dist_candidate: Option<Vec<u64>>,
+    /// NaN scores the serving model emitted during shadowing.
+    pub score_invalid_serving: u64,
+    /// NaN scores the candidate model emitted during shadowing.
+    pub score_invalid_candidate: u64,
     /// End-model F1 from the `content_report` event.
     pub drybell_f1: Option<f64>,
     /// Latency histograms as sparse `(log bucket, count)` pairs, keyed
@@ -282,6 +286,8 @@ impl RunSummary {
                 if let Some(d) = dist("score_dist/candidate") {
                     self.score_dist_candidate = Some(d);
                 }
+                self.score_invalid_serving += u64_of("invalid/serving").unwrap_or(0);
+                self.score_invalid_candidate += u64_of("invalid/candidate").unwrap_or(0);
             }
             "content_report" => {
                 if let Some(f1) = f64_of("drybell_f1") {
@@ -496,6 +502,14 @@ impl RunSummary {
             ("train", train),
             ("score_dist_serving", opt_dist(&self.score_dist_serving)),
             ("score_dist_candidate", opt_dist(&self.score_dist_candidate)),
+            (
+                "score_invalid_serving",
+                Json::from(self.score_invalid_serving),
+            ),
+            (
+                "score_invalid_candidate",
+                Json::from(self.score_invalid_candidate),
+            ),
             ("drybell_f1", opt_f64(self.drybell_f1)),
             ("latency", latency),
         ])
@@ -558,6 +572,8 @@ impl RunSummary {
             examples: u64_of("examples"),
             score_dist_serving: dist_of("score_dist_serving"),
             score_dist_candidate: dist_of("score_dist_candidate"),
+            score_invalid_serving: u64_of("score_invalid_serving"),
+            score_invalid_candidate: u64_of("score_invalid_candidate"),
             drybell_f1: opt_f64("drybell_f1"),
             ..RunSummary::default()
         };
@@ -719,6 +735,12 @@ impl RunSummary {
         if let Some(d) = &self.score_dist_serving {
             out.push_str(&format!("score dist (serving): {d:?}\n"));
         }
+        if self.score_invalid_serving + self.score_invalid_candidate > 0 {
+            out.push_str(&format!(
+                "INVALID (NaN) scores: serving {}, candidate {}\n",
+                self.score_invalid_serving, self.score_invalid_candidate
+            ));
+        }
         out
     }
 }
@@ -736,7 +758,7 @@ mod tests {
             r#"{"seq":4,"t":0.7,"kind":"train_epoch","epoch":1,"steps":100,"nll":0.51,"seconds":0.05}"#,
             r#"{"seq":5,"t":0.8,"kind":"train","steps":200,"epochs":2,"final_nll":0.43,"seconds":0.1,"steps_per_sec":2000.0,"rows":1600,"rows_per_sec":16000.0}"#,
             r#"{"seq":6,"t":0.9,"kind":"lf_report","label_density":0.8,"lfs":[{"index":0,"name":"kw","coverage":0.29,"overlap":0.2,"conflict":0.05,"learned_accuracy":0.9,"learned_propensity":0.3,"empirical_accuracy":null},{"index":1,"name":"nlp_person","coverage":0.65,"overlap":0.2,"conflict":0.04,"learned_accuracy":0.88,"learned_propensity":0.6,"empirical_accuracy":null}]}"#,
-            r#"{"seq":7,"t":1.0,"kind":"shadow","examples":400,"decision_flips":4,"flip_rate":0.01,"new_positives":2,"new_negatives":2,"mean_abs_gap":0.02,"max_abs_gap":0.4,"score_dist/serving":[40,60,80,60,40,30,30,25,20,15],"score_dist/candidate":[42,58,80,61,39,30,30,25,20,15]}"#,
+            r#"{"seq":7,"t":1.0,"kind":"shadow","examples":400,"decision_flips":4,"flip_rate":0.01,"new_positives":2,"new_negatives":2,"mean_abs_gap":0.02,"max_abs_gap":0.4,"score_dist/serving":[40,60,80,60,40,30,30,25,20,15],"score_dist/candidate":[42,58,80,61,39,30,30,25,20,15],"invalid/serving":0,"invalid/candidate":2}"#,
             r#"{"seq":8,"t":1.1,"kind":"content_report","task":"Topic","examples":800,"baseline_f1":0.5,"generative_f1":0.6,"drybell_f1":0.7,"drybell_precision":0.8,"drybell_recall":0.62,"lf_seconds":0.5}"#,
         ]
         .join("\n")
@@ -769,6 +791,8 @@ mod tests {
         assert_eq!(t.loss_curve, vec![0.693, 0.51]);
         assert!((t.final_nll - 0.43).abs() < 1e-12);
         assert_eq!(s.score_dist_serving.as_ref().unwrap().len(), 10);
+        assert_eq!(s.score_invalid_serving, 0);
+        assert_eq!(s.score_invalid_candidate, 2);
         assert_eq!(s.drybell_f1, Some(0.7));
         // wall = job + train seconds.
         assert!((s.wall_seconds - 0.6).abs() < 1e-12);

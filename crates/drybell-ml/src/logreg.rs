@@ -216,6 +216,26 @@ impl LogisticRegression {
         Ok(())
     }
 
+    /// Start scoring a batch of examples against this model, memoizing
+    /// materialized weights in `cache`.
+    ///
+    /// FTRL materializes `w_i` from `(z_i, n_i)` on every access — a
+    /// `signum`/`sqrt`/divide per touched coordinate per example. A
+    /// batch touches the same hot coordinates repeatedly (hashed text
+    /// features collide onto a small working set), so the returned
+    /// [`BatchScorer`] computes each coordinate's weight at most once
+    /// per batch and reuses it. Scores are **bit-identical** to
+    /// [`LogisticRegression::score`]: `weight_at` is a pure function of
+    /// `(z, n)` and the per-example accumulation order is unchanged.
+    pub fn batch_scorer<'a>(&'a self, cache: &'a mut WeightCache) -> BatchScorer<'a> {
+        cache.begin(self.dims);
+        BatchScorer {
+            bias: self.bias(),
+            model: self,
+            cache,
+        }
+    }
+
     /// Mean noise-aware logistic loss over a dataset.
     pub fn mean_loss(&self, examples: &[(SparseVector, f64)]) -> f64 {
         if examples.is_empty() {
@@ -226,6 +246,88 @@ impl LogisticRegression {
             .map(|(x, p)| crate::loss::noise_aware_logistic_loss(self.score(x), *p))
             .sum();
         total / examples.len() as f64
+    }
+}
+
+/// Reusable weight-memoization scratch for [`LogisticRegression::batch_scorer`].
+///
+/// Holds one materialized-weight slot and one generation stamp per
+/// coordinate; `begin` bumps the generation instead of clearing, so
+/// starting a new batch is O(1) once the buffers are sized. Allocate
+/// once per worker and reuse across batches — `begin` only reallocates
+/// when the model dimensionality changes.
+#[derive(Debug, Default, Clone)]
+pub struct WeightCache {
+    w: Vec<f64>,
+    stamp: Vec<u64>,
+    gen: u64,
+}
+
+impl WeightCache {
+    /// Size the buffers for a `dims`-coordinate model and invalidate
+    /// every memoized weight by bumping the generation stamp.
+    fn begin(&mut self, dims: usize) {
+        if self.w.len() != dims {
+            self.w.clear();
+            self.stamp.clear();
+            self.w.resize(dims, 0.0);
+            self.stamp.resize(dims, 0);
+            self.gen = 0;
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Generation wrap (2^64 batches): stale stamps could alias
+            // the restarted counter, so clear them once.
+            for s in &mut self.stamp {
+                *s = 0;
+            }
+            self.gen = 1;
+        }
+    }
+}
+
+/// Scores one batch of examples with per-batch weight memoization.
+///
+/// Created by [`LogisticRegression::batch_scorer`]; the borrow of the
+/// model guarantees weights cannot change mid-batch, so memoized values
+/// never go stale.
+#[derive(Debug)]
+pub struct BatchScorer<'a> {
+    model: &'a LogisticRegression,
+    bias: f64,
+    cache: &'a mut WeightCache,
+}
+
+impl BatchScorer<'_> {
+    /// Materialized weight of coordinate `i`, computed at most once per
+    /// batch (0 for out-of-range indices, matching
+    /// [`LogisticRegression::weight`]).
+    #[inline]
+    fn weight(&mut self, i: usize) -> f64 {
+        if i >= self.model.dims {
+            return 0.0;
+        }
+        if self.cache.stamp[i] != self.cache.gen {
+            self.cache.stamp[i] = self.cache.gen;
+            self.cache.w[i] = self.model.weight_at(self.model.z[i], self.model.n[i]);
+        }
+        self.cache.w[i]
+    }
+
+    /// Raw decision score `w·x + b`, bit-identical to
+    /// [`LogisticRegression::score`].
+    pub fn score(&mut self, x: &SparseVector) -> f64 {
+        let mut s = self.bias;
+        for &(i, v) in x.entries() {
+            s += self.weight(i as usize) * v;
+        }
+        s
+    }
+
+    /// Predicted `P(y = +1 | x)`, bit-identical to
+    /// [`LogisticRegression::predict_proba`].
+    pub fn predict_proba(&mut self, x: &SparseVector) -> f64 {
+        sigmoid(self.score(x))
     }
 }
 
@@ -451,6 +553,60 @@ mod tests {
         // Both still learn the informative tokens.
         assert!(ftrl.predict_proba(&h.bag_of_words(&["pos"])) > 0.6);
         assert!(sgd.predict_proba(&h.bag_of_words(&["pos"])) > 0.6);
+    }
+
+    #[test]
+    fn batch_scoring_is_bit_identical_to_one_at_a_time() {
+        let data = separable(2000, 11);
+        let mut model = LogisticRegression::new(
+            1 << 12,
+            FtrlConfig {
+                iterations: 200,
+                ..FtrlConfig::default()
+            },
+        );
+        model.fit(&data).unwrap();
+        let inputs: Vec<&SparseVector> = data.iter().map(|(x, _)| x).collect();
+        let mut cache = WeightCache::default();
+        let mut scorer = model.batch_scorer(&mut cache);
+        for x in &inputs {
+            assert_eq!(
+                scorer.predict_proba(x).to_bits(),
+                model.predict_proba(x).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn weight_cache_is_reusable_across_models_and_dims() {
+        let data = separable(500, 13);
+        let mut small = LogisticRegression::new(
+            1 << 10,
+            FtrlConfig {
+                iterations: 50,
+                ..FtrlConfig::default()
+            },
+        );
+        let mut big = LogisticRegression::new(
+            1 << 12,
+            FtrlConfig {
+                iterations: 50,
+                ..FtrlConfig::default()
+            },
+        );
+        small.fit(&data).unwrap();
+        big.fit(&data).unwrap();
+        let h = hasher();
+        let x = h.bag_of_words(&["good", "signal"]);
+        let mut cache = WeightCache::default();
+        // Alternate models/dims through one cache: `begin` must resize
+        // and invalidate so no stale weight leaks across batches.
+        for _ in 0..3 {
+            let got = small.batch_scorer(&mut cache).predict_proba(&x);
+            assert_eq!(got.to_bits(), small.predict_proba(&x).to_bits());
+            let got = big.batch_scorer(&mut cache).predict_proba(&x);
+            assert_eq!(got.to_bits(), big.predict_proba(&x).to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Model check for the serving front-end's epoch-pointer hot swap
+//! (`drybell-serving::EpochCell` / `PinnedSpec::refresh`).
+//!
+//! The protocol: `promote` republishes by swapping the slot and bumping
+//! the epoch inside ONE critical section; a scoring worker's steady
+//! state is a single unlocked epoch load, and only on a changed epoch
+//! does it take the slot lock and re-read **both** the slot and the
+//! epoch under that lock. The model mirrors each critical section as
+//! one atomic step and explores every interleaving, proving every
+//! response can be attributed to exactly one published (epoch, version)
+//! pair — never a torn pairing.
+//!
+//! The `broken` variants pin the bug the under-lock re-read prevents:
+//! pairing the *pre-lock* epoch with the *locked* slot read tears when
+//! a second publish lands between the load and the lock.
+
+use drybell_modelcheck::{explore, ModelThread};
+
+/// Mirror of one `EpochCell` plus per-reader refresh progress.
+#[derive(Clone)]
+struct SwapModel {
+    /// The cell's epoch counter (starts at 1, like `EpochCell::new`).
+    epoch: u64,
+    /// Version of the spec currently in the slot.
+    slot: u32,
+    /// Every (epoch, version) pairing a publish made legal.
+    published: Vec<(u64, u32)>,
+    /// Per-reader: the unlocked epoch load, between steps A and B.
+    observed: Vec<Option<u64>>,
+    /// Per-reader pinned (epoch, version) — what scoring attributes
+    /// responses to.
+    pinned: Vec<(u64, u32)>,
+}
+
+impl SwapModel {
+    fn new(readers: usize) -> SwapModel {
+        SwapModel {
+            epoch: 1,
+            slot: 1,
+            published: vec![(1, 1)],
+            observed: vec![None; readers],
+            pinned: vec![(1, 1); readers],
+        }
+    }
+
+    /// `EpochCell::publish`: one critical section — swap the slot and
+    /// bump the epoch while holding the slot lock.
+    fn publish(&mut self, version: u32) {
+        self.slot = version;
+        self.epoch += 1;
+        self.published.push((self.epoch, version));
+    }
+
+    /// Reader step A (`PinnedSpec::refresh`, before the lock): one
+    /// Acquire epoch load, no lock taken.
+    fn reader_load(&mut self, r: usize) {
+        let epoch = self.epoch;
+        if let Some(slot) = self.observed.get_mut(r) {
+            *slot = Some(epoch);
+        }
+    }
+
+    /// Reader step B as shipped: on a changed epoch, take the slot lock
+    /// and re-read BOTH the slot and the epoch under it.
+    fn reader_refresh_fixed(&mut self, r: usize) {
+        let Some(observed) = self.observed.get_mut(r).and_then(Option::take) else {
+            return;
+        };
+        if observed == self.pinned[r].0 {
+            return; // steady state: no lock, keep the pinned snapshot
+        }
+        // -- slot lock held: both reads see one consistent publish.
+        let (slot, epoch) = (self.slot, self.epoch);
+        self.pinned[r] = (epoch, slot);
+    }
+
+    /// Reader step B with the tear: reuse the pre-lock epoch load as
+    /// the pinned epoch while reading the slot under the lock.
+    fn reader_refresh_broken(&mut self, r: usize) {
+        let Some(observed) = self.observed.get_mut(r).and_then(Option::take) else {
+            return;
+        };
+        if observed == self.pinned[r].0 {
+            return;
+        }
+        let slot = self.slot;
+        self.pinned[r] = (observed, slot);
+    }
+
+    /// The attribution invariant: every pinned pair must be one a
+    /// publish actually made current.
+    fn no_torn_pins(&self) -> Option<String> {
+        for (r, pin) in self.pinned.iter().enumerate() {
+            if !self.published.contains(pin) {
+                return Some(format!(
+                    "reader {r} pinned unpublished pair (epoch {}, v{})",
+                    pin.0, pin.1
+                ));
+            }
+        }
+        None
+    }
+}
+
+fn publisher(name: &'static str, version: u32) -> ModelThread<SwapModel> {
+    ModelThread::new(
+        name,
+        vec![Box::new(move |s: &mut SwapModel| s.publish(version))],
+    )
+}
+
+fn reader(name: &'static str, r: usize, fixed: bool) -> ModelThread<SwapModel> {
+    let refresh = move |s: &mut SwapModel| {
+        if fixed {
+            s.reader_refresh_fixed(r);
+        } else {
+            s.reader_refresh_broken(r);
+        }
+    };
+    ModelThread::new(
+        name,
+        vec![
+            Box::new(move |s: &mut SwapModel| s.reader_load(r)),
+            Box::new(refresh),
+        ],
+    )
+}
+
+#[test]
+fn hot_swap_refresh_is_race_free_under_all_interleavings() {
+    // Two promotions racing one refreshing scorer: wherever the refresh
+    // lands, the pinned (epoch, version) is one some publish created.
+    let threads = vec![
+        publisher("publish_v2", 2),
+        publisher("publish_v3", 3),
+        reader("reader", 0, true),
+    ];
+    let stats = explore(&SwapModel::new(1), &threads, &|s| s.no_torn_pins(), &|_| {
+        None
+    })
+    .unwrap_or_else(|v| panic!("hot swap violated: {v}"));
+    // 4 steps over 3 threads, exhaustively scheduled.
+    assert_eq!(stats.interleavings, 12); // 4! / (1!·1!·2!)
+}
+
+#[test]
+fn hot_swap_holds_with_concurrent_readers() {
+    // Two scorers refreshing independently against the same promotion
+    // race: attribution stays exact for both, on every schedule.
+    let threads = vec![
+        publisher("publish_v2", 2),
+        publisher("publish_v3", 3),
+        reader("r0", 0, true),
+        reader("r1", 1, true),
+    ];
+    let stats = explore(&SwapModel::new(2), &threads, &|s| s.no_torn_pins(), &|s| {
+        // Epochs are still monotone and dense at quiescence.
+        (s.epoch != 3).then(|| format!("expected final epoch 3, got {}", s.epoch))
+    })
+    .unwrap_or_else(|v| panic!("hot swap violated: {v}"));
+    assert_eq!(stats.interleavings, 180); // 6! / (1!·1!·2!·2!)
+}
+
+#[test]
+fn reusing_the_prelock_epoch_tears_under_a_racing_promote() {
+    // The bug the under-lock re-read exists to prevent: the reader
+    // observes epoch 2 (after publish_v2), publish_v3 lands before the
+    // reader takes the slot lock, and the broken refresh pins
+    // (epoch 2, v3) — a pairing no publish ever made current.
+    let threads = vec![
+        publisher("publish_v2", 2),
+        publisher("publish_v3", 3),
+        reader("reader", 0, false),
+    ];
+    let violation = explore(&SwapModel::new(1), &threads, &|s| s.no_torn_pins(), &|_| {
+        None
+    })
+    .expect_err("the torn schedule must be found");
+    assert!(
+        violation.message.contains("unpublished pair (epoch 2, v3)"),
+        "unexpected violation: {violation}"
+    );
+    assert_eq!(
+        violation.schedule,
+        ["publish_v2", "reader", "publish_v3", "reader"]
+    );
+}

@@ -101,6 +101,21 @@ pub const REGISTRY: &[NameSpec] = &[
     },
     NameSpec {
         family: Family::Counter,
+        template: "dataflow/backoff_deferrals",
+        doc: "not-yet-due retry tasks a worker requeued instead of sleeping their backoff",
+    },
+    NameSpec {
+        family: Family::Counter,
+        template: "serving/rejected",
+        doc: "requests rejected because the front-end admission queue was full",
+    },
+    NameSpec {
+        family: Family::Counter,
+        template: "serving/degraded",
+        doc: "requests answered with the declared default score after their latency budget lapsed",
+    },
+    NameSpec {
+        family: Family::Counter,
         template: "lf/{lf}/degraded",
         doc: "examples where the LF abstained because its backing service errored",
     },
@@ -170,6 +185,16 @@ pub const REGISTRY: &[NameSpec] = &[
         template: "obs/selftime/{span}",
         doc: "per-span self time from the trace summary, µs (span path slashes flattened to _)",
     },
+    NameSpec {
+        family: Family::Gauge,
+        template: "serving/queue_depth",
+        doc: "front-end admission-queue depth sampled at each batch drain",
+    },
+    NameSpec {
+        family: Family::Gauge,
+        template: "serving/batch_size",
+        doc: "size of the most recent micro-batch drained by a scoring worker",
+    },
     // ---- Histograms (obs-layer, microseconds, `_us` suffix) ----
     NameSpec {
         family: Family::Histogram,
@@ -200,6 +225,16 @@ pub const REGISTRY: &[NameSpec] = &[
         family: Family::Histogram,
         template: "obs/serving/shadow_score_us",
         doc: "shadow-path dual-score latency",
+    },
+    NameSpec {
+        family: Family::Histogram,
+        template: "obs/serving/batch_us",
+        doc: "front-end micro-batch drain+score latency (per batch)",
+    },
+    NameSpec {
+        family: Family::Histogram,
+        template: "obs/serving/request_us",
+        doc: "front-end end-to-end request latency, enqueue to response",
     },
     // ---- Span paths ----
     NameSpec {
@@ -317,6 +352,11 @@ pub const REGISTRY: &[NameSpec] = &[
         family: Family::JournalKind,
         template: "trace_summary",
         doc: "self-profiling digest: span count, critical path, per-span self-times",
+    },
+    NameSpec {
+        family: Family::JournalKind,
+        template: "serving_bench",
+        doc: "one exp_serving load-generator run: throughput, tail latencies, degrade counts",
     },
 ];
 

@@ -1,0 +1,699 @@
+//! The high-throughput serving front-end: bounded admission,
+//! micro-batched scoring, epoch-pointer hot swap, latency budgets.
+//!
+//! The paper's discriminative models serve production traffic behind
+//! TFX; this module is the request path in front of the
+//! [`ServingRegistry`](crate::ServingRegistry):
+//!
+//! ```text
+//! submit ──▶ admission (bounded, reject-on-overflow)
+//!               │
+//!               ▼
+//!          micro-batcher (size- or deadline-triggered)
+//!               │  refresh pinned epoch   ◀── promote republishes
+//!               ▼
+//!          score batch (amortized weights) ── budget exceeded ──▶ default score
+//!               │                                                   (degraded)
+//!               ▼
+//!          fulfil response slots
+//! ```
+//!
+//! * **Admission** is a bounded counter beside an unbounded channel: a
+//!   full queue rejects with the typed [`ServingError::QueueFull`]
+//!   instead of queueing unbounded work (load shedding, counted in
+//!   `serving/rejected`).
+//! * **Micro-batching** drains the queue into batches of up to
+//!   [`FrontendConfig::max_batch`] requests, waiting at most
+//!   [`FrontendConfig::batch_wait`] for stragglers, then scores the
+//!   whole batch through one [`crate::BatchSession`] so FTRL weight
+//!   materialization is amortized across the batch.
+//! * **Hot swap**: workers score against a [`crate::PinnedSpec`]
+//!   refreshed from the registry's [`crate::EpochCell`] at batch
+//!   boundaries — zero locks on the scoring path, one atomic load per
+//!   batch in steady state. Every response reports the one publication
+//!   epoch it was scored under; the protocol is proven race-free by the
+//!   `hot_swap` model in `drybell-modelcheck`.
+//! * **Latency budgets**: a request whose
+//!   [`FrontendConfig::request_budget`] expired before scoring returns
+//!   the declared [`FrontendConfig::default_score`] immediately
+//!   (`degraded: true`, counted in `serving/degraded`) instead of
+//!   burning batch time on an answer the caller has given up on.
+
+use crate::{batch_session, BatchScratch, EpochCell, ScoreInput, ServingError, ServingRegistry};
+use drybell_features::SparseVector;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Front-end tuning knobs.
+#[derive(Debug, Clone)]
+pub struct FrontendConfig {
+    /// Maximum requests admitted but not yet scored; submissions beyond
+    /// this are rejected with [`ServingError::QueueFull`].
+    pub queue_depth: usize,
+    /// Maximum requests scored in one batch.
+    pub max_batch: usize,
+    /// How long a worker waits for stragglers before scoring a partial
+    /// batch.
+    pub batch_wait: Duration,
+    /// Per-request latency budget, measured from admission to scoring;
+    /// an expired request degrades to [`FrontendConfig::default_score`].
+    pub request_budget: Duration,
+    /// The score returned for budget-degraded requests.
+    pub default_score: f64,
+    /// Batcher worker threads. `0` is valid (admission-only; requests
+    /// queue until [`Frontend::shutdown`] answers them with
+    /// [`ServingError::Shutdown`]) and is used by admission tests.
+    pub workers: usize,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> FrontendConfig {
+        FrontendConfig {
+            queue_depth: 1024,
+            max_batch: 64,
+            batch_wait: Duration::from_micros(200),
+            request_budget: Duration::from_millis(20),
+            default_score: 0.5,
+            workers: 2,
+        }
+    }
+}
+
+/// An owned scoring input, movable across the admission queue (the
+/// borrowed [`ScoreInput`] cannot outlive the caller's stack frame).
+#[derive(Debug, Clone)]
+pub enum OwnedInput {
+    /// Hashed sparse features (logistic regression).
+    Sparse(SparseVector),
+    /// Dense feature vector (MLP).
+    Dense(Vec<f64>),
+}
+
+impl OwnedInput {
+    fn as_score_input(&self) -> ScoreInput<'_> {
+        match self {
+            OwnedInput::Sparse(x) => ScoreInput::Sparse(x),
+            OwnedInput::Dense(x) => ScoreInput::Dense(x),
+        }
+    }
+}
+
+/// One scored response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scored {
+    /// The model's probability — or [`FrontendConfig::default_score`]
+    /// when degraded.
+    pub score: f64,
+    /// The publication epoch of the model snapshot that produced this
+    /// response. Every response comes from exactly one epoch, never a
+    /// torn mix.
+    pub epoch: u64,
+    /// The model version serving at that epoch.
+    pub version: u32,
+    /// `true` when the latency budget expired and the default score was
+    /// returned without running the model.
+    pub degraded: bool,
+}
+
+/// One-shot response slot: the worker fulfils it, the submitter waits
+/// on it. Built on `std::sync` because the vendored `parking_lot` has
+/// no `Condvar`; poisoning is absorbed (the payload is a plain enum, a
+/// panicking peer cannot leave it half-written).
+#[derive(Debug, Default)]
+struct ResponseSlot {
+    state: std::sync::Mutex<Option<Result<Scored, ServingError>>>,
+    ready: std::sync::Condvar,
+}
+
+impl ResponseSlot {
+    fn fulfil(&self, result: Result<Scored, ServingError>) {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *state = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<Scored, ServingError> {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn try_take(&self) -> Option<Result<Scored, ServingError>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+    }
+}
+
+/// A submitted-but-unanswered request (returned by
+/// [`Frontend::submit`]). Dropping it abandons the response; the worker
+/// still scores and fulfils the slot, which open-loop load generators
+/// rely on.
+#[derive(Debug)]
+pub struct Pending {
+    slot: Arc<ResponseSlot>,
+}
+
+impl Pending {
+    /// Block until the response arrives.
+    pub fn wait(self) -> Result<Scored, ServingError> {
+        self.slot.wait()
+    }
+
+    /// Take the response if it already arrived (non-blocking).
+    pub fn try_wait(&self) -> Option<Result<Scored, ServingError>> {
+        self.slot.try_take()
+    }
+}
+
+/// One admitted request travelling the queue.
+struct Request {
+    input: OwnedInput,
+    enqueued: Instant,
+    deadline: Instant,
+    slot: Arc<ResponseSlot>,
+}
+
+/// Pre-interned front-end instruments (names in
+/// `drybell_obs::naming::REGISTRY`), built once so the request path
+/// never touches the `MetricsRegistry` lock. Worker-side instruments
+/// are [`drybell_obs::ShardLayout`] slots: the scoring loop writes
+/// plain cells in a per-worker [`drybell_obs::LocalShard`] and folds
+/// them into the shared registry once per batch
+/// ([`drybell_obs::LocalShard::flush_into`]), so steady-state scoring
+/// pays no atomic or histogram lock per request. Flushed counters are
+/// therefore visible only after the batch that produced them.
+struct FrontendInstruments {
+    /// Flush target for the per-worker shards.
+    telemetry: drybell_obs::Telemetry,
+    /// Slot layout shared by every worker's `LocalShard`.
+    layout: Arc<drybell_obs::ShardLayout>,
+    /// `serving/rejected` — admissions refused at a full queue;
+    /// incremented synchronously on the caller's `submit` path (the
+    /// rejection path is off the scoring loop).
+    rejected: Arc<drybell_obs::Counter>,
+    /// `serving/degraded` — budget-expired requests answered with the
+    /// default score.
+    degraded: drybell_obs::CounterSlot,
+    /// `serving/queue_depth` — queue depth sampled after each drain.
+    queue_depth: drybell_obs::GaugeSlot,
+    /// `serving/batch_size` — size of the most recent batch.
+    batch_size: drybell_obs::GaugeSlot,
+    /// `obs/serving/batch_us` — wall time per batch (gather + score).
+    batch_us: drybell_obs::HistogramSlot,
+    /// `obs/serving/request_us` — end-to-end admission-to-fulfil
+    /// latency per request (the p50/p99/p999 source).
+    request_us: drybell_obs::HistogramSlot,
+}
+
+/// State shared between the front-end handle and its workers.
+struct Shared {
+    cell: Arc<EpochCell>,
+    cfg: FrontendConfig,
+    /// Admitted-but-unscored request count — the bounded part of the
+    /// admission design (the channel itself is unbounded).
+    depth: AtomicUsize,
+    instruments: Option<FrontendInstruments>,
+}
+
+/// The serving front-end: admission, batching, hot swap, budgets.
+///
+/// Construct with [`Frontend::for_model`] to share the registry's
+/// publication cell, so [`ServingRegistry::promote`] hot-swaps the
+/// model under live traffic with zero scoring-path locks.
+pub struct Frontend {
+    shared: Arc<Shared>,
+    tx: parking_lot::Mutex<Option<crossbeam::channel::Sender<Request>>>,
+    rx: crossbeam::channel::Receiver<Request>,
+    workers: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Frontend {
+    /// A front-end scoring the live version published in `cell`.
+    pub fn new(cell: Arc<EpochCell>, cfg: FrontendConfig) -> Frontend {
+        Frontend::build(cell, cfg, None)
+    }
+
+    /// A front-end for the serving version of `name`, subscribed to the
+    /// registry's publication cell: later `promote` calls hot-swap this
+    /// front-end live.
+    pub fn for_model(
+        registry: &ServingRegistry,
+        name: &str,
+        cfg: FrontendConfig,
+    ) -> Result<Frontend, ServingError> {
+        Ok(Frontend::new(registry.epoch_cell(name)?, cfg))
+    }
+
+    /// [`Frontend::for_model`] plus telemetry: queue/batch gauges,
+    /// rejected/degraded counters, and batch/request latency
+    /// histograms, all pre-interned.
+    pub fn for_model_with_telemetry(
+        registry: &ServingRegistry,
+        name: &str,
+        cfg: FrontendConfig,
+        telemetry: &drybell_obs::Telemetry,
+    ) -> Result<Frontend, ServingError> {
+        let metrics = telemetry.metrics();
+        let mut layout = drybell_obs::ShardLayout::new();
+        let degraded = layout.slot_counter(metrics.counter("serving/degraded"));
+        let queue_depth = layout.slot_gauge(metrics.gauge("serving/queue_depth"));
+        let batch_size = layout.slot_gauge(metrics.gauge("serving/batch_size"));
+        let batch_us = layout.slot_histogram(metrics.histogram("obs/serving/batch_us"));
+        let request_us = layout.slot_histogram(metrics.histogram("obs/serving/request_us"));
+        let instruments = FrontendInstruments {
+            telemetry: telemetry.clone(),
+            layout: Arc::new(layout),
+            rejected: metrics.counter("serving/rejected"),
+            degraded,
+            queue_depth,
+            batch_size,
+            batch_us,
+            request_us,
+        };
+        Ok(Frontend::build(
+            registry.epoch_cell(name)?,
+            cfg,
+            Some(instruments),
+        ))
+    }
+
+    fn build(
+        cell: Arc<EpochCell>,
+        cfg: FrontendConfig,
+        instruments: Option<FrontendInstruments>,
+    ) -> Frontend {
+        let (tx, rx) = crossbeam::channel::unbounded::<Request>();
+        let shared = Arc::new(Shared {
+            cell,
+            cfg,
+            depth: AtomicUsize::new(0),
+            instruments,
+        });
+        let mut handles = Vec::new();
+        for _ in 0..shared.cfg.workers {
+            let shared = Arc::clone(&shared);
+            let rx = rx.clone();
+            handles.push(std::thread::spawn(move || worker_loop(&shared, &rx)));
+        }
+        Frontend {
+            shared,
+            tx: parking_lot::Mutex::new(Some(tx)),
+            rx,
+            workers: parking_lot::Mutex::new(handles),
+        }
+    }
+
+    /// Admit one request without waiting for its response (open loop).
+    ///
+    /// Returns [`ServingError::QueueFull`] when
+    /// [`FrontendConfig::queue_depth`] requests are already waiting, and
+    /// [`ServingError::Shutdown`] after [`Frontend::shutdown`].
+    pub fn submit(&self, input: OwnedInput) -> Result<Pending, ServingError> {
+        let mut cur = self.shared.depth.load(Ordering::Acquire);
+        let admitted = loop {
+            if cur >= self.shared.cfg.queue_depth {
+                break false;
+            }
+            match self.shared.depth.compare_exchange(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break true,
+                Err(actual) => cur = actual,
+            }
+        };
+        if !admitted {
+            if let Some(i) = &self.shared.instruments {
+                i.rejected.inc();
+            }
+            return Err(ServingError::QueueFull {
+                depth: self.shared.cfg.queue_depth,
+            });
+        }
+        let now = Instant::now();
+        let slot = Arc::new(ResponseSlot::default());
+        let request = Request {
+            input,
+            enqueued: now,
+            deadline: now + self.shared.cfg.request_budget,
+            slot: Arc::clone(&slot),
+        };
+        let sent = match self.tx.lock().as_ref() {
+            Some(tx) => tx.send(request).is_ok(),
+            None => false,
+        };
+        if !sent {
+            self.shared.depth.fetch_sub(1, Ordering::AcqRel);
+            return Err(ServingError::Shutdown);
+        }
+        Ok(Pending { slot })
+    }
+
+    /// Admit one request and block for its response (closed loop).
+    pub fn score(&self, input: OwnedInput) -> Result<Scored, ServingError> {
+        self.submit(input)?.wait()
+    }
+
+    /// The current publication epoch the workers score under.
+    pub fn epoch(&self) -> u64 {
+        self.shared.cell.epoch()
+    }
+
+    /// Admitted-but-unscored request count.
+    pub fn queue_len(&self) -> usize {
+        self.shared.depth.load(Ordering::Acquire)
+    }
+
+    /// Stop admitting, let workers drain the queue, join them, and
+    /// answer anything still queued (the `workers: 0` case) with
+    /// [`ServingError::Shutdown`]. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        *self.tx.lock() = None;
+        let handles: Vec<std::thread::JoinHandle<()>> = self.workers.lock().drain(..).collect();
+        for h in handles {
+            // drybell-lint: allow(error-discipline) — a panicked worker has no recovery path here; its queued requests are answered by the drain below
+            let _ = h.join();
+        }
+        while let Some(req) = self.rx.try_recv() {
+            self.shared.depth.fetch_sub(1, Ordering::AcqRel);
+            req.slot.fulfil(Err(ServingError::Shutdown));
+        }
+    }
+}
+
+impl Drop for Frontend {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The batcher body: block for the first request, gather stragglers
+/// until the batch fills or [`FrontendConfig::batch_wait`] passes,
+/// refresh the epoch pin, then score the whole batch through one
+/// [`crate::BatchSession`].
+fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<Request>) {
+    let mut scratch = BatchScratch::default();
+    let mut pinned = shared.cell.pin();
+    let mut batch: Vec<Request> = Vec::with_capacity(shared.cfg.max_batch.max(1));
+    let mut shard = shared.instruments.as_ref().map(|i| i.layout.shard());
+    while let Ok(first) = rx.recv() {
+        let batch_started = Instant::now();
+        let gather_deadline = batch_started + shared.cfg.batch_wait;
+        batch.push(first);
+        while batch.len() < shared.cfg.max_batch {
+            match rx.try_recv() {
+                Some(req) => batch.push(req),
+                None => {
+                    if Instant::now() >= gather_deadline {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+        shared.depth.fetch_sub(batch.len(), Ordering::AcqRel);
+        // Batch boundary: one atomic load in steady state; the slot
+        // lock is touched only when a promote actually landed.
+        pinned.refresh(&shared.cell);
+        let spec = Arc::clone(pinned.spec());
+        let epoch = pinned.epoch();
+        if let (Some(i), Some(shard)) = (&shared.instruments, shard.as_mut()) {
+            shard.level(i.queue_depth, shared.depth.load(Ordering::Acquire) as i64);
+            shard.level(i.batch_size, batch.len() as i64);
+        }
+        let mut session = batch_session(&spec, &mut scratch);
+        let scoring_started = Instant::now();
+        for req in batch.drain(..) {
+            let result = if scoring_started >= req.deadline {
+                if let (Some(i), Some(shard)) = (&shared.instruments, shard.as_mut()) {
+                    shard.bump(i.degraded);
+                }
+                Ok(Scored {
+                    score: shared.cfg.default_score,
+                    epoch,
+                    version: spec.version,
+                    degraded: true,
+                })
+            } else {
+                session
+                    .score(&req.input.as_score_input())
+                    .map(|score| Scored {
+                        score,
+                        epoch,
+                        version: spec.version,
+                        degraded: false,
+                    })
+            };
+            req.slot.fulfil(result);
+            if let (Some(i), Some(shard)) = (&shared.instruments, shard.as_mut()) {
+                shard.observe_duration(i.request_us, req.enqueued.elapsed());
+            }
+        }
+        // Batch boundary: one amortized fold of the worker's local
+        // telemetry into the shared registry.
+        if let (Some(i), Some(shard)) = (&shared.instruments, shard.as_mut()) {
+            shard.observe_duration(i.batch_us, batch_started.elapsed());
+            shard.flush_into(&i.telemetry);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{score_spec, ExportedModel, ModelSpec, ServingRegistry};
+    use drybell_features::{FeatureHasher, FeatureSpace, SpaceRegistry};
+    use drybell_ml::{FtrlConfig, LogisticRegression, MlpScratch};
+    use proptest::prelude::*;
+    use std::sync::Barrier;
+
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+    /// A registry with `n` identical logreg versions of model `"m"`,
+    /// version 1 promoted. With the publication cell created at
+    /// promote-1 time, epoch k always serves version k — which is what
+    /// lets the tests check torn epoch/version pairings directly.
+    fn registry_with_versions(
+        n: u32,
+    ) -> Result<(ServingRegistry, FeatureHasher), Box<dyn std::error::Error>> {
+        let mut spaces = SpaceRegistry::new();
+        let hashed = spaces
+            .register(FeatureSpace::servable("hashed", 10))
+            .ok_or("space taken")?;
+        let registry = ServingRegistry::new(spaces, 1_000);
+        let h = FeatureHasher::new(1 << 10);
+        let data = vec![
+            (h.bag_of_words(&["yes"]), 1.0),
+            (h.bag_of_words(&["nothing"]), 0.0),
+        ];
+        let mut m = LogisticRegression::new(1 << 10, FtrlConfig::default());
+        m.fit(&data)?;
+        for version in 1..=n {
+            registry.stage(ModelSpec {
+                name: "m".into(),
+                version,
+                feature_spaces: vec![hashed],
+                model: ExportedModel::LogReg(m.clone()),
+            })?;
+        }
+        registry.promote("m", 1)?;
+        Ok((registry, h))
+    }
+
+    #[test]
+    fn queue_overflow_rejects_with_typed_error_under_contention() -> TestResult {
+        let (registry, h) = registry_with_versions(1)?;
+        let telemetry = drybell_obs::Telemetry::new();
+        // No workers: nothing drains, so admissions 5..8 must lose the
+        // CAS race and get the typed rejection, not queue unbounded.
+        let cfg = FrontendConfig {
+            queue_depth: 4,
+            workers: 0,
+            ..FrontendConfig::default()
+        };
+        let frontend = Frontend::for_model_with_telemetry(&registry, "m", cfg, &telemetry)?;
+        let barrier = Barrier::new(8);
+        let (admitted, rejected) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let frontend = &frontend;
+                    let barrier = &barrier;
+                    let x = h.bag_of_words(&["yes"]);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        frontend.submit(OwnedInput::Sparse(x))
+                    })
+                })
+                .collect();
+            let mut admitted = Vec::new();
+            let mut rejected = 0_u32;
+            for handle in handles {
+                match handle.join().unwrap() {
+                    Ok(pending) => admitted.push(pending),
+                    Err(ServingError::QueueFull { depth }) => {
+                        assert_eq!(depth, 4);
+                        rejected += 1;
+                    }
+                    Err(other) => panic!("unexpected admission error: {other}"),
+                }
+            }
+            (admitted, rejected)
+        });
+        assert_eq!(admitted.len(), 4, "exactly queue_depth admissions win");
+        assert_eq!(rejected, 4);
+        assert_eq!(frontend.queue_len(), 4);
+        assert_eq!(telemetry.metrics().counter("serving/rejected").get(), 4);
+        // Shutdown answers everything still queued with the typed error.
+        frontend.shutdown();
+        for pending in admitted {
+            assert!(matches!(pending.wait(), Err(ServingError::Shutdown)));
+        }
+        assert_eq!(frontend.queue_len(), 0);
+        assert!(matches!(
+            frontend.submit(OwnedInput::Sparse(h.bag_of_words(&["yes"]))),
+            Err(ServingError::Shutdown)
+        ));
+        Ok(())
+    }
+
+    #[test]
+    fn budget_expired_requests_degrade_to_the_default_score() -> TestResult {
+        let (registry, h) = registry_with_versions(1)?;
+        let telemetry = drybell_obs::Telemetry::new();
+        let cfg = FrontendConfig {
+            request_budget: Duration::ZERO,
+            default_score: 0.25,
+            workers: 1,
+            ..FrontendConfig::default()
+        };
+        let frontend = Frontend::for_model_with_telemetry(&registry, "m", cfg, &telemetry)?;
+        for _ in 0..5 {
+            let scored = frontend.score(OwnedInput::Sparse(h.bag_of_words(&["yes"])))?;
+            assert!(scored.degraded);
+            assert_eq!(scored.score, 0.25);
+            assert_eq!(scored.epoch, 1);
+            assert_eq!(scored.version, 1);
+        }
+        // Worker shards flush at batch boundaries, after responses are
+        // fulfilled: join the workers before reading the counters.
+        frontend.shutdown();
+        assert_eq!(telemetry.metrics().counter("serving/degraded").get(), 5);
+        let snap = telemetry.metrics().snapshot();
+        assert_eq!(
+            snap.histogram("obs/serving/request_us")
+                .ok_or("missing request histogram")?
+                .count(),
+            5
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn frontend_scoring_is_bit_identical_to_direct_scoring() -> TestResult {
+        let (registry, h) = registry_with_versions(1)?;
+        let frontend = Frontend::for_model(&registry, "m", FrontendConfig::default())?;
+        let spec = registry.resolve_serving("m")?;
+        let mut scratch = MlpScratch::default();
+        for token in ["yes", "nothing", "maybe", "filler"] {
+            let x = h.bag_of_words(&[token]);
+            let direct = score_spec(&spec, &ScoreInput::Sparse(&x), &mut scratch)?;
+            let served = frontend.score(OwnedInput::Sparse(x))?;
+            assert!(!served.degraded);
+            assert_eq!(
+                direct.to_bits(),
+                served.score.to_bits(),
+                "batched front-end path must reproduce direct scoring exactly"
+            );
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn promote_hot_swaps_the_frontend_live() -> TestResult {
+        let (registry, h) = registry_with_versions(2)?;
+        let frontend = Frontend::for_model(&registry, "m", FrontendConfig::default())?;
+        let scored = frontend.score(OwnedInput::Sparse(h.bag_of_words(&["yes"])))?;
+        assert_eq!((scored.epoch, scored.version), (1, 1));
+        registry.promote("m", 2)?;
+        assert_eq!(frontend.epoch(), 2, "promote republishes before returning");
+        // The publish happens-before the next batch's epoch refresh, so
+        // a request admitted after promote returns scores v2.
+        let scored = frontend.score(OwnedInput::Sparse(h.bag_of_words(&["yes"])))?;
+        assert_eq!((scored.epoch, scored.version), (2, 2));
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Scorers hammer the front-end while the main thread promotes
+        /// versions 2..=4. Every response must be attributable to
+        /// exactly one published (epoch, version) pairing — with this
+        /// registry's construction, epoch k serves version k — never a
+        /// torn mix of an old epoch with a new slot (the race the
+        /// `hot_swap` model in drybell-modelcheck proves impossible).
+        #[test]
+        fn prop_every_response_comes_from_one_published_epoch(
+            max_batch in 1_usize..8,
+            per_thread in 10_usize..40,
+            scorers in 2_usize..4,
+        ) {
+            let (registry, h) = registry_with_versions(4).unwrap();
+            let cfg = FrontendConfig {
+                max_batch,
+                batch_wait: Duration::from_micros(50),
+                workers: 2,
+                ..FrontendConfig::default()
+            };
+            let frontend = Frontend::for_model(&registry, "m", cfg).unwrap();
+            let responses = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..scorers)
+                    .map(|_| {
+                        let frontend = &frontend;
+                        let x = h.bag_of_words(&["yes"]);
+                        scope.spawn(move || {
+                            (0..per_thread)
+                                .map(|_| frontend.score(OwnedInput::Sparse(x.clone())).unwrap())
+                                .collect::<Vec<Scored>>()
+                        })
+                    })
+                    .collect();
+                for version in 2..=4 {
+                    std::thread::sleep(Duration::from_micros(200));
+                    registry.promote("m", version).unwrap();
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|handle| handle.join().unwrap())
+                    .collect::<Vec<Scored>>()
+            });
+            prop_assert_eq!(responses.len(), scorers * per_thread);
+            for s in &responses {
+                prop_assert!(
+                    (1..=4).contains(&s.version),
+                    "unknown version {}", s.version
+                );
+                // A torn pairing would make epoch != version here.
+                prop_assert_eq!(s.epoch, u64::from(s.version));
+            }
+        }
+    }
+}

@@ -15,17 +15,20 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod frontend;
 pub mod shadow;
 
+pub use frontend::{Frontend, FrontendConfig, OwnedInput, Pending, Scored};
 pub use shadow::{ScoreHistogram, ShadowEval, ShadowReport, SCORE_BUCKETS};
 
 use drybell_features::{FeatureSpaceId, SpaceRegistry, SparseVector};
-use drybell_ml::{LogisticRegression, MlError, Mlp, MlpScratch};
+use drybell_ml::{LogisticRegression, MlError, Mlp, MlpScratch, WeightCache};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Errors from staging, promoting, or scoring models.
@@ -71,6 +74,14 @@ pub enum ServingError {
         /// The underlying model error.
         source: MlError,
     },
+    /// The front-end admission queue is at capacity; the request was
+    /// rejected rather than queued (load shedding).
+    QueueFull {
+        /// The configured queue depth that was exceeded.
+        depth: usize,
+    },
+    /// The front-end is shutting down; the request cannot be served.
+    Shutdown,
     /// Filesystem or serialization failure during export/load.
     Io(String),
     /// A loaded model file disagrees with the manifest that points at it.
@@ -110,6 +121,10 @@ impl fmt::Display for ServingError {
             ServingError::ScoreFailed { model, source } => {
                 write!(f, "model {model:?} rejected the input: {source}")
             }
+            ServingError::QueueFull { depth } => {
+                write!(f, "admission queue full (depth {depth}); request rejected")
+            }
+            ServingError::Shutdown => write!(f, "serving front-end is shutting down"),
             ServingError::Io(msg) => write!(f, "serving I/O error: {msg}"),
             ServingError::ManifestMismatch {
                 model,
@@ -205,6 +220,11 @@ pub struct ServingRegistry {
     /// Production latency budget per example, in microseconds.
     budget_us: u64,
     models: Mutex<HashMap<String, ModelVersions>>,
+    /// Live publication cells, one per subscribed model name. `promote`
+    /// republishes into these so front-ends hot-swap without polling.
+    /// Lock order: `cells` strictly before `models` (enforced by taking
+    /// `cells` first in both `promote` and `epoch_cell`).
+    cells: Mutex<HashMap<String, Arc<EpochCell>>>,
     instruments: Option<ScoreInstruments>,
 }
 
@@ -216,6 +236,7 @@ impl ServingRegistry {
             spaces,
             budget_us,
             models: Mutex::new(HashMap::new()),
+            cells: Mutex::new(HashMap::new()),
             instruments: None,
         }
     }
@@ -280,25 +301,58 @@ impl ServingRegistry {
     }
 
     /// Promote a staged version to serving (demoting any currently
-    /// serving version of the same name back to staged).
+    /// serving version of the same name back to staged), atomically
+    /// republishing to any live [`EpochCell`] subscribers so running
+    /// front-ends hot-swap with zero scoring-path locks.
     pub fn promote(&self, name: &str, version: u32) -> Result<(), ServingError> {
-        let mut models = self.models.lock();
-        let versions = models
-            .get_mut(name)
-            .ok_or_else(|| ServingError::UnknownModel(name.to_owned()))?;
-        if !versions.iter().any(|(s, _)| s.version == version) {
-            return Err(ServingError::UnknownModel(format!("{name} v{version}")));
-        }
-        for (spec, stage) in versions.iter_mut() {
-            *stage = if spec.version == version {
-                Stage::Serving
-            } else if *stage == Stage::Serving {
-                Stage::Staged
-            } else {
-                *stage
-            };
+        // `cells` before `models` — the workspace-wide lock order for
+        // this pair (see the `cells` field doc).
+        let cells = self.cells.lock();
+        let promoted = {
+            let mut models = self.models.lock();
+            let versions = models
+                .get_mut(name)
+                .ok_or_else(|| ServingError::UnknownModel(name.to_owned()))?;
+            if !versions.iter().any(|(s, _)| s.version == version) {
+                return Err(ServingError::UnknownModel(format!("{name} v{version}")));
+            }
+            let mut promoted = None;
+            for (spec, stage) in versions.iter_mut() {
+                *stage = if spec.version == version {
+                    promoted = Some(Arc::clone(spec));
+                    Stage::Serving
+                } else if *stage == Stage::Serving {
+                    Stage::Staged
+                } else {
+                    *stage
+                };
+            }
+            promoted
+        };
+        if let (Some(spec), Some(cell)) = (promoted, cells.get(name)) {
+            cell.publish(spec);
         }
         Ok(())
+    }
+
+    /// The live publication cell for `name`, creating (and seeding with
+    /// the current serving version) on first subscription. Subsequent
+    /// [`ServingRegistry::promote`] calls republish into the same cell,
+    /// so front-ends holding it observe promotions without polling the
+    /// registry.
+    pub fn epoch_cell(&self, name: &str) -> Result<Arc<EpochCell>, ServingError> {
+        let mut cells = self.cells.lock();
+        if let Some(cell) = cells.get(name) {
+            return Ok(Arc::clone(cell));
+        }
+        // Holding `cells` across the seed resolution (which takes
+        // `models` — the agreed lock order) closes the race where a
+        // promote lands between resolving the spec and inserting the
+        // cell, which would freeze the cell on a stale version.
+        let spec = self.resolve_serving(name)?;
+        let cell = Arc::new(EpochCell::new(spec));
+        cells.insert(name.to_owned(), Arc::clone(&cell));
+        Ok(cell)
     }
 
     /// The serving version of `name`, if promoted.
@@ -557,6 +611,190 @@ impl ScoreHandle {
     pub fn score(&mut self, input: ScoreInput<'_>) -> Result<f64, ServingError> {
         score_spec(&self.spec, &input, &mut self.scratch)
     }
+}
+
+/// A lock-free-readable publication slot for the serving version of one
+/// model name.
+///
+/// Writers ([`ServingRegistry::promote`]) swap the spec and bump the
+/// epoch inside one short critical section. Readers pin a
+/// [`PinnedSpec`] and call [`PinnedSpec::refresh`] between batches: the
+/// steady-state cost is **one atomic load** — the slot lock is touched
+/// only when the epoch actually moved. The protocol (including why the
+/// epoch must be re-read *under* the slot lock) is proven race-free
+/// over all interleavings by the `hot_swap` model in
+/// `drybell-modelcheck`.
+#[derive(Debug)]
+pub struct EpochCell {
+    /// Publication counter; bumped once per publish, after the slot
+    /// write, inside the slot critical section.
+    epoch: AtomicU64,
+    slot: Mutex<Arc<ModelSpec>>,
+}
+
+impl EpochCell {
+    /// A cell seeded with `spec` at epoch 1.
+    fn new(spec: Arc<ModelSpec>) -> EpochCell {
+        EpochCell {
+            epoch: AtomicU64::new(1),
+            slot: Mutex::new(spec),
+        }
+    }
+
+    /// The current publication epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Atomically republish `spec` as the live version: the slot write
+    /// and the epoch bump happen inside one critical section, so a
+    /// reader that reads both under the same lock can never observe a
+    /// torn (epoch, spec) pairing.
+    fn publish(&self, spec: Arc<ModelSpec>) {
+        let mut slot = self.slot.lock();
+        *slot = spec;
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Pin the currently-published spec for lock-free scoring.
+    pub fn pin(&self) -> PinnedSpec {
+        let slot = self.slot.lock();
+        PinnedSpec {
+            epoch: self.epoch.load(Ordering::Acquire),
+            spec: Arc::clone(&slot),
+        }
+    }
+}
+
+/// A reader's snapshot of an [`EpochCell`]: the pinned spec plus the
+/// epoch it was published under. Score against [`PinnedSpec::spec`];
+/// call [`PinnedSpec::refresh`] at batch boundaries to pick up
+/// promotions.
+#[derive(Debug, Clone)]
+pub struct PinnedSpec {
+    spec: Arc<ModelSpec>,
+    epoch: u64,
+}
+
+impl PinnedSpec {
+    /// The pinned model spec.
+    pub fn spec(&self) -> &Arc<ModelSpec> {
+        &self.spec
+    }
+
+    /// The epoch this spec was published under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Catch up with `cell`, returning `true` if the pin moved.
+    ///
+    /// Steady state is a single atomic load. On an epoch change the
+    /// slot lock is taken and **both** the spec and the epoch are
+    /// re-read under it — pairing the pre-lock epoch with the
+    /// locked-slot read would tear when a second publish lands between
+    /// the load and the lock (the bug variant the `hot_swap` modelcheck
+    /// test demonstrates).
+    pub fn refresh(&mut self, cell: &EpochCell) -> bool {
+        if cell.epoch.load(Ordering::Acquire) == self.epoch {
+            return false;
+        }
+        let slot = cell.slot.lock();
+        self.spec = Arc::clone(&slot);
+        self.epoch = cell.epoch.load(Ordering::Acquire);
+        true
+    }
+}
+
+/// Reusable scratch for [`score_spec_batch`] / [`batch_session`]:
+/// per-batch weight memoization for logistic regression plus the MLP
+/// activation buffers. Allocate once per worker; steady-state batches
+/// allocate nothing.
+#[derive(Debug, Default, Clone)]
+pub struct BatchScratch {
+    weights: WeightCache,
+    mlp: MlpScratch,
+}
+
+enum SessionInner<'a> {
+    LogReg {
+        spec: &'a ModelSpec,
+        scorer: drybell_ml::BatchScorer<'a>,
+    },
+    Mlp {
+        spec: &'a ModelSpec,
+        scratch: &'a mut MlpScratch,
+    },
+}
+
+/// Scores the items of one batch against a single pinned spec.
+///
+/// For logistic regression this amortizes FTRL weight materialization
+/// across the batch (each touched coordinate's `sign`/`sqrt`/divide
+/// runs at most once per batch instead of once per example); scores are
+/// bit-identical to [`score_spec`]. Created by [`batch_session`]; the
+/// borrow of the spec guarantees the model cannot change mid-batch.
+pub struct BatchSession<'a> {
+    inner: SessionInner<'a>,
+}
+
+/// Open a batch-scoring session for `spec` over reusable `scratch`.
+pub fn batch_session<'a>(spec: &'a ModelSpec, scratch: &'a mut BatchScratch) -> BatchSession<'a> {
+    let inner = match &spec.model {
+        ExportedModel::LogReg(m) => SessionInner::LogReg {
+            spec,
+            scorer: m.batch_scorer(&mut scratch.weights),
+        },
+        ExportedModel::Mlp(_) => SessionInner::Mlp {
+            spec,
+            scratch: &mut scratch.mlp,
+        },
+    };
+    BatchSession { inner }
+}
+
+impl BatchSession<'_> {
+    /// Score one item of the batch — bit-identical to [`score_spec`] on
+    /// the same input, including the error cases.
+    pub fn score(&mut self, input: &ScoreInput<'_>) -> Result<f64, ServingError> {
+        match &mut self.inner {
+            SessionInner::LogReg { spec, scorer } => match input {
+                ScoreInput::Sparse(x) => Ok(scorer.predict_proba(x)),
+                ScoreInput::Dense(_) => Err(ServingError::WrongInputKind {
+                    model: spec.name.clone(),
+                    expected: "sparse",
+                }),
+            },
+            SessionInner::Mlp { spec, scratch } => score_spec(spec, input, scratch),
+        }
+    }
+}
+
+/// Score a whole batch against one resolved spec, amortizing weight
+/// materialization (see [`BatchSession`]). Fail-fast: the first input
+/// error aborts the batch. `out.len()` must equal `inputs.len()`.
+/// Callers needing per-request error isolation (the front-end) drive a
+/// [`BatchSession`] directly instead.
+pub fn score_spec_batch(
+    spec: &ModelSpec,
+    inputs: &[ScoreInput<'_>],
+    scratch: &mut BatchScratch,
+    out: &mut [f64],
+) -> Result<(), ServingError> {
+    if out.len() != inputs.len() {
+        return Err(ServingError::ScoreFailed {
+            model: spec.name.clone(),
+            source: MlError::DimensionMismatch {
+                expected: inputs.len(),
+                got: out.len(),
+            },
+        });
+    }
+    let mut session = batch_session(spec, scratch);
+    for (slot, input) in out.iter_mut().zip(inputs) {
+        *slot = session.score(input)?;
+    }
+    Ok(())
 }
 
 /// One line of the export manifest.
@@ -896,6 +1134,87 @@ mod tests {
             ServingRegistry::load_from_dir(r, 10_000, dir.path()),
             Err(ServingError::ManifestMismatch { .. })
         ));
+        Ok(())
+    }
+
+    #[test]
+    fn batched_scoring_is_bit_identical_to_one_at_a_time() -> TestResult {
+        // The `shard_determinism`-style gate for the serving batcher:
+        // score_spec_batch must produce exactly the bits score_spec does.
+        let (r, text, _, _) = spaces()?;
+        let reg = ServingRegistry::new(r, 10_000);
+        let h = FeatureHasher::new(1 << 10);
+        reg.stage(ModelSpec {
+            name: "topic".into(),
+            version: 1,
+            feature_spaces: vec![text],
+            model: ExportedModel::LogReg(trained_logreg()?),
+        })?;
+        reg.promote("topic", 1)?;
+        let spec = reg.resolve_serving("topic")?;
+        let vectors: Vec<SparseVector> = ["yes", "no", "yes no", "maybe", "yes yes"]
+            .iter()
+            .map(|s| h.bag_of_words(&s.split(' ').collect::<Vec<_>>()))
+            .collect();
+        let inputs: Vec<ScoreInput<'_>> = vectors.iter().map(ScoreInput::Sparse).collect();
+        let mut scratch = BatchScratch::default();
+        let mut batched = vec![0.0; inputs.len()];
+        score_spec_batch(&spec, &inputs, &mut scratch, &mut batched)?;
+        let mut mlp_scratch = MlpScratch::default();
+        for (input, got) in inputs.iter().zip(&batched) {
+            let single = score_spec(&spec, input, &mut mlp_scratch)?;
+            assert_eq!(single.to_bits(), got.to_bits());
+        }
+        // Mismatched output length is a typed error, not a panic.
+        let mut short = vec![0.0; inputs.len() - 1];
+        assert!(matches!(
+            score_spec_batch(&spec, &inputs, &mut scratch, &mut short),
+            Err(ServingError::ScoreFailed { .. })
+        ));
+        // Wrong input kind inside a session is a typed error too.
+        let dense = [0.0, 1.0];
+        let mut session = batch_session(&spec, &mut scratch);
+        assert!(matches!(
+            session.score(&ScoreInput::Dense(&dense)),
+            Err(ServingError::WrongInputKind {
+                expected: "sparse",
+                ..
+            })
+        ));
+        Ok(())
+    }
+
+    #[test]
+    fn epoch_cell_observes_promotions_without_polling() -> TestResult {
+        let (r, text, _, _) = spaces()?;
+        let reg = ServingRegistry::new(r, 10_000);
+        for v in [1, 2] {
+            reg.stage(ModelSpec {
+                name: "m".into(),
+                version: v,
+                feature_spaces: vec![text],
+                model: ExportedModel::LogReg(trained_logreg()?),
+            })?;
+        }
+        // No serving version yet: subscribing fails with a typed error.
+        assert!(matches!(
+            reg.epoch_cell("m"),
+            Err(ServingError::UnknownModel(_))
+        ));
+        reg.promote("m", 1)?;
+        let cell = reg.epoch_cell("m")?;
+        let mut pin = cell.pin();
+        assert_eq!(pin.spec().version, 1);
+        // Steady state: no epoch movement, refresh is a no-op.
+        assert!(!pin.refresh(&cell));
+        // Promote republishes into the live cell; refresh observes it.
+        reg.promote("m", 2)?;
+        assert!(pin.refresh(&cell));
+        assert_eq!(pin.spec().version, 2);
+        assert!(!pin.refresh(&cell));
+        // The registry hands back the same cell on re-subscription.
+        let again = reg.epoch_cell("m")?;
+        assert_eq!(again.epoch(), cell.epoch());
         Ok(())
     }
 

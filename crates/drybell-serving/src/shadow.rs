@@ -26,16 +26,21 @@ pub const SCORE_BUCKETS: usize = 10;
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ScoreHistogram {
     buckets: [u64; SCORE_BUCKETS],
+    /// Non-finite scores (NaN) seen. These are counted *outside* the
+    /// buckets: silently binning NaN into bucket 0 used to poison the
+    /// `score_dist/*` distributions drybell-doctor runs PSI over,
+    /// making a broken model read as a score-mass shift toward 0.
+    invalid: u64,
 }
 
 impl ScoreHistogram {
-    /// Record one score.
+    /// Record one score. NaN is counted as invalid, not binned.
     pub fn record(&mut self, score: f64) {
-        let clamped = if score.is_nan() {
-            0.0
-        } else {
-            score.clamp(0.0, 1.0)
-        };
+        if score.is_nan() {
+            self.invalid += 1;
+            return;
+        }
+        let clamped = score.clamp(0.0, 1.0);
         let i = ((clamped * SCORE_BUCKETS as f64) as usize).min(SCORE_BUCKETS - 1);
         if let Some(b) = self.buckets.get_mut(i) {
             *b += 1;
@@ -47,9 +52,15 @@ impl ScoreHistogram {
         &self.buckets
     }
 
-    /// Total scores recorded.
+    /// Total *valid* scores recorded (excludes [`ScoreHistogram::invalid`]).
     pub fn total(&self) -> u64 {
         self.buckets.iter().sum()
+    }
+
+    /// NaN scores seen — a model emitting these is broken and must be
+    /// flagged by the doctor, not absorbed into the distribution.
+    pub fn invalid(&self) -> u64 {
+        self.invalid
     }
 
     /// The counts as a JSON array.
@@ -116,9 +127,14 @@ impl ShadowReport {
         self.examples += 1;
         self.serving_dist.record(serving);
         self.candidate_dist.record(candidate);
+        // A NaN on either side is counted by the histograms' invalid
+        // counters; folding it into the gap sums would turn the whole
+        // report's mean_abs_gap into NaN.
         let gap = (candidate - serving).abs();
-        self.sum_abs_gap += gap;
-        self.max_abs_gap = self.max_abs_gap.max(gap);
+        if !gap.is_nan() {
+            self.sum_abs_gap += gap;
+            self.max_abs_gap = self.max_abs_gap.max(gap);
+        }
         let s_pos = serving >= 0.5;
         let c_pos = candidate >= 0.5;
         if s_pos != c_pos {
@@ -145,6 +161,11 @@ impl ShadowReport {
             ("max_abs_gap", Json::from(self.max_abs_gap)),
             ("score_dist/serving", self.serving_dist.to_json()),
             ("score_dist/candidate", self.candidate_dist.to_json()),
+            ("invalid/serving", Json::from(self.serving_dist.invalid())),
+            (
+                "invalid/candidate",
+                Json::from(self.candidate_dist.invalid()),
+            ),
         ])
     }
 
@@ -160,7 +181,9 @@ impl ShadowReport {
                 .field("mean_abs_gap", self.mean_abs_gap())
                 .field("max_abs_gap", self.max_abs_gap)
                 .field("score_dist/serving", self.serving_dist.to_json())
-                .field("score_dist/candidate", self.candidate_dist.to_json()),
+                .field("score_dist/candidate", self.candidate_dist.to_json())
+                .field("invalid/serving", self.serving_dist.invalid())
+                .field("invalid/candidate", self.candidate_dist.invalid()),
         );
     }
 }
@@ -425,14 +448,46 @@ mod tests {
         h.record(1.0); // clamped into the top bucket
         h.record(2.5); // clamped into the top bucket
         h.record(-0.1); // clamped into bucket 0
-        h.record(f64::NAN); // treated as 0
-        assert_eq!(h.total(), 7);
-        assert_eq!(h.counts()[0], 4);
+        h.record(f64::NAN); // counted as invalid, not binned
+        assert_eq!(h.total(), 6, "NaN must not inflate the valid total");
+        assert_eq!(h.counts()[0], 3, "NaN must not leak into bucket 0");
+        assert_eq!(h.invalid(), 1);
         assert_eq!(h.counts()[5], 1);
         assert_eq!(h.counts()[SCORE_BUCKETS - 1], 2);
         let json = h.to_json();
         assert_eq!(json.items().len(), SCORE_BUCKETS);
-        assert_eq!(json.at(0).ok_or("missing bucket 0")?.as_i64(), Some(4));
+        assert_eq!(json.at(0).ok_or("missing bucket 0")?.as_i64(), Some(3));
+        Ok(())
+    }
+
+    #[test]
+    fn nan_scores_surface_in_report_json_and_journal() -> TestResult {
+        let mut r = ShadowReport::default();
+        r.record_pair(0.7, f64::NAN); // candidate model is broken
+        r.record_pair(0.2, 0.3);
+        assert_eq!(r.serving_dist.invalid(), 0);
+        assert_eq!(r.candidate_dist.invalid(), 1);
+        // The candidate's *valid* mass is smaller than the example count:
+        // the doctor must see the invalid counter, not a phantom 0-score.
+        assert_eq!(r.candidate_dist.total(), 1);
+        assert!(r.mean_abs_gap().is_finite(), "NaN must not poison the gap");
+        assert!(r.max_abs_gap.is_finite());
+        let json = r.to_json();
+        assert_eq!(
+            json.get("invalid/candidate").and_then(|v| v.as_i64()),
+            Some(1)
+        );
+        assert_eq!(
+            json.get("invalid/serving").and_then(|v| v.as_i64()),
+            Some(0)
+        );
+        let (journal, buffer) = drybell_obs::RunJournal::in_memory();
+        r.emit_to(&journal);
+        let events = buffer.parsed_lines()?;
+        assert_eq!(
+            events[0].get("invalid/candidate").and_then(|v| v.as_i64()),
+            Some(1)
+        );
         Ok(())
     }
 
