@@ -73,7 +73,7 @@ pub use analysis::{LfReport, LfSummary};
 pub use class_conditional::{CcTrainConfig, ClassConditionalModel};
 pub use dependencies::{DependencyReport, PairDependency};
 pub use error::CoreError;
-pub use generative::{EpochStat, GenerativeModel, TrainConfig, TrainReport};
+pub use generative::{EpochStat, GenerativeModel, IncrementalState, TrainConfig, TrainReport};
 pub use matrix::{ActiveRows, LabelMatrix};
 pub use vote::Vote;
 

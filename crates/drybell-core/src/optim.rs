@@ -120,6 +120,20 @@ impl OptimState {
     pub fn steps(&self) -> u64 {
         self.t
     }
+
+    /// The current update rule.
+    pub fn rule(&self) -> Optimizer {
+        self.rule
+    }
+
+    /// Swap the update rule in place, keeping the accumulated moments
+    /// and step count. The intended use is learning-rate scheduling on
+    /// a long-lived state (streaming training decays the rate as data
+    /// accumulates); Adam/momentum moments are step-size-independent
+    /// statistics of the gradient, so they stay valid across the swap.
+    pub fn set_rule(&mut self, rule: Optimizer) {
+        self.rule = rule;
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,10 @@ pub enum FaultSite {
     Map,
     /// Reduce tasks: one per output partition.
     Reduce,
+    /// Streaming ingestion: one task per shard *arrival* (keyed by the
+    /// order in which the [`crate::stream::StreamIngestor`] first sights
+    /// each spool file).
+    Stream,
 }
 
 impl FaultSite {
@@ -53,6 +57,7 @@ impl FaultSite {
         match self {
             FaultSite::Map => "map",
             FaultSite::Reduce => "reduce",
+            FaultSite::Stream => "stream",
         }
     }
 
@@ -60,6 +65,7 @@ impl FaultSite {
         match self {
             FaultSite::Map => 0x6d61_7000,
             FaultSite::Reduce => 0x7265_6400,
+            FaultSite::Stream => 0x7374_7200,
         }
     }
 }
@@ -203,6 +209,10 @@ impl FaultPlan {
         let (error_rate, panic_rate) = match site {
             FaultSite::Map => (self.map_error_rate, self.map_panic_rate),
             FaultSite::Reduce => (self.reduce_error_rate, self.reduce_panic_rate),
+            // Stream-arrival faults are schedule-only: random rates would
+            // make the retry count (and thus the deterministic arrival
+            // sequence numbering) depend on poll timing.
+            FaultSite::Stream => (0.0, 0.0),
         };
         if panic_rate > 0.0 && self.draw(site.tag() ^ 1, task as u64, 0) < panic_rate {
             return Some(FaultKind::Panic);

@@ -19,6 +19,10 @@
 //! * [`counters`] — named job counters in the MapReduce tradition.
 //! * [`fault`] — deterministic fault injection ([`FaultPlan`]) used by the
 //!   chaos test suite to exercise the retry and skip paths.
+//! * [`stream`] — streaming ingestion: a [`stream::StreamIngestor`] that
+//!   watches a spool directory for atomically-committed shards and
+//!   delivers each exactly once, in a deterministic order (the paper's
+//!   *real-time events* workload).
 //!
 //! The engine is deliberately synchronous and thread-based: the paper's
 //! scalability claims are about *architecture* (decoupled LF execution,
@@ -35,6 +39,7 @@ pub mod fault;
 pub mod mapreduce;
 pub mod pipeline;
 pub mod shard;
+pub mod stream;
 
 #[cfg(test)]
 mod tests_mapreduce;
@@ -49,3 +54,4 @@ pub use mapreduce::{
 };
 pub use pipeline::{Pipeline, PipelineRun};
 pub use shard::{read_all, write_all, ShardReader, ShardSpec, ShardWriter, ShardWriterSet};
+pub use stream::{ArrivedShard, StreamIngestor};

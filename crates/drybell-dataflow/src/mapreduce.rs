@@ -462,7 +462,7 @@ where
     // under the phase in the exported trace.
     let phase_span = cfg.telemetry.as_ref().map(|t| match site {
         FaultSite::Map => t.span("job/map"),
-        FaultSite::Reduce => t.span("job/reduce"),
+        FaultSite::Reduce | FaultSite::Stream => t.span("job/reduce"),
     });
     let phase_parent = phase_span.as_ref().and_then(drybell_obs::Span::trace_id);
     std::thread::scope(|scope| {
@@ -540,14 +540,23 @@ fn phase_worker<W, InitF, RunF>(
         .as_ref()
         .and_then(drybell_obs::Telemetry::tracer)
         .cloned();
+    // Deferral bookkeeping since the last executed task: the earliest
+    // not-before instant seen and how many deferrals in a row. Once the
+    // streak covers every pending task, the whole queue is waiting out
+    // backoff and this worker parks until the earliest due instant —
+    // previously it kept cycling the queue on 1ms naps, which burned a
+    // wakeup (and a `dataflow/backoff_deferrals` bump) per millisecond
+    // per worker for the entire backoff window.
+    let mut earliest_due: Option<Instant> = None;
+    let mut deferred_streak = 0usize;
     while let Ok(task) = queue.rx.recv() {
         if state.failed.load(Ordering::SeqCst) {
             return;
         }
         // A retried task carries its backoff as a not-before stamp. If
-        // it is not due yet, put it back and nap only a short slice —
-        // this worker stays available for ready tasks instead of
-        // serializing the queue behind one flaky shard's backoff.
+        // it is not due yet, put it back — this worker stays available
+        // for ready tasks instead of serializing the queue behind one
+        // flaky shard's backoff.
         if let Some(due) = task.not_before {
             let now = Instant::now();
             if now < due {
@@ -555,10 +564,28 @@ fn phase_worker<W, InitF, RunF>(
                 if !queue.requeue(task) {
                     return;
                 }
-                std::thread::sleep((due - now).min(Duration::from_millis(1)));
+                earliest_due = Some(earliest_due.map_or(due, |e| e.min(due)));
+                deferred_streak += 1;
+                if deferred_streak >= queue.pending.load(Ordering::SeqCst) {
+                    // Every queued task is deferred: nothing can run
+                    // until the earliest stamp passes, so sleep exactly
+                    // that long instead of polling. A task finishing on
+                    // another worker can only *shrink* the queue, and a
+                    // requeued failure is stamped even later, so no
+                    // ready work can appear before the wakeup.
+                    if let Some(e) = earliest_due.take() {
+                        let now = Instant::now();
+                        if e > now {
+                            std::thread::sleep(e - now);
+                        }
+                    }
+                    deferred_streak = 0;
+                }
                 continue;
             }
         }
+        earliest_due = None;
+        deferred_streak = 0;
         let injected = cfg
             .fault_plan
             .as_ref()

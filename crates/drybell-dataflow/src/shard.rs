@@ -110,7 +110,7 @@ fn tmp_sibling(path: &Path) -> PathBuf {
 }
 
 /// Whether the file at `path` exists and ends in a valid commit footer.
-fn shard_is_committed(path: &Path) -> bool {
+pub(crate) fn shard_is_committed(path: &Path) -> bool {
     let Ok(bytes) = fs::read(path) else {
         return false;
     };

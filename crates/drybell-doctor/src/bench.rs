@@ -56,6 +56,18 @@ const GATED_FIELDS: &[(&str, &str, &str, Direction)] = &[
         "serving.batched_speedup",
         Direction::Floor,
     ),
+    (
+        "streaming",
+        "detect_events",
+        "streaming.detect_events",
+        Direction::Ceiling,
+    ),
+    (
+        "streaming",
+        "nll_gap",
+        "streaming.nll_gap",
+        Direction::Ceiling,
+    ),
 ];
 
 /// One gated (or informational) value from a bench document.
@@ -296,6 +308,30 @@ mod tests {
                 .and_then(Json::as_str),
             Some("floor")
         );
+    }
+
+    #[test]
+    fn streaming_gates_detection_latency_and_nll_gap() {
+        let cfg = DoctorConfig::default();
+        let doc = |detect: f64, gap: f64| {
+            Json::obj(vec![
+                ("bench", Json::from("streaming")),
+                ("detect_events", Json::from(detect)),
+                ("nll_gap", Json::from(gap)),
+            ])
+        };
+        let clean = BenchReport::gate(&doc(3.0, 0.01), &cfg).unwrap();
+        assert!(!clean.has_violation(), "{}", clean.to_table());
+        // The monitor taking too many events to flag a seeded outage
+        // is exactly the regression this gate exists to catch.
+        let late = BenchReport::gate(&doc(40.0, 0.01), &cfg).unwrap();
+        assert!(late.has_violation());
+        assert_eq!(late.verdicts[0].field, "detect_events");
+        assert_eq!(late.verdicts[0].status, Status::Drift);
+        // An incremental fit drifting away from the batch refit gates.
+        let diverged = BenchReport::gate(&doc(3.0, 0.2), &cfg).unwrap();
+        assert!(diverged.has_violation());
+        assert_eq!(diverged.verdicts[1].field, "nll_gap");
     }
 
     #[test]

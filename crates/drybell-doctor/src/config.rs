@@ -53,6 +53,13 @@ const DEFAULT_BUDGETS: &[(&str, f64)] = &[
     ("serving.invalid_scores_abs", 0.0),
     ("serving.p99_us", 20_000.0),
     ("serving.batched_speedup", 1.0),
+    // Streaming mode (`doctor bench` over BENCH_streaming.json): how
+    // many journal events the in-stream monitor may lag behind a seeded
+    // NLP outage before flagging it, and how far the incremental
+    // warm-start fit may sit above a from-scratch batch refit (mean NLL
+    // over the full stream).
+    ("streaming.detect_events", 12.0),
+    ("streaming.nll_gap", 0.05),
 ];
 
 impl Default for DoctorConfig {

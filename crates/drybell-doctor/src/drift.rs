@@ -198,9 +198,27 @@ fn psi_verdict(
             Status::New,
             "distribution new in current run".to_string(),
         ),
-        (true, true) => {
-            let d = score.unwrap_or(0.0);
-            match budget {
+        // Both sides present but no score computed: the comparison
+        // could not be made. Falling back to 0.0 here used to let an
+        // unparseable score silently pass its budget as a fake ok; a
+        // monitored-but-unjudgeable signal gates like MISSING instead.
+        (true, true) => match score {
+            None => {
+                if budget.is_some() {
+                    (
+                        None,
+                        Status::Missing,
+                        format!("{signal} present on both sides but its PSI score could not be computed"),
+                    )
+                } else {
+                    (
+                        None,
+                        Status::Info,
+                        "score not computable; no budget configured".to_string(),
+                    )
+                }
+            }
+            Some(d) => match budget {
                 Some(limit) if d > limit => (
                     Some(d),
                     Status::Drift,
@@ -208,8 +226,8 @@ fn psi_verdict(
                 ),
                 Some(_) => (Some(d), Status::Ok, budget_key.to_string()),
                 None => (Some(d), Status::Info, "no budget configured".to_string()),
-            }
-        }
+            },
+        },
     };
     Some(Verdict {
         signal: signal.to_string(),
@@ -449,6 +467,28 @@ impl DriftReport {
                 sparse_present(c),
                 cfg,
             ));
+        }
+
+        // -- Journal integrity. Every gap is a field the emitter always
+        // writes that was absent or malformed in the current run's
+        // journal: the summary folded a conservative fallback in its
+        // place, so every scalar judged above may be standing on a
+        // fabricated zero. That is not a tunable signal — it gates
+        // unconditionally as MISSING, no budget key. (Baseline-side
+        // gaps are not judged here: a corrupt baseline fails loudly
+        // when it is re-established, and gating the *current* run on
+        // historic corruption would be unactionable.)
+        for (key, count) in &cur.journal_gaps {
+            verdicts.push(Verdict {
+                signal: format!("journal/{key}"),
+                baseline: None,
+                current: Some(*count as f64),
+                delta: None,
+                budget: None,
+                kind: BudgetKind::Abs,
+                status: Status::Missing,
+                note: format!("{count} journal event(s) with field {key} absent or malformed"),
+            });
         }
 
         let fingerprint_changed = !base.config_fingerprint.is_empty()
@@ -794,6 +834,59 @@ mod tests {
             .unwrap();
         assert_eq!(v.status, Status::New);
         assert!(!v.gates());
+    }
+
+    #[test]
+    fn uncomputable_psi_score_gates_missing_instead_of_fake_ok() {
+        // Regression: a budgeted distribution present on both sides
+        // whose score could not be computed used to read as PSI 0.0 —
+        // a silent pass. It must gate as MISSING.
+        let cfg = DoctorConfig::default(); // psi.score_dist has a default budget
+        let v = psi_verdict(
+            "serving/score_dist",
+            "psi.score_dist",
+            None,
+            true,
+            true,
+            &cfg,
+        )
+        .expect("both sides present must produce a verdict");
+        assert_eq!(v.status, Status::Missing);
+        assert!(v.gates());
+        assert_eq!(v.delta, None, "no fabricated 0.0 score");
+        // Without a budget the same situation is informational only.
+        let v = psi_verdict("latency/obs/x_us", "psi.latency", None, true, true, &cfg)
+            .expect("verdict still reported for visibility");
+        assert_eq!(v.status, Status::Info);
+        assert!(!v.gates());
+    }
+
+    #[test]
+    fn journal_gaps_gate_as_missing() {
+        // A current run folded from a corrupt journal carries gap
+        // counts; each must surface as an unconditionally-gating
+        // MISSING verdict instead of letting the fabricated zeros
+        // underneath read as ok (or as spurious DRIFT).
+        let base = baseline();
+        let mut cur = base.clone();
+        cur.journal_gaps.insert("job.seconds".into(), 2);
+        let report = DriftReport::diff(&base, &cur, &DoctorConfig::default());
+        let v = report
+            .verdicts
+            .iter()
+            .find(|v| v.signal == "journal/job.seconds")
+            .unwrap();
+        assert_eq!(v.status, Status::Missing);
+        assert!(v.gates());
+        assert_eq!(v.current, Some(2.0));
+        assert!(report.has_drift());
+        // Baseline-side gaps alone do not gate the current run.
+        let report = DriftReport::diff(&cur, &base, &DoctorConfig::default());
+        assert!(!report
+            .verdicts
+            .iter()
+            .any(|v| v.signal.starts_with("journal/")));
+        assert!(!report.has_drift());
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //!   population-stability index ([`psi::psi`]) over histogram buckets
 //!   for score and latency distributions, and per-LF deltas, all with
 //!   budgets from a checked-in `doctor.toml` ([`config::DoctorConfig`]).
+//! * [`monitor::StreamMonitor`] — the in-stream variant: folds live
+//!   journal events into rolling windows ([`monitor::WindowFolder`])
+//!   and runs the same drift verdicts on each window the moment it
+//!   closes, so a degrading upstream resource is flagged within a
+//!   bounded number of *events* instead of at the next batch boundary.
 //! * `doctor` (the CLI in `src/bin/doctor.rs`) — `doctor baseline`
 //!   captures a golden run to `results/BASELINE_run.json`; `doctor
 //!   check --baseline …` exits nonzero on budget violations.
@@ -36,12 +41,14 @@
 pub mod bench;
 pub mod config;
 pub mod drift;
+pub mod monitor;
 pub mod psi;
 pub mod summary;
 
 pub use bench::{BenchReport, BenchVerdict};
 pub use config::DoctorConfig;
 pub use drift::{BudgetKind, DriftReport, Status, Verdict};
+pub use monitor::{StreamMonitor, WindowFolder, WindowVerdict};
 pub use psi::psi;
 pub use summary::{LfSignals, PhaseSummary, RunSummary, TrainSummary, SUMMARY_SCHEMA};
 

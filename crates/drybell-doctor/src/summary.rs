@@ -113,6 +113,14 @@ pub struct RunSummary {
     /// Latency histograms as sparse `(log bucket, count)` pairs, keyed
     /// by histogram name (merged from a metrics snapshot).
     pub latency: BTreeMap<String, Vec<(usize, u64)>>,
+    /// Journal-integrity gaps seen while folding: `"<kind>.<field>"` →
+    /// number of events of that kind whose required field was absent or
+    /// carried a non-numeric value. Such fields used to fold in as
+    /// `unwrap_or(0)` zeros — real-looking values manufactured from a
+    /// corrupt journal — which read as a fake ok (or a spurious DRIFT
+    /// against zero) downstream. Any gap gates `doctor check` as
+    /// MISSING (see `DriftReport::diff`).
+    pub journal_gaps: BTreeMap<String, u64>,
 }
 
 impl RunSummary {
@@ -162,10 +170,60 @@ impl RunSummary {
         Ok(s)
     }
 
-    fn fold_event(&mut self, e: &Json) {
+    pub(crate) fn fold_event(&mut self, e: &Json) {
         let kind = e.get("kind").and_then(Json::as_str).unwrap_or("");
         let f64_of = |key: &str| e.get(key).and_then(Json::as_f64);
         let u64_of = |key: &str| e.get(key).and_then(Json::as_i64).map(|v| v.max(0) as u64);
+        // Required-field reads. A field an emitter always writes that is
+        // absent — or present with a non-numeric value — is recorded as
+        // a journal gap rather than silently folding in as zero. The
+        // fold still uses the conservative fallback so partial journals
+        // stay readable, but the gap makes the fabrication visible (and
+        // gating) downstream instead of masquerading as a real value.
+        let mut gaps: Vec<&'static str> = Vec::new();
+        let req_f64 = |gaps: &mut Vec<&'static str>, key: &'static str| match e
+            .get(key)
+            .and_then(Json::as_f64)
+        {
+            Some(v) => v,
+            None => {
+                gaps.push(key);
+                0.0
+            }
+        };
+        let req_u64 = |gaps: &mut Vec<&'static str>, key: &'static str| match e
+            .get(key)
+            .and_then(Json::as_i64)
+        {
+            Some(v) => v.max(0) as u64,
+            None => {
+                gaps.push(key);
+                0
+            }
+        };
+        // Optional field: absence is legitimate (older journal shapes,
+        // sampling knobs), but a present value that fails to parse as a
+        // number is still a gap.
+        let opt_f64 = |gaps: &mut Vec<&'static str>, key: &'static str| match e.get(key) {
+            None => None,
+            Some(v) => match v.as_f64() {
+                Some(x) => Some(x),
+                None => {
+                    gaps.push(key);
+                    None
+                }
+            },
+        };
+        let opt_u64 = |gaps: &mut Vec<&'static str>, key: &'static str| match e.get(key) {
+            None => None,
+            Some(v) => match v.as_i64() {
+                Some(x) => Some(x.max(0) as u64),
+                None => {
+                    gaps.push(key);
+                    None
+                }
+            },
+        };
         match kind {
             "run_header" => {
                 self.schema_version = u64_of("schema_version").unwrap_or(0) as u32;
@@ -187,16 +245,16 @@ impl RunSummary {
                     .and_then(Json::as_str)
                     .unwrap_or_default()
                     .to_string(),
-                seconds: f64_of("seconds").unwrap_or(0.0),
-                records_in: u64_of("records_in").unwrap_or(0),
-                records_out: u64_of("records_out").unwrap_or(0),
+                seconds: req_f64(&mut gaps, "seconds"),
+                records_in: req_u64(&mut gaps, "records_in"),
+                records_out: req_u64(&mut gaps, "records_out"),
             }),
             "job" => {
-                self.wall_seconds += f64_of("seconds").unwrap_or(0.0);
+                self.wall_seconds += req_f64(&mut gaps, "seconds");
                 if let Some(busy) = e.get("worker_busy") {
                     self.busy_seconds += busy.items().iter().filter_map(Json::as_f64).sum::<f64>();
                 }
-                if let Some(ratio) = f64_of("straggler_ratio") {
+                if let Some(ratio) = opt_f64(&mut gaps, "straggler_ratio") {
                     let worst = self.straggler_ratio.unwrap_or(0.0).max(ratio);
                     self.straggler_ratio = Some(worst);
                 }
@@ -205,7 +263,7 @@ impl RunSummary {
                 self.nlp_calls += u64_of("counters/nlp_calls").unwrap_or(0);
                 self.nlp_cache_hits += u64_of("counters/nlp_cache/hits").unwrap_or(0);
                 self.nlp_cache_misses += u64_of("counters/nlp_cache/misses").unwrap_or(0);
-                self.examples = self.examples.max(u64_of("records_in").unwrap_or(0));
+                self.examples = self.examples.max(req_u64(&mut gaps, "records_in"));
                 if let Json::Obj(fields) = e {
                     for (key, value) in fields {
                         let Some(count) = value.as_i64().map(|v| v.max(0) as u64) else {
@@ -223,15 +281,15 @@ impl RunSummary {
                 }
             }
             "lf_execution" => {
-                self.wall_seconds += f64_of("seconds").unwrap_or(0.0);
-                self.nlp_calls += u64_of("nlp_calls").unwrap_or(0);
-                self.nlp_degraded += u64_of("nlp_degraded").unwrap_or(0);
+                self.wall_seconds += req_f64(&mut gaps, "seconds");
+                self.nlp_calls += req_u64(&mut gaps, "nlp_calls");
+                self.nlp_degraded += req_u64(&mut gaps, "nlp_degraded");
                 self.nlp_cache_hits += u64_of("nlp_cache/hits").unwrap_or(0);
                 self.nlp_cache_misses += u64_of("nlp_cache/misses").unwrap_or(0);
-                self.examples = self.examples.max(u64_of("examples").unwrap_or(0));
+                self.examples = self.examples.max(req_u64(&mut gaps, "examples"));
             }
             "train_epoch" => {
-                if let Some(nll) = f64_of("nll") {
+                if let Some(nll) = opt_f64(&mut gaps, "nll") {
                     let curve = &mut self
                         .train
                         .get_or_insert_with(|| TrainSummary {
@@ -245,12 +303,21 @@ impl RunSummary {
                 }
             }
             "train" => {
-                self.wall_seconds += f64_of("seconds").unwrap_or(0.0);
+                self.wall_seconds += req_f64(&mut gaps, "seconds");
                 let curve = self.train.take().map(|t| t.loss_curve).unwrap_or_default();
+                let final_nll = match f64_of("final_nll") {
+                    Some(v) => v,
+                    None => {
+                        // NaN (not 0.0): a fabricated zero NLL would
+                        // read as a perfect fit.
+                        gaps.push("final_nll");
+                        f64::NAN
+                    }
+                };
                 self.train = Some(TrainSummary {
-                    steps: u64_of("steps").unwrap_or(0),
-                    epochs: u64_of("epochs").unwrap_or(0),
-                    final_nll: f64_of("final_nll").unwrap_or(f64::NAN),
+                    steps: req_u64(&mut gaps, "steps"),
+                    epochs: req_u64(&mut gaps, "epochs"),
+                    final_nll,
                     loss_curve: curve,
                 });
             }
@@ -280,21 +347,35 @@ impl RunSummary {
                             .collect()
                     })
                 };
+                for key in ["score_dist/serving", "score_dist/candidate"] {
+                    if matches!(e.get(key), Some(v) if !matches!(v, Json::Arr(_))) {
+                        gaps.push(key);
+                    }
+                }
                 if let Some(d) = dist("score_dist/serving") {
                     self.score_dist_serving = Some(d);
                 }
                 if let Some(d) = dist("score_dist/candidate") {
                     self.score_dist_candidate = Some(d);
                 }
-                self.score_invalid_serving += u64_of("invalid/serving").unwrap_or(0);
-                self.score_invalid_candidate += u64_of("invalid/candidate").unwrap_or(0);
+                // Older journals predate the invalid counters; absence
+                // is an old shape, not corruption.
+                self.score_invalid_serving += opt_u64(&mut gaps, "invalid/serving").unwrap_or(0);
+                self.score_invalid_candidate +=
+                    opt_u64(&mut gaps, "invalid/candidate").unwrap_or(0);
             }
             "content_report" => {
-                if let Some(f1) = f64_of("drybell_f1") {
+                if let Some(f1) = opt_f64(&mut gaps, "drybell_f1") {
                     self.drybell_f1 = Some(f1);
                 }
             }
             _ => {}
+        }
+        for field in gaps {
+            *self
+                .journal_gaps
+                .entry(format!("{kind}.{field}"))
+                .or_insert(0) += 1;
         }
     }
 
@@ -512,6 +593,15 @@ impl RunSummary {
             ),
             ("drybell_f1", opt_f64(self.drybell_f1)),
             ("latency", latency),
+            (
+                "journal_gaps",
+                Json::Obj(
+                    self.journal_gaps
+                        .iter()
+                        .map(|(key, &n)| (key.clone(), Json::from(n)))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -667,6 +757,13 @@ impl RunSummary {
                 s.latency.insert(name.clone(), buckets);
             }
         }
+        if let Some(Json::Obj(gaps)) = doc.get("journal_gaps") {
+            for (key, value) in gaps {
+                if let Some(n) = value.as_i64() {
+                    s.journal_gaps.insert(key.clone(), n.max(0) as u64);
+                }
+            }
+        }
         Ok(s)
     }
 
@@ -740,6 +837,15 @@ impl RunSummary {
                 "INVALID (NaN) scores: serving {}, candidate {}\n",
                 self.score_invalid_serving, self.score_invalid_candidate
             ));
+        }
+        if !self.journal_gaps.is_empty() {
+            let total: u64 = self.journal_gaps.values().sum();
+            out.push_str(&format!(
+                "JOURNAL GAPS ({total} absent/malformed required fields):\n"
+            ));
+            for (key, n) in &self.journal_gaps {
+                out.push_str(&format!("  {key} x{n}\n"));
+            }
         }
         out
     }
@@ -835,6 +941,37 @@ mod tests {
         let reparsed = drybell_obs::parse_json(&doc.to_pretty()).unwrap();
         let back = RunSummary::from_json(&reparsed).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn corrupt_journal_fields_fold_as_gaps_not_fake_zeros() {
+        // A phase missing `seconds`, a job whose `seconds` is a string,
+        // and an lf_execution missing `examples`: each used to fold in
+        // as a real-looking zero via unwrap_or. The conservative
+        // fallback values still apply, but every fabrication is now
+        // recorded in journal_gaps so `doctor check` gates MISSING
+        // instead of reporting a fake ok (or a spurious DRIFT vs zero).
+        let text = [
+            r#"{"seq":0,"t":0.0,"kind":"phase","job":"lfs","name":"map","records_in":800,"records_out":800}"#,
+            r#"{"seq":1,"t":0.1,"kind":"job","name":"lfs","records_in":800,"records_out":800,"seconds":"oops","straggler_ratio":1.0,"worker_busy":[0.1]}"#,
+            r#"{"seq":2,"t":0.2,"kind":"lf_execution","seconds":0.2,"nlp_calls":10,"nlp_degraded":0}"#,
+        ]
+        .join("\n");
+        let s = RunSummary::from_journal_str(&text).unwrap();
+        assert_eq!(s.journal_gaps.get("phase.seconds"), Some(&1));
+        assert_eq!(s.journal_gaps.get("job.seconds"), Some(&1));
+        assert_eq!(s.journal_gaps.get("lf_execution.examples"), Some(&1));
+        // Fields that were actually present record no gap.
+        assert!(!s.journal_gaps.contains_key("phase.records_in"));
+        assert!(!s.journal_gaps.contains_key("job.straggler_ratio"));
+        // Gaps survive the baseline round trip.
+        let reparsed = drybell_obs::parse_json(&s.to_json().to_pretty()).unwrap();
+        assert_eq!(RunSummary::from_json(&reparsed).unwrap(), s);
+        // And surface in the human rendering.
+        assert!(s.to_text().contains("JOURNAL GAPS"));
+        // A clean journal records none.
+        let clean = RunSummary::from_journal_str(&golden_journal()).unwrap();
+        assert!(clean.journal_gaps.is_empty());
     }
 
     #[test]

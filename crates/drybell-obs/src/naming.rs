@@ -134,7 +134,22 @@ pub const REGISTRY: &[NameSpec] = &[
         template: "trace/spans",
         doc: "trace intervals recorded by the tracer (exported at trace write time)",
     },
+    NameSpec {
+        family: Family::Counter,
+        template: "stream/shards_seen",
+        doc: "committed shards delivered by the streaming ingestor (exactly once each)",
+    },
+    NameSpec {
+        family: Family::Counter,
+        template: "stream/events",
+        doc: "journal events folded by the in-stream drift monitor (StreamMonitor)",
+    },
     // ---- Gauges (point-in-time exports of absolute levels) ----
+    NameSpec {
+        family: Family::Gauge,
+        template: "stream/lag_us",
+        doc: "commit-to-delivery lag of the most recent shard, microseconds (StreamIngestor)",
+    },
     NameSpec {
         family: Family::Gauge,
         template: "nlp_cache/hits",
@@ -357,6 +372,11 @@ pub const REGISTRY: &[NameSpec] = &[
         family: Family::JournalKind,
         template: "serving_bench",
         doc: "one exp_serving load-generator run: throughput, tail latencies, degrade counts",
+    },
+    NameSpec {
+        family: Family::JournalKind,
+        template: "streaming_bench",
+        doc: "one exp_streaming run: detection latency, incremental-vs-refit gap, replay check",
     },
 ];
 
