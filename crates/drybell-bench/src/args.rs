@@ -28,6 +28,12 @@ pub struct ExpArgs {
     /// Write a Chrome trace-event JSON (loadable in Perfetto /
     /// `chrome://tracing`) of the run's span tree to this path.
     pub trace: Option<PathBuf>,
+    /// Serve the live observability plane (`/metrics`, `/snapshot`,
+    /// `/healthz`) on this address (e.g. `127.0.0.1:9800`; port `0`
+    /// picks a free one, printed to stderr). Also arms a flight
+    /// recorder dumping to `results/flight/` on drift, SLO breach, or
+    /// stream-fault-budget exhaustion.
+    pub live: Option<String>,
 }
 
 impl Default for ExpArgs {
@@ -44,6 +50,7 @@ impl Default for ExpArgs {
             run_id: None,
             nlp_outage: None,
             trace: None,
+            live: None,
         }
     }
 }
@@ -95,6 +102,10 @@ impl ExpArgs {
                     let v = args.next().ok_or("--trace needs a path")?;
                     out.trace = Some(PathBuf::from(v));
                 }
+                "--live" => {
+                    let v = args.next().ok_or("--live needs an address")?;
+                    out.live = Some(v);
+                }
                 "--nlp-outage" => {
                     let v = args.next().ok_or("--nlp-outage needs a rate")?;
                     let rate = v
@@ -108,7 +119,8 @@ impl ExpArgs {
                 "--help" | "-h" => {
                     return Err("usage: exp_* [--scale <f>] [--seed <n>] [--workers <n>] \
                          [--json] [--journal <path>] [--summary <path>] \
-                         [--run-id <id>] [--nlp-outage <rate>] [--trace <path>]"
+                         [--run-id <id>] [--nlp-outage <rate>] [--trace <path>] \
+                         [--live <addr>]"
                         .into())
                 }
                 other => return Err(format!("unknown flag {other:?}")),
@@ -158,13 +170,58 @@ impl ExpArgs {
                 let journal = drybell_obs::RunJournal::to_path(&path)?;
                 Some(drybell_obs::Telemetry::with_journal(journal))
             }
-            None if self.json || self.trace.is_some() => Some(drybell_obs::Telemetry::new()),
+            None if self.json || self.trace.is_some() || self.live.is_some() => {
+                Some(drybell_obs::Telemetry::new())
+            }
             None => None,
         };
-        Ok(base.map(|t| match self.trace {
-            Some(_) => t.with_trace(drybell_obs::Tracer::new()),
-            None => t,
+        Ok(base.map(|t| {
+            let t = match self.trace {
+                Some(_) => t.with_trace(drybell_obs::Tracer::new()),
+                None => t,
+            };
+            match self.live {
+                // The live plane comes with a black box: drift windows,
+                // SLO breaches, and fault-budget exhaustion dump the
+                // recent event ring to results/flight/.
+                Some(_) => t.with_flight(drybell_obs::FlightRecorder::new("results/flight")),
+                None => t,
+            }
         }))
+    }
+
+    /// Honor `--live`: bind the snapshot server on the requested
+    /// address. Hold the returned guard for the run's lifetime; it
+    /// stops serving on drop. `None` without `--live`.
+    pub fn serve_live(
+        &self,
+        telemetry: &drybell_obs::Telemetry,
+    ) -> std::io::Result<Option<drybell_obs::LiveServer>> {
+        match &self.live {
+            Some(addr) => {
+                let server = drybell_obs::LiveServer::bind(addr, telemetry)?;
+                eprintln!("live observability on http://{}", server.local_addr());
+                Ok(Some(server))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// [`ExpArgs::serve_live`], exiting when the address cannot bind.
+    pub fn serve_live_or_exit(
+        &self,
+        telemetry: &drybell_obs::Telemetry,
+    ) -> Option<drybell_obs::LiveServer> {
+        match self.serve_live(telemetry) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!(
+                    "cannot bind --live {}: {e}",
+                    self.live.as_deref().unwrap_or_default()
+                );
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Honor `--trace`: journal the tracer's `trace_summary` digest,
@@ -409,6 +466,30 @@ mod tests {
         // Self-time gauges exported for the summary.
         assert!(t.metrics().snapshot().gauge("obs/selftime/run") >= 0);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn live_flag_serves_metrics_and_keeps_the_fingerprint() {
+        let a = parse(&["--live", "127.0.0.1:0"]).unwrap();
+        assert_eq!(a.live.as_deref(), Some("127.0.0.1:0"));
+        assert!(parse(&["--live"]).is_err());
+        // Serving a snapshot endpoint is a rendering knob, not config:
+        // the fingerprint must not move.
+        let plain = parse(&[]).unwrap();
+        assert_eq!(a.fingerprint("quickstart"), plain.fingerprint("quickstart"));
+        // --live alone enables telemetry, arms the flight recorder, and
+        // binds the snapshot server.
+        let t = a.telemetry().unwrap().unwrap();
+        assert!(t.flight().is_some(), "--live must arm the flight recorder");
+        t.metrics().counter("nlp_calls").add(3);
+        let server = a.serve_live(&t).unwrap().unwrap();
+        let addr = server.local_addr();
+        use std::io::{Read, Write};
+        let mut sock = std::net::TcpStream::connect(addr).unwrap();
+        sock.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut body = String::new();
+        sock.read_to_string(&mut body).unwrap();
+        assert!(body.contains("drybell_nlp_calls 3"), "{body}");
     }
 
     #[test]

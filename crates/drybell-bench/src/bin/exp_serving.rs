@@ -31,7 +31,7 @@ use drybell_ml::{FtrlConfig, LogisticRegression, MlpScratch};
 use drybell_obs::Json;
 use drybell_serving::{
     score_spec, score_spec_batch, BatchScratch, ExportedModel, Frontend, FrontendConfig, ModelSpec,
-    OwnedInput, ScoreInput, Scored, ServingError, ServingRegistry,
+    OwnedInput, ScoreInput, Scored, ServingError, ServingRegistry, SloConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,6 +46,10 @@ const KERNEL_BATCH: usize = 64;
 
 /// Distinct request payloads cycled by the load loops.
 const POOL: usize = 256;
+
+/// Seconds the process stays up after finishing when `--live` is set,
+/// so scrapers can read the final gauges before they vanish.
+const LIVE_LINGER_S: u64 = 20;
 
 /// FNV-1a over the exact bit patterns of a float sequence: equal
 /// checksums ⇔ byte-identical values.
@@ -332,6 +336,84 @@ fn run_open_loop(
     }
 }
 
+/// Part 4: a seeded SLO breach. A front-end with multi-window burn-rate
+/// tracking and a zero latency budget: every response degrades, so the
+/// error budget burns at 1000× and the tracker must fire exactly one
+/// edge-triggered `slo_breach` (journaled, gauged on `slo/*`, and — when
+/// a flight recorder is armed via `--live` — dumped as the black box's
+/// last event).
+struct SloDrillResult {
+    requests: u64,
+    fast_error_burn_ppm: i64,
+    slow_error_burn_ppm: i64,
+    fast_p99_us: i64,
+    slow_p99_us: i64,
+}
+
+/// The drill's SLO budgets come from `doctor.toml [slo]` when the file
+/// is present — the same source of truth `doctor` gates with — falling
+/// back to the tracker's built-in defaults (which match the doctor's).
+fn slo_config() -> SloConfig {
+    let cfg = std::fs::read_to_string("doctor.toml")
+        .ok()
+        .and_then(|text| drybell_doctor::DoctorConfig::from_toml_str(&text).ok())
+        .unwrap_or_default();
+    let mut slo = SloConfig::default();
+    if let Some(v) = cfg.budget("slo.p99_us") {
+        slo.p99_budget_us = v as u64;
+    }
+    if let Some(v) = cfg.budget("slo.error_ppm") {
+        slo.error_budget_ppm = v as u64;
+    }
+    if let Some(v) = cfg.budget("slo.burn") {
+        slo.burn_threshold = v;
+    }
+    slo
+}
+
+fn run_slo_drill(
+    registry: &ServingRegistry,
+    pool: &[SparseVector],
+    telemetry: &drybell_obs::Telemetry,
+) -> SloDrillResult {
+    let requests = 12_000_u64;
+    let frontend = Frontend::for_model_with_telemetry(
+        registry,
+        "m",
+        FrontendConfig {
+            request_budget: Duration::ZERO,
+            workers: 1,
+            slo: Some(slo_config()),
+            ..FrontendConfig::default()
+        },
+        telemetry,
+    )
+    .expect("slo drill front-end");
+    for i in 0..requests {
+        let scored = frontend
+            .score(OwnedInput::Sparse(pool[i as usize % pool.len()].clone()))
+            .expect("slo drill loop");
+        assert!(scored.degraded, "zero budget must degrade every request");
+    }
+    frontend.shutdown();
+    let snap = telemetry.metrics().snapshot();
+    let result = SloDrillResult {
+        requests,
+        fast_error_burn_ppm: snap.gauge("slo/fast/error_burn_ppm"),
+        slow_error_burn_ppm: snap.gauge("slo/slow/error_burn_ppm"),
+        fast_p99_us: snap.gauge("slo/fast/p99_us"),
+        slow_p99_us: snap.gauge("slo/slow/p99_us"),
+    };
+    assert!(
+        result.fast_error_burn_ppm > 1_000_000 && result.slow_error_burn_ppm > 1_000_000,
+        "seeded breach must leave both error burn gauges over budget \
+         (fast {} ppm, slow {} ppm)",
+        result.fast_error_burn_ppm,
+        result.slow_error_burn_ppm
+    );
+    result
+}
+
 fn main() {
     let args = ExpArgs::parse();
     let quiet = args.json;
@@ -342,6 +424,7 @@ fn main() {
     };
     let telemetry = args.telemetry_or_exit().unwrap_or_default();
     args.emit_header(&telemetry, "serving");
+    let _live = args.serve_live_or_exit(&telemetry);
 
     let seed = args.seed.unwrap_or(11);
     let (registry, pool) = build_registry(seed);
@@ -407,6 +490,20 @@ fn main() {
         open.burst, open.queue_depth, open.accepted, open.rejected, open.degraded
     ));
 
+    // ---- Part 4: seeded SLO breach through the burn-rate tracker ------
+    let slo = run_slo_drill(&registry, &pool, &telemetry);
+    say(format!(
+        "\n== slo drill: {} zero-budget requests ==\n\nerror burn fast {} ppm / slow {} ppm (breach journaled{})",
+        slo.requests,
+        slo.fast_error_burn_ppm,
+        slo.slow_error_burn_ppm,
+        if telemetry.flight().is_some() {
+            ", flight ring dumped"
+        } else {
+            ""
+        }
+    ));
+
     let doc = Json::obj(vec![
         ("bench", Json::from("serving")),
         ("seed", Json::from(seed)),
@@ -447,6 +544,16 @@ fn main() {
                 ("default_score", Json::from(open.default_score)),
             ]),
         ),
+        (
+            "slo_drill",
+            Json::obj(vec![
+                ("requests", Json::from(slo.requests)),
+                ("fast_error_burn_ppm", Json::from(slo.fast_error_burn_ppm)),
+                ("slow_error_burn_ppm", Json::from(slo.slow_error_burn_ppm)),
+                ("fast_p99_us", Json::from(slo.fast_p99_us)),
+                ("slow_p99_us", Json::from(slo.slow_p99_us)),
+            ]),
+        ),
     ]);
 
     telemetry.emit(
@@ -476,5 +583,15 @@ fn main() {
     args.write_summary_or_exit(&telemetry);
     if args.json {
         println!("{}", doc.to_pretty());
+    }
+
+    // The registry and its gauges die with the process; linger so a
+    // scraper can still read the drill's burn gauges off /metrics
+    // after the results land (the CI live-smoke job depends on this).
+    if _live.is_some() {
+        say(format!(
+            "live endpoint lingering {LIVE_LINGER_S}s for scrapes"
+        ));
+        std::thread::sleep(std::time::Duration::from_secs(LIVE_LINGER_S));
     }
 }

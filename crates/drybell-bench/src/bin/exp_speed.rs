@@ -23,7 +23,10 @@
 //! execution + label-model fit with telemetry off vs on (metrics,
 //! spans, and a JSONL journal), plus the doctor's journal-fold time.
 //! Written to `results/BENCH_obs_overhead.json` so the observability
-//! stack's overhead is itself a tracked number.
+//! stack's overhead is itself a tracked number. With `--live <addr>`
+//! the measured telemetry also serves `/metrics` over HTTP while the
+//! overhead runs — the `[obs]` gate must hold with the live endpoint
+//! attached.
 
 use drybell_bench::args::ExpArgs;
 use drybell_core::generative::{GenerativeModel, TrainConfig};
@@ -399,6 +402,9 @@ fn measure_obs_overhead(args: &ExpArgs) -> ObsOverhead {
     let telemetry = drybell_obs::Telemetry::with_journal(
         drybell_obs::RunJournal::to_path(&journal_path).expect("journal"),
     );
+    // With `--live` the overhead measurement itself serves /metrics:
+    // the [obs] budget must hold with the live endpoint attached.
+    let _live = args.serve_live_or_exit(&telemetry);
 
     let (lf_off_s, (matrix, _)) = best_of(OVERHEAD_REPS, || task.run_lfs());
     let (lf_on_s, _) = best_of(OVERHEAD_REPS, || task.run_lfs_observed(Some(&telemetry)));

@@ -26,10 +26,20 @@
 //!   [`StreamMonitor`]); a seeded total NLP outage is injected
 //!   mid-stream and must gate a window verdict (`nlp/degraded`,
 //!   `lf/<name>/degraded`) within a bounded number of *events*.
+//! * **In-stream shadow PSI** — every shard also sweeps a fixed probe
+//!   pool through a [`WindowedShadow`] eval of a candidate model and
+//!   folds the resulting `shadow` event (windowed score histograms)
+//!   into the same monitor window. Mid-stream the candidate is swapped
+//!   for one trained on shifted labels; the window verdict must flag
+//!   the score-distribution PSI (`serving/score_dist_candidate`) within
+//!   the same event budget, with zero PSI false positives while the
+//!   candidate is faithful.
 //!
 //! Results land in `results/BENCH_streaming.json` for the CI
-//! `streaming-bench` gate (`doctor bench` holds `detect_events` and
-//! `nll_gap` under ceilings; see `doctor.toml [streaming]`).
+//! `streaming-bench` gate (`doctor bench` holds `detect_events`,
+//! `score_shift_detect_events`, and `nll_gap` under ceilings; see
+//! `doctor.toml [streaming]`). Pass `--live <addr>` to expose the
+//! run's telemetry over HTTP while it streams.
 
 use drybell_bench::args::ExpArgs;
 use drybell_bench::harness::ContentTask;
@@ -38,20 +48,49 @@ use drybell_core::{GenerativeModel, LabelMatrix, TrainConfig};
 use drybell_dataflow::{FaultPlan, ShardReader, ShardWriter, StreamIngestor};
 use drybell_datagen::topic::TopicDoc;
 use drybell_doctor::{DoctorConfig, StreamMonitor, WindowFolder};
+use drybell_features::{FeatureHasher, FeatureSpace, SpaceRegistry, SparseVector};
 use drybell_lf::executor::{execute_in_memory_observed, ExecOptions, ExecutionStats};
+use drybell_ml::{FtrlConfig, LogisticRegression};
 use drybell_obs::{Json, Telemetry};
+use drybell_serving::{
+    ExportedModel, ModelSpec, ScoreInput, ServingRegistry, ShadowEval, WindowedShadow,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::path::{Path, PathBuf};
 
 /// Shards the unlabeled pool is cut into.
 const SHARDS: usize = 12;
 
-/// Journal events per monitor window (each shard execution emits one
-/// `lf_execution` event, so this is also shards-per-window). The first
-/// window's worth of healthy shards builds the baseline.
-const WINDOW_EVENTS: usize = 2;
+/// Journal events per monitor window. Each shard contributes two
+/// events — `lf_execution`, then the probe pool's `shadow` report — so
+/// a window still spans two shards, and the first two healthy shards
+/// build the baseline (including its shadow score histograms; a PSI
+/// verdict without a baseline distribution reads as `New`, not drift).
+const WINDOW_EVENTS: usize = 4;
 
 /// 0-based shard indices executed under a total NLP outage.
 const OUTAGE_SHARDS: std::ops::Range<usize> = 6..8;
+
+/// First 0-based shard whose shadow eval runs against the *shifted*
+/// candidate model (v3) instead of the faithful clone (v2) — the seeded
+/// candidate-model score shift the shadow-PSI window must catch. Starts
+/// after the outage window has closed so each fault gates on its own
+/// signal family.
+const SHIFT_SHARD: usize = 8;
+
+/// Fixed probe payloads swept through the shadow eval per shard. Every
+/// sweep closes exactly one [`WindowedShadow`] window, so each shard's
+/// `shadow` event carries the histogram of the full pool.
+const PROBES: usize = 256;
+
+/// Registry versions of model `"m"`: v1 serves, v2 is the faithful
+/// candidate clone, v3 is the shifted candidate.
+const STABLE_CANDIDATE: u32 = 2;
+const SHIFTED_CANDIDATE: u32 = 3;
+
+/// Feature-hash width (log2) for the shadow models.
+const HASH_BITS: usize = 10;
 
 /// Shard index that first appears as a torn (footer-less) file.
 const TORN_SHARD: usize = 4;
@@ -105,6 +144,99 @@ fn lf_event(stats: &ExecutionStats) -> Json {
     ])
 }
 
+/// The serving registry and probe pool the in-stream shadow eval runs
+/// against. Built once and shared by both passes so replay determinism
+/// covers the shadow scores too.
+struct ShadowFixture {
+    registry: ServingRegistry,
+    probes: Vec<SparseVector>,
+}
+
+/// Stage model `"m"` v1 (serving), v2 (byte-identical clone — the
+/// faithful candidate), and v3 (trained on inverted labels — the
+/// shifted candidate), plus a fixed probe pool. While the candidate is
+/// v2 every window's score histograms match the baseline exactly (PSI
+/// 0); v3 pushes probe scores across the decision boundary, a shift
+/// PSI must flag.
+fn build_shadow_fixture(seed: u64) -> ShadowFixture {
+    let mut spaces = SpaceRegistry::new();
+    let hashed = spaces
+        .register(FeatureSpace::servable("hashed", 10))
+        .expect("fresh space registry");
+    let registry = ServingRegistry::new(spaces, 1_000);
+    let h = FeatureHasher::new(1 << HASH_BITS);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vocab: Vec<String> = (0..400).map(|i| format!("tok{i}")).collect();
+    let doc = |rng: &mut StdRng| -> Vec<&str> {
+        (0..16)
+            .map(|_| vocab[rng.gen_range(0..vocab.len())].as_str())
+            .collect()
+    };
+    let data: Vec<(SparseVector, f64)> = (0..2_000)
+        .map(|_| {
+            let tokens = doc(&mut rng);
+            let y = f64::from(u8::from(tokens.iter().any(|t| t.ends_with('7'))));
+            (h.bag_of_words(&tokens), y)
+        })
+        .collect();
+    let mut faithful = LogisticRegression::new(1 << HASH_BITS, FtrlConfig::default());
+    faithful.fit(&data).expect("faithful logreg training");
+    let inverted: Vec<(SparseVector, f64)> =
+        data.iter().map(|(x, y)| (x.clone(), 1.0 - y)).collect();
+    let mut shifted = LogisticRegression::new(1 << HASH_BITS, FtrlConfig::default());
+    shifted.fit(&inverted).expect("shifted logreg training");
+
+    for (version, model) in [(1, &faithful), (STABLE_CANDIDATE, &faithful)] {
+        registry
+            .stage(ModelSpec {
+                name: "m".into(),
+                version,
+                feature_spaces: vec![hashed],
+                model: ExportedModel::LogReg(model.clone()),
+            })
+            .expect("stage faithful");
+    }
+    registry
+        .stage(ModelSpec {
+            name: "m".into(),
+            version: SHIFTED_CANDIDATE,
+            feature_spaces: vec![hashed],
+            model: ExportedModel::LogReg(shifted),
+        })
+        .expect("stage shifted");
+    registry.promote("m", 1).expect("promote v1");
+
+    let probes: Vec<SparseVector> = (0..PROBES)
+        .map(|_| h.bag_of_words(&doc(&mut rng)))
+        .collect();
+    ShadowFixture { registry, probes }
+}
+
+/// Sweep the probe pool through a windowed shadow eval of this shard's
+/// candidate and return the closed window's `shadow` event — the score
+/// histograms the monitor judges for PSI drift.
+fn shadow_event(fixture: &ShadowFixture, shard_index: usize) -> Json {
+    let candidate = if shard_index >= SHIFT_SHARD {
+        SHIFTED_CANDIDATE
+    } else {
+        STABLE_CANDIDATE
+    };
+    let eval = ShadowEval::new(&fixture.registry, "m", candidate).expect("shadow eval");
+    let mut shadow = WindowedShadow::new(eval, fixture.probes.len() as u64);
+    let mut report = None;
+    for probe in &fixture.probes {
+        let (_score, closed) = shadow
+            .observe(ScoreInput::Sparse(probe))
+            .expect("probe scoring");
+        report = closed.or(report);
+    }
+    report
+        .expect("a full probe sweep closes exactly one window")
+        .to_event()
+        .to_json()
+}
+
 /// Everything one pass over the spool produces.
 struct StreamRun {
     model: GenerativeModel,
@@ -122,6 +254,15 @@ struct StreamRun {
     first_gating: Vec<String>,
     /// Gating windows seen before any outage event (must stay 0).
     false_positives: u64,
+    /// Events from the first shifted-candidate shadow event to the
+    /// first window gating on a score-distribution PSI signal,
+    /// inclusive (None: the shift was never flagged).
+    shift_detect_events: Option<u64>,
+    /// Score-distribution signals of the first PSI-gating window.
+    shift_gating: Vec<String>,
+    /// Windows gating on score PSI while the candidate was still
+    /// faithful (must stay 0).
+    psi_false_positives: u64,
     windows_closed: u64,
     events_seen: u64,
     param_checksum: u64,
@@ -136,6 +277,7 @@ struct StreamRun {
 /// (the replay run). Both paths process the identical shard sequence.
 fn run_stream(
     task: &ContentTask<TopicDoc>,
+    shadow: &ShadowFixture,
     spool: &Path,
     trickle: bool,
     seed: u64,
@@ -168,6 +310,10 @@ fn run_stream(
     let mut detect_events = None;
     let mut first_gating = Vec::new();
     let mut false_positives = 0u64;
+    let mut shift_started_at: Option<u64> = None;
+    let mut shift_detect_events = None;
+    let mut shift_gating = Vec::new();
+    let mut psi_false_positives = 0u64;
 
     let mut next_to_commit = 0usize;
     let mut processed = 0usize;
@@ -242,13 +388,17 @@ fn run_stream(
                 }
             }
 
-            // Feed the monitor: metric deltas first, then the event that
-            // may close the window, so the window sees its own shard.
-            let event = lf_event(&stats);
+            // Feed the monitor: metric deltas first, then the shard's
+            // event pair — `lf_execution`, then the probe pool's
+            // `shadow` histograms — so the window that closes on the
+            // second event sees its own shard on both signal families.
+            let events = [lf_event(&stats), shadow_event(shadow, shard_index)];
             let snapshot = telemetry.metrics().snapshot();
             if let Some(folder) = baseline_folder.as_mut() {
                 folder.fold_metrics(&snapshot);
-                folder.fold_event(&event);
+                for event in &events {
+                    folder.fold_event(event);
+                }
                 if folder.events() >= WINDOW_EVENTS {
                     let mut folder = baseline_folder.take().expect("folder present");
                     let baseline = folder.take();
@@ -264,17 +414,50 @@ fn run_stream(
                 if stats.nlp_degraded > 0 && outage_started_at.is_none() {
                     outage_started_at = Some(m.events_seen() + 1);
                 }
-                if let Some(verdict) = m.observe_event(&event) {
-                    if verdict.gates() {
+                if shard_index >= SHIFT_SHARD && shift_started_at.is_none() {
+                    // The shifted histograms ride the second event of
+                    // this shard's pair.
+                    shift_started_at = Some(m.events_seen() + 2);
+                }
+                for event in &events {
+                    let Some(verdict) = m.observe_event(event) else {
+                        continue;
+                    };
+                    if !verdict.gates() {
+                        continue;
+                    }
+                    let signals: Vec<String> =
+                        verdict.report.gating().map(|v| v.signal.clone()).collect();
+                    let on_psi = signals.iter().any(|s| s.contains("score_dist"));
+                    let on_outage = signals.iter().any(|s| {
+                        s == "nlp/degraded" || (s.starts_with("lf/") && s.ends_with("/degraded"))
+                    });
+                    if on_outage {
                         match outage_started_at {
                             Some(start) if detect_events.is_none() => {
                                 detect_events = Some(m.events_seen() - start + 1);
-                                first_gating =
-                                    verdict.report.gating().map(|v| v.signal.clone()).collect();
+                                first_gating = signals.clone();
                             }
                             Some(_) => {}
                             None => false_positives += 1,
                         }
+                    }
+                    if on_psi {
+                        match shift_started_at {
+                            Some(start) if shift_detect_events.is_none() => {
+                                shift_detect_events = Some(m.events_seen() - start + 1);
+                                shift_gating = signals
+                                    .iter()
+                                    .filter(|s| s.contains("score_dist"))
+                                    .cloned()
+                                    .collect();
+                            }
+                            Some(_) => {}
+                            None => psi_false_positives += 1,
+                        }
+                    }
+                    if !on_outage && !on_psi {
+                        false_positives += 1;
                     }
                 }
             }
@@ -304,6 +487,9 @@ fn run_stream(
         detect_events,
         first_gating,
         false_positives,
+        shift_detect_events,
+        shift_gating,
+        psi_false_positives,
         windows_closed: monitor.as_ref().map_or(0, |m| m.windows_closed()),
         events_seen: monitor.as_ref().map_or(0, |m| m.events_seen()),
         param_checksum,
@@ -324,19 +510,21 @@ fn main() {
     };
     let telemetry = args.telemetry_or_exit().unwrap_or_default();
     args.emit_header(&telemetry, "streaming");
+    let _live_server = args.serve_live_or_exit(&telemetry);
 
     let seed = args.seed.unwrap_or(11);
     let task = ContentTask::topic(args.scale, Some(seed), args.workers);
+    let shadow = build_shadow_fixture(seed ^ 0x7368_6164);
     let spool = tempfile::tempdir().expect("spool dir");
     say(format!(
-        "== stream: {} docs over {SHARDS} shards, outage on shards {}..{}, window {WINDOW_EVENTS} events ==\n",
+        "== stream: {} docs over {SHARDS} shards, outage on shards {}..{}, candidate shift at shard {SHIFT_SHARD}, window {WINDOW_EVENTS} events ==\n",
         task.unlabeled.len(),
         OUTAGE_SHARDS.start,
         OUTAGE_SHARDS.end,
     ));
 
     // ---- Pass 1: live trickle with torn-shard chaos --------------------
-    let live = run_stream(&task, spool.path(), true, seed, args.workers);
+    let live = run_stream(&task, &shadow, spool.path(), true, seed, args.workers);
     assert_eq!(live.shards_delivered, SHARDS as u64);
     assert_eq!(live.false_positives, 0, "healthy windows must stay quiet");
     let detect_events = live
@@ -359,8 +547,37 @@ fn main() {
         live.first_gating.join(", ")
     ));
 
+    // The seeded candidate-model score shift: flagged by the shadow-PSI
+    // window within the same event budget as the outage, with zero PSI
+    // false positives on the healthy (faithful-candidate) prefix.
+    assert_eq!(
+        live.psi_false_positives, 0,
+        "no window may gate on score PSI while the candidate is faithful"
+    );
+    let shift_detect_events = live
+        .shift_detect_events
+        .expect("the seeded candidate score shift was never flagged by a window verdict");
+    assert!(
+        live.shift_gating
+            .iter()
+            .any(|s| s == "serving/score_dist_candidate"),
+        "shift window must gate on the candidate score distribution, got {:?}",
+        live.shift_gating
+    );
+    let detect_budget = DoctorConfig::default()
+        .budget("streaming.detect_events")
+        .expect("default detect_events budget");
+    assert!(
+        shift_detect_events as f64 <= detect_budget,
+        "score shift flagged after {shift_detect_events} events, budget {detect_budget}"
+    );
+    say(format!(
+        "candidate score shift flagged {shift_detect_events} event(s) after onset; PSI signals: {}",
+        live.shift_gating.join(", ")
+    ));
+
     // ---- Pass 2: replay the same spool, byte-identical -----------------
-    let replay = run_stream(&task, spool.path(), false, seed, args.workers);
+    let replay = run_stream(&task, &shadow, spool.path(), false, seed, args.workers);
     let replay_identical = replay.param_checksum == live.param_checksum
         && replay.posterior_checksum == live.posterior_checksum;
     assert!(
@@ -368,6 +585,7 @@ fn main() {
         "replaying the spool must reproduce parameters and posteriors byte-for-byte"
     );
     assert_eq!(replay.detect_events, live.detect_events);
+    assert_eq!(replay.shift_detect_events, live.shift_detect_events);
     say(format!(
         "replay: params {:016x} posteriors {:016x} (identical: {replay_identical})",
         replay.param_checksum, replay.posterior_checksum
@@ -421,6 +639,9 @@ fn main() {
             Json::from((OUTAGE_SHARDS.end - OUTAGE_SHARDS.start) as u64),
         ),
         ("detect_events", Json::from(detect_events)),
+        ("score_shift_shard", Json::from(SHIFT_SHARD)),
+        ("score_shift_detect_events", Json::from(shift_detect_events)),
+        ("psi_false_positives", Json::from(live.psi_false_positives)),
         ("nll_gap", Json::from(nll_gap)),
         ("nll_incremental", Json::from(nll_incremental)),
         ("nll_refit", Json::from(nll_refit)),
@@ -442,12 +663,22 @@ fn main() {
                     .collect(),
             ),
         ),
+        (
+            "score_shift_gating",
+            Json::Arr(
+                live.shift_gating
+                    .iter()
+                    .map(|s| Json::from(s.clone()))
+                    .collect(),
+            ),
+        ),
     ]);
 
     telemetry.emit(
         drybell_obs::Event::new("streaming_bench")
             .field("shards", SHARDS as u64)
             .field("detect_events", detect_events)
+            .field("score_shift_detect_events", shift_detect_events)
             .field("nll_gap", nll_gap)
             .field("replay_identical", replay_identical)
             .field("degraded_examples", live.degraded_examples),

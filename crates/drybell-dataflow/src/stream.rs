@@ -37,6 +37,8 @@ use crate::shard::shard_is_committed;
 use std::collections::BTreeMap;
 use std::ffi::OsString;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 // drybell-lint: allow(determinism) — wall-clock feeds only the stream/lag_us telemetry gauge, never delivery order or results
 use std::time::SystemTime;
 
@@ -180,6 +182,14 @@ impl StreamIngestor {
                     if let Some(s) = self.sightings.get_mut(&name) {
                         s.attempts += 1;
                         if s.attempts >= self.max_attempts {
+                            // Fault budget exhausted: preserve the ring
+                            // of events leading up to the failure before
+                            // surfacing it — the dump is the post-mortem
+                            // for a fault the retry budget could not
+                            // absorb.
+                            if let Some(t) = &self.telemetry {
+                                t.dump_flight("stream_fault_budget");
+                            }
                             return Err(DataflowError::User(format!(
                                 "stream arrival {} ({}) failed {} attempts",
                                 sighting.arrival,
@@ -226,6 +236,42 @@ impl StreamIngestor {
             }
         }
         Ok(delivered)
+    }
+
+    /// Run [`StreamIngestor::poll`] as a daemon: poll, hand every
+    /// non-empty batch to `on_batch`, sleep `interval`, repeat until
+    /// `shutdown` is set (or a poll fails). The sleep is sliced into
+    /// ≤10 ms naps so a shutdown requested mid-interval takes effect
+    /// promptly even with a multi-second poll interval — the shape a
+    /// supervisor thread expects from a stoppable worker.
+    ///
+    /// Returns the number of shards delivered to `on_batch` over the
+    /// loop's lifetime.
+    pub fn poll_loop(
+        &mut self,
+        interval: Duration,
+        shutdown: &AtomicBool,
+        mut on_batch: impl FnMut(Vec<ArrivedShard>),
+    ) -> Result<u64, DataflowError> {
+        const NAP: Duration = Duration::from_millis(10);
+        let mut handed = 0_u64;
+        while !shutdown.load(Ordering::Acquire) {
+            let batch = self.poll()?;
+            if !batch.is_empty() {
+                handed += batch.len() as u64;
+                on_batch(batch);
+            }
+            let mut remaining = interval;
+            while remaining > Duration::ZERO {
+                if shutdown.load(Ordering::Acquire) {
+                    return Ok(handed);
+                }
+                let nap = remaining.min(NAP);
+                std::thread::sleep(nap);
+                remaining = remaining.saturating_sub(nap);
+            }
+        }
+        Ok(handed)
     }
 }
 
@@ -339,6 +385,85 @@ mod tests {
             .with_max_attempts(2);
         assert!(ing.poll().unwrap().is_empty());
         assert!(matches!(ing.poll(), Err(DataflowError::User(_))));
+    }
+
+    #[test]
+    fn poll_loop_delivers_and_shutdown_mid_interval_is_prompt() {
+        let dir = tempfile::tempdir().unwrap();
+        write_committed(dir.path(), "a-00000.rec", 0, 5);
+        let shutdown = std::sync::Arc::new(AtomicBool::new(false));
+        let spool = dir.path().to_path_buf();
+        let flag = std::sync::Arc::clone(&shutdown);
+        let worker = std::thread::spawn(move || {
+            let mut ing = StreamIngestor::new(&spool);
+            let mut seen = Vec::new();
+            // A one-hour interval: only sliced napping lets shutdown in.
+            let handed = ing
+                .poll_loop(Duration::from_secs(3600), &flag, |batch| {
+                    seen.extend(batch.into_iter().map(|s| s.sequence));
+                })
+                .unwrap();
+            (handed, seen)
+        });
+        // Let the first poll land, then stop the daemon mid-interval.
+        std::thread::sleep(Duration::from_millis(50));
+        let stopped_at = std::time::Instant::now();
+        shutdown.store(true, Ordering::Release);
+        let (handed, seen) = worker.join().unwrap();
+        assert!(
+            stopped_at.elapsed() < Duration::from_secs(5),
+            "shutdown must not wait out the interval"
+        );
+        assert_eq!(handed, 1);
+        assert_eq!(seen, vec![0]);
+    }
+
+    #[test]
+    fn poll_loop_with_shutdown_preset_exits_before_polling() {
+        let dir = tempfile::tempdir().unwrap();
+        write_committed(dir.path(), "a-00000.rec", 0, 5);
+        let mut ing = StreamIngestor::new(dir.path());
+        let shutdown = AtomicBool::new(true);
+        let handed = ing
+            .poll_loop(Duration::from_millis(1), &shutdown, |_| {
+                panic!("must not deliver after shutdown")
+            })
+            .unwrap();
+        assert_eq!(handed, 0);
+        assert_eq!(ing.shards_seen(), 0);
+    }
+
+    #[test]
+    fn exhausted_fault_budget_dumps_the_flight_recorder() {
+        let dir = tempfile::tempdir().unwrap();
+        write_committed(dir.path(), "a-00000.rec", 0, 5);
+        let flight_dir = dir.path().join("flight");
+        let telemetry = drybell_obs::Telemetry::new()
+            .with_flight(drybell_obs::FlightRecorder::with_capacity(&flight_dir, 16));
+        telemetry.emit(drybell_obs::Event::new("phase").field("name", "ingest"));
+        let plan = FaultPlan::seeded(3)
+            .fail_task(FaultSite::Stream, 0, 0)
+            .fail_task(FaultSite::Stream, 0, 1);
+        let mut ing = StreamIngestor::new(dir.path())
+            .with_fault_plan(plan)
+            .with_max_attempts(2)
+            .with_telemetry(telemetry.clone());
+        assert!(ing.poll().unwrap().is_empty());
+        assert!(matches!(ing.poll(), Err(DataflowError::User(_))));
+        let dumps: Vec<_> = std::fs::read_dir(&flight_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(dumps.len(), 1, "exhaustion must leave a post-mortem");
+        let text = std::fs::read_to_string(&dumps[0]).unwrap();
+        assert!(
+            text.contains("\"reason\":\"stream_fault_budget\""),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"kind\":\"phase\""),
+            "ring context kept: {text}"
+        );
     }
 
     #[test]

@@ -64,6 +64,12 @@ const GATED_FIELDS: &[(&str, &str, &str, Direction)] = &[
     ),
     (
         "streaming",
+        "score_shift_detect_events",
+        "streaming.detect_events",
+        Direction::Ceiling,
+    ),
+    (
+        "streaming",
         "nll_gap",
         "streaming.nll_gap",
         Direction::Ceiling,
@@ -313,25 +319,31 @@ mod tests {
     #[test]
     fn streaming_gates_detection_latency_and_nll_gap() {
         let cfg = DoctorConfig::default();
-        let doc = |detect: f64, gap: f64| {
+        let doc = |detect: f64, shift: f64, gap: f64| {
             Json::obj(vec![
                 ("bench", Json::from("streaming")),
                 ("detect_events", Json::from(detect)),
+                ("score_shift_detect_events", Json::from(shift)),
                 ("nll_gap", Json::from(gap)),
             ])
         };
-        let clean = BenchReport::gate(&doc(3.0, 0.01), &cfg).unwrap();
+        let clean = BenchReport::gate(&doc(3.0, 2.0, 0.01), &cfg).unwrap();
         assert!(!clean.has_violation(), "{}", clean.to_table());
         // The monitor taking too many events to flag a seeded outage
         // is exactly the regression this gate exists to catch.
-        let late = BenchReport::gate(&doc(40.0, 0.01), &cfg).unwrap();
+        let late = BenchReport::gate(&doc(40.0, 2.0, 0.01), &cfg).unwrap();
         assert!(late.has_violation());
         assert_eq!(late.verdicts[0].field, "detect_events");
         assert_eq!(late.verdicts[0].status, Status::Drift);
+        // A candidate-model score shift slipping past the shadow-PSI
+        // window shares the same event budget.
+        let slow_shift = BenchReport::gate(&doc(3.0, 40.0, 0.01), &cfg).unwrap();
+        assert!(slow_shift.has_violation());
+        assert_eq!(slow_shift.verdicts[1].field, "score_shift_detect_events");
         // An incremental fit drifting away from the batch refit gates.
-        let diverged = BenchReport::gate(&doc(3.0, 0.2), &cfg).unwrap();
+        let diverged = BenchReport::gate(&doc(3.0, 2.0, 0.2), &cfg).unwrap();
         assert!(diverged.has_violation());
-        assert_eq!(diverged.verdicts[1].field, "nll_gap");
+        assert_eq!(diverged.verdicts[2].field, "nll_gap");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! doctor baseline  --journal run.jsonl [--out results/BASELINE_run.json]
 //! doctor check     --baseline results/BASELINE_run.json --journal run.jsonl [--json]
 //! doctor bench     --file results/BENCH_obs_overhead.json [--json]
+//! doctor live      127.0.0.1:9800 [--baseline results/BASELINE_run.json]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` drift detected (`check` only), `2` usage
@@ -23,11 +24,13 @@ USAGE:
     doctor baseline  (--journal <p> | --summary <p>) [--out <p>] [options]
     doctor check     --baseline <p> (--journal <p> | --summary <p>) [options]
     doctor bench     --file <p> [--config <p>] [--json]
+    doctor live      <addr> [--baseline <p>] [--config <p>] [--json]
 
-INPUT (exactly one of; `bench` instead takes --file):
+INPUT (exactly one of; `bench` instead takes --file, `live` an address):
     --journal <path>     drybell-obs JSONL journal to summarize
     --summary <path>     a previously written RunSummary JSON document
     --file <path>        a results/BENCH_*.json document to budget-gate
+    <addr>               a --live snapshot endpoint, e.g. 127.0.0.1:9800
 
 OPTIONS:
     --metrics <path>     merge a metrics snapshot (report_json output)
@@ -52,6 +55,7 @@ struct Cli {
     config: Option<PathBuf>,
     out: Option<PathBuf>,
     file: Option<PathBuf>,
+    addr: Option<String>,
     json: bool,
 }
 
@@ -64,7 +68,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     };
     if !matches!(
         command.as_str(),
-        "summarize" | "baseline" | "check" | "bench"
+        "summarize" | "baseline" | "check" | "bench" | "live"
     ) {
         return Err(format!("unknown subcommand {command:?}"));
     }
@@ -78,6 +82,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         config: None,
         out: None,
         file: None,
+        addr: None,
         json: false,
     };
     while let Some(flag) = it.next() {
@@ -100,8 +105,23 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--file" => path_arg(&mut cli.file)?,
             "--json" => cli.json = true,
             "--help" | "-h" => return Err(String::new()),
+            other if cli.command == "live" && !other.starts_with('-') => {
+                if cli.addr.is_some() {
+                    return Err("live takes one <addr>".to_string());
+                }
+                cli.addr = Some(other.to_string());
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if cli.command == "live" {
+        if cli.addr.is_none() {
+            return Err("live needs an <addr> like 127.0.0.1:9800".to_string());
+        }
+        if cli.journal.is_some() || cli.summary.is_some() || cli.file.is_some() {
+            return Err("live takes an <addr>, not --journal/--summary/--file".to_string());
+        }
+        return Ok(cli);
     }
     if cli.command == "bench" {
         if cli.file.is_none() {
@@ -174,7 +194,70 @@ fn write_summary(summary: &RunSummary, path: &Path) -> Result<(), String> {
     std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
+/// Pull `/snapshot` from a `--live` endpoint over plain HTTP/1.0.
+fn fetch_snapshot(addr: &str) -> Result<drybell_obs::Json, String> {
+    use std::io::{Read, Write};
+    let timeout = std::time::Duration::from_secs(5);
+    let sock: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| format!("{addr}: bad address: {e}"))?;
+    let mut stream =
+        std::net::TcpStream::connect_timeout(&sock, timeout).map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .write_all(format!("GET /snapshot HTTP/1.0\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{addr}: malformed HTTP response"))?;
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains(" 200 ") {
+        return Err(format!("{addr}: {status}"));
+    }
+    drybell_obs::parse_json(body).map_err(|e| format!("{addr}: /snapshot: {e}"))
+}
+
 fn run(cli: &Cli) -> Result<ExitCode, String> {
+    if cli.command == "live" {
+        let addr = cli
+            .addr
+            .as_ref()
+            .ok_or_else(|| "live: missing <addr> (validated in parse_args)".to_string())?;
+        let snapshot = fetch_snapshot(addr)?;
+        let mut summary = RunSummary::default();
+        summary.merge_metrics_json(&snapshot);
+        let Some(baseline_path) = &cli.baseline else {
+            // No baseline: render the live process's state as-is.
+            if cli.json {
+                println!("{}", summary.to_json().to_pretty());
+            } else {
+                print!("{}", summary.to_text());
+            }
+            return Ok(ExitCode::SUCCESS);
+        };
+        let baseline = RunSummary::from_json(&load_json(baseline_path)?)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        let report = DriftReport::diff(&baseline, &summary, &load_config(cli)?);
+        if cli.json {
+            println!("{}", report.to_json().to_pretty());
+        } else {
+            print!("{}", report.to_table());
+        }
+        return Ok(if report.has_drift() {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        });
+    }
     if cli.command == "bench" {
         let path = cli.file.as_ref().expect("validated in parse_args");
         let report = BenchReport::gate(&load_json(path)?, &load_config(cli)?)

@@ -60,6 +60,13 @@ const DEFAULT_BUDGETS: &[(&str, f64)] = &[
     // over the full stream).
     ("streaming.detect_events", 12.0),
     ("streaming.nll_gap", 0.05),
+    // Live SLO tracking (front-end rolling windows): p99 latency
+    // ceiling, error-rate ceiling in parts-per-million, and the
+    // burn-rate multiple both windows must exceed before a breach
+    // fires (1.0 = burning exactly the budget).
+    ("slo.p99_us", 20_000.0),
+    ("slo.error_ppm", 1_000.0),
+    ("slo.burn", 1.0),
 ];
 
 impl Default for DoctorConfig {

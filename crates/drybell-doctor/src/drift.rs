@@ -491,6 +491,27 @@ impl DriftReport {
             });
         }
 
+        // -- Counter resets. A cumulative counter moving backwards means
+        // a producer restarted mid-window; the folder clamped the delta
+        // to zero instead of underflowing, so the window's per-LF rates
+        // may *under*-state reality. Worth a look, not an alarm: INFO,
+        // never gates.
+        if cur.counter_resets > 0 {
+            verdicts.push(Verdict {
+                signal: "stream/counter_resets".to_string(),
+                baseline: None,
+                current: Some(cur.counter_resets as f64),
+                delta: None,
+                budget: None,
+                kind: BudgetKind::Abs,
+                status: Status::Info,
+                note: format!(
+                    "{} cumulative counter(s) moved backwards (producer restart); deltas clamped to zero",
+                    cur.counter_resets
+                ),
+            });
+        }
+
         let fingerprint_changed = !base.config_fingerprint.is_empty()
             && !cur.config_fingerprint.is_empty()
             && base.config_fingerprint != cur.config_fingerprint;

@@ -94,9 +94,22 @@ impl WindowFolder {
     /// deliberately *not* read from the snapshot: `lf_execution`
     /// journal events already carry those as per-execution deltas, and
     /// folding both sources would double-count.
-    pub fn fold_metrics(&mut self, snapshot: &MetricsSnapshot) {
+    ///
+    /// A cumulative counter that moves *backwards* means the producer
+    /// restarted: the delta is clamped to zero (not underflowed into a
+    /// huge spurious value), the reset is tallied into the window's
+    /// `counter_resets` — which flags the window `info` at diff time —
+    /// and the new lower value becomes the delta base. Returns the
+    /// number of resets this snapshot exhibited.
+    pub fn fold_metrics(&mut self, snapshot: &MetricsSnapshot) -> u64 {
+        let mut resets = 0u64;
         for (name, value) in &snapshot.counters {
             let prev = self.prev.insert(format!("c/{name}"), *value).unwrap_or(0);
+            if *value < prev {
+                resets += 1;
+                self.summary.counter_resets += 1;
+                continue;
+            }
             let delta = value.saturating_sub(prev);
             if delta == 0 {
                 continue;
@@ -111,6 +124,7 @@ impl WindowFolder {
                 self.summary.lfs.entry(lf.to_string()).or_default().degraded += delta;
             }
         }
+        resets
     }
 
     /// Close the window: hand out its summary and start a fresh one.
@@ -232,9 +246,15 @@ impl StreamMonitor {
 
     /// Observe a cumulative metrics snapshot (delta-folded into the
     /// current window). Snapshots do not count toward the window size —
-    /// they are a sampling side-channel, not stream progress.
+    /// they are a sampling side-channel, not stream progress. Counter
+    /// resets (a restarted producer) bump `stream/counter_resets`.
     pub fn observe_metrics(&mut self, snapshot: &MetricsSnapshot) {
-        self.folder.fold_metrics(snapshot);
+        let resets = self.folder.fold_metrics(snapshot);
+        if resets > 0 {
+            if let Some(t) = &self.telemetry {
+                t.metrics().counter("stream/counter_resets").add(resets);
+            }
+        }
     }
 
     /// Close the current window even if short, judging whatever has
@@ -258,6 +278,13 @@ impl StreamMonitor {
         }
         self.windows_closed += 1;
         let report = DriftReport::diff(&self.baseline, &summary, &self.cfg);
+        if report.has_drift() {
+            if let Some(t) = &self.telemetry {
+                // A gating window is a fault: capture the last-N-events
+                // context while it is still resident.
+                t.dump_flight("drift_window");
+            }
+        }
         WindowVerdict {
             window: self.windows_closed,
             events,
@@ -406,6 +433,132 @@ mod tests {
                 .any(|s| s.starts_with("journal/lf_execution.")),
             "journal gap should gate the window, got {gating:?}"
         );
+    }
+
+    /// A minimal `shadow` event carrying per-window score histograms.
+    fn shadow_event(serving: &[u64], candidate: &[u64]) -> Json {
+        let fmt = |d: &[u64]| {
+            d.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let line = format!(
+            "{{\"kind\":\"shadow\",\"score_dist/serving\":[{}],\"score_dist/candidate\":[{}],\
+             \"invalid/serving\":0,\"invalid/candidate\":0}}",
+            fmt(serving),
+            fmt(candidate)
+        );
+        drybell_obs::parse_json(&line).expect("test event parses")
+    }
+
+    #[test]
+    fn counter_reset_clamps_counts_and_flags_info() {
+        let telemetry = Telemetry::new();
+        let baseline = window_baseline(2, 100, 160);
+        let mut monitor = StreamMonitor::new(baseline, DoctorConfig::default(), 2)
+            .with_telemetry(telemetry.clone());
+        monitor.observe_metrics(&snapshot_at(80, 0));
+        monitor.observe_event(&lf_execution(100, 0));
+        // Producer restarted: the cumulative vote counter fell 80 → 20.
+        monitor.observe_metrics(&snapshot_at(20, 0));
+        // It resumes from the new base: 20 → 100 folds as 80, so the
+        // window's total is 160 — same as the healthy baseline, not an
+        // underflowed u64 and not the restarted counter double-counted.
+        monitor.observe_metrics(&snapshot_at(100, 0));
+        let v = monitor
+            .observe_event(&lf_execution(100, 0))
+            .expect("second event closes the window");
+        assert_eq!(v.summary.lfs["topic"].votes, Some(160));
+        assert_eq!(v.summary.counter_resets, 1);
+        assert_eq!(
+            telemetry
+                .metrics()
+                .snapshot()
+                .counter("stream/counter_resets"),
+            1
+        );
+        let reset = v
+            .report
+            .verdicts
+            .iter()
+            .find(|g| g.signal == "stream/counter_resets")
+            .expect("reset verdict present");
+        assert_eq!(reset.status, Status::Info, "resets inform, never gate");
+        assert!(
+            !v.gates(),
+            "clamped window must not gate: {}",
+            v.report.to_table()
+        );
+    }
+
+    #[test]
+    fn drifted_shadow_dist_gates_its_window_in_stream() {
+        let stable = [40u64, 60, 80, 60, 40, 30, 30, 25, 20, 15];
+        let shifted = [5u64, 5, 10, 20, 40, 60, 80, 70, 60, 50];
+        // Baseline window: one lf_execution plus a healthy shadow
+        // report, so both sides carry score dists and PSI is judged.
+        let mut folder = WindowFolder::new();
+        folder.fold_event(&lf_execution(100, 0));
+        folder.fold_event(&shadow_event(&stable, &stable));
+        let baseline = folder.take();
+        let mut monitor =
+            StreamMonitor::new(baseline, DoctorConfig::default(), 2).with_folder(folder);
+        // Healthy window: identical distributions, PSI 0, quiet.
+        monitor.observe_event(&lf_execution(100, 0));
+        let v = monitor
+            .observe_event(&shadow_event(&stable, &stable))
+            .expect("window closes");
+        assert!(!v.gates(), "healthy window gated: {}", v.report.to_table());
+        // Candidate model's scores shift: the window's candidate PSI
+        // blows the psi.score_dist budget while serving stays stable.
+        monitor.observe_event(&lf_execution(100, 0));
+        let v = monitor
+            .observe_event(&shadow_event(&stable, &shifted))
+            .expect("window closes");
+        assert!(v.gates(), "shifted window must gate");
+        let gating: Vec<&str> = v.report.gating().map(|g| g.signal.as_str()).collect();
+        assert!(
+            gating.contains(&"serving/score_dist_candidate"),
+            "candidate score PSI should gate, got {gating:?}"
+        );
+        assert!(
+            !gating.contains(&"serving/score_dist"),
+            "serving dist unchanged, got {gating:?}"
+        );
+    }
+
+    #[test]
+    fn gating_window_triggers_a_flight_dump() {
+        let dir = std::env::temp_dir().join(format!("doctor-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let recorder = drybell_obs::FlightRecorder::with_capacity(&dir, 32);
+        let telemetry = Telemetry::new().with_flight(recorder.clone());
+        let baseline = window_baseline(1, 100, 80);
+        let mut monitor = StreamMonitor::new(baseline, DoctorConfig::default(), 1)
+            .with_telemetry(telemetry.clone());
+        // Healthy window: no dump.
+        telemetry.emit(drybell_obs::Event::new("phase").field("name", "healthy"));
+        monitor.observe_metrics(&snapshot_at(80, 0));
+        let v = monitor.observe_event(&lf_execution(100, 0)).unwrap();
+        assert!(!v.gates());
+        assert!(std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0) == 0);
+        // Degraded window: the DRIFT verdict dumps the ring.
+        monitor.observe_metrics(&snapshot_at(160, 40));
+        let v = monitor.observe_event(&lf_execution(100, 40)).unwrap();
+        assert!(v.gates());
+        let dumps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(dumps.len(), 1, "one gating window, one dump");
+        let text = std::fs::read_to_string(&dumps[0]).unwrap();
+        assert!(text.contains("\"reason\":\"drift_window\""), "{text}");
+        assert!(
+            text.contains("\"kind\":\"phase\""),
+            "ring context preserved: {text}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

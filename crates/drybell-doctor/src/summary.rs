@@ -121,6 +121,11 @@ pub struct RunSummary {
     /// against zero) downstream. Any gap gates `doctor check` as
     /// MISSING (see `DriftReport::diff`).
     pub journal_gaps: BTreeMap<String, u64>,
+    /// Cumulative counters observed moving backwards while folding
+    /// metric snapshots (a restarted producer; see
+    /// `WindowFolder::fold_metrics`). Clamped rather than underflowed;
+    /// flags the window `info` at diff time, never gates.
+    pub counter_resets: u64,
 }
 
 impl RunSummary {
@@ -602,6 +607,7 @@ impl RunSummary {
                         .collect(),
                 ),
             ),
+            ("counter_resets", Json::from(self.counter_resets)),
         ])
     }
 
@@ -665,6 +671,7 @@ impl RunSummary {
             score_invalid_serving: u64_of("score_invalid_serving"),
             score_invalid_candidate: u64_of("score_invalid_candidate"),
             drybell_f1: opt_f64("drybell_f1"),
+            counter_resets: u64_of("counter_resets"),
             ..RunSummary::default()
         };
         if s.run_id.is_empty() {
@@ -846,6 +853,12 @@ impl RunSummary {
             for (key, n) in &self.journal_gaps {
                 out.push_str(&format!("  {key} x{n}\n"));
             }
+        }
+        if self.counter_resets > 0 {
+            out.push_str(&format!(
+                "counter resets (producer restarts): {}\n",
+                self.counter_resets
+            ));
         }
         out
     }

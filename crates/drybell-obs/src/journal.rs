@@ -69,6 +69,17 @@ impl Event {
         &self.kind
     }
 
+    /// The event as a standalone JSON object: `kind` plus the fields in
+    /// attachment order, without the journal's `seq`/`t` envelope (those
+    /// are assigned at emit time). Used by side channels that observe
+    /// events without owning them — e.g. the flight recorder's ring.
+    pub fn to_json(&self) -> Json {
+        let mut fields = Vec::with_capacity(self.fields.len() + 1);
+        fields.push(("kind".to_string(), Json::Str(self.kind.clone())));
+        fields.extend(self.fields.iter().cloned());
+        Json::Obj(fields)
+    }
+
     fn into_json(self, seq: u64, t_seconds: f64) -> Json {
         let mut fields = Vec::with_capacity(self.fields.len() + 3);
         fields.push(("seq".to_string(), Json::from(seq)));

@@ -37,8 +37,10 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod flight;
 pub mod journal;
 pub mod json;
+pub mod live;
 pub mod metrics;
 pub mod naming;
 pub mod report;
@@ -46,8 +48,10 @@ pub mod shard;
 pub mod span;
 pub mod trace;
 
+pub use flight::FlightRecorder;
 pub use journal::{config_fingerprint, Event, JournalBuffer, RunJournal, SCHEMA_VERSION};
 pub use json::{parse as parse_json, Json, JsonError};
+pub use live::LiveServer;
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, LocalHistogram, MetricsRegistry, MetricsSnapshot,
 };
@@ -59,13 +63,14 @@ pub use span::{Span, SpanSet, SpanSnapshot, SpanStat};
 pub use trace::{SelfTime, TraceEvent, TraceHandle, Tracer};
 
 /// The bundle handed down a pipeline: metrics + spans + optional
-/// journal and tracer.
+/// journal, tracer, and flight recorder.
 #[derive(Debug, Default, Clone)]
 pub struct Telemetry {
     metrics: MetricsRegistry,
     spans: SpanSet,
     journal: Option<RunJournal>,
     tracer: Option<Tracer>,
+    flight: Option<FlightRecorder>,
 }
 
 impl Telemetry {
@@ -110,18 +115,54 @@ impl Telemetry {
         self.tracer.as_ref()
     }
 
-    /// Emit an event to the journal; a no-op without one.
+    /// The same bundle with a flight recorder attached: every emitted
+    /// event (and every closed span, as a `span_sample` line) is
+    /// mirrored into the recorder's ring for fault-triggered dumps.
+    pub fn with_flight(mut self, flight: FlightRecorder) -> Telemetry {
+        self.flight = Some(flight);
+        self
+    }
+
+    /// The flight recorder, if one is attached.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Emit an event to the journal (a no-op without one), mirroring it
+    /// into the flight recorder's ring when one is attached.
     pub fn emit(&self, event: Event) {
+        if let Some(flight) = &self.flight {
+            flight.record(event.to_json());
+        }
         if let Some(journal) = &self.journal {
             journal.emit(event);
         }
     }
 
-    /// Open a span at `path` — traced when a tracer is attached.
+    /// Dump the flight recorder's ring (see [`FlightRecorder::dump`])
+    /// and journal a `flight_dump` event pointing at the file. Returns
+    /// the dump path, or `None` when no recorder is attached or the
+    /// write failed (telemetry never takes down the pipeline).
+    pub fn dump_flight(&self, reason: &str) -> Option<std::path::PathBuf> {
+        let flight = self.flight.as_ref()?;
+        let path = flight.dump(reason).ok()?;
+        self.emit(
+            Event::new("flight_dump")
+                .field("reason", reason)
+                .field("path", path.display().to_string()),
+        );
+        Some(path)
+    }
+
+    /// Open a span at `path` — traced when a tracer is attached, and
+    /// mirrored into the flight recorder when one is attached.
     pub fn span(&self, path: &str) -> Span {
-        let span = self.spans.span(path);
-        match &self.tracer {
-            Some(tracer) => span.with_trace(tracer),
+        let mut span = self.spans.span(path);
+        if let Some(tracer) = &self.tracer {
+            span = span.with_trace(tracer);
+        }
+        match &self.flight {
+            Some(flight) => span.with_flight(flight.clone()),
             None => span,
         }
     }
@@ -191,6 +232,52 @@ mod tests {
         let clone = telemetry.clone();
         clone.metrics().counter("x").inc();
         assert_eq!(telemetry.metrics().snapshot().counter("x"), 1);
+    }
+
+    #[test]
+    fn flight_recorder_mirrors_events_and_spans() {
+        let dir = std::env::temp_dir().join(format!("obs-telemetry-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (journal, buffer) = RunJournal::in_memory();
+        let recorder = FlightRecorder::with_capacity(&dir, 16);
+        let telemetry = Telemetry::with_journal(journal).with_flight(recorder.clone());
+        {
+            let _s = telemetry.span("run");
+        }
+        telemetry.emit(Event::new("phase").field("name", "map"));
+        telemetry.emit(Event::new("slo_breach").field("window", "fast"));
+        assert_eq!(recorder.len(), 3);
+        let path = telemetry.dump_flight("slo_breach").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<Json> = text.lines().map(|l| parse_json(l).unwrap()).collect();
+        // Header, span sample, then the two events — trigger last.
+        assert_eq!(lines[1].get("kind").unwrap().as_str(), Some("span_sample"));
+        assert_eq!(lines[1].get("path").unwrap().as_str(), Some("run"));
+        assert_eq!(
+            lines.last().unwrap().get("kind").unwrap().as_str(),
+            Some("slo_breach")
+        );
+        // The dump journaled a flight_dump event pointing at the file.
+        let journal_lines = buffer.parsed_lines().unwrap();
+        let dump = journal_lines
+            .iter()
+            .find(|l| l.get("kind").unwrap().as_str() == Some("flight_dump"))
+            .unwrap();
+        assert_eq!(dump.get("reason").unwrap().as_str(), Some("slo_breach"));
+        assert_eq!(
+            dump.get("path").unwrap().as_str(),
+            Some(path.display().to_string().as_str())
+        );
+        // And the flight_dump event itself seeds the next ring.
+        assert_eq!(recorder.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dump_flight_without_recorder_is_a_no_op() {
+        let telemetry = Telemetry::new();
+        assert!(telemetry.flight().is_none());
+        assert!(telemetry.dump_flight("anything").is_none());
     }
 
     #[test]

@@ -144,6 +144,16 @@ pub const REGISTRY: &[NameSpec] = &[
         template: "stream/events",
         doc: "journal events folded by the in-stream drift monitor (StreamMonitor)",
     },
+    NameSpec {
+        family: Family::Counter,
+        template: "stream/counter_resets",
+        doc: "cumulative-counter resets observed by WindowFolder (a producer restarted)",
+    },
+    NameSpec {
+        family: Family::Counter,
+        template: "live/requests",
+        doc: "HTTP requests answered by the in-process live snapshot server",
+    },
     // ---- Gauges (point-in-time exports of absolute levels) ----
     NameSpec {
         family: Family::Gauge,
@@ -209,6 +219,26 @@ pub const REGISTRY: &[NameSpec] = &[
         family: Family::Gauge,
         template: "serving/batch_size",
         doc: "size of the most recent micro-batch drained by a scoring worker",
+    },
+    NameSpec {
+        family: Family::Gauge,
+        template: "slo/{window}/p99_us",
+        doc: "rolling-window p99 request latency per SLO window (fast/slow), µs",
+    },
+    NameSpec {
+        family: Family::Gauge,
+        template: "slo/{window}/error_ppm",
+        doc: "rolling-window degraded/error rate per SLO window, parts-per-million",
+    },
+    NameSpec {
+        family: Family::Gauge,
+        template: "slo/{window}/p99_burn_ppm",
+        doc: "latency burn rate per SLO window: window p99 over budget, ppm fixed point",
+    },
+    NameSpec {
+        family: Family::Gauge,
+        template: "slo/{window}/error_burn_ppm",
+        doc: "error burn rate per SLO window: window error rate over budget, ppm fixed point",
     },
     // ---- Histograms (obs-layer, microseconds, `_us` suffix) ----
     NameSpec {
@@ -378,6 +408,16 @@ pub const REGISTRY: &[NameSpec] = &[
         template: "streaming_bench",
         doc: "one exp_streaming run: detection latency, incremental-vs-refit gap, replay check",
     },
+    NameSpec {
+        family: Family::JournalKind,
+        template: "slo_breach",
+        doc: "both SLO burn-rate windows exceeded budget (front-end, edge-triggered)",
+    },
+    NameSpec {
+        family: Family::JournalKind,
+        template: "flight_dump",
+        doc: "the flight recorder dumped its ring to flight-<ts>.jsonl, with the trigger reason",
+    },
 ];
 
 /// Whether `segment` is a `{placeholder}` (dynamic) segment. `{}` — the
@@ -522,6 +562,13 @@ mod tests {
         assert!(is_registered(Family::JournalKind, "lf_report"));
         assert!(is_registered(Family::JournalKind, "trace_summary"));
         assert!(is_registered(Family::Counter, "trace/spans"));
+        assert!(is_registered(Family::Counter, "stream/counter_resets"));
+        assert!(is_registered(Family::Counter, "live/requests"));
+        assert!(is_registered(Family::Gauge, "slo/fast/p99_us"));
+        assert!(is_registered(Family::Gauge, "slo/slow/error_burn_ppm"));
+        assert!(!is_registered(Family::Gauge, "slo/fast/p99"));
+        assert!(is_registered(Family::JournalKind, "slo_breach"));
+        assert!(is_registered(Family::JournalKind, "flight_dump"));
         assert!(is_registered(Family::Gauge, "obs/selftime/run"));
         assert!(is_registered(Family::Gauge, "obs/selftime/job_map"));
         assert!(!is_registered(Family::Gauge, "obs/selftime/job/map"));

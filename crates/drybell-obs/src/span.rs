@@ -18,6 +18,7 @@
 //!
 //! [`Tracer`]: crate::trace::Tracer
 
+use crate::flight::FlightRecorder;
 use crate::trace::{TraceHandle, Tracer};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -75,6 +76,7 @@ impl SpanSet {
             path: path.to_string(),
             start: Instant::now(),
             trace: None,
+            flight: None,
         }
     }
 
@@ -128,6 +130,7 @@ pub struct Span {
     path: String,
     start: Instant,
     trace: Option<TraceHandle>,
+    flight: Option<FlightRecorder>,
 }
 
 impl Span {
@@ -147,6 +150,15 @@ impl Span {
         self
     }
 
+    /// Attach a flight recorder: on drop the span also mirrors a
+    /// `span_sample` line into the recorder's ring, so fault dumps show
+    /// what the process was doing. Used by `Telemetry::span` when a
+    /// recorder is configured.
+    pub fn with_flight(mut self, flight: FlightRecorder) -> Span {
+        self.flight = Some(flight);
+        self
+    }
+
     /// The trace id of this span's interval, when traced — the parent
     /// for explicitly-parented child intervals on other threads.
     pub fn trace_id(&self) -> Option<u64> {
@@ -160,6 +172,7 @@ impl Span {
         if let Some(trace) = &self.trace {
             child.trace = Some(trace.child());
         }
+        child.flight = self.flight.clone();
         child
     }
 
@@ -175,6 +188,9 @@ impl Drop for Span {
         self.set.record(&self.path, elapsed);
         if let Some(trace) = self.trace.take() {
             trace.close(&self.path, self.start);
+        }
+        if let Some(flight) = self.flight.take() {
+            flight.span_sample(&self.path, elapsed);
         }
     }
 }

@@ -485,6 +485,53 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_export_is_well_formed_and_lossless() {
+        // Workers keep opening children while the main thread exports;
+        // every intermediate export must parse, and once the workers
+        // join, no span may be missing.
+        let tracer = Tracer::new();
+        let t0 = Instant::now();
+        let root = tracer.open();
+        let root_id = root.id();
+        const WORKERS: usize = 4;
+        const SPANS_PER_WORKER: usize = 200;
+        std::thread::scope(|scope| {
+            for _ in 0..WORKERS {
+                let tracer = tracer.clone();
+                scope.spawn(move || {
+                    for _ in 0..SPANS_PER_WORKER {
+                        let started = Instant::now();
+                        let child = tracer.open_child_of(Some(root_id));
+                        child.close("job/shard_attempt", started);
+                    }
+                });
+            }
+            // Export mid-flight, repeatedly, while children are opening.
+            for _ in 0..20 {
+                let doc = tracer.to_chrome_json();
+                let reparsed = crate::json::parse(&doc.to_pretty()).unwrap();
+                let events = reparsed.get("traceEvents").unwrap().items();
+                assert_eq!(events.len(), doc.get("traceEvents").unwrap().items().len());
+                for e in events {
+                    assert!(e.get("name").unwrap().as_str().is_some());
+                    assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+                    assert!(e.get("args").unwrap().get("id").unwrap().as_i64().is_some());
+                }
+            }
+        });
+        root.close("run", t0);
+        let doc = tracer.to_chrome_json();
+        let reparsed = crate::json::parse(&doc.to_pretty()).unwrap();
+        let events = reparsed.get("traceEvents").unwrap().items();
+        assert_eq!(events.len(), WORKERS * SPANS_PER_WORKER + 1);
+        let attempts = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("job/shard_attempt"))
+            .count();
+        assert_eq!(attempts, WORKERS * SPANS_PER_WORKER);
+    }
+
+    #[test]
     fn self_times_subtract_children() {
         let tracer = Tracer::new();
         // Build a deterministic tree from explicit timestamps:

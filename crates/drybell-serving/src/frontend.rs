@@ -39,6 +39,7 @@
 //!   (`degraded: true`, counted in `serving/degraded`) instead of
 //!   burning batch time on an answer the caller has given up on.
 
+use crate::slo::{SloConfig, SloTracker, WindowStats};
 use crate::{batch_session, BatchScratch, EpochCell, ScoreInput, ServingError, ServingRegistry};
 use drybell_features::SparseVector;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -65,6 +66,11 @@ pub struct FrontendConfig {
     /// queue until [`Frontend::shutdown`] answers them with
     /// [`ServingError::Shutdown`]) and is used by admission tests.
     pub workers: usize,
+    /// SLO budgets to judge the request stream against. `None` (the
+    /// default) disables tracking; `Some` requires telemetry
+    /// ([`Frontend::for_model_with_telemetry`]) for the gauges and
+    /// breach events to land anywhere.
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for FrontendConfig {
@@ -76,6 +82,7 @@ impl Default for FrontendConfig {
             request_budget: Duration::from_millis(20),
             default_score: 0.5,
             workers: 2,
+            slo: None,
         }
     }
 }
@@ -219,6 +226,84 @@ struct FrontendInstruments {
     /// `obs/serving/request_us` — end-to-end admission-to-fulfil
     /// latency per request (the p50/p99/p999 source).
     request_us: drybell_obs::HistogramSlot,
+    /// SLO judge, present when [`FrontendConfig::slo`] is set.
+    slo: Option<SloInstruments>,
+}
+
+/// One window's pre-interned `slo/{window}/*` gauges.
+struct SloGauges {
+    p99_us: Arc<drybell_obs::Gauge>,
+    error_ppm: Arc<drybell_obs::Gauge>,
+    p99_burn_ppm: Arc<drybell_obs::Gauge>,
+    error_burn_ppm: Arc<drybell_obs::Gauge>,
+}
+
+impl SloGauges {
+    fn interned(metrics: &drybell_obs::MetricsRegistry, window: &str) -> SloGauges {
+        SloGauges {
+            p99_us: metrics.gauge(&format!("slo/{window}/p99_us")),
+            error_ppm: metrics.gauge(&format!("slo/{window}/error_ppm")),
+            p99_burn_ppm: metrics.gauge(&format!("slo/{window}/p99_burn_ppm")),
+            error_burn_ppm: metrics.gauge(&format!("slo/{window}/error_burn_ppm")),
+        }
+    }
+
+    fn publish(&self, stats: &WindowStats) {
+        self.p99_us.set(stats.p99_us as i64);
+        self.error_ppm.set(stats.error_ppm as i64);
+        self.p99_burn_ppm.set(stats.p99_burn_ppm as i64);
+        self.error_burn_ppm.set(stats.error_burn_ppm as i64);
+    }
+}
+
+/// SLO tracking shared by all workers: the tracker is locked **once
+/// per batch** (never per request) to fold that batch's latency/error
+/// pairs, refresh the burn gauges, and catch the breach edge.
+struct SloInstruments {
+    tracker: parking_lot::Mutex<SloTracker>,
+    fast: SloGauges,
+    slow: SloGauges,
+}
+
+impl SloInstruments {
+    fn interned(metrics: &drybell_obs::MetricsRegistry, cfg: SloConfig) -> SloInstruments {
+        SloInstruments {
+            tracker: parking_lot::Mutex::new(SloTracker::new(cfg)),
+            fast: SloGauges::interned(metrics, "fast"),
+            slow: SloGauges::interned(metrics, "slow"),
+        }
+    }
+
+    /// Fold one batch of `(latency_us, error)` samples. On a breach
+    /// edge, journal an `slo_breach` event and dump the flight
+    /// recorder — the event is teed into the ring first, so the dump's
+    /// last ring line *is* the breach.
+    fn observe_batch(&self, samples: &[(u64, bool)], telemetry: &drybell_obs::Telemetry) {
+        let mut breaches = Vec::new();
+        {
+            let mut tracker = self.tracker.lock();
+            for &(latency_us, error) in samples {
+                breaches.extend(tracker.observe(latency_us, error));
+            }
+            self.fast.publish(&tracker.fast());
+            self.slow.publish(&tracker.slow());
+        }
+        for b in breaches {
+            telemetry.emit(
+                drybell_obs::Event::new("slo_breach")
+                    .field("signal", b.signal)
+                    .field("fast/p99_us", b.fast.p99_us)
+                    .field("fast/error_ppm", b.fast.error_ppm)
+                    .field("fast/p99_burn_ppm", b.fast.p99_burn_ppm)
+                    .field("fast/error_burn_ppm", b.fast.error_burn_ppm)
+                    .field("slow/p99_us", b.slow.p99_us)
+                    .field("slow/error_ppm", b.slow.error_ppm)
+                    .field("slow/p99_burn_ppm", b.slow.p99_burn_ppm)
+                    .field("slow/error_burn_ppm", b.slow.error_burn_ppm),
+            );
+            telemetry.dump_flight("slo_breach");
+        }
+    }
 }
 
 /// State shared between the front-end handle and its workers.
@@ -276,6 +361,10 @@ impl Frontend {
         let batch_size = layout.slot_gauge(metrics.gauge("serving/batch_size"));
         let batch_us = layout.slot_histogram(metrics.histogram("obs/serving/batch_us"));
         let request_us = layout.slot_histogram(metrics.histogram("obs/serving/request_us"));
+        let slo = cfg
+            .slo
+            .clone()
+            .map(|slo_cfg| SloInstruments::interned(metrics, slo_cfg));
         let instruments = FrontendInstruments {
             telemetry: telemetry.clone(),
             layout: Arc::new(layout),
@@ -285,6 +374,7 @@ impl Frontend {
             batch_size,
             batch_us,
             request_us,
+            slo,
         };
         Ok(Frontend::build(
             registry.epoch_cell(name)?,
@@ -414,6 +504,10 @@ fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<Request>) {
     let mut pinned = shared.cell.pin();
     let mut batch: Vec<Request> = Vec::with_capacity(shared.cfg.max_batch.max(1));
     let mut shard = shared.instruments.as_ref().map(|i| i.layout.shard());
+    // Per-batch (latency, error) staging for the SLO judge: plain
+    // pushes into a reused buffer on the request path, one tracker
+    // lock per batch.
+    let mut slo_samples: Vec<(u64, bool)> = Vec::with_capacity(shared.cfg.max_batch.max(1));
     while let Ok(first) = rx.recv() {
         let batch_started = Instant::now();
         let gather_deadline = batch_started + shared.cfg.batch_wait;
@@ -441,6 +535,7 @@ fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<Request>) {
         }
         let mut session = batch_session(&spec, &mut scratch);
         let scoring_started = Instant::now();
+        let track_slo = shared.instruments.as_ref().is_some_and(|i| i.slo.is_some());
         for req in batch.drain(..) {
             let result = if scoring_started >= req.deadline {
                 if let (Some(i), Some(shard)) = (&shared.instruments, shard.as_mut()) {
@@ -462,16 +557,28 @@ fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<Request>) {
                         degraded: false,
                     })
             };
+            // A degraded answer is an SLO error: the caller got the
+            // default score, not the model's.
+            let error = matches!(&result, Ok(s) if s.degraded) || result.is_err();
             req.slot.fulfil(result);
             if let (Some(i), Some(shard)) = (&shared.instruments, shard.as_mut()) {
-                shard.observe_duration(i.request_us, req.enqueued.elapsed());
+                let latency = req.enqueued.elapsed();
+                shard.observe_duration(i.request_us, latency);
+                if track_slo {
+                    slo_samples.push((latency.as_micros() as u64, error));
+                }
             }
         }
         // Batch boundary: one amortized fold of the worker's local
-        // telemetry into the shared registry.
+        // telemetry into the shared registry, and one SLO-tracker lock
+        // for the whole batch.
         if let (Some(i), Some(shard)) = (&shared.instruments, shard.as_mut()) {
             shard.observe_duration(i.batch_us, batch_started.elapsed());
             shard.flush_into(&i.telemetry);
+            if let Some(slo) = &i.slo {
+                slo.observe_batch(&slo_samples, &i.telemetry);
+            }
+            slo_samples.clear();
         }
     }
 }
@@ -603,6 +710,78 @@ mod tests {
                 .count(),
             5
         );
+        Ok(())
+    }
+
+    #[test]
+    fn slo_breach_publishes_gauges_journals_and_dumps_flight() -> TestResult {
+        let (registry, h) = registry_with_versions(1)?;
+        let dir = std::env::temp_dir().join(format!("frontend-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (journal, buffer) = drybell_obs::RunJournal::in_memory();
+        let telemetry = drybell_obs::Telemetry::with_journal(journal)
+            .with_flight(drybell_obs::FlightRecorder::with_capacity(&dir, 64));
+        // Zero budget: every request degrades, so the error burn rate
+        // is 1000× the 1000-ppm budget as soon as the windows warm.
+        let cfg = FrontendConfig {
+            request_budget: Duration::ZERO,
+            workers: 1,
+            slo: Some(crate::SloConfig {
+                fast_window: 4,
+                slow_window: 8,
+                ..crate::SloConfig::default()
+            }),
+            ..FrontendConfig::default()
+        };
+        let frontend = Frontend::for_model_with_telemetry(&registry, "m", cfg, &telemetry)?;
+        for _ in 0..16 {
+            let scored = frontend.score(OwnedInput::Sparse(h.bag_of_words(&["yes"])))?;
+            assert!(scored.degraded);
+        }
+        frontend.shutdown();
+        // Burn gauges are live on the shared registry.
+        let snap = telemetry.metrics().snapshot();
+        assert!(
+            snap.gauge("slo/fast/error_burn_ppm") > 1_000_000,
+            "fast error burn must exceed the budget"
+        );
+        assert!(snap.gauge("slo/slow/error_burn_ppm") > 1_000_000);
+        assert_eq!(snap.gauge("slo/fast/error_ppm"), 1_000_000);
+        // Exactly one edge-triggered breach event, plus its dump record.
+        let events = buffer.parsed_lines()?;
+        let kinds: Vec<_> = events
+            .iter()
+            .filter_map(|e| e.get("kind").and_then(|k| k.as_str()))
+            .collect();
+        assert_eq!(
+            kinds.iter().filter(|k| **k == "slo_breach").count(),
+            1,
+            "breach must be edge-triggered: {kinds:?}"
+        );
+        assert!(kinds.contains(&"flight_dump"));
+        let breach = events
+            .iter()
+            .find(|e| e.get("kind").and_then(|k| k.as_str()) == Some("slo_breach"))
+            .ok_or("missing breach event")?;
+        assert_eq!(
+            breach.get("signal").and_then(|s| s.as_str()),
+            Some("error_ppm")
+        );
+        // The dump's last ring line is the breach itself.
+        let dumps: Vec<_> = std::fs::read_dir(&dir)?
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(dumps.len(), 1);
+        let text = std::fs::read_to_string(&dumps[0])?;
+        let last = text.lines().last().ok_or("empty dump")?;
+        let last = drybell_obs::parse_json(last)?;
+        assert_eq!(
+            last.get("kind").and_then(|k| k.as_str()),
+            Some("slo_breach")
+        );
+        assert!(text.starts_with("{\"kind\":\"flight_header\""));
+        assert!(text.contains("\"reason\":\"slo_breach\""));
+        let _ = std::fs::remove_dir_all(&dir);
         Ok(())
     }
 

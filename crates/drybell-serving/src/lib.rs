@@ -17,9 +17,11 @@
 
 pub mod frontend;
 pub mod shadow;
+pub mod slo;
 
 pub use frontend::{Frontend, FrontendConfig, OwnedInput, Pending, Scored};
-pub use shadow::{ScoreHistogram, ShadowEval, ShadowReport, SCORE_BUCKETS};
+pub use shadow::{ScoreHistogram, ShadowEval, ShadowReport, WindowedShadow, SCORE_BUCKETS};
+pub use slo::{SloBreach, SloConfig, SloTracker, WindowStats};
 
 use drybell_features::{FeatureSpaceId, SpaceRegistry, SparseVector};
 use drybell_ml::{LogisticRegression, MlError, Mlp, MlpScratch, WeightCache};

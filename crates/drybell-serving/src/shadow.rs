@@ -169,22 +169,26 @@ impl ShadowReport {
         ])
     }
 
+    /// The report as a `shadow` journal event. This is the per-window
+    /// record `drybell_doctor::StreamMonitor` folds score PSI from.
+    pub fn to_event(&self) -> drybell_obs::Event {
+        drybell_obs::Event::new("shadow")
+            .field("examples", self.examples)
+            .field("decision_flips", self.decision_flips)
+            .field("flip_rate", self.flip_rate())
+            .field("new_positives", self.new_positives)
+            .field("new_negatives", self.new_negatives)
+            .field("mean_abs_gap", self.mean_abs_gap())
+            .field("max_abs_gap", self.max_abs_gap)
+            .field("score_dist/serving", self.serving_dist.to_json())
+            .field("score_dist/candidate", self.candidate_dist.to_json())
+            .field("invalid/serving", self.serving_dist.invalid())
+            .field("invalid/candidate", self.candidate_dist.invalid())
+    }
+
     /// Emit one `shadow` event carrying the full report to a run journal.
     pub fn emit_to(&self, journal: &drybell_obs::RunJournal) {
-        journal.emit(
-            drybell_obs::Event::new("shadow")
-                .field("examples", self.examples)
-                .field("decision_flips", self.decision_flips)
-                .field("flip_rate", self.flip_rate())
-                .field("new_positives", self.new_positives)
-                .field("new_negatives", self.new_negatives)
-                .field("mean_abs_gap", self.mean_abs_gap())
-                .field("max_abs_gap", self.max_abs_gap)
-                .field("score_dist/serving", self.serving_dist.to_json())
-                .field("score_dist/candidate", self.candidate_dist.to_json())
-                .field("invalid/serving", self.serving_dist.invalid())
-                .field("invalid/candidate", self.candidate_dist.invalid()),
-        );
+        journal.emit(self.to_event());
     }
 }
 
@@ -250,6 +254,12 @@ impl ShadowEval {
     pub fn report(&self) -> &ShadowReport {
         &self.report
     }
+
+    /// Drain the accumulated report, resetting the accumulator. Used by
+    /// [`WindowedShadow`] to close score-histogram windows.
+    pub fn take_report(&mut self) -> ShadowReport {
+        std::mem::take(&mut self.report)
+    }
 }
 
 impl Drop for ShadowEval {
@@ -257,6 +267,68 @@ impl Drop for ShadowEval {
         if let Some(sink) = &self.latency_sink {
             self.latency.drain_into(sink);
         }
+    }
+}
+
+/// A [`ShadowEval`] that closes a fresh [`ShadowReport`] every `window`
+/// examples instead of accumulating one run-long report.
+///
+/// Windowed reports are what make shadow evaluation *streaming*: each
+/// closed window carries its own score histograms, so an in-stream
+/// monitor can run a per-window PSI verdict and catch a candidate whose
+/// score mass shifts mid-stream — invisible in a cumulative histogram
+/// that averages the shift away. The caller decides where closed windows
+/// go (journal via [`ShadowReport::emit_to`], monitor via
+/// [`ShadowReport::to_event`]); this type only does the accounting.
+pub struct WindowedShadow {
+    eval: ShadowEval,
+    window: u64,
+    windows_closed: u64,
+}
+
+impl WindowedShadow {
+    /// Wrap `eval`, closing a window every `window` examples (min 1).
+    pub fn new(eval: ShadowEval, window: u64) -> WindowedShadow {
+        WindowedShadow {
+            eval,
+            window: window.max(1),
+            windows_closed: 0,
+        }
+    }
+
+    /// Score one example with both versions. Returns the serving score
+    /// and, when this example completes a window, the closed report.
+    pub fn observe(
+        &mut self,
+        input: ScoreInput<'_>,
+    ) -> Result<(f64, Option<ShadowReport>), ServingError> {
+        let score = self.eval.observe(input)?;
+        let closed = if self.eval.report().examples >= self.window {
+            self.windows_closed += 1;
+            Some(self.eval.take_report())
+        } else {
+            None
+        };
+        Ok((score, closed))
+    }
+
+    /// Close the current partial window, if it has any examples.
+    pub fn flush(&mut self) -> Option<ShadowReport> {
+        if self.eval.report().examples == 0 {
+            return None;
+        }
+        self.windows_closed += 1;
+        Some(self.eval.take_report())
+    }
+
+    /// Windows closed so far (including a final [`WindowedShadow::flush`]).
+    pub fn windows_closed(&self) -> u64 {
+        self.windows_closed
+    }
+
+    /// The in-progress (not yet closed) window's report.
+    pub fn current(&self) -> &ShadowReport {
+        self.eval.report()
     }
 }
 
@@ -522,6 +594,47 @@ mod tests {
             events[0]
                 .get("score_dist/candidate")
                 .map(|v| v.items().len()),
+            Some(SCORE_BUCKETS)
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn windowed_shadow_closes_per_window_reports() -> TestResult {
+        let (registry, h) = registry_with_two_versions()?;
+        let shadow = ShadowEval::new(&registry, "m", 2)?;
+        let mut windowed = WindowedShadow::new(shadow, 3);
+        let mut closed = Vec::new();
+        // First window is all "yes" traffic, second all "nothing": the
+        // windows must carry *their own* distributions, not cumulative
+        // ones, or a mid-stream shift would be averaged away.
+        for token in ["yes", "yes", "yes", "nothing", "nothing", "nothing"] {
+            let x = h.bag_of_words(&[token]);
+            let (score, window) = windowed.observe(ScoreInput::Sparse(&x))?;
+            assert!(score.is_finite());
+            closed.extend(window);
+        }
+        assert_eq!(closed.len(), 2);
+        assert_eq!(windowed.windows_closed(), 2);
+        for w in &closed {
+            assert_eq!(w.examples, 3, "each window is exactly window-sized");
+        }
+        assert_ne!(
+            closed[0].serving_dist, closed[1].serving_dist,
+            "windows must not share score mass"
+        );
+        assert_eq!(windowed.current().examples, 0);
+        // A partial window drains through flush, once.
+        let x = h.bag_of_words(&["yes"]);
+        windowed.observe(ScoreInput::Sparse(&x))?;
+        let partial = windowed.flush().ok_or("partial window lost")?;
+        assert_eq!(partial.examples, 1);
+        assert!(windowed.flush().is_none(), "flush is idempotent when empty");
+        // Closed windows round-trip into monitor-ready `shadow` events.
+        let event = closed[0].to_event().to_json();
+        assert_eq!(event.get("kind").and_then(|k| k.as_str()), Some("shadow"));
+        assert_eq!(
+            event.get("score_dist/serving").map(|d| d.items().len()),
             Some(SCORE_BUCKETS)
         );
         Ok(())
